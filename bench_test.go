@@ -1,0 +1,349 @@
+// Benchmarks regenerating the paper's evaluation artefacts (one benchmark
+// per figure/table — the measured shapes are recorded in EXPERIMENTS.md) and
+// scaling benchmarks for the solver and the construction.
+package lowenergy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	lowenergy "repro"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// BenchmarkFigure1 regenerates the Figure 1 construction (E1/E1c).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := report.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the sequential-vs-simultaneous comparison
+// (E2: paper reports 1.4x static / 1.3x activity improvements).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := report.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the graph-style comparison (E3: 1.35x, min
+// accesses + min locations).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := report.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the RSP frequency/voltage sweep (E4).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := report.Table1(workload.Table1Registers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGraphStyle measures the graph-style ablation (A1).
+func BenchmarkAblationGraphStyle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.GraphStyleAblation(1997, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEq7 measures the eq. (7) fidelity ablation (A2).
+func BenchmarkAblationEq7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Eq7Ablation(workload.Table1Registers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocateRSP measures one end-to-end allocation of the radar
+// kernel at each memory frequency.
+func BenchmarkAllocateRSP(b *testing.B) {
+	set, _, err := workload.RSP(workload.DefaultRSP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, div := range []int{1, 2, 4} {
+		name := "f"
+		if div > 1 {
+			name = "f_div_" + string(rune('0'+div))
+		}
+		model := lowenergy.DefaultModel().WithMemVoltage(lowenergy.VoltageForDivisor(div))
+		opts := lowenergy.Options{
+			Registers: workload.Table1Registers,
+			Memory:    lowenergy.MemoryAccess{Period: div, Offset: div},
+			Split:     lowenergy.SplitMinimal,
+			Style:     lowenergy.GraphDensityRegions,
+			Cost:      lowenergy.StaticCost(model),
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lowenergy.Allocate(set, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateScaling measures allocation cost against instance size
+// (the paper argues the approach scales to very large basic blocks, §7).
+func BenchmarkAllocateScaling(b *testing.B) {
+	for _, vars := range []int{25, 50, 100, 200, 400} {
+		rng := rand.New(rand.NewSource(int64(vars)))
+		set := workload.Random(rng, workload.RandomParams{
+			Vars: vars, Steps: vars / 2, MaxReads: 2, ExternalFrac: 0.1, InputFrac: 0.1,
+		})
+		opts := lowenergy.Options{
+			Registers: set.MaxDensity() / 2,
+			Memory:    lowenergy.FullSpeedMemory,
+			Style:     lowenergy.GraphDensityRegions,
+			Cost:      lowenergy.StaticCost(lowenergy.DefaultModel()),
+		}
+		b.Run(benchName("vars", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lowenergy.Allocate(set, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraphStyles compares construction+solve cost of the two graph
+// styles: the paper's density-region graph is much sparser.
+func BenchmarkGraphStyles(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	set := workload.Random(rng, workload.RandomParams{
+		Vars: 150, Steps: 60, MaxReads: 2, ExternalFrac: 0.1, InputFrac: 0.1,
+	})
+	for _, style := range []netbuild.GraphStyle{netbuild.DensityRegions, netbuild.AllCompatible} {
+		opts := lowenergy.Options{
+			Registers: set.MaxDensity() / 2,
+			Memory:    lowenergy.FullSpeedMemory,
+			Style:     style,
+			Cost:      lowenergy.StaticCost(lowenergy.DefaultModel()),
+		}
+		b.Run(style.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lowenergy.Allocate(set, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolvers compares the production SSP engine against the
+// cycle-cancelling cross-checker on the same networks.
+func BenchmarkSolvers(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	set := workload.Random(rng, workload.RandomParams{
+		Vars: 80, Steps: 40, MaxReads: 2, ExternalFrac: 0.1, InputFrac: 0.1,
+	})
+	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build, err := netbuild.BuildNetwork(set, grouped, netbuild.DensityRegions,
+		netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := int64(set.MaxDensity() / 2)
+	solve := func(b *testing.B, f func() (*flow.Solution, error)) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("ssp", func(b *testing.B) {
+		solve(b, func() (*flow.Solution, error) {
+			return build.Net.MinCostFlowValue(build.S, build.T, value)
+		})
+	})
+	b.Run("cyclecancel", func(b *testing.B) {
+		solve(b, func() (*flow.Solution, error) {
+			build.Net.AddSupply(build.S, value)
+			build.Net.AddSupply(build.T, -value)
+			defer func() {
+				build.Net.AddSupply(build.S, -value)
+				build.Net.AddSupply(build.T, value)
+			}()
+			return build.Net.SolveCycleCancel()
+		})
+	})
+	b.Run("costscaling", func(b *testing.B) {
+		solve(b, func() (*flow.Solution, error) {
+			build.Net.AddSupply(build.S, value)
+			build.Net.AddSupply(build.T, -value)
+			defer func() {
+				build.Net.AddSupply(build.S, -value)
+				build.Net.AddSupply(build.T, value)
+			}()
+			return build.Net.SolveCostScaling()
+		})
+	})
+}
+
+// BenchmarkExtensions measures the §7/extension experiments.
+func BenchmarkExtensions(b *testing.B) {
+	b.Run("offchip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := report.OffChip(workload.Table1Registers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("moa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := report.OffsetAssignment(workload.Table1Registers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("schedulers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := report.Schedulers(6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSplitPolicies compares the lifetime splitting policies under
+// restricted memory access.
+func BenchmarkSplitPolicies(b *testing.B) {
+	set, _, err := workload.RSP(workload.DefaultRSP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := lifetime.MemoryAccess{Period: 2, Offset: 2}
+	for _, tc := range []struct {
+		name   string
+		policy lifetime.SplitPolicy
+	}{{"minimal", lifetime.SplitMinimal}, {"full", lifetime.SplitFull}} {
+		opts := core.Options{
+			Registers: workload.Table1Registers,
+			Memory:    mem,
+			Split:     tc.policy,
+			Style:     netbuild.DensityRegions,
+			Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Allocate(set, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulePipeline measures the front half of the pipeline
+// (generate + schedule + lifetimes) on the radar kernel.
+func BenchmarkSchedulePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := workload.RSP(workload.DefaultRSP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, n int) string {
+	digits := ""
+	if n == 0 {
+		digits = "0"
+	}
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return prefix + "_" + digits
+}
+
+// BenchmarkLowerToMachine measures the §5 instruction-mapping stage on the
+// radar kernel.
+func BenchmarkLowerToMachine(b *testing.B) {
+	set, s, err := workload.RSP(workload.DefaultRSP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: workload.Table1Registers,
+		Memory:    lowenergy.FullSpeedMemory,
+		Style:     lowenergy.GraphDensityRegions,
+		Cost:      lowenergy.StaticCost(lowenergy.DefaultModel()),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lowenergy.LowerToMachine(s, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizePasses measures the CSE+DCE clean-up on the EWF kernel.
+func BenchmarkOptimizePasses(b *testing.B) {
+	block, err := workload.EllipticWaveFilter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lowenergy.OptimizeBlock(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForceDirected measures FDS against list scheduling on the EWF.
+func BenchmarkForceDirected(b *testing.B) {
+	block, err := workload.EllipticWaveFilter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lowenergy.ScheduleForceDirected(block, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("list", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lowenergy.ScheduleBlock(block, lowenergy.Resources{ALUs: 2, Multipliers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHLSSuite measures the full benchmark-suite comparison (X6).
+func BenchmarkHLSSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := report.HLSBench(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command leabench regenerates the paper's evaluation: every figure and
+// Table 1, plus the ablations documented in DESIGN.md. Output is a set of
+// text tables (default) or markdown (-md), the format EXPERIMENTS.md is
+// built from.
+//
+// Usage:
+//
+//	leabench -all
+//	leabench -exp fig3
+//	leabench -exp table1 -md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func() (*report.Table, error)
+}
+
+func experiments(registers int) []experiment {
+	return []experiment{
+		{"fig1", "Figure 1: interval graph & network construction", func() (*report.Table, error) {
+			_, t, err := report.Figure1()
+			return t, err
+		}},
+		{"fig2", "Figure 2: split-lifetime arc cost cases (eqs. 4-10)", func() (*report.Table, error) {
+			return report.Figure2()
+		}},
+		{"fig3", "Figure 3: sequential vs simultaneous (1.4x/1.3x)", func() (*report.Table, error) {
+			_, t, err := report.Figure3()
+			return t, err
+		}},
+		{"fig4", "Figure 4: graph styles, accesses vs locations (1.35x)", func() (*report.Table, error) {
+			_, t, err := report.Figure4()
+			return t, err
+		}},
+		{"table1", "Table 1: RSP with memory frequency/voltage scaling", func() (*report.Table, error) {
+			_, t, err := report.Table1(registers)
+			return t, err
+		}},
+		{"ablate-graph", "Ablation: density-region vs all-compatible graph", func() (*report.Table, error) {
+			return report.GraphStyleAblation(1997, 6)
+		}},
+		{"ablate-eq7", "Ablation: literal vs consistent eq. (7)", func() (*report.Table, error) {
+			return report.Eq7Ablation(registers)
+		}},
+		{"offchip", "§7: off-chip memory — larger absolute savings", func() (*report.Table, error) {
+			return report.OffChip(registers)
+		}},
+		{"ports", "§7: port-constrained allocation", func() (*report.Table, error) {
+			return report.Ports(registers)
+		}},
+		{"moa", "Conclusion: multiple offset assignment", func() (*report.Table, error) {
+			return report.OffsetAssignment(registers)
+		}},
+		{"schedulers", "Methodology: initial schedule vs allocation quality", func() (*report.Table, error) {
+			return report.Schedulers(6)
+		}},
+		{"twocommodity", "§7: two-commodity heuristic vs sequential stages", func() (*report.Table, error) {
+			return report.TwoCommodity(1997, 5)
+		}},
+		{"hlsbench", "HLS benchmark suite: flow vs baselines (EWF/ARF/FDCT)", func() (*report.Table, error) {
+			_, t, err := report.HLSBench()
+			return t, err
+		}},
+		{"ablate-chaitin", "Ablation: Chaitin spill heuristics vs the flow optimum", func() (*report.Table, error) {
+			return report.ChaitinAblation()
+		}},
+		{"claimband", "Abstract claim: improvement distribution over random instances", func() (*report.Table, error) {
+			return report.ClaimBand(1997, 25)
+		}},
+	}
+}
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		exp       = flag.String("exp", "", "run one experiment by name")
+		markdown  = flag.Bool("md", false, "emit markdown tables")
+		registers = flag.Int("registers", workload.Table1Registers, "register file size for the RSP experiments")
+		list      = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+	exps := experiments(*registers)
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-14s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	if !*all && *exp == "" {
+		fmt.Fprintln(os.Stderr, "leabench: pass -all, -exp <name> or -list")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, exps, *all, *exp, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "leabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exps []experiment, all bool, name string, markdown bool) error {
+	var names []string
+	ran := false
+	for _, e := range exps {
+		names = append(names, e.name)
+		if !all && e.name != name {
+			continue
+		}
+		ran = true
+		t, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if markdown {
+			if err := t.Markdown(w); err != nil {
+				return err
+			}
+		} else if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (have: %s)", name, strings.Join(names, ", "))
+	}
+	return nil
+}

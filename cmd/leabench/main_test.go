@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// fastExperiments avoids rerunning the heavy RSP sweeps in unit tests.
+func fastExperiments() []experiment {
+	return []experiment{
+		{"fig1", "figure 1", func() (*report.Table, error) {
+			_, t, err := report.Figure1()
+			return t, err
+		}},
+		{"fig3", "figure 3", func() (*report.Table, error) {
+			_, t, err := report.Figure3()
+			return t, err
+		}},
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, fastExperiments(), false, "fig1", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 1") {
+		t.Errorf("missing figure 1 table:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "Figure 3") {
+		t.Error("ran more than requested")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, fastExperiments(), true, "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "Figure 3") {
+		t.Errorf("missing tables:\n%s", out)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, fastExperiments(), false, "fig1", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "### Figure 1") || !strings.Contains(sb.String(), "| --- |") {
+		t.Errorf("markdown missing:\n%s", sb.String())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, fastExperiments(), false, "bogus", false)
+	if err == nil || !strings.Contains(err.Error(), "fig1") {
+		t.Fatalf("unknown experiment error should list names, got %v", err)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range experiments(13) {
+		if names[e.name] {
+			t.Fatalf("duplicate experiment %q", e.name)
+		}
+		names[e.name] = true
+		if e.desc == "" || e.run == nil {
+			t.Fatalf("incomplete experiment %+v", e.name)
+		}
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "table1", "ablate-graph", "ablate-eq7", "offchip", "ports", "moa", "schedulers", "twocommodity", "hlsbench", "ablate-chaitin", "claimband"} {
+		if !names[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Command leaflow allocates the variables of a TAC program to registers and
+// memory for minimum energy, per block, printing an allocation and energy
+// report. It is the end-user entry point to the paper's technique.
+//
+// Usage:
+//
+//	leaflow [flags] [program.tac]
+//
+// With no file argument the program is read from stdin. See -help for the
+// flags (register count, memory frequency divisor, energy model, graph
+// style) and internal/ir for the TAC grammar.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	lowenergy "repro"
+)
+
+func main() {
+	var (
+		registers = flag.Int("registers", 16, "register file size R")
+		divisor   = flag.Int("memdiv", 1, "memory frequency divisor c (access every c control steps, supply voltage scaled accordingly)")
+		alus      = flag.Int("alus", 2, "ALU-class units for list scheduling (0 = unlimited)")
+		muls      = flag.Int("muls", 1, "multiplier-class units for list scheduling (0 = unlimited)")
+		styleName = flag.String("graph", "density", `graph style: "density" (paper) or "allcompat" (Chang–Pedram)`)
+		costName  = flag.String("cost", "static", `energy model: "static" (eq. 1) or "activity" (eq. 2, synthetic traces)`)
+		splitFull = flag.Bool("splitfull", false, "cut lifetimes at every accessible step (default: minimal cuts)")
+		dotOut    = flag.String("dot", "", "write the flow network of the first block to this DOT file")
+		verbose   = flag.Bool("v", false, "print per-variable assignments")
+		gantt     = flag.Bool("gantt", false, "render lifetime and register-occupancy charts")
+		schedName = flag.String("sched", "list", `scheduler: "list", "asap" or "fds" (force directed)`)
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		simulate  = flag.Bool("simulate", false, "execute each block under its allocation with synthetic inputs and verify it")
+		dimacsOut = flag.String("dimacs", "", "write the flow network of the first block in DIMACS min-cost format")
+		asm       = flag.Bool("asm", false, "print the lowered machine instruction stream (loads/stores/moves/ops)")
+		profile   = flag.Bool("profile", false, "print the per-step storage energy profile (implies -simulate)")
+	)
+	flag.Parse()
+	cfg := config{
+		registers: *registers, divisor: *divisor, alus: *alus, muls: *muls,
+		style: *styleName, cost: *costName, splitFull: *splitFull,
+		dot: *dotOut, verbose: *verbose, gantt: *gantt, sched: *schedName,
+		json: *jsonOut, simulate: *simulate || *profile, dimacs: *dimacsOut, asm: *asm, profile: *profile,
+	}
+	if err := runCfg(os.Stdout, cfg, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "leaflow:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	registers, divisor, alus, muls int
+	style, cost, sched             string
+	splitFull, verbose, gantt      bool
+	json, simulate, asm, profile   bool
+	dot, dimacs                    string
+}
+
+// run keeps the original positional signature for the tests; runCfg is the
+// full-featured entry point.
+func run(w io.Writer, registers, divisor, alus, muls int, styleName, costName string, splitFull bool, dotOut string, verbose, gantt bool, schedName string, args []string) error {
+	return runCfg(w, config{
+		registers: registers, divisor: divisor, alus: alus, muls: muls,
+		style: styleName, cost: costName, splitFull: splitFull,
+		dot: dotOut, verbose: verbose, gantt: gantt, sched: schedName,
+	}, args)
+}
+
+func runCfg(w io.Writer, cfg config, args []string) error {
+	registers, divisor, alus, muls := cfg.registers, cfg.divisor, cfg.alus, cfg.muls
+	styleName, costName, schedName := cfg.style, cfg.cost, cfg.sched
+	splitFull, verbose, gantt := cfg.splitFull, cfg.verbose, cfg.gantt
+	dotOut := cfg.dot
+	var in io.Reader = os.Stdin
+	if len(args) > 1 {
+		return fmt.Errorf("at most one program file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	prog, err := lowenergy.ParseProgram(in)
+	if err != nil {
+		return err
+	}
+
+	style := lowenergy.GraphDensityRegions
+	switch styleName {
+	case "density":
+	case "allcompat":
+		style = lowenergy.GraphAllCompatible
+	default:
+		return fmt.Errorf("unknown graph style %q", styleName)
+	}
+	model := lowenergy.DefaultModel().WithMemVoltage(lowenergy.VoltageForDivisor(divisor))
+	var cost lowenergy.CostOptions
+	switch costName {
+	case "static":
+		cost = lowenergy.StaticCost(model)
+	case "activity":
+		cost = lowenergy.ActivityCost(model, lowenergy.SyntheticHamming())
+	default:
+		return fmt.Errorf("unknown cost model %q", costName)
+	}
+	split := lowenergy.SplitMinimal
+	if splitFull {
+		split = lowenergy.SplitFull
+	}
+	opts := lowenergy.Options{
+		Registers: registers,
+		Memory:    lowenergy.MemoryAccess{Period: divisor, Offset: divisor},
+		Split:     split,
+		Style:     style,
+		Cost:      cost,
+	}
+
+	first := true
+	for _, task := range prog.Tasks {
+		for _, block := range task.Blocks {
+			var schedule *lowenergy.Schedule
+			switch schedName {
+			case "list":
+				schedule, err = lowenergy.ScheduleBlock(block, lowenergy.Resources{ALUs: alus, Multipliers: muls})
+			case "asap":
+				schedule, err = lowenergy.ScheduleASAP(block)
+			case "fds":
+				schedule, err = lowenergy.ScheduleForceDirected(block, 0)
+			default:
+				return fmt.Errorf("unknown scheduler %q", schedName)
+			}
+			if err != nil {
+				return fmt.Errorf("block %q: %w", block.Name, err)
+			}
+			set, err := lowenergy.Lifetimes(schedule)
+			if err != nil {
+				return fmt.Errorf("block %q: %w", block.Name, err)
+			}
+			res, err := lowenergy.Allocate(set, opts)
+			if err != nil {
+				return fmt.Errorf("block %q: %w", block.Name, err)
+			}
+			if cfg.json {
+				if err := printJSON(w, task.Name, block.Name, res); err != nil {
+					return err
+				}
+			} else {
+				printBlock(w, task.Name, block.Name, res, verbose)
+			}
+			if cfg.simulate {
+				if err := simulateBlock(w, schedule, res, block, cfg.json, cfg.profile, model); err != nil {
+					return err
+				}
+			}
+			if cfg.asm {
+				mp, err := lowenergy.LowerToMachine(schedule, res)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "machine stream (%d loads, %d stores, %d moves, %d memory operands):\n%s\n",
+					mp.Loads, mp.Stores, mp.Moves, mp.MemoryOperands, mp.Listing())
+			}
+			if first && cfg.dimacs != "" {
+				f, err := os.Create(cfg.dimacs)
+				if err != nil {
+					return err
+				}
+				if err := res.Build.Net.WriteDIMACS(f, "lowenergy: "+task.Name+"/"+block.Name); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+			if gantt {
+				if err := lowenergy.RenderLifetimes(w, set); err != nil {
+					return err
+				}
+				if err := lowenergy.RenderDensity(w, set, registers); err != nil {
+					return err
+				}
+				if err := lowenergy.RenderAllocation(w, res); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+			}
+			if first && dotOut != "" {
+				f, err := os.Create(dotOut)
+				if err != nil {
+					return err
+				}
+				if err := res.Build.WriteDot(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote network DOT to %s\n", dotOut)
+			}
+			first = false
+		}
+	}
+	return nil
+}
+
+func printBlock(w io.Writer, task, name string, res *lowenergy.Result, verbose bool) {
+	fmt.Fprintf(w, "== task %s, block %s ==\n", task, name)
+	fmt.Fprintf(w, "registers used:     %d of %d\n", res.RegistersUsed, res.Options.Registers)
+	fmt.Fprintf(w, "memory locations:   %d\n", res.MemoryLocations)
+	fmt.Fprintf(w, "energy:             %.3f (all-memory baseline %.3f, saving %.2fx)\n",
+		res.TotalEnergy, res.BaselineEnergy, res.BaselineEnergy/res.TotalEnergy)
+	fmt.Fprintf(w, "accesses:           mem %dr+%dw, reg %dr+%dw\n",
+		res.Counts.MemReads, res.Counts.MemWrites, res.Counts.RegReads, res.Counts.RegWrites)
+	fmt.Fprintf(w, "ports required:     mem %dr/%dw, reg %dr/%dw\n",
+		res.Ports.MemReadPorts, res.Ports.MemWritePorts, res.Ports.RegReadPorts, res.Ports.RegWritePorts)
+	if verbose {
+		type resident struct {
+			v   string
+			reg int
+		}
+		var rows []resident
+		seen := map[string]bool{}
+		for i, seg := range res.Build.Segments {
+			if seen[seg.Var] {
+				continue
+			}
+			seen[seg.Var] = true
+			reg := -1
+			if res.InRegister[i] {
+				reg = res.RegOf[i]
+			}
+			rows = append(rows, resident{seg.Var, reg})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].v < rows[j].v })
+		for _, r := range rows {
+			where := "memory"
+			if r.reg >= 0 {
+				where = fmt.Sprintf("register r%d (first segment)", r.reg)
+			}
+			fmt.Fprintf(w, "  %-12s -> %s\n", r.v, where)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// blockJSON is the machine-readable per-block summary.
+type blockJSON struct {
+	Task            string  `json:"task"`
+	Block           string  `json:"block"`
+	Registers       int     `json:"registers"`
+	RegistersUsed   int     `json:"registers_used"`
+	MemoryLocations int     `json:"memory_locations"`
+	Energy          float64 `json:"energy"`
+	BaselineEnergy  float64 `json:"baseline_energy"`
+	MemReads        int     `json:"mem_reads"`
+	MemWrites       int     `json:"mem_writes"`
+	RegReads        int     `json:"reg_reads"`
+	RegWrites       int     `json:"reg_writes"`
+	MemReadPorts    int     `json:"mem_read_ports"`
+	MemWritePorts   int     `json:"mem_write_ports"`
+	RegReadPorts    int     `json:"reg_read_ports"`
+	RegWritePorts   int     `json:"reg_write_ports"`
+}
+
+func printJSON(w io.Writer, task, name string, res *lowenergy.Result) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(blockJSON{
+		Task:            task,
+		Block:           name,
+		Registers:       res.Options.Registers,
+		RegistersUsed:   res.RegistersUsed,
+		MemoryLocations: res.MemoryLocations,
+		Energy:          res.TotalEnergy,
+		BaselineEnergy:  res.BaselineEnergy,
+		MemReads:        res.Counts.MemReads,
+		MemWrites:       res.Counts.MemWrites,
+		RegReads:        res.Counts.RegReads,
+		RegWrites:       res.Counts.RegWrites,
+		MemReadPorts:    res.Ports.MemReadPorts,
+		MemWritePorts:   res.Ports.MemWritePorts,
+		RegReadPorts:    res.Ports.RegReadPorts,
+		RegWritePorts:   res.Ports.RegWritePorts,
+	})
+}
+
+// simulateBlock executes the allocation on deterministic synthetic inputs
+// and reports the verification outcome.
+func simulateBlock(w io.Writer, schedule *lowenergy.Schedule, res *lowenergy.Result, block *lowenergy.Block, jsonOut, profile bool, model lowenergy.Model) error {
+	inputs := map[string]lowenergy.Word{}
+	for i, v := range block.Inputs {
+		inputs[v] = lowenergy.Word((i*37)%64 - 32)
+	}
+	trace, err := lowenergy.Simulate(schedule, res, inputs)
+	if err != nil {
+		return fmt.Errorf("simulation failed (allocation invalid): %w", err)
+	}
+	if trace.Counts != res.Counts {
+		return fmt.Errorf("simulation counts %+v disagree with the allocator's %+v", trace.Counts, res.Counts)
+	}
+	if jsonOut {
+		return json.NewEncoder(w).Encode(map[string]any{
+			"simulated": true, "outputs": trace.Outputs, "write_backs": trace.WriteBacks, "moves": trace.Moves,
+		})
+	}
+	fmt.Fprintf(w, "simulation:         OK (%d outputs verified, %d write-backs, %d moves)\n",
+		len(trace.Outputs), trace.WriteBacks, trace.Moves)
+	if profile {
+		fmt.Fprint(w, "energy profile:    ")
+		for step, e := range trace.EnergyProfile(model) {
+			fmt.Fprintf(w, " %d:%.1f", step, e)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command leagen generates workloads in TAC text form: the synthetic radar
+// signal processing kernel of Table 1 and random straight-line kernels for
+// experimentation.
+//
+// Usage:
+//
+//	leagen -kind rsp > rsp.tac
+//	leagen -kind random -vars 40 -seed 7 > random.tac
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	lowenergy "repro"
+	"repro/internal/ir"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "rsp", `workload kind: "rsp" or "random"`)
+		taps  = flag.Int("taps", workload.DefaultRSP.Taps, "rsp: FIR taps")
+		bf    = flag.Int("butterflies", workload.DefaultRSP.Butterflies, "rsp: Doppler butterflies")
+		vars  = flag.Int("vars", 24, "random: instruction count")
+		seed  = flag.Int64("seed", 1, "random: seed")
+		stats = flag.Bool("stats", false, "print kernel statistics instead of TAC text")
+	)
+	flag.Parse()
+	if err := runStats(os.Stdout, *kind, *taps, *bf, *vars, *seed, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "leagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind string, taps, bf, vars int, seed int64) error {
+	return runStats(w, kind, taps, bf, vars, seed, false)
+}
+
+func runStats(w io.Writer, kind string, taps, bf, vars int, seed int64, stats bool) error {
+	var prog *ir.Program
+	switch kind {
+	case "rsp":
+		p := workload.DefaultRSP
+		p.Taps, p.Butterflies = taps, bf
+		block, err := workload.RSPBlock(p)
+		if err != nil {
+			return err
+		}
+		prog = &ir.Program{Tasks: []*ir.Task{{Name: "rsp", Blocks: []*ir.Block{block}}}}
+	case "random":
+		prog = randomProgram(rand.New(rand.NewSource(seed)), vars)
+	case "ewf", "arf", "fdct8":
+		mk := workload.HLSBenchmarks()[kind]
+		block, err := mk()
+		if err != nil {
+			return err
+		}
+		prog = &ir.Program{Tasks: []*ir.Task{{Name: kind, Blocks: []*ir.Block{block}}}}
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	if stats {
+		return printStats(w, prog)
+	}
+	return lowenergy.FormatProgram(w, prog)
+}
+
+// printStats reports per-block shape: op histogram, critical path and
+// lifetime density under a reference schedule.
+func printStats(w io.Writer, prog *ir.Program) error {
+	for _, task := range prog.Tasks {
+		for _, b := range task.Blocks {
+			hist := map[string]int{}
+			for _, in := range b.Instrs {
+				hist[in.Op.String()]++
+			}
+			s, err := lowenergy.ScheduleBlock(b, lowenergy.Resources{ALUs: 2, Multipliers: 1})
+			if err != nil {
+				return err
+			}
+			set, err := lowenergy.Lifetimes(s)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "block %s: %d instrs, %d inputs, %d outputs\n", b.Name, len(b.Instrs), len(b.Inputs), len(b.Outputs))
+			fmt.Fprintf(w, "  schedule: %d steps (2 ALU / 1 mul), max lifetime density %d\n", s.Length, set.MaxDensity())
+			keys := make([]string, 0, len(hist))
+			for k := range hist {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprint(w, "  ops:")
+			for _, k := range keys {
+				fmt.Fprintf(w, " %s=%d", k, hist[k])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// randomProgram emits a valid random straight-line block: every instruction
+// reads previously defined values, every value is eventually read or
+// exported.
+func randomProgram(rng *rand.Rand, n int) *ir.Program {
+	b := &ir.Block{Name: "rand0", Inputs: []string{"i0", "i1", "i2"}}
+	avail := append([]string(nil), b.Inputs...)
+	read := make(map[string]bool)
+	for k := 0; k < n; k++ {
+		dst := fmt.Sprintf("t%02d", k)
+		op := ir.OpAdd
+		switch rng.Intn(4) {
+		case 0:
+			op = ir.OpMul
+		case 1:
+			op = ir.OpSub
+		}
+		s1 := avail[rng.Intn(len(avail))]
+		s2 := avail[rng.Intn(len(avail))]
+		b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: dst, Src: []string{s1, s2}})
+		read[s1], read[s2] = true, true
+		avail = append(avail, dst)
+	}
+	for _, in := range b.Instrs {
+		if !read[in.Dst] {
+			b.Outputs = append(b.Outputs, in.Dst)
+		}
+	}
+	return &ir.Program{Tasks: []*ir.Task{{Name: "random", Blocks: []*ir.Block{b}}}}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	lowenergy "repro"
+)
+
+func TestRunRSP(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "rsp", 4, 2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lowenergy.ParseProgramString(sb.String())
+	if err != nil {
+		t.Fatalf("generated program does not reparse: %v", err)
+	}
+	if prog.Block("rsp") == nil {
+		t.Fatal("rsp block missing")
+	}
+}
+
+func TestRunRandom(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "random", 0, 0, 18, 42); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lowenergy.ParseProgramString(sb.String())
+	if err != nil {
+		t.Fatalf("generated program does not reparse: %v", err)
+	}
+	if got := len(prog.Tasks[0].Blocks[0].Instrs); got != 18 {
+		t.Fatalf("instrs %d, want 18", got)
+	}
+}
+
+func TestRunRandomDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(&a, "random", 0, 0, 12, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "random", 0, 0, 12, 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different programs")
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "banana", 0, 0, 0, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunBadRSPParams(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "rsp", 1, 0, 0, 0); err == nil {
+		t.Fatal("bad rsp params accepted")
+	}
+}
+
+func TestRandomProgramAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := randomProgram(rand.New(rand.NewSource(seed)), 10+int(seed))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(p.Tasks[0].Blocks[0].Outputs) == 0 {
+			t.Fatalf("seed %d: no outputs", seed)
+		}
+	}
+}
+
+func TestRunHLSKinds(t *testing.T) {
+	for _, kind := range []string{"ewf", "arf", "fdct8"} {
+		var sb strings.Builder
+		if err := run(&sb, kind, 0, 0, 0, 0); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if _, err := lowenergy.ParseProgramString(sb.String()); err != nil {
+			t.Fatalf("%s does not reparse: %v", kind, err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command leasweep explores the (register count × memory frequency) design
+// space of a program's first block — or the built-in radar kernel — and
+// emits the energy/access surface as CSV, plus the register/energy Pareto
+// frontier on stderr-style summary lines.
+//
+// Usage:
+//
+//	leasweep -rsp -registers 8:20 -divisors 1,2,4 > surface.csv
+//	leasweep program.tac -registers 1:8 > surface.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	lowenergy "repro"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		useRSP   = flag.Bool("rsp", false, "sweep the built-in radar kernel instead of reading a program")
+		regSpec  = flag.String("registers", "1:8", `register axis: "lo:hi" or comma list`)
+		divSpec  = flag.String("divisors", "1,2,4", "memory frequency divisor axis (comma list)")
+		alus     = flag.Int("alus", 2, "ALUs for list scheduling")
+		muls     = flag.Int("muls", 1, "multipliers for list scheduling")
+		frontier = flag.Bool("frontier", false, "append the Pareto frontier as comment lines")
+		heatmap  = flag.Bool("heatmap", false, "print a text heatmap instead of CSV")
+	)
+	flag.Parse()
+	if err := runFull(os.Stdout, *useRSP, *regSpec, *divSpec, *alus, *muls, *frontier, *heatmap, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "leasweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, useRSP bool, regSpec, divSpec string, alus, muls int, frontier bool, args []string) error {
+	return runFull(w, useRSP, regSpec, divSpec, alus, muls, frontier, false, args)
+}
+
+func runFull(w io.Writer, useRSP bool, regSpec, divSpec string, alus, muls int, frontier, heatmap bool, args []string) error {
+	var set *lowenergy.LifetimeSet
+	switch {
+	case useRSP:
+		s, _, err := workload.RSP(workload.DefaultRSP)
+		if err != nil {
+			return err
+		}
+		set = s
+	case len(args) == 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prog, err := lowenergy.ParseProgram(f)
+		if err != nil {
+			return err
+		}
+		if len(prog.Tasks) == 0 || len(prog.Tasks[0].Blocks) == 0 {
+			return fmt.Errorf("program has no blocks")
+		}
+		schedule, err := lowenergy.ScheduleBlock(prog.Tasks[0].Blocks[0], lowenergy.Resources{ALUs: alus, Multipliers: muls})
+		if err != nil {
+			return err
+		}
+		set, err = lowenergy.Lifetimes(schedule)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pass a program file or -rsp")
+	}
+
+	regs, err := parseAxis(regSpec)
+	if err != nil {
+		return fmt.Errorf("registers axis: %w", err)
+	}
+	divs, err := parseAxis(divSpec)
+	if err != nil {
+		return fmt.Errorf("divisors axis: %w", err)
+	}
+	grid, err := sweep.Run(set, sweep.Options{
+		Registers: regs,
+		Divisors:  divs,
+		H:         trace.Hamming(),
+	})
+	if err != nil {
+		return err
+	}
+	if heatmap {
+		if err := grid.Heatmap(w); err != nil {
+			return err
+		}
+	} else if err := grid.WriteCSV(w); err != nil {
+		return err
+	}
+	if frontier {
+		for _, p := range grid.Pareto() {
+			fmt.Fprintf(w, "# pareto: R=%d div=%d energy=%.3f\n", p.Registers, p.Divisor, p.StaticEnergy)
+		}
+	}
+	return nil
+}
+
+// parseAxis accepts "lo:hi" ranges and comma lists.
+func parseAxis(spec string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(spec, ":"); ok {
+		a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || b < a {
+			return nil, fmt.Errorf("bad range %q", spec)
+		}
+		var out []int
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty axis %q", spec)
+	}
+	return out, nil
+}

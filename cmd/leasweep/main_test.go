@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProgram(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.tac")
+	src := `
+block b
+in a b
+s = a + b
+d = a - b
+p = s * d
+out p
+end
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, false, "1:3", "1,2", 2, 1, true, []string{writeProgram(t)}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	dataLines := 0
+	paretoLines := 0
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "# pareto:") {
+			paretoLines++
+		} else {
+			dataLines++
+		}
+	}
+	if dataLines != 6 { // 3 registers x 2 divisors
+		t.Fatalf("data rows %d, want 6:\n%s", dataLines, out)
+	}
+	if paretoLines == 0 {
+		t.Fatalf("no pareto lines:\n%s", out)
+	}
+}
+
+func TestParseAxis(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []int
+		ok   bool
+	}{
+		{"1:4", []int{1, 2, 3, 4}, true},
+		{"2,5,9", []int{2, 5, 9}, true},
+		{"7", []int{7}, true},
+		{"4:1", nil, false},
+		{"a:b", nil, false},
+		{"1,x", nil, false},
+	}
+	for _, tc := range cases {
+		got, err := parseAxis(tc.spec)
+		if tc.ok != (err == nil) {
+			t.Errorf("%q: err=%v", tc.spec, err)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: got %v", tc.spec, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q: got %v, want %v", tc.spec, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, false, "1:2", "1", 2, 1, false, nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run(&sb, false, "bad", "1", 2, 1, false, []string{writeProgram(t)}); err == nil {
+		t.Error("bad register axis accepted")
+	}
+	if err := run(&sb, false, "1:2", "bad", 2, 1, false, []string{writeProgram(t)}); err == nil {
+		t.Error("bad divisor axis accepted")
+	}
+	if err := run(&sb, false, "1:2", "1", 2, 1, false, []string{"/nope.tac"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

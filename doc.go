@@ -1,0 +1,34 @@
+// Package lowenergy reproduces C. H. Gebotys, "Low Energy Memory and
+// Register Allocation Using Network Flow" (DAC 1997): simultaneous low-energy
+// memory partitioning and register allocation of scheduled basic blocks via
+// minimum-cost network flow.
+//
+// The pipeline is:
+//
+//	program (TAC text) → ir.Block → schedule → lifetimes → split lifetimes
+//	→ flow network (§5.1/5.2 construction, eqs. 3–10 costs) → min-cost flow
+//	→ register binding + memory partition + energy/access/port report
+//
+// # Quick start
+//
+//	prog, _ := lowenergy.ParseProgram(strings.NewReader(src))
+//	sched, _ := lowenergy.ScheduleBlock(prog.Tasks[0].Blocks[0], lowenergy.Resources{ALUs: 2, Multipliers: 1})
+//	set, _ := lowenergy.Lifetimes(sched)
+//	res, _ := lowenergy.Allocate(set, lowenergy.Options{
+//	    Registers: 4,
+//	    Memory:    lowenergy.FullSpeedMemory,
+//	    Cost:      lowenergy.StaticCost(lowenergy.DefaultModel()),
+//	})
+//	fmt.Println(res.TotalEnergy, res.Chains)
+//
+// Restricted memory access times (a memory module at f/c with a scaled
+// supply voltage) are modelled with MemoryAccess{Period: c, Offset: c};
+// lifetimes crossing access times split automatically and segments that
+// cannot reach memory are pinned to the register file, exactly as §5.2
+// prescribes.
+//
+// Baselines from the paper's related work (Chang–Pedram sequential
+// allocation, left-edge, Chaitin colouring) live behind ChangPedram,
+// LeftEdge and Chaitin; the experiment harness regenerating every figure
+// and table of the paper is the leabench command.
+package lowenergy

@@ -1,0 +1,134 @@
+package lowenergy_test
+
+import (
+	"fmt"
+
+	lowenergy "repro"
+)
+
+// ExampleAllocate shows the core pipeline on the paper's Figure 1 lifetimes:
+// with three registers (the maximum lifetime density) every variable fits in
+// the register file.
+func ExampleAllocate() {
+	set := &lowenergy.LifetimeSet{
+		Steps: 7,
+		Lifetimes: []lowenergy.Lifetime{
+			{Var: "a", Write: 1, Reads: []int{3}},
+			{Var: "b", Write: 1, Reads: []int{3}},
+			{Var: "c", Write: 2, Reads: []int{8}, External: true},
+			{Var: "d", Write: 3, Reads: []int{8}, External: true},
+			{Var: "e", Write: 5, Reads: []int{6}},
+		},
+	}
+	res, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: 3,
+		Memory:    lowenergy.FullSpeedMemory,
+		Style:     lowenergy.GraphDensityRegions,
+		Cost:      lowenergy.StaticCost(lowenergy.DefaultModel()),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("registers used: %d\n", res.RegistersUsed)
+	fmt.Printf("memory accesses: %d\n", res.Counts.Mem())
+	// Output:
+	// registers used: 3
+	// memory accesses: 0
+}
+
+// ExampleParseProgramString parses the TAC text format.
+func ExampleParseProgramString() {
+	prog, err := lowenergy.ParseProgramString(`
+task demo
+block b
+in x y
+s = x + y
+p = s * x
+out p
+end`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	b := prog.Block("b")
+	fmt.Printf("%d instructions, inputs %v, outputs %v\n", len(b.Instrs), b.Inputs, b.Outputs)
+	// Output:
+	// 2 instructions, inputs [x y], outputs [p]
+}
+
+// ExampleMemoryAccess_Accessible shows the restricted access pattern of the
+// paper's Figure 1c: a memory module at half the processor frequency is
+// reachable only at odd control steps.
+func ExampleMemoryAccess_Accessible() {
+	mem := lowenergy.MemoryAccess{Period: 2, Offset: 1}
+	for step := 1; step <= 5; step++ {
+		fmt.Printf("step %d: %v\n", step, mem.Accessible(step))
+	}
+	// Output:
+	// step 1: true
+	// step 2: false
+	// step 3: true
+	// step 4: false
+	// step 5: true
+}
+
+// ExampleAssignOffsets lays out a memory access stream for a DSP
+// address-generation unit.
+func ExampleAssignOffsets() {
+	a, err := lowenergy.AssignOffsets([]string{"x", "y", "x", "y", "z", "y"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("explicit updates: %d\n", a.ExplicitUpdates)
+	// Output:
+	// explicit updates: 1
+}
+
+// ExampleSimulate verifies an allocation by executing it on the
+// cycle-accurate storage model.
+func ExampleSimulate() {
+	prog, _ := lowenergy.ParseProgramString(`
+block mac
+in x c acc
+p = x * c
+y = p + acc
+out y
+end`)
+	block := prog.Tasks[0].Blocks[0]
+	schedule, _ := lowenergy.ScheduleBlock(block, lowenergy.Resources{ALUs: 1, Multipliers: 1})
+	set, _ := lowenergy.Lifetimes(schedule)
+	res, _ := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: 2,
+		Memory:    lowenergy.FullSpeedMemory,
+		Style:     lowenergy.GraphDensityRegions,
+		Cost:      lowenergy.StaticCost(lowenergy.DefaultModel()),
+	})
+	trace, err := lowenergy.Simulate(schedule, res, map[string]lowenergy.Word{"x": 3, "c": 4, "acc": 5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("y = %d, counts match: %v\n", trace.Outputs["y"], trace.Counts == res.Counts)
+	// Output:
+	// y = 17, counts match: true
+}
+
+// ExampleOptimizeBlock shows the clean-up pipeline folding a duplicate
+// expression and deleting dead code.
+func ExampleOptimizeBlock() {
+	prog, _ := lowenergy.ParseProgramString(`
+block dirty
+in a b
+s1 = a + b
+s2 = b + a
+dead = a - b
+y = s1 * s2
+out y
+end`)
+	clean, stats, _ := lowenergy.OptimizeBlock(prog.Tasks[0].Blocks[0])
+	fmt.Printf("%d instructions (removed %d)\n", len(clean.Instrs), stats.Removed)
+	// Output:
+	// 2 instructions (removed 2)
+}

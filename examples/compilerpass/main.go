@@ -1,0 +1,102 @@
+// Compilerpass: use the allocator as a compiler backend pass and compare it
+// against the classic register allocators it displaces — Chaitin colouring
+// and left-edge packing — plus the Chang–Pedram energy-aware sequential
+// flow. The workload is an unrolled dot-product loop body, the kind of code
+// the paper's introduction motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	lowenergy "repro"
+)
+
+func main() {
+	prog, err := lowenergy.ParseProgramString(dotProduct(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	block := prog.Tasks[0].Blocks[0]
+	schedule, err := lowenergy.ScheduleBlock(block, lowenergy.Resources{ALUs: 2, Multipliers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := lowenergy.Lifetimes(schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	registers := 4
+	h := lowenergy.SyntheticHamming()
+	model := lowenergy.DefaultModel()
+	coStatic := lowenergy.StaticCost(model)
+	coActivity := lowenergy.ActivityCost(model, h)
+
+	fmt.Printf("dot-product body: %d instrs, %d vars, density %d, R=%d\n\n",
+		len(block.Instrs), len(set.Lifetimes), set.MaxDensity(), registers)
+	fmt.Printf("%-22s %-12s %-12s %-10s\n", "allocator", "E (static)", "aE", "mem accesses")
+
+	line := func(name string, e, a float64, mem int) {
+		fmt.Printf("%-22s %-12.2f %-12.2f %-10d\n", name, e, a, mem)
+	}
+
+	chaitin, err := lowenergy.Chaitin(set, registers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line("chaitin colouring", chaitin.Energy(coStatic), chaitin.Energy(coActivity), chaitin.Counts().Mem())
+
+	leftEdge, err := lowenergy.LeftEdge(set, registers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line("left edge", leftEdge.Energy(coStatic), leftEdge.Energy(coActivity), leftEdge.Counts().Mem())
+
+	cp, err := lowenergy.ChangPedram(set, registers, coActivity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line("chang-pedram (seq.)", cp.Energy(coStatic), cp.Energy(coActivity), cp.Counts().Mem())
+
+	flowStatic, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: registers, Memory: lowenergy.FullSpeedMemory,
+		Style: lowenergy.GraphDensityRegions, Cost: coStatic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flowActivity, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: registers, Memory: lowenergy.FullSpeedMemory,
+		Style: lowenergy.GraphDensityRegions, Cost: coActivity,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	line("network flow (paper)", flowStatic.TotalEnergy, flowActivity.TotalEnergy, flowStatic.Counts.Mem())
+
+	fmt.Println("\nThe flow allocator never loses: it optimises the partition and the binding")
+	fmt.Println("together, while the compiler allocators spill whatever the colouring order")
+	fmt.Println("happens to leave over and the sequential flow fixes its chains too early.")
+}
+
+// dotProduct emits an unrolled a·b accumulation with interleaved loads.
+func dotProduct(n int) string {
+	var b strings.Builder
+	b.WriteString("task loop\nblock body\nin ")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "a%d b%d ", i, i)
+	}
+	b.WriteString("acc\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "p%d = a%d * b%d\n", i, i, i)
+	}
+	prev := "acc"
+	for i := 0; i < n; i++ {
+		cur := fmt.Sprintf("s%d", i)
+		fmt.Fprintf(&b, "%s = %s + p%d\n", cur, prev, i)
+		prev = cur
+	}
+	fmt.Fprintf(&b, "out %s\nend\n", prev)
+	return b.String()
+}

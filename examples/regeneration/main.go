@@ -1,0 +1,87 @@
+// Regeneration: the §5 methodology's transformation stage — when carrying a
+// value in storage costs more energy than recomputing it, duplicate the
+// defining operation (refs. [20,21]).
+//
+// This example measures the pass against the *optimal* allocator and shows
+// an honest negative result: within one basic block, the flow allocator's
+// split lifetimes already carry long-lived values at near-minimal cost, so
+// the pre-pass estimate ("recompute wins 15.0 vs 3.7") does not survive
+// contact with the measured storage energy. Regeneration earns its keep at
+// task level against off-chip memory — exactly where refs. [20,21] applied
+// it — not inside a block the flow allocator has already optimised.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lowenergy "repro"
+)
+
+const kernel = `
+task xform
+block window
+in c d
+base = c + d
+t0 = base * d
+t1 = t0 + c
+t2 = t1 * d
+t3 = t2 + c
+t4 = t3 * d
+t5 = t4 + c
+t6 = t5 * d
+w = t6 + base
+out w
+end
+`
+
+func main() {
+	prog, err := lowenergy.ParseProgramString(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	block := prog.Tasks[0].Blocks[0]
+
+	model := lowenergy.DefaultModel()
+	transformed, decisions, err := lowenergy.Regenerate(block, lowenergy.RegenOptions{Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pre-pass decision model (worst-case memory carry):")
+	for _, d := range decisions {
+		verdict := "carry"
+		if d.Recomputed {
+			verdict = "recompute"
+		}
+		fmt.Printf("  %-6s carry=%.1f regen=%.1f -> %s\n", d.Var, d.CarryCost, d.RegenCost, verdict)
+	}
+
+	fmt.Println("\nmeasured against the optimal allocator:")
+	fmt.Printf("%-4s %-16s %-16s\n", "R", "before (energy)", "after (energy)")
+	for R := 2; R <= 4; R++ {
+		var e [2]float64
+		for i, b := range []*lowenergy.Block{block, transformed} {
+			res, err := lowenergy.AllocateBlock(b, lowenergy.Resources{ALUs: 1, Multipliers: 1},
+				lowenergy.Options{
+					Registers: R,
+					Memory:    lowenergy.FullSpeedMemory,
+					Style:     lowenergy.GraphDensityRegions,
+					Cost:      lowenergy.StaticCost(model),
+				})
+			if err != nil {
+				log.Fatal(err)
+			}
+			e[i] = res.TotalEnergy
+		}
+		fmt.Printf("%-4d %-16.2f %-16.2f\n", R, e[0], e[1])
+	}
+
+	in := map[string]lowenergy.Word{"c": 3, "d": -2}
+	ref, _ := lowenergy.Evaluate(block, in)
+	got, _ := lowenergy.Evaluate(transformed, in)
+	fmt.Printf("\nsemantics preserved: w = %d before, %d after\n", ref["w"], got["w"])
+	fmt.Println("\nconclusion: the split-lifetime flow allocation subsumes intra-block")
+	fmt.Println("regeneration — the duplicate op extends its operands' lifetimes and adds")
+	fmt.Println("a concurrent value, costing what the carried value would have cost.")
+	fmt.Println("Apply the pass across task boundaries (off-chip carries), per [20,21].")
+}

@@ -1,0 +1,85 @@
+// Voltagescaling: sweep the memory supply voltage and watch the allocator's
+// decisions move — as memory gets cheaper the marginal variable migrates out
+// of the register file, and the total storage energy falls quadratically.
+// Demonstrates the voltage-scaling support the paper inherits from ref. [3].
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lowenergy "repro"
+)
+
+func main() {
+	// A mid-size random kernel keeps the register file contended.
+	prog := buildKernel()
+	block := prog.Tasks[0].Blocks[0]
+	schedule, err := lowenergy.ScheduleBlock(block, lowenergy.Resources{ALUs: 2, Multipliers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := lowenergy.Lifetimes(schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	registers := set.MaxDensity() / 3
+	if registers < 1 {
+		registers = 1
+	}
+	fmt.Printf("kernel: %d vars, density %d, R=%d\n\n", len(set.Lifetimes), set.MaxDensity(), registers)
+	fmt.Printf("%-6s %-12s %-12s %-10s %-10s\n", "Vmem", "energy", "baseline", "in regs", "in mem")
+
+	for _, v := range []float64{5.0, 4.0, 3.3, 2.5, 2.0} {
+		model := lowenergy.DefaultModel().WithMemVoltage(v)
+		res, err := lowenergy.Allocate(set, lowenergy.Options{
+			Registers: registers,
+			Memory:    lowenergy.FullSpeedMemory,
+			Style:     lowenergy.GraphDensityRegions,
+			Cost:      lowenergy.StaticCost(model),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inReg := map[string]bool{}
+		for i, seg := range res.Build.Segments {
+			if res.InRegister[i] {
+				inReg[seg.Var] = true
+			}
+		}
+		fmt.Printf("%-6.1f %-12.2f %-12.2f %-10d %-10d\n",
+			v, res.TotalEnergy, res.BaselineEnergy, len(inReg), len(set.Lifetimes)-len(inReg))
+	}
+
+	fmt.Println("\nThe baseline (everything in memory) falls with V² while the optimised")
+	fmt.Println("energy falls more slowly: the register file's share is voltage-invariant,")
+	fmt.Println("so the relative benefit of registers shrinks as the memory supply drops —")
+	fmt.Println("exactly the effect behind Table 1's relative-energy column.")
+}
+
+func buildKernel() *lowenergy.Program {
+	src := `
+task sweep
+block k
+in a b c d
+t0 = a * b
+t1 = c * d
+t2 = a + c
+t3 = b + d
+t4 = t0 + t1
+t5 = t2 * t3
+t6 = t4 - t5
+t7 = t0 + t2
+t8 = t1 + t3
+t9 = t7 * t8
+t10 = t6 + t9
+t11 = t10 + t4
+out t10 t11
+end
+`
+	prog, err := lowenergy.ParseProgramString(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prog
+}

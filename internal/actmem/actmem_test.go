@@ -1,0 +1,115 @@
+package actmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/memmap"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+func baseOptions(regs int) core.Options {
+	return core.Options{
+		Registers: regs,
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.DensityRegions,
+		Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+	}
+}
+
+func TestOptimizeSequentialWhenUncoupled(t *testing.T) {
+	set := workload.Figure3()
+	res, err := Optimize(set, Options{
+		Core:   baseOptions(1),
+		H:      workload.Figure3Hamming(),
+		CmemV2: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("uncoupled run iterated %d times", res.Iterations)
+	}
+	// Matches the plain sequential pipeline.
+	alloc, err := core.Allocate(set, baseOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc.TotalEnergy != alloc.TotalEnergy {
+		t.Fatalf("uncoupled energy %g != plain %g", res.Alloc.TotalEnergy, alloc.TotalEnergy)
+	}
+}
+
+func TestOptimizeNeverWorseThanSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := workload.Random(rng, workload.RandomParams{
+			Vars: 4 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
+		})
+		regs := rng.Intn(set.MaxDensity() + 1)
+		h := energy.ConstHamming(0.5)
+		cmem := 1.0 + 2*rng.Float64()
+		opts := Options{Core: baseOptions(regs), H: h, CmemV2: cmem, MaxIters: 5}
+
+		res, err := Optimize(set, opts)
+		if err != nil {
+			return false
+		}
+		// Sequential reference: one allocation + one binding.
+		alloc, err := core.Allocate(set, baseOptions(regs))
+		if err != nil {
+			return false
+		}
+		bind, err := memmap.Allocate(set, memoryVariables(alloc), h)
+		if err != nil {
+			return false
+		}
+		seq := alloc.TotalEnergy + cmem*bind.Switching
+		return res.CombinedEnergy <= seq+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeHistoryMonotoneBest(t *testing.T) {
+	set := workload.Figure3()
+	res, err := Optimize(set, Options{
+		Core:     baseOptions(1),
+		H:        workload.Figure3Hamming(),
+		CmemV2:   2.0,
+		MaxIters: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	// The reported energy is the best over the history.
+	for _, e := range res.History {
+		if res.CombinedEnergy > e+1e-9 {
+			t.Fatalf("best %g worse than history entry %g", res.CombinedEnergy, e)
+		}
+	}
+}
+
+func TestOptimizeRequiresOracle(t *testing.T) {
+	if _, err := Optimize(workload.Figure3(), Options{Core: baseOptions(1)}); err == nil {
+		t.Fatal("missing oracle accepted")
+	}
+}
+
+func TestOptimizePropagatesErrors(t *testing.T) {
+	opts := baseOptions(0)
+	opts.Memory = lifetime.MemoryAccess{Period: 40, Offset: 1}
+	opts.Split = lifetime.SplitMinimal
+	if _, err := Optimize(workload.Figure1(), Options{Core: opts, H: energy.ConstHamming(0.5)}); err == nil {
+		t.Fatal("infeasible core allocation not propagated")
+	}
+}

@@ -1,0 +1,313 @@
+// Package baseline implements the prior-art allocators the paper compares
+// against:
+//
+//   - ChangPedram: the DAC'95 [8] two-phase flow — register allocation
+//     minimising switching activity over all variables first, then a
+//     partition placing the highest-activity registers into the register
+//     file (the "previous research" of Figure 3a);
+//   - LeftEdge: the classic high-level-synthesis left-edge allocator with
+//     capacity spilling;
+//   - Chaitin: graph-colouring register allocation with degree-based
+//     spilling (typical compiler technique, refs. [6,7]).
+//
+// All baselines produce a Partition evaluated under the same energy model as
+// the paper's simultaneous allocator, so comparisons are apples-to-apples.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+)
+
+// Partition is a whole-lifetime assignment: chains of variables sharing a
+// storage location, each chain living entirely in the register file or
+// entirely in memory.
+type Partition struct {
+	Set *lifetime.Set
+	// Chains are variable names in time order; InRegFile[i] says whether
+	// chain i occupies a physical register.
+	Chains    [][]string
+	InRegFile []bool
+}
+
+// RegisterChains returns only the register-file chains.
+func (p *Partition) RegisterChains() [][]string {
+	var out [][]string
+	for i, c := range p.Chains {
+		if p.InRegFile[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// InRegister reports whether variable v is in the register file.
+func (p *Partition) InRegister(v string) bool {
+	for i, c := range p.Chains {
+		if !p.InRegFile[i] {
+			continue
+		}
+		for _, name := range c {
+			if name == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Energy evaluates the partition under the given cost model, consistently
+// with the simultaneous allocator's accounting: a memory variable costs one
+// memory write (unless it is a block input) plus one memory read per read;
+// a register variable costs a register write (plus a load for inputs) and a
+// register read per read under the static style, or the chain's switching
+// activity under the activity style.
+func (p *Partition) Energy(co netbuild.CostOptions) float64 {
+	m := co.Model
+	var e float64
+	inReg := make(map[string]bool)
+	for i, c := range p.Chains {
+		if p.InRegFile[i] {
+			for _, v := range c {
+				inReg[v] = true
+			}
+		}
+	}
+	for _, l := range p.Set.Lifetimes {
+		reads := float64(len(l.Reads))
+		if !inReg[l.Var] {
+			if !l.Input {
+				e += m.EMemWrite()
+			}
+			e += reads * m.EMemRead()
+			continue
+		}
+		if l.Input {
+			e += m.EMemRead() // load from memory at block entry
+		}
+		if co.Style == energy.Static {
+			e += m.ERegWrite() + reads*m.ERegRead()
+		}
+	}
+	if co.Style == energy.Activity {
+		for i, c := range p.Chains {
+			if !p.InRegFile[i] {
+				continue
+			}
+			prev := ""
+			for _, v := range c {
+				e += m.EActivity(co.H(prev, v))
+				prev = v
+			}
+		}
+	}
+	return e
+}
+
+// Counts tallies storage accesses of the partition.
+func (p *Partition) Counts() core.AccessCounts {
+	var a core.AccessCounts
+	inReg := make(map[string]bool)
+	for i, c := range p.Chains {
+		if p.InRegFile[i] {
+			for _, v := range c {
+				inReg[v] = true
+			}
+		}
+	}
+	for _, l := range p.Set.Lifetimes {
+		reads := len(l.Reads)
+		if inReg[l.Var] {
+			a.RegWrites++
+			a.RegReads += reads
+			if l.Input {
+				a.MemReads++
+			}
+		} else {
+			if !l.Input {
+				a.MemWrites++
+			}
+			a.MemReads += reads
+		}
+	}
+	return a
+}
+
+// SwitchingActivity sums the Hamming transitions along chains; memoryOnly
+// restricts to memory-resident chains (the Figure 3 "switching activity in
+// memory" comparison).
+func (p *Partition) SwitchingActivity(h energy.Hamming, memoryOnly bool) float64 {
+	var total float64
+	for i, c := range p.Chains {
+		if memoryOnly && p.InRegFile[i] {
+			continue
+		}
+		prev := ""
+		for _, v := range c {
+			total += h(prev, v)
+			prev = v
+		}
+	}
+	return total
+}
+
+// MemoryLocations returns the maximum overlap of memory-resident lifetimes:
+// the memory words the partition needs.
+func (p *Partition) MemoryLocations() int {
+	inReg := make(map[string]bool)
+	for i, c := range p.Chains {
+		if p.InRegFile[i] {
+			for _, v := range c {
+				inReg[v] = true
+			}
+		}
+	}
+	maxPoint := lifetime.ReadPoint(p.Set.Steps + 1)
+	depth := make([]int, maxPoint+1)
+	locs := 0
+	for _, l := range p.Set.Lifetimes {
+		if inReg[l.Var] {
+			continue
+		}
+		for pt := l.StartPoint(); pt <= l.EndPoint() && pt < len(depth); pt++ {
+			depth[pt]++
+			if depth[pt] > locs {
+				locs = depth[pt]
+			}
+		}
+	}
+	return locs
+}
+
+// ChangPedram runs the sequential prior-art flow: (1) allocate every
+// variable to MaxDensity symbolic registers minimising total switching
+// activity with a min-cost flow over the all-compatible graph (the [8]
+// formulation); (2) move the R highest-activity symbolic registers into the
+// register file, leaving the rest in memory (§6's description of the
+// sequential approach).
+func ChangPedram(set *lifetime.Set, registers int, co netbuild.CostOptions) (*Partition, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	h := co.H
+	if h == nil {
+		h = energy.ConstHamming(0.5)
+	}
+	chains, err := MinActivityChains(set, h, co.Model)
+	if err != nil {
+		return nil, err
+	}
+	// Partition: descending chain switching activity.
+	type scored struct {
+		chain    []string
+		activity float64
+	}
+	scoredChains := make([]scored, len(chains))
+	for i, c := range chains {
+		var act float64
+		prev := ""
+		for _, v := range c {
+			act += h(prev, v)
+			prev = v
+		}
+		scoredChains[i] = scored{c, act}
+	}
+	sort.SliceStable(scoredChains, func(i, j int) bool {
+		return scoredChains[i].activity > scoredChains[j].activity
+	})
+	p := &Partition{Set: set}
+	for i, sc := range scoredChains {
+		p.Chains = append(p.Chains, sc.chain)
+		p.InRegFile = append(p.InRegFile, i < registers)
+	}
+	return p, nil
+}
+
+// MinActivityChains solves the [8] register-allocation flow: every lifetime
+// must be covered (lower bound 1), flow value = maximum density (the minimum
+// register count), arc costs = switching activity only.
+func MinActivityChains(set *lifetime.Set, h energy.Hamming, m energy.Model) ([][]string, error) {
+	n := len(set.Lifetimes)
+	nw := flow.NewNetwork(2 + 2*n)
+	s, t := 0, 1
+	wNode := func(i int) int { return 2 + 2*i }
+	rNode := func(i int) int { return 3 + 2*i }
+	for i := range set.Lifetimes {
+		if _, err := nw.AddArc(wNode(i), rNode(i), 1, 1, 0); err != nil {
+			return nil, err
+		}
+	}
+	type key struct{ from, to int }
+	arcOf := make(map[flow.ArcID]key)
+	for i := range set.Lifetimes {
+		for j := range set.Lifetimes {
+			li, lj := &set.Lifetimes[i], &set.Lifetimes[j]
+			if i == j || li.EndPoint() >= lj.StartPoint() {
+				continue
+			}
+			id, err := nw.AddArc(rNode(i), wNode(j), 0, 1, energy.Quantize(m.EActivity(h(li.Var, lj.Var))))
+			if err != nil {
+				return nil, err
+			}
+			arcOf[id] = key{i, j}
+		}
+	}
+	for i := range set.Lifetimes {
+		ids, err := nw.AddArc(s, wNode(i), 0, 1, energy.Quantize(m.EActivity(h("", set.Lifetimes[i].Var))))
+		if err != nil {
+			return nil, err
+		}
+		arcOf[ids] = key{-1, i}
+		idt, err := nw.AddArc(rNode(i), t, 0, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		arcOf[idt] = key{i, -1}
+	}
+	density := int64(set.MaxDensity())
+	sol, err := nw.MinCostFlowValue(s, t, density)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: chang-pedram allocation: %w", err)
+	}
+	next := make(map[int]int, n)
+	var starts []int
+	for id, k := range arcOf {
+		if sol.Flow(id) == 0 {
+			continue
+		}
+		if k.from == -1 {
+			starts = append(starts, k.to)
+		} else if k.to != -1 {
+			next[k.from] = k.to
+		}
+	}
+	sort.Ints(starts)
+	var chains [][]string
+	seen := make(map[int]bool, n)
+	for _, st := range starts {
+		var chain []string
+		for cur := st; ; {
+			if seen[cur] {
+				return nil, fmt.Errorf("baseline: chang-pedram decode revisited %d", cur)
+			}
+			seen[cur] = true
+			chain = append(chain, set.Lifetimes[cur].Var)
+			nxt, ok := next[cur]
+			if !ok {
+				break
+			}
+			cur = nxt
+		}
+		chains = append(chains, chain)
+	}
+	if len(seen) != n {
+		return nil, fmt.Errorf("baseline: chang-pedram covered %d of %d lifetimes", len(seen), n)
+	}
+	return chains, nil
+}

@@ -1,0 +1,346 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+func staticCO() netbuild.CostOptions {
+	return netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
+}
+
+func TestMinActivityChainsFigure3(t *testing.T) {
+	// The paper's checkpoint: optimal pure register allocation of the
+	// Figure 3 example has total switching activity 2.4 (with 0.5 per
+	// initial state).
+	set := workload.Figure3()
+	h := workload.Figure3Hamming()
+	chains, err := MinActivityChains(set, h, energy.Model{CrwV2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != set.MaxDensity() {
+		t.Fatalf("%d chains, want density %d", len(chains), set.MaxDensity())
+	}
+	var total float64
+	covered := 0
+	for _, c := range chains {
+		prev := ""
+		for _, v := range c {
+			total += h(prev, v)
+			prev = v
+			covered++
+		}
+	}
+	if covered != len(set.Lifetimes) {
+		t.Fatalf("covered %d of %d variables", covered, len(set.Lifetimes))
+	}
+	if math.Abs(total-2.4) > 1e-9 {
+		t.Fatalf("total switching %.2f, paper says 2.4", total)
+	}
+}
+
+func TestMinActivityChainsAreTimeCompatible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := workload.Random(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2})
+		chains, err := MinActivityChains(set, energy.ConstHamming(0.5), energy.Model{CrwV2: 1})
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, c := range chains {
+			for k, v := range c {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				if k > 0 {
+					prev := set.ByVar(c[k-1])
+					cur := set.ByVar(v)
+					if prev.EndPoint() >= cur.StartPoint() {
+						return false
+					}
+				}
+			}
+		}
+		return len(seen) == len(set.Lifetimes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangPedramPartition(t *testing.T) {
+	set := workload.Figure3()
+	h := workload.Figure3Hamming()
+	co := netbuild.CostOptions{Style: energy.Activity, Model: energy.OnChip256x16(), H: h}
+	p, err := ChangPedram(set, 1, co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inReg := 0
+	for _, b := range p.InRegFile {
+		if b {
+			inReg++
+		}
+	}
+	if inReg != 1 {
+		t.Fatalf("%d chains in register file, want 1", inReg)
+	}
+	// The partition picks the HIGHEST-activity chain for the register file
+	// (the paper's description of the sequential approach): a->b->c
+	// (activity 1.5) over d->e->f (0.9).
+	if !p.InRegister("a") || !p.InRegister("b") || !p.InRegister("c") {
+		t.Fatalf("register chain wrong: %+v in=%v", p.Chains, p.InRegFile)
+	}
+	if p.InRegister("d") || p.InRegister("e") || p.InRegister("f") {
+		t.Fatal("memory chain leaked into register file")
+	}
+}
+
+func TestChangPedramNilHamming(t *testing.T) {
+	set := workload.Figure3()
+	if _, err := ChangPedram(set, 1, staticCO()); err != nil {
+		t.Fatalf("nil Hamming should default: %v", err)
+	}
+}
+
+func TestPartitionEnergyStatic(t *testing.T) {
+	set := &lifetime.Set{Steps: 6, Lifetimes: []lifetime.Lifetime{
+		{Var: "r", Write: 1, Reads: []int{2, 4}},
+		{Var: "m", Write: 3, Reads: []int{6}},
+		{Var: "in", Write: 0, Reads: []int{5}, Input: true},
+	}}
+	p := &Partition{
+		Set:       set,
+		Chains:    [][]string{{"r"}, {"in"}, {"m"}},
+		InRegFile: []bool{true, true, false},
+	}
+	m := energy.OnChip256x16()
+	got := p.Energy(staticCO())
+	want := (m.RegWrite + 2*m.RegRead) + // r: write + 2 reads in regfile
+		(m.MemRead + m.RegWrite + m.RegRead) + // in: load + reg write + read
+		(m.MemWrite + m.MemRead) // m: memory
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy %g, want %g", got, want)
+	}
+	c := p.Counts()
+	if c.RegWrites != 2 || c.RegReads != 3 || c.MemWrites != 1 || c.MemReads != 2 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestPartitionEnergyActivity(t *testing.T) {
+	set := workload.Figure3()
+	h := workload.Figure3Hamming()
+	co := netbuild.CostOptions{Style: energy.Activity, Model: energy.OnChip256x16(), H: h}
+	p := &Partition{
+		Set:       set,
+		Chains:    [][]string{{"a", "b", "c"}, {"d", "e", "f"}},
+		InRegFile: []bool{true, false},
+	}
+	m := co.Model
+	got := p.Energy(co)
+	// Register chain a->b->c: H(init,a)+H(a,b)+H(b,c) times CrwV2; memory
+	// chain d,e,f: 3 writes + 3 reads.
+	want := (0.5+0.2+0.8)*m.CrwV2 + 3*(m.EMemWrite()+m.EMemRead())
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy %g, want %g", got, want)
+	}
+}
+
+func TestSwitchingActivity(t *testing.T) {
+	set := workload.Figure3()
+	h := workload.Figure3Hamming()
+	p := &Partition{
+		Set:       set,
+		Chains:    [][]string{{"a", "b", "c"}, {"d", "e", "f"}},
+		InRegFile: []bool{true, false},
+	}
+	if got := p.SwitchingActivity(h, false); math.Abs(got-2.4) > 1e-9 {
+		t.Fatalf("total switching %g, want 2.4", got)
+	}
+	if got := p.SwitchingActivity(h, true); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("memory switching %g, want 0.9", got)
+	}
+}
+
+func TestMemoryLocations(t *testing.T) {
+	set := &lifetime.Set{Steps: 5, Lifetimes: []lifetime.Lifetime{
+		{Var: "x", Write: 1, Reads: []int{3}},
+		{Var: "y", Write: 2, Reads: []int{4}},
+		{Var: "z", Write: 4, Reads: []int{5}},
+	}}
+	p := &Partition{Set: set, Chains: [][]string{{"x"}, {"y"}, {"z"}}, InRegFile: []bool{false, false, false}}
+	if got := p.MemoryLocations(); got != 2 { // x,y overlap; z after x
+		t.Fatalf("locations %d, want 2", got)
+	}
+	p.InRegFile[1] = true
+	if got := p.MemoryLocations(); got != 1 {
+		t.Fatalf("locations %d, want 1 after removing y", got)
+	}
+}
+
+func TestLeftEdgePacks(t *testing.T) {
+	set := workload.Figure1() // density 3
+	p, err := LeftEdge(set, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Chains {
+		if !p.InRegFile[i] {
+			t.Fatalf("left edge with R=density spilled: %+v", p.Chains)
+		}
+	}
+	p1, err := LeftEdge(set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled := 0
+	for i, c := range p1.Chains {
+		if !p1.InRegFile[i] {
+			spilled += len(c)
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("R=1 with density 3 must spill")
+	}
+}
+
+func TestLeftEdgeChainsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := workload.Random(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.3, InputFrac: 0.2})
+		p, err := LeftEdge(set, 1+rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, c := range p.Chains {
+			total += len(c)
+			if !p.InRegFile[i] {
+				continue
+			}
+			for k := 1; k < len(c); k++ {
+				if set.ByVar(c[k-1]).EndPoint() >= set.ByVar(c[k]).StartPoint() {
+					return false
+				}
+			}
+		}
+		return total == len(set.Lifetimes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaitinColorsInterferenceFree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := workload.Random(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.3, InputFrac: 0.2})
+		regs := 1 + rng.Intn(4)
+		p, err := Chaitin(set, regs)
+		if err != nil {
+			return false
+		}
+		inRegChains := 0
+		total := 0
+		for i, c := range p.Chains {
+			total += len(c)
+			if !p.InRegFile[i] {
+				continue
+			}
+			inRegChains++
+			for k := 1; k < len(c); k++ {
+				if set.ByVar(c[k-1]).EndPoint() >= set.ByVar(c[k]).StartPoint() {
+					return false
+				}
+			}
+		}
+		return total == len(set.Lifetimes) && inRegChains <= regs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaitinNoSpillWhenColorable(t *testing.T) {
+	set := workload.Figure1()
+	p, err := Chaitin(set, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Chains {
+		if !p.InRegFile[i] {
+			t.Fatalf("spill with R = clique number: %+v", p.Chains)
+		}
+	}
+}
+
+func TestRegisterChainsAndInRegister(t *testing.T) {
+	p := &Partition{
+		Chains:    [][]string{{"a"}, {"b"}},
+		InRegFile: []bool{true, false},
+	}
+	if len(p.RegisterChains()) != 1 || p.RegisterChains()[0][0] != "a" {
+		t.Fatal("RegisterChains wrong")
+	}
+	if !p.InRegister("a") || p.InRegister("b") || p.InRegister("ghost") {
+		t.Fatal("InRegister wrong")
+	}
+}
+
+func TestChaitinSpillCostValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := workload.Random(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 3, ExternalFrac: 0.3, InputFrac: 0.2})
+		regs := rng.Intn(5)
+		p, err := ChaitinSpillCost(set, regs)
+		if err != nil {
+			return false
+		}
+		total := 0
+		inRegChains := 0
+		for i, c := range p.Chains {
+			total += len(c)
+			if !p.InRegFile[i] {
+				continue
+			}
+			inRegChains++
+			for k := 1; k < len(c); k++ {
+				if set.ByVar(c[k-1]).EndPoint() >= set.ByVar(c[k]).StartPoint() {
+					return false
+				}
+			}
+		}
+		return total == len(set.Lifetimes) && inRegChains <= regs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaitinSpillCostKeepsHotValues(t *testing.T) {
+	// A hot (many-read) variable conflicting with cold ones: the cost-aware
+	// spiller must keep the hot one in a register.
+	set := &lifetime.Set{Steps: 8, Lifetimes: []lifetime.Lifetime{
+		{Var: "hot", Write: 1, Reads: []int{2, 4, 6, 8}},
+		{Var: "cold1", Write: 1, Reads: []int{8}},
+		{Var: "cold2", Write: 2, Reads: []int{7}},
+	}}
+	p, err := ChaitinSpillCost(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.InRegister("hot") {
+		t.Fatalf("hot variable spilled: %+v in=%v", p.Chains, p.InRegFile)
+	}
+}

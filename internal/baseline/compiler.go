@@ -1,0 +1,314 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/lifetime"
+)
+
+// LeftEdge runs the classic left-edge interval allocator: lifetimes sorted
+// by start are packed greedily into the register file; variables that find
+// no free register spill entirely to memory. Performance-oriented — energy
+// plays no part in its decisions.
+func LeftEdge(set *lifetime.Set, registers int) (*Partition, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(set.Lifetimes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		la, lb := &set.Lifetimes[idx[a]], &set.Lifetimes[idx[b]]
+		if la.StartPoint() != lb.StartPoint() {
+			return la.StartPoint() < lb.StartPoint()
+		}
+		return la.EndPoint() < lb.EndPoint()
+	})
+	regEnd := make([]int, registers) // last occupied half-point per register, -1 when free
+	for i := range regEnd {
+		regEnd[i] = -1
+	}
+	regChain := make([][]string, registers)
+	var memChain []string
+	for _, i := range idx {
+		l := &set.Lifetimes[i]
+		placed := false
+		for r := 0; r < registers; r++ {
+			if regEnd[r] < l.StartPoint() {
+				regEnd[r] = l.EndPoint()
+				regChain[r] = append(regChain[r], l.Var)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			memChain = append(memChain, l.Var)
+		}
+	}
+	p := &Partition{Set: set}
+	for r := 0; r < registers; r++ {
+		if len(regChain[r]) > 0 {
+			p.Chains = append(p.Chains, regChain[r])
+			p.InRegFile = append(p.InRegFile, true)
+		}
+	}
+	if len(memChain) > 0 {
+		p.Chains = append(p.Chains, memChain)
+		p.InRegFile = append(p.InRegFile, false)
+	}
+	return p, nil
+}
+
+// Chaitin runs graph-colouring register allocation with degree-based
+// spilling (refs. [6,7]): build the interference graph of overlapping
+// lifetimes, repeatedly simplify nodes of degree < R, spill the
+// highest-degree node when stuck, then colour in reverse order.
+func Chaitin(set *lifetime.Set, registers int) (*Partition, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(set.Lifetimes)
+	interferes := func(i, j int) bool {
+		a, b := &set.Lifetimes[i], &set.Lifetimes[j]
+		return a.StartPoint() <= b.EndPoint() && b.StartPoint() <= a.EndPoint()
+	}
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if interferes(i, j) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	removed := make([]bool, n)
+	degree := make([]int, n)
+	for i := range adj {
+		degree[i] = len(adj[i])
+	}
+	var stack []int
+	spilled := make([]bool, n)
+	for remaining := n; remaining > 0; {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if !removed[i] && degree[i] < registers {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			// Spill the highest-degree node (Chaitin's heuristic without
+			// cost weighting — the classic performance-blind choice).
+			worst, worstDeg := -1, -1
+			for i := 0; i < n; i++ {
+				if !removed[i] && degree[i] > worstDeg {
+					worst, worstDeg = i, degree[i]
+				}
+			}
+			spilled[worst] = true
+			picked = worst
+		}
+		removed[picked] = true
+		remaining--
+		if !spilled[picked] {
+			stack = append(stack, picked)
+		}
+		for _, j := range adj[picked] {
+			if !removed[j] {
+				degree[j]--
+			}
+		}
+	}
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+	for k := len(stack) - 1; k >= 0; k-- {
+		i := stack[k]
+		used := make([]bool, registers)
+		for _, j := range adj[i] {
+			if color[j] >= 0 {
+				used[color[j]] = true
+			}
+		}
+		for c := 0; c < registers; c++ {
+			if !used[c] {
+				color[i] = c
+				break
+			}
+		}
+		if color[i] < 0 {
+			// Optimistic colouring failed; spill after all.
+			spilled[i] = true
+		}
+	}
+	byColor := make([][]int, registers)
+	var mem []int
+	for i := 0; i < n; i++ {
+		if spilled[i] || color[i] < 0 {
+			mem = append(mem, i)
+		} else {
+			byColor[color[i]] = append(byColor[color[i]], i)
+		}
+	}
+	orderByTime := func(a []int) {
+		sort.SliceStable(a, func(x, y int) bool {
+			return set.Lifetimes[a[x]].StartPoint() < set.Lifetimes[a[y]].StartPoint()
+		})
+	}
+	p := &Partition{Set: set}
+	for c := 0; c < registers; c++ {
+		if len(byColor[c]) == 0 {
+			continue
+		}
+		orderByTime(byColor[c])
+		chain := make([]string, len(byColor[c]))
+		for k, i := range byColor[c] {
+			chain[k] = set.Lifetimes[i].Var
+		}
+		p.Chains = append(p.Chains, chain)
+		p.InRegFile = append(p.InRegFile, true)
+	}
+	if len(mem) > 0 {
+		orderByTime(mem)
+		chain := make([]string, len(mem))
+		for k, i := range mem {
+			chain[k] = set.Lifetimes[i].Var
+		}
+		p.Chains = append(p.Chains, chain)
+		p.InRegFile = append(p.InRegFile, false)
+	}
+	return p, nil
+}
+
+// ChaitinSpillCost is Chaitin with the classic cost-aware spill heuristic:
+// instead of spilling the highest-degree node, spill the node minimising
+// uses/degree (cheap to spill, frees many conflicts). The variable's read
+// count stands in for its use count.
+func ChaitinSpillCost(set *lifetime.Set, registers int) (*Partition, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(set.Lifetimes)
+	interferes := func(i, j int) bool {
+		a, b := &set.Lifetimes[i], &set.Lifetimes[j]
+		return a.StartPoint() <= b.EndPoint() && b.StartPoint() <= a.EndPoint()
+	}
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if interferes(i, j) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	removed := make([]bool, n)
+	degree := make([]int, n)
+	for i := range adj {
+		degree[i] = len(adj[i])
+	}
+	var stack []int
+	spilled := make([]bool, n)
+	for remaining := n; remaining > 0; {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if !removed[i] && degree[i] < registers {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			best, bestCost := -1, 0.0
+			for i := 0; i < n; i++ {
+				if removed[i] || degree[i] == 0 {
+					continue
+				}
+				cost := float64(len(set.Lifetimes[i].Reads)+1) / float64(degree[i])
+				if best < 0 || cost < bestCost {
+					best, bestCost = i, cost
+				}
+			}
+			if best < 0 { // R == 0: everything spills
+				for i := 0; i < n; i++ {
+					if !removed[i] {
+						best = i
+						break
+					}
+				}
+			}
+			spilled[best] = true
+			picked = best
+		}
+		removed[picked] = true
+		remaining--
+		if !spilled[picked] {
+			stack = append(stack, picked)
+		}
+		for _, j := range adj[picked] {
+			if !removed[j] {
+				degree[j]--
+			}
+		}
+	}
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+	for k := len(stack) - 1; k >= 0; k-- {
+		i := stack[k]
+		used := make([]bool, registers)
+		for _, j := range adj[i] {
+			if color[j] >= 0 {
+				used[color[j]] = true
+			}
+		}
+		for c := 0; c < registers; c++ {
+			if !used[c] {
+				color[i] = c
+				break
+			}
+		}
+		if color[i] < 0 {
+			spilled[i] = true
+		}
+	}
+	byColor := make([][]int, registers)
+	var mem []int
+	for i := 0; i < n; i++ {
+		if spilled[i] || color[i] < 0 {
+			mem = append(mem, i)
+		} else {
+			byColor[color[i]] = append(byColor[color[i]], i)
+		}
+	}
+	orderByTime := func(a []int) {
+		sort.SliceStable(a, func(x, y int) bool {
+			return set.Lifetimes[a[x]].StartPoint() < set.Lifetimes[a[y]].StartPoint()
+		})
+	}
+	p := &Partition{Set: set}
+	for c := 0; c < registers; c++ {
+		if len(byColor[c]) == 0 {
+			continue
+		}
+		orderByTime(byColor[c])
+		chain := make([]string, len(byColor[c]))
+		for k, i := range byColor[c] {
+			chain[k] = set.Lifetimes[i].Var
+		}
+		p.Chains = append(p.Chains, chain)
+		p.InRegFile = append(p.InRegFile, true)
+	}
+	if len(mem) > 0 {
+		orderByTime(mem)
+		chain := make([]string, len(mem))
+		for k, i := range mem {
+			chain[k] = set.Lifetimes[i].Var
+		}
+		p.Chains = append(p.Chains, chain)
+		p.InRegFile = append(p.InRegFile, false)
+	}
+	return p, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lifetime"
+)
+
+// SegmentRef names a lifetime segment by its variable and a control step the
+// segment covers.
+type SegmentRef struct {
+	Var  string
+	Step int
+}
+
+// pinSegment marks the segment of ref.Var covering ref.Step as
+// register-forced (toRegister) or register-barred (memory) in the grouped
+// segment lists.
+func pinSegment(grouped [][]lifetime.Segment, ref SegmentRef, toRegister bool) error {
+	for gi := range grouped {
+		g := grouped[gi]
+		if len(g) == 0 || g[0].Var != ref.Var {
+			continue
+		}
+		for si := range g {
+			if g[si].Start < ref.Step && ref.Step <= g[si].End {
+				if toRegister {
+					g[si].Forced = true
+				} else {
+					if g[si].Forced {
+						return fmt.Errorf("core: segment %s is forced to a register and cannot be pinned to memory", g[si].String())
+					}
+					g[si].Barred = true
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("core: no segment of %q covers step %d", ref.Var, ref.Step)
+	}
+	return fmt.Errorf("core: unknown variable %q in pin list", ref.Var)
+}
+
+// PortLimits bounds the memory port usage per control step inside the block.
+// Zero values are unlimited.
+type PortLimits struct {
+	MemReads  int
+	MemWrites int
+	MemTotal  int
+}
+
+// violated returns the worst-violating control step, or -1 when the limits
+// hold. Severity is the largest relative excess.
+func (pl PortLimits) violated(r *Result) int {
+	steps := r.Build.Set.Steps
+	worst, worstExcess := -1, 0
+	for step := 1; step <= steps; step++ {
+		reads, writes := r.MemTrafficAt(step)
+		excess := 0
+		if pl.MemReads > 0 && reads > pl.MemReads {
+			excess += reads - pl.MemReads
+		}
+		if pl.MemWrites > 0 && writes > pl.MemWrites {
+			excess += writes - pl.MemWrites
+		}
+		if pl.MemTotal > 0 && reads+writes > pl.MemTotal {
+			excess += reads + writes - pl.MemTotal
+		}
+		if excess > worstExcess {
+			worst, worstExcess = step, excess
+		}
+	}
+	return worst
+}
+
+// AllocateWithPorts runs Allocate and then, while any control step exceeds
+// the memory port limits, pins a memory-resident segment touching the worst
+// step into the register file (the §7 technique: "sets certain arc flows to
+// 1") and re-solves. It returns the first port-feasible solution, or an
+// error when no candidate segment remains or the register file itself runs
+// out.
+func AllocateWithPorts(set *lifetime.Set, opts Options, limits PortLimits) (*Result, error) {
+	forced := append([]SegmentRef(nil), opts.ForceRegister...)
+	maxIters := 4 * len(set.Lifetimes)
+	for iter := 0; ; iter++ {
+		opts.ForceRegister = forced
+		res, err := Allocate(set, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: port-constrained allocation (after %d pins): %w", len(forced), err)
+		}
+		step := limits.violated(res)
+		if step < 0 {
+			return res, nil
+		}
+		if iter >= maxIters {
+			return nil, fmt.Errorf("core: port limits %+v unreachable after %d pins", limits, len(forced))
+		}
+		ref, ok := pickPinCandidate(res, step, forced)
+		if !ok {
+			return nil, fmt.Errorf("core: step %d exceeds port limits %+v but no memory segment remains to pin", step, limits)
+		}
+		forced = append(forced, ref)
+	}
+}
+
+// pickPinCandidate selects a memory-resident segment whose boundary traffic
+// touches the violating step and which is not yet pinned: the one with the
+// most accesses at that step (ties: earliest in the flat order).
+func pickPinCandidate(r *Result, step int, already []SegmentRef) (SegmentRef, bool) {
+	pinned := make(map[SegmentRef]bool, len(already))
+	for _, ref := range already {
+		pinned[ref] = true
+	}
+	for i := range r.Build.Segments {
+		seg := &r.Build.Segments[i]
+		if r.InRegister[i] {
+			continue
+		}
+		touches := (seg.Start == step && seg.StartKind == lifetime.BoundWrite) ||
+			(seg.End == step && seg.EndHasRead())
+		if !touches {
+			continue
+		}
+		// Reference the segment by a step strictly inside (Start, End].
+		ref := SegmentRef{Var: seg.Var, Step: seg.Start + 1}
+		if pinned[ref] {
+			continue
+		}
+		return ref, true
+	}
+	return SegmentRef{}, false
+}
+
+// RegPortLimits bounds register-file port usage per control step. Zero
+// values are unlimited.
+type RegPortLimits struct {
+	RegReads  int
+	RegWrites int
+	RegTotal  int
+}
+
+func (pl RegPortLimits) violated(r *Result) int {
+	steps := r.Build.Set.Steps
+	worst, worstExcess := -1, 0
+	for step := 1; step <= steps; step++ {
+		reads, writes := r.RegTrafficAt(step)
+		excess := 0
+		if pl.RegReads > 0 && reads > pl.RegReads {
+			excess += reads - pl.RegReads
+		}
+		if pl.RegWrites > 0 && writes > pl.RegWrites {
+			excess += writes - pl.RegWrites
+		}
+		if pl.RegTotal > 0 && reads+writes > pl.RegTotal {
+			excess += reads + writes - pl.RegTotal
+		}
+		if excess > worstExcess {
+			worst, worstExcess = step, excess
+		}
+	}
+	return worst
+}
+
+// AllocateWithRegPorts is the register-file dual of AllocateWithPorts:
+// while any control step exceeds the register-file port limits, a
+// register-resident segment touching the worst step is barred from the
+// register file and the problem re-solved. §7 names both components as
+// constrainable this way.
+func AllocateWithRegPorts(set *lifetime.Set, opts Options, limits RegPortLimits) (*Result, error) {
+	barred := append([]SegmentRef(nil), opts.ForceMemory...)
+	maxIters := 4 * len(set.Lifetimes)
+	for iter := 0; ; iter++ {
+		opts.ForceMemory = barred
+		res, err := Allocate(set, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: register-port-constrained allocation (after %d pins): %w", len(barred), err)
+		}
+		step := limits.violated(res)
+		if step < 0 {
+			return res, nil
+		}
+		if iter >= maxIters {
+			return nil, fmt.Errorf("core: register port limits %+v unreachable after %d pins", limits, len(barred))
+		}
+		ref, ok := pickBarCandidate(res, step, barred)
+		if !ok {
+			return nil, fmt.Errorf("core: step %d exceeds register port limits %+v but no register segment remains to bar", step, limits)
+		}
+		barred = append(barred, ref)
+	}
+}
+
+// pickBarCandidate selects a register-resident, unforced segment whose
+// boundary traffic touches the violating step.
+func pickBarCandidate(r *Result, step int, already []SegmentRef) (SegmentRef, bool) {
+	barred := make(map[SegmentRef]bool, len(already))
+	for _, ref := range already {
+		barred[ref] = true
+	}
+	for i := range r.Build.Segments {
+		seg := &r.Build.Segments[i]
+		if !r.InRegister[i] || seg.Forced {
+			continue
+		}
+		touches := (seg.Start == step && seg.StartKind == lifetime.BoundWrite) ||
+			(seg.End == step && seg.EndHasRead())
+		if !touches {
+			continue
+		}
+		ref := SegmentRef{Var: seg.Var, Step: seg.Start + 1}
+		if barred[ref] {
+			continue
+		}
+		return ref, true
+	}
+	return SegmentRef{}, false
+}

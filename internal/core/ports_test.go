@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+func TestForceRegisterPinsSegment(t *testing.T) {
+	set := workload.Figure1()
+	r := allocate(t, set, core.Options{
+		Registers:     1,
+		Memory:        lifetime.FullSpeed,
+		Style:         netbuild.DensityRegions,
+		Cost:          staticCO(),
+		ForceRegister: []core.SegmentRef{{Var: "e", Step: 6}},
+	})
+	for i := range r.Build.Segments {
+		if r.Build.Segments[i].Var == "e" && !r.InRegister[i] {
+			t.Fatal("pinned variable e not in register")
+		}
+	}
+}
+
+func TestForceRegisterUnknown(t *testing.T) {
+	set := workload.Figure1()
+	if _, err := core.Allocate(set, core.Options{
+		Registers: 1, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: staticCO(),
+		ForceRegister: []core.SegmentRef{{Var: "zz", Step: 2}},
+	}); err == nil {
+		t.Fatal("unknown variable pin accepted")
+	}
+	if _, err := core.Allocate(set, core.Options{
+		Registers: 1, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: staticCO(),
+		ForceRegister: []core.SegmentRef{{Var: "e", Step: 99}},
+	}); err == nil {
+		t.Fatal("out-of-lifetime pin accepted")
+	}
+}
+
+func TestAllocateWithPortsReducesPressure(t *testing.T) {
+	set := workload.Figure1()
+	opts := core.Options{
+		Registers: 2, // too few to hold everything: some memory traffic remains
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.DensityRegions,
+		Cost:      staticCO(),
+	}
+	unconstrained := allocate(t, set, opts)
+	if unconstrained.Ports.MemWritePorts < 2 {
+		t.Skip("baseline already below the limit; instance too easy")
+	}
+	res, err := core.AllocateWithPorts(set, opts, core.PortLimits{MemWrites: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ports.MemWritePorts > 1 {
+		t.Fatalf("write ports %d after constraint, want <= 1", res.Ports.MemWritePorts)
+	}
+	// The port-feasible solution can only cost more energy.
+	if res.TotalEnergy < unconstrained.TotalEnergy-1e-9 {
+		t.Fatalf("constrained solution cheaper (%g) than unconstrained (%g)",
+			res.TotalEnergy, unconstrained.TotalEnergy)
+	}
+}
+
+func TestAllocateWithPortsNoLimits(t *testing.T) {
+	set := workload.Figure1()
+	opts := core.Options{Registers: 1, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: staticCO()}
+	res, err := core.AllocateWithPorts(set, opts, core.PortLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := allocate(t, set, opts)
+	if res.TotalEnergy != plain.TotalEnergy {
+		t.Fatal("no limits should equal plain allocation")
+	}
+}
+
+func TestAllocateWithPortsInfeasible(t *testing.T) {
+	// R=0 and a write-port limit of 1 with two same-step writes: pinning
+	// needs registers that don't exist.
+	set := workload.Figure1()
+	opts := core.Options{Registers: 0, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: staticCO()}
+	if _, err := core.AllocateWithPorts(set, opts, core.PortLimits{MemWrites: 1}); err == nil {
+		t.Fatal("impossible port limit accepted")
+	}
+}
+
+func TestMemTrafficAt(t *testing.T) {
+	set := workload.Figure1()
+	r := allocate(t, set, core.Options{Registers: 0, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: staticCO()})
+	reads, writes := r.MemTrafficAt(3) // a, b read; d written
+	if reads != 2 || writes != 1 {
+		t.Fatalf("step 3 traffic %d/%d, want 2/1", reads, writes)
+	}
+	if reads, writes := r.MemTrafficAt(-1); reads != 0 || writes != 0 {
+		t.Fatal("out-of-range step should be quiet")
+	}
+	if reads, writes := r.MemTrafficAt(999); reads != 0 || writes != 0 {
+		t.Fatal("out-of-range step should be quiet")
+	}
+}
+
+func TestForceMemoryBarsSegment(t *testing.T) {
+	set := workload.Figure1()
+	r := allocate(t, set, core.Options{
+		Registers:   3,
+		Memory:      lifetime.FullSpeed,
+		Style:       netbuild.DensityRegions,
+		Cost:        staticCO(),
+		ForceMemory: []core.SegmentRef{{Var: "e", Step: 6}},
+	})
+	for i := range r.Build.Segments {
+		if r.Build.Segments[i].Var == "e" && r.InRegister[i] {
+			t.Fatal("barred variable e in a register")
+		}
+	}
+}
+
+func TestForceMemoryConflictsWithForced(t *testing.T) {
+	set := workload.Figure1()
+	// Under restricted access e is forced into a register; pinning it to
+	// memory must be rejected.
+	if _, err := core.Allocate(set, core.Options{
+		Registers:   3,
+		Memory:      workload.Figure1Memory,
+		Split:       lifetime.SplitMinimal,
+		Style:       netbuild.DensityRegions,
+		Cost:        staticCO(),
+		ForceMemory: []core.SegmentRef{{Var: "e", Step: 6}},
+	}); err == nil {
+		t.Fatal("conflicting pins accepted")
+	}
+}
+
+func TestAllocateWithRegPorts(t *testing.T) {
+	set := workload.Figure1()
+	opts := core.Options{
+		Registers: 3, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: staticCO(),
+	}
+	base := allocate(t, set, opts)
+	if base.Ports.RegWritePorts < 2 {
+		t.Skip("base register pressure already below limit")
+	}
+	res, err := core.AllocateWithRegPorts(set, opts, core.RegPortLimits{RegWrites: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ports.RegWritePorts > 1 {
+		t.Fatalf("register write ports %d after limit 1", res.Ports.RegWritePorts)
+	}
+	if res.TotalEnergy < base.TotalEnergy-1e-9 {
+		t.Fatalf("constrained solution cheaper than unconstrained")
+	}
+}
+
+func TestRegTrafficAt(t *testing.T) {
+	set := workload.Figure1()
+	r := allocate(t, set, core.Options{Registers: 3, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: staticCO()})
+	// With everything in registers, step 3 has 2 register reads (a, b) and
+	// 1 write (d).
+	reads, writes := r.RegTrafficAt(3)
+	if reads != 2 || writes != 1 {
+		t.Fatalf("step 3 register traffic %d/%d, want 2/1", reads, writes)
+	}
+	if reads, writes := r.RegTrafficAt(-5); reads != 0 || writes != 0 {
+		t.Fatal("out-of-range step should be quiet")
+	}
+}

@@ -1,0 +1,217 @@
+// Package emit implements the paper's final synthesis stage (§5: "detailed
+// instruction mapping and data layout (for example adding loads and stores,
+// or substituting in instructions with a memory operand etc)"): it lowers a
+// scheduled block plus its decoded allocation into a machine-level
+// instruction stream over an explicit register file and memory — loads,
+// stores, register moves and compute ops whose operands name a register or
+// a memory word. A small interpreter executes the stream, giving a third,
+// machine-level verification layer below the storage simulator.
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/sched"
+)
+
+// Loc is an operand location.
+type Loc struct {
+	// Reg >= 0 names a register; Reg < 0 means the named memory word.
+	Reg int
+	// Var is the value's name (used for memory addressing and tracing).
+	Var string
+}
+
+// InMemory reports whether the location is a memory word.
+func (l Loc) InMemory() bool { return l.Reg < 0 }
+
+func (l Loc) String() string {
+	if l.InMemory() {
+		return "[" + l.Var + "]"
+	}
+	return fmt.Sprintf("r%d", l.Reg)
+}
+
+// Kind is the machine-op class.
+type Kind int
+
+const (
+	// KindLoad moves a memory word into a register.
+	KindLoad Kind = iota
+	// KindStore moves a register into a memory word.
+	KindStore
+	// KindMove copies between registers.
+	KindMove
+	// KindCompute performs an IR operation.
+	KindCompute
+)
+
+// MachineOp is one lowered instruction.
+type MachineOp struct {
+	Step int
+	Kind Kind
+	// Op is set for KindCompute.
+	Op ir.OpKind
+	// Dst and Srcs are operand locations. Loads have one memory src and a
+	// register dst; stores the reverse; moves are register to register.
+	Dst  Loc
+	Srcs []Loc
+	// Comment carries the defining variable for tracing.
+	Comment string
+}
+
+func (m MachineOp) String() string {
+	switch m.Kind {
+	case KindLoad:
+		return fmt.Sprintf("%2d: load  %s <- %s", m.Step, m.Dst, m.Srcs[0])
+	case KindStore:
+		return fmt.Sprintf("%2d: store %s <- %s", m.Step, m.Dst, m.Srcs[0])
+	case KindMove:
+		return fmt.Sprintf("%2d: move  %s <- %s", m.Step, m.Dst, m.Srcs[0])
+	default:
+		ops := make([]string, len(m.Srcs))
+		for i, s := range m.Srcs {
+			ops[i] = s.String()
+		}
+		return fmt.Sprintf("%2d: %-5s %s <- %s ; %s", m.Step, m.Op, m.Dst, strings.Join(ops, ", "), m.Comment)
+	}
+}
+
+// Program is the lowered instruction stream.
+type Program struct {
+	Ops []MachineOp
+	// Loads, Stores, Moves, MemoryOperands summarise the lowering.
+	Loads, Stores, Moves, MemoryOperands int
+}
+
+// Listing renders the stream as assembly-like text.
+func (p *Program) Listing() string {
+	var b strings.Builder
+	for _, op := range p.Ops {
+		b.WriteString(op.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Lower produces the machine stream for a schedule and its allocation.
+func Lower(s *sched.Schedule, res *core.Result) (*Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := s.Block
+	plan := make(map[string][]planSeg)
+	segs := res.Build.Segments
+	for i := range segs {
+		reg := -1
+		if res.InRegister[i] {
+			reg = res.RegOf[i]
+		}
+		plan[segs[i].Var] = append(plan[segs[i].Var], planSeg{segs[i], reg})
+	}
+	locAt := func(v string, step int) (Loc, error) {
+		ps := plan[v]
+		if len(ps) == 0 {
+			return Loc{}, fmt.Errorf("emit: no plan for %q", v)
+		}
+		for _, p := range ps {
+			if p.seg.Start < step && step <= p.seg.End {
+				return Loc{Reg: p.reg, Var: v}, nil
+			}
+		}
+		return Loc{}, fmt.Errorf("emit: no segment of %q covers step %d", v, step)
+	}
+
+	prog := &Program{}
+	add := func(op MachineOp) {
+		prog.Ops = append(prog.Ops, op)
+		switch op.Kind {
+		case KindLoad:
+			prog.Loads++
+		case KindStore:
+			prog.Stores++
+		case KindMove:
+			prog.Moves++
+		case KindCompute:
+			for _, src := range op.Srcs {
+				if src.InMemory() {
+					prog.MemoryOperands++
+				}
+			}
+			if op.Dst.InMemory() {
+				prog.MemoryOperands++
+			}
+		}
+	}
+
+	// Block-entry loads for register-resident inputs.
+	vars := make([]string, 0, len(plan))
+	for v := range plan {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		ps := plan[v]
+		if ps[0].seg.StartKind == lifetime.BoundInput && ps[0].reg >= 0 {
+			add(MachineOp{Step: 0, Kind: KindLoad, Dst: Loc{ps[0].reg, v}, Srcs: []Loc{{-1, v}}, Comment: v})
+		}
+	}
+
+	byStep := make(map[int][]int)
+	for i := range b.Instrs {
+		byStep[s.Step[i]] = append(byStep[s.Step[i]], i)
+	}
+	for step := 1; step <= s.Length+1; step++ {
+		// Compute ops scheduled at this step (reads happen at the top).
+		for _, i := range byStep[step] {
+			in := b.Instrs[i]
+			mop := MachineOp{Step: step, Kind: KindCompute, Op: in.Op, Comment: in.Dst}
+			for _, src := range in.Src {
+				loc, err := locAt(src, step)
+				if err != nil {
+					return nil, err
+				}
+				mop.Srcs = append(mop.Srcs, loc)
+			}
+			// Destination: the first segment's residence.
+			dstPlan := plan[in.Dst]
+			if len(dstPlan) == 0 {
+				return nil, fmt.Errorf("emit: no plan for result %q", in.Dst)
+			}
+			mop.Dst = Loc{dstPlan[0].reg, in.Dst}
+			add(mop)
+		}
+		// Residence transitions at this step (between reads and writes):
+		// write-backs before loads so a register can be handed over.
+		for _, phase := range []int{0, 1} {
+			for _, v := range vars {
+				ps := plan[v]
+				for k := 0; k+1 < len(ps); k++ {
+					if ps[k].seg.End != step || ps[k].reg == ps[k+1].reg {
+						continue
+					}
+					from, to := ps[k], ps[k+1]
+					switch {
+					case phase == 0 && from.reg >= 0 && to.reg < 0:
+						add(MachineOp{Step: step, Kind: KindStore, Dst: Loc{-1, v}, Srcs: []Loc{{from.reg, v}}, Comment: v})
+					case phase == 1 && from.reg < 0 && to.reg >= 0:
+						add(MachineOp{Step: step, Kind: KindLoad, Dst: Loc{to.reg, v}, Srcs: []Loc{{-1, v}}, Comment: v})
+					case phase == 1 && from.reg >= 0 && to.reg >= 0:
+						add(MachineOp{Step: step, Kind: KindMove, Dst: Loc{to.reg, v}, Srcs: []Loc{{from.reg, v}}, Comment: v})
+					}
+				}
+			}
+		}
+	}
+	return prog, nil
+}
+
+type planSeg struct {
+	seg lifetime.Segment
+	reg int
+}

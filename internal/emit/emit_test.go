@@ -1,0 +1,203 @@
+package emit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/sched"
+	"repro/internal/simulate"
+)
+
+const firSrc = `
+block fir
+in x0 x1 c0 c1
+p0 = x0 * c0
+p1 = x1 * c1
+y = p0 + p1
+d = p0 - p1
+out y d
+end
+`
+
+func pipeline(t *testing.T, src string, regs int, mem lifetime.MemoryAccess) (*sched.Schedule, *core.Result, *ir.Block) {
+	t.Helper()
+	prog, err := ir.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := prog.Tasks[0].Blocks[0]
+	s, err := sched.List(b, sched.Resources{ALUs: 1, Multipliers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := lifetime.FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Allocate(set, core.Options{
+		Registers: regs,
+		Memory:    mem,
+		Split:     lifetime.SplitMinimal,
+		Style:     netbuild.DensityRegions,
+		Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r, b
+}
+
+func TestLowerAndExecFIR(t *testing.T) {
+	s, r, b := pipeline(t, firSrc, 2, lifetime.FullSpeed)
+	prog, err := Lower(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]simulate.Word{"x0": 3, "x1": -2, "c0": 7, "c1": 5}
+	state, err := Exec(prog, b, in)
+	if err != nil {
+		t.Fatalf("%v\nlisting:\n%s", err, prog.Listing())
+	}
+	ref, _ := simulate.Evaluate(b, in)
+	for _, v := range b.Outputs {
+		if state[v] != ref[v] {
+			t.Fatalf("output %s = %d, want %d\n%s", v, state[v], ref[v], prog.Listing())
+		}
+	}
+}
+
+func TestLowerCountsConsistentWithAllocation(t *testing.T) {
+	s, r, _ := pipeline(t, firSrc, 2, lifetime.FullSpeed)
+	prog, err := Lower(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every store is a memory write-back or a memory-resident birth is a
+	// memory-operand dst; loads + memory src operands = memory reads.
+	memWritesLowered := prog.Stores
+	for _, op := range prog.Ops {
+		if op.Kind == KindCompute && op.Dst.InMemory() {
+			memWritesLowered++
+		}
+	}
+	if memWritesLowered != r.Counts.MemWrites {
+		t.Fatalf("lowered memory writes %d, tally %d\n%s", memWritesLowered, r.Counts.MemWrites, prog.Listing())
+	}
+}
+
+func TestLowerListing(t *testing.T) {
+	s, r, _ := pipeline(t, firSrc, 4, lifetime.FullSpeed)
+	prog, err := Lower(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := prog.Listing()
+	for _, want := range []string{"load", "mul", "add", "sub", "r0"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func TestExecMissingInput(t *testing.T) {
+	s, r, b := pipeline(t, firSrc, 2, lifetime.FullSpeed)
+	prog, _ := Lower(s, r)
+	if _, err := Exec(prog, b, map[string]simulate.Word{"x0": 1}); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+}
+
+// TestLowerExecRandomProperty: lowering any solver output yields a machine
+// program whose execution reproduces the reference outputs — the
+// machine-level ground truth below the storage simulator.
+func TestLowerExecRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBlock(rng)
+		s, err := sched.List(b, sched.Resources{ALUs: 1 + rng.Intn(2), Multipliers: 1 + rng.Intn(2)})
+		if err != nil {
+			return false
+		}
+		set, err := lifetime.FromSchedule(s)
+		if err != nil {
+			return false
+		}
+		mem := lifetime.FullSpeed
+		if rng.Intn(2) == 0 {
+			period := 2 + rng.Intn(2)
+			mem = lifetime.MemoryAccess{Period: period, Offset: 1 + rng.Intn(period)}
+		}
+		r, err := core.Allocate(set, core.Options{
+			Registers: rng.Intn(set.MaxDensity() + 2),
+			Memory:    mem,
+			Split:     lifetime.SplitMinimal,
+			Style:     netbuild.DensityRegions,
+			Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+		})
+		if err != nil {
+			return true // infeasible forced residence: fine
+		}
+		prog, err := Lower(s, r)
+		if err != nil {
+			return false
+		}
+		in := map[string]simulate.Word{}
+		for _, v := range b.Inputs {
+			in[v] = simulate.Word(rng.Intn(100) - 50)
+		}
+		state, err := Exec(prog, b, in)
+		if err != nil {
+			return false
+		}
+		ref, err := simulate.Evaluate(b, in)
+		if err != nil {
+			return false
+		}
+		for _, v := range b.Outputs {
+			if state[v] != ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomBlock(rng *rand.Rand) *ir.Block {
+	b := &ir.Block{Name: "rand", Inputs: []string{"i0", "i1"}}
+	avail := append([]string(nil), b.Inputs...)
+	used := map[string]bool{}
+	ops := []ir.OpKind{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpMax, ir.OpMin}
+	n := 3 + rng.Intn(10)
+	for k := 0; k < n; k++ {
+		dst := "t" + string(rune('a'+k))
+		op := ops[rng.Intn(len(ops))]
+		s1 := avail[rng.Intn(len(avail))]
+		s2 := avail[rng.Intn(len(avail))]
+		b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: dst, Src: []string{s1, s2}})
+		used[s1], used[s2] = true, true
+		avail = append(avail, dst)
+	}
+	for _, in := range b.Instrs {
+		if !used[in.Dst] {
+			b.Outputs = append(b.Outputs, in.Dst)
+		}
+	}
+	var inputs []string
+	for _, v := range b.Inputs {
+		if used[v] {
+			inputs = append(inputs, v)
+		}
+	}
+	b.Inputs = inputs
+	return b
+}

@@ -1,0 +1,122 @@
+package emit
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/simulate"
+)
+
+// Exec runs the lowered program on an explicit machine: a register file and
+// a word-addressed memory. Instructions within one control step execute
+// with VLIW semantics — every operand is read against the state at the top
+// of the step and every result lands at the bottom — matching the two
+// dashed lines of the paper's time axis. Inputs pre-populate memory; the
+// returned map holds every memory word and register-resident value at exit.
+func Exec(p *Program, b *ir.Block, inputs map[string]simulate.Word) (map[string]simulate.Word, error) {
+	mem := make(map[string]simulate.Word, len(inputs))
+	for _, v := range b.Inputs {
+		w, ok := inputs[v]
+		if !ok {
+			return nil, fmt.Errorf("emit: missing input %q", v)
+		}
+		mem[v] = w
+	}
+	regs := make(map[int]simulate.Word)
+	regNames := make(map[int]string)
+
+	// Group ops by step, preserving order only across steps.
+	byStep := make(map[int][]MachineOp)
+	maxStep := 0
+	for _, op := range p.Ops {
+		byStep[op.Step] = append(byStep[op.Step], op)
+		if op.Step > maxStep {
+			maxStep = op.Step
+		}
+	}
+
+	readLoc := func(l Loc) (simulate.Word, error) {
+		if l.InMemory() {
+			w, ok := mem[l.Var]
+			if !ok {
+				return 0, fmt.Errorf("emit: memory word %q empty", l.Var)
+			}
+			return w, nil
+		}
+		w, ok := regs[l.Reg]
+		if !ok {
+			return 0, fmt.Errorf("emit: register r%d empty (want %q)", l.Reg, l.Var)
+		}
+		if regNames[l.Reg] != l.Var {
+			return 0, fmt.Errorf("emit: register r%d holds %q, want %q", l.Reg, regNames[l.Reg], l.Var)
+		}
+		return w, nil
+	}
+
+	type write struct {
+		loc Loc
+		val simulate.Word
+	}
+	for step := 0; step <= maxStep; step++ {
+		var writes []write
+		for _, op := range byStep[step] {
+			switch op.Kind {
+			case KindLoad, KindStore, KindMove:
+				w, err := readLoc(op.Srcs[0])
+				if err != nil {
+					return nil, fmt.Errorf("emit: step %d %s: %w", step, op, err)
+				}
+				writes = append(writes, write{op.Dst, w})
+			case KindCompute:
+				var args []simulate.Word
+				for _, src := range op.Srcs {
+					w, err := readLoc(src)
+					if err != nil {
+						return nil, fmt.Errorf("emit: step %d %s: %w", step, op, err)
+					}
+					args = append(args, w)
+				}
+				writes = append(writes, write{op.Dst, evalOp(op.Op, args)})
+			}
+		}
+		for _, wr := range writes {
+			if wr.loc.InMemory() {
+				mem[wr.loc.Var] = wr.val
+			} else {
+				regs[wr.loc.Reg] = wr.val
+				regNames[wr.loc.Reg] = wr.loc.Var
+			}
+		}
+	}
+
+	// Collect final state: memory words plus register-resident values.
+	out := make(map[string]simulate.Word, len(mem)+len(regs))
+	for v, w := range mem {
+		out[v] = w
+	}
+	for r, w := range regs {
+		out[regNames[r]] = w
+	}
+	return out, nil
+}
+
+// evalOp mirrors the simulator's datapath semantics through the public
+// reference evaluator (one op at a time).
+func evalOp(op ir.OpKind, args []simulate.Word) simulate.Word {
+	b := &ir.Block{Name: "op", Inputs: make([]string, len(args))}
+	in := make(map[string]simulate.Word, len(args))
+	srcs := make([]string, len(args))
+	for i, a := range args {
+		name := fmt.Sprintf("a%d", i)
+		b.Inputs[i] = name
+		in[name] = a
+		srcs[i] = name
+	}
+	b.Instrs = []ir.Instr{{Op: op, Dst: "r", Src: srcs}}
+	b.Outputs = []string{"r"}
+	vals, err := simulate.Evaluate(b, in)
+	if err != nil {
+		return 0
+	}
+	return vals["r"]
+}

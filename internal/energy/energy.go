@@ -1,0 +1,166 @@
+// Package energy implements the paper's storage energy models: the static
+// model of eq. (1) with separate read/write terms for memory and register
+// file, and the activity-based model of eq. (2) where register-file energy is
+// the Hamming distance between successive values sharing a register times a
+// switched capacitance and the squared supply voltage.
+//
+// All figures are in normalised energy units where a 16-bit addition at the
+// nominal supply voltage costs 1.0 (the paper's ref. [14] ratios).
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Style selects which energy model drives arc costs.
+type Style int
+
+const (
+	// Static is the paper's eq. (1): constant read/write energies.
+	Static Style = iota
+	// Activity is the paper's eq. (2): Hamming-distance-based register
+	// energy, constant memory energies.
+	Activity
+)
+
+func (s Style) String() string {
+	if s == Static {
+		return "static"
+	}
+	return "activity"
+}
+
+// Model is a storage energy model for one (register file, memory) pair.
+// Energies are per access at NominalVoltage; effective energies scale with
+// the square of the component's supply voltage (voltage scaling, ref. [3]).
+type Model struct {
+	// Per-access energies at NominalVoltage.
+	MemRead, MemWrite float64
+	RegRead, RegWrite float64
+	// CrwV2 is Crw·Vnominal²: the register-file activity energy of a
+	// full-width switch (Hamming distance 1.0) in eq. (2).
+	CrwV2 float64
+	// Supply voltages. Zero values default to NominalVoltage.
+	MemVoltage, RegVoltage, NominalVoltage float64
+}
+
+// Quantum is the fixed-point resolution used when converting energies to the
+// integer costs of the flow solver: 1e-6 normalised energy units.
+const Quantum = 1e-6
+
+func (m Model) nominal() float64 {
+	if m.NominalVoltage > 0 {
+		return m.NominalVoltage
+	}
+	return 1
+}
+
+func (m Model) memScale() float64 {
+	if m.MemVoltage <= 0 {
+		return 1
+	}
+	r := m.MemVoltage / m.nominal()
+	return r * r
+}
+
+func (m Model) regScale() float64 {
+	if m.RegVoltage <= 0 {
+		return 1
+	}
+	r := m.RegVoltage / m.nominal()
+	return r * r
+}
+
+// EMemRead returns the effective on-chip memory read energy E^m_r.
+func (m Model) EMemRead() float64 { return m.MemRead * m.memScale() }
+
+// EMemWrite returns the effective on-chip memory write energy E^m_w.
+func (m Model) EMemWrite() float64 { return m.MemWrite * m.memScale() }
+
+// ERegRead returns the effective register-file read energy E^r_r.
+func (m Model) ERegRead() float64 { return m.RegRead * m.regScale() }
+
+// ERegWrite returns the effective register-file write energy E^r_w.
+func (m Model) ERegWrite() float64 { return m.RegWrite * m.regScale() }
+
+// EActivity returns the eq. (2) register energy H(v1,v2)·Crw·Vr² for a given
+// Hamming fraction h ∈ [0,1].
+func (m Model) EActivity(h float64) float64 { return h * m.CrwV2 * m.regScale() }
+
+// Quantize converts a normalised energy to the solver's integer fixed point.
+func Quantize(e float64) int64 { return int64(math.Round(e / Quantum)) }
+
+// Unquantize converts a solver cost back to normalised energy units.
+func Unquantize(c int64) float64 { return float64(c) * Quantum }
+
+// Validate rejects physically meaningless models.
+func (m Model) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MemRead", m.MemRead}, {"MemWrite", m.MemWrite},
+		{"RegRead", m.RegRead}, {"RegWrite", m.RegWrite},
+		{"CrwV2", m.CrwV2},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("energy: %s = %v is not a valid energy", f.name, f.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MemVoltage", m.MemVoltage}, {"RegVoltage", m.RegVoltage},
+		{"NominalVoltage", m.NominalVoltage},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("energy: %s = %v is not a valid voltage", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// WithMemVoltage returns a copy of the model with the memory supply scaled.
+func (m Model) WithMemVoltage(v float64) Model {
+	m.MemVoltage = v
+	return m
+}
+
+// Hamming is a switching-activity oracle: the fraction of bits that change
+// between the value of v1 and the value of v2 when v2 overwrites v1 in a
+// register. The empty string denotes the register's initial state (the paper
+// assumes half the bits switch at time 0 in Figure 3).
+type Hamming func(v1, v2 string) float64
+
+// ConstHamming returns a Hamming oracle with a fixed fraction for every
+// pair, and DefaultInitialActivity against the initial state.
+func ConstHamming(h float64) Hamming {
+	return func(v1, v2 string) float64 {
+		if v1 == "" {
+			return DefaultInitialActivity
+		}
+		return h
+	}
+}
+
+// DefaultInitialActivity is the switching fraction assumed against a
+// register's initial contents (paper Figure 3: "0.5 of the bits change at
+// time 0").
+const DefaultInitialActivity = 0.5
+
+// PairHamming builds a Hamming oracle from an explicit pair table (ordered
+// pairs v1->v2), falling back to `def` for missing pairs and
+// DefaultInitialActivity for the initial state.
+func PairHamming(pairs map[[2]string]float64, def float64) Hamming {
+	return func(v1, v2 string) float64 {
+		if v1 == "" {
+			return DefaultInitialActivity
+		}
+		if h, ok := pairs[[2]string{v1, v2}]; ok {
+			return h
+		}
+		return def
+	}
+}

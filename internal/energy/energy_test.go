@@ -1,0 +1,163 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVoltageScalingQuadratic(t *testing.T) {
+	m := OnChip256x16() // nominal 5V
+	base := m.EMemRead()
+	m.MemVoltage = 2.5
+	if got, want := m.EMemRead(), base/4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("half voltage: %g, want quarter energy %g", got, want)
+	}
+	m.MemVoltage = 5
+	if got := m.EMemRead(); math.Abs(got-base) > 1e-12 {
+		t.Fatalf("nominal voltage changed energy: %g vs %g", got, base)
+	}
+}
+
+func TestRegisterScalingIndependent(t *testing.T) {
+	m := OnChip256x16()
+	m.MemVoltage = 2.0
+	if m.ERegRead() != m.RegRead { // register still at 5V nominal
+		t.Fatalf("memory scaling leaked into register energy")
+	}
+	m.RegVoltage = 2.5
+	if got, want := m.ERegWrite(), m.RegWrite/4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("register scaling: %g, want %g", got, want)
+	}
+}
+
+func TestZeroVoltagesDefaultToNominal(t *testing.T) {
+	m := Model{MemRead: 4, NominalVoltage: 5}
+	if m.EMemRead() != 4 {
+		t.Fatalf("unset MemVoltage should mean nominal, got %g", m.EMemRead())
+	}
+	m2 := Model{MemRead: 4, MemVoltage: 5} // no nominal: defaults to 1
+	if m2.EMemRead() != 4*25 {
+		t.Fatalf("nominal default 1: got %g", m2.EMemRead())
+	}
+}
+
+func TestEActivity(t *testing.T) {
+	m := OnChip256x16()
+	if got := m.EActivity(0); got != 0 {
+		t.Fatalf("zero Hamming gave %g", got)
+	}
+	if got, want := m.EActivity(0.5), 0.5*m.CrwV2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EActivity(0.5)=%g, want %g", got, want)
+	}
+	m.RegVoltage = 2.5
+	if got, want := m.EActivity(1), m.CrwV2/4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scaled EActivity=%g, want %g", got, want)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	f := func(milli int32) bool {
+		e := float64(milli) / 1000.0
+		q := Quantize(e)
+		return math.Abs(Unquantize(q)-e) < Quantum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeNegativeSymmetric(t *testing.T) {
+	if Quantize(-1.5) != -Quantize(1.5) {
+		t.Fatalf("asymmetric quantisation: %d vs %d", Quantize(-1.5), Quantize(1.5))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := OnChip256x16().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := OnChip256x16()
+	bad.MemRead = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative energy accepted")
+	}
+	bad = OnChip256x16()
+	bad.RegVoltage = math.NaN()
+	if bad.Validate() == nil {
+		t.Fatal("NaN voltage accepted")
+	}
+	bad = OnChip256x16()
+	bad.CrwV2 = math.Inf(1)
+	if bad.Validate() == nil {
+		t.Fatal("infinite capacitance accepted")
+	}
+}
+
+func TestTablesRatios(t *testing.T) {
+	m := OnChip256x16()
+	// The ref. [14] ratios the paper quotes: memory read 5x, write 10x a
+	// 16-bit add (1.0); register file well below memory.
+	if m.MemRead != 5 || m.MemWrite != 10 {
+		t.Fatalf("memory ratios %g/%g, want 5/10", m.MemRead, m.MemWrite)
+	}
+	if m.RegRead >= m.MemRead || m.RegWrite >= m.MemWrite {
+		t.Fatal("register file should be cheaper than memory")
+	}
+	off := OffChip()
+	if off.MemRead <= m.MemRead || off.MemWrite <= m.MemWrite {
+		t.Fatal("off-chip should cost more than on-chip")
+	}
+}
+
+func TestVoltageForDivisor(t *testing.T) {
+	cases := map[int]float64{0: 5, 1: 5, 2: 3.3, 3: 2.5, 4: 2, 8: 2}
+	for div, want := range cases {
+		if got := VoltageForDivisor(div); got != want {
+			t.Errorf("divisor %d: %g, want %g", div, got, want)
+		}
+	}
+}
+
+func TestEnergyOfOp(t *testing.T) {
+	if EnergyOfOp(true) != 4 || EnergyOfOp(false) != 1 {
+		t.Fatal("ref [14] op ratios wrong")
+	}
+}
+
+func TestWithMemVoltage(t *testing.T) {
+	m := OnChip256x16()
+	m2 := m.WithMemVoltage(2)
+	if m2.MemVoltage != 2 || m.MemVoltage != 5 {
+		t.Fatal("WithMemVoltage should copy, not mutate")
+	}
+}
+
+func TestConstHamming(t *testing.T) {
+	h := ConstHamming(0.3)
+	if h("a", "b") != 0.3 {
+		t.Fatal("const value wrong")
+	}
+	if h("", "b") != DefaultInitialActivity {
+		t.Fatal("initial state should use DefaultInitialActivity")
+	}
+}
+
+func TestPairHamming(t *testing.T) {
+	h := PairHamming(map[[2]string]float64{{"a", "b"}: 0.2}, 0.7)
+	if h("a", "b") != 0.2 {
+		t.Fatal("pair lookup failed")
+	}
+	if h("b", "a") != 0.7 {
+		t.Fatal("pairs are ordered; reverse should use default")
+	}
+	if h("", "a") != DefaultInitialActivity {
+		t.Fatal("initial state wrong")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if Static.String() != "static" || Activity.String() != "activity" {
+		t.Fatal("style names wrong")
+	}
+}

@@ -1,0 +1,239 @@
+// Package exact provides brute-force optimal baselines for tiny instances.
+// It enumerates partition/allocation decisions exhaustively and is used by
+// property tests to certify the network-flow allocator's optimality claims
+// independently of any flow machinery.
+//
+// Scope: whole-lifetime decisions (no split residences) over unrestricted
+// memory, matching the expressiveness of the all-compatible graph on
+// single-read variables. See DESIGN.md §5 for how this slots into testing.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+)
+
+// MaxVars bounds the instance size the enumerators accept.
+const MaxVars = 14
+
+// StaticOptimal returns the minimum static-model energy over all feasible
+// partitions: any subset of variables whose maximum density is ≤ registers
+// may live in the register file. Chain structure is irrelevant under the
+// static model, so subsets are enumerated directly.
+func StaticOptimal(set *lifetime.Set, registers int, co netbuild.CostOptions) (float64, error) {
+	n := len(set.Lifetimes)
+	if n > MaxVars {
+		return 0, fmt.Errorf("exact: %d variables exceeds MaxVars=%d", n, MaxVars)
+	}
+	if co.Style != energy.Static {
+		return 0, fmt.Errorf("exact: StaticOptimal wants the static style")
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		if maxDensity(set, mask) > registers {
+			continue
+		}
+		e := partitionEnergy(set, mask, co)
+		if e < best {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// maxDensity computes the maximum lifetime density of the variables selected
+// by mask.
+func maxDensity(set *lifetime.Set, mask int) int {
+	maxPoint := lifetime.ReadPoint(set.Steps + 1)
+	depth := make([]int, maxPoint+1)
+	max := 0
+	for i, l := range set.Lifetimes {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		for p := l.StartPoint(); p <= l.EndPoint(); p++ {
+			depth[p]++
+			if depth[p] > max {
+				max = depth[p]
+			}
+		}
+	}
+	return max
+}
+
+// partitionEnergy is the static energy of "mask in registers, rest in
+// memory", mirroring baseline.Partition.Energy.
+func partitionEnergy(set *lifetime.Set, mask int, co netbuild.CostOptions) float64 {
+	m := co.Model
+	var e float64
+	for i, l := range set.Lifetimes {
+		reads := float64(len(l.Reads))
+		if mask&(1<<i) != 0 {
+			if l.Input {
+				e += m.EMemRead()
+			}
+			e += m.ERegWrite() + reads*m.ERegRead()
+		} else {
+			if !l.Input {
+				e += m.EMemWrite()
+			}
+			e += reads * m.EMemRead()
+		}
+	}
+	return e
+}
+
+// ActivityOptimal returns the minimum activity-model energy over all
+// feasible partitions and chainings: every subset of variables packed into
+// at most `registers` time-compatible chains, scored by memory accesses plus
+// chain switching activity. Exhaustive search with branch pruning.
+func ActivityOptimal(set *lifetime.Set, registers int, co netbuild.CostOptions) (float64, error) {
+	n := len(set.Lifetimes)
+	if n > 10 {
+		return 0, fmt.Errorf("exact: %d variables too many for ActivityOptimal", n)
+	}
+	if co.Style != energy.Activity {
+		return 0, fmt.Errorf("exact: ActivityOptimal wants the activity style")
+	}
+	if co.H == nil {
+		return 0, fmt.Errorf("exact: ActivityOptimal needs a Hamming oracle")
+	}
+	m := co.Model
+	// Order variables by start time; chains are built respecting this order.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return set.Lifetimes[idx[a]].StartPoint() < set.Lifetimes[idx[b]].StartPoint()
+	})
+	type chainState struct {
+		lastVar string
+		lastEnd int
+	}
+	best := math.Inf(1)
+	chains := make([]chainState, 0, registers)
+	var rec func(k int, acc float64)
+	rec = func(k int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if k == n {
+			best = acc
+			return
+		}
+		l := &set.Lifetimes[idx[k]]
+		memCost := float64(len(l.Reads)) * m.EMemRead()
+		if !l.Input {
+			memCost += m.EMemWrite()
+		}
+		// Option 1: memory.
+		rec(k+1, acc+memCost)
+		// Option 2: append to an existing compatible chain.
+		loadCost := 0.0
+		if l.Input {
+			loadCost = m.EMemRead()
+		}
+		for c := range chains {
+			if chains[c].lastEnd < l.StartPoint() {
+				saved := chains[c]
+				chains[c] = chainState{l.Var, l.EndPoint()}
+				rec(k+1, acc+loadCost+m.EActivity(co.H(saved.lastVar, l.Var)))
+				chains[c] = saved
+			}
+		}
+		// Option 3: open a new chain.
+		if len(chains) < registers {
+			chains = append(chains, chainState{l.Var, l.EndPoint()})
+			rec(k+1, acc+loadCost+m.EActivity(co.H("", l.Var)))
+			chains = chains[:len(chains)-1]
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}
+
+// Feasible reports whether any assignment exists at all (it always does:
+// everything in memory), provided the lifetime set validates. Exposed for
+// symmetry with the solver's feasibility reporting.
+func Feasible(set *lifetime.Set) error { return set.Validate() }
+
+// BestBaseline returns the minimum energy over the package baseline
+// allocators, as a convenience for comparison tables.
+func BestBaseline(set *lifetime.Set, registers int, co netbuild.CostOptions) (float64, string, error) {
+	type candidate struct {
+		name string
+		run  func() (*baseline.Partition, error)
+	}
+	cands := []candidate{
+		{"chang-pedram", func() (*baseline.Partition, error) { return baseline.ChangPedram(set, registers, co) }},
+		{"left-edge", func() (*baseline.Partition, error) { return baseline.LeftEdge(set, registers) }},
+		{"chaitin", func() (*baseline.Partition, error) { return baseline.Chaitin(set, registers) }},
+	}
+	best, name := math.Inf(1), ""
+	for _, c := range cands {
+		p, err := c.run()
+		if err != nil {
+			return 0, "", fmt.Errorf("exact: baseline %s: %w", c.name, err)
+		}
+		if e := p.Energy(co); e < best {
+			best, name = e, c.name
+		}
+	}
+	return best, name, nil
+}
+
+// MinLocationsAmongOptima enumerates every energy-optimal whole-variable
+// partition (static model) and returns the optimal energy together with the
+// minimum memory-location count achievable at that energy — the §7 quantity
+// the density-region graph guarantees.
+func MinLocationsAmongOptima(set *lifetime.Set, registers int, co netbuild.CostOptions) (float64, int, error) {
+	n := len(set.Lifetimes)
+	if n > MaxVars {
+		return 0, 0, fmt.Errorf("exact: %d variables exceeds MaxVars=%d", n, MaxVars)
+	}
+	if co.Style != energy.Static {
+		return 0, 0, fmt.Errorf("exact: MinLocationsAmongOptima wants the static style")
+	}
+	best := math.Inf(1)
+	bestLocs := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		if maxDensity(set, mask) > registers {
+			continue
+		}
+		e := partitionEnergy(set, mask, co)
+		locs := memLocations(set, mask)
+		switch {
+		case e < best-1e-9:
+			best, bestLocs = e, locs
+		case math.Abs(e-best) <= 1e-9 && locs < bestLocs:
+			bestLocs = locs
+		}
+	}
+	return best, bestLocs, nil
+}
+
+// memLocations is the maximum overlap of the lifetimes NOT selected by mask.
+func memLocations(set *lifetime.Set, mask int) int {
+	maxPoint := lifetime.ReadPoint(set.Steps + 1)
+	depth := make([]int, maxPoint+1)
+	max := 0
+	for i, l := range set.Lifetimes {
+		if mask&(1<<i) != 0 {
+			continue
+		}
+		for p := l.StartPoint(); p <= l.EndPoint(); p++ {
+			depth[p]++
+			if depth[p] > max {
+				max = depth[p]
+			}
+		}
+	}
+	return max
+}

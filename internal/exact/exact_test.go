@@ -1,0 +1,157 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+func staticCO() netbuild.CostOptions {
+	return netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
+}
+
+func TestStaticOptimalTiny(t *testing.T) {
+	// Two overlapping variables, one register: the cheaper-to-keep-out one
+	// stays in memory. Identical shapes → either choice, energy fixed.
+	set := &lifetime.Set{Steps: 4, Lifetimes: []lifetime.Lifetime{
+		{Var: "x", Write: 1, Reads: []int{3}},
+		{Var: "y", Write: 2, Reads: []int{4}},
+	}}
+	m := energy.OnChip256x16()
+	got, err := StaticOptimal(set, 1, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (m.RegWrite + m.RegRead) + (m.MemWrite + m.MemRead)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("optimal %g, want %g", got, want)
+	}
+}
+
+func TestStaticOptimalZeroRegisters(t *testing.T) {
+	set := workload.Figure1()
+	m := energy.OnChip256x16()
+	got, err := StaticOptimal(set, 0, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 * (m.MemWrite + m.MemRead)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("all-memory optimal %g, want %g", got, want)
+	}
+}
+
+func TestStaticOptimalRespectsDensity(t *testing.T) {
+	// Three pairwise-overlapping variables, R=2: at most two in registers.
+	set := &lifetime.Set{Steps: 4, Lifetimes: []lifetime.Lifetime{
+		{Var: "x", Write: 1, Reads: []int{4}},
+		{Var: "y", Write: 1, Reads: []int{4}},
+		{Var: "z", Write: 1, Reads: []int{4}},
+	}}
+	m := energy.OnChip256x16()
+	got, err := StaticOptimal(set, 2, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*(m.RegWrite+m.RegRead) + (m.MemWrite + m.MemRead)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("optimal %g, want %g", got, want)
+	}
+}
+
+func TestStaticOptimalGuards(t *testing.T) {
+	big := &lifetime.Set{Steps: 3}
+	for i := 0; i < MaxVars+1; i++ {
+		big.Lifetimes = append(big.Lifetimes, lifetime.Lifetime{
+			Var: string(rune('a'+i%26)) + string(rune('0'+i/26)), Write: 1, Reads: []int{2},
+		})
+	}
+	if _, err := StaticOptimal(big, 1, staticCO()); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	co := staticCO()
+	co.Style = energy.Activity
+	if _, err := StaticOptimal(workload.Figure1(), 1, co); err == nil {
+		t.Error("activity style accepted by StaticOptimal")
+	}
+}
+
+func TestActivityOptimalChainsMatter(t *testing.T) {
+	// Chain x->y (H 0.1) vs x->z (H 0.9); R=1 and y,z overlap... keep it
+	// simple: three chainable vars, pick the cheap chaining.
+	set := &lifetime.Set{Steps: 6, Lifetimes: []lifetime.Lifetime{
+		{Var: "x", Write: 1, Reads: []int{2}},
+		{Var: "y", Write: 3, Reads: []int{4}},
+		{Var: "z", Write: 5, Reads: []int{6}},
+	}}
+	h := energy.PairHamming(map[[2]string]float64{
+		{"x", "y"}: 0.1, {"y", "z"}: 0.1, {"x", "z"}: 0.9,
+	}, 0.9)
+	m := energy.OnChip256x16()
+	co := netbuild.CostOptions{Style: energy.Activity, Model: m, H: h}
+	got, err := ActivityOptimal(set, 1, co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three in one register: 0.5 init + 0.1 + 0.1 switches.
+	want := (0.5 + 0.1 + 0.1) * m.CrwV2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("optimal %g, want %g", got, want)
+	}
+}
+
+func TestActivityOptimalGuards(t *testing.T) {
+	co := netbuild.CostOptions{Style: energy.Activity, Model: energy.OnChip256x16(), H: energy.ConstHamming(0.5)}
+	big := &lifetime.Set{Steps: 3}
+	for i := 0; i < 11; i++ {
+		big.Lifetimes = append(big.Lifetimes, lifetime.Lifetime{
+			Var: string(rune('a' + i)), Write: 1, Reads: []int{2},
+		})
+	}
+	if _, err := ActivityOptimal(big, 1, co); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	coBad := co
+	coBad.H = nil
+	if _, err := ActivityOptimal(workload.Figure3(), 1, coBad); err == nil {
+		t.Error("nil Hamming accepted")
+	}
+	coStat := co
+	coStat.Style = energy.Static
+	if _, err := ActivityOptimal(workload.Figure3(), 1, coStat); err == nil {
+		t.Error("static style accepted by ActivityOptimal")
+	}
+}
+
+func TestBestBaseline(t *testing.T) {
+	set := workload.Figure3()
+	best, name, err := BestBaseline(set, 1, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0 || name == "" {
+		t.Fatalf("best %g from %q", best, name)
+	}
+	// The exhaustive optimum is never worse than the best baseline.
+	opt, err := StaticOptimal(set, 1, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt > best+1e-9 {
+		t.Fatalf("exact %g worse than baseline %g", opt, best)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	if err := Feasible(workload.Figure1()); err != nil {
+		t.Fatal(err)
+	}
+	bad := &lifetime.Set{Steps: 2, Lifetimes: []lifetime.Lifetime{{Var: "v", Write: 1}}}
+	if err := Feasible(bad); err == nil {
+		t.Fatal("invalid set accepted")
+	}
+}

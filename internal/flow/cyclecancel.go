@@ -1,0 +1,79 @@
+package flow
+
+// cycleCancel establishes any feasible s->t flow of `required` units with
+// Dinic, then repeatedly cancels negative-cost residual cycles until none
+// remain. With integer costs every cancellation reduces total cost by at
+// least one, so the algorithm terminates. It is slower than ssp and exists
+// as an independent implementation for cross-checking.
+func cycleCancel(r *residual, s, t int, required int64) (int64, int, error) {
+	shipped := dinic(r, s, t, required)
+	if shipped < required {
+		return shipped, 0, nil // caller reports ErrInfeasible
+	}
+	cancels := 0
+	for {
+		cyc := findNegativeCycle(r)
+		if cyc == nil {
+			break
+		}
+		bottleneck := Unbounded
+		for _, a := range cyc {
+			if r.capR[a] < bottleneck {
+				bottleneck = r.capR[a]
+			}
+		}
+		for _, a := range cyc {
+			r.capR[a] -= bottleneck
+			r.capR[a^1] += bottleneck
+		}
+		cancels++
+	}
+	return shipped, cancels, nil
+}
+
+// findNegativeCycle returns the arc indices of one negative-cost cycle in the
+// residual, or nil when none exists. Bellman-Ford from a virtual source
+// connected to every node.
+func findNegativeCycle(r *residual) []int32 {
+	dist := make([]int64, r.n)
+	prevArc := make([]int32, r.n)
+	for i := range prevArc {
+		prevArc[i] = -1
+	}
+	var witness int32 = -1
+	for round := 0; round <= r.n; round++ {
+		witness = -1
+		for u := 0; u < r.n; u++ {
+			for a := r.head[u]; a >= 0; a = r.next[a] {
+				if r.capR[a] <= 0 {
+					continue
+				}
+				v := r.to[a]
+				if d := dist[u] + r.cost[a]; d < dist[v] {
+					dist[v] = d
+					prevArc[v] = a
+					witness = v
+				}
+			}
+		}
+		if witness < 0 {
+			return nil
+		}
+	}
+	// witness was relaxed on round n: it is reachable from a negative cycle.
+	// Walk back n steps to land on the cycle, then collect it.
+	v := witness
+	for i := 0; i < r.n; i++ {
+		v = r.to[prevArc[v]^1]
+	}
+	var cyc []int32
+	for u := v; ; {
+		a := prevArc[u]
+		cyc = append(cyc, a)
+		u = r.to[a^1]
+		if u == v {
+			break
+		}
+	}
+	return cyc
+}

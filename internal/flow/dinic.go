@@ -1,0 +1,82 @@
+package flow
+
+// MaxFlow computes the maximum s->t flow of the network with Dinic's
+// algorithm, ignoring costs and lower bounds. It returns the flow value and
+// per-arc flows.
+func (nw *Network) MaxFlow(s, t int) (int64, []int64, error) {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
+		return 0, nil, ErrInfeasible
+	}
+	r := newResidual(nw.n, len(nw.arcs))
+	for _, a := range nw.arcs {
+		r.addPair(a.from, a.to, a.cap, 0)
+	}
+	value := dinic(r, s, t, Unbounded)
+	flows := make([]int64, len(nw.arcs))
+	for i := range nw.arcs {
+		flows[i] = r.flowOn(2 * i)
+	}
+	return value, flows, nil
+}
+
+// dinic pushes up to `limit` units from s to t in the residual, returning the
+// amount pushed.
+func dinic(r *residual, s, t int, limit int64) int64 {
+	level := make([]int32, r.n)
+	iter := make([]int32, r.n)
+	queue := make([]int32, 0, r.n)
+	var total int64
+	for total < limit {
+		// BFS levels.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], int32(s))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for a := r.head[u]; a >= 0; a = r.next[a] {
+				v := r.to[a]
+				if r.capR[a] > 0 && level[v] < 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		if level[t] < 0 {
+			break
+		}
+		copy(iter, r.head)
+		for {
+			pushed := dinicDFS(r, level, iter, s, t, limit-total)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+func dinicDFS(r *residual, level, iter []int32, u, t int, f int64) int64 {
+	if u == t || f == 0 {
+		return f
+	}
+	for ; iter[u] >= 0; iter[u] = r.next[iter[u]] {
+		a := iter[u]
+		v := int(r.to[a])
+		if r.capR[a] <= 0 || level[v] != level[u]+1 {
+			continue
+		}
+		avail := f
+		if r.capR[a] < avail {
+			avail = r.capR[a]
+		}
+		if d := dinicDFS(r, level, iter, v, t, avail); d > 0 {
+			r.capR[a] -= d
+			r.capR[a^1] += d
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,627 @@
+package flow
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustArc(t *testing.T, nw *Network, from, to int, lower, cap, cost int64) ArcID {
+	t.Helper()
+	id, err := nw.AddArc(from, to, lower, cap, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestSimplePath(t *testing.T) {
+	nw := NewNetwork(3)
+	a := mustArc(t, nw, 0, 1, 0, 5, 2)
+	b := mustArc(t, nw, 1, 2, 0, 5, 3)
+	sol, err := nw.MinCostFlowValue(0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Flow(a) != 4 || sol.Flow(b) != 4 {
+		t.Fatalf("flows %v", sol.FlowByArc)
+	}
+	if sol.Cost != 4*2+4*3 {
+		t.Fatalf("cost %d, want 20", sol.Cost)
+	}
+	nw.AddSupply(0, 4)
+	nw.AddSupply(2, -4)
+	if err := nw.CheckFeasible(sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel 2-arc paths; the cheap one saturates first.
+	nw := NewNetwork(4)
+	cheap1 := mustArc(t, nw, 0, 1, 0, 3, 1)
+	cheap2 := mustArc(t, nw, 1, 3, 0, 3, 1)
+	exp1 := mustArc(t, nw, 0, 2, 0, 10, 5)
+	exp2 := mustArc(t, nw, 2, 3, 0, 10, 5)
+	sol, err := nw.MinCostFlowValue(0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Flow(cheap1) != 3 || sol.Flow(cheap2) != 3 {
+		t.Fatalf("cheap path flow %d/%d, want 3", sol.Flow(cheap1), sol.Flow(cheap2))
+	}
+	if sol.Flow(exp1) != 2 || sol.Flow(exp2) != 2 {
+		t.Fatalf("expensive path flow %d/%d, want 2", sol.Flow(exp1), sol.Flow(exp2))
+	}
+	if sol.Cost != 3*2+2*10 {
+		t.Fatalf("cost %d, want 26", sol.Cost)
+	}
+}
+
+func TestNegativeCostPreferred(t *testing.T) {
+	// A negative-cost detour must be taken even though it is longer.
+	nw := NewNetwork(4)
+	direct := mustArc(t, nw, 0, 3, 0, 10, 0)
+	d1 := mustArc(t, nw, 0, 1, 0, 1, 0)
+	d2 := mustArc(t, nw, 1, 2, 0, 1, -7)
+	d3 := mustArc(t, nw, 2, 3, 0, 1, 0)
+	sol, err := nw.MinCostFlowValue(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Flow(d1) != 1 || sol.Flow(d2) != 1 || sol.Flow(d3) != 1 {
+		t.Fatalf("detour not used: %v", sol.FlowByArc)
+	}
+	if sol.Flow(direct) != 1 {
+		t.Fatalf("direct flow %d, want 1", sol.Flow(direct))
+	}
+	if sol.Cost != -7 {
+		t.Fatalf("cost %d, want -7", sol.Cost)
+	}
+}
+
+func TestLowerBoundsForceFlow(t *testing.T) {
+	// The expensive arc has a lower bound, so it must carry flow even though
+	// a free arc exists.
+	nw := NewNetwork(2)
+	free := mustArc(t, nw, 0, 1, 0, 10, 0)
+	forced := mustArc(t, nw, 0, 1, 2, 10, 100)
+	sol, err := nw.MinCostFlowValue(0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Flow(forced) != 2 {
+		t.Fatalf("forced arc flow %d, want exactly its lower bound 2", sol.Flow(forced))
+	}
+	if sol.Flow(free) != 3 {
+		t.Fatalf("free arc flow %d, want 3", sol.Flow(free))
+	}
+	if sol.Cost != 200 {
+		t.Fatalf("cost %d, want 200", sol.Cost)
+	}
+	nw.AddSupply(0, 5)
+	nw.AddSupply(1, -5)
+	if err := nw.CheckFeasible(sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfeasibleLowerBound(t *testing.T) {
+	// Lower bound on a dead-end arc cannot be satisfied.
+	nw := NewNetwork(3)
+	mustArc(t, nw, 0, 1, 0, 5, 0)
+	mustArc(t, nw, 2, 1, 3, 5, 0) // node 2 has no inflow
+	if _, err := nw.MinCostFlowValue(0, 1, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleValue(t *testing.T) {
+	nw := NewNetwork(2)
+	mustArc(t, nw, 0, 1, 0, 3, 1)
+	if _, err := nw.MinCostFlowValue(0, 1, 4); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestSupplyMismatchRejected(t *testing.T) {
+	nw := NewNetwork(2)
+	mustArc(t, nw, 0, 1, 0, 3, 1)
+	nw.SetSupply(0, 2)
+	if _, err := nw.Solve(); err == nil {
+		t.Fatal("unbalanced supplies accepted")
+	}
+}
+
+func TestAddArcValidation(t *testing.T) {
+	nw := NewNetwork(2)
+	if _, err := nw.AddArc(0, 5, 0, 1, 0); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := nw.AddArc(0, 1, -1, 1, 0); err == nil {
+		t.Error("negative lower bound accepted")
+	}
+	if _, err := nw.AddArc(0, 1, 3, 2, 0); err == nil {
+		t.Error("capacity below lower bound accepted")
+	}
+}
+
+func TestZeroFlow(t *testing.T) {
+	nw := NewNetwork(2)
+	mustArc(t, nw, 0, 1, 0, 3, -5)
+	sol, err := nw.MinCostFlowValue(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min-cost flow of value 0 on a DAG ships nothing, even on negative arcs
+	// (no cycles exist, so no cost-reducing circulation).
+	if sol.Cost != 0 {
+		t.Fatalf("cost %d, want 0", sol.Cost)
+	}
+}
+
+func TestSupplies(t *testing.T) {
+	// Two supplies, one demand, transshipment node.
+	nw := NewNetwork(4)
+	a := mustArc(t, nw, 0, 2, 0, 10, 1)
+	b := mustArc(t, nw, 1, 2, 0, 10, 2)
+	c := mustArc(t, nw, 2, 3, 0, 10, 0)
+	nw.SetSupply(0, 3)
+	nw.SetSupply(1, 2)
+	nw.SetSupply(3, -5)
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Flow(a) != 3 || sol.Flow(b) != 2 || sol.Flow(c) != 5 {
+		t.Fatalf("flows %v", sol.FlowByArc)
+	}
+	if err := nw.CheckFeasible(sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFlowClassic(t *testing.T) {
+	// Classic 4-node diamond with a cross arc.
+	nw := NewNetwork(4)
+	mustArc(t, nw, 0, 1, 0, 3, 0)
+	mustArc(t, nw, 0, 2, 0, 2, 0)
+	mustArc(t, nw, 1, 2, 0, 5, 0)
+	mustArc(t, nw, 1, 3, 0, 2, 0)
+	mustArc(t, nw, 2, 3, 0, 3, 0)
+	v, flows, err := nw.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("max flow %d, want 5", v)
+	}
+	// Conservation at interior nodes.
+	net := make([]int64, 4)
+	for i := range flows {
+		from, to, _, _, _ := nw.Arc(ArcID(i))
+		net[from] += flows[i]
+		net[to] -= flows[i]
+	}
+	if net[1] != 0 || net[2] != 0 {
+		t.Fatalf("conservation violated: %v", net)
+	}
+	if net[0] != 5 || net[3] != -5 {
+		t.Fatalf("endpoints: %v", net)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	nw := NewNetwork(4)
+	mustArc(t, nw, 0, 1, 0, 3, 0)
+	mustArc(t, nw, 2, 3, 0, 3, 0)
+	v, _, err := nw.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("max flow %d, want 0", v)
+	}
+}
+
+// randomInstance builds a random DAG flow network whose costs may be
+// negative, as in the paper's energy networks.
+func randomInstance(rng *rand.Rand) (*Network, int, int, int64) {
+	n := 4 + rng.Intn(8)
+	nw := NewNetwork(n + 2)
+	s, t := n, n+1
+	// Layered DAG: arcs from lower to higher node index.
+	for u := 0; u < n; u++ {
+		nw.MustArc(s, u, 0, int64(1+rng.Intn(3)), int64(rng.Intn(7)-3))
+		nw.MustArc(u, t, 0, int64(1+rng.Intn(3)), int64(rng.Intn(7)-3))
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				nw.MustArc(u, v, 0, int64(1+rng.Intn(4)), int64(rng.Intn(11)-5))
+			}
+		}
+	}
+	// Bypass arc keeps every flow value feasible.
+	nw.MustArc(s, t, 0, Unbounded, 0)
+	value := int64(1 + rng.Intn(6))
+	return nw, s, t, value
+}
+
+// TestSSPMatchesCycleCancelling cross-checks the two independent min-cost
+// flow engines on random instances: identical objective values.
+func TestSSPMatchesCycleCancelling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw, s, tt, value := randomInstance(rng)
+		nw.AddSupply(s, value)
+		nw.AddSupply(tt, -value)
+		a, errA := nw.Solve()
+		b, errB := nw.SolveCycleCancel()
+		if errA != nil || errB != nil {
+			return errors.Is(errA, ErrInfeasible) && errors.Is(errB, ErrInfeasible)
+		}
+		if nw.CheckFeasible(a) != nil || nw.CheckFeasible(b) != nil {
+			return false
+		}
+		return a.Cost == b.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSPMatchesCostScaling cross-checks the third engine (cost-scaling
+// push-relabel) against SSP on random instances.
+func TestSSPMatchesCostScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw, s, tt, value := randomInstance(rng)
+		nw.AddSupply(s, value)
+		nw.AddSupply(tt, -value)
+		a, errA := nw.Solve()
+		b, errB := nw.SolveCostScaling()
+		if errA != nil || errB != nil {
+			return errors.Is(errA, ErrInfeasible) && errors.Is(errB, ErrInfeasible)
+		}
+		if nw.CheckFeasible(b) != nil {
+			return false
+		}
+		return a.Cost == b.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCostScalingLowerBounds exercises the lower-bound reduction through the
+// cost-scaling engine.
+func TestCostScalingLowerBounds(t *testing.T) {
+	nw := NewNetwork(2)
+	free := nw.MustArc(0, 1, 0, 10, 0)
+	forced := nw.MustArc(0, 1, 2, 10, 100)
+	nw.AddSupply(0, 5)
+	nw.AddSupply(1, -5)
+	sol, err := nw.SolveCostScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Flow(forced) != 2 || sol.Flow(free) != 3 {
+		t.Fatalf("flows %v", sol.FlowByArc)
+	}
+	if sol.Cost != 200 {
+		t.Fatalf("cost %d", sol.Cost)
+	}
+}
+
+func TestCostScalingZeroFlow(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.MustArc(0, 1, 0, 3, -5)
+	sol, err := nw.SolveCostScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 0 {
+		t.Fatalf("cost %d", sol.Cost)
+	}
+}
+
+// TestSolutionIntegrality: with integer data every flow is integral by
+// construction; assert bounds and conservation hold on random instances.
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw, s, tt, value := randomInstance(rng)
+		sol, err := nw.MinCostFlowValue(s, tt, value)
+		if err != nil {
+			return false // bypass arc guarantees feasibility
+		}
+		nw.AddSupply(s, value)
+		nw.AddSupply(tt, -value)
+		ok := nw.CheckFeasible(sol) == nil
+		nw.AddSupply(s, -value)
+		nw.AddSupply(tt, value)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonotoneCostInValue: on networks with non-negative costs, the optimal
+// cost is non-decreasing in the flow value.
+func TestMonotoneCostInValue(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5
+		nw := NewNetwork(n + 2)
+		s, tt := n, n+1
+		for u := 0; u < n; u++ {
+			nw.MustArc(s, u, 0, 2, int64(rng.Intn(5)))
+			nw.MustArc(u, tt, 0, 2, int64(rng.Intn(5)))
+			for v := u + 1; v < n; v++ {
+				nw.MustArc(u, v, 0, 2, int64(rng.Intn(5)))
+			}
+		}
+		prev := int64(-1)
+		for f := int64(0); f <= 4; f++ {
+			sol, err := nw.MinCostFlowValue(s, tt, f)
+			if err != nil {
+				return false
+			}
+			if sol.Cost < prev {
+				return false
+			}
+			prev = sol.Cost
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceMinCost enumerates all integral flows on a tiny network by
+// recursing over arc flow values and returns the optimal cost for the given
+// supplies, or false when infeasible.
+func bruteForceMinCost(nw *Network, supplies []int64) (int64, bool) {
+	m := nw.M()
+	flows := make([]int64, m)
+	best := int64(1) << 62
+	found := false
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			net := make([]int64, nw.N())
+			var cost int64
+			for j := 0; j < m; j++ {
+				from, to, _, _, c := nw.Arc(ArcID(j))
+				net[from] += flows[j]
+				net[to] -= flows[j]
+				cost += flows[j] * c
+			}
+			for v := 0; v < nw.N(); v++ {
+				if net[v] != supplies[v] {
+					return
+				}
+			}
+			if cost < best {
+				best = cost
+				found = true
+			}
+			return
+		}
+		_, _, lo, hi, _ := nw.Arc(ArcID(i))
+		if hi > 3 {
+			hi = 3 // keep enumeration tractable; tests use small capacities
+		}
+		for f := lo; f <= hi; f++ {
+			flows[i] = f
+			rec(i + 1)
+		}
+		flows[i] = 0
+	}
+	rec(0)
+	return best, found
+}
+
+// TestOptimalityAgainstBruteForce certifies SSP optimality by exhaustive
+// enumeration on tiny random instances.
+func TestOptimalityAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		nw := NewNetwork(n + 2)
+		s, tt := n, n+1
+		for u := 0; u < n; u++ {
+			if rng.Intn(2) == 0 {
+				nw.MustArc(s, u, 0, int64(1+rng.Intn(2)), int64(rng.Intn(9)-4))
+			}
+			if rng.Intn(2) == 0 {
+				nw.MustArc(u, tt, 0, int64(1+rng.Intn(2)), int64(rng.Intn(9)-4))
+			}
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					nw.MustArc(u, v, 0, int64(1+rng.Intn(2)), int64(rng.Intn(9)-4))
+				}
+			}
+		}
+		nw.MustArc(s, tt, 0, 3, 0)
+		value := int64(1 + rng.Intn(3))
+		supplies := make([]int64, nw.N())
+		supplies[s] = value
+		supplies[tt] = -value
+		want, feasible := bruteForceMinCost(nw, supplies)
+		sol, err := nw.MinCostFlowValue(s, tt, value)
+		if !feasible {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if err != nil {
+			return false
+		}
+		return sol.Cost == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLowerBoundsAgainstBruteForce extends the certification to instances
+// with lower bounds.
+func TestLowerBoundsAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3
+		nw := NewNetwork(n + 2)
+		s, tt := n, n+1
+		for u := 0; u < n; u++ {
+			lo := int64(rng.Intn(2))
+			nw.MustArc(s, u, 0, 2, int64(rng.Intn(7)-3))
+			nw.MustArc(u, tt, lo, 2, int64(rng.Intn(7)-3))
+			for v := u + 1; v < n; v++ {
+				nw.MustArc(u, v, int64(rng.Intn(2)), 2, int64(rng.Intn(7)-3))
+			}
+		}
+		nw.MustArc(s, tt, 0, 6, 0)
+		value := int64(2 + rng.Intn(3))
+		supplies := make([]int64, nw.N())
+		supplies[s] = value
+		supplies[tt] = -value
+		want, feasible := bruteForceMinCost(nw, supplies)
+		sol, err := nw.MinCostFlowValue(s, tt, value)
+		if !feasible {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if err != nil {
+			return false
+		}
+		return sol.Cost == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFeasibleDetectsViolations(t *testing.T) {
+	nw := NewNetwork(2)
+	id := mustArc(t, nw, 0, 1, 1, 3, 2)
+	nw.SetSupply(0, 2)
+	nw.SetSupply(1, -2)
+
+	good := &Solution{FlowByArc: []int64{2}, Cost: 4}
+	if err := nw.CheckFeasible(good); err != nil {
+		t.Fatalf("good solution rejected: %v", err)
+	}
+	cases := []*Solution{
+		{FlowByArc: []int64{0}, Cost: 0},    // below lower bound
+		{FlowByArc: []int64{4}, Cost: 8},    // above capacity
+		{FlowByArc: []int64{3}, Cost: 6},    // violates supply
+		{FlowByArc: []int64{2}, Cost: 5},    // wrong cost
+		{FlowByArc: []int64{2, 2}, Cost: 4}, // wrong arc count
+	}
+	for i, bad := range cases {
+		if err := nw.CheckFeasible(bad); err == nil {
+			t.Errorf("case %d: bad solution accepted (arc %d)", i, id)
+		}
+	}
+}
+
+func TestMaxFlowBadEndpoints(t *testing.T) {
+	nw := NewNetwork(2)
+	if _, _, err := nw.MaxFlow(-1, 1); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+}
+
+func TestMinCostFlowValueBadArgs(t *testing.T) {
+	nw := NewNetwork(2)
+	if _, err := nw.MinCostFlowValue(0, 1, -1); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if _, err := nw.MinCostFlowValue(0, 9, 1); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+}
+
+func TestSuppliesRestoredAfterSolve(t *testing.T) {
+	nw := NewNetwork(2)
+	mustArc(t, nw, 0, 1, 0, 5, 1)
+	if _, err := nw.MinCostFlowValue(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if nw.supply[0] != 0 || nw.supply[1] != 0 {
+		t.Fatalf("supplies not restored: %v", nw.supply)
+	}
+}
+
+func TestStats(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.MustArc(0, 1, 1, 2, -5)
+	nw.MustArc(1, 2, 0, 2, 3)
+	nw.SetSupply(0, 2)
+	nw.SetSupply(2, -2)
+	st := nw.Stats()
+	if st.Nodes != 3 || st.Arcs != 2 || st.LowerBounded != 1 || st.NegativeCosts != 1 || st.TotalSupply != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if s := st.String(); !strings.Contains(s, "arcs=2") {
+		t.Fatalf("string %q", s)
+	}
+}
+
+func TestFeasibleFlow(t *testing.T) {
+	nw := NewNetwork(3)
+	a := nw.MustArc(0, 1, 2, 5, 100)
+	b := nw.MustArc(1, 2, 0, 5, 100)
+	nw.SetSupply(0, 3)
+	nw.SetSupply(2, -3)
+	sol, err := nw.FeasibleFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.CheckFeasible(sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Flow(a) < 2 || sol.Flow(b) != 3 {
+		t.Fatalf("flows %v", sol.FlowByArc)
+	}
+}
+
+func TestFeasibleFlowInfeasible(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.MustArc(0, 1, 4, 5, 0)
+	nw.SetSupply(0, 1)
+	nw.SetSupply(1, -1)
+	if _, err := nw.FeasibleFlow(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err %v", err)
+	}
+	nw2 := NewNetwork(2)
+	nw2.SetSupply(0, 1)
+	if _, err := nw2.FeasibleFlow(); err == nil {
+		t.Fatal("unbalanced supplies accepted")
+	}
+}
+
+// TestFeasibleFlowAgreesWithSolve: feasibility verdicts must match the
+// optimising solver's on random instances.
+func TestFeasibleFlowAgreesWithSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		nw := NewNetwork(n + 2)
+		s, tt := n, n+1
+		for u := 0; u < n; u++ {
+			nw.MustArc(s, u, int64(rng.Intn(2)), 2, 0)
+			nw.MustArc(u, tt, int64(rng.Intn(2)), 2, 0)
+		}
+		value := int64(rng.Intn(5))
+		nw.SetSupply(s, value)
+		nw.SetSupply(tt, -value)
+		_, errA := nw.FeasibleFlow()
+		_, errB := nw.Solve()
+		return (errA == nil) == (errB == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package flow
+
+import "fmt"
+
+// MinCostFlowValue solves for a minimum-cost flow of exactly value units from
+// s to t, on top of any supplies and lower bounds already present. The
+// network's supplies are restored before returning.
+func (nw *Network) MinCostFlowValue(s, t int, value int64) (*Solution, error) {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
+		return nil, fmt.Errorf("flow: endpoint out of range")
+	}
+	if value < 0 {
+		return nil, fmt.Errorf("flow: negative flow value %d", value)
+	}
+	nw.supply[s] += value
+	nw.supply[t] -= value
+	defer func() {
+		nw.supply[s] -= value
+		nw.supply[t] += value
+	}()
+	return nw.Solve()
+}
+
+// CheckFeasible verifies that sol satisfies conservation, bounds and the
+// network's supplies; it returns a descriptive error on the first violation.
+// Used by tests and as a post-solve assertion in debug paths.
+func (nw *Network) CheckFeasible(sol *Solution) error {
+	if len(sol.FlowByArc) != len(nw.arcs) {
+		return fmt.Errorf("flow: solution has %d arcs, network has %d", len(sol.FlowByArc), len(nw.arcs))
+	}
+	net := make([]int64, nw.n)
+	for i, a := range nw.arcs {
+		f := sol.FlowByArc[i]
+		if f < a.lower || f > a.cap {
+			return fmt.Errorf("flow: arc %d (%d->%d) flow %d outside [%d,%d]", i, a.from, a.to, f, a.lower, a.cap)
+		}
+		net[a.from] += f
+		net[a.to] -= f
+	}
+	for v := 0; v < nw.n; v++ {
+		if net[v] != nw.supply[v] {
+			return fmt.Errorf("flow: node %d ships %d, supply is %d", v, net[v], nw.supply[v])
+		}
+	}
+	var cost int64
+	for i, a := range nw.arcs {
+		cost += sol.FlowByArc[i] * a.cost
+	}
+	if cost != sol.Cost {
+		return fmt.Errorf("flow: recomputed cost %d != reported %d", cost, sol.Cost)
+	}
+	return nil
+}
+
+// FeasibleFlow computes any flow satisfying the network's lower bounds and
+// supplies, ignoring costs (the classic feasibility transformation solved
+// with Dinic). It returns ErrInfeasible when none exists. Use Solve for the
+// minimum-cost flow; this is the cheap feasibility probe.
+func (nw *Network) FeasibleFlow() (*Solution, error) {
+	var total int64
+	for _, b := range nw.supply {
+		total += b
+	}
+	if total != 0 {
+		return nil, fmt.Errorf("flow: supplies sum to %d, want 0", total)
+	}
+	b := make([]int64, nw.n)
+	copy(b, nw.supply)
+	r := newResidual(nw.n, len(nw.arcs)+nw.n)
+	for _, a := range nw.arcs {
+		if a.lower > 0 {
+			b[a.from] -= a.lower
+			b[a.to] += a.lower
+		}
+		r.addPair(a.from, a.to, a.cap-a.lower, 0)
+	}
+	s := r.addNode()
+	t := r.addNode()
+	var required int64
+	for v := 0; v < nw.n; v++ {
+		switch {
+		case b[v] > 0:
+			r.addPair(s, v, b[v], 0)
+			required += b[v]
+		case b[v] < 0:
+			r.addPair(v, t, -b[v], 0)
+		}
+	}
+	if dinic(r, s, t, required) < required {
+		return nil, ErrInfeasible
+	}
+	sol := &Solution{FlowByArc: make([]int64, len(nw.arcs))}
+	for i, a := range nw.arcs {
+		f := a.lower + r.flowOn(2*i)
+		sol.FlowByArc[i] = f
+		sol.Cost += f * a.cost
+	}
+	return sol, nil
+}

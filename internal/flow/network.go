@@ -1,0 +1,215 @@
+// Package flow implements minimum-cost network flow, the solution engine of
+// the paper. It provides:
+//
+//   - a Network builder with arc lower bounds, capacities, integer costs and
+//     node imbalances (b-flows);
+//   - a successive-shortest-path solver with node potentials (polynomial
+//     time, the primary engine);
+//   - an independent cycle-cancelling solver used to cross-check optimality;
+//   - a Dinic maximum-flow solver used as a substrate and for feasibility.
+//
+// Costs are int64 fixed-point values: callers quantise their (float) energy
+// figures before building the network. Integer costs make integrality and
+// termination guarantees exact, mirroring the paper's observation that
+// integer capacities and flow yield integer solutions.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ArcID identifies an arc added to a Network.
+type ArcID int
+
+// arc is a user-level arc (not yet in residual form).
+type arc struct {
+	from, to   int
+	lower, cap int64
+	cost       int64
+}
+
+// Network is a directed flow network under construction. The zero value is
+// not usable; create one with NewNetwork.
+type Network struct {
+	n      int
+	arcs   []arc
+	supply []int64
+}
+
+// Unbounded is a convenience capacity treated as "effectively infinite".
+const Unbounded = int64(math.MaxInt64) / 4
+
+// ErrInfeasible is returned when the requested flow (or the lower bounds /
+// supplies) cannot be satisfied.
+var ErrInfeasible = errors.New("flow: infeasible")
+
+// NewNetwork returns an empty network with n nodes.
+func NewNetwork(n int) *Network {
+	if n < 0 {
+		panic("flow: negative node count")
+	}
+	return &Network{n: n, supply: make([]int64, n)}
+}
+
+// N reports the number of nodes.
+func (nw *Network) N() int { return nw.n }
+
+// M reports the number of arcs.
+func (nw *Network) M() int { return len(nw.arcs) }
+
+// AddNode appends a node and returns its ID.
+func (nw *Network) AddNode() int {
+	nw.supply = append(nw.supply, 0)
+	nw.n++
+	return nw.n - 1
+}
+
+// AddArc adds an arc from->to with the given flow lower bound, capacity and
+// per-unit cost, returning its ArcID.
+func (nw *Network) AddArc(from, to int, lower, capacity, cost int64) (ArcID, error) {
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		return -1, fmt.Errorf("flow: arc %d->%d out of range [0,%d)", from, to, nw.n)
+	}
+	if lower < 0 {
+		return -1, fmt.Errorf("flow: arc %d->%d has negative lower bound %d", from, to, lower)
+	}
+	if capacity < lower {
+		return -1, fmt.Errorf("flow: arc %d->%d has capacity %d below lower bound %d", from, to, capacity, lower)
+	}
+	nw.arcs = append(nw.arcs, arc{from, to, lower, capacity, cost})
+	return ArcID(len(nw.arcs) - 1), nil
+}
+
+// MustArc is AddArc that panics on error; for use with statically valid
+// construction code.
+func (nw *Network) MustArc(from, to int, lower, capacity, cost int64) ArcID {
+	id, err := nw.AddArc(from, to, lower, capacity, cost)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// SetSupply sets node v's imbalance: positive for supply, negative for
+// demand. The sum of all supplies must be zero at Solve time.
+func (nw *Network) SetSupply(v int, b int64) {
+	if v < 0 || v >= nw.n {
+		panic(fmt.Sprintf("flow: node %d out of range", v))
+	}
+	nw.supply[v] = b
+}
+
+// AddSupply adds b to node v's imbalance.
+func (nw *Network) AddSupply(v int, b int64) {
+	if v < 0 || v >= nw.n {
+		panic(fmt.Sprintf("flow: node %d out of range", v))
+	}
+	nw.supply[v] += b
+}
+
+// Arc returns the endpoints, bounds and cost of arc id.
+func (nw *Network) Arc(id ArcID) (from, to int, lower, capacity, cost int64) {
+	a := nw.arcs[id]
+	return a.from, a.to, a.lower, a.cap, a.cost
+}
+
+// Solution holds the result of a min-cost flow solve.
+type Solution struct {
+	// FlowByArc maps each ArcID (by index) to its flow value, including the
+	// lower bound.
+	FlowByArc []int64
+	// Cost is the total cost sum(flow * cost) over all arcs.
+	Cost int64
+	// Augmentations counts shortest-path augmentations (SSP) or cancelled
+	// cycles (cycle cancelling); exposed for benchmarks.
+	Augmentations int
+}
+
+// Flow returns the flow on arc id.
+func (s *Solution) Flow(id ArcID) int64 { return s.FlowByArc[id] }
+
+// residual is the paired-arc residual representation shared by the solvers.
+// Arc 2i is the forward copy of user arc i (after lower-bound reduction when
+// applicable) and arc 2i+1 its reverse. Extra arcs (super source/sink) follow.
+type residual struct {
+	n    int
+	head []int32 // head[v] = first arc index leaving v, -1 when none
+	next []int32
+	to   []int32
+	capR []int64 // remaining capacity
+	cost []int64
+}
+
+func newResidual(n, arcHint int) *residual {
+	r := &residual{
+		n:    n,
+		head: make([]int32, n),
+		next: make([]int32, 0, 2*arcHint),
+		to:   make([]int32, 0, 2*arcHint),
+		capR: make([]int64, 0, 2*arcHint),
+		cost: make([]int64, 0, 2*arcHint),
+	}
+	for i := range r.head {
+		r.head[i] = -1
+	}
+	return r
+}
+
+// addNode extends the residual with a fresh node.
+func (r *residual) addNode() int {
+	r.head = append(r.head, -1)
+	r.n++
+	return r.n - 1
+}
+
+// addPair appends a forward arc u->v (cap c, cost w) and its zero-capacity
+// reverse, returning the forward arc's index.
+func (r *residual) addPair(u, v int, c, w int64) int {
+	idx := len(r.to)
+	r.to = append(r.to, int32(v), int32(u))
+	r.capR = append(r.capR, c, 0)
+	r.cost = append(r.cost, w, -w)
+	r.next = append(r.next, r.head[u], r.head[v])
+	r.head[u] = int32(idx)
+	r.head[v] = int32(idx + 1)
+	return idx
+}
+
+// flowOn reports the flow pushed through forward arc idx (== capacity of its
+// reverse arc).
+func (r *residual) flowOn(idx int) int64 { return r.capR[idx^1] }
+
+// Stats summarises a network's shape for diagnostics and benchmarks.
+type Stats struct {
+	Nodes, Arcs   int
+	LowerBounded  int
+	NegativeCosts int
+	TotalSupply   int64
+}
+
+// Stats computes the network's shape summary.
+func (nw *Network) Stats() Stats {
+	st := Stats{Nodes: nw.n, Arcs: len(nw.arcs)}
+	for _, a := range nw.arcs {
+		if a.lower > 0 {
+			st.LowerBounded++
+		}
+		if a.cost < 0 {
+			st.NegativeCosts++
+		}
+	}
+	for _, b := range nw.supply {
+		if b > 0 {
+			st.TotalSupply += b
+		}
+	}
+	return st
+}
+
+// String renders the stats compactly.
+func (st Stats) String() string {
+	return fmt.Sprintf("nodes=%d arcs=%d lower-bounded=%d negative-cost=%d supply=%d",
+		st.Nodes, st.Arcs, st.LowerBounded, st.NegativeCosts, st.TotalSupply)
+}

@@ -1,0 +1,266 @@
+package flow
+
+import (
+	"fmt"
+)
+
+const infCost = int64(1) << 60
+
+// Solve computes a minimum-cost feasible b-flow honouring arc lower bounds,
+// capacities and node supplies, using successive shortest paths with node
+// potentials. It returns ErrInfeasible when no feasible flow exists.
+func (nw *Network) Solve() (*Solution, error) {
+	return nw.solve(sspEngine)
+}
+
+// SolveCycleCancel computes the same minimum-cost b-flow with the
+// cycle-cancelling algorithm. It exists to cross-check Solve in tests; use
+// Solve in production code.
+func (nw *Network) SolveCycleCancel() (*Solution, error) {
+	return nw.solve(cycleCancelEngine)
+}
+
+type engine int
+
+const (
+	sspEngine engine = iota
+	cycleCancelEngine
+	costScaleEngine
+)
+
+func (nw *Network) solve(e engine) (*Solution, error) {
+	var total int64
+	for _, b := range nw.supply {
+		total += b
+	}
+	if total != 0 {
+		return nil, fmt.Errorf("flow: supplies sum to %d, want 0", total)
+	}
+
+	// Lower-bound reduction: ship each arc's lower bound unconditionally,
+	// adjusting node imbalances and accumulating the constant cost.
+	b := make([]int64, nw.n)
+	copy(b, nw.supply)
+	var constCost int64
+	r := newResidual(nw.n, len(nw.arcs)+nw.n)
+	for _, a := range nw.arcs {
+		if a.lower > 0 {
+			b[a.from] -= a.lower
+			b[a.to] += a.lower
+			constCost += a.lower * a.cost
+		}
+		r.addPair(a.from, a.to, a.cap-a.lower, a.cost)
+	}
+
+	// Super source/sink absorb the imbalances.
+	s := r.addNode()
+	t := r.addNode()
+	var required int64
+	for v := 0; v < nw.n; v++ {
+		switch {
+		case b[v] > 0:
+			r.addPair(s, v, b[v], 0)
+			required += b[v]
+		case b[v] < 0:
+			r.addPair(v, t, -b[v], 0)
+		}
+	}
+
+	var (
+		pushed int64
+		augs   int
+		err    error
+	)
+	switch e {
+	case sspEngine:
+		pushed, augs, err = ssp(r, s, t, required)
+	case cycleCancelEngine:
+		pushed, augs, err = cycleCancel(r, s, t, required)
+	case costScaleEngine:
+		pushed, augs, err = costScale(r, s, t, required)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if pushed < required {
+		return nil, ErrInfeasible
+	}
+
+	// Total cost is recomputed from the final per-arc flows; constCost from
+	// the lower-bound reduction is folded in implicitly because each flow
+	// value below already includes its lower bound.
+	_ = constCost
+	sol := &Solution{FlowByArc: make([]int64, len(nw.arcs))}
+	for i, a := range nw.arcs {
+		f := a.lower + r.flowOn(2*i)
+		sol.FlowByArc[i] = f
+		sol.Cost += f * a.cost
+	}
+	sol.Augmentations = augs
+	return sol, nil
+}
+
+// ssp runs successive shortest paths from s to t until `required` units are
+// shipped or t becomes unreachable. Returns the amount shipped.
+func ssp(r *residual, s, t int, required int64) (int64, int, error) {
+	pi := bellmanFord(r, s)
+	dist := make([]int64, r.n)
+	prevArc := make([]int32, r.n)
+	var shipped int64
+	augs := 0
+	for shipped < required {
+		if !dijkstra(r, s, pi, dist, prevArc) {
+			break // t unreachable under current residual
+		}
+		if dist[t] >= infCost {
+			break
+		}
+		// Update potentials; nodes unreachable this round keep a potential
+		// large enough that reduced costs stay non-negative.
+		for v := 0; v < r.n; v++ {
+			if dist[v] < infCost {
+				pi[v] += dist[v]
+			} else {
+				pi[v] += dist[t]
+			}
+		}
+		// Bottleneck along the s->t path (prevArc forms a tree, so the walk
+		// terminates at s).
+		bottleneck := required - shipped
+		for v := t; v != s; {
+			a := prevArc[v]
+			if r.capR[a] < bottleneck {
+				bottleneck = r.capR[a]
+			}
+			v = int(r.to[a^1])
+		}
+		for v := t; v != s; {
+			a := prevArc[v]
+			r.capR[a] -= bottleneck
+			r.capR[a^1] += bottleneck
+			v = int(r.to[a^1])
+		}
+		shipped += bottleneck
+		augs++
+	}
+	return shipped, augs, nil
+}
+
+// bellmanFord computes shortest distances from s over arcs with residual
+// capacity, tolerating negative costs. The initial residual of a DAG has no
+// cycles, so this always converges; a negative cycle would indicate caller
+// error and panics.
+func bellmanFord(r *residual, s int) []int64 {
+	dist := make([]int64, r.n)
+	for v := range dist {
+		dist[v] = infCost
+	}
+	dist[s] = 0
+	for round := 0; ; round++ {
+		changed := false
+		for u := 0; u < r.n; u++ {
+			if dist[u] >= infCost {
+				continue
+			}
+			for a := r.head[u]; a >= 0; a = r.next[a] {
+				if r.capR[a] <= 0 {
+					continue
+				}
+				if d := dist[u] + r.cost[a]; d < dist[r.to[a]] {
+					dist[r.to[a]] = d
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return dist
+		}
+		if round > r.n {
+			panic("flow: negative cycle in initial residual network")
+		}
+	}
+}
+
+// dijkstra computes reduced-cost shortest paths from s, filling dist and
+// prevArc. Reports whether any node was reached (always true: s itself).
+func dijkstra(r *residual, s int, pi, dist []int64, prevArc []int32) bool {
+	for v := range dist {
+		dist[v] = infCost
+		prevArc[v] = -1
+	}
+	dist[s] = 0
+	h := &payHeap{}
+	h.push(heapItem{0, int32(s)})
+	for h.len() > 0 {
+		it := h.pop()
+		u := int(it.node)
+		if it.dist > dist[u] {
+			continue // stale entry
+		}
+		for a := r.head[u]; a >= 0; a = r.next[a] {
+			if r.capR[a] <= 0 {
+				continue
+			}
+			v := int(r.to[a])
+			if pi[v] >= infCost {
+				// Node was never reachable; its potential is meaningless but
+				// it can become reachable now. Treat reduced cost as raw.
+				continue
+			}
+			rc := it.dist + r.cost[a] + pi[u] - pi[v]
+			if rc < dist[v] {
+				dist[v] = rc
+				prevArc[v] = a
+				h.push(heapItem{rc, int32(v)})
+			}
+		}
+	}
+	return true
+}
+
+type heapItem struct {
+	dist int64
+	node int32
+}
+
+// payHeap is a binary min-heap of (dist, node) with lazy deletion.
+type payHeap struct{ a []heapItem }
+
+func (h *payHeap) len() int { return len(h.a) }
+
+func (h *payHeap) push(x heapItem) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p].dist <= h.a[i].dist {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *payHeap) pop() heapItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l].dist < h.a[small].dist {
+			small = l
+		}
+		if rr < len(h.a) && h.a[rr].dist < h.a[small].dist {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

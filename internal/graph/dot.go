@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DotOptions controls DOT rendering of a digraph.
+type DotOptions struct {
+	// Name is the graph name; defaults to "G".
+	Name string
+	// NodeLabel, when non-nil, supplies a label per node ID.
+	NodeLabel func(int) string
+	// ArcLabel, when non-nil, supplies a label per arc (in Arcs() order
+	// index). Empty labels are omitted.
+	ArcLabel func(Arc) string
+	// ArcStyle, when non-nil, supplies a DOT style (e.g. "dashed", "bold").
+	ArcStyle func(Arc) string
+	// Rankdir sets layout direction ("TB", "LR", ...); defaults to "TB".
+	Rankdir string
+}
+
+// WriteDot renders the graph in Graphviz DOT format.
+func (g *Digraph) WriteDot(w io.Writer, opt DotOptions) error {
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	rank := opt.Rankdir
+	if rank == "" {
+		rank = "TB"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=%s;\n", dotID(name), rank)
+	for v := 0; v < g.n; v++ {
+		label := fmt.Sprintf("%d", v)
+		if opt.NodeLabel != nil {
+			label = opt.NodeLabel(v)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, label)
+	}
+	for _, a := range g.Arcs() {
+		attrs := make([]string, 0, 2)
+		if opt.ArcLabel != nil {
+			if l := opt.ArcLabel(a); l != "" {
+				attrs = append(attrs, fmt.Sprintf("label=%q", l))
+			}
+		}
+		if opt.ArcStyle != nil {
+			if s := opt.ArcStyle(a); s != "" {
+				attrs = append(attrs, fmt.Sprintf("style=%q", s))
+			}
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", a.From, a.To, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", a.From, a.To)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// dotID quotes a name when it is not a safe DOT identifier.
+func dotID(s string) string {
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !(alpha || (i > 0 && digit)) {
+			return fmt.Sprintf("%q", s)
+		}
+	}
+	if s == "" {
+		return `"G"`
+	}
+	return s
+}

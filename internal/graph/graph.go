@@ -1,0 +1,251 @@
+// Package graph provides the directed-graph substrate used by the flow
+// solvers and the network construction. Nodes are dense integer IDs so the
+// solvers can use slice-indexed bookkeeping.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph with dense integer node IDs. The zero value is
+// an empty graph ready to use.
+type Digraph struct {
+	n    int
+	out  [][]Arc
+	in   [][]Arc
+	arcs int
+}
+
+// Arc is a directed edge between two nodes.
+type Arc struct {
+	From, To int
+}
+
+// ErrNotDAG is returned by TopoSort when the graph contains a cycle.
+var ErrNotDAG = errors.New("graph: not a DAG")
+
+// New returns a digraph with n nodes and no arcs.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Digraph{
+		n:   n,
+		out: make([][]Arc, n),
+		in:  make([][]Arc, n),
+	}
+}
+
+// N reports the number of nodes.
+func (g *Digraph) N() int { return g.n }
+
+// M reports the number of arcs.
+func (g *Digraph) M() int { return g.arcs }
+
+// AddNode appends a fresh node and returns its ID.
+func (g *Digraph) AddNode() int {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddArc inserts the arc u->v. Parallel arcs and self-loops are permitted;
+// callers that need to forbid them check HasArc first.
+func (g *Digraph) AddArc(u, v int) {
+	g.check(u)
+	g.check(v)
+	a := Arc{u, v}
+	g.out[u] = append(g.out[u], a)
+	g.in[v] = append(g.in[v], a)
+	g.arcs++
+}
+
+// HasArc reports whether at least one arc u->v exists.
+func (g *Digraph) HasArc(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	for _, a := range g.out[u] {
+		if a.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns the arcs leaving u. The slice is owned by the graph.
+func (g *Digraph) Out(u int) []Arc {
+	g.check(u)
+	return g.out[u]
+}
+
+// In returns the arcs entering v. The slice is owned by the graph.
+func (g *Digraph) In(v int) []Arc {
+	g.check(v)
+	return g.in[v]
+}
+
+// OutDegree reports the number of arcs leaving u.
+func (g *Digraph) OutDegree(u int) int { return len(g.Out(u)) }
+
+// InDegree reports the number of arcs entering v.
+func (g *Digraph) InDegree(v int) int { return len(g.In(v)) }
+
+func (g *Digraph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// TopoSort returns a topological order of the nodes, or ErrNotDAG if the
+// graph has a cycle. The order is deterministic (Kahn's algorithm with the
+// smallest ready node chosen first).
+func (g *Digraph) TopoSort() ([]int, error) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	// Min-heap of ready nodes keeps the order deterministic.
+	ready := &intHeap{}
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			ready.push(v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for ready.len() > 0 {
+		u := ready.pop()
+		order = append(order, u)
+		for _, a := range g.out[u] {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				ready.push(a.To)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrNotDAG
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Digraph) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Reachable returns the set of nodes reachable from src (including src).
+func (g *Digraph) Reachable(src int) map[int]bool {
+	g.check(src)
+	seen := map[int]bool{src: true}
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.out[u] {
+			if !seen[a.To] {
+				seen[a.To] = true
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return seen
+}
+
+// LongestPathFrom returns, for every node, the length (in arcs) of the
+// longest path from src, or -1 when unreachable. The graph must be a DAG.
+func (g *Digraph) LongestPathFrom(src int) ([]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	for _, u := range order {
+		if dist[u] < 0 {
+			continue
+		}
+		for _, a := range g.out[u] {
+			if d := dist[u] + 1; d > dist[a.To] {
+				dist[a.To] = d
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Arcs returns every arc in a deterministic order (by From, then To,
+// preserving insertion order among equals).
+func (g *Digraph) Arcs() []Arc {
+	all := make([]Arc, 0, g.arcs)
+	for u := 0; u < g.n; u++ {
+		all = append(all, g.out[u]...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].From != all[j].From {
+			return all[i].From < all[j].From
+		}
+		return all[i].To < all[j].To
+	})
+	return all
+}
+
+// intHeap is a tiny binary min-heap of ints; container/heap's interface
+// indirection is not worth it for this hot path.
+type intHeap struct{ a []int }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}
+
+// Transpose returns a new graph with every arc reversed.
+func (g *Digraph) Transpose() *Digraph {
+	t := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, a := range g.out[u] {
+			t.AddArc(a.To, a.From)
+		}
+	}
+	return t
+}

@@ -1,0 +1,322 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: N=%d M=%d", g.N(), g.M())
+	}
+	order, err := g.TopoSort()
+	if err != nil || len(order) != 0 {
+		t.Fatalf("empty topo: %v %v", order, err)
+	}
+}
+
+func TestAddNodeGrows(t *testing.T) {
+	g := New(2)
+	id := g.AddNode()
+	if id != 2 || g.N() != 3 {
+		t.Fatalf("AddNode returned %d, N=%d", id, g.N())
+	}
+	g.AddArc(2, 0)
+	if !g.HasArc(2, 0) {
+		t.Fatal("arc from fresh node missing")
+	}
+}
+
+func TestDegreesAndHasArc(t *testing.T) {
+	g := New(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0)=%d, want 2", got)
+	}
+	if got := g.InDegree(2); got != 2 {
+		t.Errorf("InDegree(2)=%d, want 2", got)
+	}
+	if g.HasArc(1, 0) {
+		t.Error("HasArc(1,0) true, arc is directed")
+	}
+	if !g.HasArc(0, 2) {
+		t.Error("HasArc(0,2) false")
+	}
+	if g.M() != 4 {
+		t.Errorf("M=%d, want 4", g.M())
+	}
+}
+
+func TestParallelArcsCounted(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	if g.M() != 2 {
+		t.Fatalf("parallel arcs: M=%d, want 2", g.M())
+	}
+	if len(g.Out(0)) != 2 {
+		t.Fatalf("Out(0) has %d arcs, want 2", len(g.Out(0)))
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		g.AddArc(i, i+1)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain topo order %v", order)
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := New(4)
+	g.AddArc(3, 1)
+	g.AddArc(2, 1)
+	g.AddArc(1, 0)
+	a, _ := g.TopoSort()
+	b, _ := g.TopoSort()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic topo: %v vs %v", a, b)
+		}
+	}
+	// Smallest-first tie break: 2 before 3.
+	if a[0] != 2 || a[1] != 3 {
+		t.Fatalf("tie-break order %v, want [2 3 1 0]", a)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 0)
+	if _, err := g.TopoSort(); err != ErrNotDAG {
+		t.Fatalf("cycle: err=%v, want ErrNotDAG", err)
+	}
+	if g.IsDAG() {
+		t.Fatal("IsDAG true for a cycle")
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := New(1)
+	g.AddArc(0, 0)
+	if g.IsDAG() {
+		t.Fatal("self loop considered a DAG")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(3, 4)
+	r := g.Reachable(0)
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(r) != len(want) {
+		t.Fatalf("reachable %v, want %v", r, want)
+	}
+	for v := range want {
+		if !r[v] {
+			t.Fatalf("node %d missing from %v", v, r)
+		}
+	}
+}
+
+func TestLongestPathFrom(t *testing.T) {
+	g := New(5)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	g.AddArc(3, 4)
+	dist, err := g.LongestPathFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 2, 3}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist=%v, want %v", dist, want)
+		}
+	}
+}
+
+func TestLongestPathUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddArc(1, 2)
+	dist, err := g.LongestPathFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[1] != -1 || dist[2] != -1 {
+		t.Fatalf("unreachable dist=%v", dist)
+	}
+}
+
+func TestLongestPathRejectsCycle(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	if _, err := g.LongestPathFrom(0); err != ErrNotDAG {
+		t.Fatalf("err=%v, want ErrNotDAG", err)
+	}
+}
+
+func TestArcsSorted(t *testing.T) {
+	g := New(3)
+	g.AddArc(2, 0)
+	g.AddArc(0, 2)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	arcs := g.Arcs()
+	want := []Arc{{0, 1}, {0, 2}, {1, 2}, {2, 0}}
+	if len(arcs) != len(want) {
+		t.Fatalf("arcs %v", arcs)
+	}
+	for i := range want {
+		if arcs[i] != want[i] {
+			t.Fatalf("arcs %v, want %v", arcs, want)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddArc out of range did not panic")
+		}
+	}()
+	g := New(1)
+	g.AddArc(0, 1)
+}
+
+// TestTopoSortPropertyRandomDAG checks, over random DAGs, that TopoSort
+// returns a permutation consistent with every arc.
+func TestTopoSortPropertyRandomDAG(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		// Arcs only from lower to higher labels under a random permutation:
+		// guaranteed acyclic.
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					g.AddArc(perm[i], perm[j])
+				}
+			}
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, a := range g.Arcs() {
+			if pos[a.From] >= pos[a.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReachablePropertyClosure checks that Reachable is transitively closed.
+func TestReachablePropertyClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for k := 0; k < 2*n; k++ {
+			g.AddArc(rng.Intn(n), rng.Intn(n))
+		}
+		r := g.Reachable(0)
+		for v := range r {
+			for _, a := range g.Out(v) {
+				if !r[a.To] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	var b strings.Builder
+	err := g.WriteDot(&b, DotOptions{
+		Name:      "test graph",
+		NodeLabel: func(v int) string { return map[int]string{0: "s", 1: "t"}[v] },
+		ArcLabel:  func(a Arc) string { return "cost=3" },
+		ArcStyle:  func(a Arc) string { return "dashed" },
+		Rankdir:   "LR",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`digraph "test graph"`, "rankdir=LR", `n0 [label="s"]`, `n1 [label="t"]`, "n0 -> n1", "cost=3", "dashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDotDefaults(t *testing.T) {
+	g := New(1)
+	var b strings.Builder
+	if err := g.WriteDot(&b, DotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "digraph G") || !strings.Contains(out, "rankdir=TB") {
+		t.Errorf("defaults not applied:\n%s", out)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	tr := g.Transpose()
+	if !tr.HasArc(1, 0) || !tr.HasArc(2, 1) || tr.HasArc(0, 1) {
+		t.Fatalf("transpose arcs wrong: %v", tr.Arcs())
+	}
+	if tr.M() != g.M() || tr.N() != g.N() {
+		t.Fatal("transpose changed size")
+	}
+	// Transposing twice restores the arc set.
+	back := tr.Transpose()
+	a, b := g.Arcs(), back.Arcs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("double transpose differs: %v vs %v", a, b)
+		}
+	}
+}

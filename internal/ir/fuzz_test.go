@@ -1,0 +1,38 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the TAC parser never panics and that everything it
+// accepts survives a format/reparse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"block b\nin x\ny = neg x\nout y\n",
+		"task t\nblock b\nin a b\nc = a + b\nd = mac a b\ne = c\nout d e\nend\n",
+		"block b\nin a\n# comment\n\nz = a << a\nout z",
+		"task\n",
+		"block b\nin x\ny = x +\n",
+		"block b\nout ghost\n",
+		"y = x\n",
+		strings.Repeat("block b\n", 10),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := Format(&b, p); err != nil {
+			t.Fatalf("accepted program failed to format: %v", err)
+		}
+		if _, err := ParseString(b.String()); err != nil {
+			t.Fatalf("formatted program failed to reparse: %v\n%s", err, b.String())
+		}
+	})
+}

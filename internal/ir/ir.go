@@ -1,0 +1,284 @@
+// Package ir provides the three-address intermediate representation the
+// allocator consumes: operations over named data variables, grouped into
+// basic blocks inside tasks, exactly the "partially ordered list of code
+// operations" of the paper's problem statement.
+//
+// The representation enforces the paper's variable model: within a basic
+// block each data variable is written exactly once (its write time) and may
+// be read any number of times (multiple reads become split lifetimes).
+package ir
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// OpKind enumerates the operation repertoire. The allocator only cares about
+// dataflow, but kinds drive resource-constrained scheduling (multipliers are
+// scarcer than adders) and energy accounting of computation.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpAdd OpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMac // multiply-accumulate: dst = a*b + dst-style three-input ops collapse to two reads in TAC form
+	OpNeg
+	OpAbs
+	OpShl
+	OpShr
+	OpMov
+	OpCmp
+	OpMax
+	OpMin
+	numOpKinds
+)
+
+var opNames = [...]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMac: "mac",
+	OpNeg: "neg", OpAbs: "abs", OpShl: "shl", OpShr: "shr", OpMov: "mov",
+	OpCmp: "cmp", OpMax: "max", OpMin: "min",
+}
+
+var opSymbols = map[string]OpKind{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv,
+	"<<": OpShl, ">>": OpShr,
+}
+
+// String returns the mnemonic of the op kind.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+	return opNames[k]
+}
+
+// OpKindByName resolves a mnemonic ("add", "mul", ...) to its kind.
+func OpKindByName(name string) (OpKind, bool) {
+	for k, n := range opNames {
+		if n == name {
+			return OpKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Arity reports how many source operands the kind reads.
+func (k OpKind) Arity() int {
+	switch k {
+	case OpNeg, OpAbs, OpMov:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// IsMultiplier reports whether the op occupies a multiplier-class functional
+// unit in resource-constrained scheduling.
+func (k OpKind) IsMultiplier() bool {
+	return k == OpMul || k == OpDiv || k == OpMac
+}
+
+// Instr is a single three-address instruction: Dst = Op(Src...).
+type Instr struct {
+	Op  OpKind
+	Dst string
+	Src []string
+}
+
+// String formats the instruction as TAC text.
+func (i Instr) String() string {
+	switch len(i.Src) {
+	case 1:
+		return fmt.Sprintf("%s = %s %s", i.Dst, i.Op, i.Src[0])
+	case 2:
+		return fmt.Sprintf("%s = %s %s %s", i.Dst, i.Op, i.Src[0], i.Src[1])
+	default:
+		return fmt.Sprintf("%s = %s %v", i.Dst, i.Op, i.Src)
+	}
+}
+
+// Block is a basic block: a straight-line sequence of instructions plus the
+// block's boundary variables.
+type Block struct {
+	Name string
+	// Inputs are variables defined before the block (their "write time" is
+	// the block entry, time 0 conceptually; the lifetime layer places them).
+	Inputs []string
+	// Outputs are variables read by later tasks; their lifetimes extend past
+	// the last control step, like variables c and d in the paper's Figure 1.
+	Outputs []string
+	Instrs  []Instr
+}
+
+// Validate checks the paper's variable model: every variable written exactly
+// once (inputs written zero times inside the block), every read reaches a
+// definition, outputs are defined, and no variable is both input and
+// redefined.
+func (b *Block) Validate() error {
+	defined := make(map[string]bool, len(b.Inputs)+len(b.Instrs))
+	for _, v := range b.Inputs {
+		if defined[v] {
+			return fmt.Errorf("ir: block %q: duplicate input %q", b.Name, v)
+		}
+		defined[v] = true
+	}
+	inputs := make(map[string]bool, len(b.Inputs))
+	for _, v := range b.Inputs {
+		inputs[v] = true
+	}
+	for idx, in := range b.Instrs {
+		if in.Dst == "" {
+			return fmt.Errorf("ir: block %q: instr %d has no destination", b.Name, idx)
+		}
+		if got, want := len(in.Src), in.Op.Arity(); got != want {
+			return fmt.Errorf("ir: block %q: instr %d (%s) has %d operands, want %d", b.Name, idx, in, got, want)
+		}
+		for _, s := range in.Src {
+			if !defined[s] {
+				return fmt.Errorf("ir: block %q: instr %d reads undefined variable %q", b.Name, idx, s)
+			}
+		}
+		if inputs[in.Dst] {
+			return fmt.Errorf("ir: block %q: instr %d redefines input %q", b.Name, idx, in.Dst)
+		}
+		if defined[in.Dst] {
+			return fmt.Errorf("ir: block %q: instr %d redefines %q (single assignment required)", b.Name, idx, in.Dst)
+		}
+		defined[in.Dst] = true
+	}
+	for _, v := range b.Outputs {
+		if !defined[v] {
+			return fmt.Errorf("ir: block %q: output %q is never defined", b.Name, v)
+		}
+	}
+	return nil
+}
+
+// Vars returns every variable appearing in the block, sorted.
+func (b *Block) Vars() []string {
+	set := make(map[string]bool)
+	for _, v := range b.Inputs {
+		set[v] = true
+	}
+	for _, in := range b.Instrs {
+		set[in.Dst] = true
+		for _, s := range in.Src {
+			set[s] = true
+		}
+	}
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// DefSite returns the instruction index defining v, or -1 for inputs /
+// unknown variables.
+func (b *Block) DefSite(v string) int {
+	for i, in := range b.Instrs {
+		if in.Dst == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// UseSites returns the instruction indices reading v, in program order.
+func (b *Block) UseSites(v string) []int {
+	var uses []int
+	for i, in := range b.Instrs {
+		for _, s := range in.Src {
+			if s == v {
+				uses = append(uses, i)
+				break
+			}
+		}
+	}
+	return uses
+}
+
+// DFG builds the data-flow graph of the block: one node per instruction,
+// an arc i->j when instruction j reads the variable defined by i.
+func (b *Block) DFG() (*graph.Digraph, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(len(b.Instrs))
+	def := make(map[string]int, len(b.Instrs))
+	for i, in := range b.Instrs {
+		def[in.Dst] = i
+	}
+	for j, in := range b.Instrs {
+		for _, s := range in.Src {
+			if i, ok := def[s]; ok && !g.HasArc(i, j) {
+				g.AddArc(i, j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Task is an ordered list of basic blocks, mirroring the paper's ordered
+// task list; the allocator runs per block.
+type Task struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Program is a set of tasks.
+type Program struct {
+	Tasks []*Task
+}
+
+// Block finds a block by name across all tasks, or nil.
+func (p *Program) Block(name string) *Block {
+	for _, t := range p.Tasks {
+		for _, b := range t.Blocks {
+			if b.Name == name {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// Validate validates every block of every task.
+func (p *Program) Validate() error {
+	seen := make(map[string]bool)
+	for _, t := range p.Tasks {
+		for _, b := range t.Blocks {
+			if seen[b.Name] {
+				return fmt.Errorf("ir: duplicate block name %q", b.Name)
+			}
+			seen[b.Name] = true
+			if err := b.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteDFGDot renders the block's data-flow graph in DOT format with
+// instruction labels, for inspection alongside the allocator's network DOT.
+func (b *Block) WriteDFGDot(w io.Writer) error {
+	g, err := b.DFG()
+	if err != nil {
+		return err
+	}
+	return g.WriteDot(w, graph.DotOptions{
+		Name:    b.Name,
+		Rankdir: "TB",
+		NodeLabel: func(i int) string {
+			return b.Instrs[i].String()
+		},
+	})
+}

@@ -1,0 +1,192 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func validBlock() *Block {
+	return &Block{
+		Name:   "b",
+		Inputs: []string{"x", "y"},
+		Instrs: []Instr{
+			{Op: OpMul, Dst: "t0", Src: []string{"x", "y"}},
+			{Op: OpAdd, Dst: "t1", Src: []string{"t0", "x"}},
+			{Op: OpNeg, Dst: "t2", Src: []string{"t1"}},
+		},
+		Outputs: []string{"t2"},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validBlock().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Block)
+	}{
+		{"duplicate input", func(b *Block) { b.Inputs = append(b.Inputs, "x") }},
+		{"missing dst", func(b *Block) { b.Instrs[0].Dst = "" }},
+		{"wrong arity", func(b *Block) { b.Instrs[0].Src = []string{"x"} }},
+		{"undefined read", func(b *Block) { b.Instrs[0].Src[0] = "nope" }},
+		{"redefine input", func(b *Block) { b.Instrs[0].Dst = "x" }},
+		{"double assignment", func(b *Block) { b.Instrs[1].Dst = "t0" }},
+		{"undefined output", func(b *Block) { b.Outputs = []string{"ghost"} }},
+		{"use before def", func(b *Block) {
+			b.Instrs[0], b.Instrs[2] = b.Instrs[2], b.Instrs[0]
+		}},
+	}
+	for _, tc := range cases {
+		b := validBlock()
+		tc.mutate(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	vars := validBlock().Vars()
+	want := []string{"t0", "t1", "t2", "x", "y"}
+	if len(vars) != len(want) {
+		t.Fatalf("vars %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("vars %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestDefAndUseSites(t *testing.T) {
+	b := validBlock()
+	if got := b.DefSite("t1"); got != 1 {
+		t.Errorf("DefSite(t1)=%d", got)
+	}
+	if got := b.DefSite("x"); got != -1 {
+		t.Errorf("DefSite(x)=%d, want -1 for input", got)
+	}
+	uses := b.UseSites("x")
+	if len(uses) != 2 || uses[0] != 0 || uses[1] != 1 {
+		t.Errorf("UseSites(x)=%v", uses)
+	}
+	if got := b.UseSites("t2"); got != nil {
+		t.Errorf("UseSites(t2)=%v, want none", got)
+	}
+}
+
+func TestDFG(t *testing.T) {
+	g, err := validBlock().DFG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("nodes %d", g.N())
+	}
+	if !g.HasArc(0, 1) || !g.HasArc(1, 2) {
+		t.Fatal("dependency arcs missing")
+	}
+	if g.HasArc(0, 2) {
+		t.Fatal("spurious arc 0->2")
+	}
+	if !g.IsDAG() {
+		t.Fatal("DFG not a DAG")
+	}
+}
+
+func TestDFGNoDuplicateArcs(t *testing.T) {
+	b := &Block{
+		Name:   "b",
+		Inputs: []string{"x"},
+		Instrs: []Instr{
+			{Op: OpAdd, Dst: "t", Src: []string{"x", "x"}},
+			{Op: OpMul, Dst: "u", Src: []string{"t", "t"}},
+		},
+		Outputs: []string{"u"},
+	}
+	g, err := b.DFG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("arcs %d, want 1 (deduplicated)", g.M())
+	}
+}
+
+func TestOpKindRoundTrip(t *testing.T) {
+	for k := OpKind(0); k < numOpKinds; k++ {
+		got, ok := OpKindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("round trip %v -> %q -> %v (%v)", k, k.String(), got, ok)
+		}
+	}
+	if _, ok := OpKindByName("bogus"); ok {
+		t.Error("bogus op resolved")
+	}
+}
+
+func TestArity(t *testing.T) {
+	if OpNeg.Arity() != 1 || OpMov.Arity() != 1 || OpAbs.Arity() != 1 {
+		t.Error("unary arity wrong")
+	}
+	if OpAdd.Arity() != 2 || OpMac.Arity() != 2 {
+		t.Error("binary arity wrong")
+	}
+}
+
+func TestIsMultiplier(t *testing.T) {
+	for _, k := range []OpKind{OpMul, OpDiv, OpMac} {
+		if !k.IsMultiplier() {
+			t.Errorf("%v should be multiplier class", k)
+		}
+	}
+	for _, k := range []OpKind{OpAdd, OpSub, OpMov, OpCmp} {
+		if k.IsMultiplier() {
+			t.Errorf("%v should not be multiplier class", k)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{Tasks: []*Task{{Name: "t", Blocks: []*Block{validBlock(), validBlock()}}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("duplicate block names accepted")
+	}
+	p.Tasks[0].Blocks[1].Name = "other"
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Block("other") == nil || p.Block("ghost") != nil {
+		t.Fatal("Block lookup broken")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpAdd, Dst: "y", Src: []string{"a", "b"}}
+	if got := in.String(); !strings.Contains(got, "y = add a b") {
+		t.Errorf("String() = %q", got)
+	}
+	un := Instr{Op: OpNeg, Dst: "y", Src: []string{"a"}}
+	if got := un.String(); !strings.Contains(got, "y = neg a") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestWriteDFGDot(t *testing.T) {
+	var sb strings.Builder
+	if err := validBlock().WriteDFGDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "t0 = mul x y") {
+		t.Errorf("dfg dot malformed:\n%s", out)
+	}
+	bad := &Block{Name: "bad", Instrs: []Instr{{Op: OpNeg, Dst: "y", Src: []string{"x"}}}}
+	if err := bad.WriteDFGDot(&sb); err == nil {
+		t.Error("invalid block rendered")
+	}
+}

@@ -1,0 +1,311 @@
+// Package lifetime implements the paper's data-variable lifetime model: each
+// variable has a write time and one or more read times on the control-step
+// axis of a scheduled basic block. The package computes lifetime densities,
+// regions of maximum density (the anchors of the network construction),
+// and split lifetimes cut at multiple reads and at restricted memory access
+// times (§5.2).
+//
+// Times use the paper's two-dashed-lines-per-control-step convention: reads
+// happen at the top of a step, writes at the bottom. Internally each control
+// step τ therefore contributes two half-points: 2τ-1 (read point) and 2τ
+// (write point). A lifetime written at step w and last read at step r spans
+// half-points [2w, 2r-1], so a variable read at step τ and another written
+// at step τ do not overlap and may share a register.
+package lifetime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Lifetime is one data variable's write/read profile.
+type Lifetime struct {
+	Var string
+	// Write is the control step defining the variable; 0 for block inputs
+	// (defined before the block).
+	Write int
+	// Reads are the control steps reading the variable, sorted ascending.
+	// For block outputs the final entry is Steps+1 (read by a later task).
+	Reads []int
+	// Input marks variables defined before the block.
+	Input bool
+	// External marks variables read after the block (paper Figure 1:
+	// variables c and d extend past the last control step).
+	External bool
+}
+
+// LastRead returns the final read step.
+func (l *Lifetime) LastRead() int { return l.Reads[len(l.Reads)-1] }
+
+// StartPoint returns the half-point where the lifetime begins.
+func (l *Lifetime) StartPoint() int { return WritePoint(l.Write) }
+
+// EndPoint returns the half-point where the lifetime ends.
+func (l *Lifetime) EndPoint() int { return ReadPoint(l.LastRead()) }
+
+// WritePoint maps a write step to its half-point (bottom of the step).
+func WritePoint(step int) int { return 2 * step }
+
+// ReadPoint maps a read step to its half-point (top of the step).
+func ReadPoint(step int) int { return 2*step - 1 }
+
+// Set is the lifetimes of one scheduled basic block.
+type Set struct {
+	// Steps is the number of control steps (the paper's x).
+	Steps int
+	// Lifetimes, sorted by variable name for determinism.
+	Lifetimes []Lifetime
+}
+
+// FromSchedule derives lifetimes from a schedule. Inputs get write step 0;
+// outputs get an extra read at Steps+1. A defined variable that is never
+// read and is not an output is reported as an error (dead code would give
+// it an empty lifetime).
+func FromSchedule(s *sched.Schedule) (*Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := s.Block
+	out := make(map[string]bool, len(b.Outputs))
+	for _, v := range b.Outputs {
+		out[v] = true
+	}
+	byVar := make(map[string]*Lifetime)
+	for _, v := range b.Inputs {
+		byVar[v] = &Lifetime{Var: v, Write: 0, Input: true}
+	}
+	for i, in := range b.Instrs {
+		byVar[in.Dst] = &Lifetime{Var: in.Dst, Write: s.Step[i]}
+	}
+	for i, in := range b.Instrs {
+		for _, src := range in.Src {
+			l := byVar[src]
+			l.Reads = append(l.Reads, s.Step[i])
+		}
+	}
+	set := &Set{Steps: s.Length}
+	for v, l := range byVar {
+		sort.Ints(l.Reads)
+		// Collapse duplicate read steps: two reads in the same control step
+		// are one access point on the time axis.
+		l.Reads = dedupInts(l.Reads)
+		if out[v] {
+			l.External = true
+			l.Reads = append(l.Reads, s.Length+1)
+		}
+		if len(l.Reads) == 0 {
+			return nil, fmt.Errorf("lifetime: variable %q is written at step %d but never read", v, l.Write)
+		}
+		set.Lifetimes = append(set.Lifetimes, *l)
+	}
+	sort.Slice(set.Lifetimes, func(i, j int) bool {
+		return set.Lifetimes[i].Var < set.Lifetimes[j].Var
+	})
+	return set, nil
+}
+
+func dedupInts(a []int) []int {
+	if len(a) < 2 {
+		return a
+	}
+	w := 1
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[w-1] {
+			a[w] = a[i]
+			w++
+		}
+	}
+	return a[:w]
+}
+
+// Validate checks the internal consistency of a hand-built set.
+func (s *Set) Validate() error {
+	seen := make(map[string]bool)
+	for _, l := range s.Lifetimes {
+		if seen[l.Var] {
+			return fmt.Errorf("lifetime: duplicate variable %q", l.Var)
+		}
+		seen[l.Var] = true
+		if len(l.Reads) == 0 {
+			return fmt.Errorf("lifetime: %q has no reads", l.Var)
+		}
+		if !sort.IntsAreSorted(l.Reads) {
+			return fmt.Errorf("lifetime: %q has unsorted reads %v", l.Var, l.Reads)
+		}
+		if l.Write < 0 || (l.Write == 0 && !l.Input) {
+			return fmt.Errorf("lifetime: %q write step %d invalid", l.Var, l.Write)
+		}
+		if l.Reads[0] <= l.Write {
+			return fmt.Errorf("lifetime: %q read at %d not after write at %d", l.Var, l.Reads[0], l.Write)
+		}
+		limit := s.Steps
+		if l.External {
+			limit = s.Steps + 1
+		}
+		if l.LastRead() > limit {
+			return fmt.Errorf("lifetime: %q read at %d beyond step limit %d", l.Var, l.LastRead(), limit)
+		}
+	}
+	return nil
+}
+
+// maxPoint is the last half-point of the axis including the external slot.
+func (s *Set) maxPoint() int { return ReadPoint(s.Steps + 1) }
+
+// Densities returns, for every half-point 0..maxPoint, how many lifetimes
+// cover it.
+func (s *Set) Densities() []int {
+	d := make([]int, s.maxPoint()+1)
+	for _, l := range s.Lifetimes {
+		for p := l.StartPoint(); p <= l.EndPoint(); p++ {
+			d[p]++
+		}
+	}
+	return d
+}
+
+// MaxDensity returns the maximum lifetime density: the minimum register
+// count that could hold every variable simultaneously.
+func (s *Set) MaxDensity() int {
+	max := 0
+	for _, d := range s.Densities() {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Region is a maximal half-point interval of maximum density.
+type Region struct {
+	Start, End int // inclusive half-points
+}
+
+// StartStep returns the control step containing the region start.
+func (r Region) StartStep() int { return (r.Start + 1) / 2 }
+
+// EndStep returns the control step containing the region end.
+func (r Region) EndStep() int { return (r.End + 1) / 2 }
+
+// MaxDensityRegions returns the regions of maximum lifetime density, in time
+// order: maximal half-point runs where the density equals the maximum AND
+// the set of intersecting lifetimes is unchanged ("sections of time where a
+// maximum number of data variable's lifetimes intersect", §5.1). Two
+// back-to-back maximum-density cliques with different members are distinct
+// regions — lifetimes end and begin between them, which is exactly where the
+// construction places its bipartite transfer arcs.
+func (s *Set) MaxDensityRegions() []Region {
+	d := s.Densities()
+	max := 0
+	for _, v := range d {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return nil
+	}
+	// Membership fingerprint per half-point: which lifetimes cover it.
+	// Identical coverage at adjacent points keeps them in one region.
+	cover := make([][]int, len(d))
+	for i := range s.Lifetimes {
+		l := &s.Lifetimes[i]
+		for p := l.StartPoint(); p <= l.EndPoint(); p++ {
+			cover[p] = append(cover[p], i)
+		}
+	}
+	sameMembers := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var regions []Region
+	inRun := false
+	start := 0
+	for p, v := range d {
+		switch {
+		case v == max && !inRun:
+			inRun = true
+			start = p
+		case inRun && (v != max || !sameMembers(cover[p], cover[p-1])):
+			regions = append(regions, Region{start, p - 1})
+			if v == max {
+				start = p
+			} else {
+				inRun = false
+			}
+		}
+	}
+	if inRun {
+		regions = append(regions, Region{start, len(d) - 1})
+	}
+	return regions
+}
+
+// ByVar returns the lifetime of v, or nil.
+func (s *Set) ByVar(v string) *Lifetime {
+	for i := range s.Lifetimes {
+		if s.Lifetimes[i].Var == v {
+			return &s.Lifetimes[i]
+		}
+	}
+	return nil
+}
+
+// Statistics summarises a lifetime set's shape.
+type Statistics struct {
+	Variables   int
+	Inputs      int
+	Externals   int
+	TotalReads  int
+	MaxDensity  int
+	MeanDensity float64
+	// MeanLength is the average lifetime length in control steps.
+	MeanLength float64
+	// LongestVar is a variable with the maximum lifetime span.
+	LongestVar string
+}
+
+// Stats computes the set's summary statistics.
+func (s *Set) Stats() Statistics {
+	st := Statistics{Variables: len(s.Lifetimes), MaxDensity: s.MaxDensity()}
+	var totalLen, longest int
+	for _, l := range s.Lifetimes {
+		if l.Input {
+			st.Inputs++
+		}
+		if l.External {
+			st.Externals++
+		}
+		st.TotalReads += len(l.Reads)
+		span := l.LastRead() - l.Write
+		totalLen += span
+		if span > longest {
+			longest = span
+			st.LongestVar = l.Var
+		}
+	}
+	if st.Variables > 0 {
+		st.MeanLength = float64(totalLen) / float64(st.Variables)
+	}
+	d := s.Densities()
+	var mass, points int
+	for _, v := range d {
+		if v > 0 {
+			mass += v
+			points++
+		}
+	}
+	if points > 0 {
+		st.MeanDensity = float64(mass) / float64(points)
+	}
+	return st
+}

@@ -1,0 +1,287 @@
+package lifetime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/sched"
+)
+
+// figure1Set is the paper's Figure 1 instance (duplicated from workload to
+// avoid an import cycle; workload tests assert they stay in sync).
+func figure1Set() *Set {
+	return &Set{
+		Steps: 7,
+		Lifetimes: []Lifetime{
+			{Var: "a", Write: 1, Reads: []int{3}},
+			{Var: "b", Write: 1, Reads: []int{3}},
+			{Var: "c", Write: 2, Reads: []int{8}, External: true},
+			{Var: "d", Write: 3, Reads: []int{8}, External: true},
+			{Var: "e", Write: 5, Reads: []int{6}},
+		},
+	}
+}
+
+func TestHalfPointConvention(t *testing.T) {
+	// A variable read at step 3 and another written at step 3 do not
+	// overlap: read point < write point within a step.
+	if ReadPoint(3) >= WritePoint(3) {
+		t.Fatalf("ReadPoint(3)=%d, WritePoint(3)=%d", ReadPoint(3), WritePoint(3))
+	}
+	l1 := Lifetime{Var: "a", Write: 1, Reads: []int{3}}
+	l2 := Lifetime{Var: "d", Write: 3, Reads: []int{7}}
+	if l1.EndPoint() >= l2.StartPoint() {
+		t.Fatal("read@3 and write@3 should be compatible")
+	}
+}
+
+func TestFigure1Density(t *testing.T) {
+	set := figure1Set()
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.MaxDensity(); got != 3 {
+		t.Fatalf("max density %d, want 3", got)
+	}
+	regions := set.MaxDensityRegions()
+	if len(regions) != 2 {
+		t.Fatalf("regions %v, want 2", regions)
+	}
+	if regions[0].StartStep() != 2 || regions[0].EndStep() != 3 {
+		t.Fatalf("region 1 steps %d-%d, paper says 2-3", regions[0].StartStep(), regions[0].EndStep())
+	}
+	if regions[1].StartStep() != 5 || regions[1].EndStep() != 6 {
+		t.Fatalf("region 2 steps %d-%d, paper says 5-6", regions[1].StartStep(), regions[1].EndStep())
+	}
+}
+
+func TestRegionsSplitOnMembershipChange(t *testing.T) {
+	// Two adjacent max-density cliques with different members must be two
+	// regions, else the handover between them has no transfer arcs.
+	set := &Set{
+		Steps: 4,
+		Lifetimes: []Lifetime{
+			{Var: "d", Write: 1, Reads: []int{2}},
+			{Var: "a", Write: 1, Reads: []int{3}},
+			{Var: "e", Write: 2, Reads: []int{4}},
+		},
+	}
+	regions := set.MaxDensityRegions()
+	if len(regions) != 2 {
+		t.Fatalf("regions %v, want 2 ({d,a} then {a,e})", regions)
+	}
+}
+
+func TestDensitiesSum(t *testing.T) {
+	set := figure1Set()
+	d := set.Densities()
+	var total int
+	for _, v := range d {
+		total += v
+	}
+	var wantTotal int
+	for _, l := range set.Lifetimes {
+		wantTotal += l.EndPoint() - l.StartPoint() + 1
+	}
+	if total != wantTotal {
+		t.Fatalf("density mass %d, want %d", total, wantTotal)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		set  Set
+	}{
+		{"duplicate var", Set{Steps: 3, Lifetimes: []Lifetime{
+			{Var: "a", Write: 1, Reads: []int{2}}, {Var: "a", Write: 2, Reads: []int{3}}}}},
+		{"no reads", Set{Steps: 3, Lifetimes: []Lifetime{{Var: "a", Write: 1}}}},
+		{"unsorted reads", Set{Steps: 4, Lifetimes: []Lifetime{{Var: "a", Write: 1, Reads: []int{3, 2}}}}},
+		{"write 0 non-input", Set{Steps: 3, Lifetimes: []Lifetime{{Var: "a", Write: 0, Reads: []int{2}}}}},
+		{"read before write", Set{Steps: 3, Lifetimes: []Lifetime{{Var: "a", Write: 2, Reads: []int{2}}}}},
+		{"read past end", Set{Steps: 3, Lifetimes: []Lifetime{{Var: "a", Write: 1, Reads: []int{4}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.set.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestExternalReadAllowedPastEnd(t *testing.T) {
+	set := Set{Steps: 3, Lifetimes: []Lifetime{{Var: "a", Write: 1, Reads: []int{4}, External: true}}}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSchedule(t *testing.T) {
+	b := &ir.Block{
+		Name:   "b",
+		Inputs: []string{"x"},
+		Instrs: []ir.Instr{
+			{Op: ir.OpNeg, Dst: "t", Src: []string{"x"}},
+			{Op: ir.OpAdd, Dst: "u", Src: []string{"t", "x"}},
+			{Op: ir.OpAdd, Dst: "v", Src: []string{"u", "t"}},
+		},
+		Outputs: []string{"v"},
+	}
+	s, err := sched.ASAP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := set.ByVar("x")
+	if x == nil || !x.Input || x.Write != 0 {
+		t.Fatalf("input lifetime %+v", x)
+	}
+	if len(x.Reads) != 2 { // steps 1 and 2
+		t.Fatalf("x reads %v", x.Reads)
+	}
+	tv := set.ByVar("t")
+	if tv.Write != 1 || len(tv.Reads) != 2 || tv.Reads[0] != 2 || tv.Reads[1] != 3 {
+		t.Fatalf("t lifetime %+v", tv)
+	}
+	v := set.ByVar("v")
+	if !v.External || v.LastRead() != set.Steps+1 {
+		t.Fatalf("output lifetime %+v", v)
+	}
+}
+
+func TestFromScheduleDeadVariable(t *testing.T) {
+	b := &ir.Block{
+		Name:   "dead",
+		Inputs: []string{"x"},
+		Instrs: []ir.Instr{
+			{Op: ir.OpNeg, Dst: "t", Src: []string{"x"}},
+			{Op: ir.OpNeg, Dst: "u", Src: []string{"x"}},
+		},
+		Outputs: []string{"t"},
+	}
+	s, _ := sched.ASAP(b)
+	if _, err := FromSchedule(s); err == nil {
+		t.Fatal("dead variable u accepted")
+	}
+}
+
+func TestFromScheduleDedupsSameStepReads(t *testing.T) {
+	b := &ir.Block{
+		Name:   "dup",
+		Inputs: []string{"x"},
+		Instrs: []ir.Instr{
+			{Op: ir.OpAdd, Dst: "t", Src: []string{"x", "x"}},
+			{Op: ir.OpMul, Dst: "u", Src: []string{"x", "t"}},
+		},
+		Outputs: []string{"u"},
+	}
+	s, _ := sched.ASAP(b)
+	set, err := FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := set.ByVar("x")
+	if len(x.Reads) != 2 {
+		t.Fatalf("x reads %v, want two distinct steps", x.Reads)
+	}
+}
+
+// TestMaxDensityEqualsCliqueProperty: for random sets, MaxDensity equals the
+// maximum number of pairwise-overlapping lifetimes at any single half-point
+// (interval graphs: clique number == max coverage).
+func TestMaxDensityPointwiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomSet(rng)
+		d := set.Densities()
+		max := 0
+		for p := range d {
+			n := 0
+			for _, l := range set.Lifetimes {
+				if l.StartPoint() <= p && p <= l.EndPoint() {
+					n++
+				}
+			}
+			if n != d[p] {
+				return false
+			}
+			if n > max {
+				max = n
+			}
+		}
+		return max == set.MaxDensity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionsAreMaximalAndDisjoint: regions are disjoint, time ordered, at
+// max density everywhere, and constant-membership inside.
+func TestRegionsPropertyStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomSet(rng)
+		d := set.Densities()
+		max := set.MaxDensity()
+		prevEnd := -1
+		for _, r := range set.MaxDensityRegions() {
+			if r.Start <= prevEnd || r.End < r.Start {
+				return false
+			}
+			prevEnd = r.End
+			for p := r.Start; p <= r.End; p++ {
+				if d[p] != max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomSet(rng *rand.Rand) *Set {
+	steps := 4 + rng.Intn(8)
+	n := 1 + rng.Intn(8)
+	set := &Set{Steps: steps}
+	for i := 0; i < n; i++ {
+		w := 1 + rng.Intn(steps-1)
+		r := w + 1 + rng.Intn(steps-w)
+		set.Lifetimes = append(set.Lifetimes, Lifetime{
+			Var: string(rune('a' + i)), Write: w, Reads: []int{r},
+		})
+	}
+	return set
+}
+
+func TestStats(t *testing.T) {
+	set := figure1Set()
+	st := set.Stats()
+	if st.Variables != 5 || st.Inputs != 0 || st.Externals != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MaxDensity != 3 || st.TotalReads != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MeanLength <= 0 || st.MeanDensity <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// c and d both span 6 steps; either may be reported.
+	if st.LongestVar != "c" && st.LongestVar != "d" {
+		t.Fatalf("longest %q", st.LongestVar)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := (&Set{Steps: 3}).Stats()
+	if st.Variables != 0 || st.MeanLength != 0 {
+		t.Fatalf("empty stats %+v", st)
+	}
+}

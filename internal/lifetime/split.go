@@ -1,0 +1,330 @@
+package lifetime
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemoryAccess models restricted memory access times: the memory module runs
+// at processor-frequency/Period and is accessible only at control steps
+// Offset, Offset+Period, Offset+2·Period, ... (§5.2: "memory accesses every c
+// control steps"). Period ≤ 1 means the memory runs at full speed and every
+// step is accessible. Block boundaries (input birth, external read) are
+// always accessible: the data is handed over between tasks there.
+type MemoryAccess struct {
+	Period int
+	Offset int
+}
+
+// FullSpeed is the unrestricted memory access pattern.
+var FullSpeed = MemoryAccess{Period: 1, Offset: 1}
+
+// Accessible reports whether memory can be read/written at the given step.
+func (m MemoryAccess) Accessible(step int) bool {
+	if m.Period <= 1 {
+		return true
+	}
+	if step < m.Offset {
+		return false
+	}
+	return (step-m.Offset)%m.Period == 0
+}
+
+// AccessStepsIn lists the accessible steps within [lo, hi].
+func (m MemoryAccess) AccessStepsIn(lo, hi int) []int {
+	var steps []int
+	if m.Period <= 1 {
+		for s := lo; s <= hi; s++ {
+			steps = append(steps, s)
+		}
+		return steps
+	}
+	start := m.Offset
+	if start < lo {
+		k := (lo - m.Offset + m.Period - 1) / m.Period
+		start = m.Offset + k*m.Period
+	}
+	for s := start; s <= hi; s += m.Period {
+		steps = append(steps, s)
+	}
+	return steps
+}
+
+// SplitPolicy selects how lifetimes are cut at restricted memory access
+// times (cuts at multiple reads always happen).
+type SplitPolicy int
+
+const (
+	// SplitMinimal cuts only where necessary for a memory-resident option to
+	// exist: at the first accessible step after an inaccessible write and at
+	// the last accessible step before an inaccessible read. This is the
+	// splitting shown in the paper's Figure 1c.
+	SplitMinimal SplitPolicy = iota
+	// SplitFull cuts at every accessible step inside a segment, giving the
+	// solver the full space of register-residence windows (the paper notes
+	// variables "could have also been split" this way).
+	SplitFull
+)
+
+// BoundKind describes what a segment endpoint is.
+type BoundKind int
+
+const (
+	// BoundWrite is the variable's real write (first segment start).
+	BoundWrite BoundKind = iota
+	// BoundRead is a real read of the variable.
+	BoundRead
+	// BoundCut is a cut at a memory access time (no read happens).
+	BoundCut
+	// BoundInput is the block entry (input variables).
+	BoundInput
+	// BoundExternal is the past-the-end read by a later task.
+	BoundExternal
+)
+
+func (k BoundKind) String() string {
+	switch k {
+	case BoundWrite:
+		return "write"
+	case BoundRead:
+		return "read"
+	case BoundCut:
+		return "cut"
+	case BoundInput:
+		return "input"
+	case BoundExternal:
+		return "external"
+	}
+	return fmt.Sprintf("bound(%d)", int(k))
+}
+
+// Segment is one split-lifetime arc wi(v)→ri(v) of the paper.
+type Segment struct {
+	Var string
+	// Index is the 0-based segment position within the variable; First/Last
+	// derive from it.
+	Index              int
+	NumSegs            int
+	Start              int // control step of the segment start
+	End                int // control step of the segment end
+	StartKind, EndKind BoundKind
+	// StartStaged/EndStaged mark cut boundaries created by restricted memory
+	// access times: the paper's accounting (rlast_v = segment count) charges
+	// a staged memory read at such cuts, which eq. (9) then credits back.
+	// Voluntary cuts (manual or region-boundary splits at full-speed memory,
+	// Figure 4c) carry no staged read: a mid-lifetime register entry there
+	// costs an explicit load instead.
+	StartStaged, EndStaged bool
+	// Forced marks segments that must reside in the register file because an
+	// endpoint falls between memory access times (flow lower bound 1, §5.2).
+	Forced bool
+	// Barred marks segments excluded from the register file (segment arc
+	// capacity 0): the dual pin used for register-file port constraints.
+	Barred bool
+}
+
+// StartHasRead reports whether the segment's start boundary coincides with a
+// memory read in the all-in-memory baseline (a real read of the variable or
+// a staged read at a restricted-access cut).
+func (g *Segment) StartHasRead() bool {
+	return g.StartKind == BoundRead || (g.StartKind == BoundCut && g.StartStaged)
+}
+
+// EndHasRead reports whether the segment's end boundary carries a baseline
+// memory read.
+func (g *Segment) EndHasRead() bool {
+	return g.EndKind == BoundRead || g.EndKind == BoundExternal || (g.EndKind == BoundCut && g.EndStaged)
+}
+
+// First reports whether this is the variable's first segment.
+func (g *Segment) First() bool { return g.Index == 0 }
+
+// Last reports whether this is the variable's final segment.
+func (g *Segment) Last() bool { return g.Index == g.NumSegs-1 }
+
+// StartPoint returns the half-point of the segment start.
+func (g *Segment) StartPoint() int { return WritePoint(g.Start) }
+
+// EndPoint returns the half-point of the segment end.
+func (g *Segment) EndPoint() int { return ReadPoint(g.End) }
+
+func (g *Segment) String() string {
+	f := ""
+	if g.Forced {
+		f = " forced"
+	}
+	return fmt.Sprintf("%s[%d/%d] %d..%d (%s..%s)%s", g.Var, g.Index+1, g.NumSegs, g.Start, g.End, g.StartKind, g.EndKind, f)
+}
+
+// Split cuts every lifetime of the set into segments at its multiple reads
+// and, under restricted memory access, at access times per the policy. It
+// also marks forced (register-only) segments. Segments are returned grouped
+// by variable, variables in Set order.
+func (s *Set) Split(mem MemoryAccess, policy SplitPolicy) ([][]Segment, error) {
+	return s.SplitCuts(mem, policy, nil)
+}
+
+// SplitCuts is Split with additional voluntary cut steps per variable (used
+// for the Figure 4c region-boundary splits and manual experimentation).
+// Voluntary cuts carry no staged read.
+func (s *Set) SplitCuts(mem MemoryAccess, policy SplitPolicy, extra map[string][]int) ([][]Segment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	for v, steps := range extra {
+		l := s.ByVar(v)
+		if l == nil {
+			return nil, fmt.Errorf("lifetime: extra cut for unknown variable %q", v)
+		}
+		for _, c := range steps {
+			if c <= l.Write || c >= l.LastRead() {
+				return nil, fmt.Errorf("lifetime: cut of %q at step %d outside (%d,%d)", v, c, l.Write, l.LastRead())
+			}
+		}
+	}
+	all := make([][]Segment, 0, len(s.Lifetimes))
+	for i := range s.Lifetimes {
+		all = append(all, s.splitOne(&s.Lifetimes[i], mem, policy, extra[s.Lifetimes[i].Var]))
+	}
+	return all, nil
+}
+
+// splitOne computes the segments of one lifetime.
+func (s *Set) splitOne(l *Lifetime, mem MemoryAccess, policy SplitPolicy, extra []int) []Segment {
+	type bound struct {
+		step   int
+		kind   BoundKind
+		staged bool
+	}
+	startKind := BoundWrite
+	if l.Input {
+		startKind = BoundInput
+	}
+	bounds := []bound{{l.Write, startKind, false}}
+	// Cut at every read except implicitly the last (which terminates the
+	// final segment below).
+	for _, r := range l.Reads[:len(l.Reads)-1] {
+		bounds = append(bounds, bound{r, BoundRead, false})
+	}
+	addCut := func(step int, staged bool) {
+		for _, b := range bounds {
+			if b.step == step {
+				return
+			}
+		}
+		bounds = append(bounds, bound{step, BoundCut, staged})
+	}
+	// Staged cuts at restricted memory access times.
+	if mem.Period > 1 {
+		switch policy {
+		case SplitFull:
+			for _, m := range mem.AccessStepsIn(l.Write+1, l.LastRead()-1) {
+				addCut(m, true)
+			}
+		case SplitMinimal:
+			// First accessible step after an inaccessible (and non-boundary)
+			// write: allows storing to memory at the next opportunity.
+			if !l.Input && !mem.Accessible(l.Write) {
+				if ms := mem.AccessStepsIn(l.Write+1, l.LastRead()-1); len(ms) > 0 {
+					addCut(ms[0], true)
+				}
+			}
+			// Last accessible step before each inaccessible read: allows
+			// loading from memory at the previous opportunity.
+			for i, r := range l.Reads {
+				external := l.External && i == len(l.Reads)-1
+				if external || mem.Accessible(r) {
+					continue
+				}
+				if ms := mem.AccessStepsIn(l.Write+1, r-1); len(ms) > 0 {
+					addCut(ms[len(ms)-1], true)
+				}
+			}
+		}
+	}
+	// Voluntary cuts.
+	for _, c := range extra {
+		addCut(c, false)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].step < bounds[j].step })
+
+	endKind := BoundRead
+	if l.External {
+		endKind = BoundExternal
+	}
+	segs := make([]Segment, 0, len(bounds))
+	for i, b := range bounds {
+		sg := Segment{
+			Var:         l.Var,
+			Index:       i,
+			NumSegs:     len(bounds),
+			Start:       b.step,
+			StartKind:   b.kind,
+			StartStaged: b.staged,
+		}
+		if i+1 < len(bounds) {
+			sg.End = bounds[i+1].step
+			sg.EndKind = bounds[i+1].kind
+			sg.EndStaged = bounds[i+1].staged
+		} else {
+			sg.End = l.LastRead()
+			sg.EndKind = endKind
+		}
+		sg.Forced = s.forced(&sg, mem)
+		segs = append(segs, sg)
+	}
+	return segs
+}
+
+// ProposeRegionCuts suggests voluntary cut steps that let long lifetimes
+// release their register between adjacent maximum-density regions: for each
+// lifetime and each inter-region gap it strictly spans, the first step whose
+// read point lies inside the gap. This is how Figure 4c splits variable f to
+// reach both minimum memory accesses and minimum storage locations.
+func (s *Set) ProposeRegionCuts() map[string][]int {
+	regions := s.MaxDensityRegions()
+	cuts := make(map[string][]int)
+	for i := range s.Lifetimes {
+		l := &s.Lifetimes[i]
+		for k := 0; k+1 < len(regions); k++ {
+			gapLo, gapHi := regions[k].End, regions[k+1].Start // exclusive bounds
+			// Smallest step c with gapLo < ReadPoint(c) < gapHi.
+			c := (gapLo + 2) / 2
+			for ; ReadPoint(c) <= gapLo; c++ {
+			}
+			if ReadPoint(c) >= gapHi {
+				continue
+			}
+			if c > l.Write && c < l.LastRead() {
+				cuts[l.Var] = append(cuts[l.Var], c)
+			}
+		}
+		sort.Ints(cuts[l.Var])
+	}
+	for v, c := range cuts {
+		if len(c) == 0 {
+			delete(cuts, v)
+		}
+	}
+	return cuts
+}
+
+// forced implements §5.2: a segment whose start or end falls between memory
+// access times cannot live in memory, so its flow is pinned to 1.
+func (s *Set) forced(g *Segment, mem MemoryAccess) bool {
+	if mem.Period <= 1 {
+		return false
+	}
+	startOK := g.StartKind == BoundInput || mem.Accessible(g.Start)
+	endOK := g.EndKind == BoundExternal || mem.Accessible(g.End)
+	return !startOK || !endOK
+}
+
+// SegmentsFlat flattens grouped segments in variable order.
+func SegmentsFlat(grouped [][]Segment) []Segment {
+	var flat []Segment
+	for _, g := range grouped {
+		flat = append(flat, g...)
+	}
+	return flat
+}

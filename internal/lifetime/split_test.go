@@ -1,0 +1,334 @@
+package lifetime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var fig1Memory = MemoryAccess{Period: 2, Offset: 1} // access at steps 1,3,5,7
+
+func TestMemoryAccessible(t *testing.T) {
+	m := fig1Memory
+	for _, step := range []int{1, 3, 5, 7} {
+		if !m.Accessible(step) {
+			t.Errorf("step %d should be accessible", step)
+		}
+	}
+	for _, step := range []int{2, 4, 6} {
+		if m.Accessible(step) {
+			t.Errorf("step %d should not be accessible", step)
+		}
+	}
+	if !FullSpeed.Accessible(999) {
+		t.Error("full speed memory always accessible")
+	}
+	if m.Accessible(0) {
+		t.Error("step before offset accessible")
+	}
+}
+
+func TestAccessStepsIn(t *testing.T) {
+	m := fig1Memory
+	got := m.AccessStepsIn(2, 6)
+	want := []int{3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("steps %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("steps %v, want %v", got, want)
+		}
+	}
+	if got := m.AccessStepsIn(6, 5); got != nil {
+		t.Fatalf("empty range gave %v", got)
+	}
+	if got := FullSpeed.AccessStepsIn(2, 4); len(got) != 3 {
+		t.Fatalf("full speed range %v", got)
+	}
+}
+
+func TestFigure1cSplit(t *testing.T) {
+	// Variable c (written step 2, read externally) crossing access times
+	// {1,3,5} becomes two arcs with the top one forced — the paper's
+	// Figure 1c.
+	set := &Set{
+		Steps: 7,
+		Lifetimes: []Lifetime{
+			{Var: "a", Write: 1, Reads: []int{3}},
+			{Var: "b", Write: 1, Reads: []int{3}},
+			{Var: "c", Write: 2, Reads: []int{8}, External: true},
+			{Var: "d", Write: 3, Reads: []int{8}, External: true},
+			{Var: "e", Write: 5, Reads: []int{6}},
+		},
+	}
+	grouped, err := set.Split(fig1Memory, SplitMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVar := map[string][]Segment{}
+	for _, g := range grouped {
+		byVar[g[0].Var] = g
+	}
+	c := byVar["c"]
+	if len(c) != 2 {
+		t.Fatalf("c has %d segments, want 2", len(c))
+	}
+	if !c[0].Forced || c[1].Forced {
+		t.Fatalf("c forced flags: %v %v, want top only", c[0].Forced, c[1].Forced)
+	}
+	if c[0].End != 3 || c[1].Start != 3 {
+		t.Fatalf("c split at %d/%d, want step 3", c[0].End, c[1].Start)
+	}
+	if !c[0].EndStaged {
+		t.Fatal("restricted-access cut should be staged")
+	}
+	e := byVar["e"]
+	if len(e) != 1 || !e[0].Forced {
+		t.Fatalf("e should be one forced segment, got %v", e)
+	}
+	for _, v := range []string{"a", "d"} {
+		g := byVar[v]
+		if len(g) != 1 || g[0].Forced {
+			t.Fatalf("%s should be one unforced segment, got %v", v, g)
+		}
+	}
+	// b is written at step 1 (accessible) and read at 3 (accessible).
+	if b := byVar["b"]; b[0].Forced {
+		t.Fatal("b should not be forced")
+	}
+}
+
+func TestSplitAtMultipleReads(t *testing.T) {
+	set := &Set{Steps: 6, Lifetimes: []Lifetime{
+		{Var: "v", Write: 1, Reads: []int{2, 4, 6}},
+	}}
+	grouped, err := set.Split(FullSpeed, SplitMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grouped[0]
+	if len(g) != 3 {
+		t.Fatalf("%d segments, want 3 (one per read)", len(g))
+	}
+	wantBounds := [][2]int{{1, 2}, {2, 4}, {4, 6}}
+	for i, w := range wantBounds {
+		if g[i].Start != w[0] || g[i].End != w[1] {
+			t.Fatalf("segment %d = %d..%d, want %d..%d", i, g[i].Start, g[i].End, w[0], w[1])
+		}
+	}
+	if !g[0].First() || g[0].Last() || !g[2].Last() {
+		t.Fatal("First/Last flags wrong")
+	}
+	for i := range g {
+		if !g[i].EndHasRead() {
+			t.Fatalf("segment %d end should be a read", i)
+		}
+	}
+	if g[1].StartKind != BoundRead || !g[1].StartHasRead() {
+		t.Fatal("mid segment starts at a read boundary")
+	}
+}
+
+func TestSplitFullCutsAllAccessSteps(t *testing.T) {
+	set := &Set{Steps: 8, Lifetimes: []Lifetime{
+		{Var: "v", Write: 1, Reads: []int{8}},
+	}}
+	grouped, err := set.Split(MemoryAccess{Period: 2, Offset: 1}, SplitFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Access steps inside (1,8): 3,5,7 → 4 segments.
+	if len(grouped[0]) != 4 {
+		t.Fatalf("%d segments, want 4", len(grouped[0]))
+	}
+}
+
+func TestVoluntaryCuts(t *testing.T) {
+	set := &Set{Steps: 8, Lifetimes: []Lifetime{
+		{Var: "v", Write: 1, Reads: []int{8}},
+	}}
+	grouped, err := set.SplitCuts(FullSpeed, SplitMinimal, map[string][]int{"v": {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grouped[0]
+	if len(g) != 2 {
+		t.Fatalf("%d segments, want 2", len(g))
+	}
+	if g[0].EndStaged || g[1].StartStaged {
+		t.Fatal("voluntary cut must not be staged")
+	}
+	if g[0].EndHasRead() {
+		t.Fatal("voluntary cut carries no baseline read")
+	}
+	if g[0].Forced || g[1].Forced {
+		t.Fatal("full-speed voluntary cut must not force register residence")
+	}
+}
+
+func TestVoluntaryCutValidation(t *testing.T) {
+	set := &Set{Steps: 8, Lifetimes: []Lifetime{{Var: "v", Write: 2, Reads: []int{6}}}}
+	if _, err := set.SplitCuts(FullSpeed, SplitMinimal, map[string][]int{"v": {2}}); err == nil {
+		t.Fatal("cut at write step accepted")
+	}
+	if _, err := set.SplitCuts(FullSpeed, SplitMinimal, map[string][]int{"v": {6}}); err == nil {
+		t.Fatal("cut at last read accepted")
+	}
+	if _, err := set.SplitCuts(FullSpeed, SplitMinimal, map[string][]int{"w": {3}}); err == nil {
+		t.Fatal("cut for unknown variable accepted")
+	}
+}
+
+func TestInputAndExternalBoundariesNotForced(t *testing.T) {
+	set := &Set{Steps: 4, Lifetimes: []Lifetime{
+		{Var: "in", Write: 0, Reads: []int{3}, Input: true},
+		{Var: "out", Write: 3, Reads: []int{5}, External: true},
+	}}
+	mem := MemoryAccess{Period: 2, Offset: 1}
+	grouped, err := set.Split(mem, SplitMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range grouped {
+		for _, s := range g {
+			if (s.StartKind == BoundInput || s.EndKind == BoundExternal) && s.Forced {
+				// in: starts at block entry (accessible), read at 3
+				// (accessible); out: written at 3, leaves the block.
+				t.Fatalf("boundary segment forced: %v", s.String())
+			}
+		}
+	}
+}
+
+// TestSplitCoverageProperty: segments of a variable tile its lifetime
+// exactly: consecutive, no gaps, starting at the write and ending at the
+// last read.
+func TestSplitCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomMultiReadSet(rng)
+		period := 1 + rng.Intn(4)
+		mem := MemoryAccess{Period: period, Offset: 1 + rng.Intn(period)}
+		policy := SplitPolicy(rng.Intn(2))
+		grouped, err := set.Split(mem, policy)
+		if err != nil {
+			return false
+		}
+		for gi, g := range grouped {
+			l := set.Lifetimes[gi]
+			if len(g) == 0 || g[0].Start != l.Write || g[len(g)-1].End != l.LastRead() {
+				return false
+			}
+			for i := range g {
+				if g[i].Index != i || g[i].NumSegs != len(g) || g[i].Var != l.Var {
+					return false
+				}
+				if i > 0 && g[i].Start != g[i-1].End {
+					return false
+				}
+				if g[i].End <= g[i].Start {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForcedRuleProperty: a segment is forced exactly when an endpoint is
+// inaccessible (block boundaries always accessible).
+func TestForcedRuleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomMultiReadSet(rng)
+		period := 2 + rng.Intn(3)
+		mem := MemoryAccess{Period: period, Offset: 1 + rng.Intn(period)}
+		grouped, err := set.Split(mem, SplitMinimal)
+		if err != nil {
+			return false
+		}
+		for _, g := range grouped {
+			for _, s := range g {
+				startOK := s.StartKind == BoundInput || mem.Accessible(s.Start)
+				endOK := s.EndKind == BoundExternal || mem.Accessible(s.End)
+				if s.Forced != (!startOK || !endOK) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProposeRegionCuts(t *testing.T) {
+	// A long variable spanning two regions gets a cut in the gap.
+	set := &Set{
+		Steps: 7,
+		Lifetimes: []Lifetime{
+			{Var: "a", Write: 1, Reads: []int{3}},
+			{Var: "b", Write: 1, Reads: []int{3}},
+			{Var: "long", Write: 1, Reads: []int{7}},
+			{Var: "d", Write: 5, Reads: []int{7}},
+			{Var: "e", Write: 5, Reads: []int{7}},
+		},
+	}
+	cuts := set.ProposeRegionCuts()
+	steps, ok := cuts["long"]
+	if !ok || len(steps) == 0 {
+		t.Fatalf("no cut proposed for long variable: %v", cuts)
+	}
+	for _, c := range steps {
+		if c <= 1 || c >= 7 {
+			t.Fatalf("cut %d outside lifetime", c)
+		}
+	}
+	// Short variables strictly inside one region get no cuts.
+	if _, ok := cuts["a"]; ok {
+		t.Fatalf("spurious cut for a: %v", cuts)
+	}
+}
+
+func randomMultiReadSet(rng *rand.Rand) *Set {
+	steps := 5 + rng.Intn(8)
+	n := 1 + rng.Intn(6)
+	set := &Set{Steps: steps}
+	for i := 0; i < n; i++ {
+		input := rng.Intn(4) == 0
+		w := 0
+		if !input {
+			w = 1 + rng.Intn(steps-1)
+		}
+		l := Lifetime{Var: string(rune('a' + i)), Write: w, Input: input}
+		nr := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		for k := 0; k < nr; k++ {
+			r := w + 1 + rng.Intn(steps-w)
+			if !seen[r] {
+				seen[r] = true
+				l.Reads = append(l.Reads, r)
+			}
+		}
+		sortIntsInPlace(l.Reads)
+		if rng.Intn(3) == 0 {
+			l.External = true
+			l.Reads = append(l.Reads, steps+1)
+		}
+		set.Lifetimes = append(set.Lifetimes, l)
+	}
+	return set
+}
+
+func sortIntsInPlace(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

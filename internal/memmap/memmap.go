@@ -1,0 +1,85 @@
+// Package memmap implements the paper's second allocation stage (§5): the
+// lifetimes of data variables assigned to memory form another minimum-cost
+// network flow problem, solved to bind variables to a minimum number of
+// memory locations while minimising the activity (data switching) on each
+// location — the proxy the paper uses for address/data line energy before
+// detailed data layout.
+package memmap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+)
+
+// Binding maps memory-resident variables to locations.
+type Binding struct {
+	// Location[v] is the memory word index assigned to variable v.
+	Location map[string]int
+	// Locations is the number of distinct words used (minimum possible:
+	// the maximum density of the memory lifetimes).
+	Locations int
+	// Switching is the total Hamming activity across all locations: the sum
+	// over each location of the transitions between successive residents.
+	Switching float64
+	// Chains lists the residents of each location in time order.
+	Chains [][]string
+}
+
+// Allocate binds the named memory-resident variables of the set to memory
+// locations with the activity-based min-cost flow. Variables not in memVars
+// are ignored (they live in registers).
+func Allocate(set *lifetime.Set, memVars []string, h energy.Hamming) (*Binding, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		h = energy.ConstHamming(0.5)
+	}
+	want := make(map[string]bool, len(memVars))
+	for _, v := range memVars {
+		if set.ByVar(v) == nil {
+			return nil, fmt.Errorf("memmap: unknown variable %q", v)
+		}
+		want[v] = true
+	}
+	sub := &lifetime.Set{Steps: set.Steps}
+	for _, l := range set.Lifetimes {
+		if want[l.Var] {
+			sub.Lifetimes = append(sub.Lifetimes, l)
+		}
+	}
+	b := &Binding{Location: make(map[string]int)}
+	if len(sub.Lifetimes) == 0 {
+		return b, nil
+	}
+	// Unit activity energy: the chain structure minimising H·1 also
+	// minimises H·Crw·V² for any fixed capacitance/voltage.
+	unit := energy.Model{CrwV2: 1}
+	chains, err := baseline.MinActivityChains(sub, h, unit)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(chains, func(i, j int) bool { return chains[i][0] < chains[j][0] })
+	b.Chains = chains
+	b.Locations = len(chains)
+	for loc, chain := range chains {
+		prev := ""
+		for _, v := range chain {
+			b.Location[v] = loc
+			b.Switching += h(prev, v)
+			prev = v
+		}
+	}
+	return b, nil
+}
+
+// SwitchingEnergy converts the binding's total Hamming activity to energy
+// given the memory data-bus capacitance-voltage-squared term (the memory
+// analogue of eq. 2's Crw·Vr²).
+func (b *Binding) SwitchingEnergy(cmemV2 float64) float64 {
+	return b.Switching * cmemV2
+}

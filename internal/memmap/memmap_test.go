@@ -1,0 +1,139 @@
+package memmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/workload"
+)
+
+func TestAllocateMinimumLocations(t *testing.T) {
+	set := workload.Figure1() // density 3
+	vars := []string{"a", "b", "c", "d", "e"}
+	b, err := Allocate(set, vars, energy.ConstHamming(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Locations != 3 {
+		t.Fatalf("locations %d, want density 3", b.Locations)
+	}
+	if len(b.Location) != 5 {
+		t.Fatalf("bound %d variables, want 5", len(b.Location))
+	}
+}
+
+func TestAllocateSubset(t *testing.T) {
+	set := workload.Figure1()
+	b, err := Allocate(set, []string{"a", "e"}, energy.ConstHamming(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Locations != 1 {
+		t.Fatalf("locations %d, want 1 (a and e don't overlap)", b.Locations)
+	}
+	if b.Location["a"] != b.Location["e"] {
+		t.Fatal("compatible variables should share a location")
+	}
+}
+
+func TestAllocateEmpty(t *testing.T) {
+	set := workload.Figure1()
+	b, err := Allocate(set, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Locations != 0 || b.Switching != 0 {
+		t.Fatalf("empty binding: %+v", b)
+	}
+}
+
+func TestAllocateUnknownVariable(t *testing.T) {
+	if _, err := Allocate(workload.Figure1(), []string{"ghost"}, nil); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestSwitchingMinimised(t *testing.T) {
+	// Two compatible pairs; oracle prefers x->y over x->z.
+	set := &lifetime.Set{Steps: 6, Lifetimes: []lifetime.Lifetime{
+		{Var: "x", Write: 1, Reads: []int{2}},
+		{Var: "y", Write: 3, Reads: []int{4}},
+		{Var: "z", Write: 3, Reads: []int{4}},
+	}}
+	h := energy.PairHamming(map[[2]string]float64{
+		{"x", "y"}: 0.1, {"x", "z"}: 0.9,
+	}, 0.5)
+	b, err := Allocate(set, []string{"x", "y", "z"}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Location["x"] != b.Location["y"] {
+		t.Fatalf("x should share with y (cheaper): %+v", b.Location)
+	}
+	// Switching: init(x)=0.5 + x->y 0.1 + init(z)=0.5.
+	if math.Abs(b.Switching-1.1) > 1e-9 {
+		t.Fatalf("switching %g, want 1.1", b.Switching)
+	}
+}
+
+// TestBindingProperty: locations equal the memory sub-density; no two
+// overlapping variables share a location; every requested variable is bound.
+func TestBindingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := workload.Random(rng, workload.RandomParams{
+			Vars: 2 + rng.Intn(10), Steps: 5 + rng.Intn(8), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
+		})
+		var vars []string
+		for _, l := range set.Lifetimes {
+			if rng.Intn(3) > 0 {
+				vars = append(vars, l.Var)
+			}
+		}
+		b, err := Allocate(set, vars, energy.ConstHamming(0.5))
+		if err != nil {
+			return false
+		}
+		if len(b.Location) != len(vars) {
+			return false
+		}
+		for _, v1 := range vars {
+			for _, v2 := range vars {
+				if v1 == v2 || b.Location[v1] != b.Location[v2] {
+					continue
+				}
+				a, c := set.ByVar(v1), set.ByVar(v2)
+				if a.StartPoint() <= c.EndPoint() && c.StartPoint() <= a.EndPoint() {
+					return false // overlapping residents of one word
+				}
+			}
+		}
+		// Minimum locations == max overlap of the selected lifetimes.
+		depth := map[int]int{}
+		maxDepth := 0
+		for _, v := range vars {
+			l := set.ByVar(v)
+			for p := l.StartPoint(); p <= l.EndPoint(); p++ {
+				depth[p]++
+				if depth[p] > maxDepth {
+					maxDepth = depth[p]
+				}
+			}
+		}
+		return b.Locations == maxDepth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchingEnergy(t *testing.T) {
+	b := &Binding{Switching: 2.5}
+	if got := b.SwitchingEnergy(4); got != 10 {
+		t.Fatalf("switching energy %g, want 10", got)
+	}
+}

@@ -1,0 +1,96 @@
+package moa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AGUOp is one address-generation-unit action accompanying a memory access.
+type AGUOp int
+
+const (
+	// AGULoadAR loads the address register with an absolute offset (costs an
+	// immediate instruction).
+	AGULoadAR AGUOp = iota
+	// AGUInc uses the free post-increment.
+	AGUInc
+	// AGUDec uses the free post-decrement.
+	AGUDec
+	// AGUStay reuses the current address (repeated access).
+	AGUStay
+)
+
+func (op AGUOp) String() string {
+	switch op {
+	case AGULoadAR:
+		return "ldar"
+	case AGUInc:
+		return "inc"
+	case AGUDec:
+		return "dec"
+	case AGUStay:
+		return "stay"
+	}
+	return fmt.Sprintf("agu(%d)", int(op))
+}
+
+// AGUStep pairs one access of the sequence with the AGU action that reaches
+// its address.
+type AGUStep struct {
+	Var    string
+	Offset int
+	AR     int
+	Op     AGUOp
+}
+
+// AGUProgram is the lowered address stream: the conclusion's extension taken
+// to the instruction level, mirroring what emit does for data.
+type AGUProgram struct {
+	Steps []AGUStep
+	// Explicit counts the ldar instructions (code size / cycles).
+	Explicit int
+}
+
+// Listing renders the stream as assembly-like text.
+func (p *AGUProgram) Listing() string {
+	var b strings.Builder
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, "%-5s ar%d -> %-3d ; %s\n", s.Op, s.AR, s.Offset, s.Var)
+	}
+	return b.String()
+}
+
+// LowerAGU turns an offset assignment plus the access sequence into the
+// concrete AGU action stream. Every variable in the sequence must be bound
+// by the assignment.
+func LowerAGU(sequence []string, a *Assignment) (*AGUProgram, error) {
+	p := &AGUProgram{}
+	cur := make(map[int]int) // AR -> current offset
+	init := make(map[int]bool)
+	for _, v := range sequence {
+		off, ok := a.Offset[v]
+		if !ok {
+			return nil, fmt.Errorf("moa: %q not in the offset assignment", v)
+		}
+		ar := a.AR[v]
+		st := AGUStep{Var: v, Offset: off, AR: ar}
+		switch {
+		case !init[ar]:
+			st.Op = AGULoadAR
+			p.Explicit++
+			init[ar] = true
+		case cur[ar] == off:
+			st.Op = AGUStay
+		case cur[ar]+1 == off:
+			st.Op = AGUInc
+		case cur[ar]-1 == off:
+			st.Op = AGUDec
+		default:
+			st.Op = AGULoadAR
+			p.Explicit++
+		}
+		cur[ar] = off
+		p.Steps = append(p.Steps, st)
+	}
+	return p, nil
+}

@@ -1,0 +1,317 @@
+// Package moa implements the offset-assignment extension the paper's
+// conclusion reports ("recently been extended to solve the multiple offset
+// assignment problem in software synthesis for DSP processors where
+// performance, code size and power objective functions are supported").
+//
+// DSP address-generation units post-increment or post-decrement an address
+// register for free; any other address change costs an explicit update
+// instruction (code size and performance) and switches address lines
+// (power). Given the memory access sequence of a block, offset assignment
+// places variables at memory offsets so consecutive accesses are mostly
+// ±1 apart: Simple Offset Assignment (SOA) with one address register,
+// General Offset Assignment (GOA) with several.
+package moa
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Assignment is an offset assignment outcome.
+type Assignment struct {
+	// Offset maps each variable to its memory offset (dense, from 0, unique
+	// per address-register partition — offsets across ARs live in disjoint
+	// ranges).
+	Offset map[string]int
+	// AR maps each variable to its address register (0-based).
+	AR map[string]int
+	// ARs is the number of address registers used.
+	ARs int
+	// ExplicitUpdates counts accesses needing an explicit address update
+	// (the code-size / performance objective).
+	ExplicitUpdates int
+	// AddressSwitching sums the Hamming distances between consecutive
+	// addresses on each AR (the power objective).
+	AddressSwitching float64
+}
+
+// SOA computes a simple offset assignment for the access sequence with
+// Liao's maximum-weight path-cover greedy.
+func SOA(sequence []string) (*Assignment, error) {
+	if len(sequence) == 0 {
+		return &Assignment{Offset: map[string]int{}, AR: map[string]int{}, ARs: 0}, nil
+	}
+	vars, offsets := pathCoverOffsets(sequence)
+	a := &Assignment{Offset: offsets, AR: make(map[string]int, len(vars)), ARs: 1}
+	for _, v := range vars {
+		a.AR[v] = 0
+	}
+	a.ExplicitUpdates = Updates(sequence, offsets)
+	a.AddressSwitching = AddressSwitching(sequence, offsets)
+	return a, nil
+}
+
+// GOA partitions the variables among `ars` address registers (greedy
+// affinity partition over the access graph) and runs SOA per register.
+func GOA(sequence []string, ars int) (*Assignment, error) {
+	if ars < 1 {
+		return nil, fmt.Errorf("moa: need at least one address register, got %d", ars)
+	}
+	if ars == 1 {
+		return SOA(sequence)
+	}
+	vars := uniqueVars(sequence)
+	w := adjacency(sequence)
+
+	// Greedy affinity: place variables (most frequent first) on the AR
+	// where their adjacency weight to already-placed variables is largest;
+	// break ties toward the emptiest AR.
+	freq := make(map[string]int)
+	for _, v := range sequence {
+		freq[v]++
+	}
+	order := append([]string(nil), vars...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if freq[order[i]] != freq[order[j]] {
+			return freq[order[i]] > freq[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	arOf := make(map[string]int, len(vars))
+	arLoad := make([]int, ars)
+	for _, v := range order {
+		best, bestScore := 0, -1
+		for r := 0; r < ars; r++ {
+			score := 0
+			for u, ar := range arOf {
+				if ar == r {
+					score += w[pair{v, u}] + w[pair{u, v}]
+				}
+			}
+			// Prefer higher affinity; among equals, the lighter register.
+			if score > bestScore || (score == bestScore && arLoad[r] < arLoad[best]) {
+				best, bestScore = r, score
+			}
+		}
+		arOf[v] = best
+		arLoad[best]++
+	}
+
+	a := &Assignment{Offset: make(map[string]int), AR: arOf, ARs: ars}
+	base := 0
+	for r := 0; r < ars; r++ {
+		var sub []string
+		for _, v := range sequence {
+			if arOf[v] == r {
+				sub = append(sub, v)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		_, offsets := pathCoverOffsets(sub)
+		maxOff := 0
+		for v, off := range offsets {
+			a.Offset[v] = base + off
+			if off > maxOff {
+				maxOff = off
+			}
+		}
+		a.ExplicitUpdates += Updates(sub, offsets)
+		a.AddressSwitching += AddressSwitching(sub, offsets)
+		base += maxOff + 1
+	}
+	return a, nil
+}
+
+// Updates counts the accesses in the sequence whose address is not within
+// ±1 of the previous access (plus the initial address load).
+func Updates(sequence []string, offset map[string]int) int {
+	if len(sequence) == 0 {
+		return 0
+	}
+	updates := 1 // initial AR load
+	for i := 1; i < len(sequence); i++ {
+		d := offset[sequence[i]] - offset[sequence[i-1]]
+		if d < -1 || d > 1 {
+			updates++
+		}
+	}
+	return updates
+}
+
+// AddressSwitching sums the Hamming distances between consecutive binary
+// addresses (the power objective: address-line activity).
+func AddressSwitching(sequence []string, offset map[string]int) float64 {
+	var total float64
+	for i := 1; i < len(sequence); i++ {
+		a := uint(offset[sequence[i-1]])
+		b := uint(offset[sequence[i]])
+		total += float64(bits.OnesCount(a ^ b))
+	}
+	return total
+}
+
+// ExactSOA exhaustively searches all offset permutations (≤ 9 variables)
+// minimising explicit updates; ties broken by address switching. Used to
+// certify the greedy in tests.
+func ExactSOA(sequence []string) (*Assignment, error) {
+	vars := uniqueVars(sequence)
+	if len(vars) > 9 {
+		return nil, fmt.Errorf("moa: %d variables too many for exact search", len(vars))
+	}
+	best := &Assignment{ExplicitUpdates: 1 << 30}
+	perm := make([]int, len(vars))
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			off := make(map[string]int, len(vars))
+			for i, v := range vars {
+				off[v] = perm[i]
+			}
+			u := Updates(sequence, off)
+			s := AddressSwitching(sequence, off)
+			if u < best.ExplicitUpdates || (u == best.ExplicitUpdates && s < best.AddressSwitching) {
+				best = &Assignment{Offset: off, ARs: 1, ExplicitUpdates: u, AddressSwitching: s}
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	best.AR = make(map[string]int, len(vars))
+	for _, v := range vars {
+		best.AR[v] = 0
+	}
+	return best, nil
+}
+
+type pair struct{ a, b string }
+
+// adjacency counts ordered adjacencies in the sequence.
+func adjacency(sequence []string) map[pair]int {
+	w := make(map[pair]int)
+	for i := 1; i < len(sequence); i++ {
+		if sequence[i-1] != sequence[i] {
+			w[pair{sequence[i-1], sequence[i]}]++
+		}
+	}
+	return w
+}
+
+func uniqueVars(sequence []string) []string {
+	seen := make(map[string]bool)
+	var vars []string
+	for _, v := range sequence {
+		if !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// pathCoverOffsets runs Liao's greedy maximum-weight path cover on the
+// access graph and lays the paths out at consecutive offsets.
+func pathCoverOffsets(sequence []string) ([]string, map[string]int) {
+	vars := uniqueVars(sequence)
+	w := adjacency(sequence)
+	type edge struct {
+		a, b   string
+		weight int
+	}
+	undirected := make(map[pair]int)
+	for p, c := range w {
+		key := p
+		if key.b < key.a {
+			key = pair{p.b, p.a}
+		}
+		undirected[key] += c
+	}
+	edges := make([]edge, 0, len(undirected))
+	for p, c := range undirected {
+		edges = append(edges, edge{p.a, p.b, c})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight > edges[j].weight
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	degree := make(map[string]int, len(vars))
+	parent := make(map[string]string, len(vars))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" || parent[x] == x {
+			parent[x] = x
+			return x
+		}
+		root := find(parent[x])
+		parent[x] = root
+		return root
+	}
+	next := make(map[string][]string, len(vars))
+	for _, e := range edges {
+		if degree[e.a] >= 2 || degree[e.b] >= 2 {
+			continue
+		}
+		if find(e.a) == find(e.b) {
+			continue // would close a cycle
+		}
+		parent[find(e.a)] = find(e.b)
+		degree[e.a]++
+		degree[e.b]++
+		next[e.a] = append(next[e.a], e.b)
+		next[e.b] = append(next[e.b], e.a)
+	}
+
+	// Walk each path from an endpoint, assigning consecutive offsets.
+	offsets := make(map[string]int, len(vars))
+	assigned := make(map[string]bool, len(vars))
+	cur := 0
+	walk := func(start string) {
+		prev := ""
+		v := start
+		for {
+			offsets[v] = cur
+			cur++
+			assigned[v] = true
+			nxt := ""
+			for _, u := range next[v] {
+				if u != prev {
+					nxt = u
+					break
+				}
+			}
+			if nxt == "" {
+				return
+			}
+			prev, v = v, nxt
+		}
+	}
+	for _, v := range vars {
+		if !assigned[v] && degree[v] <= 1 {
+			walk(v)
+		}
+	}
+	for _, v := range vars { // isolated leftovers (shouldn't happen, but safe)
+		if !assigned[v] {
+			offsets[v] = cur
+			cur++
+		}
+	}
+	return vars, offsets
+}

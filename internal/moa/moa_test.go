@@ -1,0 +1,288 @@
+package moa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+func TestSOAEmptyAndSingle(t *testing.T) {
+	a, err := SOA(nil)
+	if err != nil || a.ExplicitUpdates != 0 {
+		t.Fatalf("empty: %+v %v", a, err)
+	}
+	a, err = SOA([]string{"x", "x", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExplicitUpdates != 1 { // only the initial AR load
+		t.Fatalf("single variable updates %d, want 1", a.ExplicitUpdates)
+	}
+}
+
+func TestSOAChainSequence(t *testing.T) {
+	// a b a b c b c: Liao's classic shape — a-b and b-c are heavy edges, so
+	// the layout must be a,b,c consecutive and all transitions free.
+	seq := []string{"a", "b", "a", "b", "c", "b", "c"}
+	a, err := SOA(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExplicitUpdates != 1 {
+		t.Fatalf("updates %d, want 1 (all adjacent transitions ±1): offsets %v", a.ExplicitUpdates, a.Offset)
+	}
+	if d := a.Offset["a"] - a.Offset["b"]; d != 1 && d != -1 {
+		t.Fatalf("a,b not adjacent: %v", a.Offset)
+	}
+	if d := a.Offset["b"] - a.Offset["c"]; d != 1 && d != -1 {
+		t.Fatalf("b,c not adjacent: %v", a.Offset)
+	}
+}
+
+func TestSOAOffsetsDense(t *testing.T) {
+	seq := []string{"a", "b", "c", "d", "a", "c"}
+	a, err := SOA(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, off := range a.Offset {
+		if off < 0 || off >= len(a.Offset) {
+			t.Fatalf("offset %d out of dense range: %v", off, a.Offset)
+		}
+		if seen[off] {
+			t.Fatalf("duplicate offset: %v", a.Offset)
+		}
+		seen[off] = true
+	}
+}
+
+func TestSOAAgainstExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(5)
+		vars := make([]string, nVars)
+		for i := range vars {
+			vars[i] = string(rune('a' + i))
+		}
+		seq := make([]string, 4+rng.Intn(10))
+		for i := range seq {
+			seq[i] = vars[rng.Intn(nVars)]
+		}
+		greedy, err := SOA(seq)
+		if err != nil {
+			return false
+		}
+		exact, err := ExactSOA(seq)
+		if err != nil {
+			return false
+		}
+		// Liao's greedy is a heuristic: never better than exact, and within
+		// a small additive gap on these tiny instances.
+		if greedy.ExplicitUpdates < exact.ExplicitUpdates {
+			return false
+		}
+		return greedy.ExplicitUpdates <= exact.ExplicitUpdates+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGOAReducesUpdates(t *testing.T) {
+	// Two interleaved streams: one AR thrashes, two ARs stay local.
+	seq := []string{}
+	for i := 0; i < 8; i++ {
+		seq = append(seq, "x", "p", "y", "q")
+	}
+	one, err := GOA(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := GOA(seq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.ExplicitUpdates > one.ExplicitUpdates {
+		t.Fatalf("GOA(2) updates %d > SOA %d", two.ExplicitUpdates, one.ExplicitUpdates)
+	}
+	if two.ARs != 2 {
+		t.Fatalf("ARs %d", two.ARs)
+	}
+}
+
+func TestGOADisjointOffsets(t *testing.T) {
+	seq := []string{"a", "b", "c", "d", "a", "c", "b", "d"}
+	a, err := GOA(seq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]string{}
+	for v, off := range a.Offset {
+		if prev, dup := seen[off]; dup {
+			t.Fatalf("offset %d shared by %s and %s", off, prev, v)
+		}
+		seen[off] = v
+	}
+}
+
+func TestGOAValidation(t *testing.T) {
+	if _, err := GOA([]string{"a"}, 0); err == nil {
+		t.Fatal("0 ARs accepted")
+	}
+}
+
+func TestUpdatesAndSwitching(t *testing.T) {
+	off := map[string]int{"a": 0, "b": 1, "c": 5}
+	seq := []string{"a", "b", "c", "b"}
+	if got := Updates(seq, off); got != 3 { // init + b->c + c->b
+		t.Fatalf("updates %d, want 3", got)
+	}
+	// Switching: 0^1 = 1 bit, 1^5 = 0b100 = 1 bit, 5^1 = 1 bit.
+	if got := AddressSwitching(seq, off); got != 3 {
+		t.Fatalf("switching %g, want 3", got)
+	}
+}
+
+func TestAccessSequenceFromAllocation(t *testing.T) {
+	set := workload.Figure1()
+	r, err := core.Allocate(set, core.Options{
+		Registers: 0,
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.DensityRegions,
+		Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := AccessSequence(r)
+	// Everything in memory: one write + one read per variable.
+	if len(seq) != 10 {
+		t.Fatalf("sequence %v, want 10 events", seq)
+	}
+	counts := map[string]int{}
+	for _, v := range seq {
+		counts[v]++
+	}
+	for _, l := range set.Lifetimes {
+		if counts[l.Var] != 2 {
+			t.Fatalf("variable %s appears %d times: %v", l.Var, counts[l.Var], seq)
+		}
+	}
+	// End-to-end: offset-assign the sequence.
+	a, err := SOA(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Offset) != 5 {
+		t.Fatalf("offsets %v", a.Offset)
+	}
+}
+
+func TestAccessSequenceMatchesTallyVolume(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := workload.Random(rng, workload.RandomParams{
+			Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
+		})
+		r, err := core.Allocate(set, core.Options{
+			Registers: rng.Intn(set.MaxDensity() + 1),
+			Memory:    lifetime.FullSpeed,
+			Style:     netbuild.DensityRegions,
+			Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+		})
+		if err != nil {
+			return false
+		}
+		return len(AccessSequence(r)) == r.Counts.Mem()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerAGU(t *testing.T) {
+	seq := []string{"a", "b", "a", "b", "c", "b", "c"}
+	a, err := SOA(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LowerAGU(seq, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != len(seq) {
+		t.Fatalf("steps %d, want %d", len(p.Steps), len(seq))
+	}
+	// The lowered explicit count must equal the assignment's objective
+	// (Updates counts the initial load plus non-±1 jumps, exactly what
+	// LowerAGU emits as ldar).
+	if p.Explicit != a.ExplicitUpdates {
+		t.Fatalf("lowered explicit %d, assignment says %d\n%s", p.Explicit, a.ExplicitUpdates, p.Listing())
+	}
+	// Every step's action reaches the right offset.
+	cur := map[int]int{}
+	for _, st := range p.Steps {
+		switch st.Op {
+		case AGUInc:
+			if st.Offset != cur[st.AR]+1 {
+				t.Fatalf("inc to %d from %d", st.Offset, cur[st.AR])
+			}
+		case AGUDec:
+			if st.Offset != cur[st.AR]-1 {
+				t.Fatalf("dec to %d from %d", st.Offset, cur[st.AR])
+			}
+		case AGUStay:
+			if st.Offset != cur[st.AR] {
+				t.Fatalf("stay moved: %d vs %d", st.Offset, cur[st.AR])
+			}
+		}
+		cur[st.AR] = st.Offset
+	}
+	if !strings.Contains(p.Listing(), "ldar") {
+		t.Fatalf("listing missing ldar:\n%s", p.Listing())
+	}
+}
+
+func TestLowerAGUUnknownVar(t *testing.T) {
+	a := &Assignment{Offset: map[string]int{}, AR: map[string]int{}}
+	if _, err := LowerAGU([]string{"ghost"}, a); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+// TestLowerAGUMatchesUpdatesProperty: on random sequences the lowered
+// explicit count equals the Updates objective.
+func TestLowerAGUMatchesUpdatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(6)
+		vars := make([]string, nVars)
+		for i := range vars {
+			vars[i] = string(rune('a' + i))
+		}
+		seq := make([]string, 3+rng.Intn(12))
+		for i := range seq {
+			seq[i] = vars[rng.Intn(nVars)]
+		}
+		a, err := SOA(seq)
+		if err != nil {
+			return false
+		}
+		p, err := LowerAGU(seq, a)
+		if err != nil {
+			return false
+		}
+		return p.Explicit == a.ExplicitUpdates
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package moa
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lifetime"
+)
+
+// AccessSequence derives the memory access sequence of a decoded allocation:
+// for each control step in order, the memory writes (births and write-backs)
+// and reads (boundary reads of memory-resident segments, loads) touching
+// memory, in a deterministic order (writes before reads within a step,
+// variables alphabetically).
+func AccessSequence(r *core.Result) []string {
+	type event struct {
+		step  int
+		write bool
+		v     string
+	}
+	var events []event
+	segs := r.Build.Segments
+	inReg := func(i int) bool { return r.InRegister[i] }
+	for i := range segs {
+		seg := &segs[i]
+		// Births of memory-resident first segments.
+		if seg.First() && seg.StartKind == lifetime.BoundWrite && !inReg(i) {
+			events = append(events, event{seg.Start, true, seg.Var})
+		}
+		// Boundary reads served from memory.
+		if !inReg(i) && (seg.EndKind == lifetime.BoundRead || seg.EndKind == lifetime.BoundExternal) {
+			events = append(events, event{seg.End, false, seg.Var})
+		}
+		// Transitions with the following segment.
+		if !seg.Last() {
+			j := i + 1
+			switch {
+			case inReg(i) && !inReg(j):
+				events = append(events, event{seg.End, true, seg.Var}) // write-back
+			case !inReg(i) && inReg(j) && seg.EndKind == lifetime.BoundCut:
+				events = append(events, event{seg.End, false, seg.Var}) // explicit load
+			}
+		}
+		// Input loads.
+		if seg.First() && seg.StartKind == lifetime.BoundInput && inReg(i) {
+			events = append(events, event{0, false, seg.Var})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.step != eb.step {
+			return ea.step < eb.step
+		}
+		if ea.write != eb.write {
+			return ea.write // writes (bottom of previous step) first
+		}
+		return ea.v < eb.v
+	})
+	seq := make([]string, len(events))
+	for i, e := range events {
+		seq[i] = e.v
+	}
+	return seq
+}

@@ -1,0 +1,128 @@
+package netbuild
+
+import (
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+)
+
+// Arc costs follow the paper's eqs. (3)–(10), decomposed into an exit part
+// (what happens to v1 when its register is handed over) and an enter part
+// (what happens to v2 when it takes the register):
+//
+//	exit(v1 at segment i):  −E^m_r(v1)                (boundary read saved)
+//	                        +E^m_w(v1) when i < last  (write-back, eqs. 6/7)
+//	enter(v2 at segment j): −E^m_w(v2) when j == 1    (memory write saved)
+//	                        +E^m_r(v2) when j == 1 and v2 is a block input
+//	                         (the input already lives in memory: entering the
+//	                          register file costs a load instead of saving a
+//	                          write)
+//	                        0 when j > 1              (the boundary read
+//	                         doubles as the load, eqs. 7/8)
+//
+// plus the register-file term: static style pays E^r_r(v1) on exit and
+// E^r_w(v2) on enter (eq. 4); activity style pays H(v1,v2)·Crw·Vr² on enter
+// (eq. 5) and nothing on exit.
+//
+// Eq. (7) as printed omits the −E^m_r(v1) its sibling eq. (6) carries; the
+// consistent decomposition above includes it. CostOptions.PaperEq7 restores
+// the literal printed cost.
+
+// CrossCost prices an arc ri(v1)→wj(v2) between distinct variables.
+func CrossCost(co CostOptions, su, sv *lifetime.Segment) float64 {
+	c := ExitCost(co, su)
+	if co.PaperEq7 && !su.Last() && !sv.First() {
+		c += co.Model.EMemRead() // cancel the −E^m_r(v1): literal eq. (7)
+	}
+	c += EnterCost(co, su.Var, sv)
+	return c
+}
+
+// SourceCost prices s→wj(v): a register starts its life holding v.
+func SourceCost(co CostOptions, sv *lifetime.Segment) float64 {
+	return EnterCost(co, "", sv)
+}
+
+// SinkCost prices ri(v)→t: the register is idle after v's segment i.
+func SinkCost(co CostOptions, su *lifetime.Segment) float64 {
+	return ExitCost(co, su)
+}
+
+// ChainCost prices the same-variable arc ri(v)→wi+1(v) (eq. 9): the value
+// stays put, saving the boundary memory read when the baseline carries one;
+// no register write happens. Static style still pays the register read
+// serving a real read boundary.
+func ChainCost(co CostOptions, su *lifetime.Segment) float64 {
+	var c float64
+	if su.EndHasRead() {
+		c -= co.Model.EMemRead()
+	}
+	if co.Style == energy.Static && su.EndKind != lifetime.BoundCut {
+		c += co.Model.ERegRead()
+	}
+	return c
+}
+
+// ExitCost is the exit part of the decomposition above.
+func ExitCost(co CostOptions, su *lifetime.Segment) float64 {
+	var c float64
+	if su.EndHasRead() {
+		c -= co.Model.EMemRead()
+	}
+	if !su.Last() {
+		c += co.Model.EMemWrite()
+	}
+	if co.Style == energy.Static && su.EndKind != lifetime.BoundCut {
+		c += co.Model.ERegRead()
+	}
+	return c
+}
+
+// EnterCost is the enter part of the decomposition above; fromVar is the
+// variable previously held by the register ("" for the initial state).
+func EnterCost(co CostOptions, fromVar string, sv *lifetime.Segment) float64 {
+	var c float64
+	if sv.First() {
+		if sv.StartKind == lifetime.BoundInput {
+			c += co.Model.EMemRead()
+		} else {
+			c -= co.Model.EMemWrite()
+		}
+	} else if !sv.StartHasRead() {
+		// Mid-lifetime register entry at a voluntary cut: no boundary read
+		// doubles as the load, so the load is an explicit memory read.
+		c += co.Model.EMemRead()
+	}
+	if co.Style == energy.Static {
+		c += co.Model.ERegWrite()
+	} else {
+		c += co.Model.EActivity(co.H(fromVar, sv.Var))
+	}
+	return c
+}
+
+// BaselineEnergy is the all-in-memory constant term: one memory write per
+// non-input variable plus one memory read per boundary that carries one
+// (real reads, external reads and staged restricted-access cuts — the
+// paper's rlast_v reads).
+func BaselineEnergy(co CostOptions, grouped [][]lifetime.Segment) float64 {
+	var e float64
+	for _, group := range grouped {
+		if len(group) == 0 {
+			continue
+		}
+		if group[0].StartKind != lifetime.BoundInput {
+			e += co.Model.EMemWrite()
+		}
+		for i := range group {
+			if group[i].EndHasRead() {
+				e += co.Model.EMemRead()
+			}
+		}
+	}
+	return e
+}
+
+func (b *Build) crossCost(su, sv *lifetime.Segment) float64 { return CrossCost(b.Cost, su, sv) }
+func (b *Build) sourceCost(sv *lifetime.Segment) float64    { return SourceCost(b.Cost, sv) }
+func (b *Build) sinkCost(su *lifetime.Segment) float64      { return SinkCost(b.Cost, su) }
+func (b *Build) chainCost(su *lifetime.Segment) float64     { return ChainCost(b.Cost, su) }

@@ -1,0 +1,331 @@
+// Package netbuild maps the lifetime model of a scheduled basic block into
+// the paper's minimum-cost network flow problem (§5.1, §5.2).
+//
+// Construction summary: every lifetime segment wi(v)→ri(v) becomes a
+// capacity-1 arc between a write node and a read node. Regions of maximum
+// lifetime density anchor the graph: between adjacent regions a complete
+// bipartite set of transfer arcs connects segments ending in the gap to
+// segments beginning in it, which guarantees a minimum number of memory
+// locations (§7). Node s feeds segments starting before the first region,
+// and segments ending after the last region drain into node t. Fixed flow
+// R (the register count) is shipped from s to t; a zero-cost bypass arc
+// lets surplus registers idle, so a register is used exactly when it saves
+// energy.
+package netbuild
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+)
+
+// GraphStyle selects how transfer arcs are generated.
+type GraphStyle int
+
+const (
+	// DensityRegions is the paper's construction: bipartite connections only
+	// between adjacent regions of maximum lifetime density (minimum memory
+	// locations guaranteed).
+	DensityRegions GraphStyle = iota
+	// AllCompatible is the Chang–Pedram [8] style graph used by the paper's
+	// Figure 4a/b comparison: every pair of non-overlapping lifetimes is
+	// connected, and s/t connect to every lifetime. No minimum-location
+	// guarantee.
+	AllCompatible
+)
+
+func (s GraphStyle) String() string {
+	if s == DensityRegions {
+		return "density-regions"
+	}
+	return "all-compatible"
+}
+
+// ArcKind classifies a transfer arc by the paper equation giving its cost.
+type ArcKind int
+
+const (
+	// KindSegment is a lifetime-segment arc wi(v)→ri(v) (eq. 3, cost 0).
+	KindSegment ArcKind = iota
+	// KindEq4 is rlast(v1)→w1(v2) between distinct variables (eq. 4/5/10).
+	KindEq4
+	// KindEq6 is ri(v1)→w1(v2), i < last (eq. 6).
+	KindEq6
+	// KindEq7 is ri(v1)→wj(v2), i < last, j > 1 (eq. 7).
+	KindEq7
+	// KindEq8 is rlast(v1)→wj(v2), j > 1 (eq. 8).
+	KindEq8
+	// KindEq9 is the same-variable chain arc ri(v)→wi+1(v) (eq. 9).
+	KindEq9
+	// KindSource is s→wj(v).
+	KindSource
+	// KindSink is ri(v)→t.
+	KindSink
+	// KindBypass is the zero-cost s→t surplus-register arc.
+	KindBypass
+)
+
+var kindNames = [...]string{"segment", "eq4", "eq6", "eq7", "eq8", "eq9", "source", "sink", "bypass"}
+
+func (k ArcKind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// CostOptions configures the energy cost model of the network arcs.
+type CostOptions struct {
+	Style energy.Style
+	Model energy.Model
+	// H supplies switching activity for the Activity style; ignored (may be
+	// nil) for Static.
+	H energy.Hamming
+	// PaperEq7 reproduces eq. (7) literally, which omits the −E^m_r(v1)
+	// term present in the otherwise-identical eq. (6). The default (false)
+	// uses the accounting-consistent cost (see DESIGN.md); the literal form
+	// is kept for fidelity ablations.
+	PaperEq7 bool
+}
+
+// Transfer records one non-segment arc of the network with its metadata.
+type Transfer struct {
+	Arc     flow.ArcID
+	Kind    ArcKind
+	FromSeg int // flat segment index, -1 for s
+	ToSeg   int // flat segment index, -1 for t
+	Energy  float64
+}
+
+// Build is the constructed network plus everything needed to decode a
+// solution.
+type Build struct {
+	Net  *flow.Network
+	S, T int
+	// Segments is the flat segment list; SegArc[i] is segment i's arc and
+	// WNode/RNode its write/read node.
+	Segments []lifetime.Segment
+	SegArc   []flow.ArcID
+	WNode    []int
+	RNode    []int
+	// Transfers are all non-segment arcs.
+	Transfers []Transfer
+	Bypass    flow.ArcID
+	// ConstantEnergy is the all-in-memory baseline Σv [E^m_w + nSegs·E^m_r]
+	// removed from the flow objective (the paper's constant first term).
+	ConstantEnergy float64
+	// Regions are the maximum-density regions used by the construction.
+	Regions []lifetime.Region
+	Style   GraphStyle
+	Cost    CostOptions
+	Set     *lifetime.Set
+}
+
+// BuildNetwork constructs the flow network for the given lifetimes and
+// pre-split segments.
+func BuildNetwork(set *lifetime.Set, grouped [][]lifetime.Segment, style GraphStyle, co CostOptions) (*Build, error) {
+	if co.Style == energy.Activity && co.H == nil {
+		return nil, fmt.Errorf("netbuild: activity style requires a Hamming oracle")
+	}
+	if err := co.Model.Validate(); err != nil {
+		return nil, err
+	}
+	segs := lifetime.SegmentsFlat(grouped)
+	b := &Build{
+		Segments: segs,
+		Style:    style,
+		Cost:     co,
+		Set:      set,
+		Regions:  set.MaxDensityRegions(),
+	}
+	nw := flow.NewNetwork(2 + 2*len(segs))
+	b.Net = nw
+	b.S, b.T = 0, 1
+	b.WNode = make([]int, len(segs))
+	b.RNode = make([]int, len(segs))
+	b.SegArc = make([]flow.ArcID, len(segs))
+	for i := range segs {
+		b.WNode[i] = 2 + 2*i
+		b.RNode[i] = 3 + 2*i
+	}
+
+	// Segment arcs (eq. 3): cost 0, lower bound 1 when forced (§5.2),
+	// capacity 0 when barred from the register file.
+	for i := range segs {
+		var lower, capacity int64 = 0, 1
+		if segs[i].Forced {
+			lower = 1
+		}
+		if segs[i].Barred {
+			if segs[i].Forced {
+				return nil, fmt.Errorf("netbuild: segment %s both forced and barred", segs[i].String())
+			}
+			capacity = 0
+		}
+		id, err := nw.AddArc(b.WNode[i], b.RNode[i], lower, capacity, 0)
+		if err != nil {
+			return nil, err
+		}
+		b.SegArc[i] = id
+	}
+
+	// Baseline constant: one memory write per non-input variable plus one
+	// memory read per segment (the paper's rlast_v reads; segment
+	// boundaries at restricted access times are staged reads — see
+	// DESIGN.md).
+	b.ConstantEnergy = BaselineEnergy(co, grouped)
+
+	// Same-variable chain arcs (eq. 9).
+	flatIndex := make(map[string][]int, len(grouped))
+	for i, s := range segs {
+		flatIndex[s.Var] = append(flatIndex[s.Var], i)
+	}
+	for _, idxs := range flatIndex {
+		for k := 0; k+1 < len(idxs); k++ {
+			u, v := idxs[k], idxs[k+1]
+			e := b.chainCost(&segs[u])
+			if err := b.addTransfer(KindEq9, u, v, e); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Cross-variable transfer arcs plus s/t arcs, per graph style.
+	switch style {
+	case DensityRegions:
+		if err := b.buildDensityArcs(); err != nil {
+			return nil, err
+		}
+	case AllCompatible:
+		if err := b.buildAllCompatibleArcs(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("netbuild: unknown graph style %d", style)
+	}
+
+	// Surplus registers idle via the zero-cost bypass.
+	id, err := nw.AddArc(b.S, b.T, 0, flow.Unbounded, 0)
+	if err != nil {
+		return nil, err
+	}
+	b.Bypass = id
+	b.Transfers = append(b.Transfers, Transfer{Arc: id, Kind: KindBypass, FromSeg: -1, ToSeg: -1})
+	return b, nil
+}
+
+// addTransfer creates the network arc for a transfer between segments
+// (or s/t when u or v is -1) and records it.
+func (b *Build) addTransfer(kind ArcKind, u, v int, e float64) error {
+	fromNode, toNode := b.S, b.T
+	if u >= 0 {
+		fromNode = b.RNode[u]
+	}
+	if v >= 0 {
+		toNode = b.WNode[v]
+	}
+	id, err := b.Net.AddArc(fromNode, toNode, 0, 1, energy.Quantize(e))
+	if err != nil {
+		return err
+	}
+	b.Transfers = append(b.Transfers, Transfer{Arc: id, Kind: kind, FromSeg: u, ToSeg: v, Energy: e})
+	return nil
+}
+
+// buildDensityArcs implements the paper's §5.1 construction.
+func (b *Build) buildDensityArcs() error {
+	m := len(b.Regions)
+	endGap := func(e int) int {
+		g := 0
+		for _, r := range b.Regions {
+			if r.Start <= e {
+				g++
+			}
+		}
+		return g
+	}
+	startGap := func(s int) int {
+		g := 0
+		for _, r := range b.Regions {
+			if r.End < s {
+				g++
+			}
+		}
+		return g
+	}
+	for u := range b.Segments {
+		for v := range b.Segments {
+			su, sv := &b.Segments[u], &b.Segments[v]
+			if su.Var == sv.Var {
+				continue // chain arcs handle same-variable succession
+			}
+			if su.EndPoint() >= sv.StartPoint() {
+				continue
+			}
+			if endGap(su.EndPoint()) != startGap(sv.StartPoint()) {
+				continue
+			}
+			kind := b.crossKind(su, sv)
+			if err := b.addTransfer(kind, u, v, b.crossCost(su, sv)); err != nil {
+				return err
+			}
+		}
+	}
+	for v := range b.Segments {
+		if startGap(b.Segments[v].StartPoint()) == 0 {
+			if err := b.addTransfer(KindSource, -1, v, b.sourceCost(&b.Segments[v])); err != nil {
+				return err
+			}
+		}
+	}
+	for u := range b.Segments {
+		if endGap(b.Segments[u].EndPoint()) == m {
+			if err := b.addTransfer(KindSink, u, -1, b.sinkCost(&b.Segments[u])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildAllCompatibleArcs implements the Chang–Pedram style graph: every
+// time-compatible pair is connected, and s/t reach everything.
+func (b *Build) buildAllCompatibleArcs() error {
+	for u := range b.Segments {
+		for v := range b.Segments {
+			su, sv := &b.Segments[u], &b.Segments[v]
+			if su.Var == sv.Var || su.EndPoint() >= sv.StartPoint() {
+				continue
+			}
+			if err := b.addTransfer(b.crossKind(su, sv), u, v, b.crossCost(su, sv)); err != nil {
+				return err
+			}
+		}
+	}
+	for v := range b.Segments {
+		if err := b.addTransfer(KindSource, -1, v, b.sourceCost(&b.Segments[v])); err != nil {
+			return err
+		}
+	}
+	for u := range b.Segments {
+		if err := b.addTransfer(KindSink, u, -1, b.sinkCost(&b.Segments[u])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Build) crossKind(su, sv *lifetime.Segment) ArcKind {
+	switch {
+	case su.Last() && sv.First():
+		return KindEq4
+	case !su.Last() && sv.First():
+		return KindEq6
+	case !su.Last() && !sv.First():
+		return KindEq7
+	default:
+		return KindEq8
+	}
+}

@@ -1,0 +1,421 @@
+package netbuild
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+)
+
+func fig1Set() *lifetime.Set {
+	return &lifetime.Set{
+		Steps: 7,
+		Lifetimes: []lifetime.Lifetime{
+			{Var: "a", Write: 1, Reads: []int{3}},
+			{Var: "b", Write: 1, Reads: []int{3}},
+			{Var: "c", Write: 2, Reads: []int{8}, External: true},
+			{Var: "d", Write: 3, Reads: []int{8}, External: true},
+			{Var: "e", Write: 5, Reads: []int{6}},
+		},
+	}
+}
+
+func staticCO() CostOptions {
+	return CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
+}
+
+func buildFig1(t *testing.T, style GraphStyle) *Build {
+	t.Helper()
+	set := fig1Set()
+	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildNetwork(set, grouped, style, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// transferNames maps the build's transfer arcs to "from->to" strings.
+func transferNames(b *Build) map[string]ArcKind {
+	m := make(map[string]ArcKind)
+	for _, tr := range b.Transfers {
+		from, to := "s", "t"
+		if tr.FromSeg >= 0 {
+			from = b.Segments[tr.FromSeg].Var
+		}
+		if tr.ToSeg >= 0 {
+			to = b.Segments[tr.ToSeg].Var
+		}
+		m[from+"->"+to] = tr.Kind
+	}
+	return m
+}
+
+func TestFigure1DensityGraphStructure(t *testing.T) {
+	b := buildFig1(t, DensityRegions)
+	arcs := transferNames(b)
+	// The paper's Figure 1b: s connects to a, b, c; reads of a and b connect
+	// to writes of d and e; c, d, e drain to t.
+	for _, want := range []string{"s->a", "s->b", "s->c", "a->d", "a->e", "b->d", "b->e", "c->t", "d->t", "e->t", "s->t"} {
+		if _, ok := arcs[want]; !ok {
+			t.Errorf("missing arc %s (have %v)", want, arcs)
+		}
+	}
+	// And no arc that skips the density structure.
+	for _, bad := range []string{"s->d", "s->e", "a->t", "b->t", "a->c", "b->c"} {
+		if _, ok := arcs[bad]; ok {
+			t.Errorf("spurious arc %s", bad)
+		}
+	}
+}
+
+func TestFigure1AllCompatibleStructure(t *testing.T) {
+	b := buildFig1(t, AllCompatible)
+	arcs := transferNames(b)
+	// All-compatible connects s and t to everything and all compatible
+	// pairs: a ends step 3, d written step 3 → a->d exists; a->c does not
+	// (c written step 2 < a's read).
+	for _, want := range []string{"s->d", "s->e", "a->t", "a->d", "a->e", "b->d", "b->e"} {
+		if _, ok := arcs[want]; !ok {
+			t.Errorf("missing arc %s", want)
+		}
+	}
+	if _, ok := arcs["a->c"]; ok {
+		t.Error("a->c should not exist (c written before a is read)")
+	}
+	if _, ok := arcs["e->d"]; ok {
+		t.Error("e->d should not exist (overlap)")
+	}
+}
+
+func TestForcedSegmentsGetLowerBounds(t *testing.T) {
+	set := fig1Set()
+	grouped, err := set.Split(lifetime.MemoryAccess{Period: 2, Offset: 1}, lifetime.SplitMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildNetwork(set, grouped, DensityRegions, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := 0
+	for i := range b.Segments {
+		_, _, lower, capacity, _ := b.Net.Arc(b.SegArc[i])
+		wantLower := int64(0)
+		if b.Segments[i].Forced {
+			wantLower = 1
+			forced++
+		}
+		if lower != wantLower || capacity != 1 {
+			t.Errorf("segment %s: bounds [%d,%d], want [%d,1]", b.Segments[i].String(), lower, capacity, wantLower)
+		}
+	}
+	if forced != 2 { // c's first segment and e
+		t.Errorf("forced segments %d, want 2", forced)
+	}
+}
+
+func TestChainArcForSplitVariable(t *testing.T) {
+	set := fig1Set()
+	grouped, _ := set.Split(lifetime.MemoryAccess{Period: 2, Offset: 1}, lifetime.SplitMinimal)
+	b, err := BuildNetwork(set, grouped, DensityRegions, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := 0
+	for _, tr := range b.Transfers {
+		if tr.Kind == KindEq9 {
+			chains++
+			if b.Segments[tr.FromSeg].Var != b.Segments[tr.ToSeg].Var {
+				t.Error("eq9 arc between different variables")
+			}
+			if b.Segments[tr.ToSeg].Index != b.Segments[tr.FromSeg].Index+1 {
+				t.Error("eq9 arc not between consecutive segments")
+			}
+		}
+	}
+	if chains != 1 { // only c is split
+		t.Errorf("chain arcs %d, want 1", chains)
+	}
+}
+
+// Hand-computed arc costs against the paper's equations, static style.
+func TestArcCostEquationsStatic(t *testing.T) {
+	m := energy.OnChip256x16()
+	co := CostOptions{Style: energy.Static, Model: m}
+	// Two synthetic segments of multi-segment variables.
+	segNonLast := &lifetime.Segment{Var: "v1", Index: 0, NumSegs: 2, Start: 1, End: 3,
+		StartKind: lifetime.BoundWrite, EndKind: lifetime.BoundRead}
+	segLast := &lifetime.Segment{Var: "v1", Index: 1, NumSegs: 2, Start: 3, End: 5,
+		StartKind: lifetime.BoundRead, EndKind: lifetime.BoundRead}
+	segFirst := &lifetime.Segment{Var: "v2", Index: 0, NumSegs: 2, Start: 6, End: 7,
+		StartKind: lifetime.BoundWrite, EndKind: lifetime.BoundRead}
+	segMid := &lifetime.Segment{Var: "v2", Index: 1, NumSegs: 2, Start: 7, End: 9,
+		StartKind: lifetime.BoundRead, EndKind: lifetime.BoundRead}
+
+	Emr, Emw := m.EMemRead(), m.EMemWrite()
+	Err, Erw := m.ERegRead(), m.ERegWrite()
+
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		// eq. (10)/(4): rlast(v1)->w1(v2)
+		{"eq10", CrossCost(co, segLast, segFirst), -Emw - Emr + Err + Erw},
+		// eq. (8): rlast(v1)->wj(v2)
+		{"eq8", CrossCost(co, segLast, segMid), -Emr + Err + Erw},
+		// eq. (6): ri(v1)->w1(v2), i<last
+		{"eq6", CrossCost(co, segNonLast, segFirst), -Emr - Emw + Emw + Err + Erw},
+		// eq. (7) consistent: ri(v1)->wj(v2)
+		{"eq7-consistent", CrossCost(co, segNonLast, segMid), -Emr + Emw + Err + Erw},
+		// eq. (9): chain
+		{"eq9", ChainCost(co, segNonLast), -Emr + Err},
+		// source and sink
+		{"source", SourceCost(co, segFirst), -Emw + Erw},
+		{"sink", SinkCost(co, segLast), -Emr + Err},
+	}
+	for _, tc := range cases {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("%s: got %g, want %g", tc.name, tc.got, tc.want)
+		}
+	}
+
+	// Literal eq. (7) omits the −E^m_r(v1).
+	coLit := co
+	coLit.PaperEq7 = true
+	if got, want := CrossCost(coLit, segNonLast, segMid), Emw+Err+Erw; math.Abs(got-want) > 1e-9 {
+		t.Errorf("eq7-literal: got %g, want %g", got, want)
+	}
+	// The literal switch must not affect the other equations.
+	if got := CrossCost(coLit, segLast, segFirst); math.Abs(got-(-Emw-Emr+Err+Erw)) > 1e-9 {
+		t.Errorf("eq10 changed under PaperEq7: %g", got)
+	}
+}
+
+// Activity style: register term is H·Crw·V² on enter, nothing on exit.
+func TestArcCostEquationsActivity(t *testing.T) {
+	m := energy.OnChip256x16()
+	h := energy.PairHamming(map[[2]string]float64{{"v1", "v2"}: 0.25}, 0.5)
+	co := CostOptions{Style: energy.Activity, Model: m, H: h}
+	last := &lifetime.Segment{Var: "v1", Index: 1, NumSegs: 2, Start: 3, End: 5,
+		StartKind: lifetime.BoundRead, EndKind: lifetime.BoundRead}
+	first := &lifetime.Segment{Var: "v2", Index: 0, NumSegs: 1, Start: 6, End: 7,
+		StartKind: lifetime.BoundWrite, EndKind: lifetime.BoundRead}
+	Emr, Emw := m.EMemRead(), m.EMemWrite()
+	want := -Emw - Emr + 0.25*m.CrwV2
+	if got := CrossCost(co, last, first); math.Abs(got-want) > 1e-9 {
+		t.Errorf("activity eq5: got %g, want %g", got, want)
+	}
+	// Source uses the initial-state Hamming (0.5 by convention).
+	wantSrc := -Emw + 0.5*m.CrwV2
+	if got := SourceCost(co, first); math.Abs(got-wantSrc) > 1e-9 {
+		t.Errorf("activity source: got %g, want %g", got, wantSrc)
+	}
+	// Sink costs no register energy under the activity model.
+	if got := SinkCost(co, last); math.Abs(got-(-Emr)) > 1e-9 {
+		t.Errorf("activity sink: got %g, want %g", got, -Emr)
+	}
+}
+
+func TestInputEnterCostsLoad(t *testing.T) {
+	m := energy.OnChip256x16()
+	co := CostOptions{Style: energy.Static, Model: m}
+	in := &lifetime.Segment{Var: "x", Index: 0, NumSegs: 1, Start: 0, End: 3,
+		StartKind: lifetime.BoundInput, EndKind: lifetime.BoundRead}
+	want := m.EMemRead() + m.ERegWrite()
+	if got := EnterCost(co, "", in); math.Abs(got-want) > 1e-9 {
+		t.Errorf("input enter: got %g, want %g (load + register write)", got, want)
+	}
+}
+
+func TestVoluntaryCutCosts(t *testing.T) {
+	m := energy.OnChip256x16()
+	co := CostOptions{Style: energy.Static, Model: m}
+	// Voluntary (non-staged) cut: no baseline read at the boundary.
+	seg := &lifetime.Segment{Var: "v", Index: 0, NumSegs: 2, Start: 1, End: 4,
+		StartKind: lifetime.BoundWrite, EndKind: lifetime.BoundCut, EndStaged: false}
+	after := &lifetime.Segment{Var: "v", Index: 1, NumSegs: 2, Start: 4, End: 8,
+		StartKind: lifetime.BoundCut, StartStaged: false, EndKind: lifetime.BoundRead}
+	// Chain across a voluntary cut: nothing happens.
+	if got := ChainCost(co, seg); math.Abs(got) > 1e-9 {
+		t.Errorf("voluntary chain cost %g, want 0", got)
+	}
+	// Exit at a voluntary cut: write-back only (plus no register read).
+	if got := ExitCost(co, seg); math.Abs(got-m.EMemWrite()) > 1e-9 {
+		t.Errorf("voluntary exit cost %g, want %g", got, m.EMemWrite())
+	}
+	// Enter after a voluntary cut: explicit load.
+	want := m.EMemRead() + m.ERegWrite()
+	if got := EnterCost(co, "u", after); math.Abs(got-want) > 1e-9 {
+		t.Errorf("voluntary enter cost %g, want %g", got, want)
+	}
+	// Staged cut (restricted access): the staged read covers the load.
+	staged := *seg
+	staged.EndStaged = true
+	if got := ChainCost(co, &staged); math.Abs(got-(-m.EMemRead())) > 1e-9 {
+		t.Errorf("staged chain cost %g, want %g (eq. 9)", got, -m.EMemRead())
+	}
+}
+
+func TestBaselineEnergy(t *testing.T) {
+	m := energy.OnChip256x16()
+	co := CostOptions{Style: energy.Static, Model: m}
+	set := &lifetime.Set{Steps: 6, Lifetimes: []lifetime.Lifetime{
+		{Var: "in", Write: 0, Reads: []int{2}, Input: true},
+		{Var: "v", Write: 1, Reads: []int{3, 5}},
+	}}
+	grouped, _ := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	got := BaselineEnergy(co, grouped)
+	// in: one read (no write: producer task paid it); v: one write + two
+	// reads.
+	want := m.EMemRead() + m.EMemWrite() + 2*m.EMemRead()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("baseline %g, want %g", got, want)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	set := fig1Set()
+	grouped, _ := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	if _, err := BuildNetwork(set, grouped, DensityRegions, CostOptions{Style: energy.Activity, Model: energy.OnChip256x16()}); err == nil {
+		t.Error("activity style without Hamming oracle accepted")
+	}
+	bad := staticCO()
+	bad.Model.MemRead = -3
+	if _, err := BuildNetwork(set, grouped, DensityRegions, bad); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := BuildNetwork(set, grouped, GraphStyle(99), staticCO()); err == nil {
+		t.Error("unknown graph style accepted")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	b := buildFig1(t, DensityRegions)
+	var sb strings.Builder
+	if err := b.WriteDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", `"s"`, `"t"`, "w1(a)@1", "r1(a)@3", "dashed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+}
+
+func TestKindAndStyleStrings(t *testing.T) {
+	if KindEq9.String() != "eq9" || KindBypass.String() != "bypass" {
+		t.Error("kind names wrong")
+	}
+	if DensityRegions.String() != "density-regions" || AllCompatible.String() != "all-compatible" {
+		t.Error("style names wrong")
+	}
+}
+
+// TestDensityArcsSubsetOfAllCompatible: the paper's construction is a strict
+// restriction of the all-compatible graph — every density arc must appear in
+// the all-compatible arc set.
+func TestDensityArcsSubsetOfAllCompatible(t *testing.T) {
+	set := fig1Set()
+	grouped, _ := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	dens, err := BuildNetwork(set, grouped, DensityRegions, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped2, _ := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	all, err := BuildNetwork(set, grouped2, AllCompatible, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allSet := transferNames(all)
+	for name := range transferNames(dens) {
+		if _, ok := allSet[name]; !ok {
+			t.Errorf("density arc %s missing from the all-compatible graph", name)
+		}
+	}
+	if len(transferNames(dens)) >= len(allSet) {
+		t.Errorf("density graph (%d arcs) not smaller than all-compatible (%d)",
+			len(transferNames(dens)), len(allSet))
+	}
+}
+
+// TestBarredSegmentGetsZeroCapacity checks the ForceMemory plumbing.
+func TestBarredSegmentGetsZeroCapacity(t *testing.T) {
+	set := fig1Set()
+	grouped, _ := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	grouped[0][0].Barred = true
+	b, err := BuildNetwork(set, grouped, DensityRegions, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, capacity, _ := b.Net.Arc(b.SegArc[0])
+	if capacity != 0 {
+		t.Fatalf("barred segment capacity %d, want 0", capacity)
+	}
+	grouped[0][0].Forced = true
+	if _, err := BuildNetwork(set, grouped, DensityRegions, staticCO()); err == nil {
+		t.Fatal("forced+barred accepted")
+	}
+}
+
+// TestDensitySubsetProperty extends the subset check to random sets: every
+// density-graph transfer arc appears in the all-compatible graph, and the
+// density graph is never larger.
+func TestDensitySubsetProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		set := randomSubsetSet(seed)
+		g1, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dens, err := BuildNetwork(set, g1, DensityRegions, staticCO())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, _ := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+		all, err := BuildNetwork(set, g2, AllCompatible, staticCO())
+		if err != nil {
+			t.Fatal(err)
+		}
+		allArcs := make(map[[2]int]bool)
+		for _, tr := range all.Transfers {
+			allArcs[[2]int{tr.FromSeg, tr.ToSeg}] = true
+		}
+		for _, tr := range dens.Transfers {
+			if !allArcs[[2]int{tr.FromSeg, tr.ToSeg}] {
+				t.Fatalf("seed %d: density arc %d->%d missing from all-compatible", seed, tr.FromSeg, tr.ToSeg)
+			}
+		}
+		if len(dens.Transfers) > len(all.Transfers) {
+			t.Fatalf("seed %d: density graph larger (%d vs %d)", seed, len(dens.Transfers), len(all.Transfers))
+		}
+	}
+}
+
+func randomSubsetSet(seed int64) *lifetime.Set {
+	// Small deterministic pseudo-random sets without importing math/rand:
+	// a simple LCG keeps this self-contained.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	steps := 6 + next(6)
+	set := &lifetime.Set{Steps: steps}
+	nVars := 3 + next(6)
+	for i := 0; i < nVars; i++ {
+		w := 1 + next(steps-1)
+		r := w + 1 + next(steps-w)
+		set.Lifetimes = append(set.Lifetimes, lifetime.Lifetime{
+			Var: string(rune('a' + i)), Write: w, Reads: []int{r},
+		})
+	}
+	return set
+}

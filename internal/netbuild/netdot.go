@@ -1,0 +1,64 @@
+package netbuild
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// WriteDot renders the constructed network in Graphviz DOT format: segment
+// arcs solid, transfer arcs dashed (matching the paper's Figure 1 styling),
+// forced segments bold, costs as labels.
+func (b *Build) WriteDot(w io.Writer) error {
+	g := graph.New(b.Net.N())
+	type meta struct {
+		label string
+		style string
+	}
+	arcMeta := make(map[graph.Arc]meta)
+	for i := range b.Segments {
+		a := graph.Arc{From: b.WNode[i], To: b.RNode[i]}
+		g.AddArc(a.From, a.To)
+		style := "solid"
+		if b.Segments[i].Forced {
+			style = "bold"
+		}
+		arcMeta[a] = meta{label: b.Segments[i].Var, style: style}
+	}
+	for _, t := range b.Transfers {
+		from, to := b.S, b.T
+		if t.FromSeg >= 0 {
+			from = b.RNode[t.FromSeg]
+		}
+		if t.ToSeg >= 0 {
+			to = b.WNode[t.ToSeg]
+		}
+		g.AddArc(from, to)
+		label := ""
+		if t.Kind != KindBypass {
+			label = fmt.Sprintf("%.3g", t.Energy)
+		}
+		arcMeta[graph.Arc{From: from, To: to}] = meta{label: label, style: "dashed"}
+	}
+	return g.WriteDot(w, graph.DotOptions{
+		Name:    "lowenergy_network",
+		Rankdir: "TB",
+		NodeLabel: func(v int) string {
+			switch v {
+			case b.S:
+				return "s"
+			case b.T:
+				return "t"
+			}
+			i := (v - 2) / 2
+			s := &b.Segments[i]
+			if (v-2)%2 == 0 {
+				return fmt.Sprintf("w%d(%s)@%d", s.Index+1, s.Var, s.Start)
+			}
+			return fmt.Sprintf("r%d(%s)@%d", s.Index+1, s.Var, s.End)
+		},
+		ArcLabel: func(a graph.Arc) string { return arcMeta[a].label },
+		ArcStyle: func(a graph.Arc) string { return arcMeta[a].style },
+	})
+}

@@ -1,0 +1,232 @@
+// Package opt provides the classic clean-up passes a compiler runs before
+// register allocation: dead-code elimination and common-subexpression
+// elimination over the straight-line TAC blocks. Fewer and shorter
+// lifetimes reach the allocator, the same way the paper's methodology
+// applies "transformations within each task" before the flow stage.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Stats summarises what a pass did.
+type Stats struct {
+	// Removed counts instructions deleted (DCE) or folded (CSE).
+	Removed int
+	// Renamed counts operand substitutions performed by CSE.
+	Renamed int
+}
+
+// DeadCodeEliminate removes instructions whose results are never read and
+// are not block outputs, iterating to a fixpoint (removing one dead value
+// can kill its operands' last uses). The input block is not modified.
+func DeadCodeEliminate(b *ir.Block) (*ir.Block, Stats, error) {
+	if err := b.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	out := clone(b)
+	var st Stats
+	for {
+		live := make(map[string]bool, len(out.Instrs))
+		for _, v := range out.Outputs {
+			live[v] = true
+		}
+		for _, in := range out.Instrs {
+			for _, s := range in.Src {
+				live[s] = true
+			}
+		}
+		kept := out.Instrs[:0]
+		removed := 0
+		for _, in := range out.Instrs {
+			if live[in.Dst] {
+				kept = append(kept, in)
+			} else {
+				removed++
+			}
+		}
+		out.Instrs = kept
+		st.Removed += removed
+		if removed == 0 {
+			break
+		}
+	}
+	// Inputs that lost their last use disappear from the interface.
+	used := make(map[string]bool)
+	for _, in := range out.Instrs {
+		for _, s := range in.Src {
+			used[s] = true
+		}
+	}
+	for _, v := range out.Outputs {
+		used[v] = true
+	}
+	var inputs []string
+	for _, v := range out.Inputs {
+		if used[v] {
+			inputs = append(inputs, v)
+		}
+	}
+	out.Inputs = inputs
+	if err := out.Validate(); err != nil {
+		return nil, st, fmt.Errorf("opt: dce produced invalid block: %w", err)
+	}
+	return out, st, nil
+}
+
+// CommonSubexpressions folds instructions recomputing an already-available
+// expression: later duplicates are removed and their uses renamed to the
+// first computation. Commutative ops match either operand order. The input
+// block is not modified.
+func CommonSubexpressions(b *ir.Block) (*ir.Block, Stats, error) {
+	if err := b.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	out := clone(b)
+	var st Stats
+	avail := make(map[string]string) // expression key -> defining variable
+	rename := make(map[string]string)
+	resolve := func(v string) string {
+		for {
+			r, ok := rename[v]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+	kept := out.Instrs[:0]
+	for _, in := range out.Instrs {
+		src := make([]string, len(in.Src))
+		for i, s := range in.Src {
+			src[i] = resolve(s)
+			if src[i] != in.Src[i] {
+				st.Renamed++
+			}
+		}
+		in.Src = src
+		key := exprKey(in.Op, src)
+		if prev, ok := avail[key]; ok {
+			rename[in.Dst] = prev
+			st.Removed++
+			continue
+		}
+		avail[key] = in.Dst
+		kept = append(kept, in)
+	}
+	out.Instrs = kept
+	// Outputs folded into an earlier value keep their name via a move: the
+	// block interface must not change.
+	for _, v := range out.Outputs {
+		if r := resolve(v); r != v {
+			out.Instrs = append(out.Instrs, ir.Instr{Op: ir.OpMov, Dst: v, Src: []string{r}})
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, st, fmt.Errorf("opt: cse produced invalid block: %w", err)
+	}
+	return out, st, nil
+}
+
+// Pipeline runs CSE, copy propagation and DCE, the usual order.
+func Pipeline(b *ir.Block) (*ir.Block, Stats, error) {
+	cse, s1, err := CommonSubexpressions(b)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	cp, s2, err := CopyPropagate(cse)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	dce, s3, err := DeadCodeEliminate(cp)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return dce, Stats{
+		Removed: s1.Removed + s2.Removed + s3.Removed,
+		Renamed: s1.Renamed + s2.Renamed,
+	}, nil
+}
+
+// exprKey canonicalises an expression; commutative op operands are sorted.
+func exprKey(op ir.OpKind, src []string) string {
+	s := append([]string(nil), src...)
+	if commutative(op) {
+		sort.Strings(s)
+	}
+	return op.String() + "(" + strings.Join(s, ",") + ")"
+}
+
+func commutative(op ir.OpKind) bool {
+	switch op {
+	case ir.OpAdd, ir.OpMul, ir.OpMax, ir.OpMin:
+		return true
+	}
+	return false
+}
+
+func clone(b *ir.Block) *ir.Block {
+	out := &ir.Block{
+		Name:    b.Name,
+		Inputs:  append([]string(nil), b.Inputs...),
+		Outputs: append([]string(nil), b.Outputs...),
+	}
+	for _, in := range b.Instrs {
+		out.Instrs = append(out.Instrs, ir.Instr{
+			Op: in.Op, Dst: in.Dst, Src: append([]string(nil), in.Src...),
+		})
+	}
+	return out
+}
+
+// CopyPropagate replaces reads of move results with the moved value and
+// removes moves that become dead — the natural follow-up to CSE, which
+// introduces moves to preserve folded output names. Moves defining block
+// outputs are kept (the interface must not change).
+func CopyPropagate(b *ir.Block) (*ir.Block, Stats, error) {
+	if err := b.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	out := clone(b)
+	var st Stats
+	isOutput := make(map[string]bool, len(out.Outputs))
+	for _, v := range out.Outputs {
+		isOutput[v] = true
+	}
+	alias := make(map[string]string)
+	resolve := func(v string) string {
+		for {
+			a, ok := alias[v]
+			if !ok {
+				return v
+			}
+			v = a
+		}
+	}
+	kept := out.Instrs[:0]
+	for _, in := range out.Instrs {
+		src := make([]string, len(in.Src))
+		for i, s := range in.Src {
+			src[i] = resolve(s)
+			if src[i] != in.Src[i] {
+				st.Renamed++
+			}
+		}
+		in.Src = src
+		if in.Op == ir.OpMov && !isOutput[in.Dst] {
+			alias[in.Dst] = in.Src[0]
+			st.Removed++
+			continue
+		}
+		kept = append(kept, in)
+	}
+	out.Instrs = kept
+	if err := out.Validate(); err != nil {
+		return nil, st, fmt.Errorf("opt: copy propagation produced invalid block: %w", err)
+	}
+	return out, st, nil
+}

@@ -1,0 +1,320 @@
+package opt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/simulate"
+)
+
+func parse(t *testing.T, src string) *ir.Block {
+	t.Helper()
+	p, err := ir.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Tasks[0].Blocks[0]
+}
+
+func TestDCERemovesDeadChain(t *testing.T) {
+	b := parse(t, `
+block b
+in x
+live = neg x
+dead1 = x + x
+dead2 = dead1 * x
+out live
+end`)
+	out, st, err := DeadCodeEliminate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 2 {
+		t.Fatalf("removed %d, want 2", st.Removed)
+	}
+	if len(out.Instrs) != 1 || out.Instrs[0].Dst != "live" {
+		t.Fatalf("instrs %v", out.Instrs)
+	}
+	// Original untouched.
+	if len(b.Instrs) != 3 {
+		t.Fatal("input block mutated")
+	}
+}
+
+func TestDCEDropsUnusedInputs(t *testing.T) {
+	b := parse(t, `
+block b
+in x y
+dead = y + y
+live = neg x
+out live
+end`)
+	out, _, err := DeadCodeEliminate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Inputs) != 1 || out.Inputs[0] != "x" {
+		t.Fatalf("inputs %v, want [x]", out.Inputs)
+	}
+}
+
+func TestDCEKeepsOutputs(t *testing.T) {
+	b := parse(t, `
+block b
+in x
+a = neg x
+out a
+end`)
+	out, st, err := DeadCodeEliminate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 || len(out.Instrs) != 1 {
+		t.Fatalf("output-producing instruction removed: %+v", st)
+	}
+}
+
+func TestCSEFoldsDuplicates(t *testing.T) {
+	b := parse(t, `
+block b
+in x y
+a = x + y
+bb = y + x
+c = a * bb
+out c
+end`)
+	out, st, err := CommonSubexpressions(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 1 {
+		t.Fatalf("removed %d, want 1 (commutative duplicate)", st.Removed)
+	}
+	// c now reads a twice.
+	for _, in := range out.Instrs {
+		if in.Dst == "c" && (in.Src[0] != "a" || in.Src[1] != "a") {
+			t.Fatalf("c operands %v, want [a a]", in.Src)
+		}
+	}
+}
+
+func TestCSERespectsNonCommutative(t *testing.T) {
+	b := parse(t, `
+block b
+in x y
+a = x - y
+bb = y - x
+c = a * bb
+out c
+end`)
+	_, st, err := CommonSubexpressions(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 {
+		t.Fatal("x-y and y-x folded despite non-commutativity")
+	}
+}
+
+func TestCSEPreservesOutputNames(t *testing.T) {
+	b := parse(t, `
+block b
+in x y
+a = x + y
+dup = x + y
+out a dup
+end`)
+	out, _, err := CommonSubexpressions(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dup must still exist as an output (via a move).
+	found := false
+	for _, in := range out.Instrs {
+		if in.Dst == "dup" && in.Op == ir.OpMov {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("folded output lost its name: %v", out.Instrs)
+	}
+	ref, _ := simulate.Evaluate(b, map[string]simulate.Word{"x": 2, "y": 3})
+	got, _ := simulate.Evaluate(out, map[string]simulate.Word{"x": 2, "y": 3})
+	if ref["dup"] != got["dup"] {
+		t.Fatalf("dup %d vs %d", ref["dup"], got["dup"])
+	}
+}
+
+func TestCSETransitiveChains(t *testing.T) {
+	b := parse(t, `
+block b
+in x y
+a = x + y
+a2 = x + y
+c = a2 * x
+c2 = a * x
+d = c + c2
+out d
+end`)
+	out, st, err := Pipeline(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a2 folds to a, so c and c2 become identical and fold too.
+	if st.Removed < 2 {
+		t.Fatalf("removed %d, want >= 2: %v", st.Removed, out.Instrs)
+	}
+}
+
+func TestPipelineSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBlock(rng)
+		out, _, err := Pipeline(b)
+		if err != nil {
+			return false
+		}
+		in := map[string]simulate.Word{}
+		for _, v := range b.Inputs {
+			in[v] = simulate.Word(rng.Intn(100) - 50)
+		}
+		ref, err1 := simulate.Evaluate(b, in)
+		got, err2 := simulate.Evaluate(out, in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for _, v := range b.Outputs {
+			if ref[v] != got[v] {
+				return false
+			}
+		}
+		// The pipeline never grows the block (moves only replace folded
+		// outputs, which removed at least as many instructions).
+		return len(out.Instrs) <= len(b.Instrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassesRejectInvalid(t *testing.T) {
+	bad := &ir.Block{Name: "bad", Instrs: []ir.Instr{{Op: ir.OpNeg, Dst: "y", Src: []string{"x"}}}}
+	if _, _, err := DeadCodeEliminate(bad); err == nil {
+		t.Error("dce accepted invalid block")
+	}
+	if _, _, err := CommonSubexpressions(bad); err == nil {
+		t.Error("cse accepted invalid block")
+	}
+	if _, _, err := Pipeline(bad); err == nil {
+		t.Error("pipeline accepted invalid block")
+	}
+}
+
+// randomBlock with deliberate duplicate expressions to exercise CSE.
+func randomBlock(rng *rand.Rand) *ir.Block {
+	b := &ir.Block{Name: "rand", Inputs: []string{"a", "b"}}
+	avail := append([]string(nil), b.Inputs...)
+	used := map[string]bool{}
+	ops := []ir.OpKind{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpMin}
+	n := 4 + rng.Intn(10)
+	for k := 0; k < n; k++ {
+		dst := "t" + string(rune('a'+k))
+		op := ops[rng.Intn(len(ops))]
+		s1 := avail[rng.Intn(len(avail))]
+		s2 := avail[rng.Intn(len(avail))]
+		b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: dst, Src: []string{s1, s2}})
+		used[s1], used[s2] = true, true
+		avail = append(avail, dst)
+	}
+	for _, in := range b.Instrs {
+		if !used[in.Dst] {
+			b.Outputs = append(b.Outputs, in.Dst)
+		}
+	}
+	var inputs []string
+	for _, v := range b.Inputs {
+		if used[v] {
+			inputs = append(inputs, v)
+		}
+	}
+	b.Inputs = inputs
+	return b
+}
+
+func TestCopyPropagateRemovesMoves(t *testing.T) {
+	b := parse(t, `
+block b
+in x
+m = x
+y = m + m
+z = y
+w = z * x
+out w
+end`)
+	out, st, err := CopyPropagate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 2 {
+		t.Fatalf("removed %d moves, want 2: %v", st.Removed, out.Instrs)
+	}
+	for _, in := range out.Instrs {
+		if in.Op == ir.OpMov {
+			t.Fatalf("move survived: %v", in)
+		}
+	}
+	ref, _ := simulate.Evaluate(b, map[string]simulate.Word{"x": 5})
+	got, _ := simulate.Evaluate(out, map[string]simulate.Word{"x": 5})
+	if ref["w"] != got["w"] {
+		t.Fatalf("w: %d vs %d", ref["w"], got["w"])
+	}
+}
+
+func TestCopyPropagateKeepsOutputMoves(t *testing.T) {
+	b := parse(t, `
+block b
+in x
+y = neg x
+alias = y
+out alias
+end`)
+	out, st, err := CopyPropagate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 {
+		t.Fatalf("output-defining move removed: %v", out.Instrs)
+	}
+}
+
+func TestPipelineEliminatesCSEMoves(t *testing.T) {
+	// CSE folds dup onto a and inserts "dup = mov a" only because dup is an
+	// output; an internal duplicate chain should end fully move-free.
+	b := parse(t, `
+block b
+in x y
+a = x + y
+a2 = x + y
+u = a2 * x
+v = a * x
+w = u + v
+out w
+end`)
+	out, _, err := Pipeline(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range out.Instrs {
+		if in.Op == ir.OpMov {
+			t.Fatalf("pipeline left a move: %v", out.Instrs)
+		}
+	}
+	ref, _ := simulate.Evaluate(b, map[string]simulate.Word{"x": 3, "y": 4})
+	got, _ := simulate.Evaluate(out, map[string]simulate.Word{"x": 3, "y": 4})
+	if ref["w"] != got["w"] {
+		t.Fatalf("w: %d vs %d", ref["w"], got["w"])
+	}
+}

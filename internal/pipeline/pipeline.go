@@ -1,0 +1,183 @@
+// Package pipeline drives the paper's full §5 methodology over a whole
+// program: each task's basic blocks are scheduled, lifetimed, allocated by
+// the min-cost-flow core, and their memory-resident variables bound to
+// locations by the second-stage allocator. Values crossing block boundaries
+// are handed over through memory (the model behind the paper's external
+// lifetimes), which is also statically checked here. This is the "beyond
+// basic blocks" direction §7 points at.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/memmap"
+	"repro/internal/sched"
+)
+
+// Config parameterises a program run.
+type Config struct {
+	// Resources bounds the list scheduler per block.
+	Resources sched.Resources
+	// Options is the per-block allocation configuration (registers, memory
+	// restriction, cost model, graph style).
+	Options core.Options
+	// Hamming drives the second-stage memory binding; nil uses the
+	// half-switch default.
+	Hamming energy.Hamming
+	// AllowExternalInputs admits block inputs produced by no earlier block
+	// (treated as program inputs). When false such inputs are an error.
+	AllowExternalInputs bool
+}
+
+// BlockResult is one block's outcome.
+type BlockResult struct {
+	Task, Block string
+	Schedule    *sched.Schedule
+	Set         *lifetime.Set
+	Result      *core.Result
+	Binding     *memmap.Binding
+}
+
+// ProgramResult aggregates a whole program.
+type ProgramResult struct {
+	Blocks []BlockResult
+	// TotalEnergy sums the per-block storage energies.
+	TotalEnergy float64
+	// BaselineEnergy sums the all-in-memory baselines.
+	BaselineEnergy float64
+	Counts         core.AccessCounts
+	// PeakMemoryLocations is the largest per-block memory word requirement;
+	// blocks execute sequentially so words are reused across blocks.
+	PeakMemoryLocations int
+	// PeakRegistersUsed is the largest per-block register usage.
+	PeakRegistersUsed int
+}
+
+// Run processes every block of every task in order.
+func Run(p *ir.Program, cfg Config) (*ProgramResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := CheckDataflow(p, cfg.AllowExternalInputs); err != nil {
+		return nil, err
+	}
+	out := &ProgramResult{}
+	for _, task := range p.Tasks {
+		for _, block := range task.Blocks {
+			br, err := runBlock(task.Name, block, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: task %q block %q: %w", task.Name, block.Name, err)
+			}
+			out.Blocks = append(out.Blocks, br)
+			out.TotalEnergy += br.Result.TotalEnergy
+			out.BaselineEnergy += br.Result.BaselineEnergy
+			out.Counts.MemReads += br.Result.Counts.MemReads
+			out.Counts.MemWrites += br.Result.Counts.MemWrites
+			out.Counts.RegReads += br.Result.Counts.RegReads
+			out.Counts.RegWrites += br.Result.Counts.RegWrites
+			if br.Binding.Locations > out.PeakMemoryLocations {
+				out.PeakMemoryLocations = br.Binding.Locations
+			}
+			if br.Result.RegistersUsed > out.PeakRegistersUsed {
+				out.PeakRegistersUsed = br.Result.RegistersUsed
+			}
+		}
+	}
+	return out, nil
+}
+
+func runBlock(taskName string, block *ir.Block, cfg Config) (BlockResult, error) {
+	s, err := sched.List(block, cfg.Resources)
+	if err != nil {
+		return BlockResult{}, err
+	}
+	set, err := lifetime.FromSchedule(s)
+	if err != nil {
+		return BlockResult{}, err
+	}
+	res, err := core.Allocate(set, cfg.Options)
+	if err != nil {
+		return BlockResult{}, err
+	}
+	memVars := memoryVariables(res)
+	h := cfg.Hamming
+	if h == nil {
+		h = energy.ConstHamming(0.5)
+	}
+	bind, err := memmap.Allocate(set, memVars, h)
+	if err != nil {
+		return BlockResult{}, err
+	}
+	return BlockResult{
+		Task:     taskName,
+		Block:    block.Name,
+		Schedule: s,
+		Set:      set,
+		Result:   res,
+		Binding:  bind,
+	}, nil
+}
+
+// CheckDataflow verifies the block-to-block handover: every block input is
+// an output of an earlier block (in task order) or, when allowed, a program
+// input. Duplicate outputs across blocks are rejected (a value has one
+// producer).
+func CheckDataflow(p *ir.Program, allowExternal bool) error {
+	produced := make(map[string]string) // value -> producing block
+	for _, task := range p.Tasks {
+		for _, b := range task.Blocks {
+			for _, in := range b.Inputs {
+				if _, ok := produced[in]; !ok && !allowExternal {
+					return fmt.Errorf("pipeline: block %q input %q has no producer", b.Name, in)
+				}
+			}
+			for _, out := range b.Outputs {
+				if prev, ok := produced[out]; ok {
+					return fmt.Errorf("pipeline: value %q produced by both %q and %q", out, prev, b.Name)
+				}
+				produced[out] = b.Name
+			}
+		}
+	}
+	return nil
+}
+
+// memoryVariables lists variables with a memory-resident segment.
+func memoryVariables(r *core.Result) []string {
+	seen := make(map[string]bool)
+	var vars []string
+	for i := range r.Build.Segments {
+		v := r.Build.Segments[i].Var
+		if !r.InRegister[i] && !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	return vars
+}
+
+// Summary renders the program result as an aligned text table, one row per
+// block plus a totals line.
+func (pr *ProgramResult) Summary(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %8s %10s %10s %8s %6s\n",
+		"task", "block", "vars", "energy", "baseline", "mem acc", "regs")
+	for _, br := range pr.Blocks {
+		fmt.Fprintf(&b, "%-12s %-12s %8d %10.2f %10.2f %8d %6d\n",
+			br.Task, br.Block, len(br.Set.Lifetimes),
+			br.Result.TotalEnergy, br.Result.BaselineEnergy,
+			br.Result.Counts.Mem(), br.Result.RegistersUsed)
+	}
+	fmt.Fprintf(&b, "%-12s %-12s %8s %10.2f %10.2f %8d %6d\n",
+		"total", "", "",
+		pr.TotalEnergy, pr.BaselineEnergy, pr.Counts.Mem(), pr.PeakRegistersUsed)
+	fmt.Fprintf(&b, "peak memory locations: %d\n", pr.PeakMemoryLocations)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,159 @@
+// Package regen implements the data-regeneration transformation of the
+// paper's methodology (§5, after refs. [20,21]): when carrying a value in
+// storage across a long stretch of the schedule costs more energy than
+// recomputing it at its consumers, duplicate the defining operation instead.
+// The pass runs before scheduling and allocation and is purely
+// source-to-source on the block.
+package regen
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/ir"
+)
+
+// Decision records the verdict for one candidate variable.
+type Decision struct {
+	Var string
+	// Recomputed reports whether the defining op was duplicated per
+	// consumer.
+	Recomputed bool
+	// CarryCost estimates keeping the value in storage across its extra
+	// uses; RegenCost estimates recomputing it there instead.
+	CarryCost, RegenCost float64
+}
+
+// Options tunes the pass.
+type Options struct {
+	// Model prices the storage alternatives; required.
+	Model energy.Model
+	// MinSpan is the minimum distance (in instructions) between the
+	// definition and a later use for regeneration to be considered; short
+	// carries are register-friendly anyway. Default 3.
+	MinSpan int
+}
+
+// Transform returns a rewritten copy of the block (the input is not
+// modified) plus the per-candidate decisions. Only definitions whose
+// operands are block inputs are regenerated — inputs are available
+// everywhere, so duplication is always semantics-preserving.
+func Transform(b *ir.Block, opt Options) (*ir.Block, []Decision, error) {
+	if err := b.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := opt.Model.Validate(); err != nil {
+		return nil, nil, err
+	}
+	minSpan := opt.MinSpan
+	if minSpan <= 0 {
+		minSpan = 3
+	}
+	isInput := make(map[string]bool, len(b.Inputs))
+	for _, v := range b.Inputs {
+		isInput[v] = true
+	}
+	isOutput := make(map[string]bool, len(b.Outputs))
+	for _, v := range b.Outputs {
+		isOutput[v] = true
+	}
+
+	var decisions []Decision
+	regen := make(map[string]bool)
+	for i, in := range b.Instrs {
+		uses := b.UseSites(in.Dst)
+		if len(uses) < 2 || isOutput[in.Dst] {
+			continue
+		}
+		allInputs := true
+		for _, s := range in.Src {
+			if !isInput[s] {
+				allInputs = false
+				break
+			}
+		}
+		if !allInputs {
+			continue
+		}
+		if uses[len(uses)-1]-i < minSpan {
+			continue
+		}
+		extra := float64(len(uses) - 1)
+		m := opt.Model
+		// Carrying: worst case the value lives in memory for its later
+		// uses (one write, one read per extra use). Regenerating: one op
+		// per extra use plus a register write/read to feed the consumer,
+		// plus re-reading the operands (they are inputs: memory reads at
+		// worst).
+		carry := m.EMemWrite() + extra*m.EMemRead()
+		regenCost := extra * (energy.EnergyOfOp(in.Op.IsMultiplier()) +
+			m.ERegWrite() + m.ERegRead() +
+			float64(len(in.Src))*m.ERegRead())
+		d := Decision{Var: in.Dst, CarryCost: carry, RegenCost: regenCost}
+		if regenCost < carry {
+			d.Recomputed = true
+			regen[in.Dst] = true
+		}
+		decisions = append(decisions, d)
+	}
+	if len(regen) == 0 {
+		return cloneBlock(b), decisions, nil
+	}
+
+	// Rewrite: the first use keeps the original definition; every later use
+	// gets a fresh duplicate right before its consumer.
+	out := &ir.Block{
+		Name:    b.Name,
+		Inputs:  append([]string(nil), b.Inputs...),
+		Outputs: append([]string(nil), b.Outputs...),
+	}
+	defOf := make(map[string]ir.Instr)
+	seenUse := make(map[string]int)
+	version := make(map[string]int)
+	for _, in := range b.Instrs {
+		cur := in
+		cur.Src = append([]string(nil), in.Src...)
+		// Rename reads of regenerated values past their first use.
+		for si, s := range cur.Src {
+			if !regen[s] {
+				continue
+			}
+			seenUse[s]++
+			if seenUse[s] == 1 {
+				continue // first consumer uses the original
+			}
+			version[s]++
+			dup := defOf[s]
+			dupName := fmt.Sprintf("%s__r%d", s, version[s])
+			out.Instrs = append(out.Instrs, ir.Instr{
+				Op:  dup.Op,
+				Dst: dupName,
+				Src: append([]string(nil), dup.Src...),
+			})
+			cur.Src[si] = dupName
+		}
+		if regen[cur.Dst] {
+			defOf[cur.Dst] = cur
+		}
+		out.Instrs = append(out.Instrs, cur)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("regen: rewrite produced invalid block: %w", err)
+	}
+	return out, decisions, nil
+}
+
+// cloneBlock deep-copies a block.
+func cloneBlock(b *ir.Block) *ir.Block {
+	out := &ir.Block{
+		Name:    b.Name,
+		Inputs:  append([]string(nil), b.Inputs...),
+		Outputs: append([]string(nil), b.Outputs...),
+	}
+	for _, in := range b.Instrs {
+		out.Instrs = append(out.Instrs, ir.Instr{
+			Op: in.Op, Dst: in.Dst, Src: append([]string(nil), in.Src...),
+		})
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package regen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/simulate"
+)
+
+func parse(t *testing.T, src string) *ir.Block {
+	t.Helper()
+	p, err := ir.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Tasks[0].Blocks[0]
+}
+
+// longCarry: t is defined from inputs, used immediately and again much
+// later — the classic regeneration candidate.
+const longCarry = `
+block lc
+in a b
+t = a + b
+u0 = t * a
+u1 = u0 + a
+u2 = u1 + b
+u3 = u2 + a
+u4 = u3 + t
+out u4
+end
+`
+
+func TestTransformRegeneratesLongCarry(t *testing.T) {
+	b := parse(t, longCarry)
+	out, decisions, err := Transform(b, Options{Model: energy.OnChip256x16()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 1 || decisions[0].Var != "t" {
+		t.Fatalf("decisions %+v", decisions)
+	}
+	if !decisions[0].Recomputed {
+		t.Fatalf("t should be regenerated: carry %.1f vs regen %.1f",
+			decisions[0].CarryCost, decisions[0].RegenCost)
+	}
+	if len(out.Instrs) != len(b.Instrs)+1 {
+		t.Fatalf("instrs %d, want %d (one duplicate)", len(out.Instrs), len(b.Instrs)+1)
+	}
+	// The late consumer now reads a fresh copy.
+	last := out.Instrs[len(out.Instrs)-1]
+	if last.Src[1] != "t__r1" {
+		t.Fatalf("late consumer reads %q, want t__r1", last.Src[1])
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformPreservesSemantics(t *testing.T) {
+	b := parse(t, longCarry)
+	out, _, err := Transform(b, Options{Model: energy.OnChip256x16()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]simulate.Word{"a": 13, "b": -4}
+	ref, err := simulate.Evaluate(b, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := simulate.Evaluate(out, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b.Outputs {
+		if ref[v] != got[v] {
+			t.Fatalf("output %q: %d vs %d", v, ref[v], got[v])
+		}
+	}
+}
+
+func TestTransformSkipsShortSpans(t *testing.T) {
+	src := `
+block short
+in a b
+t = a + b
+u = t * t
+v = u + t
+out v
+end
+`
+	b := parse(t, src)
+	out, decisions, err := Transform(b, Options{Model: energy.OnChip256x16(), MinSpan: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decisions {
+		if d.Recomputed {
+			t.Fatalf("short-span variable regenerated: %+v", d)
+		}
+	}
+	if len(out.Instrs) != len(b.Instrs) {
+		t.Fatal("block changed without decisions")
+	}
+}
+
+func TestTransformSkipsNonInputOperands(t *testing.T) {
+	src := `
+block deep
+in a b
+x = a + b
+t = x * x
+u0 = t + a
+u1 = u0 + a
+u2 = u1 + a
+u3 = u2 + t
+out u3
+end
+`
+	b := parse(t, src)
+	_, decisions, err := Transform(b, Options{Model: energy.OnChip256x16()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decisions {
+		if d.Var == "t" {
+			t.Fatalf("t's operands are not inputs; it must not be a candidate: %+v", d)
+		}
+	}
+}
+
+func TestTransformSkipsOutputs(t *testing.T) {
+	src := `
+block outs
+in a b
+t = a + b
+u0 = t + a
+u1 = u0 + a
+u2 = u1 + a
+u3 = u2 + t
+out u3 t
+end
+`
+	b := parse(t, src)
+	out, decisions, err := Transform(b, Options{Model: energy.OnChip256x16()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 0 {
+		t.Fatalf("output variable considered: %+v", decisions)
+	}
+	if len(out.Instrs) != len(b.Instrs) {
+		t.Fatal("block changed")
+	}
+}
+
+func TestTransformExpensiveOpStays(t *testing.T) {
+	// With a dirt-cheap memory, carrying wins over re-multiplying.
+	src := `
+block mulcarry
+in a b
+t = a * b
+u0 = t + a
+u1 = u0 + a
+u2 = u1 + a
+u3 = u2 + t
+out u3
+end
+`
+	b := parse(t, src)
+	cheap := energy.OnChip256x16()
+	cheap.MemRead, cheap.MemWrite = 0.1, 0.2
+	_, decisions, err := Transform(b, Options{Model: cheap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 1 || decisions[0].Recomputed {
+		t.Fatalf("multiplication should be carried under cheap memory: %+v", decisions)
+	}
+}
+
+func TestTransformInvalidInputs(t *testing.T) {
+	bad := &ir.Block{Name: "bad", Instrs: []ir.Instr{{Op: ir.OpNeg, Dst: "y", Src: []string{"x"}}}}
+	if _, _, err := Transform(bad, Options{Model: energy.OnChip256x16()}); err == nil {
+		t.Fatal("invalid block accepted")
+	}
+	b := parse(t, longCarry)
+	m := energy.OnChip256x16()
+	m.MemRead = -1
+	if _, _, err := Transform(b, Options{Model: m}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+// TestTransformSemanticsProperty: on random blocks the transform always
+// yields a valid block computing identical outputs.
+func TestTransformSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBlock(rng)
+		out, _, err := Transform(b, Options{Model: energy.OnChip256x16(), MinSpan: 1 + rng.Intn(4)})
+		if err != nil {
+			return false
+		}
+		in := map[string]simulate.Word{}
+		for _, v := range b.Inputs {
+			in[v] = simulate.Word(rng.Intn(100) - 50)
+		}
+		ref, err1 := simulate.Evaluate(b, in)
+		got, err2 := simulate.Evaluate(out, in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for _, v := range b.Outputs {
+			if ref[v] != got[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomBlock(rng *rand.Rand) *ir.Block {
+	b := &ir.Block{Name: "rand", Inputs: []string{"a", "b", "c"}}
+	avail := append([]string(nil), b.Inputs...)
+	used := map[string]bool{}
+	ops := []ir.OpKind{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpMin, ir.OpMax}
+	n := 4 + rng.Intn(12)
+	for k := 0; k < n; k++ {
+		dst := "t" + string(rune('a'+k))
+		s1 := avail[rng.Intn(len(avail))]
+		s2 := avail[rng.Intn(len(avail))]
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ops[rng.Intn(len(ops))], Dst: dst, Src: []string{s1, s2}})
+		used[s1], used[s2] = true, true
+		avail = append(avail, dst)
+	}
+	for _, in := range b.Instrs {
+		if !used[in.Dst] {
+			b.Outputs = append(b.Outputs, in.Dst)
+		}
+	}
+	var inputs []string
+	for _, v := range b.Inputs {
+		if used[v] {
+			inputs = append(inputs, v)
+		}
+	}
+	b.Inputs = inputs
+	return b
+}

@@ -1,0 +1,518 @@
+package report
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/memmap"
+	"repro/internal/netbuild"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Figure1Result holds the structured facts of experiment E1/E1c.
+type Figure1Result struct {
+	MaxDensity   int
+	Regions      []lifetime.Region
+	RegionSteps  [][2]int
+	SegmentsFull []string // split-lifetime description at restricted access
+	ForcedVars   []string
+	TransferArcs int
+}
+
+// Figure1 regenerates the Figure 1 construction facts.
+func Figure1() (*Figure1Result, *Table, error) {
+	set := workload.Figure1()
+	r := &Figure1Result{MaxDensity: set.MaxDensity(), Regions: set.MaxDensityRegions()}
+	for _, reg := range r.Regions {
+		r.RegionSteps = append(r.RegionSteps, [2]int{reg.StartStep(), reg.EndStep()})
+	}
+	grouped, err := set.Split(workload.Figure1Memory, lifetime.SplitMinimal)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, g := range grouped {
+		for i := range g {
+			r.SegmentsFull = append(r.SegmentsFull, g[i].String())
+			if g[i].Forced {
+				r.ForcedVars = append(r.ForcedVars, fmt.Sprintf("%s[%d]", g[i].Var, g[i].Index+1))
+			}
+		}
+	}
+	co := netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
+	build, err := netbuild.BuildNetwork(set, grouped, netbuild.DensityRegions, co)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.TransferArcs = len(build.Transfers)
+	t := &Table{
+		Title:  "Figure 1 — interval graph and network construction (paper §5.1/5.2)",
+		Header: []string{"fact", "paper", "measured"},
+		Rows: [][]string{
+			{"max lifetime density", "3", d(r.MaxDensity)},
+			{"density region 1 (steps)", "2-3", fmt.Sprintf("%d-%d", r.RegionSteps[0][0], r.RegionSteps[0][1])},
+			{"density region 2 (steps)", "5-6", fmt.Sprintf("%d-%d", r.RegionSteps[1][0], r.RegionSteps[1][1])},
+			{"split of c at access times {1,3,5}", "2 arcs, top forced", describeSplit(grouped, "c")},
+			{"forced (bold) segments", "e, c[1]", fmt.Sprintf("%v", r.ForcedVars)},
+		},
+	}
+	return r, t, nil
+}
+
+func describeSplit(grouped [][]lifetime.Segment, v string) string {
+	for _, g := range grouped {
+		if g[0].Var != v {
+			continue
+		}
+		forced := ""
+		for i := range g {
+			if g[i].Forced {
+				forced = fmt.Sprintf(", segment %d forced", i+1)
+			}
+		}
+		return fmt.Sprintf("%d arcs%s", len(g), forced)
+	}
+	return "variable missing"
+}
+
+// Figure2 renders the paper's Figure 2 as a table: every arc-cost case of
+// eqs. (4)-(10) with its formula and its value under the default model —
+// documentation-as-code for the cost layer.
+func Figure2() (*Table, error) {
+	m := energy.OnChip256x16()
+	for _, style := range []energy.Style{energy.Static} {
+		_ = style
+	}
+	coS := netbuild.CostOptions{Style: energy.Static, Model: m}
+	coA := netbuild.CostOptions{Style: energy.Activity, Model: m, H: energy.ConstHamming(0.5)}
+
+	segNonLast := &lifetime.Segment{Var: "v1", Index: 0, NumSegs: 2, Start: 1, End: 3,
+		StartKind: lifetime.BoundWrite, EndKind: lifetime.BoundRead}
+	segLast := &lifetime.Segment{Var: "v1", Index: 1, NumSegs: 2, Start: 3, End: 5,
+		StartKind: lifetime.BoundRead, EndKind: lifetime.BoundRead}
+	segFirst := &lifetime.Segment{Var: "v2", Index: 0, NumSegs: 2, Start: 6, End: 7,
+		StartKind: lifetime.BoundWrite, EndKind: lifetime.BoundRead}
+	segMid := &lifetime.Segment{Var: "v2", Index: 1, NumSegs: 2, Start: 7, End: 9,
+		StartKind: lifetime.BoundRead, EndKind: lifetime.BoundRead}
+
+	t := &Table{
+		Title:  "Figure 2 — split-lifetime arc costs (eqs. 4-10) under the default model",
+		Header: []string{"arc", "equation", "memory terms", "static", "activity (H=0.5)"},
+	}
+	rows := []struct {
+		name, eq, terms string
+		static, act     float64
+	}{
+		{"rlast(v1)->w1(v2)", "eq. 4/10", "-Em_w(v2) - Em_r(v1)",
+			netbuild.CrossCost(coS, segLast, segFirst), netbuild.CrossCost(coA, segLast, segFirst)},
+		{"ri(v1)->w1(v2), i<last", "eq. 6", "-Em_r(v1) - Em_w(v2) + Em_w(v1)",
+			netbuild.CrossCost(coS, segNonLast, segFirst), netbuild.CrossCost(coA, segNonLast, segFirst)},
+		{"ri(v1)->wj(v2), i<last, j>1", "eq. 7*", "-Em_r(v1) + Em_w(v1)",
+			netbuild.CrossCost(coS, segNonLast, segMid), netbuild.CrossCost(coA, segNonLast, segMid)},
+		{"rlast(v1)->wj(v2), j>1", "eq. 8", "-Em_r(v1)",
+			netbuild.CrossCost(coS, segLast, segMid), netbuild.CrossCost(coA, segLast, segMid)},
+		{"ri(v)->wi+1(v)", "eq. 9", "-Em_r(v)",
+			netbuild.ChainCost(coS, segNonLast), netbuild.ChainCost(coA, segNonLast)},
+		{"s->w1(v)", "source", "-Em_w(v)",
+			netbuild.SourceCost(coS, segFirst), netbuild.SourceCost(coA, segFirst)},
+		{"rlast(v)->t", "sink", "-Em_r(v)",
+			netbuild.SinkCost(coS, segLast), netbuild.SinkCost(coA, segLast)},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.name, r.eq, r.terms, f2(r.static), f2(r.act)})
+	}
+	t.Notes = append(t.Notes,
+		"* eq. 7 uses the accounting-consistent form (includes -Em_r(v1)); CostOptions.PaperEq7 restores the printed one",
+		"static adds Er_r(v1) on exits and Er_w(v2) on entries; activity adds H(v1,v2)*Crw*Vr^2 on entries only")
+	return t, nil
+}
+
+// Figure3Result holds the E2 comparison.
+type Figure3Result struct {
+	SequentialStatic, SimultaneousStatic     float64
+	SequentialActivity, SimultaneousActivity float64
+	StaticImprovement, ActivityImprovement   float64
+	SeqMemSwitching, SimMemSwitching         float64
+	MemSwitchingImprovement                  float64
+	SeqRegisterActivity                      float64 // total switching of the pure allocation (paper: 2.4)
+	SeqCounts, SimCounts                     core.AccessCounts
+}
+
+// Figure3 regenerates experiment E2: sequential (Chang–Pedram allocation
+// then partition) versus simultaneous partition+allocation, R=1.
+func Figure3() (*Figure3Result, *Table, error) {
+	set := workload.Figure3()
+	h := workload.Figure3Hamming()
+	model := energy.OnChip256x16()
+	res := &Figure3Result{}
+
+	coAct := netbuild.CostOptions{Style: energy.Activity, Model: model, H: h}
+	coStat := netbuild.CostOptions{Style: energy.Static, Model: model, H: h}
+
+	// The pure register allocation's total switching activity (paper: 2.4).
+	chains, err := baseline.MinActivityChains(set, h, energy.Model{CrwV2: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range chains {
+		prev := ""
+		for _, v := range c {
+			res.SeqRegisterActivity += h(prev, v)
+			prev = v
+		}
+	}
+
+	seq, err := baseline.ChangPedram(set, workload.Figure3Registers, coAct)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.SequentialStatic = seq.Energy(coStat)
+	res.SequentialActivity = seq.Energy(coAct)
+	res.SeqMemSwitching = seq.SwitchingActivity(h, true)
+	res.SeqCounts = seq.Counts()
+
+	simStat, err := core.Allocate(set, core.Options{
+		Registers: workload.Figure3Registers,
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.DensityRegions,
+		Cost:      coStat,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	simAct, err := core.Allocate(set, core.Options{
+		Registers: workload.Figure3Registers,
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.DensityRegions,
+		Cost:      coAct,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.SimultaneousStatic = simStat.TotalEnergy
+	res.SimultaneousActivity = simAct.TotalEnergy
+	res.SimCounts = simAct.Counts
+
+	// Memory switching of the simultaneous solution: rebind its memory
+	// variables with the second-stage allocator.
+	memVars := memoryVars(simAct)
+	bind, err := memmap.Allocate(set, memVars, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.SimMemSwitching = bind.Switching
+
+	res.StaticImprovement = safeDiv(res.SequentialStatic, res.SimultaneousStatic)
+	res.ActivityImprovement = safeDiv(res.SequentialActivity, res.SimultaneousActivity)
+	res.MemSwitchingImprovement = safeDiv(res.SeqMemSwitching, res.SimMemSwitching)
+
+	t := &Table{
+		Title:  "Figure 3 — sequential (allocate-then-partition) vs simultaneous, R=1",
+		Header: []string{"metric", "sequential [8]", "simultaneous (this paper)", "improvement", "paper"},
+		Rows: [][]string{
+			{"static energy E", f2(res.SequentialStatic), f2(res.SimultaneousStatic), ratio(res.SequentialStatic, res.SimultaneousStatic), "1.4x"},
+			{"activity energy aE", f2(res.SequentialActivity), f2(res.SimultaneousActivity), ratio(res.SequentialActivity, res.SimultaneousActivity), "1.3x"},
+			{"memory switching activity", f2(res.SeqMemSwitching), f2(res.SimMemSwitching), ratio(res.SeqMemSwitching, res.SimMemSwitching), "1.5x"},
+			{"memory accesses", d(res.SeqCounts.Mem()), d(res.SimCounts.Mem()), "", "fewer"},
+		},
+		Notes: []string{
+			fmt.Sprintf("pure register allocation switching activity = %.2f (paper: 2.4)", res.SeqRegisterActivity),
+		},
+	}
+	return res, t, nil
+}
+
+// Figure4Result holds the E3 three-way comparison.
+type Figure4Result struct {
+	// a = sequential on the all-compatible graph, b = simultaneous on the
+	// all-compatible graph, c = simultaneous on the paper graph with the
+	// region split of f.
+	MemAccesses       [3]int
+	Locations         [3]int
+	Activity          [3]float64
+	Static            [3]float64
+	ImprovementCOverA float64
+	// The pinned LocationsDemo instance isolates the §7 guarantee: equal
+	// optimal energy, different memory locations per graph style.
+	DemoEnergy    [2]float64 // [density, all-compatible]
+	DemoLocations [2]int
+}
+
+// Figure4 regenerates experiment E3.
+func Figure4() (*Figure4Result, *Table, error) {
+	set := workload.Figure4()
+	h := workload.Figure4Hamming()
+	model := energy.OnChip256x16()
+	coAct := netbuild.CostOptions{Style: energy.Activity, Model: model, H: h}
+	coStat := netbuild.CostOptions{Style: energy.Static, Model: model, H: h}
+	res := &Figure4Result{}
+
+	// (a) sequential on the Chang–Pedram graph.
+	seq, err := baseline.ChangPedram(set, workload.Figure4Registers, coAct)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.MemAccesses[0] = seq.Counts().Mem()
+	res.Locations[0] = seq.MemoryLocations()
+	res.Activity[0] = seq.Energy(coAct)
+	res.Static[0] = seq.Energy(coStat)
+
+	// (b) simultaneous on the all-compatible graph.
+	simB, err := core.Allocate(set, core.Options{
+		Registers: workload.Figure4Registers,
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.AllCompatible,
+		Cost:      coAct,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.MemAccesses[1] = simB.Counts.Mem()
+	res.Locations[1] = simB.MemoryLocations
+	res.Activity[1] = simB.TotalEnergy
+	res.Static[1] = simB.EnergyUnder(coStat)
+
+	// (c) simultaneous on the paper's density-region graph with voluntary
+	// region splits (the split of f in Figure 4c).
+	simC, err := core.Allocate(set, core.Options{
+		Registers: workload.Figure4Registers,
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.DensityRegions,
+		ExtraCuts: set.ProposeRegionCuts(),
+		Cost:      coAct,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.MemAccesses[2] = simC.Counts.Mem()
+	res.Locations[2] = simC.MemoryLocations
+	res.Activity[2] = simC.TotalEnergy
+	res.Static[2] = simC.EnergyUnder(coStat)
+
+	res.ImprovementCOverA = safeDiv(res.Activity[0], res.Activity[2])
+
+	// §7 guarantee demonstration on the pinned LocationsDemo instance.
+	demo := workload.LocationsDemo()
+	for i, style := range []netbuild.GraphStyle{netbuild.DensityRegions, netbuild.AllCompatible} {
+		r, err := core.Allocate(demo, core.Options{
+			Registers: workload.LocationsDemoRegisters,
+			Memory:    lifetime.FullSpeed,
+			Style:     style,
+			Cost:      coStat,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		res.DemoEnergy[i] = r.TotalEnergy
+		res.DemoLocations[i] = r.MemoryLocations
+	}
+
+	t := &Table{
+		Title:  "Figure 4 — graph styles: accesses vs storage locations, R=1",
+		Header: []string{"solution", "mem accesses", "mem locations", "aE", "E"},
+		Rows: [][]string{
+			{"(a) sequential, all-compatible graph", d(res.MemAccesses[0]), d(res.Locations[0]), f2(res.Activity[0]), f2(res.Static[0])},
+			{"(b) simultaneous, all-compatible graph", d(res.MemAccesses[1]), d(res.Locations[1]), f2(res.Activity[1]), f2(res.Static[1])},
+			{"(c) simultaneous, paper graph + split", d(res.MemAccesses[2]), d(res.Locations[2]), f2(res.Activity[2]), f2(res.Static[2])},
+		},
+		Notes: []string{
+			fmt.Sprintf("(c) vs (a) energy improvement = %.2fx (paper: 1.35x)", res.ImprovementCOverA),
+			"paper: (b) reaches minimum accesses but extra locations; (c) reaches both minima",
+			fmt.Sprintf("§7 guarantee on pinned LocationsDemo: equal energy %.1f vs %.1f, locations %d (paper graph) vs %d (all-compatible)",
+				res.DemoEnergy[0], res.DemoEnergy[1], res.DemoLocations[0], res.DemoLocations[1]),
+		},
+	}
+	return res, t, nil
+}
+
+// Table1Row is one memory-frequency configuration of experiment E4.
+type Table1Row struct {
+	Divisor     int
+	Voltage     float64
+	MemAccesses int
+	RegAccesses int
+	StaticE     float64
+	ActivityE   float64
+	RelStatic   float64
+	RelActivity float64
+	Ports       core.PortReport
+}
+
+// Table1Result holds experiment E4.
+type Table1Result struct {
+	MaxDensity int
+	Rows       []Table1Row
+}
+
+// Table1 regenerates the paper's Table 1 on the synthetic RSP kernel:
+// restricted memory access times at f, f/2 and f/4 with voltage-scaled
+// memory (5V → 2V), static and activity energy, normalised to the f/4 row.
+func Table1(registers int) (*Table1Result, *Table, error) {
+	set, _, err := workload.RSP(workload.DefaultRSP)
+	if err != nil {
+		return nil, nil, err
+	}
+	h := trace.Hamming()
+	res := &Table1Result{MaxDensity: set.MaxDensity()}
+	for _, div := range []int{1, 2, 4} {
+		v := energy.VoltageForDivisor(div)
+		model := energy.OnChip256x16().WithMemVoltage(v)
+		coStat := netbuild.CostOptions{Style: energy.Static, Model: model, H: h}
+		coAct := netbuild.CostOptions{Style: energy.Activity, Model: model, H: h}
+		mem := lifetime.MemoryAccess{Period: div, Offset: div}
+		rStat, err := core.Allocate(set, core.Options{
+			Registers: registers,
+			Memory:    mem,
+			Split:     lifetime.SplitMinimal,
+			Style:     netbuild.DensityRegions,
+			Cost:      coStat,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("table1 divisor %d (static): %w", div, err)
+		}
+		rAct, err := core.Allocate(set, core.Options{
+			Registers: registers,
+			Memory:    mem,
+			Split:     lifetime.SplitMinimal,
+			Style:     netbuild.DensityRegions,
+			Cost:      coAct,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("table1 divisor %d (activity): %w", div, err)
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Divisor:     div,
+			Voltage:     v,
+			MemAccesses: rStat.Counts.Mem(),
+			RegAccesses: rStat.Counts.Reg(),
+			StaticE:     rStat.TotalEnergy,
+			ActivityE:   rAct.TotalEnergy,
+			Ports:       rStat.Ports,
+		})
+	}
+	base := res.Rows[len(res.Rows)-1] // f/4 row is the paper's unit
+	for i := range res.Rows {
+		res.Rows[i].RelStatic = safeDiv(res.Rows[i].StaticE, base.StaticE)
+		res.Rows[i].RelActivity = safeDiv(res.Rows[i].ActivityE, base.ActivityE)
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Table 1 — RSP application, R=%d, max density %d (paper: 26)", registers, res.MaxDensity),
+		Header: []string{"mem freq", "Vmem", "#mem acc", "#reg acc", "rel E", "rel aE", "paper E", "paper aE", "mem ports (r/w)"},
+	}
+	paperE := map[int]string{1: "4.9", 2: "2", 4: "1"}
+	paperAE := map[int]string{1: "2.8", 2: "1.6", 4: "1"}
+	for _, row := range res.Rows {
+		name := "f"
+		if row.Divisor > 1 {
+			name = fmt.Sprintf("f/%d", row.Divisor)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, f1(row.Voltage), d(row.MemAccesses), d(row.RegAccesses),
+			f2(row.RelStatic), f2(row.RelActivity), paperE[row.Divisor], paperAE[row.Divisor],
+			fmt.Sprintf("%d/%d", row.Ports.MemReadPorts, row.Ports.MemWritePorts),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"synthetic RSP kernel substitutes the proprietary industrial example (DESIGN.md)",
+		"energies normalised to the f/4 (2V) row, as in the paper")
+	return res, t, nil
+}
+
+// GraphStyleAblation compares the paper's density-region graph against the
+// all-compatible graph on random instances: memory locations (the paper's
+// §7 address-energy argument) and achieved energy.
+func GraphStyleAblation(seed int64, instances int) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	model := energy.OnChip256x16()
+	co := netbuild.CostOptions{Style: energy.Static, Model: model}
+	t := &Table{
+		Title:  "Ablation — density-region graph vs all-compatible graph (random instances)",
+		Header: []string{"instance", "vars", "R", "locs (paper graph)", "locs (all-compat)", "E (paper graph)", "E (all-compat)"},
+	}
+	for i := 0; i < instances; i++ {
+		set := workload.Random(rng, workload.RandomParams{
+			Vars: 8 + rng.Intn(8), Steps: 10 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
+		})
+		regs := 1 + set.MaxDensity()/2
+		a, err := core.Allocate(set, core.Options{Registers: regs, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: co})
+		if err != nil {
+			return nil, err
+		}
+		b, err := core.Allocate(set, core.Options{Registers: regs, Memory: lifetime.FullSpeed, Style: netbuild.AllCompatible, Cost: co})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			d(i), d(len(set.Lifetimes)), d(regs),
+			d(a.MemoryLocations), d(b.MemoryLocations),
+			f2(a.TotalEnergy), f2(b.TotalEnergy),
+		})
+	}
+	return t, nil
+}
+
+// Eq7Ablation compares the consistent eq. (7) cost against the paper's
+// literal form on the restricted-memory RSP runs.
+func Eq7Ablation(registers int) (*Table, error) {
+	set, _, err := workload.RSP(workload.DefaultRSP)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation — eq. (7) literal vs consistent cost (RSP, restricted memory)",
+		Header: []string{"mem freq", "E (consistent)", "E (literal eq7)", "delta"},
+	}
+	for _, div := range []int{2, 4} {
+		model := energy.OnChip256x16().WithMemVoltage(energy.VoltageForDivisor(div))
+		mem := lifetime.MemoryAccess{Period: div, Offset: div}
+		run := func(literal bool) (float64, error) {
+			r, err := core.Allocate(set, core.Options{
+				Registers: registers,
+				Memory:    mem,
+				Split:     lifetime.SplitFull,
+				Style:     netbuild.DensityRegions,
+				Cost:      netbuild.CostOptions{Style: energy.Static, Model: model, PaperEq7: literal},
+			})
+			if err != nil {
+				return 0, err
+			}
+			return r.TotalEnergy, nil
+		}
+		cons, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		lit, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("f/%d", div), f2(cons), f2(lit), f2(lit - cons)})
+	}
+	return t, nil
+}
+
+// memoryVars lists variables with at least one memory-resident segment.
+func memoryVars(r *core.Result) []string {
+	seen := make(map[string]bool)
+	var vars []string
+	for i, seg := range r.Build.Segments {
+		if !r.InRegister[i] && !seen[seg.Var] {
+			seen[seg.Var] = true
+			vars = append(vars, seg.Var)
+		}
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// HLSBenchResult is one benchmark kernel's comparison row.
+type HLSBenchResult struct {
+	Name                           string
+	Ops                            int
+	Density                        int
+	Registers                      int
+	Flow                           float64
+	ChangPedram, LeftEdge, Chaitin float64
+}
+
+// HLSBench runs the flow allocator against all three baselines on the
+// classic HLS benchmark suite (EWF, AR lattice filter, 8-point FDCT) under
+// the activity model — the broad-coverage comparison the paper's two
+// figure-sized examples gesture at.
+func HLSBench() ([]HLSBenchResult, *Table, error) {
+	h := trace.Hamming()
+	model := energy.OnChip256x16()
+	coAct := netbuild.CostOptions{Style: energy.Activity, Model: model, H: h}
+
+	names := make([]string, 0, 3)
+	for name := range workload.HLSBenchmarks() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var results []HLSBenchResult
+	t := &Table{
+		Title:  "HLS benchmark suite — flow allocator vs baselines (activity model)",
+		Header: []string{"kernel", "ops", "density", "R", "flow (paper)", "chang-pedram", "left-edge", "chaitin"},
+	}
+	for _, name := range names {
+		block, err := workload.HLSBenchmarks()[name]()
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := sched.List(block, sched.Resources{ALUs: 2, Multipliers: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		set, err := lifetime.FromSchedule(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		regs := set.MaxDensity() / 2
+		if regs < 1 {
+			regs = 1
+		}
+		flowRes, err := core.Allocate(set, core.Options{
+			Registers: regs, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: coAct,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cp, err := baseline.ChangPedram(set, regs, coAct)
+		if err != nil {
+			return nil, nil, err
+		}
+		le, err := baseline.LeftEdge(set, regs)
+		if err != nil {
+			return nil, nil, err
+		}
+		ch, err := baseline.Chaitin(set, regs)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := HLSBenchResult{
+			Name:        name,
+			Ops:         len(block.Instrs),
+			Density:     set.MaxDensity(),
+			Registers:   regs,
+			Flow:        flowRes.TotalEnergy,
+			ChangPedram: cp.Energy(coAct),
+			LeftEdge:    le.Energy(coAct),
+			Chaitin:     ch.Energy(coAct),
+		}
+		results = append(results, r)
+		t.Rows = append(t.Rows, []string{
+			name, d(r.Ops), d(r.Density), d(r.Registers),
+			f2(r.Flow), f2(r.ChangPedram), f2(r.LeftEdge), f2(r.Chaitin),
+		})
+	}
+	t.Notes = append(t.Notes, "R = half the maximum density per kernel; lower is better; the flow column is the global optimum")
+	return results, t, nil
+}
+
+// HLSBenchImprovement summarises the flow's advantage over the best
+// baseline per kernel.
+func HLSBenchImprovement(results []HLSBenchResult) string {
+	out := ""
+	for _, r := range results {
+		best := r.ChangPedram
+		if r.LeftEdge < best {
+			best = r.LeftEdge
+		}
+		if r.Chaitin < best {
+			best = r.Chaitin
+		}
+		out += fmt.Sprintf("%s: %.2fx; ", r.Name, best/r.Flow)
+	}
+	return out
+}

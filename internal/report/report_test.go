@@ -1,0 +1,270 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFigure1ReproducesPaperFacts(t *testing.T) {
+	r, table, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxDensity != 3 {
+		t.Errorf("density %d, want 3", r.MaxDensity)
+	}
+	if len(r.RegionSteps) != 2 || r.RegionSteps[0] != [2]int{2, 3} || r.RegionSteps[1] != [2]int{5, 6} {
+		t.Errorf("regions %v, want [2,3] and [5,6]", r.RegionSteps)
+	}
+	if len(r.ForcedVars) != 2 {
+		t.Errorf("forced %v, want c[1] and e[1]", r.ForcedVars)
+	}
+	if table == nil || len(table.Rows) == 0 {
+		t.Fatal("no table")
+	}
+}
+
+func TestFigure3Improvements(t *testing.T) {
+	r, _, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper checkpoint: the pure allocation's switching activity is 2.4.
+	if r.SeqRegisterActivity < 2.39 || r.SeqRegisterActivity > 2.41 {
+		t.Errorf("allocation switching %.2f, paper says 2.4", r.SeqRegisterActivity)
+	}
+	// Paper: 1.4x static, 1.3x activity. Shape: simultaneous clearly wins.
+	if r.StaticImprovement < 1.2 {
+		t.Errorf("static improvement %.2fx, paper reports 1.4x", r.StaticImprovement)
+	}
+	if r.ActivityImprovement < 1.2 {
+		t.Errorf("activity improvement %.2fx, paper reports 1.3x", r.ActivityImprovement)
+	}
+	// Fewer memory accesses for the simultaneous solution.
+	if r.SimCounts.Mem() >= r.SeqCounts.Mem() {
+		t.Errorf("memory accesses: simultaneous %d, sequential %d; paper says fewer", r.SimCounts.Mem(), r.SeqCounts.Mem())
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r, _, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simultaneous solutions (b, c) use no more memory accesses than the
+	// sequential one (a), and (c) improves energy over (a).
+	if r.MemAccesses[1] > r.MemAccesses[0] || r.MemAccesses[2] > r.MemAccesses[0] {
+		t.Errorf("mem accesses %v: simultaneous should not exceed sequential", r.MemAccesses)
+	}
+	if r.ImprovementCOverA < 1.2 {
+		t.Errorf("(c)/(a) improvement %.2fx, paper reports 1.35x", r.ImprovementCOverA)
+	}
+	// §7 guarantee: equal energy, strictly fewer locations on the paper
+	// graph for the pinned demo instance.
+	if r.DemoEnergy[0] != r.DemoEnergy[1] {
+		t.Errorf("demo energies differ: %v", r.DemoEnergy)
+	}
+	if r.DemoLocations[0] >= r.DemoLocations[1] {
+		t.Errorf("demo locations %v: paper graph should use fewer", r.DemoLocations)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, table, err := Table1(workload.Table1Registers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxDensity != 26 {
+		t.Errorf("density %d, paper's example has 26", r.MaxDensity)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d, want 3 (f, f/2, f/4)", len(r.Rows))
+	}
+	// Relative energies normalised to the f/4 row and monotone decreasing
+	// with memory frequency scaling — the paper's headline shape.
+	last := r.Rows[2]
+	if last.RelStatic != 1 || last.RelActivity != 1 {
+		t.Errorf("f/4 row not the unit: %+v", last)
+	}
+	for i := 0; i+1 < len(r.Rows); i++ {
+		if r.Rows[i].RelStatic <= r.Rows[i+1].RelStatic {
+			t.Errorf("rel E not decreasing: %v then %v", r.Rows[i].RelStatic, r.Rows[i+1].RelStatic)
+		}
+		if r.Rows[i].RelActivity <= r.Rows[i+1].RelActivity {
+			t.Errorf("rel aE not decreasing: %v then %v", r.Rows[i].RelActivity, r.Rows[i+1].RelActivity)
+		}
+	}
+	// Voltage scaling buys a substantial factor, as in the paper.
+	if r.Rows[0].RelActivity < 1.5 {
+		t.Errorf("f-row rel aE %.2f: expected a clear factor over f/4 (paper: 2.8)", r.Rows[0].RelActivity)
+	}
+	if table == nil || len(table.Rows) != 3 {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestGraphStyleAblation(t *testing.T) {
+	table, err := GraphStyleAblation(42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows %d", len(table.Rows))
+	}
+}
+
+func TestEq7Ablation(t *testing.T) {
+	table, err := Eq7Ablation(workload.Table1Registers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows %d", len(table.Rows))
+	}
+}
+
+func TestOffChipLargerSavings(t *testing.T) {
+	table, err := OffChip(workload.Table1Registers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows %d", len(table.Rows))
+	}
+	// §7: off-chip savings exceed on-chip savings.
+	if table.Rows[1][3] <= table.Rows[0][3] {
+		t.Errorf("off-chip saving %s not larger than on-chip %s", table.Rows[1][3], table.Rows[0][3])
+	}
+}
+
+func TestPortsExperiment(t *testing.T) {
+	table, err := Ports(workload.Table1Registers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows %d", len(table.Rows))
+	}
+}
+
+func TestOffsetAssignmentExperiment(t *testing.T) {
+	table, err := OffsetAssignment(workload.Table1Registers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows %d", len(table.Rows))
+	}
+}
+
+func TestSchedulersExperiment(t *testing.T) {
+	table, err := Schedulers(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows %d", len(table.Rows))
+	}
+}
+
+func TestTwoCommodityNeverLoses(t *testing.T) {
+	table, err := TwoCommodity(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		// sequential (col 3) >= alternating (col 4) as strings of equal
+		// format; parse loosely.
+		var seq, alt float64
+		if _, err := fmtSscan(row[3], &seq); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[4], &alt); err != nil {
+			t.Fatal(err)
+		}
+		if alt > seq+1e-9 {
+			t.Errorf("alternating %g worse than sequential %g", alt, seq)
+		}
+	}
+}
+
+func TestHLSBenchSupportsHeadlineClaim(t *testing.T) {
+	results, table, err := HLSBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || len(table.Rows) != 3 {
+		t.Fatalf("results %d", len(results))
+	}
+	for _, r := range results {
+		// The flow optimum never loses to any baseline.
+		for name, e := range map[string]float64{
+			"chang-pedram": r.ChangPedram, "left-edge": r.LeftEdge, "chaitin": r.Chaitin,
+		} {
+			if r.Flow > e+1e-9 {
+				t.Errorf("%s: flow %g worse than %s %g", r.Name, r.Flow, name, e)
+			}
+		}
+		// The paper's headline: 1.4x-2.5x over the prior energy-aware
+		// technique (Chang-Pedram). Allow a slightly wider band for the
+		// synthetic oracles.
+		imp := r.ChangPedram / r.Flow
+		if imp < 1.2 || imp > 3.0 {
+			t.Errorf("%s: improvement over chang-pedram %.2fx outside [1.2,3.0]", r.Name, imp)
+		}
+	}
+}
+
+func TestClaimBand(t *testing.T) {
+	table, err := ClaimBand(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("rows %d", len(table.Rows))
+	}
+	var min float64
+	if _, err := fmtSscan(strings.TrimSuffix(table.Rows[0][1], "x"), &min); err != nil {
+		t.Fatal(err)
+	}
+	// The flow never loses to the sequential baseline.
+	if min < 1.0-1e-9 {
+		t.Fatalf("min improvement %.2f < 1", min)
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bee"},
+		Rows:   [][]string{{"1", "2"}, {"longer", "x"}},
+		Notes:  []string{"a note"},
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "a", "bee", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := tab.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	md := sb.String()
+	for _, want := range []string{"### demo", "| a | bee |", "| --- | --- |", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscanf(s, "%g", out)
+}

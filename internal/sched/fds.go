@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// ForceDirected implements Paulin & Knight's force-directed scheduling: for
+// a fixed latency (the ASAP critical path, or `latency` if larger), pick
+// step assignments that flatten the expected resource usage ("distribution
+// graphs") — which also flattens lifetime density, feeding the allocator
+// fewer concurrent values.
+//
+// At every iteration the unscheduled operation/step pair with the lowest
+// total force (self force plus predecessor/successor forces) is committed.
+// Complexity is O(n²·L) — fine for basic blocks.
+func ForceDirected(b *ir.Block, latency int) (*Schedule, error) {
+	asap, err := ASAP(b)
+	if err != nil {
+		return nil, err
+	}
+	alap, err := ALAP(b)
+	if err != nil {
+		return nil, err
+	}
+	n := len(b.Instrs)
+	L := asap.Length
+	if latency > L {
+		L = latency
+	}
+	if n == 0 {
+		return &Schedule{Block: b, Step: nil, Length: 0}, nil
+	}
+	// Stretch ALAP bounds to the requested latency.
+	slack := L - asap.Length
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for i := 0; i < n; i++ {
+		lo[i] = asap.Step[i]
+		hi[i] = alap.Step[i] + slack
+	}
+	g, err := b.DFG()
+	if err != nil {
+		return nil, err
+	}
+
+	scheduled := make([]bool, n)
+	step := make([]int, n)
+
+	// probability that op i executes in control step s under current bounds.
+	prob := func(i, s int) float64 {
+		if s < lo[i] || s > hi[i] {
+			return 0
+		}
+		return 1.0 / float64(hi[i]-lo[i]+1)
+	}
+	// distribution graph for op class of i at step s.
+	dg := func(class bool, s int) float64 {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if b.Instrs[j].Op.IsMultiplier() == class {
+				sum += prob(j, s)
+			}
+		}
+		return sum
+	}
+	// selfForce of placing i at s: DG(s)·(1−p) − Σ_{s'≠s} DG(s')·p.
+	selfForce := func(i, s int) float64 {
+		class := b.Instrs[i].Op.IsMultiplier()
+		var f float64
+		for t := lo[i]; t <= hi[i]; t++ {
+			delta := -prob(i, t)
+			if t == s {
+				delta = 1 - prob(i, t)
+			}
+			f += dg(class, t) * delta
+		}
+		return f
+	}
+
+	propagate := func(loc, hic []int) bool {
+		// Tighten bounds transitively; returns false on infeasibility.
+		changed := true
+		for changed {
+			changed = false
+			for j := 0; j < n; j++ {
+				for _, a := range g.Out(j) {
+					if loc[a.To] < loc[j]+1 {
+						loc[a.To] = loc[j] + 1
+						changed = true
+					}
+				}
+				for _, a := range g.In(j) {
+					if hic[a.From] > hic[j]-1 {
+						hic[a.From] = hic[j] - 1
+						changed = true
+					}
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if loc[j] > hic[j] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for remaining := n; remaining > 0; remaining-- {
+		bestOp, bestStep, bestForce := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if scheduled[i] {
+				continue
+			}
+			for s := lo[i]; s <= hi[i]; s++ {
+				// Tentatively pin i at s and tighten neighbours.
+				loc := append([]int(nil), lo...)
+				hic := append([]int(nil), hi...)
+				loc[i], hic[i] = s, s
+				if !propagate(loc, hic) {
+					continue
+				}
+				// Total force: self force of i plus the force change on
+				// every op whose bounds tightened.
+				f := selfForce(i, s)
+				for j := 0; j < n; j++ {
+					if j == i || (loc[j] == lo[j] && hic[j] == hi[j]) {
+						continue
+					}
+					class := b.Instrs[j].Op.IsMultiplier()
+					for t := lo[j]; t <= hi[j]; t++ {
+						pOld := prob(j, t)
+						var pNew float64
+						if t >= loc[j] && t <= hic[j] {
+							pNew = 1.0 / float64(hic[j]-loc[j]+1)
+						}
+						f += dg(class, t) * (pNew - pOld)
+					}
+				}
+				if f < bestForce-1e-12 {
+					bestOp, bestStep, bestForce = i, s, f
+				}
+			}
+		}
+		if bestOp < 0 {
+			return nil, fmt.Errorf("sched: force-directed scheduling failed (inconsistent bounds)")
+		}
+		lo[bestOp], hi[bestOp] = bestStep, bestStep
+		step[bestOp] = bestStep
+		scheduled[bestOp] = true
+		if !propagate(lo, hi) {
+			return nil, fmt.Errorf("sched: force-directed propagation failed")
+		}
+	}
+	length := 0
+	for i := 0; i < n; i++ {
+		if step[i] > length {
+			length = step[i]
+		}
+	}
+	s := &Schedule{Block: b, Step: step, Length: length}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: force-directed produced invalid schedule: %w", err)
+	}
+	return s, nil
+}

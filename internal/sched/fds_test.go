@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func TestForceDirectedChain(t *testing.T) {
+	s, err := ForceDirected(chainBlock(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure chain has no freedom: FDS must match ASAP.
+	if s.Length != 3 {
+		t.Fatalf("length %d, want 3", s.Length)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceDirectedFlattensUsage(t *testing.T) {
+	// Four independent multiplies feeding a chain of adds: ASAP piles all
+	// multiplies into step 1; FDS with the same latency must spread them.
+	b := &ir.Block{
+		Name:   "spread",
+		Inputs: []string{"a", "b"},
+		Instrs: []ir.Instr{
+			{Op: ir.OpMul, Dst: "m0", Src: []string{"a", "b"}},
+			{Op: ir.OpMul, Dst: "m1", Src: []string{"a", "b"}},
+			{Op: ir.OpMul, Dst: "m2", Src: []string{"a", "b"}},
+			{Op: ir.OpMul, Dst: "m3", Src: []string{"a", "b"}},
+			{Op: ir.OpAdd, Dst: "s0", Src: []string{"m0", "m1"}},
+			{Op: ir.OpAdd, Dst: "s1", Src: []string{"s0", "m2"}},
+			{Op: ir.OpAdd, Dst: "s2", Src: []string{"s1", "m3"}},
+		},
+		Outputs: []string{"s2"},
+	}
+	asap, _ := ASAP(b)
+	fds, err := ForceDirected(b, asap.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fds.Length != asap.Length {
+		t.Fatalf("FDS length %d, want ASAP %d", fds.Length, asap.Length)
+	}
+	_, mulsASAP := asap.UnitUsage()
+	_, mulsFDS := fds.UnitUsage()
+	peak := func(a []int) int {
+		m := 0
+		for _, v := range a {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if peak(mulsFDS) >= peak(mulsASAP) {
+		t.Fatalf("FDS multiplier peak %d not below ASAP %d", peak(mulsFDS), peak(mulsASAP))
+	}
+}
+
+func TestForceDirectedExtendedLatency(t *testing.T) {
+	b := wideBlock()
+	asap, _ := ASAP(b)
+	fds, err := ForceDirected(b, asap.Length+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fds.Length > asap.Length+2 {
+		t.Fatalf("FDS length %d exceeds requested latency %d", fds.Length, asap.Length+2)
+	}
+	if err := fds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceDirectedEmptyBlock(t *testing.T) {
+	b := &ir.Block{Name: "empty"}
+	s, err := ForceDirected(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length != 0 {
+		t.Fatalf("length %d", s.Length)
+	}
+}
+
+func TestForceDirectedInvalidBlock(t *testing.T) {
+	b := &ir.Block{Name: "bad", Instrs: []ir.Instr{{Op: ir.OpNeg, Dst: "y", Src: []string{"x"}}}}
+	if _, err := ForceDirected(b, 0); err == nil {
+		t.Fatal("invalid block scheduled")
+	}
+}
+
+// TestForceDirectedValidProperty: FDS always yields a dependency-feasible
+// schedule within the requested latency on random blocks.
+func TestForceDirectedValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := genBlock(rng)
+		asap, err := ASAP(b)
+		if err != nil {
+			return false
+		}
+		latency := asap.Length + rng.Intn(3)
+		s, err := ForceDirected(b, latency)
+		if err != nil {
+			return false
+		}
+		return s.Validate() == nil && s.Length <= latency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForceDirectedNeverWorsePeak: at ASAP latency, the FDS multiplier peak
+// never exceeds the ASAP peak (flattening is the whole point).
+func TestForceDirectedNeverWorsePeak(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := genBlock(rng)
+		asap, err := ASAP(b)
+		if err != nil {
+			return false
+		}
+		fds, err := ForceDirected(b, asap.Length)
+		if err != nil {
+			return false
+		}
+		peak := func(a []int) int {
+			m := 0
+			for _, v := range a {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		}
+		aA, mA := asap.UnitUsage()
+		aF, mF := fds.UnitUsage()
+		// Allow equality; require no regression on either class jointly.
+		return peak(mF) <= peak(mA)+0 && peak(aF) <= peak(aA)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

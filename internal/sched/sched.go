@@ -1,0 +1,193 @@
+// Package sched produces the "initial schedule of operations" the paper's
+// problem statement assumes as given. It provides ASAP, ALAP and
+// resource-constrained list scheduling over the data-flow graph of a basic
+// block. Control steps are 1-based, matching the paper's time axis.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Schedule assigns each instruction of a block to a control step (1-based).
+type Schedule struct {
+	Block *ir.Block
+	// Step[i] is the control step of instruction i.
+	Step []int
+	// Length is the number of control steps used (the paper's x).
+	Length int
+}
+
+// Resources bounds the functional units available per control step for list
+// scheduling. Zero values mean "unlimited".
+type Resources struct {
+	// ALUs bounds add/sub/logic/move class units per step.
+	ALUs int
+	// Multipliers bounds mul/div/mac class units per step.
+	Multipliers int
+}
+
+// ASAP schedules every instruction as early as dependencies allow.
+func ASAP(b *ir.Block) (*Schedule, error) {
+	g, err := b.DFG()
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("sched: block %q has cyclic dataflow: %w", b.Name, err)
+	}
+	step := make([]int, len(b.Instrs))
+	length := 0
+	for _, i := range order {
+		s := 1
+		for _, a := range g.In(i) {
+			if step[a.From]+1 > s {
+				s = step[a.From] + 1
+			}
+		}
+		step[i] = s
+		if s > length {
+			length = s
+		}
+	}
+	return &Schedule{Block: b, Step: step, Length: length}, nil
+}
+
+// ALAP schedules every instruction as late as the ASAP length allows.
+func ALAP(b *ir.Block) (*Schedule, error) {
+	asap, err := ASAP(b)
+	if err != nil {
+		return nil, err
+	}
+	g, _ := b.DFG()
+	order, _ := g.TopoSort()
+	step := make([]int, len(b.Instrs))
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		s := asap.Length
+		for _, a := range g.Out(i) {
+			if step[a.To]-1 < s {
+				s = step[a.To] - 1
+			}
+		}
+		step[i] = s
+	}
+	return &Schedule{Block: b, Step: step, Length: asap.Length}, nil
+}
+
+// List performs resource-constrained list scheduling with a critical-path
+// (longest path to any sink) priority function.
+func List(b *ir.Block, res Resources) (*Schedule, error) {
+	g, err := b.DFG()
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("sched: block %q has cyclic dataflow: %w", b.Name, err)
+	}
+	// Priority = longest path from the instruction to a sink.
+	prio := make([]int, len(b.Instrs))
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		for _, a := range g.Out(i) {
+			if prio[a.To]+1 > prio[i] {
+				prio[i] = prio[a.To] + 1
+			}
+		}
+	}
+	step := make([]int, len(b.Instrs))
+	done := make([]bool, len(b.Instrs))
+	remaining := len(b.Instrs)
+	length := 0
+	for cstep := 1; remaining > 0; cstep++ {
+		if cstep > 4*len(b.Instrs)+4 {
+			return nil, fmt.Errorf("sched: block %q: no progress (resources too tight?)", b.Name)
+		}
+		// Ready = all predecessors finished in earlier steps.
+		var ready []int
+		for i := range b.Instrs {
+			if done[i] {
+				continue
+			}
+			ok := true
+			for _, a := range g.In(i) {
+				if !done[a.From] || step[a.From] >= cstep {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(x, y int) bool {
+			if prio[ready[x]] != prio[ready[y]] {
+				return prio[ready[x]] > prio[ready[y]]
+			}
+			return ready[x] < ready[y]
+		})
+		alu, mul := 0, 0
+		for _, i := range ready {
+			if b.Instrs[i].Op.IsMultiplier() {
+				if res.Multipliers > 0 && mul >= res.Multipliers {
+					continue
+				}
+				mul++
+			} else {
+				if res.ALUs > 0 && alu >= res.ALUs {
+					continue
+				}
+				alu++
+			}
+			step[i] = cstep
+			done[i] = true
+			remaining--
+			if cstep > length {
+				length = cstep
+			}
+		}
+	}
+	return &Schedule{Block: b, Step: step, Length: length}, nil
+}
+
+// Validate checks that the schedule respects dependencies: a consumer runs
+// strictly after its producer.
+func (s *Schedule) Validate() error {
+	if len(s.Step) != len(s.Block.Instrs) {
+		return fmt.Errorf("sched: %d steps for %d instrs", len(s.Step), len(s.Block.Instrs))
+	}
+	def := make(map[string]int)
+	for i, in := range s.Block.Instrs {
+		def[in.Dst] = i
+	}
+	for j, in := range s.Block.Instrs {
+		if s.Step[j] < 1 || s.Step[j] > s.Length {
+			return fmt.Errorf("sched: instr %d at step %d outside [1,%d]", j, s.Step[j], s.Length)
+		}
+		for _, src := range in.Src {
+			if i, ok := def[src]; ok && s.Step[i] >= s.Step[j] {
+				return fmt.Errorf("sched: instr %d (step %d) reads %q defined at step %d", j, s.Step[j], src, s.Step[i])
+			}
+		}
+	}
+	return nil
+}
+
+// UnitUsage returns, per control step (index 0 = step 1), how many ALU-class
+// and multiplier-class operations run.
+func (s *Schedule) UnitUsage() (alus, muls []int) {
+	alus = make([]int, s.Length)
+	muls = make([]int, s.Length)
+	for i, in := range s.Block.Instrs {
+		if in.Op.IsMultiplier() {
+			muls[s.Step[i]-1]++
+		} else {
+			alus[s.Step[i]-1]++
+		}
+	}
+	return alus, muls
+}

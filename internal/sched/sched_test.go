@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// chainBlock: t0 <- x; t1 <- t0; t2 <- t1 (serial dependency).
+func chainBlock() *ir.Block {
+	return &ir.Block{
+		Name:   "chain",
+		Inputs: []string{"x"},
+		Instrs: []ir.Instr{
+			{Op: ir.OpNeg, Dst: "t0", Src: []string{"x"}},
+			{Op: ir.OpNeg, Dst: "t1", Src: []string{"t0"}},
+			{Op: ir.OpNeg, Dst: "t2", Src: []string{"t1"}},
+		},
+		Outputs: []string{"t2"},
+	}
+}
+
+// wideBlock: four independent adds then a reduction.
+func wideBlock() *ir.Block {
+	return &ir.Block{
+		Name:   "wide",
+		Inputs: []string{"a", "b", "c", "d"},
+		Instrs: []ir.Instr{
+			{Op: ir.OpAdd, Dst: "s0", Src: []string{"a", "b"}},
+			{Op: ir.OpAdd, Dst: "s1", Src: []string{"c", "d"}},
+			{Op: ir.OpMul, Dst: "p0", Src: []string{"a", "c"}},
+			{Op: ir.OpMul, Dst: "p1", Src: []string{"b", "d"}},
+			{Op: ir.OpAdd, Dst: "r0", Src: []string{"s0", "s1"}},
+			{Op: ir.OpAdd, Dst: "r1", Src: []string{"p0", "p1"}},
+			{Op: ir.OpAdd, Dst: "out", Src: []string{"r0", "r1"}},
+		},
+		Outputs: []string{"out"},
+	}
+}
+
+func TestASAPChain(t *testing.T) {
+	s, err := ASAP(chainBlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length != 3 {
+		t.Fatalf("length %d, want 3", s.Length)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if s.Step[i] != want {
+			t.Fatalf("steps %v", s.Step)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASAPWide(t *testing.T) {
+	s, err := ASAP(wideBlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length != 3 {
+		t.Fatalf("length %d, want 3 (two reduction levels)", s.Length)
+	}
+	// All four leaves at step 1.
+	for i := 0; i < 4; i++ {
+		if s.Step[i] != 1 {
+			t.Fatalf("leaf %d at step %d", i, s.Step[i])
+		}
+	}
+}
+
+func TestALAPRespectsLengthAndDeps(t *testing.T) {
+	b := wideBlock()
+	asap, _ := ASAP(b)
+	alap, err := ALAP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alap.Length != asap.Length {
+		t.Fatalf("ALAP length %d != ASAP %d", alap.Length, asap.Length)
+	}
+	if err := alap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ALAP never schedules earlier than ASAP... it schedules later or equal.
+	for i := range asap.Step {
+		if alap.Step[i] < asap.Step[i] {
+			t.Fatalf("instr %d: ALAP %d < ASAP %d", i, alap.Step[i], asap.Step[i])
+		}
+	}
+	// The sink is pinned to the last step in both.
+	if alap.Step[6] != asap.Step[6] {
+		t.Fatalf("critical sink moved: %d vs %d", alap.Step[6], asap.Step[6])
+	}
+}
+
+func TestListUnlimitedMatchesASAP(t *testing.T) {
+	b := wideBlock()
+	asap, _ := ASAP(b)
+	list, err := List(b, Resources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Length != asap.Length {
+		t.Fatalf("unlimited list length %d, ASAP %d", list.Length, asap.Length)
+	}
+}
+
+func TestListResourceBound(t *testing.T) {
+	b := wideBlock()
+	s, err := List(b, Resources{ALUs: 1, Multipliers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	alus, muls := s.UnitUsage()
+	for step, n := range alus {
+		if n > 1 {
+			t.Fatalf("step %d uses %d ALUs", step+1, n)
+		}
+	}
+	for step, n := range muls {
+		if n > 1 {
+			t.Fatalf("step %d uses %d multipliers", step+1, n)
+		}
+	}
+	if s.Length < 5 {
+		t.Fatalf("length %d suspiciously short for 1 ALU", s.Length)
+	}
+}
+
+func TestListSeparatesUnitClasses(t *testing.T) {
+	// 2 muls + 2 adds, 1 of each unit: muls and adds can run in parallel.
+	b := &ir.Block{
+		Name:   "mix",
+		Inputs: []string{"a", "b"},
+		Instrs: []ir.Instr{
+			{Op: ir.OpMul, Dst: "m0", Src: []string{"a", "b"}},
+			{Op: ir.OpMul, Dst: "m1", Src: []string{"b", "a"}},
+			{Op: ir.OpAdd, Dst: "a0", Src: []string{"a", "b"}},
+			{Op: ir.OpAdd, Dst: "a1", Src: []string{"b", "a"}},
+		},
+		Outputs: []string{"m0", "m1", "a0", "a1"},
+	}
+	s, err := List(b, Resources{ALUs: 1, Multipliers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length != 2 {
+		t.Fatalf("length %d, want 2 (one add + one mul per step)", s.Length)
+	}
+}
+
+func TestValidateCatchesViolation(t *testing.T) {
+	s, _ := ASAP(chainBlock())
+	s.Step[2] = 1 // consumer at same step as producer's producer
+	if err := s.Validate(); err == nil {
+		t.Fatal("dependency violation accepted")
+	}
+}
+
+func TestScheduleRejectsInvalidBlock(t *testing.T) {
+	b := &ir.Block{Name: "bad", Instrs: []ir.Instr{{Op: ir.OpNeg, Dst: "y", Src: []string{"x"}}}}
+	if _, err := ASAP(b); err == nil {
+		t.Fatal("invalid block scheduled")
+	}
+	if _, err := List(b, Resources{}); err == nil {
+		t.Fatal("invalid block list-scheduled")
+	}
+}
+
+// TestListPropertyValid checks, over random blocks, that list scheduling
+// under random resource bounds always yields a dependency- and
+// resource-feasible schedule no longer than 4x the instruction count.
+func TestListPropertyValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := genBlock(rng)
+		res := Resources{ALUs: 1 + rng.Intn(3), Multipliers: 1 + rng.Intn(2)}
+		s, err := List(b, res)
+		if err != nil {
+			return false
+		}
+		if s.Validate() != nil {
+			return false
+		}
+		alus, muls := s.UnitUsage()
+		for _, n := range alus {
+			if n > res.ALUs {
+				return false
+			}
+		}
+		for _, n := range muls {
+			if n > res.Multipliers {
+				return false
+			}
+		}
+		return s.Length <= 4*len(b.Instrs)+4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genBlock(rng *rand.Rand) *ir.Block {
+	b := &ir.Block{Name: "rand", Inputs: []string{"i0", "i1"}}
+	avail := []string{"i0", "i1"}
+	n := 4 + rng.Intn(12)
+	for k := 0; k < n; k++ {
+		dst := "v" + string(rune('a'+k%26)) + string(rune('0'+k/26))
+		op := ir.OpAdd
+		if rng.Intn(3) == 0 {
+			op = ir.OpMul
+		}
+		src := []string{avail[rng.Intn(len(avail))], avail[rng.Intn(len(avail))]}
+		b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: dst, Src: src})
+		avail = append(avail, dst)
+	}
+	b.Outputs = []string{b.Instrs[len(b.Instrs)-1].Dst}
+	return b
+}

@@ -1,0 +1,435 @@
+// Package simulate executes a scheduled basic block against a decoded
+// allocation on a cycle-accurate storage model: a register file, a memory
+// with optional restricted access times, and the datapath operations of the
+// IR. It verifies *semantically* that the allocation is valid — every read
+// obtains the correct value from the location the allocator claims — and
+// independently counts storage accesses.
+//
+// This is the repository's end-to-end ground truth: the flow formulation,
+// the network construction and the decoder can all be wrong together and
+// still be numerically consistent; the simulator catches that class of bug
+// because it only trusts the instruction semantics.
+package simulate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/sched"
+)
+
+// Word is the simulated datapath word.
+type Word = int64
+
+// Trace is the simulation outcome.
+type Trace struct {
+	// Outputs holds the block's output values (also verified against the
+	// reference evaluation).
+	Outputs map[string]Word
+	// MemReads/MemWrites/RegReads/RegWrites count storage events.
+	Counts core.AccessCounts
+	// Moves counts register-to-register transfers.
+	Moves int
+	// WriteBacks counts register→memory spills of live values.
+	WriteBacks int
+	// PerStep holds the storage events of each control step (index 0 is the
+	// block entry, the last index the block exit), for power profiling.
+	PerStep []core.AccessCounts
+}
+
+// EnergyProfile prices each step's events under a static energy model,
+// returning the per-step storage power trace.
+func (t *Trace) EnergyProfile(m energy.Model) []float64 {
+	prof := make([]float64, len(t.PerStep))
+	for i, c := range t.PerStep {
+		prof[i] = float64(c.MemReads)*m.EMemRead() + float64(c.MemWrites)*m.EMemWrite() +
+			float64(c.RegReads)*m.ERegRead() + float64(c.RegWrites)*m.ERegWrite()
+	}
+	return prof
+}
+
+// Run executes the schedule under the allocation in res, feeding the given
+// input values (every block input must be present). It returns an error on
+// any semantic violation: a register holding the wrong variable, a memory
+// access at an inaccessible step, a read of a value that is nowhere, or an
+// output mismatch versus the reference dataflow evaluation.
+func Run(s *sched.Schedule, res *core.Result, inputs map[string]Word) (*Trace, error) {
+	b := s.Block
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	ref, err := evaluate(b, inputs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Residence plan per variable: ordered segments with register index or
+	// memory (-1).
+	plan := make(map[string][]planSeg)
+	segs := res.Build.Segments
+	for i := range segs {
+		reg := -1
+		if res.InRegister[i] {
+			reg = res.RegOf[i]
+		}
+		plan[segs[i].Var] = append(plan[segs[i].Var], planSeg{seg: segs[i], reg: reg})
+	}
+
+	st := &state{
+		regs:   make(map[int]valTag),
+		mem:    make(map[string]Word),
+		values: ref,
+		mode:   res.Options.Memory,
+		trace:  &Trace{Outputs: make(map[string]Word), PerStep: make([]core.AccessCounts, s.Length+2)},
+		readAt: make(map[string]int),
+	}
+
+	// Inputs start in memory (written by the producing task); those whose
+	// first segment lives in a register are loaded at block entry, before
+	// step 1's reads.
+	for _, v := range b.Inputs {
+		if _, ok := inputs[v]; !ok {
+			return nil, fmt.Errorf("simulate: missing input %q", v)
+		}
+		st.mem[v] = inputs[v]
+	}
+	for v, ps := range plan {
+		if ps[0].seg.StartKind == lifetime.BoundInput && ps[0].reg >= 0 {
+			st.regs[ps[0].reg] = valTag{v, st.mem[v], true}
+			st.memRead(0)
+			st.regWrite(0)
+		}
+	}
+
+	// Walk control steps; at each step perform (1) residence transitions
+	// whose boundary is this step, (2) the instructions scheduled here.
+	// Boundary transitions at step τ happen between the reads (top) and
+	// writes (bottom) of the step, matching the half-point model.
+	byStep := make(map[int][]int) // step -> instruction indices
+	for i := range b.Instrs {
+		byStep[s.Step[i]] = append(byStep[s.Step[i]], i)
+	}
+
+	for step := 1; step <= s.Length+1; step++ {
+		// Reads of instructions at this step (top of step).
+		for _, i := range byStep[step] {
+			in := b.Instrs[i]
+			var args []Word
+			for _, src := range in.Src {
+				w, err := st.readVar(src, step, plan)
+				if err != nil {
+					return nil, fmt.Errorf("simulate: step %d, %s: %w", step, in, err)
+				}
+				args = append(args, w)
+			}
+			st.pending = append(st.pending, pendingWrite{i, applyOp(in.Op, args)})
+		}
+		// Mid-step: residence transitions with boundary at this step.
+		if err := st.transitions(step, plan); err != nil {
+			return nil, err
+		}
+		// Writes of instructions at this step (bottom of step).
+		for _, pw := range st.pending {
+			in := b.Instrs[pw.instr]
+			if pw.value != ref[in.Dst] {
+				return nil, fmt.Errorf("simulate: step %d: %s computed %d, reference %d", step, in, pw.value, ref[in.Dst])
+			}
+			if err := st.writeVar(in.Dst, step, pw.value, plan); err != nil {
+				return nil, fmt.Errorf("simulate: step %d, %s: %w", step, in, err)
+			}
+		}
+		st.pending = st.pending[:0]
+	}
+
+	// Outputs: read from wherever the final segment lives (step x+1).
+	for _, v := range b.Outputs {
+		w, err := st.readVar(v, s.Length+1, plan)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: output %q: %w", v, err)
+		}
+		if w != ref[v] {
+			return nil, fmt.Errorf("simulate: output %q = %d, reference %d", v, w, ref[v])
+		}
+		st.trace.Outputs[v] = w
+	}
+	return st.trace, nil
+}
+
+type planSeg struct {
+	seg lifetime.Segment
+	reg int // -1 for memory
+}
+
+type valTag struct {
+	variable string
+	value    Word
+	valid    bool
+}
+
+type pendingWrite struct {
+	instr int
+	value Word
+}
+
+func (st *state) at(step int) *core.AccessCounts {
+	if step < 0 {
+		step = 0
+	}
+	if step >= len(st.trace.PerStep) {
+		step = len(st.trace.PerStep) - 1
+	}
+	return &st.trace.PerStep[step]
+}
+
+func (st *state) memRead(step int)  { st.trace.Counts.MemReads++; st.at(step).MemReads++ }
+func (st *state) memWrite(step int) { st.trace.Counts.MemWrites++; st.at(step).MemWrites++ }
+func (st *state) regRead(step int)  { st.trace.Counts.RegReads++; st.at(step).RegReads++ }
+func (st *state) regWrite(step int) { st.trace.Counts.RegWrites++; st.at(step).RegWrites++ }
+
+type state struct {
+	regs    map[int]valTag
+	mem     map[string]Word
+	values  map[string]Word
+	mode    lifetime.MemoryAccess
+	trace   *Trace
+	pending []pendingWrite
+	// readAt[v] is the last step whose read of v was counted: several
+	// operands reading v in one control step are one storage access (the
+	// lifetime model dedups same-step reads the same way).
+	readAt map[string]int
+}
+
+// segmentAt returns the plan segment of v covering control step `step` for
+// a read (the segment whose [Start, End] contains the step, preferring the
+// one ending at it).
+func segmentAt(plan map[string][]planSeg, v string, step int) (planSeg, error) {
+	ps := plan[v]
+	if len(ps) == 0 {
+		return planSeg{}, fmt.Errorf("no residence plan for %q", v)
+	}
+	for _, p := range ps {
+		if p.seg.Start < step && step <= p.seg.End {
+			return p, nil
+		}
+	}
+	// Reads at the write step cannot happen (schedule validated); fall back
+	// to the first segment for boundary cases.
+	return ps[0], fmt.Errorf("no segment of %q covers step %d", v, step)
+}
+
+func (st *state) memAccessible(step int, boundary bool) bool {
+	if boundary {
+		return true // block entry/exit handled by the neighbouring tasks
+	}
+	return st.mode.Accessible(step)
+}
+
+// readVar services a read of v at `step` from its planned residence.
+func (st *state) readVar(v string, step int, plan map[string][]planSeg) (Word, error) {
+	p, err := segmentAt(plan, v, step)
+	if err != nil {
+		return 0, err
+	}
+	counted := st.readAt[v] == step
+	st.readAt[v] = step
+	if p.reg >= 0 {
+		tag := st.regs[p.reg]
+		if !tag.valid || tag.variable != v {
+			return 0, fmt.Errorf("register r%d holds %q, want %q", p.reg, tag.variable, v)
+		}
+		if !counted {
+			st.regRead(step)
+		}
+		return tag.value, nil
+	}
+	w, ok := st.mem[v]
+	if !ok {
+		return 0, fmt.Errorf("%q not in memory", v)
+	}
+	// Block-exit reads (external consumers) are the next task's business;
+	// in-block reads must land on an accessible step.
+	boundary := p.seg.EndKind == lifetime.BoundExternal && step == p.seg.End
+	if !st.memAccessible(step, boundary) {
+		return 0, fmt.Errorf("memory read of %q at inaccessible step %d", v, step)
+	}
+	if !counted {
+		st.memRead(step)
+	}
+	return w, nil
+}
+
+// writeVar services the defining write of v at `step`.
+func (st *state) writeVar(v string, step int, w Word, plan map[string][]planSeg) error {
+	ps := plan[v]
+	if len(ps) == 0 {
+		return fmt.Errorf("no residence plan for %q", v)
+	}
+	first := ps[0]
+	if first.reg >= 0 {
+		st.regs[first.reg] = valTag{v, w, true}
+		st.regWrite(step)
+		return nil
+	}
+	if !st.memAccessible(step, false) {
+		return fmt.Errorf("memory write of %q at inaccessible step %d", v, step)
+	}
+	st.mem[v] = w
+	st.memWrite(step)
+	return nil
+}
+
+// transitions performs residence changes whose boundary step is `step`:
+// loads (memory→register), write-backs (register→memory) and register
+// moves. Within a step the read point precedes the write point, so all
+// source values are captured against the pre-transition state first and
+// destinations written afterwards — a register may be vacated (write-back)
+// and refilled (load of another variable) in the same step.
+func (st *state) transitions(step int, plan map[string][]planSeg) error {
+	type action struct {
+		v        string
+		from, to planSeg
+		value    Word
+	}
+	var acts []action
+	for v, ps := range plan {
+		for k := 0; k+1 < len(ps); k++ {
+			if ps[k].seg.End != step {
+				continue
+			}
+			from, to := ps[k], ps[k+1]
+			if from.reg == to.reg {
+				continue // value stays put (chain within one register, or memory)
+			}
+			a := action{v: v, from: from, to: to}
+			// Capture the source value against the pre-transition state.
+			if from.reg >= 0 {
+				tag := st.regs[from.reg]
+				if !tag.valid || tag.variable != v {
+					return fmt.Errorf("simulate: step %d: transition of %q but r%d holds %q", step, v, from.reg, tag.variable)
+				}
+				a.value = tag.value
+			} else {
+				w, ok := st.mem[v]
+				if !ok {
+					return fmt.Errorf("simulate: step %d: load of %q not in memory", step, v)
+				}
+				if !st.memAccessible(step, false) && !from.seg.EndHasRead() {
+					return fmt.Errorf("simulate: step %d: load of %q at inaccessible step", step, v)
+				}
+				a.value = w
+			}
+			acts = append(acts, a)
+		}
+	}
+	for _, a := range acts {
+		switch {
+		case a.from.reg >= 0 && a.to.reg < 0:
+			// Write-back. The paper's model lets a value leave the register
+			// file at any boundary; on an inaccessible step the store is
+			// buffered until the next access slot, so no accessibility check
+			// applies here.
+			st.mem[a.v] = a.value
+			st.regRead(step)
+			st.memWrite(step)
+			st.trace.WriteBacks++
+		case a.from.reg < 0 && a.to.reg >= 0:
+			// Load. A real read at the boundary already touched memory; an
+			// explicit load at a cut is a fresh access.
+			if a.from.seg.EndKind == lifetime.BoundCut {
+				st.memRead(step)
+			}
+			st.regs[a.to.reg] = valTag{a.v, a.value, true}
+			st.regWrite(step)
+		default: // register-to-register move
+			st.regs[a.to.reg] = valTag{a.v, a.value, true}
+			st.regRead(step)
+			st.regWrite(step)
+			st.trace.Moves++
+		}
+	}
+	return nil
+}
+
+// Evaluate computes the reference dataflow values of a block: every
+// variable's value under the pure instruction semantics, ignoring storage.
+// Exposed so transformation passes can check semantic preservation.
+func Evaluate(b *ir.Block, inputs map[string]Word) (map[string]Word, error) {
+	return evaluate(b, inputs)
+}
+
+// evaluate computes the reference dataflow values of the block.
+func evaluate(b *ir.Block, inputs map[string]Word) (map[string]Word, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	vals := make(map[string]Word, len(b.Instrs)+len(b.Inputs))
+	for _, v := range b.Inputs {
+		w, ok := inputs[v]
+		if !ok {
+			return nil, fmt.Errorf("simulate: missing input %q", v)
+		}
+		vals[v] = w
+	}
+	for _, in := range b.Instrs {
+		var args []Word
+		for _, s := range in.Src {
+			args = append(args, vals[s])
+		}
+		vals[in.Dst] = applyOp(in.Op, args)
+	}
+	return vals, nil
+}
+
+// applyOp implements the datapath semantics of each op kind.
+func applyOp(op ir.OpKind, a []Word) Word {
+	switch op {
+	case ir.OpAdd:
+		return a[0] + a[1]
+	case ir.OpSub:
+		return a[0] - a[1]
+	case ir.OpMul:
+		return a[0] * a[1]
+	case ir.OpDiv:
+		if a[1] == 0 {
+			return 0
+		}
+		return a[0] / a[1]
+	case ir.OpMac:
+		return a[0]*a[1] + a[0]
+	case ir.OpNeg:
+		return -a[0]
+	case ir.OpAbs:
+		if a[0] < 0 {
+			return -a[0]
+		}
+		return a[0]
+	case ir.OpShl:
+		return a[0] << (uint(a[1]) & 15)
+	case ir.OpShr:
+		return a[0] >> (uint(a[1]) & 15)
+	case ir.OpMov:
+		return a[0]
+	case ir.OpCmp:
+		switch {
+		case a[0] < a[1]:
+			return -1
+		case a[0] > a[1]:
+			return 1
+		}
+		return 0
+	case ir.OpMax:
+		if a[0] > a[1] {
+			return a[0]
+		}
+		return a[1]
+	case ir.OpMin:
+		if a[0] < a[1] {
+			return a[0]
+		}
+		return a[1]
+	}
+	return 0
+}

@@ -1,0 +1,293 @@
+package simulate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/sched"
+)
+
+func parseBlock(t *testing.T, src string) *ir.Block {
+	t.Helper()
+	prog, err := ir.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Tasks[0].Blocks[0]
+}
+
+const firSrc = `
+block fir
+in x0 x1 c0 c1
+p0 = x0 * c0
+p1 = x1 * c1
+y = p0 + p1
+d = p0 - p1
+out y d
+end
+`
+
+func pipeline(t *testing.T, src string, res sched.Resources, opts core.Options) (*sched.Schedule, *core.Result) {
+	t.Helper()
+	b := parseBlock(t, src)
+	s, err := sched.List(b, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := lifetime.FromSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Allocate(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func staticOpts(regs int, mem lifetime.MemoryAccess) core.Options {
+	return core.Options{
+		Registers: regs,
+		Memory:    mem,
+		Split:     lifetime.SplitMinimal,
+		Style:     netbuild.DensityRegions,
+		Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+	}
+}
+
+func TestRunFIRCorrectOutputs(t *testing.T) {
+	s, r := pipeline(t, firSrc, sched.Resources{ALUs: 1, Multipliers: 1}, staticOpts(3, lifetime.FullSpeed))
+	in := map[string]Word{"x0": 3, "x1": -2, "c0": 7, "c1": 5}
+	tr, err := Run(s, r, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Outputs["y"] != 3*7+(-2)*5 {
+		t.Fatalf("y = %d", tr.Outputs["y"])
+	}
+	if tr.Outputs["d"] != 3*7-(-2)*5 {
+		t.Fatalf("d = %d", tr.Outputs["d"])
+	}
+}
+
+func TestRunCountsMatchTally(t *testing.T) {
+	s, r := pipeline(t, firSrc, sched.Resources{ALUs: 1, Multipliers: 1}, staticOpts(2, lifetime.FullSpeed))
+	tr, err := Run(s, r, map[string]Word{"x0": 1, "x1": 2, "c0": 3, "c1": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Counts != r.Counts {
+		t.Fatalf("simulator counts %+v, allocator tally %+v", tr.Counts, r.Counts)
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	s, r := pipeline(t, firSrc, sched.Resources{ALUs: 1, Multipliers: 1}, staticOpts(2, lifetime.FullSpeed))
+	if _, err := Run(s, r, map[string]Word{"x0": 1}); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+}
+
+func TestRunRestrictedMemory(t *testing.T) {
+	mem := lifetime.MemoryAccess{Period: 2, Offset: 1}
+	s, r := pipeline(t, firSrc, sched.Resources{ALUs: 1, Multipliers: 1}, staticOpts(4, mem))
+	tr, err := Run(s, r, map[string]Word{"x0": 2, "x1": 4, "c0": 6, "c1": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Outputs["y"] != 2*6+4*8 {
+		t.Fatalf("y = %d", tr.Outputs["y"])
+	}
+}
+
+// TestRunDetectsForcedViolation moves a §5.2-forced segment (one that lives
+// between restricted memory access times) into memory; the simulator must
+// refuse the resulting inaccessible access.
+func TestRunDetectsForcedViolation(t *testing.T) {
+	// Memory only accessible at step 1: every intermediate is forced into
+	// the register file.
+	mem := lifetime.MemoryAccess{Period: 50, Offset: 1}
+	s, r := pipeline(t, firSrc, sched.Resources{ALUs: 1, Multipliers: 1}, staticOpts(4, mem))
+	violated := false
+	for i := range r.Build.Segments {
+		if r.Build.Segments[i].Forced && r.InRegister[i] {
+			r.InRegister[i] = false
+			r.RegOf[i] = -1
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		t.Fatal("no forced segment found to violate")
+	}
+	if _, err := Run(s, r, map[string]Word{"x0": 1, "x1": 1, "c0": 1, "c1": 1}); err == nil {
+		t.Fatal("forced-residence violation simulated cleanly")
+	}
+}
+
+func TestRunDetectsStolenRegister(t *testing.T) {
+	s, r := pipeline(t, firSrc, sched.Resources{ALUs: 1, Multipliers: 1}, staticOpts(3, lifetime.FullSpeed))
+	// Force two concurrent segments onto one register: overlap must trip the
+	// tag check.
+	var first = -1
+	for i := range r.InRegister {
+		if !r.InRegister[i] {
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue
+		}
+		a, b := r.Build.Segments[first], r.Build.Segments[i]
+		if a.StartPoint() <= b.EndPoint() && b.StartPoint() <= a.EndPoint() {
+			r.RegOf[i] = r.RegOf[first]
+			if _, err := Run(s, r, map[string]Word{"x0": 1, "x1": 1, "c0": 1, "c1": 1}); err == nil {
+				t.Fatal("overlapping register sharing simulated cleanly")
+			}
+			return
+		}
+	}
+	t.Skip("no overlapping register pair found")
+}
+
+// TestRunRandomProperty: every allocation the solver produces on random
+// programs simulates cleanly with correct outputs and matching counts.
+func TestRunRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBlock(rng)
+		s, err := sched.List(b, sched.Resources{ALUs: 1 + rng.Intn(2), Multipliers: 1 + rng.Intn(2)})
+		if err != nil {
+			return false
+		}
+		set, err := lifetime.FromSchedule(s)
+		if err != nil {
+			return false
+		}
+		mem := lifetime.FullSpeed
+		if rng.Intn(2) == 0 {
+			period := 2 + rng.Intn(2)
+			mem = lifetime.MemoryAccess{Period: period, Offset: 1 + rng.Intn(period)}
+		}
+		regs := rng.Intn(set.MaxDensity() + 2)
+		r, err := core.Allocate(set, staticOpts(regs, mem))
+		if err != nil {
+			return true // forced residences may exceed R; fine
+		}
+		in := map[string]Word{}
+		for _, v := range b.Inputs {
+			in[v] = Word(rng.Intn(200) - 100)
+		}
+		tr, err := Run(s, r, in)
+		if err != nil {
+			return false
+		}
+		return tr.Counts == r.Counts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomBlock(rng *rand.Rand) *ir.Block {
+	b := &ir.Block{Name: "rand", Inputs: []string{"i0", "i1"}}
+	avail := append([]string(nil), b.Inputs...)
+	used := map[string]bool{}
+	n := 3 + rng.Intn(10)
+	ops := []ir.OpKind{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpMax, ir.OpMin}
+	for k := 0; k < n; k++ {
+		dst := "t" + string(rune('a'+k))
+		op := ops[rng.Intn(len(ops))]
+		s1 := avail[rng.Intn(len(avail))]
+		s2 := avail[rng.Intn(len(avail))]
+		b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: dst, Src: []string{s1, s2}})
+		used[s1], used[s2] = true, true
+		avail = append(avail, dst)
+	}
+	for _, in := range b.Instrs {
+		if !used[in.Dst] {
+			b.Outputs = append(b.Outputs, in.Dst)
+		}
+	}
+	// Drop inputs the generated code never reads: an unread variable has no
+	// lifetime.
+	var inputs []string
+	for _, v := range b.Inputs {
+		if used[v] {
+			inputs = append(inputs, v)
+		}
+	}
+	b.Inputs = inputs
+	return b
+}
+
+func TestApplyOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   ir.OpKind
+		a    []Word
+		want Word
+	}{
+		{ir.OpAdd, []Word{2, 3}, 5},
+		{ir.OpSub, []Word{2, 3}, -1},
+		{ir.OpMul, []Word{4, -3}, -12},
+		{ir.OpDiv, []Word{7, 2}, 3},
+		{ir.OpDiv, []Word{7, 0}, 0},
+		{ir.OpMac, []Word{3, 4}, 15},
+		{ir.OpNeg, []Word{5}, -5},
+		{ir.OpAbs, []Word{-5}, 5},
+		{ir.OpAbs, []Word{5}, 5},
+		{ir.OpShl, []Word{1, 3}, 8},
+		{ir.OpShr, []Word{8, 2}, 2},
+		{ir.OpMov, []Word{9}, 9},
+		{ir.OpCmp, []Word{1, 2}, -1},
+		{ir.OpCmp, []Word{2, 1}, 1},
+		{ir.OpCmp, []Word{2, 2}, 0},
+		{ir.OpMax, []Word{2, 5}, 5},
+		{ir.OpMin, []Word{2, 5}, 2},
+	}
+	for _, tc := range cases {
+		if got := applyOp(tc.op, tc.a); got != tc.want {
+			t.Errorf("%v%v = %d, want %d", tc.op, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestEnergyProfileSumsToTotal(t *testing.T) {
+	s, r := pipeline(t, firSrc, sched.Resources{ALUs: 1, Multipliers: 1}, staticOpts(2, lifetime.FullSpeed))
+	tr, err := Run(s, r, map[string]Word{"x0": 1, "x1": 2, "c0": 3, "c1": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := energy.OnChip256x16()
+	prof := tr.EnergyProfile(m)
+	if len(prof) != s.Length+2 {
+		t.Fatalf("profile length %d, want %d", len(prof), s.Length+2)
+	}
+	var total float64
+	for _, e := range prof {
+		total += e
+	}
+	want := float64(tr.Counts.MemReads)*m.EMemRead() + float64(tr.Counts.MemWrites)*m.EMemWrite() +
+		float64(tr.Counts.RegReads)*m.ERegRead() + float64(tr.Counts.RegWrites)*m.ERegWrite()
+	if total < want-1e-9 || total > want+1e-9 {
+		t.Fatalf("profile sum %g, want %g", total, want)
+	}
+	// Per-step counts sum to the totals too.
+	var sum core.AccessCounts
+	for _, c := range tr.PerStep {
+		sum.MemReads += c.MemReads
+		sum.MemWrites += c.MemWrites
+		sum.RegReads += c.RegReads
+		sum.RegWrites += c.RegWrites
+	}
+	if sum != tr.Counts {
+		t.Fatalf("per-step sum %+v != totals %+v", sum, tr.Counts)
+	}
+}

@@ -1,0 +1,239 @@
+// Package sweep runs the allocator across a (register count × memory
+// frequency divisor) grid and reports the energy/access surface — the data
+// behind Table 1 generalised to arbitrary design-space exploration, emitted
+// as CSV for plotting.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+)
+
+// Point is one grid cell's outcome.
+type Point struct {
+	Registers int
+	Divisor   int
+	Voltage   float64
+	// Feasible is false when the forced register residences exceed R.
+	Feasible bool
+	// StaticEnergy and ActivityEnergy are each the optimum under that model.
+	StaticEnergy   float64
+	ActivityEnergy float64
+	MemAccesses    int
+	RegAccesses    int
+	Locations      int
+	RegistersUsed  int
+}
+
+// Grid is a completed sweep.
+type Grid struct {
+	Points []Point
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Registers and Divisors define the grid axes; both required non-empty.
+	Registers []int
+	Divisors  []int
+	// H drives the activity model; nil disables the ActivityEnergy column.
+	H energy.Hamming
+	// Model is the base energy model at nominal voltage (memory voltage is
+	// scaled per divisor). Zero value uses the default table.
+	Model energy.Model
+	// Split selects the lifetime splitting policy (SplitMinimal default).
+	Split lifetime.SplitPolicy
+	// Workers bounds the number of grid cells solved concurrently
+	// (0 or 1 = sequential). Results are deterministic regardless.
+	Workers int
+}
+
+// Run evaluates every grid cell.
+func Run(set *lifetime.Set, opt Options) (*Grid, error) {
+	if len(opt.Registers) == 0 || len(opt.Divisors) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid axes")
+	}
+	base := opt.Model
+	if base.MemRead == 0 && base.MemWrite == 0 {
+		base = energy.OnChip256x16()
+	}
+	type cell struct{ regs, div int }
+	var cells []cell
+	for _, regs := range opt.Registers {
+		for _, div := range opt.Divisors {
+			if regs < 0 || div < 1 {
+				return nil, fmt.Errorf("sweep: invalid cell R=%d div=%d", regs, div)
+			}
+			cells = append(cells, cell{regs, div})
+		}
+	}
+	solve := func(c cell) Point {
+		v := energy.VoltageForDivisor(c.div)
+		model := base.WithMemVoltage(v)
+		pt := Point{Registers: c.regs, Divisor: c.div, Voltage: v}
+		opts := core.Options{
+			Registers: c.regs,
+			Memory:    lifetime.MemoryAccess{Period: c.div, Offset: c.div},
+			Split:     opt.Split,
+			Style:     netbuild.DensityRegions,
+			Cost:      netbuild.CostOptions{Style: energy.Static, Model: model},
+		}
+		rs, err := core.Allocate(set, opts)
+		if err != nil {
+			return pt // infeasible cell
+		}
+		pt.Feasible = true
+		pt.StaticEnergy = rs.TotalEnergy
+		pt.MemAccesses = rs.Counts.Mem()
+		pt.RegAccesses = rs.Counts.Reg()
+		pt.Locations = rs.MemoryLocations
+		pt.RegistersUsed = rs.RegistersUsed
+		if opt.H != nil {
+			opts.Cost = netbuild.CostOptions{Style: energy.Activity, Model: model, H: opt.H}
+			if ra, err := core.Allocate(set, opts); err == nil {
+				pt.ActivityEnergy = ra.TotalEnergy
+			}
+		}
+		return pt
+	}
+	g := &Grid{Points: make([]Point, len(cells))}
+	workers := opt.Workers
+	if workers <= 1 {
+		for i, c := range cells {
+			g.Points[i] = solve(c)
+		}
+		return g, nil
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				g.Points[i] = solve(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return g, nil
+}
+
+// WriteCSV emits the grid with a header row.
+func (g *Grid) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"registers", "divisor", "vmem", "feasible",
+		"static_energy", "activity_energy",
+		"mem_accesses", "reg_accesses", "locations", "registers_used",
+	}); err != nil {
+		return err
+	}
+	for _, p := range g.Points {
+		rec := []string{
+			strconv.Itoa(p.Registers),
+			strconv.Itoa(p.Divisor),
+			strconv.FormatFloat(p.Voltage, 'f', 1, 64),
+			strconv.FormatBool(p.Feasible),
+			strconv.FormatFloat(p.StaticEnergy, 'f', 3, 64),
+			strconv.FormatFloat(p.ActivityEnergy, 'f', 3, 64),
+			strconv.Itoa(p.MemAccesses),
+			strconv.Itoa(p.RegAccesses),
+			strconv.Itoa(p.Locations),
+			strconv.Itoa(p.RegistersUsed),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Pareto returns the feasible points not dominated on (StaticEnergy,
+// Registers): the energy/register-cost frontier a designer actually chooses
+// from.
+func (g *Grid) Pareto() []Point {
+	var frontier []Point
+	for _, p := range g.Points {
+		if !p.Feasible {
+			continue
+		}
+		dominated := false
+		for _, q := range g.Points {
+			if !q.Feasible || q == p {
+				continue
+			}
+			if q.Registers <= p.Registers && q.StaticEnergy <= p.StaticEnergy &&
+				(q.Registers < p.Registers || q.StaticEnergy < p.StaticEnergy) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	return frontier
+}
+
+// Heatmap renders the static-energy surface as a text grid (rows =
+// registers, columns = divisors); infeasible cells print as "----".
+func (g *Grid) Heatmap(w io.Writer) error {
+	regs := sortedUnique(func(p Point) int { return p.Registers }, g.Points)
+	divs := sortedUnique(func(p Point) int { return p.Divisor }, g.Points)
+	cell := make(map[[2]int]Point, len(g.Points))
+	for _, p := range g.Points {
+		cell[[2]int{p.Registers, p.Divisor}] = p
+	}
+	var b strings.Builder
+	b.WriteString("R\\div ")
+	for _, d := range divs {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("f/%d", d))
+	}
+	b.WriteByte('\n')
+	for _, r := range regs {
+		fmt.Fprintf(&b, "%-6d", r)
+		for _, d := range divs {
+			p, ok := cell[[2]int{r, d}]
+			if !ok || !p.Feasible {
+				fmt.Fprintf(&b, "%10s", "----")
+				continue
+			}
+			fmt.Fprintf(&b, "%10.1f", p.StaticEnergy)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedUnique(key func(Point) int, pts []Point) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range pts {
+		k := key(p)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

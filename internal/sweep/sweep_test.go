@@ -1,0 +1,166 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+func TestRunGrid(t *testing.T) {
+	set := workload.Figure1()
+	g, err := Run(set, Options{
+		Registers: []int{0, 1, 2, 3},
+		Divisors:  []int{1, 2},
+		H:         energy.ConstHamming(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Points) != 8 {
+		t.Fatalf("points %d, want 8", len(g.Points))
+	}
+	// Energy is monotone non-increasing in registers at fixed divisor.
+	byDiv := map[int][]Point{}
+	for _, p := range g.Points {
+		byDiv[p.Divisor] = append(byDiv[p.Divisor], p)
+	}
+	for div, pts := range byDiv {
+		var prev *Point
+		for i := range pts {
+			p := &pts[i]
+			if !p.Feasible {
+				continue
+			}
+			if prev != nil && p.StaticEnergy > prev.StaticEnergy+1e-9 {
+				t.Errorf("div %d: energy rose from R=%d (%g) to R=%d (%g)",
+					div, prev.Registers, prev.StaticEnergy, p.Registers, p.StaticEnergy)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestRunMarksInfeasibleCells(t *testing.T) {
+	set := workload.Figure1()
+	g, err := Run(set, Options{
+		Registers: []int{0},
+		Divisors:  []int{8}, // access only at step 8: most lifetimes forced
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Points[0].Feasible {
+		t.Fatal("impossible cell reported feasible")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	set := workload.Figure1()
+	if _, err := Run(set, Options{}); err == nil {
+		t.Error("empty axes accepted")
+	}
+	if _, err := Run(set, Options{Registers: []int{-1}, Divisors: []int{1}}); err == nil {
+		t.Error("negative register count accepted")
+	}
+	if _, err := Run(set, Options{Registers: []int{1}, Divisors: []int{0}}); err == nil {
+		t.Error("zero divisor accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	set := workload.Figure1()
+	g, err := Run(set, Options{Registers: []int{1, 3}, Divisors: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines %d, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "registers,divisor,vmem,feasible") {
+		t.Fatalf("header %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 9 {
+			t.Fatalf("row %q has %d commas, want 9", l, got)
+		}
+	}
+}
+
+func TestPareto(t *testing.T) {
+	set := workload.Figure1()
+	g, err := Run(set, Options{Registers: []int{0, 1, 2, 3, 4}, Divisors: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier := g.Pareto()
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// No frontier point dominates another.
+	for _, p := range frontier {
+		for _, q := range frontier {
+			if p == q {
+				continue
+			}
+			if q.Registers <= p.Registers && q.StaticEnergy <= p.StaticEnergy &&
+				(q.Registers < p.Registers || q.StaticEnergy < p.StaticEnergy) {
+				t.Fatalf("frontier point %+v dominated by %+v", p, q)
+			}
+		}
+	}
+	// R=4 is surplus over density 3: it cannot be on the frontier together
+	// with R=3 at equal energy.
+	for _, p := range frontier {
+		if p.Registers == 4 {
+			t.Fatalf("surplus-register point on frontier: %+v", p)
+		}
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	set := workload.Figure1()
+	g, err := Run(set, Options{Registers: []int{0, 3}, Divisors: []int{1, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.Heatmap(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "f/1") || !strings.Contains(out, "f/8") {
+		t.Fatalf("column headers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "----") {
+		t.Fatalf("infeasible marker missing:\n%s", out)
+	}
+}
+
+func TestRunParallelDeterministic(t *testing.T) {
+	set := workload.Figure1()
+	opt := Options{Registers: []int{0, 1, 2, 3}, Divisors: []int{1, 2, 4}}
+	seq, err := Run(set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	par, err := Run(set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Points) != len(par.Points) {
+		t.Fatalf("sizes differ: %d vs %d", len(seq.Points), len(par.Points))
+	}
+	for i := range seq.Points {
+		if seq.Points[i] != par.Points[i] {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, seq.Points[i], par.Points[i])
+		}
+	}
+}

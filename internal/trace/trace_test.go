@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValuesDeterministic(t *testing.T) {
+	a := Values("x0")
+	b := Values("x0")
+	if a != b {
+		t.Fatal("value stream not deterministic")
+	}
+	if Values("x0") == Values("x1") {
+		t.Fatal("distinct variables got identical streams")
+	}
+}
+
+func TestActivityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		h := Activity(a, b)
+		return h >= 0 && h <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivitySelfZero(t *testing.T) {
+	if got := Activity("v", "v"); got != 0 {
+		t.Fatalf("self activity %g, want 0 (same values)", got)
+	}
+}
+
+func TestActivitySymmetricInXor(t *testing.T) {
+	// Hamming distance is symmetric.
+	if Activity("a", "b") != Activity("b", "a") {
+		t.Fatal("activity not symmetric")
+	}
+}
+
+func TestActivityNontrivial(t *testing.T) {
+	// Random 16-bit values differ in roughly half their bits; allow a wide
+	// band but reject degenerate oracles.
+	h := Activity("alpha", "beta")
+	if h < 0.1 || h > 0.9 {
+		t.Fatalf("activity %g looks degenerate", h)
+	}
+}
+
+func TestHammingOracle(t *testing.T) {
+	h := Hamming()
+	if h("", "v") != 0.5 {
+		t.Fatalf("initial state %g, want 0.5", h("", "v"))
+	}
+	if h("a", "b") != Activity("a", "b") {
+		t.Fatal("oracle disagrees with Activity")
+	}
+}

@@ -1,0 +1,63 @@
+package viz
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenFigure1Lifetimes(t *testing.T) {
+	var sb strings.Builder
+	if err := Lifetimes(&sb, workload.Figure1()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure1_lifetimes.golden", sb.String())
+}
+
+func TestGoldenFigure1Allocation(t *testing.T) {
+	r, err := core.Allocate(workload.Figure1(), core.Options{
+		Registers: 3,
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.DensityRegions,
+		Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Allocation(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure1_allocation.golden", sb.String())
+}

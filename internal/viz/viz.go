@@ -1,0 +1,153 @@
+// Package viz renders lifetimes and allocation results as ASCII charts:
+// the interval (Gantt) view of the paper's Figure 1 and a per-register
+// occupancy chart of a decoded allocation. Pure text — meant for terminals
+// and test golden files.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lifetime"
+)
+
+// Lifetimes renders the interval chart of a lifetime set: one row per
+// variable, '#' for in-block residence, '>' for the external tail, with the
+// maximum-density regions marked underneath.
+func Lifetimes(w io.Writer, set *lifetime.Set) error {
+	if err := set.Validate(); err != nil {
+		return err
+	}
+	nameW := 4
+	for _, l := range set.Lifetimes {
+		if len(l.Var) > nameW {
+			nameW = len(l.Var)
+		}
+	}
+	cols := 2 * (set.Steps + 1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  ", nameW, "step")
+	for s := 1; s <= set.Steps+1; s++ {
+		label := fmt.Sprintf("%d", s%10)
+		if s == set.Steps+1 {
+			label = "+"
+		}
+		b.WriteString(label)
+		b.WriteString(" ")
+	}
+	b.WriteString("\n")
+	rows := append([]lifetime.Lifetime(nil), set.Lifetimes...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].StartPoint() != rows[j].StartPoint() {
+			return rows[i].StartPoint() < rows[j].StartPoint()
+		}
+		return rows[i].Var < rows[j].Var
+	})
+	for _, l := range rows {
+		line := make([]byte, cols)
+		for i := range line {
+			line[i] = ' '
+		}
+		for p := l.StartPoint(); p <= l.EndPoint() && p-1 < cols; p++ {
+			if p-1 < 0 {
+				continue
+			}
+			ch := byte('#')
+			if l.External && p > lifetime.ReadPoint(set.Steps) {
+				ch = '>'
+			}
+			line[p-1] = ch
+		}
+		fmt.Fprintf(&b, "%*s  %s\n", nameW, l.Var, string(line))
+	}
+	// Mark maximum-density regions.
+	marks := make([]byte, cols)
+	for i := range marks {
+		marks[i] = ' '
+	}
+	for _, r := range set.MaxDensityRegions() {
+		for p := r.Start; p <= r.End && p-1 < cols; p++ {
+			if p-1 >= 0 {
+				marks[p-1] = '^'
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%*s  %s  (max density %d)\n", nameW, "", string(marks), set.MaxDensity())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Allocation renders the register occupancy of a decoded allocation: one
+// row per physical register with the variable names along time, plus a
+// memory row listing memory-resident variables.
+func Allocation(w io.Writer, r *core.Result) error {
+	var b strings.Builder
+	steps := r.Build.Set.Steps
+	for reg, chain := range r.Chains {
+		line := make([]byte, 2*(steps+1))
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, idx := range chain {
+			seg := r.Build.Segments[idx]
+			mark := seg.Var[0]
+			for p := seg.StartPoint(); p <= seg.EndPoint() && p-1 < len(line); p++ {
+				if p-1 >= 0 {
+					line[p-1] = mark
+				}
+			}
+		}
+		fmt.Fprintf(&b, "r%-3d %s  ", reg, string(line))
+		for k, idx := range chain {
+			if k > 0 {
+				b.WriteString(" -> ")
+			}
+			seg := r.Build.Segments[idx]
+			fmt.Fprintf(&b, "%s[%d..%d]", seg.Var, seg.Start, seg.End)
+		}
+		b.WriteString("\n")
+	}
+	var memVars []string
+	seen := map[string]bool{}
+	for i, seg := range r.Build.Segments {
+		if !r.InRegister[i] && !seen[seg.Var] {
+			seen[seg.Var] = true
+			memVars = append(memVars, seg.Var)
+		}
+	}
+	sort.Strings(memVars)
+	fmt.Fprintf(&b, "mem  %s  (%d locations)\n", strings.Join(memVars, " "), r.MemoryLocations)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Density renders the per-step lifetime density as a horizontal bar chart
+// with the register-count waterline R marked; steps above the line must
+// spill.
+func Density(w io.Writer, set *lifetime.Set, registers int) error {
+	if err := set.Validate(); err != nil {
+		return err
+	}
+	d := set.Densities()
+	max := set.MaxDensity()
+	var b strings.Builder
+	fmt.Fprintf(&b, "lifetime density per step (R = %d, max = %d)\n", registers, max)
+	for step := 1; step <= set.Steps; step++ {
+		// A step's density is the max over its two half-points.
+		n := d[lifetime.ReadPoint(step)]
+		if wp := lifetime.WritePoint(step); wp < len(d) && d[wp] > n {
+			n = d[wp]
+		}
+		bar := strings.Repeat("#", n)
+		marker := ""
+		if n > registers {
+			marker = fmt.Sprintf("  <- %d over R", n-registers)
+		}
+		fmt.Fprintf(&b, "%3d | %-*s%s\n", step, max, bar, marker)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+func TestLifetimesChart(t *testing.T) {
+	var sb strings.Builder
+	if err := Lifetimes(&sb, workload.Figure1()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 5 variables + density footer.
+	if len(lines) != 7 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "max density 3") {
+		t.Errorf("density footer missing:\n%s", out)
+	}
+	// External variables carry the '>' tail.
+	foundTail := false
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "c") && strings.Contains(l, ">") {
+			foundTail = true
+		}
+	}
+	if !foundTail {
+		t.Errorf("external tail missing:\n%s", out)
+	}
+	// Region markers present.
+	if !strings.Contains(out, "^") {
+		t.Errorf("region markers missing:\n%s", out)
+	}
+}
+
+func TestLifetimesInvalid(t *testing.T) {
+	var sb strings.Builder
+	bad := &lifetime.Set{Steps: 2, Lifetimes: []lifetime.Lifetime{{Var: "v", Write: 1}}}
+	if err := Lifetimes(&sb, bad); err == nil {
+		t.Fatal("invalid set rendered")
+	}
+}
+
+func TestAllocationChart(t *testing.T) {
+	set := workload.Figure1()
+	r, err := core.Allocate(set, core.Options{
+		Registers: 2,
+		Memory:    lifetime.FullSpeed,
+		Style:     netbuild.DensityRegions,
+		Cost:      netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Allocation(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "r0") {
+		t.Errorf("register rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "mem") || !strings.Contains(out, "locations)") {
+		t.Errorf("memory row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "->") {
+		t.Errorf("chain arrows missing:\n%s", out)
+	}
+}
+
+func TestDensityChart(t *testing.T) {
+	var sb strings.Builder
+	if err := Density(&sb, workload.Figure1(), 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "R = 2, max = 3") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "over R") {
+		t.Fatalf("overflow marker missing:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 8 { // header + 7 steps
+		t.Fatalf("lines %d:\n%s", lines, out)
+	}
+	bad := &lifetime.Set{Steps: 2, Lifetimes: []lifetime.Lifetime{{Var: "v", Write: 1}}}
+	if err := Density(&sb, bad, 1); err == nil {
+		t.Fatal("invalid set rendered")
+	}
+}

@@ -1,0 +1,129 @@
+// Package workload provides the instances behind the paper's figures and
+// Table 1: hand-reconstructed lifetime sets for Figures 1, 3 and 4, a
+// synthetic radar-signal-processing kernel standing in for the proprietary
+// industrial example, and a random-instance generator for property tests and
+// scaling benchmarks.
+package workload
+
+import (
+	"repro/internal/energy"
+	"repro/internal/lifetime"
+)
+
+// Figure1 reconstructs the five-variable example of Figure 1: seven control
+// steps; variables a and b are read at step 3 (where d is written); c and d
+// are read after step 7 by another task; the maximum lifetime density is 3
+// with regions spanning steps 2–3 and 5–6.
+func Figure1() *lifetime.Set {
+	return &lifetime.Set{
+		Steps: 7,
+		Lifetimes: []lifetime.Lifetime{
+			{Var: "a", Write: 1, Reads: []int{3}},
+			{Var: "b", Write: 1, Reads: []int{3}},
+			{Var: "c", Write: 2, Reads: []int{8}, External: true},
+			{Var: "d", Write: 3, Reads: []int{8}, External: true},
+			{Var: "e", Write: 5, Reads: []int{6}},
+		},
+	}
+}
+
+// Figure1Memory is the restricted access pattern of Figure 1c: memory
+// reachable at control steps 1, 3, 5, 7 (the module runs at half the
+// processor frequency).
+var Figure1Memory = lifetime.MemoryAccess{Period: 2, Offset: 1}
+
+// figure3Activities is the switching-activity table printed beside
+// Figures 3 and 4 (fraction of bits changing between the two variables'
+// values). Figure 4 adds the f→b entry.
+var figure3Activities = map[[2]string]float64{
+	{"a", "b"}: 0.2,
+	{"a", "f"}: 0.5,
+	{"e", "b"}: 0.6,
+	{"e", "f"}: 0.3,
+	{"b", "c"}: 0.8,
+	{"d", "e"}: 0.1,
+}
+
+// Figure3Hamming returns the switching-activity oracle of Figure 3.
+// Pairs outside the printed table default to 0.5 (half the bits switch, the
+// same neutral assumption the paper applies to a register's initial state).
+func Figure3Hamming() energy.Hamming {
+	return energy.PairHamming(figure3Activities, 0.5)
+}
+
+// Figure3 reconstructs the six-variable example of Figure 3. The lifetimes
+// realise exactly the compatibility structure of the printed arc table on
+// its critical pairs: the optimal pure register allocation chains d→e→f and
+// a→b→c with total switching activity 0.4 + 2·0.5 initial + 1.0 = 2.4, the
+// figure's quoted value.
+func Figure3() *lifetime.Set {
+	return &lifetime.Set{
+		Steps: 9,
+		Lifetimes: []lifetime.Lifetime{
+			{Var: "d", Write: 1, Reads: []int{2}},
+			{Var: "a", Write: 1, Reads: []int{3}},
+			{Var: "e", Write: 2, Reads: []int{4}},
+			{Var: "b", Write: 5, Reads: []int{7}},
+			{Var: "f", Write: 5, Reads: []int{9}},
+			{Var: "c", Write: 8, Reads: []int{9}},
+		},
+	}
+}
+
+// Figure3Registers is the register-file capacity of the Figure 3 example.
+const Figure3Registers = 1
+
+// Figure4Hamming returns the Figure 4 oracle: Figure 3's table plus the
+// f→b arc (cost 0.5) enabled by Figure 4's earlier f lifetime.
+func Figure4Hamming() energy.Hamming {
+	acts := make(map[[2]string]float64, len(figure3Activities)+1)
+	for k, v := range figure3Activities {
+		acts[k] = v
+	}
+	acts[[2]string{"f", "b"}] = 0.5
+	return energy.PairHamming(acts, 0.5)
+}
+
+// Figure4 reconstructs the Figure 4 variant: f now ends before b begins
+// (adding the f→b compatibility), which lets a single register chain pass
+// through a, f, b and c while d→e fills the second slot — the configuration
+// where the Chang–Pedram all-compatible graph and the paper's
+// density-region graph disagree on memory locations.
+func Figure4() *lifetime.Set {
+	return &lifetime.Set{
+		Steps: 10,
+		Lifetimes: []lifetime.Lifetime{
+			{Var: "d", Write: 1, Reads: []int{2}},
+			{Var: "a", Write: 1, Reads: []int{4}},
+			{Var: "e", Write: 3, Reads: []int{4}},
+			{Var: "f", Write: 5, Reads: []int{6}},
+			{Var: "b", Write: 7, Reads: []int{8}},
+			{Var: "c", Write: 9, Reads: []int{10}},
+		},
+	}
+}
+
+// Figure4Registers is the register-file capacity of the Figure 4 example.
+const Figure4Registers = 1
+
+// LocationsDemo is a pinned five-variable instance on which the two graph
+// styles reach the same optimal energy but the all-compatible graph's
+// solution occupies one more memory location — the §7 minimum-address
+// guarantee the paper's Figure 4 illustrates. Found by random search and
+// pinned here (see DESIGN.md experiment E3).
+func LocationsDemo() *lifetime.Set {
+	return &lifetime.Set{
+		Steps: 10,
+		Lifetimes: []lifetime.Lifetime{
+			{Var: "v00", Write: 2, Reads: []int{4, 11}, External: true},
+			{Var: "v01", Write: 2, Reads: []int{8}},
+			{Var: "v02", Write: 6, Reads: []int{10}},
+			{Var: "v03", Write: 1, Reads: []int{5}},
+			{Var: "v04", Write: 8, Reads: []int{10, 11}, External: true},
+		},
+	}
+}
+
+// LocationsDemoRegisters is the register count of the LocationsDemo
+// comparison.
+const LocationsDemoRegisters = 1

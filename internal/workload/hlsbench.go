@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// The classic high-level-synthesis benchmark kernels of the paper's era
+// (DAC/ICCAD '90s suites): the fifth-order elliptic wave filter, the AR
+// lattice filter and an 8-point one-dimensional DCT. All are straight-line
+// dataflow — exactly the "scheduled basic block" shape the allocator
+// consumes — with the register pressure profiles the literature used to
+// stress allocators.
+
+// EllipticWaveFilter returns the fifth-order elliptic wave filter (EWF): 26
+// additions and 8 multiplications over 8 state variables, the most-used HLS
+// scheduling benchmark of the period.
+func EllipticWaveFilter() (*ir.Block, error) {
+	b := &ir.Block{Name: "ewf"}
+	// Inputs: the sample and the filter state (sv2, sv13, sv18, sv26, sv33,
+	// sv38, sv39) plus the two coefficient ports used multiplicatively.
+	b.Inputs = []string{"inp", "sv2", "sv13", "sv18", "sv26", "sv33", "sv38", "sv39", "c1", "c2"}
+	add := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpAdd, Dst: dst, Src: []string{a, bb}})
+	}
+	mul := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpMul, Dst: dst, Src: []string{a, bb}})
+	}
+	// The EWF dataflow reconstructed in its characteristic shape: three
+	// parallel second-order ladder branches feeding a merge chain, plus the
+	// state-update adders — 34 operations (26 additions, 8 coefficient
+	// multiplications), critical path ≈ 16 single-cycle steps.
+	add("a1", "inp", "sv2")
+	mul("a2", "a1", "c1")
+	add("a3", "a2", "sv13")
+	mul("a4", "a3", "c2")
+	add("a5", "a4", "sv18")
+	add("b1", "inp", "sv26")
+	mul("b2", "b1", "c1")
+	add("b3", "b2", "sv33")
+	mul("b4", "b3", "c2")
+	add("b5", "b4", "sv38")
+	add("cc1", "sv39", "sv2")
+	mul("cc2", "cc1", "c1")
+	add("cc3", "cc2", "sv33")
+	mul("cc4", "cc3", "c2")
+	add("cc5", "cc4", "sv26")
+	add("m1", "a5", "b5")
+	add("m2", "m1", "cc5")
+	mul("m3", "m2", "c1")
+	add("m4", "m3", "a3")
+	add("m5", "m4", "b3")
+	mul("m6", "m5", "c2")
+	add("m7", "m6", "cc3")
+	add("outp", "m7", "m2")
+	add("u1", "a5", "m3")
+	add("u2", "b5", "m3")
+	add("u3", "cc5", "m6")
+	add("u4", "a4", "m6")
+	add("u5", "b4", "m7")
+	add("u6", "cc4", "m7")
+	add("u7", "u1", "u2")
+	add("u8", "u3", "u4")
+	add("u9", "u5", "u6")
+	add("u10", "u7", "u8")
+	add("y2", "u9", "u10")
+	b.Outputs = []string{"outp", "y2"}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: ewf: %w", err)
+	}
+	return b, nil
+}
+
+// ARFilter returns the auto-regressive lattice filter benchmark: 16
+// multiplications and 12 additions in a ladder structure.
+func ARFilter() (*ir.Block, error) {
+	b := &ir.Block{Name: "arf"}
+	for i := 0; i < 4; i++ {
+		b.Inputs = append(b.Inputs, fmt.Sprintf("x%d", i), fmt.Sprintf("k%d", i), fmt.Sprintf("k%d_", i))
+	}
+	add := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpAdd, Dst: dst, Src: []string{a, bb}})
+	}
+	mul := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpMul, Dst: dst, Src: []string{a, bb}})
+	}
+	// Four lattice stages: each mixes the forward and backward signals with
+	// the stage's reflection coefficients.
+	fwd, bwd := "x0", "x1"
+	for i := 0; i < 4; i++ {
+		k, k2 := fmt.Sprintf("k%d", i), fmt.Sprintf("k%d_", i)
+		m1 := fmt.Sprintf("m%da", i)
+		m2 := fmt.Sprintf("m%db", i)
+		m3 := fmt.Sprintf("m%dc", i)
+		m4 := fmt.Sprintf("m%dd", i)
+		mul(m1, fwd, k)
+		mul(m2, bwd, k2)
+		mul(m3, fwd, k2)
+		mul(m4, bwd, k)
+		f := fmt.Sprintf("f%d", i)
+		g := fmt.Sprintf("g%d", i)
+		add(f, m1, m2)
+		add(g, m3, m4)
+		if i < 2 {
+			// Inject the remaining inputs into the ladder.
+			fwd2 := fmt.Sprintf("fin%d", i)
+			add(fwd2, f, fmt.Sprintf("x%d", i+2))
+			fwd, bwd = fwd2, g
+		} else {
+			fwd, bwd = f, g
+		}
+	}
+	add("y", fwd, bwd)
+	b.Outputs = []string{"y", "f3", "g3"}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: arf: %w", err)
+	}
+	return b, nil
+}
+
+// FDCT8 returns an 8-point one-dimensional forward DCT (Loeffler-style
+// butterfly structure): 11 multiplications and 29 additions/subtractions.
+func FDCT8() (*ir.Block, error) {
+	b := &ir.Block{Name: "fdct8"}
+	for i := 0; i < 8; i++ {
+		b.Inputs = append(b.Inputs, fmt.Sprintf("s%d", i))
+	}
+	b.Inputs = append(b.Inputs, "ca", "cb", "cc", "cd", "ce")
+	add := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpAdd, Dst: dst, Src: []string{a, bb}})
+	}
+	sub := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpSub, Dst: dst, Src: []string{a, bb}})
+	}
+	mul := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpMul, Dst: dst, Src: []string{a, bb}})
+	}
+	// Stage 1: butterflies.
+	add("a0", "s0", "s7")
+	add("a1", "s1", "s6")
+	add("a2", "s2", "s5")
+	add("a3", "s3", "s4")
+	sub("b0", "s0", "s7")
+	sub("b1", "s1", "s6")
+	sub("b2", "s2", "s5")
+	sub("b3", "s3", "s4")
+	// Stage 2: even part.
+	add("e0", "a0", "a3")
+	add("e1", "a1", "a2")
+	sub("e2", "a0", "a3")
+	sub("e3", "a1", "a2")
+	add("y0", "e0", "e1")
+	sub("y4", "e0", "e1")
+	mul("p0", "e2", "ca")
+	mul("p1", "e3", "cb")
+	add("y2", "p0", "p1")
+	mul("p2", "e2", "cb")
+	mul("p3", "e3", "ca")
+	sub("y6", "p2", "p3")
+	// Stage 2: odd part (rotations).
+	mul("q0", "b0", "cc")
+	mul("q1", "b3", "cd")
+	add("r0", "q0", "q1")
+	mul("q2", "b1", "ce")
+	mul("q3", "b2", "ce")
+	add("r1", "q2", "q3")
+	sub("r2", "q2", "q3")
+	mul("q4", "b0", "cd")
+	mul("q5", "b3", "cc")
+	sub("r3", "q4", "q5")
+	add("y1", "r0", "r1")
+	sub("y7", "r3", "r2")
+	add("y5", "r3", "r2")
+	sub("y3", "r0", "r1")
+	b.Outputs = []string{"y0", "y1", "y2", "y3", "y4", "y5", "y6", "y7"}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: fdct8: %w", err)
+	}
+	return b, nil
+}
+
+// HLSBenchmarks lists the named benchmark constructors.
+func HLSBenchmarks() map[string]func() (*ir.Block, error) {
+	return map[string]func() (*ir.Block, error){
+		"ewf":   EllipticWaveFilter,
+		"arf":   ARFilter,
+		"fdct8": FDCT8,
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/lifetime"
+	"repro/internal/sched"
+)
+
+func TestHLSBenchmarksValidate(t *testing.T) {
+	for name, mk := range HLSBenchmarks() {
+		b, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(b.Instrs) < 20 {
+			t.Errorf("%s: only %d ops, suspiciously small for an HLS benchmark", name, len(b.Instrs))
+		}
+	}
+}
+
+func TestEWFShape(t *testing.T) {
+	b, err := EllipticWaveFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	muls, adds := 0, 0
+	for _, in := range b.Instrs {
+		if in.Op.IsMultiplier() {
+			muls++
+		} else {
+			adds++
+		}
+	}
+	// The classic EWF: 34 operations — 26 additions, 8 multiplications.
+	if muls != 8 || adds != 26 {
+		t.Fatalf("ewf shape %d muls / %d adds, want 8/26", muls, adds)
+	}
+	s, err := sched.ASAP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EWF's critical path under unit delays is the well-known 14 steps
+	// (single-cycle ops).
+	if s.Length < 12 || s.Length > 17 {
+		t.Fatalf("ewf ASAP length %d outside the expected band", s.Length)
+	}
+}
+
+func TestARFShape(t *testing.T) {
+	b, err := ARFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	muls := 0
+	for _, in := range b.Instrs {
+		if in.Op.IsMultiplier() {
+			muls++
+		}
+	}
+	if muls != 16 {
+		t.Fatalf("arf has %d multiplications, want 16", muls)
+	}
+}
+
+func TestFDCT8Shape(t *testing.T) {
+	b, err := FDCT8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outputs) != 8 {
+		t.Fatalf("fdct8 outputs %d, want 8", len(b.Outputs))
+	}
+	muls := 0
+	for _, in := range b.Instrs {
+		if in.Op.IsMultiplier() {
+			muls++
+		}
+	}
+	// Loeffler's FDCT uses 11 multiplications; this reconstruction folds the
+	// final sqrt(2) scaling into the coefficients, leaving 10.
+	if muls != 10 {
+		t.Fatalf("fdct8 has %d multiplications, want 10", muls)
+	}
+}
+
+func TestHLSBenchmarksSchedulable(t *testing.T) {
+	for name, mk := range HLSBenchmarks() {
+		b, _ := mk()
+		s, err := sched.List(b, sched.Resources{ALUs: 2, Multipliers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		set, err := lifetime.FromSchedule(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if set.MaxDensity() < 4 {
+			t.Errorf("%s: density %d, too easy to stress an allocator", name, set.MaxDensity())
+		}
+	}
+}
+
+func TestVideoPipelineValid(t *testing.T) {
+	prog, err := VideoPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Tasks) != 1 || len(prog.Tasks[0].Blocks) != 3 {
+		t.Fatalf("shape: %d tasks", len(prog.Tasks))
+	}
+	// Handover: coldct's data inputs are rowdct's outputs.
+	col := prog.Block("coldct")
+	produced := map[string]bool{}
+	for _, v := range prog.Block("rowdct").Outputs {
+		produced[v] = true
+	}
+	linked := 0
+	for _, v := range col.Inputs {
+		if produced[v] {
+			linked++
+		}
+	}
+	if linked != 8 {
+		t.Fatalf("coldct links %d rowdct outputs, want 8", linked)
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lifetime"
+)
+
+// RandomParams sizes Random instances.
+type RandomParams struct {
+	Vars  int
+	Steps int
+	// MaxReads bounds the reads per variable (≥1).
+	MaxReads int
+	// ExternalFrac is the probability a variable is read by a later task.
+	ExternalFrac float64
+	// InputFrac is the probability a variable is a block input.
+	InputFrac float64
+}
+
+// Random generates a valid random lifetime set, deterministic in the rng.
+// Used by property tests and scaling benchmarks.
+func Random(rng *rand.Rand, p RandomParams) *lifetime.Set {
+	if p.Vars <= 0 || p.Steps < 2 {
+		panic(fmt.Sprintf("workload: bad random params %+v", p))
+	}
+	if p.MaxReads < 1 {
+		p.MaxReads = 1
+	}
+	set := &lifetime.Set{Steps: p.Steps}
+	for i := 0; i < p.Vars; i++ {
+		l := lifetime.Lifetime{Var: fmt.Sprintf("v%02d", i)}
+		if rng.Float64() < p.InputFrac {
+			l.Input = true
+			l.Write = 0
+		} else {
+			l.Write = 1 + rng.Intn(p.Steps-1)
+		}
+		nReads := 1 + rng.Intn(p.MaxReads)
+		external := rng.Float64() < p.ExternalFrac
+		// Reads strictly after the write; the last internal read at most
+		// Steps.
+		lo := l.Write + 1
+		seen := map[int]bool{}
+		for r := 0; r < nReads; r++ {
+			step := lo + rng.Intn(p.Steps-lo+1)
+			if !seen[step] {
+				seen[step] = true
+				l.Reads = append(l.Reads, step)
+			}
+		}
+		if len(l.Reads) == 0 {
+			l.Reads = []int{lo}
+		}
+		sortInts(l.Reads)
+		if external {
+			l.External = true
+			l.Reads = append(l.Reads, p.Steps+1)
+		}
+		set.Lifetimes = append(set.Lifetimes, l)
+	}
+	if err := set.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: generated invalid set: %v", err))
+	}
+	return set
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

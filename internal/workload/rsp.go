@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/sched"
+)
+
+// RSPParams sizes the synthetic radar-signal-processing kernel standing in
+// for the paper's proprietary industrial example (see DESIGN.md,
+// Substitutions). The kernel is one large basic block chaining a complex
+// FIR (pulse compression), FFT butterflies (Doppler processing) and a
+// squared-magnitude detector — the classic radar chain.
+type RSPParams struct {
+	// Taps is the complex FIR length.
+	Taps int
+	// Butterflies is the number of radix-2 butterflies in the Doppler stage.
+	Butterflies int
+	// ALUs and Multipliers bound the list scheduler.
+	ALUs, Multipliers int
+}
+
+// DefaultRSP is tuned so the scheduled kernel has the paper's maximum
+// lifetime density of 26 (105 variables over 17 control steps on a
+// 3-ALU / 4-multiplier datapath).
+var DefaultRSP = RSPParams{Taps: 5, Butterflies: 3, ALUs: 3, Multipliers: 4}
+
+// Table1Registers is the register-file size used for the Table 1
+// reproduction: the smallest R for which the f/4 restricted-access run is
+// feasible, so register pressure is maximal across all three rows.
+const Table1Registers = 13
+
+// RSPBlock generates the radar kernel as a basic block.
+func RSPBlock(p RSPParams) (*ir.Block, error) {
+	if p.Taps < 2 || p.Butterflies < 1 {
+		return nil, fmt.Errorf("workload: rsp needs ≥2 taps and ≥1 butterfly, got %+v", p)
+	}
+	b := &ir.Block{Name: "rsp"}
+	add := func(op ir.OpKind, dst string, src ...string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: dst, Src: src})
+	}
+	// Inputs: complex samples and coefficients.
+	for k := 0; k < p.Taps; k++ {
+		b.Inputs = append(b.Inputs, fmt.Sprintf("xi%d", k), fmt.Sprintf("xq%d", k),
+			fmt.Sprintf("ci%d", k), fmt.Sprintf("cq%d", k))
+	}
+	// Complex FIR: (xi+j·xq)·(ci+j·cq) accumulated over taps.
+	// Real part: xi·ci − xq·cq; imaginary: xi·cq + xq·ci.
+	for k := 0; k < p.Taps; k++ {
+		add(ir.OpMul, fmt.Sprintf("prr%d", k), fmt.Sprintf("xi%d", k), fmt.Sprintf("ci%d", k))
+		add(ir.OpMul, fmt.Sprintf("pqq%d", k), fmt.Sprintf("xq%d", k), fmt.Sprintf("cq%d", k))
+		add(ir.OpMul, fmt.Sprintf("prq%d", k), fmt.Sprintf("xi%d", k), fmt.Sprintf("cq%d", k))
+		add(ir.OpMul, fmt.Sprintf("pqr%d", k), fmt.Sprintf("xq%d", k), fmt.Sprintf("ci%d", k))
+		add(ir.OpSub, fmt.Sprintf("re%d", k), fmt.Sprintf("prr%d", k), fmt.Sprintf("pqq%d", k))
+		add(ir.OpAdd, fmt.Sprintf("im%d", k), fmt.Sprintf("prq%d", k), fmt.Sprintf("pqr%d", k))
+	}
+	// Balanced accumulation trees for real and imaginary parts.
+	accTree := func(prefix, leaf string) string {
+		level := 0
+		cur := make([]string, p.Taps)
+		for k := range cur {
+			cur[k] = fmt.Sprintf("%s%d", leaf, k)
+		}
+		for len(cur) > 1 {
+			var next []string
+			for i := 0; i+1 < len(cur); i += 2 {
+				dst := fmt.Sprintf("%s_%d_%d", prefix, level, i/2)
+				add(ir.OpAdd, dst, cur[i], cur[i+1])
+				next = append(next, dst)
+			}
+			if len(cur)%2 == 1 {
+				next = append(next, cur[len(cur)-1])
+			}
+			cur = next
+			level++
+		}
+		return cur[0]
+	}
+	accRe := accTree("sre", "re")
+	accIm := accTree("sim", "im")
+
+	// Doppler stage: radix-2 butterflies over pairs derived from the FIR
+	// accumulators and fresh phase inputs (twiddles).
+	for k := 0; k < p.Butterflies; k++ {
+		wr, wi := fmt.Sprintf("wr%d", k), fmt.Sprintf("wi%d", k)
+		b.Inputs = append(b.Inputs, wr, wi)
+		// t = w · (accRe + j·accIm) ; butterfly outputs acc ± t.
+		add(ir.OpMul, fmt.Sprintf("tr%d", k), wr, accRe)
+		add(ir.OpMul, fmt.Sprintf("ti%d", k), wi, accIm)
+		add(ir.OpMul, fmt.Sprintf("tm%d", k), wr, accIm)
+		add(ir.OpMul, fmt.Sprintf("tn%d", k), wi, accRe)
+		add(ir.OpSub, fmt.Sprintf("br%d", k), fmt.Sprintf("tr%d", k), fmt.Sprintf("ti%d", k))
+		add(ir.OpAdd, fmt.Sprintf("bi%d", k), fmt.Sprintf("tm%d", k), fmt.Sprintf("tn%d", k))
+		add(ir.OpAdd, fmt.Sprintf("ur%d", k), accRe, fmt.Sprintf("br%d", k))
+		add(ir.OpSub, fmt.Sprintf("vr%d", k), accRe, fmt.Sprintf("br%d", k))
+		add(ir.OpAdd, fmt.Sprintf("ui%d", k), accIm, fmt.Sprintf("bi%d", k))
+		add(ir.OpSub, fmt.Sprintf("vi%d", k), accIm, fmt.Sprintf("bi%d", k))
+	}
+	// Detector: squared magnitude per butterfly output, summed.
+	var mags []string
+	for k := 0; k < p.Butterflies; k++ {
+		add(ir.OpMul, fmt.Sprintf("m2r%d", k), fmt.Sprintf("ur%d", k), fmt.Sprintf("ur%d", k))
+		add(ir.OpMul, fmt.Sprintf("m2i%d", k), fmt.Sprintf("ui%d", k), fmt.Sprintf("ui%d", k))
+		add(ir.OpAdd, fmt.Sprintf("mag%d", k), fmt.Sprintf("m2r%d", k), fmt.Sprintf("m2i%d", k))
+		mags = append(mags, fmt.Sprintf("mag%d", k))
+		// The conjugate outputs leave the block for the next range gate.
+		b.Outputs = append(b.Outputs, fmt.Sprintf("vr%d", k), fmt.Sprintf("vi%d", k))
+	}
+	for len(mags) > 1 {
+		var next []string
+		for i := 0; i+1 < len(mags); i += 2 {
+			dst := fmt.Sprintf("det_%s_%s", mags[i], mags[i+1])
+			add(ir.OpAdd, dst, mags[i], mags[i+1])
+			next = append(next, dst)
+		}
+		if len(mags)%2 == 1 {
+			next = append(next, mags[len(mags)-1])
+		}
+		mags = next
+	}
+	b.Outputs = append(b.Outputs, mags[0])
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// RSP generates, schedules and lifetimes the radar kernel.
+func RSP(p RSPParams) (*lifetime.Set, *sched.Schedule, error) {
+	b, err := RSPBlock(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := sched.List(b, sched.Resources{ALUs: p.ALUs, Multipliers: p.Multipliers})
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := lifetime.FromSchedule(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, s, nil
+}

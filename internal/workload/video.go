@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// VideoPipeline builds the multi-block program the paper's introduction
+// motivates ("multimedia applications ... audio and video algorithms which
+// process large amounts of data"): a 2-D DCT slice — a row DCT over eight
+// samples, a column DCT over the row coefficients, and a quantisation
+// stage — as one task of three chained basic blocks whose values hand over
+// through memory, ready for the task-level pipeline driver.
+func VideoPipeline() (*ir.Program, error) {
+	row, err := fdctStage("rowdct", "s", "y")
+	if err != nil {
+		return nil, err
+	}
+	col, err := fdctStage("coldct", "y", "z")
+	if err != nil {
+		return nil, err
+	}
+	quant := &ir.Block{Name: "quant"}
+	for i := 0; i < 8; i++ {
+		quant.Inputs = append(quant.Inputs, fmt.Sprintf("z%d", i))
+	}
+	quant.Inputs = append(quant.Inputs, "qstep")
+	for i := 0; i < 8; i++ {
+		quant.Instrs = append(quant.Instrs,
+			ir.Instr{Op: ir.OpMul, Dst: fmt.Sprintf("qs%d", i), Src: []string{fmt.Sprintf("z%d", i), "qstep"}},
+			ir.Instr{Op: ir.OpShr, Dst: fmt.Sprintf("q%d", i), Src: []string{fmt.Sprintf("qs%d", i), "qstep"}},
+		)
+		quant.Outputs = append(quant.Outputs, fmt.Sprintf("q%d", i))
+	}
+	if err := quant.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: quant: %w", err)
+	}
+	prog := &ir.Program{Tasks: []*ir.Task{{
+		Name:   "video2d",
+		Blocks: []*ir.Block{row, col, quant},
+	}}}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// fdctStage builds an 8-point DCT butterfly block reading inPrefix0..7 and
+// writing outPrefix0..7, with stage-local intermediate names.
+func fdctStage(name, inPrefix, outPrefix string) (*ir.Block, error) {
+	b := &ir.Block{Name: name}
+	in := func(i int) string { return fmt.Sprintf("%s%d", inPrefix, i) }
+	out := func(i int) string { return fmt.Sprintf("%s%d", outPrefix, i) }
+	loc := func(base string, i int) string { return fmt.Sprintf("%s_%s%d", name, base, i) }
+	for i := 0; i < 8; i++ {
+		b.Inputs = append(b.Inputs, in(i))
+	}
+	coeffs := []string{name + "_ca", name + "_cb", name + "_cc", name + "_cd", name + "_ce"}
+	b.Inputs = append(b.Inputs, coeffs...)
+	add := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpAdd, Dst: dst, Src: []string{a, bb}})
+	}
+	sub := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpSub, Dst: dst, Src: []string{a, bb}})
+	}
+	mul := func(dst, a, bb string) {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpMul, Dst: dst, Src: []string{a, bb}})
+	}
+	for i := 0; i < 4; i++ {
+		add(loc("a", i), in(i), in(7-i))
+		sub(loc("b", i), in(i), in(7-i))
+	}
+	add(loc("e", 0), loc("a", 0), loc("a", 3))
+	add(loc("e", 1), loc("a", 1), loc("a", 2))
+	sub(loc("e", 2), loc("a", 0), loc("a", 3))
+	sub(loc("e", 3), loc("a", 1), loc("a", 2))
+	add(out(0), loc("e", 0), loc("e", 1))
+	sub(out(4), loc("e", 0), loc("e", 1))
+	mul(loc("p", 0), loc("e", 2), coeffs[0])
+	mul(loc("p", 1), loc("e", 3), coeffs[1])
+	add(out(2), loc("p", 0), loc("p", 1))
+	mul(loc("p", 2), loc("e", 2), coeffs[1])
+	mul(loc("p", 3), loc("e", 3), coeffs[0])
+	sub(out(6), loc("p", 2), loc("p", 3))
+	mul(loc("q", 0), loc("b", 0), coeffs[2])
+	mul(loc("q", 1), loc("b", 3), coeffs[3])
+	add(loc("r", 0), loc("q", 0), loc("q", 1))
+	mul(loc("q", 2), loc("b", 1), coeffs[4])
+	mul(loc("q", 3), loc("b", 2), coeffs[4])
+	add(loc("r", 1), loc("q", 2), loc("q", 3))
+	sub(loc("r", 2), loc("q", 2), loc("q", 3))
+	mul(loc("q", 4), loc("b", 0), coeffs[3])
+	mul(loc("q", 5), loc("b", 3), coeffs[2])
+	sub(loc("r", 3), loc("q", 4), loc("q", 5))
+	add(out(1), loc("r", 0), loc("r", 1))
+	sub(out(7), loc("r", 3), loc("r", 2))
+	add(out(5), loc("r", 3), loc("r", 2))
+	sub(out(3), loc("r", 0), loc("r", 1))
+	for i := 0; i < 8; i++ {
+		b.Outputs = append(b.Outputs, out(i))
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", name, err)
+	}
+	return b, nil
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lifetime"
+)
+
+func TestFigure1MatchesPaper(t *testing.T) {
+	set := Figure1()
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.MaxDensity() != 3 {
+		t.Fatalf("density %d, paper says 3", set.MaxDensity())
+	}
+	regions := set.MaxDensityRegions()
+	if len(regions) != 2 {
+		t.Fatalf("regions %v", regions)
+	}
+	if regions[0].StartStep() != 2 || regions[0].EndStep() != 3 ||
+		regions[1].StartStep() != 5 || regions[1].EndStep() != 6 {
+		t.Fatalf("region steps %v, paper says 2-3 and 5-6", regions)
+	}
+	// c and d are read after step 7 by another task.
+	for _, v := range []string{"c", "d"} {
+		if l := set.ByVar(v); !l.External {
+			t.Errorf("%s should be external", v)
+		}
+	}
+}
+
+func TestFigure1MemoryAccessTimes(t *testing.T) {
+	for _, step := range []int{1, 3, 5, 7} {
+		if !Figure1Memory.Accessible(step) {
+			t.Errorf("step %d should be accessible (paper: times 1,3,5)", step)
+		}
+	}
+	for _, step := range []int{2, 4, 6} {
+		if Figure1Memory.Accessible(step) {
+			t.Errorf("step %d should be inaccessible", step)
+		}
+	}
+}
+
+func TestFigure3CompatibilityStructure(t *testing.T) {
+	set := Figure3()
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.MaxDensity() != 2 {
+		t.Fatalf("density %d, want 2", set.MaxDensity())
+	}
+	compat := func(v1, v2 string) bool {
+		return set.ByVar(v1).EndPoint() < set.ByVar(v2).StartPoint()
+	}
+	// Every pair from the printed arc table must be compatible.
+	for _, pair := range [][2]string{{"a", "b"}, {"a", "f"}, {"e", "b"}, {"e", "f"}, {"b", "c"}, {"d", "e"}} {
+		if !compat(pair[0], pair[1]) {
+			t.Errorf("printed arc %s->%s not realisable", pair[0], pair[1])
+		}
+	}
+	// f->b is NOT an arc in Figure 3 (it appears only in Figure 4).
+	if compat("f", "b") {
+		t.Error("f->b should overlap in Figure 3")
+	}
+}
+
+func TestFigure3HammingTable(t *testing.T) {
+	h := Figure3Hamming()
+	cases := map[[2]string]float64{
+		{"a", "b"}: 0.2, {"a", "f"}: 0.5, {"e", "b"}: 0.6,
+		{"e", "f"}: 0.3, {"b", "c"}: 0.8, {"d", "e"}: 0.1,
+	}
+	for pair, want := range cases {
+		if got := h(pair[0], pair[1]); got != want {
+			t.Errorf("H(%s,%s)=%g, want %g", pair[0], pair[1], got, want)
+		}
+	}
+	if h("", "a") != 0.5 {
+		t.Error("initial state should be 0.5 (paper Figure 3)")
+	}
+	if h("z", "q") != 0.5 {
+		t.Error("unlisted pairs default to 0.5")
+	}
+}
+
+func TestFigure4AddsFB(t *testing.T) {
+	set := Figure4()
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.ByVar("f").EndPoint() >= set.ByVar("b").StartPoint() {
+		t.Fatal("Figure 4 requires the f->b compatibility")
+	}
+	h := Figure4Hamming()
+	if h("f", "b") != 0.5 {
+		t.Fatalf("H(f,b)=%g, want 0.5", h("f", "b"))
+	}
+	if h("a", "b") != 0.2 {
+		t.Fatal("Figure 3 entries must carry over")
+	}
+}
+
+func TestRSPDensity26(t *testing.T) {
+	set, s, err := RSP(DefaultRSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.MaxDensity(); got != 26 {
+		t.Fatalf("max density %d, paper's industrial example has 26", got)
+	}
+	if len(set.Lifetimes) < 50 {
+		t.Fatalf("RSP too small: %d variables", len(set.Lifetimes))
+	}
+}
+
+func TestRSPBlockValidates(t *testing.T) {
+	b, err := RSPBlock(DefaultRSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outputs) == 0 || len(b.Inputs) == 0 {
+		t.Fatal("RSP block should have boundary variables")
+	}
+}
+
+func TestRSPParamValidation(t *testing.T) {
+	if _, err := RSPBlock(RSPParams{Taps: 1, Butterflies: 1}); err == nil {
+		t.Error("1 tap accepted")
+	}
+	if _, err := RSPBlock(RSPParams{Taps: 4, Butterflies: 0}); err == nil {
+		t.Error("0 butterflies accepted")
+	}
+}
+
+func TestRSPOddTapsAccumulate(t *testing.T) {
+	// Odd tap counts exercise the odd-leaf path of the accumulation tree.
+	set, _, err := RSP(RSPParams{Taps: 3, Butterflies: 1, ALUs: 2, Multipliers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocationsDemoValid(t *testing.T) {
+	if err := LocationsDemo().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := Random(rng, RandomParams{
+			Vars: 1 + rng.Intn(20), Steps: 2 + rng.Intn(20), MaxReads: 1 + rng.Intn(4),
+			ExternalFrac: rng.Float64(), InputFrac: rng.Float64(),
+		})
+		return set.Validate() == nil && len(set.Lifetimes) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	p := RandomParams{Vars: 6, Steps: 9, MaxReads: 2, ExternalFrac: 0.3, InputFrac: 0.3}
+	a := Random(rand.New(rand.NewSource(7)), p)
+	b := Random(rand.New(rand.NewSource(7)), p)
+	if len(a.Lifetimes) != len(b.Lifetimes) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.Lifetimes {
+		la, lb := a.Lifetimes[i], b.Lifetimes[i]
+		if la.Var != lb.Var || la.Write != lb.Write || len(la.Reads) != len(lb.Reads) {
+			t.Fatalf("instance differs at %d: %+v vs %+v", i, la, lb)
+		}
+	}
+}
+
+func TestRandomPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params accepted")
+		}
+	}()
+	Random(rand.New(rand.NewSource(1)), RandomParams{Vars: 0, Steps: 5})
+}
+
+var _ = lifetime.FullSpeed // keep the import for documentation-side tests

@@ -1,0 +1,156 @@
+package lowenergy_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	lowenergy "repro"
+)
+
+const firSource = `
+task fir
+block pair
+in x0 x1 c0 c1
+p0 = x0 * c0
+p1 = x1 * c1
+y = p0 + p1
+out y
+end
+`
+
+func TestPipelineEndToEnd(t *testing.T) {
+	prog, err := lowenergy.ParseProgramString(firSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := prog.Tasks[0].Blocks[0]
+	s, err := lowenergy.ScheduleBlock(block, lowenergy.Resources{ALUs: 1, Multipliers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := lowenergy.Lifetimes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: 4,
+		Memory:    lowenergy.FullSpeedMemory,
+		Style:     lowenergy.GraphDensityRegions,
+		Cost:      lowenergy.StaticCost(lowenergy.DefaultModel()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergy <= 0 {
+		t.Fatalf("energy %g", res.TotalEnergy)
+	}
+	if res.TotalEnergy >= res.BaselineEnergy {
+		t.Fatalf("allocation did not improve on all-memory baseline: %g vs %g",
+			res.TotalEnergy, res.BaselineEnergy)
+	}
+}
+
+func TestAllocateBlockConvenience(t *testing.T) {
+	prog, _ := lowenergy.ParseProgramString(firSource)
+	res, err := lowenergy.AllocateBlock(prog.Tasks[0].Blocks[0], lowenergy.Resources{ALUs: 2, Multipliers: 2},
+		lowenergy.Options{
+			Registers: 2,
+			Memory:    lowenergy.MemoryAccess{Period: 2, Offset: 1},
+			Split:     lowenergy.SplitMinimal,
+			Style:     lowenergy.GraphDensityRegions,
+			Cost:      lowenergy.ActivityCost(lowenergy.DefaultModel(), lowenergy.SyntheticHamming()),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RegistersUsed > 2 {
+		t.Fatalf("used %d registers with R=2", res.RegistersUsed)
+	}
+}
+
+func TestBaselineWrappers(t *testing.T) {
+	prog, _ := lowenergy.ParseProgramString(firSource)
+	s, _ := lowenergy.ScheduleASAP(prog.Tasks[0].Blocks[0])
+	set, _ := lowenergy.Lifetimes(s)
+	co := lowenergy.StaticCost(lowenergy.DefaultModel())
+
+	cp, err := lowenergy.ChangPedram(set, 2, co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := lowenergy.LeftEdge(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := lowenergy.Chaitin(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: 2, Memory: lowenergy.FullSpeedMemory, Style: lowenergy.GraphAllCompatible, Cost: co,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]*lowenergy.Partition{"chang-pedram": cp, "left-edge": le, "chaitin": ch} {
+		if flow.TotalEnergy > p.Energy(co)+1e-9 {
+			t.Errorf("flow (%g) worse than %s (%g)", flow.TotalEnergy, name, p.Energy(co))
+		}
+	}
+}
+
+func TestMemoryBinding(t *testing.T) {
+	prog, _ := lowenergy.ParseProgramString(firSource)
+	s, _ := lowenergy.ScheduleBlock(prog.Tasks[0].Blocks[0], lowenergy.Resources{ALUs: 1, Multipliers: 1})
+	set, _ := lowenergy.Lifetimes(s)
+	res, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: 1, Memory: lowenergy.FullSpeedMemory, Style: lowenergy.GraphDensityRegions,
+		Cost: lowenergy.StaticCost(lowenergy.DefaultModel()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memVars := lowenergy.MemoryVariables(res)
+	bind, err := lowenergy.BindMemory(set, memVars, lowenergy.ConstHamming(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bind.Location) != len(memVars) {
+		t.Fatalf("bound %d of %d memory variables", len(bind.Location), len(memVars))
+	}
+}
+
+func TestFormatProgramRoundTrip(t *testing.T) {
+	prog, _ := lowenergy.ParseProgramString(firSource)
+	var sb strings.Builder
+	if err := lowenergy.FormatProgram(&sb, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lowenergy.ParseProgramString(sb.String()); err != nil {
+		t.Fatalf("reparse failed: %v", err)
+	}
+}
+
+func TestVoltageScalingHelper(t *testing.T) {
+	m := lowenergy.DefaultModel().WithMemVoltage(lowenergy.VoltageForDivisor(4))
+	full := lowenergy.DefaultModel()
+	ratio := full.EMemRead() / m.EMemRead()
+	if math.Abs(ratio-6.25) > 1e-9 { // (5/2)^2
+		t.Fatalf("voltage scaling ratio %g, want 6.25", ratio)
+	}
+	if lowenergy.OffChipModel().EMemRead() <= full.EMemRead() {
+		t.Fatal("off-chip should cost more")
+	}
+}
+
+func TestScheduleALAPWrapper(t *testing.T) {
+	prog, _ := lowenergy.ParseProgramString(firSource)
+	s, err := lowenergy.ScheduleALAP(prog.Tasks[0].Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

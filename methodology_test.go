@@ -1,0 +1,143 @@
+package lowenergy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	lowenergy "repro"
+	"repro/internal/workload"
+)
+
+// TestFullMethodologyEWF walks the paper's complete §5 methodology on the
+// elliptic wave filter: clean-up passes, force-directed scheduling, lifetime
+// analysis, simultaneous register/memory allocation, second-stage memory
+// binding, offset assignment for the AGU, and a cycle-accurate simulation
+// validating the whole stack end to end.
+func TestFullMethodologyEWF(t *testing.T) {
+	block, err := workload.EllipticWaveFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Transformations (§5: "transformations are performed within each
+	// task").
+	cleaned, _, err := lowenergy.OptimizeBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Detailed scheduling.
+	schedule, err := lowenergy.ScheduleForceDirected(cleaned, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Lifetimes.
+	set, err := lowenergy.Lifetimes(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := set.MaxDensity() / 2
+	if regs < 1 {
+		regs = 1
+	}
+
+	// 4. Simultaneous partitioning + allocation (the paper's contribution).
+	res, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: regs,
+		Memory:    lowenergy.FullSpeedMemory,
+		Style:     lowenergy.GraphDensityRegions,
+		Cost:      lowenergy.ActivityCost(lowenergy.DefaultModel(), lowenergy.SyntheticHamming()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergy >= res.BaselineEnergy {
+		t.Fatalf("no saving: %g vs baseline %g", res.TotalEnergy, res.BaselineEnergy)
+	}
+
+	// 5. Second-stage memory allocation (§5: "reallocate memory using an
+	// activity based energy model").
+	memVars := lowenergy.MemoryVariables(res)
+	bind, err := lowenergy.BindMemory(set, memVars, lowenergy.SyntheticHamming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bind.Locations > res.MemoryLocations {
+		t.Fatalf("second stage used %d locations, allocation promised %d", bind.Locations, res.MemoryLocations)
+	}
+
+	// 6. Data layout (the conclusion's offset-assignment extension).
+	seq := lowenergy.MemoryAccessSequence(res)
+	if len(seq) != res.Counts.Mem() {
+		t.Fatalf("access sequence %d events, tally %d", len(seq), res.Counts.Mem())
+	}
+	if len(seq) > 0 {
+		if _, err := lowenergy.AssignOffsets(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 7. Execution: the allocation must be semantically valid.
+	rng := rand.New(rand.NewSource(1))
+	inputs := map[string]lowenergy.Word{}
+	for _, v := range cleaned.Inputs {
+		inputs[v] = lowenergy.Word(rng.Intn(64) - 32)
+	}
+	trace, err := lowenergy.Simulate(schedule, res, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Counts != res.Counts {
+		t.Fatalf("simulated counts %+v != tally %+v", trace.Counts, res.Counts)
+	}
+	ref, err := lowenergy.Evaluate(cleaned, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range cleaned.Outputs {
+		if trace.Outputs[out] != ref[out] {
+			t.Fatalf("output %s: simulated %d, reference %d", out, trace.Outputs[out], ref[out])
+		}
+	}
+}
+
+// TestFullMethodologyRestrictedMemory repeats the walk under f/2 restricted
+// memory access with voltage scaling — the Table 1 configuration — on the
+// FDCT kernel.
+func TestFullMethodologyRestrictedMemory(t *testing.T) {
+	block, err := workload.FDCT8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := lowenergy.ScheduleBlock(block, lowenergy.Resources{ALUs: 2, Multipliers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := lowenergy.Lifetimes(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := lowenergy.DefaultModel().WithMemVoltage(lowenergy.VoltageForDivisor(2))
+	res, err := lowenergy.Allocate(set, lowenergy.Options{
+		Registers: set.MaxDensity(),
+		Memory:    lowenergy.MemoryAccess{Period: 2, Offset: 2},
+		Split:     lowenergy.SplitMinimal,
+		Style:     lowenergy.GraphDensityRegions,
+		Cost:      lowenergy.StaticCost(model),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]lowenergy.Word{}
+	for i, v := range block.Inputs {
+		inputs[v] = lowenergy.Word(i*3 - 7)
+	}
+	trace, err := lowenergy.Simulate(schedule, res, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Counts != res.Counts {
+		t.Fatalf("simulated counts %+v != tally %+v", trace.Counts, res.Counts)
+	}
+}

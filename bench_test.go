@@ -4,7 +4,9 @@
 package lowenergy_test
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	lowenergy "repro"
@@ -94,8 +96,23 @@ func BenchmarkAllocateRSP(b *testing.B) {
 			Cost:      lowenergy.StaticCost(model),
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := lowenergy.Allocate(set, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"_reuse", func(b *testing.B) {
+			// Same allocation through a reusable Allocator (scratch reuse).
+			alloc, err := lowenergy.NewAllocator(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := alloc.Allocate(set); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -169,6 +186,7 @@ func BenchmarkSolvers(b *testing.B) {
 	}
 	value := int64(set.MaxDensity() / 2)
 	solve := func(b *testing.B, f func() (*flow.Solution, error)) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := f(); err != nil {
 				b.Fatal(err)
@@ -178,6 +196,13 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("ssp", func(b *testing.B) {
 		solve(b, func() (*flow.Solution, error) {
 			return build.Net.MinCostFlowValue(build.S, build.T, value)
+		})
+	})
+	b.Run("ssp_reuse", func(b *testing.B) {
+		sc := flow.NewScratch()
+		solve(b, func() (*flow.Solution, error) {
+			sol, _, err := build.Net.MinCostFlowValueWith(flow.SSP, sc, build.S, build.T, value)
+			return sol, err
 		})
 	})
 	b.Run("cyclecancel", func(b *testing.B) {
@@ -202,6 +227,58 @@ func BenchmarkSolvers(b *testing.B) {
 			return build.Net.SolveCostScaling()
 		})
 	})
+}
+
+// BenchmarkPipelineParallel measures whole-program allocation under the
+// bounded worker pool: a synthetic program of independent blocks, workers 1
+// (sequential baseline) vs several.
+func BenchmarkPipelineParallel(b *testing.B) {
+	prog := syntheticProgram(b, 12)
+	cfg := lowenergy.PipelineConfig{
+		Resources: lowenergy.Resources{ALUs: 2, Multipliers: 1},
+		Options: lowenergy.Options{
+			Registers: 4,
+			Memory:    lowenergy.FullSpeedMemory,
+			Style:     lowenergy.GraphDensityRegions,
+			Cost:      lowenergy.StaticCost(lowenergy.DefaultModel()),
+		},
+		AllowExternalInputs: true,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := cfg
+		cfg.Workers = workers
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lowenergy.RunProgram(prog, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// syntheticProgram builds one task of n independent FIR-ish blocks with
+// disjoint value names, big enough that the per-block allocation dominates.
+func syntheticProgram(b *testing.B, n int) *lowenergy.Program {
+	var sb strings.Builder
+	sb.WriteString("task synth\n")
+	for k := 0; k < n; k++ {
+		p := fmt.Sprintf("b%d_", k)
+		fmt.Fprintf(&sb, "block %sblk\nin %sx0 %sx1 %sx2 %sx3\n", p, p, p, p, p)
+		for i := 0; i < 4; i++ {
+			fmt.Fprintf(&sb, "%sm%d = %sx%d * %sx%d\n", p, i, p, i, p, (i+1)%4)
+		}
+		fmt.Fprintf(&sb, "%ss0 = %sm0 + %sm1\n", p, p, p)
+		fmt.Fprintf(&sb, "%ss1 = %sm2 + %sm3\n", p, p, p)
+		fmt.Fprintf(&sb, "%sy = %ss0 + %ss1\n", p, p, p)
+		fmt.Fprintf(&sb, "out %sy\nend\n", p)
+	}
+	prog, err := lowenergy.ParseProgramString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
 }
 
 // BenchmarkExtensions measures the §7/extension experiments.

@@ -11,12 +11,17 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -89,6 +94,9 @@ func main() {
 		markdown  = flag.Bool("md", false, "emit markdown tables")
 		registers = flag.Int("registers", workload.Table1Registers, "register file size for the RSP experiments")
 		list      = flag.Bool("list", false, "list experiments")
+		solver    = flag.String("solver", "", fmt.Sprintf("min-cost-flow engine for every allocation (%s)", strings.Join(flow.EngineNames(), ", ")))
+		stats     = flag.Bool("stats", false, "print an aggregate of every allocation's stage timings and solver work")
+		parallel  = flag.Int("parallel", 1, "run up to this many experiments concurrently (output order is unchanged)")
 	)
 	flag.Parse()
 	exps := experiments(*registers)
@@ -102,35 +110,136 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leabench: pass -all, -exp <name> or -list")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, exps, *all, *exp, *markdown); err != nil {
+	if *solver != "" {
+		if err := core.SetDefaultEngine(*solver); err != nil {
+			fmt.Fprintln(os.Stderr, "leabench:", err)
+			os.Exit(2)
+		}
+	}
+	var agg *statsAggregate
+	if *stats {
+		agg = &statsAggregate{}
+		core.SetStatsCollector(agg.add)
+		defer core.SetStatsCollector(nil)
+	}
+	if err := runN(os.Stdout, exps, *all, *exp, *markdown, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "leabench:", err)
 		os.Exit(1)
 	}
+	if agg != nil {
+		agg.print(os.Stdout)
+	}
 }
 
+// statsAggregate folds every allocation's RunStats into totals; safe for
+// concurrent collection (-parallel).
+type statsAggregate struct {
+	mu            sync.Mutex
+	runs          int
+	solve, total  time.Duration
+	augmentations int
+	dijkstraIters int
+	relabels      int
+	byEngine      map[string]int
+}
+
+func (a *statsAggregate) add(st core.RunStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs++
+	a.solve += st.SolveTime
+	a.total += st.TotalTime
+	a.augmentations += st.Solver.Augmentations
+	a.dijkstraIters += st.Solver.DijkstraIters
+	a.relabels += st.Solver.Relabels
+	if a.byEngine == nil {
+		a.byEngine = make(map[string]int)
+	}
+	a.byEngine[st.Engine]++
+}
+
+func (a *statsAggregate) print(w io.Writer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var engines []string
+	for name, n := range a.byEngine {
+		engines = append(engines, fmt.Sprintf("%s ×%d", name, n))
+	}
+	fmt.Fprintf(w, "allocation stats: %d runs (%s); solve %s of %s total; %d augmentations, %d dijkstra iters, %d relabels\n",
+		a.runs, strings.Join(engines, ", "), a.solve, a.total,
+		a.augmentations, a.dijkstraIters, a.relabels)
+}
+
+// run keeps the original signature for the tests; runN adds the worker bound.
 func run(w io.Writer, exps []experiment, all bool, name string, markdown bool) error {
+	return runN(w, exps, all, name, markdown, 1)
+}
+
+func runN(w io.Writer, exps []experiment, all bool, name string, markdown bool, parallel int) error {
+	var selected []experiment
 	var names []string
-	ran := false
 	for _, e := range exps {
 		names = append(names, e.name)
-		if !all && e.name != name {
-			continue
-		}
-		ran = true
-		t, err := e.run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
-		}
-		if markdown {
-			if err := t.Markdown(w); err != nil {
-				return err
-			}
-		} else if err := t.Render(w); err != nil {
-			return err
+		if all || e.name == name {
+			selected = append(selected, e)
 		}
 	}
-	if !ran {
+	if len(selected) == 0 {
 		return fmt.Errorf("unknown experiment %q (have: %s)", name, strings.Join(names, ", "))
+	}
+
+	// Each experiment renders into its own buffer; buffers are emitted in
+	// selection order, so -parallel only changes wall time, not output.
+	outs := make([]bytes.Buffer, len(selected))
+	errs := make([]error, len(selected))
+	runOne := func(i int) {
+		t, err := selected[i].run()
+		if err != nil {
+			errs[i] = fmt.Errorf("%s: %w", selected[i].name, err)
+			return
+		}
+		if markdown {
+			errs[i] = t.Markdown(&outs[i])
+		} else {
+			errs[i] = t.Render(&outs[i])
+		}
+	}
+	if parallel <= 1 {
+		for i := range selected {
+			runOne(i)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		workers := parallel
+		if workers > len(selected) {
+			workers = len(selected)
+		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range selected {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i := range selected {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := io.Copy(w, &outs[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

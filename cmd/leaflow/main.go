@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
+	"sync"
 
 	lowenergy "repro"
 )
@@ -40,6 +42,9 @@ func main() {
 		dimacsOut = flag.String("dimacs", "", "write the flow network of the first block in DIMACS min-cost format")
 		asm       = flag.Bool("asm", false, "print the lowered machine instruction stream (loads/stores/moves/ops)")
 		profile   = flag.Bool("profile", false, "print the per-step storage energy profile (implies -simulate)")
+		solver    = flag.String("solver", "ssp", fmt.Sprintf("min-cost-flow engine: %s", strings.Join(lowenergy.SolverNames(), ", ")))
+		stats     = flag.Bool("stats", false, "print per-stage wall time and solver work for every block")
+		parallel  = flag.Int("parallel", 1, "allocate up to this many blocks concurrently (output order is unchanged)")
 	)
 	flag.Parse()
 	cfg := config{
@@ -47,6 +52,7 @@ func main() {
 		style: *styleName, cost: *costName, splitFull: *splitFull,
 		dot: *dotOut, verbose: *verbose, gantt: *gantt, sched: *schedName,
 		json: *jsonOut, simulate: *simulate || *profile, dimacs: *dimacsOut, asm: *asm, profile: *profile,
+		solver: *solver, stats: *stats, parallel: *parallel,
 	}
 	if err := runCfg(os.Stdout, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "leaflow:", err)
@@ -60,6 +66,9 @@ type config struct {
 	splitFull, verbose, gantt      bool
 	json, simulate, asm, profile   bool
 	dot, dimacs                    string
+	solver                         string
+	stats                          bool
+	parallel                       int
 }
 
 // run keeps the original positional signature for the tests; runCfg is the
@@ -122,39 +131,112 @@ func runCfg(w io.Writer, cfg config, args []string) error {
 		Split:     split,
 		Style:     style,
 		Cost:      cost,
+		Engine:    cfg.solver,
+	}
+	switch schedName {
+	case "list", "asap", "fds":
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
 	}
 
-	first := true
+	// Phase 1: schedule, lifetime and allocate every block. The blocks are
+	// independent, so with -parallel > 1 they run on a bounded worker pool
+	// (one reusable allocator per worker); the output phase below walks the
+	// results in program order either way, so the report is identical.
+	type work struct {
+		task     string
+		block    *lowenergy.Block
+		schedule *lowenergy.Schedule
+		set      *lowenergy.LifetimeSet
+		res      *lowenergy.Result
+	}
+	var jobs []*work
 	for _, task := range prog.Tasks {
 		for _, block := range task.Blocks {
-			var schedule *lowenergy.Schedule
-			switch schedName {
-			case "list":
-				schedule, err = lowenergy.ScheduleBlock(block, lowenergy.Resources{ALUs: alus, Multipliers: muls})
-			case "asap":
-				schedule, err = lowenergy.ScheduleASAP(block)
-			case "fds":
-				schedule, err = lowenergy.ScheduleForceDirected(block, 0)
-			default:
-				return fmt.Errorf("unknown scheduler %q", schedName)
+			jobs = append(jobs, &work{task: task.Name, block: block})
+		}
+	}
+	allocBlock := func(alloc *lowenergy.Allocator, j *work) error {
+		var err error
+		switch schedName {
+		case "list":
+			j.schedule, err = lowenergy.ScheduleBlock(j.block, lowenergy.Resources{ALUs: alus, Multipliers: muls})
+		case "asap":
+			j.schedule, err = lowenergy.ScheduleASAP(j.block)
+		case "fds":
+			j.schedule, err = lowenergy.ScheduleForceDirected(j.block, 0)
+		}
+		if err != nil {
+			return err
+		}
+		if j.set, err = lowenergy.Lifetimes(j.schedule); err != nil {
+			return err
+		}
+		j.res, err = alloc.Allocate(j.set)
+		return err
+	}
+	errs := make([]error, len(jobs))
+	if cfg.parallel <= 1 {
+		alloc, err := lowenergy.NewAllocator(opts)
+		if err != nil {
+			return err
+		}
+		for i, j := range jobs {
+			if errs[i] = allocBlock(alloc, j); errs[i] != nil {
+				break
 			}
+		}
+	} else {
+		workers := cfg.parallel
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		var startErr error
+		for w := 0; w < workers; w++ {
+			alloc, err := lowenergy.NewAllocator(opts)
 			if err != nil {
-				return fmt.Errorf("block %q: %w", block.Name, err)
+				startErr = err
+				break
 			}
-			set, err := lowenergy.Lifetimes(schedule)
-			if err != nil {
-				return fmt.Errorf("block %q: %w", block.Name, err)
-			}
-			res, err := lowenergy.Allocate(set, opts)
-			if err != nil {
-				return fmt.Errorf("block %q: %w", block.Name, err)
-			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = allocBlock(alloc, jobs[i])
+				}
+			}()
+		}
+		if startErr != nil {
+			close(next)
+			wg.Wait()
+			return startErr
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, e := range errs {
+		if e != nil {
+			return fmt.Errorf("block %q: %w", jobs[i].block.Name, e)
+		}
+	}
+
+	// Phase 2: report in program order.
+	first := true
+	for _, j := range jobs {
+		{
+			task, block, schedule, res := j.task, j.block, j.schedule, j.res
+			set := j.set
 			if cfg.json {
-				if err := printJSON(w, task.Name, block.Name, res); err != nil {
+				if err := printJSON(w, task, block.Name, res, cfg.stats); err != nil {
 					return err
 				}
 			} else {
-				printBlock(w, task.Name, block.Name, res, verbose)
+				printBlock(w, task, block.Name, res, verbose, cfg.stats)
 			}
 			if cfg.simulate {
 				if err := simulateBlock(w, schedule, res, block, cfg.json, cfg.profile, model); err != nil {
@@ -174,7 +256,7 @@ func runCfg(w io.Writer, cfg config, args []string) error {
 				if err != nil {
 					return err
 				}
-				if err := res.Build.Net.WriteDIMACS(f, "lowenergy: "+task.Name+"/"+block.Name); err != nil {
+				if err := res.Build.Net.WriteDIMACS(f, "lowenergy: "+task+"/"+block.Name); err != nil {
 					f.Close()
 					return err
 				}
@@ -214,7 +296,7 @@ func runCfg(w io.Writer, cfg config, args []string) error {
 	return nil
 }
 
-func printBlock(w io.Writer, task, name string, res *lowenergy.Result, verbose bool) {
+func printBlock(w io.Writer, task, name string, res *lowenergy.Result, verbose, stats bool) {
 	fmt.Fprintf(w, "== task %s, block %s ==\n", task, name)
 	fmt.Fprintf(w, "registers used:     %d of %d\n", res.RegistersUsed, res.Options.Registers)
 	fmt.Fprintf(w, "memory locations:   %d\n", res.MemoryLocations)
@@ -224,6 +306,10 @@ func printBlock(w io.Writer, task, name string, res *lowenergy.Result, verbose b
 		res.Counts.MemReads, res.Counts.MemWrites, res.Counts.RegReads, res.Counts.RegWrites)
 	fmt.Fprintf(w, "ports required:     mem %dr/%dw, reg %dr/%dw\n",
 		res.Ports.MemReadPorts, res.Ports.MemWritePorts, res.Ports.RegReadPorts, res.Ports.RegWritePorts)
+	if stats {
+		fmt.Fprintf(w, "solver:             %s\n", res.Stats.Engine)
+		fmt.Fprintf(w, "stats:              %s\n", res.Stats)
+	}
 	if verbose {
 		type resident struct {
 			v   string
@@ -256,24 +342,68 @@ func printBlock(w io.Writer, task, name string, res *lowenergy.Result, verbose b
 
 // blockJSON is the machine-readable per-block summary.
 type blockJSON struct {
-	Task            string  `json:"task"`
-	Block           string  `json:"block"`
-	Registers       int     `json:"registers"`
-	RegistersUsed   int     `json:"registers_used"`
-	MemoryLocations int     `json:"memory_locations"`
-	Energy          float64 `json:"energy"`
-	BaselineEnergy  float64 `json:"baseline_energy"`
-	MemReads        int     `json:"mem_reads"`
-	MemWrites       int     `json:"mem_writes"`
-	RegReads        int     `json:"reg_reads"`
-	RegWrites       int     `json:"reg_writes"`
-	MemReadPorts    int     `json:"mem_read_ports"`
-	MemWritePorts   int     `json:"mem_write_ports"`
-	RegReadPorts    int     `json:"reg_read_ports"`
-	RegWritePorts   int     `json:"reg_write_ports"`
+	Task            string        `json:"task"`
+	Block           string        `json:"block"`
+	Registers       int           `json:"registers"`
+	RegistersUsed   int           `json:"registers_used"`
+	MemoryLocations int           `json:"memory_locations"`
+	Energy          float64       `json:"energy"`
+	BaselineEnergy  float64       `json:"baseline_energy"`
+	MemReads        int           `json:"mem_reads"`
+	MemWrites       int           `json:"mem_writes"`
+	RegReads        int           `json:"reg_reads"`
+	RegWrites       int           `json:"reg_writes"`
+	MemReadPorts    int           `json:"mem_read_ports"`
+	MemWritePorts   int           `json:"mem_write_ports"`
+	RegReadPorts    int           `json:"reg_read_ports"`
+	RegWritePorts   int           `json:"reg_write_ports"`
+	Stats           *runStatsJSON `json:"stats,omitempty"`
 }
 
-func printJSON(w io.Writer, task, name string, res *lowenergy.Result) error {
+// runStatsJSON is the machine-readable -stats payload (durations in
+// nanoseconds).
+type runStatsJSON struct {
+	Engine        string `json:"engine"`
+	SplitNS       int64  `json:"split_ns"`
+	PinNS         int64  `json:"pin_ns"`
+	BuildNS       int64  `json:"build_ns"`
+	SolveNS       int64  `json:"solve_ns"`
+	DecodeNS      int64  `json:"decode_ns"`
+	TotalNS       int64  `json:"total_ns"`
+	Variables     int    `json:"variables"`
+	Segments      int    `json:"segments"`
+	Nodes         int    `json:"nodes"`
+	Arcs          int    `json:"arcs"`
+	Augmentations int    `json:"augmentations"`
+	Phases        int    `json:"phases"`
+	DijkstraIters int    `json:"dijkstra_iters"`
+	Relabels      int    `json:"relabels"`
+	Pushes        int    `json:"pushes"`
+}
+
+func printJSON(w io.Writer, task, name string, res *lowenergy.Result, stats bool) error {
+	var sj *runStatsJSON
+	if stats {
+		st := res.Stats
+		sj = &runStatsJSON{
+			Engine:        st.Engine,
+			SplitNS:       st.SplitTime.Nanoseconds(),
+			PinNS:         st.PinTime.Nanoseconds(),
+			BuildNS:       st.BuildTime.Nanoseconds(),
+			SolveNS:       st.SolveTime.Nanoseconds(),
+			DecodeNS:      st.DecodeTime.Nanoseconds(),
+			TotalNS:       st.TotalTime.Nanoseconds(),
+			Variables:     st.Variables,
+			Segments:      st.Segments,
+			Nodes:         st.Nodes,
+			Arcs:          st.Arcs,
+			Augmentations: st.Solver.Augmentations,
+			Phases:        st.Solver.Phases,
+			DijkstraIters: st.Solver.DijkstraIters,
+			Relabels:      st.Solver.Relabels,
+			Pushes:        st.Solver.Pushes,
+		}
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(blockJSON{
 		Task:            task,
@@ -291,6 +421,7 @@ func printJSON(w io.Writer, task, name string, res *lowenergy.Result) error {
 		MemWritePorts:   res.Ports.MemWritePorts,
 		RegReadPorts:    res.Ports.RegReadPorts,
 		RegWritePorts:   res.Ports.RegWritePorts,
+		Stats:           sj,
 	})
 }
 

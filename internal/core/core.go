@@ -18,6 +18,10 @@ import (
 type Options struct {
 	// Registers is the register-file size R; the flow shipped from s to t.
 	Registers int
+	// Engine names the min-cost-flow engine ("ssp", "cyclecancel",
+	// "costscale"); empty selects the package default (see
+	// SetDefaultEngine), normally SSP.
+	Engine string
 	// Memory restricts memory access times (§5.2); lifetime.FullSpeed means
 	// unrestricted.
 	Memory lifetime.MemoryAccess
@@ -67,6 +71,8 @@ type Result struct {
 	Build    *netbuild.Build
 	Solution *flow.Solution
 	Options  Options
+	// Stats reports per-stage wall time and solver work for this run.
+	Stats RunStats
 	// InRegister[i] reports whether flat segment i lives in the register
 	// file; RegOf[i] gives its register index (-1 for memory).
 	InRegister []bool
@@ -107,37 +113,16 @@ func (r *Result) RegTrafficAt(step int) (reads, writes int) {
 	return r.regReadsByStep[step], r.regWritesByStep[step]
 }
 
-// Allocate runs the full §5 pipeline on a lifetime set.
+// Allocate runs the full §5 pipeline on a lifetime set. It is shorthand for
+// NewPipeline(opts) followed by one Pipeline.Allocate; callers allocating
+// many blocks with the same options should hold a Pipeline to reuse its
+// solver scratch space.
 func Allocate(set *lifetime.Set, opts Options) (*Result, error) {
-	if opts.Registers < 0 {
-		return nil, fmt.Errorf("core: negative register count %d", opts.Registers)
-	}
-	grouped, err := set.SplitCuts(opts.Memory, opts.Split, opts.ExtraCuts)
+	p, err := NewPipeline(opts)
 	if err != nil {
 		return nil, err
 	}
-	for _, ref := range opts.ForceRegister {
-		if err := pinSegment(grouped, ref, true); err != nil {
-			return nil, err
-		}
-	}
-	for _, ref := range opts.ForceMemory {
-		if err := pinSegment(grouped, ref, false); err != nil {
-			return nil, err
-		}
-	}
-	build, err := netbuild.BuildNetwork(set, grouped, opts.Style, opts.Cost)
-	if err != nil {
-		return nil, err
-	}
-	sol, err := build.Net.MinCostFlowValue(build.S, build.T, int64(opts.Registers))
-	if err != nil {
-		if err == flow.ErrInfeasible {
-			return nil, fmt.Errorf("core: %d registers cannot satisfy the forced register residences (raise R or relax memory restrictions): %w", opts.Registers, err)
-		}
-		return nil, err
-	}
-	return decode(build, sol, opts)
+	return p.Allocate(set)
 }
 
 // decode turns the flow solution into chains, counts, ports and energies.

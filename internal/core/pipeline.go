@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+)
+
+// RunStats reports what one allocation run did, stage by stage. The §5
+// pipeline is Split → Pin → Build → Solve → Decode; each stage's wall time
+// is recorded, plus the sizes that drive them and the solver's own work
+// counters.
+type RunStats struct {
+	// Engine is the min-cost-flow engine that solved the network.
+	Engine string
+	// Per-stage wall times.
+	SplitTime  time.Duration
+	PinTime    time.Duration
+	BuildTime  time.Duration
+	SolveTime  time.Duration
+	DecodeTime time.Duration
+	// TotalTime is the end-to-end allocation time (≥ the stage sum).
+	TotalTime time.Duration
+	// Variables and Segments size the lifetime model after splitting.
+	Variables int
+	Segments  int
+	// Nodes and Arcs size the constructed flow network.
+	Nodes int
+	Arcs  int
+	// Solver holds the engine's work counters (augmentations, Dijkstra
+	// iterations, relabels, ...).
+	Solver flow.SolveStats
+}
+
+// String renders the stats as one line per stage.
+func (st RunStats) String() string {
+	return fmt.Sprintf(
+		"split %s (%d vars, %d segs); pin %s; build %s (%d nodes, %d arcs); solve %s [%s]; decode %s; total %s",
+		st.SplitTime, st.Variables, st.Segments, st.PinTime,
+		st.BuildTime, st.Nodes, st.Arcs,
+		st.SolveTime, st.Solver.String(), st.DecodeTime, st.TotalTime)
+}
+
+// Pipeline is the §5 allocation pipeline with its engine resolved and solver
+// scratch space retained across runs, so allocating many blocks (or
+// re-solving under port constraints) stops allocating per solve. A Pipeline
+// is not safe for concurrent use; give each goroutine its own.
+type Pipeline struct {
+	opts    Options
+	engine  flow.Engine
+	scratch *flow.Scratch
+}
+
+// NewPipeline validates the options, resolves the engine by name and returns
+// a ready pipeline.
+func NewPipeline(opts Options) (*Pipeline, error) {
+	if opts.Registers < 0 {
+		return nil, fmt.Errorf("core: negative register count %d", opts.Registers)
+	}
+	name := opts.Engine
+	if name == "" {
+		name = DefaultEngine()
+	}
+	e, err := flow.EngineByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Pipeline{opts: opts, engine: e, scratch: flow.NewScratch()}, nil
+}
+
+// Options returns the pipeline's configuration.
+func (p *Pipeline) Options() Options { return p.opts }
+
+// Engine returns the resolved engine name.
+func (p *Pipeline) Engine() string { return p.engine.Name() }
+
+// Allocate runs the staged pipeline — Split → Pin → Build → Solve → Decode —
+// on a lifetime set, attaching per-stage RunStats to the result.
+func (p *Pipeline) Allocate(set *lifetime.Set) (*Result, error) {
+	start := time.Now()
+	stats := RunStats{Engine: p.engine.Name()}
+
+	grouped, err := p.split(set, &stats)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.pin(grouped, &stats); err != nil {
+		return nil, err
+	}
+	build, err := p.build(set, grouped, &stats)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := p.solve(build, &stats)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.decode(build, sol, &stats)
+	if err != nil {
+		return nil, err
+	}
+	stats.TotalTime = time.Since(start)
+	res.Stats = stats
+	if c := statsCollector(); c != nil {
+		c(stats)
+	}
+	return res, nil
+}
+
+// split cuts lifetimes at the restricted memory access times plus any
+// voluntary extra cuts (§5.2).
+func (p *Pipeline) split(set *lifetime.Set, stats *RunStats) ([][]lifetime.Segment, error) {
+	t0 := time.Now()
+	grouped, err := set.SplitCuts(p.opts.Memory, p.opts.Split, p.opts.ExtraCuts)
+	stats.SplitTime = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	stats.Variables = len(grouped)
+	for _, g := range grouped {
+		stats.Segments += len(g)
+	}
+	return grouped, nil
+}
+
+// pin applies the §7 forced/barred residences to the grouped segments.
+func (p *Pipeline) pin(grouped [][]lifetime.Segment, stats *RunStats) error {
+	t0 := time.Now()
+	defer func() { stats.PinTime = time.Since(t0) }()
+	for _, ref := range p.opts.ForceRegister {
+		if err := pinSegment(grouped, ref, true); err != nil {
+			return err
+		}
+	}
+	for _, ref := range p.opts.ForceMemory {
+		if err := pinSegment(grouped, ref, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// build constructs the §5.1/§5.2 flow network.
+func (p *Pipeline) build(set *lifetime.Set, grouped [][]lifetime.Segment, stats *RunStats) (*netbuild.Build, error) {
+	t0 := time.Now()
+	build, err := netbuild.BuildNetwork(set, grouped, p.opts.Style, p.opts.Cost)
+	stats.BuildTime = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	stats.Nodes = build.Net.N()
+	stats.Arcs = build.Net.M()
+	return build, nil
+}
+
+// solve ships the register count R from s to t at minimum cost.
+func (p *Pipeline) solve(build *netbuild.Build, stats *RunStats) (*flow.Solution, error) {
+	t0 := time.Now()
+	sol, sst, err := build.Net.MinCostFlowValueWith(p.engine, p.scratch, build.S, build.T, int64(p.opts.Registers))
+	stats.SolveTime = time.Since(t0)
+	if sst != nil {
+		stats.Solver = *sst
+	}
+	if err != nil {
+		if errors.Is(err, flow.ErrInfeasible) {
+			return nil, fmt.Errorf("core: %d registers cannot satisfy the forced register residences (raise R or relax memory restrictions): %w", p.opts.Registers, err)
+		}
+		return nil, err
+	}
+	return sol, nil
+}
+
+// decode turns the solution into chains, counts, ports and energies.
+func (p *Pipeline) decode(build *netbuild.Build, sol *flow.Solution, stats *RunStats) (*Result, error) {
+	t0 := time.Now()
+	res, err := decode(build, sol, p.opts)
+	stats.DecodeTime = time.Since(t0)
+	return res, err
+}
+
+// defaultEngine is the engine name used when Options.Engine is empty;
+// settable so CLIs can steer every allocation they trigger (leabench
+// -solver) without threading a name through each experiment.
+var (
+	defaultEngineMu sync.RWMutex
+	defaultEngine   = "ssp"
+)
+
+// DefaultEngine returns the engine name used when Options.Engine is empty.
+func DefaultEngine() string {
+	defaultEngineMu.RLock()
+	defer defaultEngineMu.RUnlock()
+	return defaultEngine
+}
+
+// SetDefaultEngine changes the engine used when Options.Engine is empty,
+// validating the name.
+func SetDefaultEngine(name string) error {
+	e, err := flow.EngineByName(name)
+	if err != nil {
+		return err
+	}
+	defaultEngineMu.Lock()
+	defer defaultEngineMu.Unlock()
+	defaultEngine = e.Name()
+	return nil
+}
+
+// collector receives every completed run's stats when set (leaflow/leabench
+// -stats). The hook must be safe for concurrent calls when allocations run
+// in parallel.
+var (
+	collectorMu sync.RWMutex
+	collector   func(RunStats)
+)
+
+// SetStatsCollector installs fn as the per-run stats hook; nil removes it.
+func SetStatsCollector(fn func(RunStats)) {
+	collectorMu.Lock()
+	defer collectorMu.Unlock()
+	collector = fn
+}
+
+func statsCollector() func(RunStats) {
+	collectorMu.RLock()
+	defer collectorMu.RUnlock()
+	return collector
+}
+
+// MemoryVariables lists the variables with at least one memory-resident
+// segment, in flat segment order (deterministic: first appearance in the
+// grouped construction order), ready for second-stage memory binding.
+func (r *Result) MemoryVariables() []string {
+	segs := r.Build.Segments
+	seen := make(map[string]bool, len(segs))
+	vars := make([]string, 0, len(segs))
+	for i := range segs {
+		v := segs[i].Var
+		if !r.InRegister[i] && !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	return vars
+}

@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+func fig1Opts(registers int) core.Options {
+	return core.Options{
+		Registers: registers, Memory: lifetime.FullSpeed,
+		Style: netbuild.DensityRegions, Cost: staticCO(),
+	}
+}
+
+// TestEngineSelection: every engine name threads through Options.Engine to the
+// same optimal allocation, and the resolved name lands in Result.Stats.
+func TestEngineSelection(t *testing.T) {
+	set := workload.Figure1()
+	ref := allocate(t, set, fig1Opts(2))
+	for _, name := range []string{"", "ssp", "cyclecancel", "costscale"} {
+		opts := fig1Opts(2)
+		opts.Engine = name
+		r := allocate(t, set, opts)
+		if r.TotalEnergy != ref.TotalEnergy {
+			t.Errorf("engine %q: energy %v, want %v", name, r.TotalEnergy, ref.TotalEnergy)
+		}
+		want := name
+		if want == "" {
+			want = "ssp"
+		}
+		if r.Stats.Engine != want {
+			t.Errorf("engine %q: stats engine %q", name, r.Stats.Engine)
+		}
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	opts := fig1Opts(2)
+	opts.Engine = "simplex"
+	if _, err := core.Allocate(workload.Figure1(), opts); err == nil {
+		t.Fatal("unknown engine accepted")
+	} else if !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("error %q", err)
+	}
+	if _, err := core.NewPipeline(opts); err == nil {
+		t.Fatal("NewPipeline accepted unknown engine")
+	}
+}
+
+// TestRunStatsPopulated: a successful allocation reports stage sizes, stage
+// times and solver counters.
+func TestRunStatsPopulated(t *testing.T) {
+	r := allocate(t, workload.Figure1(), fig1Opts(2))
+	st := r.Stats
+	if st.Variables != 5 || st.Segments != 5 {
+		t.Errorf("sizes: %d vars, %d segs", st.Variables, st.Segments)
+	}
+	if st.Nodes == 0 || st.Arcs == 0 {
+		t.Errorf("network sizes empty: %+v", st)
+	}
+	if st.TotalTime <= 0 || st.SolveTime <= 0 || st.BuildTime <= 0 {
+		t.Errorf("stage times empty: %+v", st)
+	}
+	if st.TotalTime < st.SplitTime+st.PinTime+st.BuildTime+st.SolveTime+st.DecodeTime {
+		t.Errorf("total %v below stage sum", st.TotalTime)
+	}
+	if st.Solver.Augmentations == 0 {
+		t.Errorf("solver counters empty: %+v", st.Solver)
+	}
+	if s := st.String(); !strings.Contains(s, "solve") || !strings.Contains(s, "nodes") {
+		t.Errorf("stats string %q", s)
+	}
+}
+
+// TestPipelineReuse: one Pipeline allocated repeatedly (scratch reuse) gives
+// the same result as fresh Allocate calls.
+func TestPipelineReuse(t *testing.T) {
+	p, err := core.NewPipeline(fig1Opts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Engine() != "ssp" {
+		t.Fatalf("engine %q", p.Engine())
+	}
+	set := workload.Figure1()
+	ref := allocate(t, set, fig1Opts(2))
+	for i := 0; i < 5; i++ {
+		r, err := p.Allocate(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalEnergy != ref.TotalEnergy || r.RegistersUsed != ref.RegistersUsed {
+			t.Fatalf("run %d: energy %v regs %d, want %v/%d",
+				i, r.TotalEnergy, r.RegistersUsed, ref.TotalEnergy, ref.RegistersUsed)
+		}
+		for j := range ref.InRegister {
+			if r.InRegister[j] != ref.InRegister[j] {
+				t.Fatalf("run %d: segment %d residence differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDefaultEngineSetting(t *testing.T) {
+	if core.DefaultEngine() != "ssp" {
+		t.Fatalf("default %q", core.DefaultEngine())
+	}
+	if err := core.SetDefaultEngine("cycle-cancelling"); err != nil {
+		t.Fatal(err)
+	}
+	defer core.SetDefaultEngine("ssp")
+	if core.DefaultEngine() != "cyclecancel" {
+		t.Fatalf("default %q after set", core.DefaultEngine())
+	}
+	r := allocate(t, workload.Figure1(), fig1Opts(2))
+	if r.Stats.Engine != "cyclecancel" {
+		t.Fatalf("stats engine %q", r.Stats.Engine)
+	}
+	if err := core.SetDefaultEngine("simplex"); err == nil {
+		t.Fatal("unknown default accepted")
+	}
+}
+
+func TestStatsCollector(t *testing.T) {
+	var got []core.RunStats
+	core.SetStatsCollector(func(st core.RunStats) { got = append(got, st) })
+	defer core.SetStatsCollector(nil)
+	allocate(t, workload.Figure1(), fig1Opts(2))
+	allocate(t, workload.Figure1(), fig1Opts(3))
+	if len(got) != 2 {
+		t.Fatalf("collected %d runs, want 2", len(got))
+	}
+	if got[0].Engine != "ssp" || got[0].Segments != 5 {
+		t.Fatalf("collected %+v", got[0])
+	}
+}
+
+// TestMemoryVariablesDeterministic pins the output order: first appearance in
+// the flat segment order, no duplicates, memory residents only.
+func TestMemoryVariablesDeterministic(t *testing.T) {
+	set := workload.Figure1()
+	ref := allocate(t, set, fig1Opts(1)).MemoryVariables()
+	if len(ref) == 0 {
+		t.Fatal("expected memory residents with R=1")
+	}
+	seen := map[string]bool{}
+	for _, v := range ref {
+		if seen[v] {
+			t.Fatalf("duplicate %q in %v", v, ref)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 10; i++ {
+		r := allocate(t, set, fig1Opts(1))
+		got := r.MemoryVariables()
+		if len(got) != len(ref) {
+			t.Fatalf("run %d: %v vs %v", i, got, ref)
+		}
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("run %d: order differs: %v vs %v", i, got, ref)
+			}
+		}
+		// Every listed variable has a memory-resident segment and vice versa.
+		want := map[string]bool{}
+		for k := range r.Build.Segments {
+			if !r.InRegister[k] {
+				want[r.Build.Segments[k].Var] = true
+			}
+		}
+		if len(want) != len(got) {
+			t.Fatalf("run %d: residents %v, listed %v", i, want, got)
+		}
+	}
+}

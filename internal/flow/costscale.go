@@ -6,7 +6,8 @@ package flow
 // to Solve; the SSP engine remains the default because the paper's networks
 // ship tiny flow values, where successive shortest paths win.
 func (nw *Network) SolveCostScaling() (*Solution, error) {
-	return nw.solve(costScaleEngine)
+	sol, _, err := nw.SolveWith(CostScaling, nil)
+	return sol, err
 }
 
 // costScale solves for a flow of `required` units from s to t on the
@@ -14,9 +15,10 @@ func (nw *Network) SolveCostScaling() (*Solution, error) {
 // arc with a strongly negative cost forces the flow value to the maximum
 // (capped at required), after which ε-scaling drives the circulation to
 // optimality.
-func costScale(r *residual, s, t int, required int64) (int64, int, error) {
+func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
+	r := &sc.r
 	if required == 0 {
-		return 0, 0, nil
+		return 0, nil
 	}
 	// Return arc: cheaper than any simple path's total cost, so every unit
 	// of s->t flow pays for itself.
@@ -54,9 +56,11 @@ func costScale(r *residual, s, t int, required int64) (int64, int, error) {
 		r.capR[a^1] += amt
 		excess[u] -= amt
 		excess[r.to[a]] += amt
+		st.Pushes++
 	}
 
 	for eps := maxC; eps >= 1; eps /= 2 {
+		st.Phases++
 		// Saturate every negative-reduced-cost arc.
 		for u := 0; u < r.n; u++ {
 			for a := r.head[u]; a >= 0; a = r.next[a] {
@@ -102,6 +106,7 @@ func costScale(r *residual, s, t int, required int64) (int64, int, error) {
 				if excess[u] > 0 && !pushed {
 					// Relabel: the largest price keeping some residual arc
 					// admissible.
+					st.Relabels++
 					newPrice := int64(-1) << 62
 					for a := r.head[u]; a >= 0; a = r.next[a] {
 						if r.capR[a] <= 0 {
@@ -114,7 +119,7 @@ func costScale(r *residual, s, t int, required int64) (int64, int, error) {
 					if newPrice == int64(-1)<<62 {
 						// No residual arc at all: the excess is stuck, which
 						// cannot happen on our connected constructions.
-						return 0, 0, ErrInfeasible
+						return 0, ErrInfeasible
 					}
 					price[u] = newPrice
 				}
@@ -127,5 +132,5 @@ func costScale(r *residual, s, t int, required int64) (int64, int, error) {
 	// s->t flow.
 	r.capR[back] = 0
 	r.capR[back^1] = 0
-	return shipped, 0, nil
+	return shipped, nil
 }

@@ -5,14 +5,15 @@ package flow
 // remain. With integer costs every cancellation reduces total cost by at
 // least one, so the algorithm terminates. It is slower than ssp and exists
 // as an independent implementation for cross-checking.
-func cycleCancel(r *residual, s, t int, required int64) (int64, int, error) {
+func cycleCancel(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
+	r := &sc.r
 	shipped := dinic(r, s, t, required)
 	if shipped < required {
-		return shipped, 0, nil // caller reports ErrInfeasible
+		return shipped, nil // caller reports ErrInfeasible
 	}
-	cancels := 0
 	for {
-		cyc := findNegativeCycle(r)
+		st.Phases++
+		cyc := findNegativeCycle(r, sc)
 		if cyc == nil {
 			break
 		}
@@ -26,18 +27,20 @@ func cycleCancel(r *residual, s, t int, required int64) (int64, int, error) {
 			r.capR[a] -= bottleneck
 			r.capR[a^1] += bottleneck
 		}
-		cancels++
+		st.Augmentations++
 	}
-	return shipped, cancels, nil
+	return shipped, nil
 }
 
 // findNegativeCycle returns the arc indices of one negative-cost cycle in the
 // residual, or nil when none exists. Bellman-Ford from a virtual source
-// connected to every node.
-func findNegativeCycle(r *residual) []int32 {
-	dist := make([]int64, r.n)
-	prevArc := make([]int32, r.n)
-	for i := range prevArc {
+// connected to every node, using the scratch's dist/prevArc buffers.
+func findNegativeCycle(r *residual, sc *Scratch) []int32 {
+	sc.dist = grow64(sc.dist, r.n)
+	sc.prevArc = grow32(sc.prevArc, r.n)
+	dist, prevArc := sc.dist, sc.prevArc
+	for i := 0; i < r.n; i++ {
+		dist[i] = 0
 		prevArc[i] = -1
 	}
 	var witness int32 = -1

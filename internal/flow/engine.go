@@ -1,0 +1,205 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Engine is a min-cost-flow solution engine. Three implementations exist —
+// successive shortest paths (the production default), cycle cancelling and
+// cost-scaling push-relabel — all certified to return identical objectives.
+// The interface is exported for selection (EngineByName, SolveWith); the
+// solve method works on the package-private residual representation, so
+// external packages choose engines but cannot implement new ones.
+type Engine interface {
+	// Name is the engine's canonical selection name.
+	Name() string
+	// run ships up to required units from s to t on the scratch's residual,
+	// recording work counters into st. It returns the amount shipped.
+	run(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error)
+}
+
+// The three engines, as shared stateless instances.
+var (
+	// SSP is successive shortest paths with node potentials, the production
+	// engine: the paper's networks ship tiny flow values, where it wins.
+	SSP Engine = sspSolver{}
+	// CycleCancelling establishes a feasible flow with Dinic and cancels
+	// negative-cost residual cycles; an independent cross-check.
+	CycleCancelling Engine = cycleCancelSolver{}
+	// CostScaling is Goldberg–Tarjan cost-scaling push-relabel, the
+	// "very efficient algorithms" class of the paper's ref. [17].
+	CostScaling Engine = costScaleSolver{}
+)
+
+// engineNames are the canonical names, in preference order; enginesByName
+// additionally admits common spelling variants.
+var engineNames = []string{"ssp", "cyclecancel", "costscale"}
+
+var enginesByName = map[string]Engine{
+	"ssp":              SSP,
+	"cyclecancel":      CycleCancelling,
+	"cycle-cancel":     CycleCancelling,
+	"cyclecancelling":  CycleCancelling,
+	"cycle-cancelling": CycleCancelling,
+	"costscale":        CostScaling,
+	"cost-scale":       CostScaling,
+	"costscaling":      CostScaling,
+	"cost-scaling":     CostScaling,
+}
+
+// EngineNames lists the canonical engine names accepted by EngineByName.
+func EngineNames() []string {
+	return append([]string(nil), engineNames...)
+}
+
+// EngineByName resolves an engine by name. The empty string selects the
+// default (SSP).
+func EngineByName(name string) (Engine, error) {
+	if name == "" {
+		return SSP, nil
+	}
+	if e, ok := enginesByName[strings.ToLower(name)]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("flow: unknown engine %q (have: %s)", name, strings.Join(engineNames, ", "))
+}
+
+// SolveStats summarises the work one solve performed; which counters are
+// populated depends on the engine.
+type SolveStats struct {
+	// Engine is the name of the engine that ran.
+	Engine string
+	// Augmentations counts shortest-path augmentations (SSP) or cancelled
+	// cycles (cycle cancelling).
+	Augmentations int
+	// Phases counts Dijkstra rounds (SSP), Bellman–Ford cycle searches
+	// (cycle cancelling) or ε-scaling phases (cost scaling).
+	Phases int
+	// DijkstraIters counts heap pops across all Dijkstra rounds (SSP).
+	DijkstraIters int
+	// Relabels and Pushes count push-relabel work (cost scaling).
+	Relabels int
+	Pushes   int
+	// Duration is the wall time of the solve, residual construction included.
+	Duration time.Duration
+}
+
+// String renders the populated counters compactly.
+func (st SolveStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine=%s phases=%d", st.Engine, st.Phases)
+	if st.Augmentations > 0 {
+		fmt.Fprintf(&b, " augmentations=%d", st.Augmentations)
+	}
+	if st.DijkstraIters > 0 {
+		fmt.Fprintf(&b, " dijkstra-iters=%d", st.DijkstraIters)
+	}
+	if st.Relabels > 0 || st.Pushes > 0 {
+		fmt.Fprintf(&b, " pushes=%d relabels=%d", st.Pushes, st.Relabels)
+	}
+	fmt.Fprintf(&b, " time=%s", st.Duration)
+	return b.String()
+}
+
+// Scratch holds the working storage of a solve — the residual graph, node
+// potentials, Dijkstra distance/parent arrays and the heap — so repeated
+// solves on same-shaped networks stop allocating. A Scratch may be reused
+// across any sequence of solves (shapes may differ; buffers only grow) but
+// is not safe for concurrent use. The zero value is ready; NewScratch is
+// provided for symmetry.
+type Scratch struct {
+	r       residual
+	b       []int64 // node imbalances after lower-bound reduction
+	pi      []int64 // potentials
+	dist    []int64
+	prevArc []int32
+	heap    payHeap
+}
+
+// NewScratch returns an empty scratch space.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// resetResidual prepares the scratch's residual for a network of n nodes and
+// about arcHint forward arcs, reusing previous capacity.
+func (sc *Scratch) resetResidual(n, arcHint int) *residual {
+	r := &sc.r
+	r.n = n
+	if cap(r.head) < n {
+		r.head = make([]int32, n, n+2)
+	} else {
+		r.head = r.head[:n]
+	}
+	for i := range r.head {
+		r.head[i] = -1
+	}
+	want := 2 * arcHint
+	if cap(r.next) < want {
+		r.next = make([]int32, 0, want)
+		r.to = make([]int32, 0, want)
+		r.capR = make([]int64, 0, want)
+		r.cost = make([]int64, 0, want)
+	} else {
+		r.next = r.next[:0]
+		r.to = r.to[:0]
+		r.capR = r.capR[:0]
+		r.cost = r.cost[:0]
+	}
+	return r
+}
+
+// grow64 returns buf resized to n, reusing capacity. Contents are undefined.
+func grow64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+// grow32 returns buf resized to n, reusing capacity. Contents are undefined.
+func grow32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// SolveWith computes the minimum-cost feasible b-flow like Solve, with an
+// explicit engine and optional reusable scratch space (nil allocates fresh
+// storage). It additionally returns the solve's work statistics; on error
+// the stats still describe the attempted solve.
+func (nw *Network) SolveWith(e Engine, sc *Scratch) (*Solution, *SolveStats, error) {
+	if e == nil {
+		e = SSP
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	st := &SolveStats{Engine: e.Name()}
+	start := time.Now()
+	sol, err := nw.solveWith(e, sc, st)
+	st.Duration = time.Since(start)
+	return sol, st, err
+}
+
+type sspSolver struct{}
+
+func (sspSolver) Name() string { return "ssp" }
+func (sspSolver) run(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
+	return ssp(sc, s, t, required, st)
+}
+
+type cycleCancelSolver struct{}
+
+func (cycleCancelSolver) Name() string { return "cyclecancel" }
+func (cycleCancelSolver) run(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
+	return cycleCancel(sc, s, t, required, st)
+}
+
+type costScaleSolver struct{}
+
+func (costScaleSolver) Name() string { return "costscale" }
+func (costScaleSolver) run(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
+	return costScale(sc, s, t, required, st)
+}

@@ -21,6 +21,25 @@ func (nw *Network) MinCostFlowValue(s, t int, value int64) (*Solution, error) {
 	return nw.Solve()
 }
 
+// MinCostFlowValueWith is MinCostFlowValue with an explicit engine and
+// optional reusable scratch space (nil allocates fresh storage), returning
+// the solve's work statistics alongside the solution.
+func (nw *Network) MinCostFlowValueWith(e Engine, sc *Scratch, s, t int, value int64) (*Solution, *SolveStats, error) {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
+		return nil, nil, fmt.Errorf("flow: endpoint out of range")
+	}
+	if value < 0 {
+		return nil, nil, fmt.Errorf("flow: negative flow value %d", value)
+	}
+	nw.supply[s] += value
+	nw.supply[t] -= value
+	defer func() {
+		nw.supply[s] -= value
+		nw.supply[t] += value
+	}()
+	return nw.SolveWith(e, sc)
+}
+
 // CheckFeasible verifies that sol satisfies conservation, bounds and the
 // network's supplies; it returns a descriptive error on the first violation.
 // Used by tests and as a post-solve assertion in debug paths.

@@ -53,6 +53,21 @@ func NewNetwork(n int) *Network {
 	return &Network{n: n, supply: make([]int64, n)}
 }
 
+// NewNetworkSized returns an empty network with n nodes and capacity for
+// exactly arcs arcs, so construction code that precomputes its arc count
+// never regrows the arc slice.
+func NewNetworkSized(n, arcs int) *Network {
+	nw := NewNetwork(n)
+	if arcs > 0 {
+		nw.arcs = make([]arc, 0, arcs)
+	}
+	return nw
+}
+
+// ArcCapacity reports the current capacity of the arc storage; exposed so
+// tests can assert that presized construction never regrew it.
+func (nw *Network) ArcCapacity() int { return cap(nw.arcs) }
+
 // N reports the number of nodes.
 func (nw *Network) N() int { return nw.n }
 

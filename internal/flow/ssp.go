@@ -10,25 +10,21 @@ const infCost = int64(1) << 60
 // capacities and node supplies, using successive shortest paths with node
 // potentials. It returns ErrInfeasible when no feasible flow exists.
 func (nw *Network) Solve() (*Solution, error) {
-	return nw.solve(sspEngine)
+	sol, _, err := nw.SolveWith(SSP, nil)
+	return sol, err
 }
 
 // SolveCycleCancel computes the same minimum-cost b-flow with the
 // cycle-cancelling algorithm. It exists to cross-check Solve in tests; use
 // Solve in production code.
 func (nw *Network) SolveCycleCancel() (*Solution, error) {
-	return nw.solve(cycleCancelEngine)
+	sol, _, err := nw.SolveWith(CycleCancelling, nil)
+	return sol, err
 }
 
-type engine int
-
-const (
-	sspEngine engine = iota
-	cycleCancelEngine
-	costScaleEngine
-)
-
-func (nw *Network) solve(e engine) (*Solution, error) {
+// solveWith runs the shared reduction (lower bounds, super source/sink) on
+// the scratch's residual, dispatches to the engine and decodes the flows.
+func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, error) {
 	var total int64
 	for _, b := range nw.supply {
 		total += b
@@ -39,10 +35,11 @@ func (nw *Network) solve(e engine) (*Solution, error) {
 
 	// Lower-bound reduction: ship each arc's lower bound unconditionally,
 	// adjusting node imbalances and accumulating the constant cost.
-	b := make([]int64, nw.n)
+	sc.b = grow64(sc.b, nw.n)
+	b := sc.b
 	copy(b, nw.supply)
 	var constCost int64
-	r := newResidual(nw.n, len(nw.arcs)+nw.n)
+	r := sc.resetResidual(nw.n, len(nw.arcs)+nw.n)
 	for _, a := range nw.arcs {
 		if a.lower > 0 {
 			b[a.from] -= a.lower
@@ -66,19 +63,7 @@ func (nw *Network) solve(e engine) (*Solution, error) {
 		}
 	}
 
-	var (
-		pushed int64
-		augs   int
-		err    error
-	)
-	switch e {
-	case sspEngine:
-		pushed, augs, err = ssp(r, s, t, required)
-	case cycleCancelEngine:
-		pushed, augs, err = cycleCancel(r, s, t, required)
-	case costScaleEngine:
-		pushed, augs, err = costScale(r, s, t, required)
-	}
+	pushed, err := e.run(sc, s, t, required, st)
 	if err != nil {
 		return nil, err
 	}
@@ -96,20 +81,22 @@ func (nw *Network) solve(e engine) (*Solution, error) {
 		sol.FlowByArc[i] = f
 		sol.Cost += f * a.cost
 	}
-	sol.Augmentations = augs
+	sol.Augmentations = st.Augmentations
 	return sol, nil
 }
 
 // ssp runs successive shortest paths from s to t until `required` units are
 // shipped or t becomes unreachable. Returns the amount shipped.
-func ssp(r *residual, s, t int, required int64) (int64, int, error) {
-	pi := bellmanFord(r, s)
-	dist := make([]int64, r.n)
-	prevArc := make([]int32, r.n)
+func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
+	r := &sc.r
+	pi := bellmanFord(r, s, sc)
+	sc.dist = grow64(sc.dist, r.n)
+	sc.prevArc = grow32(sc.prevArc, r.n)
+	dist, prevArc := sc.dist, sc.prevArc
 	var shipped int64
-	augs := 0
 	for shipped < required {
-		if !dijkstra(r, s, pi, dist, prevArc) {
+		st.Phases++
+		if !dijkstra(r, s, pi, dist, prevArc, sc, st) {
 			break // t unreachable under current residual
 		}
 		if dist[t] >= infCost {
@@ -141,17 +128,18 @@ func ssp(r *residual, s, t int, required int64) (int64, int, error) {
 			v = int(r.to[a^1])
 		}
 		shipped += bottleneck
-		augs++
+		st.Augmentations++
 	}
-	return shipped, augs, nil
+	return shipped, nil
 }
 
 // bellmanFord computes shortest distances from s over arcs with residual
-// capacity, tolerating negative costs. The initial residual of a DAG has no
-// cycles, so this always converges; a negative cycle would indicate caller
-// error and panics.
-func bellmanFord(r *residual, s int) []int64 {
-	dist := make([]int64, r.n)
+// capacity, tolerating negative costs, into the scratch's potential buffer.
+// The initial residual of a DAG has no cycles, so this always converges; a
+// negative cycle would indicate caller error and panics.
+func bellmanFord(r *residual, s int, sc *Scratch) []int64 {
+	sc.pi = grow64(sc.pi, r.n)
+	dist := sc.pi
 	for v := range dist {
 		dist[v] = infCost
 	}
@@ -183,16 +171,18 @@ func bellmanFord(r *residual, s int) []int64 {
 
 // dijkstra computes reduced-cost shortest paths from s, filling dist and
 // prevArc. Reports whether any node was reached (always true: s itself).
-func dijkstra(r *residual, s int, pi, dist []int64, prevArc []int32) bool {
+func dijkstra(r *residual, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats) bool {
 	for v := range dist {
 		dist[v] = infCost
 		prevArc[v] = -1
 	}
 	dist[s] = 0
-	h := &payHeap{}
+	h := &sc.heap
+	h.a = h.a[:0]
 	h.push(heapItem{0, int32(s)})
 	for h.len() > 0 {
 		it := h.pop()
+		st.DijkstraIters++
 		u := int(it.node)
 		if it.dist > dist[u] {
 			continue // stale entry

@@ -140,8 +140,16 @@ func BuildNetwork(set *lifetime.Set, grouped [][]lifetime.Segment, style GraphSt
 		Set:      set,
 		Regions:  set.MaxDensityRegions(),
 	}
-	nw := flow.NewNetwork(2 + 2*len(segs))
+	// The construction's node and arc counts are fully determined by the
+	// segments, regions and style; computing them up front sizes the network
+	// (and the transfer list) exactly once, with no slice regrowth.
+	transfers, err := countTransferArcs(segs, b.Regions, style)
+	if err != nil {
+		return nil, err
+	}
+	nw := flow.NewNetworkSized(2+2*len(segs), len(segs)+transfers)
 	b.Net = nw
+	b.Transfers = make([]Transfer, 0, transfers)
 	b.S, b.T = 0, 1
 	b.WNode = make([]int, len(segs))
 	b.RNode = make([]int, len(segs))
@@ -234,37 +242,98 @@ func (b *Build) addTransfer(kind ArcKind, u, v int, e float64) error {
 	return nil
 }
 
+// endGap counts the regions starting at or before point e: the index of the
+// inter-region gap a segment ending at e drains into.
+func endGap(regions []lifetime.Region, e int) int {
+	g := 0
+	for _, r := range regions {
+		if r.Start <= e {
+			g++
+		}
+	}
+	return g
+}
+
+// startGap counts the regions ending strictly before point s: the gap a
+// segment starting at s is born into.
+func startGap(regions []lifetime.Region, s int) int {
+	g := 0
+	for _, r := range regions {
+		if r.End < s {
+			g++
+		}
+	}
+	return g
+}
+
+// densityConnected reports whether the paper's §5.1 construction connects
+// segment su to sv: distinct variables, time-compatible, and ending/starting
+// in the same inter-region gap.
+func densityConnected(su, sv *lifetime.Segment, regions []lifetime.Region) bool {
+	if su.Var == sv.Var {
+		return false // chain arcs handle same-variable succession
+	}
+	if su.EndPoint() >= sv.StartPoint() {
+		return false
+	}
+	return endGap(regions, su.EndPoint()) == startGap(regions, sv.StartPoint())
+}
+
+// countTransferArcs computes the exact number of non-segment arcs the
+// construction will add (chain + cross + source + sink + bypass), so network
+// storage can be sized once.
+func countTransferArcs(segs []lifetime.Segment, regions []lifetime.Region, style GraphStyle) (int, error) {
+	count := 1 // bypass
+	perVar := make(map[string]int, len(segs))
+	for i := range segs {
+		perVar[segs[i].Var]++
+	}
+	for _, n := range perVar {
+		count += n - 1 // chain arcs
+	}
+	switch style {
+	case DensityRegions:
+		m := len(regions)
+		for u := range segs {
+			for v := range segs {
+				if densityConnected(&segs[u], &segs[v], regions) {
+					count++
+				}
+			}
+		}
+		for v := range segs {
+			if startGap(regions, segs[v].StartPoint()) == 0 {
+				count++
+			}
+		}
+		for u := range segs {
+			if endGap(regions, segs[u].EndPoint()) == m {
+				count++
+			}
+		}
+	case AllCompatible:
+		for u := range segs {
+			for v := range segs {
+				su, sv := &segs[u], &segs[v]
+				if su.Var != sv.Var && su.EndPoint() < sv.StartPoint() {
+					count++
+				}
+			}
+		}
+		count += 2 * len(segs) // s→ and →t arcs reach every segment
+	default:
+		return 0, fmt.Errorf("netbuild: unknown graph style %d", style)
+	}
+	return count, nil
+}
+
 // buildDensityArcs implements the paper's §5.1 construction.
 func (b *Build) buildDensityArcs() error {
 	m := len(b.Regions)
-	endGap := func(e int) int {
-		g := 0
-		for _, r := range b.Regions {
-			if r.Start <= e {
-				g++
-			}
-		}
-		return g
-	}
-	startGap := func(s int) int {
-		g := 0
-		for _, r := range b.Regions {
-			if r.End < s {
-				g++
-			}
-		}
-		return g
-	}
 	for u := range b.Segments {
 		for v := range b.Segments {
 			su, sv := &b.Segments[u], &b.Segments[v]
-			if su.Var == sv.Var {
-				continue // chain arcs handle same-variable succession
-			}
-			if su.EndPoint() >= sv.StartPoint() {
-				continue
-			}
-			if endGap(su.EndPoint()) != startGap(sv.StartPoint()) {
+			if !densityConnected(su, sv, b.Regions) {
 				continue
 			}
 			kind := b.crossKind(su, sv)
@@ -274,14 +343,14 @@ func (b *Build) buildDensityArcs() error {
 		}
 	}
 	for v := range b.Segments {
-		if startGap(b.Segments[v].StartPoint()) == 0 {
+		if startGap(b.Regions, b.Segments[v].StartPoint()) == 0 {
 			if err := b.addTransfer(KindSource, -1, v, b.sourceCost(&b.Segments[v])); err != nil {
 				return err
 			}
 		}
 	}
 	for u := range b.Segments {
-		if endGap(b.Segments[u].EndPoint()) == m {
+		if endGap(b.Regions, b.Segments[u].EndPoint()) == m {
 			if err := b.addTransfer(KindSink, u, -1, b.sinkCost(&b.Segments[u])); err != nil {
 				return err
 			}

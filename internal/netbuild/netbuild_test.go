@@ -419,3 +419,35 @@ func randomSubsetSet(seed int64) *lifetime.Set {
 	}
 	return set
 }
+
+// TestNetworkSizedExactly certifies the precomputed node/arc counts: the
+// constructed network's arc storage is sized once and filled exactly, with
+// no regrowth, across styles, splits and random instances.
+func TestNetworkSizedExactly(t *testing.T) {
+	check := func(name string, set *lifetime.Set, mem lifetime.MemoryAccess, style GraphStyle) {
+		t.Helper()
+		grouped, err := set.Split(mem, lifetime.SplitMinimal)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := BuildNetwork(set, grouped, style, staticCO())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := b.Net.ArcCapacity(), b.Net.M(); got != want {
+			t.Errorf("%s: arc capacity %d != arc count %d (regrown or overestimated)", name, got, want)
+		}
+		if got, want := cap(b.Transfers), len(b.Transfers); got != want {
+			t.Errorf("%s: transfer capacity %d != count %d", name, got, want)
+		}
+	}
+	for _, style := range []GraphStyle{DensityRegions, AllCompatible} {
+		check("fig1/"+style.String(), fig1Set(), lifetime.FullSpeed, style)
+		// Restricted memory access forces split lifetimes, exercising the
+		// chain-arc count.
+		check("fig1c/"+style.String(), fig1Set(), lifetime.MemoryAccess{Period: 2, Offset: 1}, style)
+		for seed := int64(0); seed < 10; seed++ {
+			check("random/"+style.String(), randomSubsetSet(seed), lifetime.FullSpeed, style)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -25,7 +26,7 @@ type Config struct {
 	// Resources bounds the list scheduler per block.
 	Resources sched.Resources
 	// Options is the per-block allocation configuration (registers, memory
-	// restriction, cost model, graph style).
+	// restriction, cost model, graph style, solver engine).
 	Options core.Options
 	// Hamming drives the second-stage memory binding; nil uses the
 	// half-switch default.
@@ -33,6 +34,11 @@ type Config struct {
 	// AllowExternalInputs admits block inputs produced by no earlier block
 	// (treated as program inputs). When false such inputs are an error.
 	AllowExternalInputs bool
+	// Workers bounds the number of blocks allocated concurrently; 0 or 1
+	// runs sequentially. Blocks are independent once the dataflow handover
+	// is checked, and results are assembled in program order, so any worker
+	// count returns identical results.
+	Workers int
 }
 
 // BlockResult is one block's outcome.
@@ -59,7 +65,11 @@ type ProgramResult struct {
 	PeakRegistersUsed int
 }
 
-// Run processes every block of every task in order.
+// Run processes every block of every task. Blocks execute sequentially on
+// the target (their values hand over through memory), but their allocation
+// problems are independent, so with cfg.Workers > 1 they are solved
+// concurrently on a bounded worker pool; results are assembled in program
+// order either way, so the output is identical to the sequential path.
 func Run(p *ir.Program, cfg Config) (*ProgramResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -67,32 +77,99 @@ func Run(p *ir.Program, cfg Config) (*ProgramResult, error) {
 	if err := CheckDataflow(p, cfg.AllowExternalInputs); err != nil {
 		return nil, err
 	}
-	out := &ProgramResult{}
+
+	type job struct {
+		task  string
+		block *ir.Block
+	}
+	var jobs []job
 	for _, task := range p.Tasks {
 		for _, block := range task.Blocks {
-			br, err := runBlock(task.Name, block, cfg)
+			jobs = append(jobs, job{task.Name, block})
+		}
+	}
+
+	results := make([]BlockResult, len(jobs))
+	errs := make([]error, len(jobs))
+	if cfg.Workers <= 1 {
+		// Sequential: one allocation pipeline reused across blocks (scratch
+		// reuse), stopping at the first error.
+		alloc, err := core.NewPipeline(cfg.Options)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		for i, j := range jobs {
+			results[i], errs[i] = runBlock(alloc, j.task, j.block, cfg)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		// Bounded worker pool; each worker holds its own allocation pipeline
+		// (a core.Pipeline is not safe for concurrent use).
+		workers := cfg.Workers
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		var startErr error
+		var startOnce sync.Once
+		for w := 0; w < workers; w++ {
+			alloc, err := core.NewPipeline(cfg.Options)
 			if err != nil {
-				return nil, fmt.Errorf("pipeline: task %q block %q: %w", task.Name, block.Name, err)
+				startOnce.Do(func() { startErr = err })
+				break
 			}
-			out.Blocks = append(out.Blocks, br)
-			out.TotalEnergy += br.Result.TotalEnergy
-			out.BaselineEnergy += br.Result.BaselineEnergy
-			out.Counts.MemReads += br.Result.Counts.MemReads
-			out.Counts.MemWrites += br.Result.Counts.MemWrites
-			out.Counts.RegReads += br.Result.Counts.RegReads
-			out.Counts.RegWrites += br.Result.Counts.RegWrites
-			if br.Binding.Locations > out.PeakMemoryLocations {
-				out.PeakMemoryLocations = br.Binding.Locations
-			}
-			if br.Result.RegistersUsed > out.PeakRegistersUsed {
-				out.PeakRegistersUsed = br.Result.RegistersUsed
-			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = runBlock(alloc, jobs[i].task, jobs[i].block, cfg)
+				}
+			}()
+		}
+		if startErr != nil {
+			close(next)
+			wg.Wait()
+			return nil, fmt.Errorf("pipeline: %w", startErr)
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Deterministic error reporting: the first failing block in program
+	// order, exactly as the sequential path would surface it.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: task %q block %q: %w", jobs[i].task, jobs[i].block.Name, err)
+		}
+	}
+
+	out := &ProgramResult{}
+	for i := range results {
+		br := results[i]
+		out.Blocks = append(out.Blocks, br)
+		out.TotalEnergy += br.Result.TotalEnergy
+		out.BaselineEnergy += br.Result.BaselineEnergy
+		out.Counts.MemReads += br.Result.Counts.MemReads
+		out.Counts.MemWrites += br.Result.Counts.MemWrites
+		out.Counts.RegReads += br.Result.Counts.RegReads
+		out.Counts.RegWrites += br.Result.Counts.RegWrites
+		if br.Binding.Locations > out.PeakMemoryLocations {
+			out.PeakMemoryLocations = br.Binding.Locations
+		}
+		if br.Result.RegistersUsed > out.PeakRegistersUsed {
+			out.PeakRegistersUsed = br.Result.RegistersUsed
 		}
 	}
 	return out, nil
 }
 
-func runBlock(taskName string, block *ir.Block, cfg Config) (BlockResult, error) {
+func runBlock(alloc *core.Pipeline, taskName string, block *ir.Block, cfg Config) (BlockResult, error) {
 	s, err := sched.List(block, cfg.Resources)
 	if err != nil {
 		return BlockResult{}, err
@@ -101,16 +178,15 @@ func runBlock(taskName string, block *ir.Block, cfg Config) (BlockResult, error)
 	if err != nil {
 		return BlockResult{}, err
 	}
-	res, err := core.Allocate(set, cfg.Options)
+	res, err := alloc.Allocate(set)
 	if err != nil {
 		return BlockResult{}, err
 	}
-	memVars := memoryVariables(res)
 	h := cfg.Hamming
 	if h == nil {
 		h = energy.ConstHamming(0.5)
 	}
-	bind, err := memmap.Allocate(set, memVars, h)
+	bind, err := memmap.Allocate(set, res.MemoryVariables(), h)
 	if err != nil {
 		return BlockResult{}, err
 	}
@@ -146,20 +222,6 @@ func CheckDataflow(p *ir.Program, allowExternal bool) error {
 		}
 	}
 	return nil
-}
-
-// memoryVariables lists variables with a memory-resident segment.
-func memoryVariables(r *core.Result) []string {
-	seen := make(map[string]bool)
-	var vars []string
-	for i := range r.Build.Segments {
-		v := r.Build.Segments[i].Var
-		if !r.InRegister[i] && !seen[v] {
-			seen[v] = true
-			vars = append(vars, v)
-		}
-	}
-	return vars
 }
 
 // Summary renders the program result as an aligned text table, one row per

@@ -6,6 +6,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/flow"
 	"repro/internal/ir"
 	"repro/internal/lifetime"
 	"repro/internal/memmap"
@@ -17,11 +18,20 @@ import (
 // Core result and option types.
 type (
 	// Options configures an allocation run (register count, memory access
-	// restriction, split policy, graph style, cost model).
+	// restriction, split policy, graph style, cost model, solver engine).
 	Options = core.Options
 	// Result is a decoded allocation: register chains, memory partition,
 	// energies, access counts and port requirements.
 	Result = core.Result
+	// Allocator is a reusable staged allocation pipeline
+	// (Split → Pin → Build → Solve → Decode) with its solver engine resolved
+	// and scratch space retained across runs. Not safe for concurrent use;
+	// give each goroutine its own.
+	Allocator = core.Pipeline
+	// RunStats reports per-stage wall time and solver work for one run.
+	RunStats = core.RunStats
+	// SolveStats holds the min-cost-flow engine's work counters.
+	SolveStats = flow.SolveStats
 	// AccessCounts tallies memory and register-file accesses.
 	AccessCounts = core.AccessCounts
 	// PortReport gives per-component port requirements (§7).
@@ -140,6 +150,15 @@ func Lifetimes(s *Schedule) (*LifetimeSet, error) { return lifetime.FromSchedule
 // allocation on a lifetime set.
 func Allocate(set *LifetimeSet, opts Options) (*Result, error) { return core.Allocate(set, opts) }
 
+// NewAllocator validates opts, resolves its solver engine by name and
+// returns a reusable allocation pipeline. Allocating many blocks through
+// one Allocator reuses the solver's scratch space.
+func NewAllocator(opts Options) (*Allocator, error) { return core.NewPipeline(opts) }
+
+// SolverNames lists the selectable min-cost-flow engine names (for
+// Options.Engine and the leaflow/leabench -solver flags).
+func SolverNames() []string { return flow.EngineNames() }
+
 // AllocateBlock is the full pipeline: schedule the block, derive lifetimes
 // and allocate.
 func AllocateBlock(b *Block, res Resources, opts Options) (*Result, error) {
@@ -179,16 +198,6 @@ func BindMemory(set *LifetimeSet, memVars []string, h Hamming) (*MemoryBinding, 
 }
 
 // MemoryVariables lists the variables of a result with at least one
-// memory-resident segment, ready for BindMemory.
-func MemoryVariables(r *Result) []string {
-	seen := make(map[string]bool)
-	var vars []string
-	for i := range r.Build.Segments {
-		v := r.Build.Segments[i].Var
-		if !r.InRegister[i] && !seen[v] {
-			seen[v] = true
-			vars = append(vars, v)
-		}
-	}
-	return vars
-}
+// memory-resident segment, ready for BindMemory. Output order is
+// deterministic: first appearance in the flat segment order.
+func MemoryVariables(r *Result) []string { return r.MemoryVariables() }

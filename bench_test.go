@@ -16,6 +16,7 @@ import (
 	"repro/internal/lifetime"
 	"repro/internal/netbuild"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -226,6 +227,82 @@ func BenchmarkSolvers(b *testing.B) {
 			}()
 			return build.Net.SolveCostScaling()
 		})
+	})
+}
+
+// BenchmarkSweepWarmStart measures the design-space sweep on the Figure 1
+// workload grid with and without the warm-started template path (S35). The
+// cold variant rebuilds the network for every cell; the warm variant builds
+// each divisor column's topology once and re-solves with swapped cost
+// vectors through flow.Network.SolveWithCosts.
+func BenchmarkSweepWarmStart(b *testing.B) {
+	set := workload.Figure1()
+	opt := sweep.Options{
+		Registers: []int{0, 1, 2, 3, 4, 5, 6},
+		Divisors:  []int{1, 2, 4, 8},
+		H:         energy.ConstHamming(0.5),
+	}
+	for _, tc := range []struct {
+		name string
+		cold bool
+	}{{"cold", true}, {"warm", false}} {
+		opt := opt
+		opt.ColdStart = tc.cold
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(set, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveWithCosts isolates the solver-level warm start: the same
+// network re-solved with a fresh Scratch every time (cold) vs through
+// SolveWithCosts with reused topology and potentials (warm).
+func BenchmarkSolveWithCosts(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	set := workload.Random(rng, workload.RandomParams{
+		Vars: 80, Steps: 40, MaxReads: 2, ExternalFrac: 0.1, InputFrac: 0.1,
+	})
+	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build, err := netbuild.BuildNetwork(set, grouped, netbuild.DensityRegions,
+		netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := int64(set.MaxDensity() / 2)
+	costs := make([]int64, build.Net.M())
+	for i := range costs {
+		_, _, _, _, c := build.Net.Arc(flow.ArcID(i))
+		costs[i] = c
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := flow.NewScratch()
+			if _, _, err := build.Net.MinCostFlowValueWithCosts(flow.SSP, costs, sc, build.S, build.T, value); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		sc := flow.NewScratch()
+		if _, _, err := build.Net.MinCostFlowValueWithCosts(flow.SSP, costs, sc, build.S, build.T, value); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := build.Net.MinCostFlowValueWithCosts(flow.SSP, costs, sc, build.S, build.T, value); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

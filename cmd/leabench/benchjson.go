@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// benchResult is one benchmark's snapshot, the machine-readable form of a
+// `go test -bench` line.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchSnapshot is the BENCH_sweep.json document: the sweep and solver
+// benchmarks that track the warm-start hot path, plus derived speedups.
+type benchSnapshot struct {
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+// runBenchJSON measures the sweep and solver benchmarks via
+// testing.Benchmark and writes the snapshot as JSON to path.
+func runBenchJSON(w io.Writer, path string) error {
+	set := workload.Figure1()
+	grid := sweep.Options{
+		Registers: []int{0, 1, 2, 3, 4, 5, 6},
+		Divisors:  []int{1, 2, 4, 8},
+		H:         energy.ConstHamming(0.5),
+	}
+	sweepBench := func(cold bool) func(b *testing.B) {
+		opt := grid
+		opt.ColdStart = cold
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(set, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	if err != nil {
+		return err
+	}
+	build, err := netbuild.BuildNetwork(set, grouped, netbuild.DensityRegions,
+		netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()})
+	if err != nil {
+		return err
+	}
+	value := int64(2)
+	costs := make([]int64, build.Net.M())
+	for i := range costs {
+		_, _, _, _, c := build.Net.Arc(flow.ArcID(i))
+		costs[i] = c
+	}
+	solverBench := func(engine flow.Engine, warm bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			sc := flow.NewScratch()
+			if warm {
+				if _, _, err := build.Net.MinCostFlowValueWithCosts(engine, costs, sc, build.S, build.T, value); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !warm {
+					sc = flow.NewScratch()
+				}
+				if _, _, err := build.Net.MinCostFlowValueWithCosts(engine, costs, sc, build.S, build.T, value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"sweep_cold", sweepBench(true)},
+		{"sweep_warm", sweepBench(false)},
+		{"solver_ssp_cold", solverBench(flow.SSP, false)},
+		{"solver_ssp_warm", solverBench(flow.SSP, true)},
+		{"solver_cyclecancel", solverBench(flow.CycleCancelling, false)},
+	}
+	snap := benchSnapshot{Speedups: map[string]float64{}}
+	byName := map[string]benchResult{}
+	for _, bb := range benches {
+		r := testing.Benchmark(bb.fn)
+		res := benchResult{
+			Name:        bb.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		snap.Benchmarks = append(snap.Benchmarks, res)
+		byName[bb.name] = res
+		fmt.Fprintf(w, "%-20s %10d iters %14.0f ns/op %8d allocs/op\n",
+			res.Name, res.N, res.NsPerOp, res.AllocsPerOp)
+	}
+	for _, pair := range [][2]string{
+		{"sweep_cold", "sweep_warm"},
+		{"solver_ssp_cold", "solver_ssp_warm"},
+	} {
+		cold, warm := byName[pair[0]], byName[pair[1]]
+		if warm.NsPerOp > 0 {
+			snap.Speedups[pair[1]+"_vs_"+pair[0]] = cold.NsPerOp / warm.NsPerOp
+		}
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

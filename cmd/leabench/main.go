@@ -8,6 +8,7 @@
 //	leabench -all
 //	leabench -exp fig3
 //	leabench -exp table1 -md
+//	leabench -json BENCH_sweep.json
 package main
 
 import (
@@ -97,6 +98,7 @@ func main() {
 		solver    = flag.String("solver", "", fmt.Sprintf("min-cost-flow engine for every allocation (%s)", strings.Join(flow.EngineNames(), ", ")))
 		stats     = flag.Bool("stats", false, "print an aggregate of every allocation's stage timings and solver work")
 		parallel  = flag.Int("parallel", 1, "run up to this many experiments concurrently (output order is unchanged)")
+		benchJSON = flag.String("json", "", "measure the sweep/solver benchmarks and write a perf snapshot to this path (e.g. BENCH_sweep.json)")
 	)
 	flag.Parse()
 	exps := experiments(*registers)
@@ -105,6 +107,15 @@ func main() {
 			fmt.Printf("%-14s %s\n", e.name, e.desc)
 		}
 		return
+	}
+	if *benchJSON != "" {
+		if err := runBenchJSON(os.Stdout, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "leabench:", err)
+			os.Exit(1)
+		}
+		if !*all && *exp == "" {
+			return
+		}
 	}
 	if !*all && *exp == "" {
 		fmt.Fprintln(os.Stderr, "leabench: pass -all, -exp <name> or -list")

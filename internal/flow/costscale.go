@@ -31,6 +31,7 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 		costSum += c
 	}
 	back := r.addPair(t, s, required, -costSum)
+	r.ensureCSR()
 
 	n := int64(r.n)
 	// Work with costs scaled by n so ε < 1 certifies optimality.
@@ -63,7 +64,8 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 		st.Phases++
 		// Saturate every negative-reduced-cost arc.
 		for u := 0; u < r.n; u++ {
-			for a := r.head[u]; a >= 0; a = r.next[a] {
+			for k := r.start[u]; k < r.start[u+1]; k++ {
+				a := r.adj[k]
 				if r.capR[a] > 0 && rc(a, u) < 0 {
 					push(a, u, r.capR[a])
 				}
@@ -84,7 +86,8 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 			inQueue[u] = false
 			for excess[u] > 0 {
 				pushed := false
-				for a := r.head[u]; a >= 0; a = r.next[a] {
+				for k := r.start[u]; k < r.start[u+1]; k++ {
+					a := r.adj[k]
 					if r.capR[a] <= 0 || rc(a, u) >= 0 {
 						continue
 					}
@@ -108,7 +111,8 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 					// admissible.
 					st.Relabels++
 					newPrice := int64(-1) << 62
-					for a := r.head[u]; a >= 0; a = r.next[a] {
+					for k := r.start[u]; k < r.start[u+1]; k++ {
+						a := r.adj[k]
 						if r.capR[a] <= 0 {
 							continue
 						}

@@ -46,17 +46,16 @@ func findNegativeCycle(r *residual, sc *Scratch) []int32 {
 	var witness int32 = -1
 	for round := 0; round <= r.n; round++ {
 		witness = -1
-		for u := 0; u < r.n; u++ {
-			for a := r.head[u]; a >= 0; a = r.next[a] {
-				if r.capR[a] <= 0 {
-					continue
-				}
-				v := r.to[a]
-				if d := dist[u] + r.cost[a]; d < dist[v] {
-					dist[v] = d
-					prevArc[v] = a
-					witness = v
-				}
+		for a := 0; a < len(r.to); a++ {
+			if r.capR[a] <= 0 {
+				continue
+			}
+			u := r.tail[a]
+			v := r.to[a]
+			if d := dist[u] + r.cost[a]; d < dist[v] {
+				dist[v] = d
+				prevArc[v] = int32(a)
+				witness = v
 			}
 		}
 		if witness < 0 {

@@ -20,8 +20,9 @@ func (nw *Network) MaxFlow(s, t int) (int64, []int64, error) {
 }
 
 // dinic pushes up to `limit` units from s to t in the residual, returning the
-// amount pushed.
+// amount pushed. iter holds each node's cursor into the CSR adjacency slice.
 func dinic(r *residual, s, t int, limit int64) int64 {
+	r.ensureCSR()
 	level := make([]int32, r.n)
 	iter := make([]int32, r.n)
 	queue := make([]int32, 0, r.n)
@@ -35,7 +36,8 @@ func dinic(r *residual, s, t int, limit int64) int64 {
 		queue = append(queue[:0], int32(s))
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
-			for a := r.head[u]; a >= 0; a = r.next[a] {
+			for k := r.start[u]; k < r.start[u+1]; k++ {
+				a := r.adj[k]
 				v := r.to[a]
 				if r.capR[a] > 0 && level[v] < 0 {
 					level[v] = level[u] + 1
@@ -46,7 +48,7 @@ func dinic(r *residual, s, t int, limit int64) int64 {
 		if level[t] < 0 {
 			break
 		}
-		copy(iter, r.head)
+		copy(iter, r.start[:r.n])
 		for {
 			pushed := dinicDFS(r, level, iter, s, t, limit-total)
 			if pushed == 0 {
@@ -62,8 +64,8 @@ func dinicDFS(r *residual, level, iter []int32, u, t int, f int64) int64 {
 	if u == t || f == 0 {
 		return f
 	}
-	for ; iter[u] >= 0; iter[u] = r.next[iter[u]] {
-		a := iter[u]
+	for ; iter[u] < r.start[u+1]; iter[u]++ {
+		a := r.adj[iter[u]]
 		v := int(r.to[a])
 		if r.capR[a] <= 0 || level[v] != level[u]+1 {
 			continue

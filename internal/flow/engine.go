@@ -82,6 +82,15 @@ type SolveStats struct {
 	// Relabels and Pushes count push-relabel work (cost scaling).
 	Relabels int
 	Pushes   int
+	// WarmStart reports that the solve reused a previously prepared residual
+	// topology (SolveWithCosts hit); PotentialsReused additionally reports
+	// that the carried-over node potentials passed the reduced-cost validity
+	// check, skipping potential initialisation entirely. Incremental reports
+	// the strongest reuse: the previous optimal flow stayed in the residual
+	// and only the value delta was augmented.
+	WarmStart        bool
+	PotentialsReused bool
+	Incremental      bool
 	// Duration is the wall time of the solve, residual construction included.
 	Duration time.Duration
 }
@@ -98,6 +107,12 @@ func (st SolveStats) String() string {
 	}
 	if st.Relabels > 0 || st.Pushes > 0 {
 		fmt.Fprintf(&b, " pushes=%d relabels=%d", st.Pushes, st.Relabels)
+	}
+	if st.WarmStart {
+		fmt.Fprintf(&b, " warm=true potentials-reused=%t", st.PotentialsReused)
+	}
+	if st.Incremental {
+		b.WriteString(" incremental=true")
 	}
 	fmt.Fprintf(&b, " time=%s", st.Duration)
 	return b.String()
@@ -116,32 +131,58 @@ type Scratch struct {
 	dist    []int64
 	prevArc []int32
 	heap    payHeap
+	// Topological-order potential initialisation buffers (dagRelax).
+	indeg []int32
+	order []int32
+	// Warm-start state: a prepared residual topology (SolveWithCosts) and
+	// the flag telling ssp the current potentials were validated for reuse.
+	prep   prepared
+	warmPi bool
+	// Incremental re-solve state: solved marks the residual as holding an
+	// optimal SSP flow of shipped units under the lastCosts vector, the
+	// starting point for augmenting only a value delta.
+	solved    bool
+	shipped   int64
+	lastCosts []int64
+}
+
+// prepared snapshots the residual topology built for one network's supply
+// configuration, so SolveWithCosts can re-solve with new costs without
+// rebuilding. Invalidated by any cold solve on the same scratch.
+type prepared struct {
+	valid    bool
+	net      *Network // identity of the prepared network
+	n, m     int      // node/arc counts at prepare time (guards mutation)
+	arcs     int      // residual arc count (len r.to)
+	s, t     int
+	required int64
+	initCap  []int64 // zero-flow residual capacities
+	supply   []int64 // supply snapshot at prepare time
+	excess   []int64 // per-node imbalance after the lower-bound reduction
+	superArc []int32 // forward super arc per node (-1 when excess was zero)
 }
 
 // NewScratch returns an empty scratch space.
 func NewScratch() *Scratch { return &Scratch{} }
 
 // resetResidual prepares the scratch's residual for a network of n nodes and
-// about arcHint forward arcs, reusing previous capacity.
+// about arcHint forward arcs, reusing previous capacity. Any prepared
+// warm-start topology is invalidated: the residual storage is about to be
+// overwritten.
 func (sc *Scratch) resetResidual(n, arcHint int) *residual {
+	sc.prep.valid = false
+	sc.solved = false
 	r := &sc.r
 	r.n = n
-	if cap(r.head) < n {
-		r.head = make([]int32, n, n+2)
-	} else {
-		r.head = r.head[:n]
-	}
-	for i := range r.head {
-		r.head[i] = -1
-	}
+	r.dirty = true
 	want := 2 * arcHint
-	if cap(r.next) < want {
-		r.next = make([]int32, 0, want)
+	if cap(r.to) < want {
+		r.tail = make([]int32, 0, want)
 		r.to = make([]int32, 0, want)
 		r.capR = make([]int64, 0, want)
 		r.cost = make([]int64, 0, want)
 	} else {
-		r.next = r.next[:0]
+		r.tail = r.tail[:0]
 		r.to = r.to[:0]
 		r.capR = r.capR[:0]
 		r.cost = r.cost[:0]

@@ -148,34 +148,40 @@ func (s *Solution) Flow(id ArcID) int64 { return s.FlowByArc[id] }
 // residual is the paired-arc residual representation shared by the solvers.
 // Arc 2i is the forward copy of user arc i (after lower-bound reduction when
 // applicable) and arc 2i+1 its reverse. Extra arcs (super source/sink) follow.
+//
+// Adjacency is stored in CSR (compressed sparse row) form: adj holds the arc
+// indices grouped by tail node, and start[v]..start[v+1] delimits node v's
+// slice of it, so the Dijkstra/relaxation inner loops walk contiguous memory
+// instead of chasing a linked list. ensureCSR (re)builds the index after any
+// structural change; capacity and cost mutations never invalidate it.
 type residual struct {
 	n    int
-	head []int32 // head[v] = first arc index leaving v, -1 when none
-	next []int32
+	tail []int32 // tail[a] = tail node of arc a
 	to   []int32
 	capR []int64 // remaining capacity
 	cost []int64
+	// CSR adjacency index, valid while dirty is false.
+	start []int32 // len n+1; start[v] = first position of node v in adj
+	adj   []int32 // arc indices sorted by tail, stable in insertion order
+	pos   []int32 // scatter cursors, scratch for ensureCSR
+	dirty bool
 }
 
 func newResidual(n, arcHint int) *residual {
-	r := &residual{
-		n:    n,
-		head: make([]int32, n),
-		next: make([]int32, 0, 2*arcHint),
-		to:   make([]int32, 0, 2*arcHint),
-		capR: make([]int64, 0, 2*arcHint),
-		cost: make([]int64, 0, 2*arcHint),
+	return &residual{
+		n:     n,
+		tail:  make([]int32, 0, 2*arcHint),
+		to:    make([]int32, 0, 2*arcHint),
+		capR:  make([]int64, 0, 2*arcHint),
+		cost:  make([]int64, 0, 2*arcHint),
+		dirty: true,
 	}
-	for i := range r.head {
-		r.head[i] = -1
-	}
-	return r
 }
 
 // addNode extends the residual with a fresh node.
 func (r *residual) addNode() int {
-	r.head = append(r.head, -1)
 	r.n++
+	r.dirty = true
 	return r.n - 1
 }
 
@@ -183,13 +189,65 @@ func (r *residual) addNode() int {
 // reverse, returning the forward arc's index.
 func (r *residual) addPair(u, v int, c, w int64) int {
 	idx := len(r.to)
+	r.tail = append(r.tail, int32(u), int32(v))
 	r.to = append(r.to, int32(v), int32(u))
 	r.capR = append(r.capR, c, 0)
 	r.cost = append(r.cost, w, -w)
-	r.next = append(r.next, r.head[u], r.head[v])
-	r.head[u] = int32(idx)
-	r.head[v] = int32(idx + 1)
+	r.dirty = true
 	return idx
+}
+
+// truncate drops arcs appended after the first m, marking the CSR index
+// stale when anything was removed (the warm-start reset uses this to shed a
+// cost-scaling return arc left over from a previous solve).
+func (r *residual) truncate(m int) {
+	if len(r.to) == m {
+		return
+	}
+	r.tail = r.tail[:m]
+	r.to = r.to[:m]
+	r.capR = r.capR[:m]
+	r.cost = r.cost[:m]
+	r.dirty = true
+}
+
+// ensureCSR rebuilds the CSR adjacency index if arcs or nodes changed since
+// the last build. Counting sort by tail, stable in arc-index order: O(V+E).
+func (r *residual) ensureCSR() {
+	if !r.dirty && len(r.start) == r.n+1 {
+		return
+	}
+	m := len(r.to)
+	if cap(r.start) < r.n+1 {
+		r.start = make([]int32, r.n+1)
+	} else {
+		r.start = r.start[:r.n+1]
+		for i := range r.start {
+			r.start[i] = 0
+		}
+	}
+	for _, u := range r.tail {
+		r.start[u+1]++
+	}
+	for v := 0; v < r.n; v++ {
+		r.start[v+1] += r.start[v]
+	}
+	if cap(r.adj) < m {
+		r.adj = make([]int32, m)
+	} else {
+		r.adj = r.adj[:m]
+	}
+	if cap(r.pos) < r.n {
+		r.pos = make([]int32, r.n)
+	} else {
+		r.pos = r.pos[:r.n]
+	}
+	copy(r.pos, r.start[:r.n])
+	for a, u := range r.tail {
+		r.adj[r.pos[u]] = int32(a)
+		r.pos[u]++
+	}
+	r.dirty = false
 }
 
 // flowOn reports the flow pushed through forward arc idx (== capacity of its

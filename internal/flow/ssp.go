@@ -34,17 +34,17 @@ func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, 
 	}
 
 	// Lower-bound reduction: ship each arc's lower bound unconditionally,
-	// adjusting node imbalances and accumulating the constant cost.
+	// adjusting node imbalances. The lower bounds' constant cost needs no
+	// separate accumulator: the decode below prices each arc's full flow
+	// (lower bound included), which folds it in exactly.
 	sc.b = grow64(sc.b, nw.n)
 	b := sc.b
 	copy(b, nw.supply)
-	var constCost int64
 	r := sc.resetResidual(nw.n, len(nw.arcs)+nw.n)
 	for _, a := range nw.arcs {
 		if a.lower > 0 {
 			b[a.from] -= a.lower
 			b[a.to] += a.lower
-			constCost += a.lower * a.cost
 		}
 		r.addPair(a.from, a.to, a.cap-a.lower, a.cost)
 	}
@@ -71,10 +71,6 @@ func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, 
 		return nil, ErrInfeasible
 	}
 
-	// Total cost is recomputed from the final per-arc flows; constCost from
-	// the lower-bound reduction is folded in implicitly because each flow
-	// value below already includes its lower bound.
-	_ = constCost
 	sol := &Solution{FlowByArc: make([]int64, len(nw.arcs))}
 	for i, a := range nw.arcs {
 		f := a.lower + r.flowOn(2*i)
@@ -89,7 +85,16 @@ func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, 
 // shipped or t becomes unreachable. Returns the amount shipped.
 func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 	r := &sc.r
-	pi := bellmanFord(r, s, sc)
+	r.ensureCSR()
+	var pi []int64
+	if sc.warmPi {
+		// SolveWithCosts verified the carried-over potentials keep reduced
+		// costs non-negative on the current residual; skip initialisation.
+		pi = sc.pi[:r.n]
+		st.PotentialsReused = true
+	} else {
+		pi = initPotentials(r, s, sc)
+	}
 	sc.dist = grow64(sc.dist, r.n)
 	sc.prevArc = grow32(sc.prevArc, r.n)
 	dist, prevArc := sc.dist, sc.prevArc
@@ -133,31 +138,131 @@ func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 	return shipped, nil
 }
 
-// bellmanFord computes shortest distances from s over arcs with residual
-// capacity, tolerating negative costs, into the scratch's potential buffer.
-// The initial residual of a DAG has no cycles, so this always converges; a
-// negative cycle would indicate caller error and panics.
-func bellmanFord(r *residual, s int, sc *Scratch) []int64 {
+// initPotentials computes initial node potentials (shortest distances from s
+// over arcs with residual capacity, tolerating negative costs) into the
+// scratch's potential buffer. The initial residual of a DAG-shaped network is
+// acyclic, so a single relaxation pass in topological order suffices —
+// O(V+E). Bellman-Ford remains as the fallback for non-DAG inputs.
+func initPotentials(r *residual, s int, sc *Scratch) []int64 {
 	sc.pi = grow64(sc.pi, r.n)
 	dist := sc.pi
 	for v := range dist {
 		dist[v] = infCost
 	}
 	dist[s] = 0
+	if dagRelax(r, sc, dist) {
+		return dist
+	}
+	// Cycle among capacitated arcs: re-run the general algorithm (it resets
+	// dist itself).
+	return bellmanFord(r, s, dist)
+}
+
+// dagRelax attempts one topological-order relaxation pass over the arcs with
+// residual capacity (Kahn's algorithm). It reports success, having filled
+// dist, only when that subgraph is acyclic; on failure dist is garbage and
+// the caller must fall back to Bellman-Ford.
+func dagRelax(r *residual, sc *Scratch, dist []int64) bool {
+	n := r.n
+	sc.indeg = grow32(sc.indeg, n)
+	indeg := sc.indeg
+	for i := range indeg {
+		indeg[i] = 0
+	}
+	for a := 0; a < len(r.to); a++ {
+		if r.capR[a] > 0 {
+			indeg[r.to[a]]++
+		}
+	}
+	if cap(sc.order) < n {
+		sc.order = make([]int32, 0, n)
+	}
+	q := sc.order[:0]
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			q = append(q, int32(v))
+		}
+	}
+	processed := 0
+	for qi := 0; qi < len(q); qi++ {
+		u := int(q[qi])
+		processed++
+		du := dist[u]
+		for k := r.start[u]; k < r.start[u+1]; k++ {
+			a := r.adj[k]
+			if r.capR[a] <= 0 {
+				continue
+			}
+			v := r.to[a]
+			if du < infCost {
+				if d := du + r.cost[a]; d < dist[v] {
+					dist[v] = d
+				}
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				q = append(q, v)
+			}
+		}
+	}
+	sc.order = q[:0]
+	return processed == n
+}
+
+// repairPotentials restores the non-negative reduced-cost invariant on a
+// residual that still holds a flow, starting from the previous solve's
+// potentials: label-correcting relaxation until fixpoint. Only potentials
+// near the widened super arcs actually move, so this typically converges in
+// one or two O(E) passes — far cheaper than re-initialising. A fixpoint also
+// certifies the held flow is optimal for its value (no negative residual
+// cycle), the precondition for incrementally augmenting on top of it;
+// conversely a negative cycle never reaches a fixpoint, so the pass cap
+// doubles as the soundness guard and the caller must fall back to a full
+// re-solve when it trips.
+func repairPotentials(r *residual, pi []int64) bool {
+	for pass := 0; pass <= r.n; pass++ {
+		changed := false
+		for a := 0; a < len(r.to); a++ {
+			if r.capR[a] <= 0 {
+				continue
+			}
+			u := r.tail[a]
+			if pi[u] >= infCost {
+				continue
+			}
+			if d := pi[u] + r.cost[a]; d < pi[r.to[a]] {
+				pi[r.to[a]] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// bellmanFord computes shortest distances from s over arcs with residual
+// capacity, tolerating negative costs, into dist. A negative cycle indicates
+// caller error and panics.
+func bellmanFord(r *residual, s int, dist []int64) []int64 {
+	for v := range dist {
+		dist[v] = infCost
+	}
+	dist[s] = 0
 	for round := 0; ; round++ {
 		changed := false
-		for u := 0; u < r.n; u++ {
+		for a := 0; a < len(r.to); a++ {
+			if r.capR[a] <= 0 {
+				continue
+			}
+			u := r.tail[a]
 			if dist[u] >= infCost {
 				continue
 			}
-			for a := r.head[u]; a >= 0; a = r.next[a] {
-				if r.capR[a] <= 0 {
-					continue
-				}
-				if d := dist[u] + r.cost[a]; d < dist[r.to[a]] {
-					dist[r.to[a]] = d
-					changed = true
-				}
+			if d := dist[u] + r.cost[a]; d < dist[r.to[a]] {
+				dist[r.to[a]] = d
+				changed = true
 			}
 		}
 		if !changed {
@@ -187,7 +292,8 @@ func dijkstra(r *residual, s int, pi, dist []int64, prevArc []int32, sc *Scratch
 		if it.dist > dist[u] {
 			continue // stale entry
 		}
-		for a := r.head[u]; a >= 0; a = r.next[a] {
+		for k := r.start[u]; k < r.start[u+1]; k++ {
+			a := r.adj[k]
 			if r.capR[a] <= 0 {
 				continue
 			}

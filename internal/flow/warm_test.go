@@ -1,0 +1,353 @@
+package flow
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// arcCosts extracts the network's built-in costs as a vector, the identity
+// input for SolveWithCosts.
+func arcCosts(nw *Network) []int64 {
+	costs := make([]int64, nw.M())
+	for i := range costs {
+		_, _, _, _, c := nw.Arc(ArcID(i))
+		costs[i] = c
+	}
+	return costs
+}
+
+// TestSolveWithCostsMatchesCold: with the identity cost vector the warm path
+// must agree with the cold path — same objective, feasible flows — and the
+// second solve on the same scratch must actually take the warm path.
+func TestSolveWithCostsMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sc := NewScratch()
+	warmHits := 0
+	for i := 0; i < 100; i++ {
+		nw, s, tt, value := randomInstance(rng)
+		nw.AddSupply(s, value)
+		nw.AddSupply(tt, -value)
+		costs := arcCosts(nw)
+		cold, _, errC := nw.SolveWith(SSP, nil)
+		for round := 0; round < 2; round++ {
+			warm, st, errW := nw.SolveWithCosts(SSP, costs, sc)
+			if (errC == nil) != (errW == nil) {
+				t.Fatalf("instance %d round %d: cold err %v, warm err %v", i, round, errC, errW)
+			}
+			if errC != nil {
+				if !errors.Is(errW, ErrInfeasible) {
+					t.Fatalf("instance %d: unexpected warm error %v", i, errW)
+				}
+				continue
+			}
+			if warm.Cost != cold.Cost {
+				t.Fatalf("instance %d round %d: warm cost %d != cold %d", i, round, warm.Cost, cold.Cost)
+			}
+			if err := nw.CheckFeasible(warm); err != nil {
+				t.Fatalf("instance %d round %d: %v", i, round, err)
+			}
+			if round == 1 {
+				if !st.WarmStart {
+					t.Fatalf("instance %d: second solve did not warm-start", i)
+				}
+				if st.PotentialsReused {
+					warmHits++
+				}
+			}
+		}
+	}
+	if warmHits == 0 {
+		t.Error("potential carry-over never validated across the corpus")
+	}
+}
+
+// TestWarmStartPropertyAllEngines is the cross-solver property: ~50 random
+// b-flow networks solved with SSP cold, SSP warm-started after a
+// perturb-then-restore cost round trip, and cycle cancelling must all agree
+// on the optimal cost. The perturbed intermediate solve leaves the scratch
+// with potentials for the wrong costs, exercising the validity check and the
+// re-initialisation fallback.
+func TestWarmStartPropertyAllEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	sc := NewScratch()
+	for i := 0; i < 50; i++ {
+		nw, s, tt, value := randomInstance(rng)
+		nw.AddSupply(s, value)
+		nw.AddSupply(tt, -value)
+		costs := arcCosts(nw)
+
+		cold, _, errCold := nw.SolveWith(SSP, nil)
+		cc, _, errCC := nw.SolveWith(CycleCancelling, nil)
+
+		// Perturb every cost, solve, then restore and re-solve warm.
+		perturbed := make([]int64, len(costs))
+		for a := range perturbed {
+			perturbed[a] = costs[a] + int64(rng.Intn(9)-4)
+		}
+		if _, _, err := nw.SolveWithCosts(SSP, perturbed, sc); err != nil && !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("instance %d: perturbed solve: %v", i, err)
+		}
+		warm, wst, errWarm := nw.SolveWithCosts(SSP, costs, sc)
+
+		if errCold != nil || errCC != nil || errWarm != nil {
+			if !errors.Is(errCold, ErrInfeasible) || !errors.Is(errCC, ErrInfeasible) || !errors.Is(errWarm, ErrInfeasible) {
+				t.Fatalf("instance %d: feasibility verdicts differ: cold %v, cc %v, warm %v",
+					i, errCold, errCC, errWarm)
+			}
+			continue
+		}
+		if !wst.WarmStart {
+			t.Fatalf("instance %d: restore solve did not reuse the prepared topology", i)
+		}
+		if warm.Cost != cold.Cost || warm.Cost != cc.Cost {
+			t.Fatalf("instance %d: costs disagree: warm %d, cold %d, cyclecancel %d",
+				i, warm.Cost, cold.Cost, cc.Cost)
+		}
+		if err := nw.CheckFeasible(warm); err != nil {
+			t.Fatalf("instance %d: warm solution infeasible: %v", i, err)
+		}
+	}
+}
+
+// TestSolveWithCostsEngines drives the warm path through every engine —
+// the residual cost swap is engine-agnostic — including cost scaling, whose
+// appended return arc the warm reset must shed between solves.
+func TestSolveWithCostsEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			sc := NewScratch()
+			for i := 0; i < 40; i++ {
+				nw, s, tt, value := randomInstance(rng)
+				nw.AddSupply(s, value)
+				nw.AddSupply(tt, -value)
+				costs := arcCosts(nw)
+				ref, _, errRef := nw.SolveWith(SSP, nil)
+				for round := 0; round < 2; round++ {
+					sol, _, err := nw.SolveWithCosts(e, costs, sc)
+					if (errRef == nil) != (err == nil) {
+						t.Fatalf("instance %d: ref err %v, %s err %v", i, errRef, e.Name(), err)
+					}
+					if errRef != nil {
+						break
+					}
+					if sol.Cost != ref.Cost {
+						t.Fatalf("instance %d round %d: cost %d != ref %d", i, round, sol.Cost, ref.Cost)
+					}
+					if err := nw.CheckFeasible(sol); err != nil {
+						t.Fatalf("instance %d: %v", i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSolveWithCostsValueChange: changing the shipped value re-prepares the
+// topology (supplies differ) and still solves correctly at each value.
+func TestSolveWithCostsValueChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	nw, s, tt, _ := randomInstance(rng)
+	costs := arcCosts(nw)
+	sc := NewScratch()
+	for round, value := range []int64{1, 3, 3, 5, 2} {
+		warm, st, errW := nw.MinCostFlowValueWithCosts(SSP, costs, sc, s, tt, value)
+		cold, errC := nw.MinCostFlowValue(s, tt, value)
+		if (errC == nil) != (errW == nil) {
+			t.Fatalf("value %d: cold err %v, warm err %v", value, errC, errW)
+		}
+		if round > 0 && !st.WarmStart {
+			t.Fatalf("value %d: value change fell back to a cold prepare", value)
+		}
+		if errC != nil {
+			continue
+		}
+		if warm.Cost != cold.Cost {
+			t.Fatalf("value %d: warm cost %d != cold %d (warm-start=%t)", value, warm.Cost, cold.Cost, st.WarmStart)
+		}
+	}
+}
+
+// TestIncrementalValueSweep is the property test for the incremental
+// re-solve: random instances swept over ascending flow values must match a
+// cold solve at every step (the SSP sensitivity argument — an optimal flow
+// plus shortest-path augmentations of the delta stays optimal), and the
+// incremental path must actually engage somewhere in the corpus. A
+// descending sweep afterwards exercises the shrink fallback.
+func TestIncrementalValueSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sc := NewScratch()
+	incrementalHits := 0
+	for i := 0; i < 60; i++ {
+		nw, s, tt, maxV := randomInstance(rng)
+		costs := arcCosts(nw)
+		for value := int64(0); value <= maxV; value++ {
+			warm, st, errW := nw.MinCostFlowValueWithCosts(SSP, costs, sc, s, tt, value)
+			cold, errC := nw.MinCostFlowValue(s, tt, value)
+			if (errC == nil) != (errW == nil) {
+				t.Fatalf("instance %d value %d: cold err %v, warm err %v", i, value, errC, errW)
+			}
+			if st.Incremental {
+				incrementalHits++
+			}
+			if errC != nil {
+				continue
+			}
+			if warm.Cost != cold.Cost {
+				t.Fatalf("instance %d value %d: warm cost %d != cold %d (incremental=%t)",
+					i, value, warm.Cost, cold.Cost, st.Incremental)
+			}
+			// CheckFeasible validates against current supplies; re-apply the
+			// s→t value the solve used (it restores supplies on return).
+			nw.AddSupply(s, value)
+			nw.AddSupply(tt, -value)
+			err := nw.CheckFeasible(warm)
+			nw.AddSupply(s, -value)
+			nw.AddSupply(tt, value)
+			if err != nil {
+				t.Fatalf("instance %d value %d: %v", i, value, err)
+			}
+		}
+		for value := maxV; value >= 0; value-- {
+			warm, st, errW := nw.MinCostFlowValueWithCosts(SSP, costs, sc, s, tt, value)
+			cold, errC := nw.MinCostFlowValue(s, tt, value)
+			if (errC == nil) != (errW == nil) {
+				t.Fatalf("instance %d value %d (down): cold err %v, warm err %v", i, value, errC, errW)
+			}
+			if errC == nil && warm.Cost != cold.Cost {
+				t.Fatalf("instance %d value %d (down): warm cost %d != cold %d (incremental=%t)",
+					i, value, warm.Cost, cold.Cost, st.Incremental)
+			}
+		}
+	}
+	if incrementalHits == 0 {
+		t.Error("incremental path never engaged across the corpus")
+	}
+}
+
+// TestPatchSuppliesFallback: a supply change that creates an imbalance on a
+// node that had none (no super arc in the prepared topology) cannot be
+// patched; the solver must transparently re-prepare and stay correct.
+func TestPatchSuppliesFallback(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.AddArc(0, 1, 0, 5, 2)
+	nw.AddArc(1, 2, 0, 5, 1)
+	nw.AddArc(1, 3, 0, 5, 4)
+	nw.AddArc(2, 3, 0, 5, 1)
+	nw.AddSupply(0, 3)
+	nw.AddSupply(3, -3)
+	costs := arcCosts(nw)
+	sc := NewScratch()
+	first, _, err := nw.SolveWithCosts(SSP, costs, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cost != 3*(2+1+1) {
+		t.Fatalf("first solve cost %d, want 12", first.Cost)
+	}
+	// Node 1 had zero imbalance: making it a source has no super arc to
+	// widen, so this must re-prepare, not patch.
+	nw.AddSupply(1, 2)
+	nw.AddSupply(3, -2)
+	second, st, err := nw.SolveWithCosts(SSP, costs, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmStart {
+		t.Error("new imbalance on an arc-less node claimed a warm start")
+	}
+	if want := first.Cost + 2*(1+1); second.Cost != want {
+		t.Fatalf("second solve cost %d, want %d", second.Cost, want)
+	}
+	// Back to the original supplies: shrinking node 1's imbalance to zero IS
+	// patchable (cap 0 on its existing super arc).
+	nw.AddSupply(1, -2)
+	nw.AddSupply(3, 2)
+	third, st, err := nw.SolveWithCosts(SSP, costs, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.WarmStart {
+		t.Error("imbalance shrinking to zero fell back to a cold prepare")
+	}
+	if third.Cost != first.Cost {
+		t.Fatalf("third solve cost %d, want %d", third.Cost, first.Cost)
+	}
+}
+
+// TestSolveWithCostsInvalidatedByColdSolve: a cold solve on the same scratch
+// overwrites the residual; the next warm call must detect it and re-prepare
+// rather than decode garbage.
+func TestSolveWithCostsInvalidatedByColdSolve(t *testing.T) {
+	sc := NewScratch()
+	rng := rand.New(rand.NewSource(13))
+	nwA, sA, tA, vA := randomInstance(rng)
+	nwA.AddSupply(sA, vA)
+	nwA.AddSupply(tA, -vA)
+	nwB, sB, tB, vB := randomInstance(rng)
+	nwB.AddSupply(sB, vB)
+	nwB.AddSupply(tB, -vB)
+
+	costsA := arcCosts(nwA)
+	want, _, errWant := nwA.SolveWith(SSP, nil)
+	if _, _, err := nwA.SolveWithCosts(SSP, costsA, sc); (err == nil) != (errWant == nil) {
+		t.Fatalf("first warm solve: %v vs %v", err, errWant)
+	}
+	// Cold solve of a different network through the same scratch.
+	if _, _, err := nwB.SolveWith(SSP, sc); err != nil && !errors.Is(err, ErrInfeasible) {
+		t.Fatal(err)
+	}
+	got, st, err := nwA.SolveWithCosts(SSP, costsA, sc)
+	if (err == nil) != (errWant == nil) {
+		t.Fatalf("re-solve after cold interleave: %v vs %v", err, errWant)
+	}
+	if err == nil {
+		if st.WarmStart {
+			t.Error("warm-start claimed after the scratch was overwritten")
+		}
+		if got.Cost != want.Cost {
+			t.Fatalf("cost %d != %d after re-prepare", got.Cost, want.Cost)
+		}
+	}
+}
+
+// TestSolveWithCostsVectorLength rejects mismatched cost vectors.
+func TestSolveWithCostsVectorLength(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.MustArc(0, 1, 0, 5, 2)
+	nw.AddSupply(0, 4)
+	nw.AddSupply(1, -4)
+	if _, _, err := nw.SolveWithCosts(SSP, []int64{1, 2}, nil); err == nil {
+		t.Fatal("oversized cost vector accepted")
+	}
+}
+
+// TestInitPotentialsBellmanFordFallback: a capacitated cycle in the initial
+// residual defeats the topological pass; the Bellman-Ford fallback must
+// still produce a correct solve.
+func TestInitPotentialsBellmanFordFallback(t *testing.T) {
+	nw := NewNetwork(4)
+	// Cycle 1 -> 2 -> 3 -> 1 with positive costs, plus a path 0 -> 1 -> 2.
+	nw.MustArc(1, 2, 0, 5, 2)
+	nw.MustArc(2, 3, 0, 5, 2)
+	nw.MustArc(3, 1, 0, 5, 2)
+	nw.MustArc(0, 1, 0, 5, 1)
+	nw.AddSupply(0, 3)
+	nw.AddSupply(2, -3)
+	sol, _, err := nw.SolveWith(SSP, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 3*(1+2) {
+		t.Fatalf("cost %d, want 9", sol.Cost)
+	}
+	cc, err := nw.SolveCycleCancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Cost != sol.Cost {
+		t.Fatalf("cycle cancel cost %d != ssp %d", cc.Cost, sol.Cost)
+	}
+}

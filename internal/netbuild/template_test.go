@@ -1,0 +1,137 @@
+package netbuild
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+)
+
+// hashHamming is a deterministic activity oracle for template tests.
+func hashHamming(v1, v2 string) float64 {
+	sum := 0
+	for _, r := range v1 + v2 {
+		sum += int(r)
+	}
+	return float64(sum%9) / 8.0
+}
+
+// templateCostOptions enumerates cost models that move every cost term:
+// static, activity, scaled memory voltage and the literal eq. (7).
+func templateCostOptions() []CostOptions {
+	m := energy.OnChip256x16()
+	return []CostOptions{
+		{Style: energy.Static, Model: m},
+		{Style: energy.Static, Model: m.WithMemVoltage(3.3)},
+		{Style: energy.Static, Model: m, PaperEq7: true},
+		{Style: energy.Activity, Model: m, H: hashHamming},
+		{Style: energy.Activity, Model: m.WithMemVoltage(2.4), H: hashHamming},
+	}
+}
+
+// TestTemplateCostVectorMatchesBuild: for every cost model, the template's
+// recomputed vector must equal, arc by arc, the costs a fresh BuildNetwork
+// bakes into the network — the identity that makes cost-swapping sound.
+func TestTemplateCostVectorMatchesBuild(t *testing.T) {
+	set := fig1Set()
+	for _, style := range []GraphStyle{DensityRegions, AllCompatible} {
+		for _, mem := range []lifetime.MemoryAccess{lifetime.FullSpeed, {Period: 2, Offset: 2}} {
+			grouped, err := set.SplitCuts(mem, lifetime.SplitMinimal, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tpl, err := NewTemplate(set, grouped, style, staticCO())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, co := range templateCostOptions() {
+				fresh, err := BuildNetwork(set, grouped, style, co)
+				if err != nil {
+					t.Fatal(err)
+				}
+				costs, baseline, err := tpl.CostVector(co)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(costs) != fresh.Net.M() {
+					t.Fatalf("%v: vector has %d entries for %d arcs", style, len(costs), fresh.Net.M())
+				}
+				for i := range costs {
+					_, _, _, _, want := fresh.Net.Arc(flow.ArcID(i))
+					if costs[i] != want {
+						t.Errorf("%v co=%+v arc %d: cost %d, build has %d", style, co.Style, i, costs[i], want)
+					}
+				}
+				if baseline != fresh.ConstantEnergy {
+					t.Errorf("%v: baseline %g, build has %g", style, baseline, fresh.ConstantEnergy)
+				}
+			}
+		}
+	}
+}
+
+// TestTemplateCostVectorInto reuses the destination buffer.
+func TestTemplateCostVectorInto(t *testing.T) {
+	set := fig1Set()
+	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := NewTemplate(set, grouped, DensityRegions, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := tpl.CostVectorInto(nil, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := tpl.CostVectorInto(buf, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &buf[0] {
+		t.Error("buffer not reused")
+	}
+}
+
+// TestTemplateValidation surfaces bad cost options.
+func TestTemplateValidation(t *testing.T) {
+	set := fig1Set()
+	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := NewTemplate(set, grouped, DensityRegions, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tpl.CostVector(CostOptions{Style: energy.Activity, Model: energy.OnChip256x16()}); err == nil {
+		t.Error("activity style without an oracle accepted")
+	}
+}
+
+// TestTemplateBuildFor: the view swaps cost options and baseline but shares
+// the network.
+func TestTemplateBuildFor(t *testing.T) {
+	set := fig1Set()
+	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := NewTemplate(set, grouped, DensityRegions, staticCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := CostOptions{Style: energy.Activity, Model: energy.OnChip256x16(), H: hashHamming}
+	view := tpl.BuildFor(co, 123.5)
+	if view.Net != tpl.Build.Net {
+		t.Error("view does not share the network")
+	}
+	if view.Cost.Style != energy.Activity || view.ConstantEnergy != 123.5 {
+		t.Errorf("view not re-priced: %+v %g", view.Cost.Style, view.ConstantEnergy)
+	}
+	if tpl.Build.Cost.Style != energy.Static {
+		t.Error("template mutated by BuildFor")
+	}
+}

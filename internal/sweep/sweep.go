@@ -52,69 +52,119 @@ type Options struct {
 	Model energy.Model
 	// Split selects the lifetime splitting policy (SplitMinimal default).
 	Split lifetime.SplitPolicy
-	// Workers bounds the number of grid cells solved concurrently
+	// Workers bounds the number of divisor columns solved concurrently
 	// (0 or 1 = sequential). Results are deterministic regardless.
 	Workers int
+	// ColdStart disables the warm-started template path and rebuilds the
+	// network from scratch for every cell, as the sweep originally did. It
+	// exists for benchmarking the warm start and as an independent
+	// cross-check; results are identical optima either way.
+	ColdStart bool
 }
 
 // Run evaluates every grid cell.
+//
+// The divisor determines the lifetime split (restricted memory access times)
+// and therefore the network topology; the register count only moves the flow
+// value and the energy model only moves arc costs. Run exploits that
+// structure: each divisor column builds its topology once (core.Prepare) and
+// every (register, model) cell within it re-solves through the solver's
+// warm-start path, swapping cost vectors instead of rebuilding — the
+// incremental design-space exploration the flow formulation makes cheap.
 func Run(set *lifetime.Set, opt Options) (*Grid, error) {
 	if len(opt.Registers) == 0 || len(opt.Divisors) == 0 {
 		return nil, fmt.Errorf("sweep: empty grid axes")
+	}
+	for _, regs := range opt.Registers {
+		if regs < 0 {
+			return nil, fmt.Errorf("sweep: invalid register count %d", regs)
+		}
+	}
+	for _, div := range opt.Divisors {
+		if div < 1 {
+			return nil, fmt.Errorf("sweep: invalid divisor %d", div)
+		}
 	}
 	base := opt.Model
 	if base.MemRead == 0 && base.MemWrite == 0 {
 		base = energy.OnChip256x16()
 	}
-	type cell struct{ regs, div int }
-	var cells []cell
-	for _, regs := range opt.Registers {
-		for _, div := range opt.Divisors {
-			if regs < 0 || div < 1 {
-				return nil, fmt.Errorf("sweep: invalid cell R=%d div=%d", regs, div)
-			}
-			cells = append(cells, cell{regs, div})
-		}
-	}
-	solve := func(c cell) Point {
-		v := energy.VoltageForDivisor(c.div)
+	nd := len(opt.Divisors)
+	// Points are indexed cell-major as before: row = register count,
+	// column = divisor.
+	g := &Grid{Points: make([]Point, len(opt.Registers)*nd)}
+
+	// solveColumn fills one divisor column across all register counts.
+	// Columns are independent, so workers parallelise over them; cells
+	// within a column share a Prepared problem and solve warm, one cost
+	// model at a time so consecutive solves keep compatible potentials.
+	solveColumn := func(di int) {
+		div := opt.Divisors[di]
+		v := energy.VoltageForDivisor(div)
 		model := base.WithMemVoltage(v)
-		pt := Point{Registers: c.regs, Divisor: c.div, Voltage: v}
-		opts := core.Options{
-			Registers: c.regs,
-			Memory:    lifetime.MemoryAccess{Period: c.div, Offset: c.div},
-			Split:     opt.Split,
-			Style:     netbuild.DensityRegions,
-			Cost:      netbuild.CostOptions{Style: energy.Static, Model: model},
+		staticCo := netbuild.CostOptions{Style: energy.Static, Model: model}
+		for ri, regs := range opt.Registers {
+			g.Points[ri*nd+di] = Point{Registers: regs, Divisor: div, Voltage: v}
 		}
-		rs, err := core.Allocate(set, opts)
+		if opt.ColdStart {
+			for ri := range opt.Registers {
+				solveCellCold(set, opt, &g.Points[ri*nd+di], model)
+			}
+			return
+		}
+		pre, err := core.Prepare(set, core.Options{
+			Memory: lifetime.MemoryAccess{Period: div, Offset: div},
+			Split:  opt.Split,
+			Style:  netbuild.DensityRegions,
+			Cost:   staticCo,
+		})
 		if err != nil {
-			return pt // infeasible cell
+			return // unsplittable column: every cell stays infeasible
 		}
-		pt.Feasible = true
-		pt.StaticEnergy = rs.TotalEnergy
-		pt.MemAccesses = rs.Counts.Mem()
-		pt.RegAccesses = rs.Counts.Reg()
-		pt.Locations = rs.MemoryLocations
-		pt.RegistersUsed = rs.RegistersUsed
+		staticView, err := pre.CostView(staticCo)
+		if err != nil {
+			return
+		}
+		for ri, regs := range opt.Registers {
+			pt := &g.Points[ri*nd+di]
+			rs, err := pre.AllocateView(regs, staticView)
+			if err != nil {
+				continue // infeasible cell
+			}
+			pt.Feasible = true
+			pt.StaticEnergy = rs.TotalEnergy
+			pt.MemAccesses = rs.Counts.Mem()
+			pt.RegAccesses = rs.Counts.Reg()
+			pt.Locations = rs.MemoryLocations
+			pt.RegistersUsed = rs.RegistersUsed
+		}
 		if opt.H != nil {
-			opts.Cost = netbuild.CostOptions{Style: energy.Activity, Model: model, H: opt.H}
-			if ra, err := core.Allocate(set, opts); err == nil {
-				pt.ActivityEnergy = ra.TotalEnergy
+			activityCo := netbuild.CostOptions{Style: energy.Activity, Model: model, H: opt.H}
+			activityView, err := pre.CostView(activityCo)
+			if err != nil {
+				return
+			}
+			for ri := range opt.Registers {
+				pt := &g.Points[ri*nd+di]
+				if !pt.Feasible {
+					continue
+				}
+				if ra, err := pre.AllocateView(pt.Registers, activityView); err == nil {
+					pt.ActivityEnergy = ra.TotalEnergy
+				}
 			}
 		}
-		return pt
 	}
-	g := &Grid{Points: make([]Point, len(cells))}
+
 	workers := opt.Workers
 	if workers <= 1 {
-		for i, c := range cells {
-			g.Points[i] = solve(c)
+		for di := range opt.Divisors {
+			solveColumn(di)
 		}
 		return g, nil
 	}
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > nd {
+		workers = nd
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -122,17 +172,45 @@ func Run(set *lifetime.Set, opt Options) (*Grid, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				g.Points[i] = solve(cells[i])
+			for di := range next {
+				solveColumn(di)
 			}
 		}()
 	}
-	for i := range cells {
-		next <- i
+	for di := range opt.Divisors {
+		next <- di
 	}
 	close(next)
 	wg.Wait()
 	return g, nil
+}
+
+// solveCellCold is the original per-cell path: full Split → Build → Solve
+// from scratch, twice when an activity oracle is configured.
+func solveCellCold(set *lifetime.Set, opt Options, pt *Point, model energy.Model) {
+	opts := core.Options{
+		Registers: pt.Registers,
+		Memory:    lifetime.MemoryAccess{Period: pt.Divisor, Offset: pt.Divisor},
+		Split:     opt.Split,
+		Style:     netbuild.DensityRegions,
+		Cost:      netbuild.CostOptions{Style: energy.Static, Model: model},
+	}
+	rs, err := core.Allocate(set, opts)
+	if err != nil {
+		return // infeasible cell
+	}
+	pt.Feasible = true
+	pt.StaticEnergy = rs.TotalEnergy
+	pt.MemAccesses = rs.Counts.Mem()
+	pt.RegAccesses = rs.Counts.Reg()
+	pt.Locations = rs.MemoryLocations
+	pt.RegistersUsed = rs.RegistersUsed
+	if opt.H != nil {
+		opts.Cost = netbuild.CostOptions{Style: energy.Activity, Model: model, H: opt.H}
+		if ra, err := core.Allocate(set, opts); err == nil {
+			pt.ActivityEnergy = ra.TotalEnergy
+		}
+	}
 }
 
 // WriteCSV emits the grid with a header row.

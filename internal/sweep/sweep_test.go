@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -161,6 +162,86 @@ func TestRunParallelDeterministic(t *testing.T) {
 	for i := range seq.Points {
 		if seq.Points[i] != par.Points[i] {
 			t.Fatalf("cell %d differs: %+v vs %+v", i, seq.Points[i], par.Points[i])
+		}
+	}
+}
+
+// TestRunParallelCSVByteIdentical: a Workers>1 run must emit a CSV that is
+// byte-for-byte identical to the sequential run's. Run under -race in CI,
+// this pins both determinism and data-race freedom of the column fan-out.
+func TestRunParallelCSVByteIdentical(t *testing.T) {
+	set := workload.Figure1()
+	opt := Options{
+		Registers: []int{0, 1, 2, 3, 4},
+		Divisors:  []int{1, 2, 4, 8},
+		H:         energy.ConstHamming(0.5),
+	}
+	csvFor := func(workers int) string {
+		o := opt
+		o.Workers = workers
+		g, err := Run(set, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := g.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	seq := csvFor(1)
+	for _, workers := range []int{2, 4, 8} {
+		if par := csvFor(workers); par != seq {
+			t.Fatalf("Workers=%d CSV differs from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				workers, seq, par)
+		}
+	}
+}
+
+// TestRunWarmMatchesCold: the warm-started sweep must agree with the
+// original per-cell cold path on feasibility and both energy optima for
+// every grid cell. Access counts and register usage may legitimately differ
+// between equally-optimal solutions, so only the optimum-defined fields are
+// compared.
+func TestRunWarmMatchesCold(t *testing.T) {
+	set := workload.Figure1()
+	opt := Options{
+		Registers: []int{0, 1, 2, 3, 4},
+		Divisors:  []int{1, 2, 4, 8},
+		H:         energy.ConstHamming(0.5),
+	}
+	warm, err := Run(set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.ColdStart = true
+	cold, err := Run(set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Points) != len(cold.Points) {
+		t.Fatalf("sizes differ: %d vs %d", len(warm.Points), len(cold.Points))
+	}
+	for i := range warm.Points {
+		w, c := warm.Points[i], cold.Points[i]
+		if w.Registers != c.Registers || w.Divisor != c.Divisor || w.Voltage != c.Voltage {
+			t.Fatalf("cell %d keys differ: %+v vs %+v", i, w, c)
+		}
+		if w.Feasible != c.Feasible {
+			t.Errorf("R=%d div=%d: warm feasible=%t, cold feasible=%t",
+				w.Registers, w.Divisor, w.Feasible, c.Feasible)
+			continue
+		}
+		if !w.Feasible {
+			continue
+		}
+		if math.Abs(w.StaticEnergy-c.StaticEnergy) > 1e-9 {
+			t.Errorf("R=%d div=%d: warm static %g, cold %g",
+				w.Registers, w.Divisor, w.StaticEnergy, c.StaticEnergy)
+		}
+		if math.Abs(w.ActivityEnergy-c.ActivityEnergy) > 1e-9 {
+			t.Errorf("R=%d div=%d: warm activity %g, cold %g",
+				w.Registers, w.Divisor, w.ActivityEnergy, c.ActivityEnergy)
 		}
 	}
 }

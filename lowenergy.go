@@ -36,6 +36,12 @@ type (
 	AccessCounts = core.AccessCounts
 	// PortReport gives per-component port requirements (§7).
 	PortReport = core.PortReport
+	// Prepared is a lifetime set split, pinned and built once, ready for
+	// repeated warm-started solves across register counts and cost models.
+	Prepared = core.Prepared
+	// PreparedCostView is one cost model priced against a Prepared problem's
+	// network template, reusable across register counts.
+	PreparedCostView = core.CostView
 	// CostOptions selects the energy model driving arc costs.
 	CostOptions = netbuild.CostOptions
 	// GraphStyle selects the network construction.
@@ -154,6 +160,15 @@ func Allocate(set *LifetimeSet, opts Options) (*Result, error) { return core.All
 // returns a reusable allocation pipeline. Allocating many blocks through
 // one Allocator reuses the solver's scratch space.
 func NewAllocator(opts Options) (*Allocator, error) { return core.NewPipeline(opts) }
+
+// Prepare splits, pins and builds the network for a lifetime set once
+// (opts.Registers and opts.Cost only seed the template; both can vary per
+// solve). Prepared.Allocate and Prepared.AllocateView then re-solve warm:
+// the solver keeps the residual network and node potentials between calls,
+// so changing the register count augments only the flow-value delta and
+// changing the cost model swaps arc costs without rebuilding. Not safe for
+// concurrent use; give each goroutine its own Prepared.
+func Prepare(set *LifetimeSet, opts Options) (*Prepared, error) { return core.Prepare(set, opts) }
 
 // SolverNames lists the selectable min-cost-flow engine names (for
 // Options.Engine and the leaflow/leabench -solver flags).

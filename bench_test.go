@@ -126,7 +126,7 @@ func BenchmarkAllocateRSP(b *testing.B) {
 func BenchmarkAllocateScaling(b *testing.B) {
 	for _, vars := range []int{25, 50, 100, 200, 400} {
 		rng := rand.New(rand.NewSource(int64(vars)))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: vars, Steps: vars / 2, MaxReads: 2, ExternalFrac: 0.1, InputFrac: 0.1,
 		})
 		opts := lowenergy.Options{
@@ -149,7 +149,7 @@ func BenchmarkAllocateScaling(b *testing.B) {
 // styles: the paper's density-region graph is much sparser.
 func BenchmarkGraphStyles(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
-	set := workload.Random(rng, workload.RandomParams{
+	set := workload.MustRandom(rng, workload.RandomParams{
 		Vars: 150, Steps: 60, MaxReads: 2, ExternalFrac: 0.1, InputFrac: 0.1,
 	})
 	for _, style := range []netbuild.GraphStyle{netbuild.DensityRegions, netbuild.AllCompatible} {
@@ -173,7 +173,7 @@ func BenchmarkGraphStyles(b *testing.B) {
 // cycle-cancelling cross-checker on the same networks.
 func BenchmarkSolvers(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
-	set := workload.Random(rng, workload.RandomParams{
+	set := workload.MustRandom(rng, workload.RandomParams{
 		Vars: 80, Steps: 40, MaxReads: 2, ExternalFrac: 0.1, InputFrac: 0.1,
 	})
 	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
@@ -264,7 +264,7 @@ func BenchmarkSweepWarmStart(b *testing.B) {
 // SolveWithCosts with reused topology and potentials (warm).
 func BenchmarkSolveWithCosts(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
-	set := workload.Random(rng, workload.RandomParams{
+	set := workload.MustRandom(rng, workload.RandomParams{
 		Vars: 80, Steps: 40, MaxReads: 2, ExternalFrac: 0.1, InputFrac: 0.1,
 	})
 	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)

@@ -53,7 +53,11 @@ func runStats(w io.Writer, kind string, taps, bf, vars int, seed int64, stats bo
 		}
 		prog = &ir.Program{Tasks: []*ir.Task{{Name: "rsp", Blocks: []*ir.Block{block}}}}
 	case "random":
-		prog = randomProgram(rand.New(rand.NewSource(seed)), vars)
+		var err error
+		prog, err = workload.RandomProgram(rand.New(rand.NewSource(seed)), vars)
+		if err != nil {
+			return err
+		}
 	case "ewf", "arf", "fdct8":
 		mk := workload.HLSBenchmarks()[kind]
 		block, err := mk()
@@ -105,34 +109,4 @@ func printStats(w io.Writer, prog *ir.Program) error {
 		}
 	}
 	return nil
-}
-
-// randomProgram emits a valid random straight-line block: every instruction
-// reads previously defined values, every value is eventually read or
-// exported.
-func randomProgram(rng *rand.Rand, n int) *ir.Program {
-	b := &ir.Block{Name: "rand0", Inputs: []string{"i0", "i1", "i2"}}
-	avail := append([]string(nil), b.Inputs...)
-	read := make(map[string]bool)
-	for k := 0; k < n; k++ {
-		dst := fmt.Sprintf("t%02d", k)
-		op := ir.OpAdd
-		switch rng.Intn(4) {
-		case 0:
-			op = ir.OpMul
-		case 1:
-			op = ir.OpSub
-		}
-		s1 := avail[rng.Intn(len(avail))]
-		s2 := avail[rng.Intn(len(avail))]
-		b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: dst, Src: []string{s1, s2}})
-		read[s1], read[s2] = true, true
-		avail = append(avail, dst)
-	}
-	for _, in := range b.Instrs {
-		if !read[in.Dst] {
-			b.Outputs = append(b.Outputs, in.Dst)
-		}
-	}
-	return &ir.Program{Tasks: []*ir.Task{{Name: "random", Blocks: []*ir.Block{b}}}}
 }

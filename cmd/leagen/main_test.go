@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	lowenergy "repro"
+	"repro/internal/workload"
 )
 
 func TestRunRSP(t *testing.T) {
@@ -65,7 +66,10 @@ func TestRunBadRSPParams(t *testing.T) {
 
 func TestRandomProgramAlwaysValid(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
-		p := randomProgram(rand.New(rand.NewSource(seed)), 10+int(seed))
+		p, err := workload.RandomProgram(rand.New(rand.NewSource(seed)), 10+int(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		if err := p.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanRepo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean repo\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+func TestRunViolationCorpus(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "internal/analysis/testdata/violations"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on seeded violations, want 1\nstderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"LEA0002", "LEA0101", "LEA0102", "LEA0201", "LEA0301", "LEA0302"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %s:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("stderr missing summary: %q", errb.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d from -list", code)
+	}
+	for _, pass := range []string{"layering", "determinism", "panics", "docs"} {
+		if !strings.Contains(out.String(), pass) {
+			t.Errorf("-list output missing %s:\n%s", pass, out.String())
+		}
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d on bad pattern, want 2", code)
+	}
+}

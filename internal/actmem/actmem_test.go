@@ -48,7 +48,7 @@ func TestOptimizeSequentialWhenUncoupled(t *testing.T) {
 func TestOptimizeNeverWorseThanSequential(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 4 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
 		})
 		regs := rng.Intn(set.MaxDensity() + 1)

@@ -1,0 +1,192 @@
+// Package analysis is a from-scratch, stdlib-only Go linter for this
+// repository: pluggable syntactic passes over go/ast parse trees that enforce
+// the repo's architectural and hygiene invariants. It is level 1 of the
+// two-level static-analysis layer (level 2 is internal/check, which validates
+// runtime artifacts rather than source text).
+//
+// The passes and their finding codes:
+//
+//	LEA0001/LEA0002  layering    — internal packages import strictly downward
+//	LEA0101/LEA0102  determinism — no global math/rand, no stray wall clock
+//	LEA0201          panics      — exported entry points return errors
+//	LEA0301/LEA0302  docs        — exported API and packages carry doc comments
+//
+// A finding can be silenced at a specific site with a comment of the form
+//
+//	//lealint:ignore LEA0201 reason for the exception
+//
+// on the offending line or the line directly above it. Test files are never
+// linted: determinism and panic discipline are production-code properties.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a pass.
+type Finding struct {
+	// Pos locates the finding; Filename is relative to the module root.
+	Pos token.Position
+	// Code is the stable LEA#### identifier of the rule.
+	Code string
+	// Msg describes the violation.
+	Msg string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Code, f.Msg)
+}
+
+// Package is one parsed package as the passes see it.
+type Package struct {
+	// Name is the package clause name (e.g. "flow", "main").
+	Name string
+	// Rel is the module-relative directory, e.g. "internal/flow" ("." for the
+	// module root package).
+	Rel string
+	// Module is the module path from go.mod, e.g. "repro".
+	Module string
+	// Fset resolves token positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+}
+
+// Internal reports whether the package lives under internal/.
+func (p *Package) Internal() bool {
+	return p.Rel == "internal" || strings.HasPrefix(p.Rel, "internal/")
+}
+
+// Pass is one lint rule set run over a package.
+type Pass interface {
+	// Name is the pass's short selection name.
+	Name() string
+	// Doc is a one-line description shown by lealint -list.
+	Doc() string
+	// Run reports the pass's findings for one package.
+	Run(p *Package) []Finding
+}
+
+// Passes returns the default pass set, in reporting order.
+func Passes() []Pass {
+	return []Pass{layeringPass{}, determinismPass{}, panicPass{}, docPass{}}
+}
+
+// Run loads the packages matched by patterns (relative to the module rooted
+// at dir) and applies every default pass, returning the surviving findings
+// sorted by position. Suppressed findings (lealint:ignore comments) are
+// filtered out.
+func Run(dir string, patterns []string) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, pass := range Passes() {
+			for _, f := range pass.Run(pkg) {
+				if !sup.matches(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Code < b.Code
+	})
+	return out, nil
+}
+
+// suppressions indexes lealint:ignore comments by file, line and code.
+type suppressions map[string]map[int]map[string]bool
+
+// matches reports whether the finding is silenced by an ignore comment on its
+// line or the line directly above.
+func (s suppressions) matches(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if lines[line][f.Code] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment of the package for
+// "lealint:ignore CODE..." directives.
+func collectSuppressions(pkg *Package) suppressions {
+	sup := make(suppressions)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lealint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				codes := byLine[pos.Line]
+				if codes == nil {
+					codes = make(map[string]bool)
+					byLine[pos.Line] = codes
+				}
+				for _, tok := range strings.Fields(strings.TrimPrefix(text, "lealint:ignore")) {
+					if strings.HasPrefix(tok, "LEA") {
+						codes[tok] = true
+					} else {
+						break // remainder is the human reason
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// exportedFuncName reports whether a top-level function name is part of the
+// package API surface.
+func exportedFuncName(fd *ast.FuncDecl) bool {
+	return fd.Name != nil && fd.Name.IsExported()
+}
+
+// importAlias returns the file-local name binding for an import path, or ""
+// when the file does not import it (or imports it blank/dot).
+func importAlias(file *ast.File, path, defaultName string) string {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name == nil {
+			return defaultName
+		}
+		if imp.Name.Name == "_" || imp.Name.Name == "." {
+			return ""
+		}
+		return imp.Name.Name
+	}
+	return ""
+}

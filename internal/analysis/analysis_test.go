@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/violations.golden from current linter output")
+
+// TestRepoIsClean is the self-hosting acceptance check: the default pass set
+// over the whole module must produce zero findings. Regressions here mean a
+// new layering/determinism/panic/doc violation slipped into production code.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := Run("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestViolationsGolden pins the linter's output on the seeded-violation
+// corpus: every pass must fire with the exact position, code and message
+// recorded in testdata/violations.golden. The corpus also carries one
+// suppressed finding (lealint:ignore), which must NOT appear. Regenerate
+// with `go test ./internal/analysis -run Golden -update`.
+func TestViolationsGolden(t *testing.T) {
+	findings, err := Run(".", []string{"internal/analysis/testdata/violations"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	got := sb.String()
+	if *update {
+		if err := os.WriteFile("testdata/violations.golden", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/violations.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if len(findings) == 0 {
+		t.Fatal("seeded corpus produced no findings")
+	}
+	// The corpus suppresses exactly one LEA0102; only the unsuppressed read
+	// may surface.
+	n := 0
+	for _, f := range findings {
+		if f.Code == "LEA0102" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("want exactly 1 LEA0102 (the second is lealint:ignore-suppressed), got %d", n)
+	}
+}
+
+// TestRecursiveWalkSkipsTestdata: the corpus must be invisible to "./..."
+// patterns or the repo could never be lint-clean.
+func TestRecursiveWalkSkipsTestdata(t *testing.T) {
+	findings, err := Run(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Pos.Filename, "testdata") {
+			t.Errorf("recursive walk reached testdata: %s", f)
+		}
+	}
+}
+
+// TestLayerRank spot-checks the exported rank accessor against the
+// architecture: flow below core, core below pipeline.
+func TestLayerRank(t *testing.T) {
+	flowR, ok := LayerRank("internal/flow")
+	if !ok {
+		t.Fatal("internal/flow unmapped")
+	}
+	coreR, ok := LayerRank("internal/core")
+	if !ok {
+		t.Fatal("internal/core unmapped")
+	}
+	pipeR, ok := LayerRank("internal/pipeline")
+	if !ok {
+		t.Fatal("internal/pipeline unmapped")
+	}
+	if !(flowR < coreR && coreR < pipeR) {
+		t.Errorf("rank order broken: flow=%d core=%d pipeline=%d", flowR, coreR, pipeR)
+	}
+	if _, ok := LayerRank("internal/no-such-package"); ok {
+		t.Error("unknown package reported as mapped")
+	}
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// docPass requires doc comments on the exported API of library packages
+// (LEA0301) and a package doc comment on every library package (LEA0302).
+// A name declared inside a documented const/var/type block inherits the
+// block's comment, matching the convention the rest of the repo follows.
+type docPass struct{}
+
+// Name implements Pass.
+func (docPass) Name() string { return "docs" }
+
+// Doc implements Pass.
+func (docPass) Doc() string {
+	return "exported identifiers and library packages carry doc comments"
+}
+
+// Run implements Pass.
+func (docPass) Run(p *Package) []Finding {
+	if p.Name == "main" {
+		return nil
+	}
+	var out []Finding
+	hasPkgDoc := false
+	for _, file := range p.Files {
+		if file.Doc != nil {
+			hasPkgDoc = true
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if exportedFuncName(d) && d.Doc == nil {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(d.Name.Pos()),
+						Code: "LEA0301",
+						Msg:  fmt.Sprintf("exported function %s has no doc comment", d.Name.Name),
+					})
+				}
+			case *ast.GenDecl:
+				out = append(out, checkGenDecl(p, d)...)
+			}
+		}
+	}
+	if !hasPkgDoc {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(p.Files[0].Name.Pos()),
+			Code: "LEA0302",
+			Msg:  fmt.Sprintf("package %s has no package doc comment", p.Name),
+		})
+	}
+	return out
+}
+
+// checkGenDecl reports exported specs of a const/var/type declaration that
+// carry no doc comment, neither on the spec nor on the enclosing block.
+func checkGenDecl(p *Package, d *ast.GenDecl) []Finding {
+	if d.Doc != nil {
+		return nil
+	}
+	var out []Finding
+	report := func(name *ast.Ident, kind string) {
+		if !name.IsExported() {
+			return
+		}
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(name.Pos()),
+			Code: "LEA0301",
+			Msg:  fmt.Sprintf("exported %s %s has no doc comment", kind, name.Name),
+		})
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Doc == nil && s.Comment == nil {
+				report(s.Name, "type")
+			}
+		case *ast.ValueSpec:
+			if s.Doc == nil && s.Comment == nil {
+				for _, name := range s.Names {
+					report(name, "value")
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses the packages matched by patterns relative to the module rooted
+// at dir. Patterns follow the go tool's shape: "./..." walks the whole module,
+// "dir/..." walks a subtree, and a plain directory names one package.
+// Recursive walks skip testdata, vendor and hidden directories (exactly like
+// the go tool); naming such a directory explicitly parses it anyway, which is
+// how the linter's own seeded-violation corpus is exercised. Test files are
+// never loaded.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	root, module, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirSet := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !dirSet[d] {
+			dirSet[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+		base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := parseDir(fset, root, module, d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Rel < pkgs[j].Rel })
+	return pkgs, nil
+}
+
+// moduleRoot walks upward from dir to the enclosing go.mod and returns the
+// root directory and module path.
+func moduleRoot(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return d, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// parseDir parses the non-test Go files of one directory into a Package;
+// directories without Go files yield nil.
+func parseDir(fset *token.FileSet, root, module, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	pkg := &Package{Rel: rel, Module: module, Fset: fset}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		relFile := name
+		if rel != "." {
+			relFile = rel + "/" + name
+		}
+		// Register the file under its module-relative name so findings render
+		// stable, root-relative positions.
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(fset, relFile, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	return pkg, nil
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// panicPass enforces the repo's panic discipline in library packages (every
+// non-main package): exported entry points return errors; a panic is
+// acceptable only behind a constructor precondition (New*) or an explicit
+// Must* variant, both of which advertise the contract in their name. Anything
+// else is LEA0201 — allocation failures must surface as diagnostics, not
+// crashes. Index-precondition panics that mirror slice semantics may be
+// whitelisted per site with a lealint:ignore comment stating why.
+type panicPass struct{}
+
+// Name implements Pass.
+func (panicPass) Name() string { return "panics" }
+
+// Doc implements Pass.
+func (panicPass) Doc() string {
+	return "exported entry points return errors; panics only in New*/Must* preconditions"
+}
+
+// Run implements Pass.
+func (panicPass) Run(p *Package) []Finding {
+	if p.Name == "main" {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedFuncName(fd) {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "New") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					// Closures may escape and run elsewhere; the pass targets
+					// the exported function's direct control flow.
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(call.Pos()),
+						Code: "LEA0201",
+						Msg: fmt.Sprintf("exported %s panics; return an error (or rename to Must%s / move the precondition into a constructor)",
+							name, name),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

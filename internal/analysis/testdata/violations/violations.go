@@ -1,0 +1,41 @@
+// This file is the linter's seeded-violation corpus: every finding below is
+// deliberate and matched line-for-line against testdata/violations.golden.
+// The comment is detached from the package clause by a blank line so the
+// missing-package-doc rule (LEA0302) fires too. The directory lives under
+// testdata/, so recursive walks ("./...") skip it and the repo stays
+// lint-clean; the golden test names it explicitly.
+
+package violations
+
+import (
+	"math/rand"
+	"time"
+
+	_ "repro/internal/unmapped"
+)
+
+// MaxTries is documented, so only Limit below trips the doc pass.
+const MaxTries = 3
+
+const Limit = 10
+
+// Shuffle perturbs order through the unseeded global source (LEA0101).
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Stamp reads the wall clock twice: the first read is flagged (LEA0102),
+// the second demonstrates lealint:ignore suppression.
+func Stamp() (time.Time, time.Time) {
+	flagged := time.Now()
+	//lealint:ignore LEA0102 corpus demonstrates suppression
+	suppressed := time.Now()
+	return flagged, suppressed
+}
+
+// Explode panics from an exported entry point (LEA0201).
+func Explode() {
+	panic("boom")
+}
+
+func Undocumented() int { return Limit }

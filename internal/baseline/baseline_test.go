@@ -50,7 +50,7 @@ func TestMinActivityChainsFigure3(t *testing.T) {
 func TestMinActivityChainsAreTimeCompatible(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2})
+		set := workload.MustRandom(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2})
 		chains, err := MinActivityChains(set, energy.ConstHamming(0.5), energy.Model{CrwV2: 1})
 		if err != nil {
 			return false
@@ -218,7 +218,7 @@ func TestLeftEdgePacks(t *testing.T) {
 func TestLeftEdgeChainsValid(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.3, InputFrac: 0.2})
+		set := workload.MustRandom(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.3, InputFrac: 0.2})
 		p, err := LeftEdge(set, 1+rng.Intn(4))
 		if err != nil {
 			return false
@@ -245,7 +245,7 @@ func TestLeftEdgeChainsValid(t *testing.T) {
 func TestChaitinColorsInterferenceFree(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.3, InputFrac: 0.2})
+		set := workload.MustRandom(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.3, InputFrac: 0.2})
 		regs := 1 + rng.Intn(4)
 		p, err := Chaitin(set, regs)
 		if err != nil {
@@ -301,7 +301,7 @@ func TestRegisterChainsAndInRegister(t *testing.T) {
 func TestChaitinSpillCostValid(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 3, ExternalFrac: 0.3, InputFrac: 0.2})
+		set := workload.MustRandom(rng, workload.RandomParams{Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 3, ExternalFrac: 0.3, InputFrac: 0.2})
 		regs := rng.Intn(5)
 		p, err := ChaitinSpillCost(set, regs)
 		if err != nil {

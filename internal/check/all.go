@@ -1,0 +1,61 @@
+package check
+
+import (
+	"repro/internal/flow"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/sched"
+)
+
+// Artifacts bundles the pipeline products to validate together; nil fields
+// are skipped, so one call covers whatever stage of the pipeline the caller
+// has reached.
+type Artifacts struct {
+	// Program enables the IR checks (Program, Dataflow).
+	Program *ir.Program
+	// AllowExternalInputs mirrors the pipeline option for Dataflow.
+	AllowExternalInputs bool
+	// Schedule enables the dependence/resource checks under Resources.
+	Schedule  *sched.Schedule
+	Resources sched.Resources
+	// Set enables the lifetime checks (and Regions).
+	Set *lifetime.Set
+	// Grouped enables the split-consistency checks (requires Set) under
+	// Memory. Must be freshly split segments — pinning flips Forced/Barred.
+	Grouped [][]lifetime.Segment
+	Memory  lifetime.MemoryAccess
+	// Build enables the network construction checks.
+	Build *netbuild.Build
+	// Solution enables the solver-output re-certification against Build;
+	// Registers is the flow value shipped from s to t.
+	Solution  *flow.Solution
+	Registers int
+}
+
+// All runs every validator whose artifact is present, concatenating the
+// diagnostics in pipeline order.
+func All(a Artifacts) Diagnostics {
+	var ds Diagnostics
+	if a.Program != nil {
+		ds = append(ds, Program(a.Program)...)
+		ds = append(ds, Dataflow(a.Program, a.AllowExternalInputs)...)
+	}
+	if a.Schedule != nil {
+		ds = append(ds, Schedule(a.Schedule, a.Resources)...)
+	}
+	if a.Set != nil {
+		ds = append(ds, Lifetimes(a.Set)...)
+		ds = append(ds, Regions(a.Set)...)
+		if a.Grouped != nil {
+			ds = append(ds, Segments(a.Set, a.Grouped, a.Memory)...)
+		}
+	}
+	if a.Build != nil {
+		ds = append(ds, Build(a.Build)...)
+		if a.Solution != nil {
+			ds = append(ds, Solution(a.Build, a.Solution, a.Registers)...)
+		}
+	}
+	return ds
+}

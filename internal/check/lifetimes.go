@@ -1,0 +1,155 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lifetime"
+)
+
+// Lifetimes validates a lifetime set: unique variables, non-empty sorted
+// reads, write steps in range, reads strictly after the write, and the final
+// read within the block (or at Steps+1 for external lifetimes). Codes
+// LEA1201–LEA1206. It mirrors lifetime.Set.Validate but reports every
+// violation.
+func Lifetimes(set *lifetime.Set) Diagnostics {
+	var ds Diagnostics
+	seen := make(map[string]bool, len(set.Lifetimes))
+	for i := range set.Lifetimes {
+		l := &set.Lifetimes[i]
+		if seen[l.Var] {
+			ds.errorf("LEA1201", l.Var, "duplicate variable")
+		}
+		seen[l.Var] = true
+		if len(l.Reads) == 0 {
+			ds.errorf("LEA1202", l.Var, "no reads")
+			continue
+		}
+		if !sort.IntsAreSorted(l.Reads) {
+			ds.errorf("LEA1203", l.Var, "reads %v not sorted", l.Reads)
+		}
+		if l.Write < 0 || (l.Write == 0 && !l.Input) {
+			ds.errorf("LEA1204", l.Var, "invalid write step %d (0 is reserved for inputs)", l.Write)
+		}
+		if l.Reads[0] <= l.Write {
+			ds.errorf("LEA1205", l.Var, "first read %d not after write %d", l.Reads[0], l.Write)
+		}
+		limit := set.Steps
+		if l.External {
+			limit = set.Steps + 1
+		}
+		if l.LastRead() > limit {
+			ds.errorf("LEA1206", l.Var, "last read %d past limit %d", l.LastRead(), limit)
+		}
+	}
+	return ds
+}
+
+// Segments validates a split of the set's lifetimes into per-variable
+// segment groups under the given memory access pattern: group/lifetime
+// correspondence, boundary kinds, segment contiguity, index bookkeeping, and
+// a re-derivation of every Forced flag from §5.2's accessibility rule.
+// Codes LEA1210–LEA1218. The check expects freshly split segments; pinned
+// groups (ForceRegister/ForceMemory applied) will trip the Forced
+// re-derivation by design.
+func Segments(set *lifetime.Set, grouped [][]lifetime.Segment, mem lifetime.MemoryAccess) Diagnostics {
+	var ds Diagnostics
+	if len(grouped) != len(set.Lifetimes) {
+		ds.errorf("LEA1210", "", "%d segment groups for %d lifetimes", len(grouped), len(set.Lifetimes))
+		return ds
+	}
+	for gi, group := range grouped {
+		l := &set.Lifetimes[gi]
+		if len(group) == 0 {
+			ds.errorf("LEA1211", l.Var, "empty segment group")
+			continue
+		}
+		for k := range group {
+			g := &group[k]
+			pos := fmt.Sprintf("%s[%d/%d]", g.Var, k+1, len(group))
+			if g.Var != l.Var {
+				ds.errorf("LEA1211", pos, "segment of %q grouped under %q", g.Var, l.Var)
+			}
+			if g.Index != k || g.NumSegs != len(group) {
+				ds.errorf("LEA1212", pos, "index bookkeeping %d/%d", g.Index, g.NumSegs)
+			}
+			if g.Start >= g.End {
+				ds.errorf("LEA1213", pos, "segment spans %d..%d backwards", g.Start, g.End)
+			}
+			if k > 0 && group[k-1].End != g.Start {
+				ds.errorf("LEA1214", pos, "gap: previous segment ends at %d, this starts at %d", group[k-1].End, g.Start)
+			}
+			if g.Forced && g.Barred {
+				ds.errorf("LEA1215", pos, "segment both forced and barred")
+			}
+			// §5.2 re-derivation: forced iff an endpoint falls between memory
+			// access times (block boundaries are always accessible).
+			startOK := g.StartKind == lifetime.BoundInput || mem.Accessible(g.Start)
+			endOK := g.EndKind == lifetime.BoundExternal || mem.Accessible(g.End)
+			wantForced := mem.Period > 1 && !(startOK && endOK)
+			if g.Forced != wantForced {
+				ds.errorf("LEA1216", pos, "Forced=%v but §5.2 accessibility derives %v", g.Forced, wantForced)
+			}
+		}
+		first, last := &group[0], &group[len(group)-1]
+		if first.Start != l.Write {
+			ds.errorf("LEA1217", l.Var, "first segment starts at %d, lifetime written at %d", first.Start, l.Write)
+		}
+		wantStart := lifetime.BoundWrite
+		if l.Input {
+			wantStart = lifetime.BoundInput
+		}
+		if first.StartKind != wantStart {
+			ds.errorf("LEA1217", l.Var, "first segment starts with %s, want %s", first.StartKind, wantStart)
+		}
+		if last.End != l.LastRead() {
+			ds.errorf("LEA1218", l.Var, "last segment ends at %d, lifetime last read at %d", last.End, l.LastRead())
+		}
+		wantEnd := lifetime.BoundRead
+		if l.External {
+			wantEnd = lifetime.BoundExternal
+		}
+		if last.EndKind != wantEnd {
+			ds.errorf("LEA1218", l.Var, "last segment ends with %s, want %s", last.EndKind, wantEnd)
+		}
+	}
+	return ds
+}
+
+// Regions validates the set's maximum-density regions against an
+// independent re-derivation from the density profile: every half-point
+// inside a region carries the maximum density, every half-point at maximum
+// density lies inside exactly one region, and regions are sorted and
+// disjoint. Codes LEA1220–LEA1222.
+func Regions(set *lifetime.Set) Diagnostics {
+	var ds Diagnostics
+	regions := set.MaxDensityRegions()
+	dens := set.Densities()
+	max := set.MaxDensity()
+	covered := make([]bool, len(dens))
+	prevEnd := -1
+	for _, r := range regions {
+		pos := fmt.Sprintf("region %d..%d", r.Start, r.End)
+		if r.Start > r.End || r.Start < 0 || r.End >= len(dens) {
+			ds.errorf("LEA1220", pos, "bounds outside the density profile [0,%d)", len(dens))
+			continue
+		}
+		if r.Start <= prevEnd {
+			ds.errorf("LEA1221", pos, "overlaps or precedes the previous region (end %d)", prevEnd)
+		}
+		prevEnd = r.End
+		for p := r.Start; p <= r.End; p++ {
+			covered[p] = true
+			if dens[p] != max {
+				ds.errorf("LEA1220", pos, "half-point %d has density %d, maximum is %d", p, dens[p], max)
+				break
+			}
+		}
+	}
+	for p, d := range dens {
+		if d == max && !covered[p] {
+			ds.errorf("LEA1222", fmt.Sprintf("half-point %d", p), "density %d equals the maximum but no region covers it", d)
+		}
+	}
+	return ds
+}

@@ -1,0 +1,56 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Schedule validates a block schedule against its dependences and the given
+// resource bounds: steps in [1, Length], consumers strictly after producers,
+// and the per-step functional-unit usage within res (zero bounds mean
+// unlimited). Codes LEA1101–LEA1105.
+func Schedule(s *sched.Schedule, res sched.Resources) Diagnostics {
+	var ds Diagnostics
+	b := s.Block
+	if len(s.Step) != len(b.Instrs) {
+		ds.errorf("LEA1101", b.Name, "%d steps for %d instructions", len(s.Step), len(b.Instrs))
+		return ds
+	}
+	pos := func(i int) string { return fmt.Sprintf("%s#%d", b.Name, i) }
+	def := make(map[string]int, len(b.Instrs))
+	for i, in := range b.Instrs {
+		def[in.Dst] = i
+	}
+	for j, in := range b.Instrs {
+		if s.Step[j] < 1 || s.Step[j] > s.Length {
+			ds.errorf("LEA1102", pos(j), "step %d outside [1,%d]", s.Step[j], s.Length)
+			continue
+		}
+		for _, src := range in.Src {
+			if i, ok := def[src]; ok && s.Step[i] >= s.Step[j] {
+				ds.errorf("LEA1103", pos(j),
+					"reads %q at step %d but it is defined at step %d (consumers must run strictly later)",
+					src, s.Step[j], s.Step[i])
+			}
+		}
+	}
+	if ds.HasErrors() {
+		// Unit usage indexes by step; skip it when steps are out of range.
+		return ds
+	}
+	alus, muls := s.UnitUsage()
+	for step0, n := range alus {
+		if res.ALUs > 0 && n > res.ALUs {
+			ds.errorf("LEA1104", fmt.Sprintf("%s@%d", b.Name, step0+1),
+				"%d ALU-class ops exceed the %d available", n, res.ALUs)
+		}
+	}
+	for step0, n := range muls {
+		if res.Multipliers > 0 && n > res.Multipliers {
+			ds.errorf("LEA1105", fmt.Sprintf("%s@%d", b.Name, step0+1),
+				"%d multiplier-class ops exceed the %d available", n, res.Multipliers)
+		}
+	}
+	return ds
+}

@@ -1,0 +1,181 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+// hasCode reports whether ds contains a diagnostic with the code.
+func hasCode(ds check.Diagnostics, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSolutionCertifiesEverySolve is the acceptance property: across 50
+// random instances, every solver output — cold through core.Allocate and
+// warm through core.Prepare/Allocate at several register counts — passes the
+// full re-certification (bounds, conservation, cost re-add, complementary
+// slackness, energy re-derivation). Debug mode is on, so the in-pipeline
+// checks run too.
+func TestSolutionCertifiesEverySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	co := netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
+	for i := 0; i < 50; i++ {
+		set := workload.MustRandom(rng, workload.RandomParams{
+			Vars: 3 + rng.Intn(12), Steps: 4 + rng.Intn(10), MaxReads: 1 + rng.Intn(3),
+			ExternalFrac: 0.3, InputFrac: 0.2,
+		})
+		maxR := set.MaxDensity()
+		opts := core.Options{
+			Registers: 1 + rng.Intn(maxR+1),
+			Memory:    lifetime.FullSpeed,
+			Style:     netbuild.DensityRegions,
+			Cost:      co,
+			Debug:     true,
+		}
+
+		// Cold path.
+		res, err := core.Allocate(set, opts)
+		if err != nil {
+			t.Fatalf("instance %d: cold allocate: %v", i, err)
+		}
+		if ds := check.Solution(res.Build, res.Solution, opts.Registers); ds.HasErrors() {
+			t.Fatalf("instance %d: cold solution rejected: %v", i, ds)
+		}
+
+		// Warm path: same prepared problem re-solved across register counts.
+		pre, err := core.Prepare(set, opts)
+		if err != nil {
+			t.Fatalf("instance %d: prepare: %v", i, err)
+		}
+		for r := 0; r <= maxR; r++ {
+			wres, err := pre.Allocate(r, co)
+			if err != nil {
+				t.Fatalf("instance %d R=%d: warm allocate: %v", i, r, err)
+			}
+			if ds := check.Solution(wres.Build, wres.Solution, r); ds.HasErrors() {
+				t.Fatalf("instance %d R=%d: warm solution rejected: %v", i, r, ds)
+			}
+		}
+	}
+}
+
+// TestSolutionCatchesTampering: corrupting a certified solution must trip
+// the re-certification.
+func TestSolutionCatchesTampering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	set := workload.MustRandom(rng, workload.RandomParams{Vars: 8, Steps: 10, MaxReads: 2, ExternalFrac: 0.3})
+	co := netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
+	res, err := core.Allocate(set, core.Options{
+		Registers: 2, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: co,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := check.Solution(res.Build, res.Solution, 2); ds.HasErrors() {
+		t.Fatalf("genuine solution rejected: %v", ds)
+	}
+
+	// Misreported cost.
+	tampered := &flow.Solution{FlowByArc: append([]int64(nil), res.Solution.FlowByArc...), Cost: res.Solution.Cost + 1}
+	if ds := check.Solution(res.Build, tampered, 2); !hasCode(ds, "LEA1405") {
+		t.Errorf("cost tampering not flagged: %v", ds)
+	}
+
+	// Broken conservation: drain one unit out of a transfer arc that
+	// carries flow.
+	tampered = &flow.Solution{FlowByArc: append([]int64(nil), res.Solution.FlowByArc...), Cost: res.Solution.Cost}
+	moved := false
+	for _, tr := range res.Build.Transfers {
+		if tr.Kind != netbuild.KindBypass && tampered.FlowByArc[tr.Arc] > 0 {
+			tampered.FlowByArc[tr.Arc]--
+			moved = true
+			break
+		}
+	}
+	if moved {
+		if ds := check.Solution(res.Build, tampered, 2); !hasCode(ds, "LEA1403") {
+			t.Errorf("conservation tampering not flagged: %v", ds)
+		}
+	}
+
+	// Wrong shipped value.
+	if ds := check.Solution(res.Build, res.Solution, 3); !hasCode(ds, "LEA1403") {
+		t.Errorf("wrong register count not flagged: %v", ds)
+	}
+}
+
+// TestCertifyRejectsSuboptimal: a feasible but demonstrably non-optimal flow
+// must fail certification with a negative residual cycle.
+func TestCertifyRejectsSuboptimal(t *testing.T) {
+	// Two parallel s->t paths: cheap (cost 0) and dear (cost 10). Shipping
+	// the unit over the dear path is feasible but not optimal.
+	nw := flow.NewNetwork(4)
+	aCheap1 := nw.MustArc(0, 2, 0, 1, 0)
+	aCheap2 := nw.MustArc(2, 1, 0, 1, 0)
+	aDear1 := nw.MustArc(0, 3, 0, 1, 10)
+	aDear2 := nw.MustArc(3, 1, 0, 1, 0)
+
+	sol, err := nw.MinCostFlowValue(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ds := check.Certify(nw, nil, sol); ds.HasErrors() {
+		t.Fatalf("optimal flow rejected: %v", ds)
+	}
+
+	bad := &flow.Solution{FlowByArc: make([]int64, nw.M()), Cost: 10}
+	bad.FlowByArc[aDear1] = 1
+	bad.FlowByArc[aDear2] = 1
+	_ = aCheap1
+	_ = aCheap2
+	if _, ds := check.Certify(nw, nil, bad); !hasCode(ds, "LEA1410") {
+		t.Errorf("suboptimal flow certified: %v", ds)
+	}
+}
+
+// TestCertifyPotentialsCoverResiduals: the returned certificate's potentials
+// must satisfy non-negative reduced cost on every residual arc (re-checked
+// here independently of Certify's own verification).
+func TestCertifyPotentialsCoverResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	set := workload.MustRandom(rng, workload.RandomParams{Vars: 10, Steps: 12, MaxReads: 2, ExternalFrac: 0.2})
+	co := netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
+	res, err := core.Allocate(set, core.Options{
+		Registers: 3, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: co,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, ds := check.Certify(res.Build.Net, nil, res.Solution)
+	if ds.HasErrors() || cert == nil {
+		t.Fatalf("certification failed: %v", ds)
+	}
+	nw := res.Build.Net
+	if len(cert.Potentials) != nw.N() {
+		t.Fatalf("%d potentials for %d nodes", len(cert.Potentials), nw.N())
+	}
+	for id := 0; id < nw.M(); id++ {
+		from, to, lower, capacity, cost := nw.Arc(flow.ArcID(id))
+		f := res.Solution.FlowByArc[id]
+		cpi := cost + cert.Potentials[from] - cert.Potentials[to]
+		if f < capacity && cpi < 0 {
+			t.Fatalf("arc %d: residual forward arc has reduced cost %d", id, cpi)
+		}
+		if f > lower && cpi > 0 {
+			t.Fatalf("arc %d: residual backward arc has reduced cost %d", id, -cpi)
+		}
+	}
+}

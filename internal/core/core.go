@@ -43,6 +43,12 @@ type Options struct {
 	Style netbuild.GraphStyle
 	// Cost selects the energy model driving arc costs.
 	Cost netbuild.CostOptions
+	// Debug re-validates the pipeline's intermediate artifacts with
+	// internal/check at stage boundaries: split consistency after Split, and
+	// construction plus an independent optimality certificate (conservation,
+	// complementary slackness, energy re-derivation) after Solve. Costs a
+	// pass over the network per allocation; off by default.
+	Debug bool
 }
 
 // AccessCounts tallies storage accesses of a decoded solution under the

@@ -161,7 +161,7 @@ func TestChainsAreTimeOrderedAndDisjoint(t *testing.T) {
 func TestEnergyIdentity(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(8), MaxReads: 3,
 			ExternalFrac: 0.2, InputFrac: 0.25,
 		})
@@ -204,7 +204,7 @@ func TestStaticOptimalityVsBruteForce(t *testing.T) {
 		// No external reads: an external read is a second read, which
 		// splits the lifetime and gives the flow partial-residence freedom
 		// the whole-variable brute force cannot express.
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 2 + rng.Intn(7), Steps: 5 + rng.Intn(6), MaxReads: 1,
 			InputFrac: 0.25,
 		})
@@ -232,7 +232,7 @@ func TestStaticOptimalityVsBruteForce(t *testing.T) {
 func TestActivityOptimalityVsBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 2 + rng.Intn(5), Steps: 5 + rng.Intn(5), MaxReads: 1,
 			InputFrac: 0.25,
 		})
@@ -279,7 +279,7 @@ func trigramHamming() energy.Hamming {
 func TestDensityGraphNeverBeatsAllCompatible(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2,
 			ExternalFrac: 0.2, InputFrac: 0.2,
 		})
@@ -302,7 +302,7 @@ func TestDensityGraphNeverBeatsAllCompatible(t *testing.T) {
 func TestFlowBeatsOrMatchesBaselines(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 1,
 			ExternalFrac: 0.2, InputFrac: 0.2,
 		})
@@ -392,7 +392,7 @@ func TestBreakdownMatchesCounts(t *testing.T) {
 func TestDensityGraphMinLocationsGuarantee(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 2 + rng.Intn(6), Steps: 5 + rng.Intn(5), MaxReads: 1,
 		})
 		regs := rng.Intn(set.MaxDensity() + 1)
@@ -442,7 +442,7 @@ func TestResultValidate(t *testing.T) {
 func TestResultValidateProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
 		})
 		r, err := core.Allocate(set, core.Options{

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/flow"
 	"repro/internal/lifetime"
 	"repro/internal/netbuild"
@@ -89,6 +90,9 @@ func (p *Pipeline) Allocate(set *lifetime.Set) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := p.debugSplit(set, grouped); err != nil {
+		return nil, err
+	}
 	if err := p.pin(grouped, &stats); err != nil {
 		return nil, err
 	}
@@ -98,6 +102,9 @@ func (p *Pipeline) Allocate(set *lifetime.Set) (*Result, error) {
 	}
 	sol, err := p.solve(build, &stats)
 	if err != nil {
+		return nil, err
+	}
+	if err := debugSolve(p.opts, build, sol, p.opts.Registers); err != nil {
 		return nil, err
 	}
 	res, err := p.decode(build, sol, &stats)
@@ -126,6 +133,33 @@ func (p *Pipeline) split(set *lifetime.Set, stats *RunStats) ([][]lifetime.Segme
 		stats.Segments += len(g)
 	}
 	return grouped, nil
+}
+
+// debugSplit re-validates the freshly split segments (before pinning flips
+// Forced/Barred) when Options.Debug is set.
+func (p *Pipeline) debugSplit(set *lifetime.Set, grouped [][]lifetime.Segment) error {
+	if !p.opts.Debug {
+		return nil
+	}
+	ds := check.All(check.Artifacts{Set: set, Grouped: grouped, Memory: p.opts.Memory})
+	if err := ds.Err(); err != nil {
+		return fmt.Errorf("core: debug check after split: %w", err)
+	}
+	return nil
+}
+
+// debugSolve re-certifies the network construction and the solver's output
+// (conservation, complementary slackness, energy re-derivation) when
+// Options.Debug is set.
+func debugSolve(opts Options, build *netbuild.Build, sol *flow.Solution, registers int) error {
+	if !opts.Debug {
+		return nil
+	}
+	ds := check.All(check.Artifacts{Build: build, Solution: sol, Registers: registers})
+	if err := ds.Err(); err != nil {
+		return fmt.Errorf("core: debug check after solve: %w", err)
+	}
+	return nil
 }
 
 // pin applies the §7 forced/barred residences to the grouped segments.

@@ -47,6 +47,9 @@ func (p *Pipeline) Prepare(set *lifetime.Set) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := p.debugSplit(set, grouped); err != nil {
+		return nil, err
+	}
 	if err := p.pin(grouped, &stats); err != nil {
 		return nil, err
 	}
@@ -135,8 +138,12 @@ func (pre *Prepared) allocate(registers int, co netbuild.CostOptions, costs []in
 	opts := pre.opts
 	opts.Registers = registers
 	opts.Cost = co
+	view := pre.tpl.BuildFor(co, baseline)
+	if err := debugSolve(opts, view, sol, registers); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
-	res, err := decode(pre.tpl.BuildFor(co, baseline), sol, opts)
+	res, err := decode(view, sol, opts)
 	stats.DecodeTime = time.Since(t0)
 	if err != nil {
 		return nil, err

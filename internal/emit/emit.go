@@ -30,6 +30,7 @@ type Loc struct {
 // InMemory reports whether the location is a memory word.
 func (l Loc) InMemory() bool { return l.Reg < 0 }
 
+// String renders the location as a register name or bracketed memory word.
 func (l Loc) String() string {
 	if l.InMemory() {
 		return "[" + l.Var + "]"
@@ -65,6 +66,7 @@ type MachineOp struct {
 	Comment string
 }
 
+// String renders the machine op in a load/store/compute assembly style.
 func (m MachineOp) String() string {
 	switch m.Kind {
 	case KindLoad:

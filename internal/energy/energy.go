@@ -24,6 +24,7 @@ const (
 	Activity
 )
 
+// String names the cost style.
 func (s Style) String() string {
 	if s == Static {
 		return "static"

@@ -226,6 +226,7 @@ func (nw *Network) SolveWith(e Engine, sc *Scratch) (*Solution, *SolveStats, err
 
 type sspSolver struct{}
 
+// Name identifies the engine in SolveStats.
 func (sspSolver) Name() string { return "ssp" }
 func (sspSolver) run(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 	return ssp(sc, s, t, required, st)
@@ -233,6 +234,7 @@ func (sspSolver) run(sc *Scratch, s, t int, required int64, st *SolveStats) (int
 
 type cycleCancelSolver struct{}
 
+// Name identifies the engine in SolveStats.
 func (cycleCancelSolver) Name() string { return "cyclecancel" }
 func (cycleCancelSolver) run(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 	return cycleCancel(sc, s, t, required, st)
@@ -240,6 +242,7 @@ func (cycleCancelSolver) run(sc *Scratch, s, t int, required int64, st *SolveSta
 
 type costScaleSolver struct{}
 
+// Name identifies the engine in SolveStats.
 func (costScaleSolver) Name() string { return "costscale" }
 func (costScaleSolver) run(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 	return costScale(sc, s, t, required, st)

@@ -45,6 +45,13 @@ const Unbounded = int64(math.MaxInt64) / 4
 // supplies) cannot be satisfied.
 var ErrInfeasible = errors.New("flow: infeasible")
 
+// ErrNegativeCycle is returned when the network's initial residual contains a
+// negative-cost cycle within capacity bounds, so no node potentials exist and
+// minimum cost is unbounded below over circulations. Networks built by
+// internal/netbuild never trip this; hand-built networks with negative arc
+// costs can.
+var ErrNegativeCycle = errors.New("flow: negative cycle in initial residual network")
+
 // NewNetwork returns an empty network with n nodes.
 func NewNetwork(n int) *Network {
 	if n < 0 {
@@ -111,6 +118,7 @@ func (nw *Network) MustArc(from, to int, lower, capacity, cost int64) ArcID {
 // demand. The sum of all supplies must be zero at Solve time.
 func (nw *Network) SetSupply(v int, b int64) {
 	if v < 0 || v >= nw.n {
+		//lealint:ignore LEA0201 index precondition, mirrors slice-bounds semantics
 		panic(fmt.Sprintf("flow: node %d out of range", v))
 	}
 	nw.supply[v] = b
@@ -119,9 +127,20 @@ func (nw *Network) SetSupply(v int, b int64) {
 // AddSupply adds b to node v's imbalance.
 func (nw *Network) AddSupply(v int, b int64) {
 	if v < 0 || v >= nw.n {
+		//lealint:ignore LEA0201 index precondition, mirrors slice-bounds semantics
 		panic(fmt.Sprintf("flow: node %d out of range", v))
 	}
 	nw.supply[v] += b
+}
+
+// Supply returns node v's configured imbalance: positive for supply, negative
+// for demand.
+func (nw *Network) Supply(v int) int64 {
+	if v < 0 || v >= nw.n {
+		//lealint:ignore LEA0201 index precondition, mirrors slice-bounds semantics
+		panic(fmt.Sprintf("flow: node %d out of range", v))
+	}
+	return nw.supply[v]
 }
 
 // Arc returns the endpoints, bounds and cost of arc id.

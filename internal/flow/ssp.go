@@ -93,7 +93,11 @@ func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 		pi = sc.pi[:r.n]
 		st.PotentialsReused = true
 	} else {
-		pi = initPotentials(r, s, sc)
+		var err error
+		pi, err = initPotentials(r, s, sc)
+		if err != nil {
+			return 0, err
+		}
 	}
 	sc.dist = grow64(sc.dist, r.n)
 	sc.prevArc = grow32(sc.prevArc, r.n)
@@ -143,7 +147,7 @@ func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 // scratch's potential buffer. The initial residual of a DAG-shaped network is
 // acyclic, so a single relaxation pass in topological order suffices —
 // O(V+E). Bellman-Ford remains as the fallback for non-DAG inputs.
-func initPotentials(r *residual, s int, sc *Scratch) []int64 {
+func initPotentials(r *residual, s int, sc *Scratch) ([]int64, error) {
 	sc.pi = grow64(sc.pi, r.n)
 	dist := sc.pi
 	for v := range dist {
@@ -151,7 +155,7 @@ func initPotentials(r *residual, s int, sc *Scratch) []int64 {
 	}
 	dist[s] = 0
 	if dagRelax(r, sc, dist) {
-		return dist
+		return dist, nil
 	}
 	// Cycle among capacitated arcs: re-run the general algorithm (it resets
 	// dist itself).
@@ -243,9 +247,11 @@ func repairPotentials(r *residual, pi []int64) bool {
 }
 
 // bellmanFord computes shortest distances from s over arcs with residual
-// capacity, tolerating negative costs, into dist. A negative cycle indicates
-// caller error and panics.
-func bellmanFord(r *residual, s int, dist []int64) []int64 {
+// capacity, tolerating negative costs, into dist. A negative cycle in the
+// initial residual means the network prices a free lunch (a cost-reducing
+// cycle within capacity bounds); it is reported as ErrNegativeCycle rather
+// than a panic so malformed inputs surface as ordinary errors.
+func bellmanFord(r *residual, s int, dist []int64) ([]int64, error) {
 	for v := range dist {
 		dist[v] = infCost
 	}
@@ -266,10 +272,10 @@ func bellmanFord(r *residual, s int, dist []int64) []int64 {
 			}
 		}
 		if !changed {
-			return dist
+			return dist, nil
 		}
 		if round > r.n {
-			panic("flow: negative cycle in initial residual network")
+			return nil, ErrNegativeCycle
 		}
 	}
 }

@@ -18,6 +18,18 @@ func FuzzParse(f *testing.F) {
 		"block b\nout ghost\n",
 		"y = x\n",
 		strings.Repeat("block b\n", 10),
+		// Operator coverage: every infix/prefix form the grammar admits.
+		"block ops\nin a b\nc = a * b\nd = a - b\ne = a >> b\nf = neg d\nout c e f\n",
+		"task outer\nblock b1\nin a\nx = a + a\nout x\nend\ntask t2\nblock b2\nin x\ny = x * x\nout y\nend\n",
+		// Whitespace and comment stress.
+		"block b\t\nin  a \n c = a\t+ a\n# trailing\nout c\n",
+		"#only a comment\n",
+		"block b\nin a\nc = mac a a\nout c",
+		// Near-miss tokens that must be rejected without panicking.
+		"block b\nin a\nc = a ? a\nout c\n",
+		"block b\nin in\nout = out + out\n",
+		"block \xff\n",
+		"block b\nin a\n" + strings.Repeat("x = a + a\n", 50) + "out x\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -31,8 +43,17 @@ func FuzzParse(f *testing.F) {
 		if err := Format(&b, p); err != nil {
 			t.Fatalf("accepted program failed to format: %v", err)
 		}
-		if _, err := ParseString(b.String()); err != nil {
+		p2, err := ParseString(b.String())
+		if err != nil {
 			t.Fatalf("formatted program failed to reparse: %v\n%s", err, b.String())
+		}
+		// Formatting must be a fixed point: format(parse(format(p))) == format(p).
+		var b2 strings.Builder
+		if err := Format(&b2, p2); err != nil {
+			t.Fatalf("reparsed program failed to format: %v", err)
+		}
+		if b2.String() != b.String() {
+			t.Fatalf("format not idempotent:\nfirst:\n%s\nsecond:\n%s", b.String(), b2.String())
 		}
 	})
 }

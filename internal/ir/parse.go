@@ -13,6 +13,7 @@ type ParseError struct {
 	Msg  string
 }
 
+// Error formats the parse error with its 1-based source line.
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("ir: line %d: %s", e.Line, e.Msg)
 }

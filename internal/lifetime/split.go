@@ -82,6 +82,7 @@ const (
 	BoundExternal
 )
 
+// String names the bound kind.
 func (k BoundKind) String() string {
 	switch k {
 	case BoundWrite:
@@ -148,6 +149,7 @@ func (g *Segment) StartPoint() int { return WritePoint(g.Start) }
 // EndPoint returns the half-point of the segment end.
 func (g *Segment) EndPoint() int { return ReadPoint(g.End) }
 
+// String renders the segment with its bounds, kinds and flags.
 func (g *Segment) String() string {
 	f := ""
 	if g.Forced {

@@ -85,7 +85,7 @@ func TestSwitchingMinimised(t *testing.T) {
 func TestBindingProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 2 + rng.Intn(10), Steps: 5 + rng.Intn(8), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
 		})
 		var vars []string

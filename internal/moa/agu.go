@@ -20,6 +20,7 @@ const (
 	AGUStay
 )
 
+// String renders the AGU op mnemonic.
 func (op AGUOp) String() string {
 	switch op {
 	case AGULoadAR:

@@ -189,7 +189,7 @@ func TestAccessSequenceFromAllocation(t *testing.T) {
 func TestAccessSequenceMatchesTallyVolume(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := workload.Random(rng, workload.RandomParams{
+		set := workload.MustRandom(rng, workload.RandomParams{
 			Vars: 3 + rng.Intn(8), Steps: 6 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
 		})
 		r, err := core.Allocate(set, core.Options{

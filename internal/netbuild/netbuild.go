@@ -36,6 +36,7 @@ const (
 	AllCompatible
 )
 
+// String names the graph style.
 func (s GraphStyle) String() string {
 	if s == DensityRegions {
 		return "density-regions"
@@ -69,6 +70,7 @@ const (
 
 var kindNames = [...]string{"segment", "eq4", "eq6", "eq7", "eq8", "eq9", "source", "sink", "bypass"}
 
+// String names the arc kind.
 func (k ArcKind) String() string {
 	if k < 0 || int(k) >= len(kindNames) {
 		return fmt.Sprintf("kind(%d)", int(k))

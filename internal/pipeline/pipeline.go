@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/ir"
@@ -39,6 +40,11 @@ type Config struct {
 	// is checked, and results are assembled in program order, so any worker
 	// count returns identical results.
 	Workers int
+	// Debug re-validates every block's schedule, lifetimes and solved
+	// allocation with internal/check (including an independent optimality
+	// certificate for each solve). Off by default; costs a pass over each
+	// block's network.
+	Debug bool
 }
 
 // BlockResult is one block's outcome.
@@ -74,7 +80,7 @@ func Run(p *ir.Program, cfg Config) (*ProgramResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := CheckDataflow(p, cfg.AllowExternalInputs); err != nil {
+	if err := check.Dataflow(p, cfg.AllowExternalInputs).Err(); err != nil {
 		return nil, err
 	}
 
@@ -190,6 +196,19 @@ func runBlock(alloc *core.Pipeline, taskName string, block *ir.Block, cfg Config
 	if err != nil {
 		return BlockResult{}, err
 	}
+	if cfg.Debug {
+		ds := check.All(check.Artifacts{
+			Schedule:  s,
+			Resources: cfg.Resources,
+			Set:       set,
+			Build:     res.Build,
+			Solution:  res.Solution,
+			Registers: res.Options.Registers,
+		})
+		if err := ds.Err(); err != nil {
+			return BlockResult{}, fmt.Errorf("debug check: %w", err)
+		}
+	}
 	return BlockResult{
 		Task:     taskName,
 		Block:    block.Name,
@@ -204,22 +223,12 @@ func runBlock(alloc *core.Pipeline, taskName string, block *ir.Block, cfg Config
 // an output of an earlier block (in task order) or, when allowed, a program
 // input. Duplicate outputs across blocks are rejected (a value has one
 // producer).
+//
+// Deprecated: use check.Dataflow, which reports every violation as a
+// structured diagnostic; this wrapper surfaces only the combined error.
 func CheckDataflow(p *ir.Program, allowExternal bool) error {
-	produced := make(map[string]string) // value -> producing block
-	for _, task := range p.Tasks {
-		for _, b := range task.Blocks {
-			for _, in := range b.Inputs {
-				if _, ok := produced[in]; !ok && !allowExternal {
-					return fmt.Errorf("pipeline: block %q input %q has no producer", b.Name, in)
-				}
-			}
-			for _, out := range b.Outputs {
-				if prev, ok := produced[out]; ok {
-					return fmt.Errorf("pipeline: value %q produced by both %q and %q", out, prev, b.Name)
-				}
-				produced[out] = b.Name
-			}
-		}
+	if err := check.Dataflow(p, allowExternal).Err(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
 	}
 	return nil
 }

@@ -435,9 +435,12 @@ func GraphStyleAblation(seed int64, instances int) (*Table, error) {
 		Header: []string{"instance", "vars", "R", "locs (paper graph)", "locs (all-compat)", "E (paper graph)", "E (all-compat)"},
 	}
 	for i := 0; i < instances; i++ {
-		set := workload.Random(rng, workload.RandomParams{
+		set, err := workload.Random(rng, workload.RandomParams{
 			Vars: 8 + rng.Intn(8), Steps: 10 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
 		})
+		if err != nil {
+			return nil, err
+		}
 		regs := 1 + set.MaxDensity()/2
 		a, err := core.Allocate(set, core.Options{Registers: regs, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: co})
 		if err != nil {

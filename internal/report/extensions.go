@@ -167,9 +167,12 @@ func TwoCommodity(seed int64, instances int) (*Table, error) {
 		Header: []string{"instance", "vars", "R", "sequential", "alternating", "iters"},
 	}
 	for i := 0; i < instances; i++ {
-		set := workload.Random(rng, workload.RandomParams{
+		set, err := workload.Random(rng, workload.RandomParams{
 			Vars: 8 + rng.Intn(8), Steps: 10 + rng.Intn(6), MaxReads: 2, ExternalFrac: 0.2, InputFrac: 0.2,
 		})
+		if err != nil {
+			return nil, err
+		}
 		regs := 1 + set.MaxDensity()/3
 		base := core.Options{
 			Registers: regs,
@@ -209,10 +212,13 @@ func ClaimBand(seed int64, instances int) (*Table, error) {
 	co := netbuild.CostOptions{Style: energy.Activity, Model: model, H: h}
 	var ratios []float64
 	for len(ratios) < instances {
-		set := workload.Random(rng, workload.RandomParams{
+		set, err := workload.Random(rng, workload.RandomParams{
 			Vars: 10 + rng.Intn(20), Steps: 10 + rng.Intn(10), MaxReads: 2,
 			ExternalFrac: 0.2, InputFrac: 0.2,
 		})
+		if err != nil {
+			return nil, err
+		}
 		regs := 1 + set.MaxDensity()/2
 		flowRes, err := core.Allocate(set, core.Options{
 			Registers: regs, Memory: lifetime.FullSpeed, Style: netbuild.DensityRegions, Cost: co,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/ir"
 	"repro/internal/lifetime"
 )
 
@@ -20,10 +21,12 @@ type RandomParams struct {
 }
 
 // Random generates a valid random lifetime set, deterministic in the rng.
-// Used by property tests and scaling benchmarks.
-func Random(rng *rand.Rand, p RandomParams) *lifetime.Set {
+// It returns an error for unusable parameters (Vars ≤ 0 or Steps < 2) or if
+// the generated set fails its own validation. Used by property tests and
+// scaling benchmarks.
+func Random(rng *rand.Rand, p RandomParams) (*lifetime.Set, error) {
 	if p.Vars <= 0 || p.Steps < 2 {
-		panic(fmt.Sprintf("workload: bad random params %+v", p))
+		return nil, fmt.Errorf("workload: bad random params %+v", p)
 	}
 	if p.MaxReads < 1 {
 		p.MaxReads = 1
@@ -61,9 +64,56 @@ func Random(rng *rand.Rand, p RandomParams) *lifetime.Set {
 		set.Lifetimes = append(set.Lifetimes, l)
 	}
 	if err := set.Validate(); err != nil {
-		panic(fmt.Sprintf("workload: generated invalid set: %v", err))
+		return nil, fmt.Errorf("workload: generated invalid set: %w", err)
+	}
+	return set, nil
+}
+
+// MustRandom is Random that panics on error; for use in tests and benchmarks
+// with known-good parameters.
+func MustRandom(rng *rand.Rand, p RandomParams) *lifetime.Set {
+	set, err := Random(rng, p)
+	if err != nil {
+		panic(err)
 	}
 	return set
+}
+
+// RandomProgram emits a valid random straight-line block as a one-task
+// program: every instruction reads previously defined values, and every
+// value is eventually read or exported as a block output. Deterministic in
+// the rng; n is the instruction count.
+func RandomProgram(rng *rand.Rand, n int) (*ir.Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: random program needs n > 0, got %d", n)
+	}
+	b := &ir.Block{Name: "rand0", Inputs: []string{"i0", "i1", "i2"}}
+	avail := append([]string(nil), b.Inputs...)
+	read := make(map[string]bool)
+	for k := 0; k < n; k++ {
+		dst := fmt.Sprintf("t%02d", k)
+		op := ir.OpAdd
+		switch rng.Intn(4) {
+		case 0:
+			op = ir.OpMul
+		case 1:
+			op = ir.OpSub
+		}
+		s1 := avail[rng.Intn(len(avail))]
+		s2 := avail[rng.Intn(len(avail))]
+		b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: dst, Src: []string{s1, s2}})
+		read[s1], read[s2] = true, true
+		avail = append(avail, dst)
+	}
+	for _, in := range b.Instrs {
+		if !read[in.Dst] {
+			b.Outputs = append(b.Outputs, in.Dst)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid block: %w", err)
+	}
+	return &ir.Program{Tasks: []*ir.Task{{Name: "random", Blocks: []*ir.Block{b}}}}, nil
 }
 
 func sortInts(a []int) {

@@ -162,11 +162,11 @@ func TestLocationsDemoValid(t *testing.T) {
 func TestRandomValidProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		set := Random(rng, RandomParams{
+		set, err := Random(rng, RandomParams{
 			Vars: 1 + rng.Intn(20), Steps: 2 + rng.Intn(20), MaxReads: 1 + rng.Intn(4),
 			ExternalFrac: rng.Float64(), InputFrac: rng.Float64(),
 		})
-		return set.Validate() == nil && len(set.Lifetimes) >= 1
+		return err == nil && set.Validate() == nil && len(set.Lifetimes) >= 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
@@ -175,8 +175,8 @@ func TestRandomValidProperty(t *testing.T) {
 
 func TestRandomDeterministic(t *testing.T) {
 	p := RandomParams{Vars: 6, Steps: 9, MaxReads: 2, ExternalFrac: 0.3, InputFrac: 0.3}
-	a := Random(rand.New(rand.NewSource(7)), p)
-	b := Random(rand.New(rand.NewSource(7)), p)
+	a := MustRandom(rand.New(rand.NewSource(7)), p)
+	b := MustRandom(rand.New(rand.NewSource(7)), p)
 	if len(a.Lifetimes) != len(b.Lifetimes) {
 		t.Fatal("nondeterministic size")
 	}
@@ -188,13 +188,23 @@ func TestRandomDeterministic(t *testing.T) {
 	}
 }
 
-func TestRandomPanicsOnBadParams(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad params accepted")
-		}
-	}()
-	Random(rand.New(rand.NewSource(1)), RandomParams{Vars: 0, Steps: 5})
+func TestRandomRejectsBadParams(t *testing.T) {
+	if _, err := Random(rand.New(rand.NewSource(1)), RandomParams{Vars: 0, Steps: 5}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := RandomProgram(rand.New(rand.NewSource(1)), 0); err == nil {
+		t.Fatal("bad program size accepted")
+	}
+}
+
+func TestRandomProgramValid(t *testing.T) {
+	prog, err := RandomProgram(rand.New(rand.NewSource(3)), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 var _ = lifetime.FullSpeed // keep the import for documentation-side tests

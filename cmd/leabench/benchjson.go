@@ -7,6 +7,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/flow"
 	"repro/internal/lifetime"
@@ -26,10 +27,14 @@ type benchResult struct {
 }
 
 // benchSnapshot is the BENCH_sweep.json document: the sweep and solver
-// benchmarks that track the warm-start hot path, plus derived speedups.
+// benchmarks that track the warm-start hot path, plus derived speedups and
+// one cold/warm allocation's per-stage stats in the canonical core.RunStats
+// JSON schema (shared with leaflow -json, leaload -json and leaserved
+// /statsz).
 type benchSnapshot struct {
-	Benchmarks []benchResult      `json:"benchmarks"`
-	Speedups   map[string]float64 `json:"speedups"`
+	Benchmarks []benchResult            `json:"benchmarks"`
+	Speedups   map[string]float64       `json:"speedups"`
+	RunStats   map[string]core.RunStats `json:"run_stats"`
 }
 
 // runBenchJSON measures the sweep and solver benchmarks via
@@ -100,7 +105,24 @@ func runBenchJSON(w io.Writer, path string) error {
 		{"solver_ssp_warm", solverBench(flow.SSP, true)},
 		{"solver_cyclecancel", solverBench(flow.CycleCancelling, false)},
 	}
-	snap := benchSnapshot{Speedups: map[string]float64{}}
+	snap := benchSnapshot{Speedups: map[string]float64{}, RunStats: map[string]core.RunStats{}}
+	// One cold and one warm allocation of the benchmark instance, recorded in
+	// the shared RunStats schema so snapshot consumers see the same field
+	// names the serving endpoints emit.
+	pre, err := core.Prepare(set, core.Options{Registers: int(value),
+		Style: netbuild.DensityRegions,
+		Cost:  netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}})
+	if err != nil {
+		return err
+	}
+	co := netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
+	for _, label := range []string{"alloc_cold", "alloc_warm"} {
+		res, err := pre.Allocate(int(value), co)
+		if err != nil {
+			return err
+		}
+		snap.RunStats[label] = res.Stats
+	}
 	byName := map[string]benchResult{}
 	for _, bb := range benches {
 		r := testing.Benchmark(bb.fn)

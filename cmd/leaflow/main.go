@@ -340,69 +340,33 @@ func printBlock(w io.Writer, task, name string, res *lowenergy.Result, verbose, 
 	fmt.Fprintln(w)
 }
 
-// blockJSON is the machine-readable per-block summary.
+// blockJSON is the machine-readable per-block summary. Stats reuses the
+// canonical core.RunStats JSON schema (shared with leabench -json, leaload
+// -json and leaserved /statsz) instead of an ad-hoc field set.
 type blockJSON struct {
-	Task            string        `json:"task"`
-	Block           string        `json:"block"`
-	Registers       int           `json:"registers"`
-	RegistersUsed   int           `json:"registers_used"`
-	MemoryLocations int           `json:"memory_locations"`
-	Energy          float64       `json:"energy"`
-	BaselineEnergy  float64       `json:"baseline_energy"`
-	MemReads        int           `json:"mem_reads"`
-	MemWrites       int           `json:"mem_writes"`
-	RegReads        int           `json:"reg_reads"`
-	RegWrites       int           `json:"reg_writes"`
-	MemReadPorts    int           `json:"mem_read_ports"`
-	MemWritePorts   int           `json:"mem_write_ports"`
-	RegReadPorts    int           `json:"reg_read_ports"`
-	RegWritePorts   int           `json:"reg_write_ports"`
-	Stats           *runStatsJSON `json:"stats,omitempty"`
-}
-
-// runStatsJSON is the machine-readable -stats payload (durations in
-// nanoseconds).
-type runStatsJSON struct {
-	Engine        string `json:"engine"`
-	SplitNS       int64  `json:"split_ns"`
-	PinNS         int64  `json:"pin_ns"`
-	BuildNS       int64  `json:"build_ns"`
-	SolveNS       int64  `json:"solve_ns"`
-	DecodeNS      int64  `json:"decode_ns"`
-	TotalNS       int64  `json:"total_ns"`
-	Variables     int    `json:"variables"`
-	Segments      int    `json:"segments"`
-	Nodes         int    `json:"nodes"`
-	Arcs          int    `json:"arcs"`
-	Augmentations int    `json:"augmentations"`
-	Phases        int    `json:"phases"`
-	DijkstraIters int    `json:"dijkstra_iters"`
-	Relabels      int    `json:"relabels"`
-	Pushes        int    `json:"pushes"`
+	Task            string              `json:"task"`
+	Block           string              `json:"block"`
+	Registers       int                 `json:"registers"`
+	RegistersUsed   int                 `json:"registers_used"`
+	MemoryLocations int                 `json:"memory_locations"`
+	Energy          float64             `json:"energy"`
+	BaselineEnergy  float64             `json:"baseline_energy"`
+	MemReads        int                 `json:"mem_reads"`
+	MemWrites       int                 `json:"mem_writes"`
+	RegReads        int                 `json:"reg_reads"`
+	RegWrites       int                 `json:"reg_writes"`
+	MemReadPorts    int                 `json:"mem_read_ports"`
+	MemWritePorts   int                 `json:"mem_write_ports"`
+	RegReadPorts    int                 `json:"reg_read_ports"`
+	RegWritePorts   int                 `json:"reg_write_ports"`
+	Stats           *lowenergy.RunStats `json:"stats,omitempty"`
 }
 
 func printJSON(w io.Writer, task, name string, res *lowenergy.Result, stats bool) error {
-	var sj *runStatsJSON
+	var sj *lowenergy.RunStats
 	if stats {
 		st := res.Stats
-		sj = &runStatsJSON{
-			Engine:        st.Engine,
-			SplitNS:       st.SplitTime.Nanoseconds(),
-			PinNS:         st.PinTime.Nanoseconds(),
-			BuildNS:       st.BuildTime.Nanoseconds(),
-			SolveNS:       st.SolveTime.Nanoseconds(),
-			DecodeNS:      st.DecodeTime.Nanoseconds(),
-			TotalNS:       st.TotalTime.Nanoseconds(),
-			Variables:     st.Variables,
-			Segments:      st.Segments,
-			Nodes:         st.Nodes,
-			Arcs:          st.Arcs,
-			Augmentations: st.Solver.Augmentations,
-			Phases:        st.Solver.Phases,
-			DijkstraIters: st.Solver.DijkstraIters,
-			Relabels:      st.Solver.Relabels,
-			Pushes:        st.Solver.Pushes,
-		}
+		sj = &st
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(blockJSON{

@@ -1,0 +1,402 @@
+// Command leaload is a closed-loop load driver for the leaserved allocation
+// service, in the YCSB/yabf mold: N workers each keep exactly one request in
+// flight against POST /v1/allocate, drawing programs from a weighted mix of
+// the internal/workload classes (random / hlsbench / figures), and the run
+// reports throughput, error counts and log-bucketed latency percentiles,
+// plus the server's own /statsz cache and solver-reuse counters.
+//
+// Repeating a small corpus of program shapes is the point: it drives the
+// server's warm template cache, so a healthy run shows a high cache hit
+// ratio and a nonzero incremental solve count. -json emits the machine-
+// readable report for bench tracking; -strict fails the process on any
+// failed request; -require-warm additionally fails it when the server saw no
+// warm-cache traffic.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "leaload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig is the parsed flag set.
+type loadConfig struct {
+	url         string
+	workers     int
+	duration    time.Duration
+	mix         string
+	shapes      int
+	instrs      int
+	registers   int
+	memdiv      int
+	seed        int64
+	timeout     time.Duration
+	jsonOut     bool
+	strict      bool
+	requireWarm bool
+}
+
+// run drives the load and writes the report.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("leaload", flag.ContinueOnError)
+	cfg := loadConfig{}
+	fs.StringVar(&cfg.url, "url", "http://127.0.0.1:8311", "leaserved base URL")
+	fs.IntVar(&cfg.workers, "workers", 4, "concurrent closed-loop workers")
+	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "run length")
+	fs.StringVar(&cfg.mix, "mix", "random=1,hlsbench=1,figures=1", "workload class weights, class=weight comma-separated")
+	fs.IntVar(&cfg.shapes, "shapes", 4, "distinct random program shapes")
+	fs.IntVar(&cfg.instrs, "instrs", 12, "instructions per random program")
+	fs.IntVar(&cfg.registers, "registers", 6, "register count requested per allocation")
+	fs.IntVar(&cfg.memdiv, "memdiv", 1, "memory frequency divisor requested per allocation")
+	fs.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request client timeout")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit a machine-readable JSON report")
+	fs.BoolVar(&cfg.strict, "strict", false, "exit nonzero if any request failed")
+	fs.BoolVar(&cfg.requireWarm, "require-warm", false, "exit nonzero unless the server reports warm-cache hits and incremental solves")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.workers < 1 {
+		return fmt.Errorf("need at least one worker, got %d", cfg.workers)
+	}
+
+	picks, err := buildCorpus(&cfg)
+	if err != nil {
+		return err
+	}
+	report, err := drive(&cfg, picks)
+	if err != nil {
+		return err
+	}
+	if snap, err := fetchStats(&cfg); err != nil {
+		fmt.Fprintf(w, "leaload: /statsz unavailable: %v\n", err)
+	} else {
+		report.Server = snap
+	}
+	if err := report.write(w, cfg.jsonOut); err != nil {
+		return err
+	}
+	if cfg.strict && report.Errors > 0 {
+		return fmt.Errorf("strict: %d of %d requests failed", report.Errors, report.Requests)
+	}
+	if cfg.requireWarm {
+		if report.Server == nil {
+			return fmt.Errorf("require-warm: server stats unavailable")
+		}
+		if report.Server.CacheHits == 0 || report.Server.SolvesIncremental == 0 {
+			return fmt.Errorf("require-warm: cache hits %d, incremental solves %d — warm path not exercised",
+				report.Server.CacheHits, report.Server.SolvesIncremental)
+		}
+	}
+	return nil
+}
+
+// namedProgram is one corpus entry: a rendered TAC request body component.
+type namedProgram struct {
+	class string
+	name  string
+	text  string
+}
+
+// buildCorpus renders the weighted workload corpus as TAC texts and returns
+// the weighted pick list (each entry repeated by its class weight, so a
+// uniform index pick realises the mix).
+func buildCorpus(cfg *loadConfig) ([]namedProgram, error) {
+	weights, err := parseMix(cfg.mix)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	classes, err := workload.Programs(rng, cfg.shapes, cfg.instrs)
+	if err != nil {
+		return nil, err
+	}
+	var picks []namedProgram
+	for _, class := range workload.ProgramClasses() {
+		weight := weights[class]
+		if weight <= 0 {
+			continue
+		}
+		for _, p := range classes[class] {
+			var buf bytes.Buffer
+			if err := ir.Format(&buf, p); err != nil {
+				return nil, fmt.Errorf("render %s program: %w", class, err)
+			}
+			np := namedProgram{class: class, name: p.Tasks[0].Name, text: buf.String()}
+			for k := 0; k < weight; k++ {
+				picks = append(picks, np)
+			}
+		}
+	}
+	if len(picks) == 0 {
+		return nil, fmt.Errorf("mix %q selects no programs", cfg.mix)
+	}
+	return picks, nil
+}
+
+// parseMix parses "class=weight,..." into integer weights.
+func parseMix(mix string) (map[string]int, error) {
+	known := map[string]bool{}
+	for _, c := range workload.ProgramClasses() {
+		known[c] = true
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || !known[kv[0]] {
+			return nil, fmt.Errorf("bad mix element %q (classes: %s)", part, strings.Join(workload.ProgramClasses(), ", "))
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad mix weight in %q", part)
+		}
+		out[kv[0]] = n
+	}
+	return out, nil
+}
+
+// allocResponse is the subset of the server reply the driver inspects.
+type allocResponse struct {
+	Blocks []struct {
+		CacheHit bool `json:"cache_hit"`
+		Stats    struct {
+			Solver struct {
+				Incremental bool `json:"incremental"`
+			} `json:"solver"`
+		} `json:"stats"`
+	} `json:"blocks"`
+}
+
+// workerTally is one worker's local aggregate, merged after the run.
+type workerTally struct {
+	requests  int64
+	errors    int64
+	hits      int64
+	incr      int64
+	byClass   map[string]int64
+	errByCode map[string]int64
+	latency   *serve.Histogram
+}
+
+// drive runs the closed loop until the deadline and merges the tallies.
+func drive(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers * 2,
+			MaxIdleConnsPerHost: cfg.workers * 2,
+		},
+	}
+	deadline := time.Now().Add(cfg.duration)
+	tallies := make([]*workerTally, cfg.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.workers; i++ {
+		t := &workerTally{
+			byClass:   map[string]int64{},
+			errByCode: map[string]int64{},
+			latency:   &serve.Histogram{},
+		}
+		tallies[i] = t
+		rng := rand.New(rand.NewSource(cfg.seed + int64(i) + 1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				p := picks[rng.Intn(len(picks))]
+				t.requests++
+				t.byClass[p.class]++
+				start := time.Now()
+				resp, err := postAllocate(client, cfg, p.text)
+				t.latency.Observe(time.Since(start))
+				if err != nil {
+					t.errors++
+					t.errByCode[errCode(err)]++
+					continue
+				}
+				for _, b := range resp.Blocks {
+					if b.CacheHit {
+						t.hits++
+					}
+					if b.Stats.Solver.Incremental {
+						t.incr++
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	report := &loadReport{
+		Workers:  cfg.workers,
+		Duration: cfg.duration.Seconds(),
+		Mix:      cfg.mix,
+		ByClass:  map[string]int64{},
+		ByError:  map[string]int64{},
+	}
+	merged := &serve.Histogram{}
+	for _, t := range tallies {
+		report.Requests += t.requests
+		report.Errors += t.errors
+		report.BlocksCacheHit += t.hits
+		report.BlocksIncremental += t.incr
+		for c, n := range t.byClass {
+			report.ByClass[c] += n
+		}
+		for c, n := range t.errByCode {
+			report.ByError[c] += n
+		}
+		merged.Merge(t.latency)
+	}
+	report.Latency = merged.Snapshot()
+	if report.Duration > 0 {
+		report.ThroughputRPS = float64(report.Requests-report.Errors) / report.Duration
+	}
+	return report, nil
+}
+
+// postAllocate issues one allocation request.
+func postAllocate(client *http.Client, cfg *loadConfig, program string) (*allocResponse, error) {
+	body, err := json.Marshal(map[string]any{
+		"program": program,
+		"options": map[string]any{
+			"registers":   cfg.registers,
+			"mem_divisor": cfg.memdiv,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(cfg.url+"/v1/allocate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("http %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var ar allocResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	return &ar, nil
+}
+
+// errCode buckets an error for the by-error report.
+func errCode(err error) string {
+	msg := err.Error()
+	switch {
+	case strings.HasPrefix(msg, "http "):
+		return strings.SplitN(msg, ":", 2)[0]
+	case strings.HasPrefix(msg, "transport"):
+		return "transport"
+	case strings.HasPrefix(msg, "decode"):
+		return "decode"
+	default:
+		return "other"
+	}
+}
+
+// fetchStats pulls the server's /statsz snapshot.
+func fetchStats(cfg *loadConfig) (*serve.Snapshot, error) {
+	client := &http.Client{Timeout: cfg.timeout}
+	resp, err := client.Get(cfg.url + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("http %d", resp.StatusCode)
+	}
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// loadReport is the run summary; -json emits it verbatim.
+type loadReport struct {
+	Workers           int                     `json:"workers"`
+	Duration          float64                 `json:"duration_s"`
+	Mix               string                  `json:"mix"`
+	Requests          int64                   `json:"requests"`
+	Errors            int64                   `json:"errors"`
+	ThroughputRPS     float64                 `json:"throughput_rps"`
+	BlocksCacheHit    int64                   `json:"blocks_cache_hit"`
+	BlocksIncremental int64                   `json:"blocks_incremental"`
+	ByClass           map[string]int64        `json:"by_class"`
+	ByError           map[string]int64        `json:"by_error,omitempty"`
+	Latency           serve.HistogramSnapshot `json:"latency"`
+	Server            *serve.Snapshot         `json:"server,omitempty"`
+}
+
+// write renders the report as text or JSON.
+func (r *loadReport) write(w io.Writer, jsonOut bool) error {
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	}
+	fmt.Fprintf(w, "leaload: %d workers for %.1fs against mix %s\n", r.Workers, r.Duration, r.Mix)
+	fmt.Fprintf(w, "requests:        %d (%d failed)\n", r.Requests, r.Errors)
+	fmt.Fprintf(w, "throughput:      %.1f req/s\n", r.ThroughputRPS)
+	fmt.Fprintf(w, "latency:         p50 %s  p95 %s  p99 %s  max %s\n",
+		time.Duration(r.Latency.P50NS), time.Duration(r.Latency.P95NS),
+		time.Duration(r.Latency.P99NS), time.Duration(r.Latency.MaxNS))
+	var classes []string
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(w, "  class %-9s %d requests\n", c+":", r.ByClass[c])
+	}
+	for code, n := range r.ByError {
+		fmt.Fprintf(w, "  error %-9s %d\n", code+":", n)
+	}
+	fmt.Fprintf(w, "warm path:       %d cache-hit blocks, %d incremental solves (client view)\n",
+		r.BlocksCacheHit, r.BlocksIncremental)
+	if r.Server != nil {
+		s := r.Server
+		total := s.CacheHits + s.CacheMisses
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(s.CacheHits) / float64(total)
+		}
+		fmt.Fprintf(w, "server:          cache %d/%d hits (%.0f%%), %d evictions; solves cold %d / warm %d / incremental %d\n",
+			s.CacheHits, total, 100*ratio, s.CacheEvictions, s.SolvesCold, s.SolvesWarm, s.SolvesIncremental)
+		fmt.Fprintf(w, "server latency:  p50 %s  p99 %s (requests), p50 %s (solve)\n",
+			time.Duration(s.RequestLatency.P50NS), time.Duration(s.RequestLatency.P99NS),
+			time.Duration(s.SolveLatency.P50NS))
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestParseMix(t *testing.T) {
+	got, err := parseMix("random=2, hlsbench=1,figures=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"random": 2, "hlsbench": 1, "figures": 0}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("mix[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+	for _, bad := range []string{"random", "random=x", "random=-1", "unknown=1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}
+
+func TestBuildCorpusDeterministicAndWeighted(t *testing.T) {
+	cfg := loadConfig{mix: "random=2,figures=1", shapes: 3, instrs: 8, seed: 42}
+	a, err := buildCorpus(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildCorpus(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a), len(b))
+	}
+	// 3 random shapes at weight 2 + 3 figure kernels at weight 1, no hlsbench.
+	if len(a) != 3*2+3 {
+		t.Fatalf("corpus size %d, want 9", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus entry %d not deterministic: %q vs %q", i, a[i].name, b[i].name)
+		}
+		if a[i].class == "hlsbench" {
+			t.Fatalf("zero-weight class present: %+v", a[i])
+		}
+	}
+
+	if _, err := buildCorpus(&loadConfig{mix: "hlsbench=0", shapes: 1, instrs: 8, seed: 1}); err == nil {
+		t.Error("empty pick list accepted")
+	}
+}
+
+// TestRunAgainstEngine drives the full leaload loop against an in-process
+// serve engine and checks the strict and require-warm gates pass with a
+// healthy report.
+func TestRunAgainstEngine(t *testing.T) {
+	engine := serve.New(serve.Config{Workers: 2, QueueDepth: 32})
+	srv := httptest.NewServer(serve.NewMux(engine))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	args := []string{
+		"-url", srv.URL, "-workers", "2", "-duration", "300ms",
+		"-mix", "figures=1", "-registers", "4", "-seed", "7",
+		"-strict", "-require-warm", "-json",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("leaload run: %v\n%s", err, buf.String())
+	}
+	var report loadReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("report decode: %v\n%s", err, buf.String())
+	}
+	if report.Requests == 0 || report.Errors != 0 {
+		t.Errorf("requests %d errors %d, want >0 and 0", report.Requests, report.Errors)
+	}
+	if report.ByClass["figures"] != report.Requests {
+		t.Errorf("by_class figures %d, want all %d requests", report.ByClass["figures"], report.Requests)
+	}
+	if report.Server == nil || report.Server.CacheHits == 0 || report.Server.SolvesIncremental == 0 {
+		t.Errorf("server stats missing warm traffic: %+v", report.Server)
+	}
+	if report.Latency.Count != report.Requests {
+		t.Errorf("latency count %d, want %d", report.Latency.Count, report.Requests)
+	}
+}
+
+// TestRunStrictFailsOnDeadServer checks the strict gate turns transport
+// failures into a nonzero exit.
+func TestRunStrictFailsOnDeadServer(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-url", "http://127.0.0.1:1", "-workers", "1", "-duration", "50ms",
+		"-mix", "figures=1", "-timeout", "100ms", "-strict",
+	}
+	err := run(args, &buf)
+	if err == nil || !strings.Contains(err.Error(), "strict") {
+		t.Fatalf("dead server under -strict: err %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workers", "0"}, &buf); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if err := run([]string{"-mix", "bogus=1"}, &buf); err == nil {
+		t.Error("bogus mix accepted")
+	}
+}

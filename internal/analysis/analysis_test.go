@@ -102,3 +102,30 @@ func TestLayerRank(t *testing.T) {
 		t.Error("unknown package reported as mapped")
 	}
 }
+
+// TestServingStackRanks pins the serving subsystem's place in the layer DAG:
+// the engine sits above core (it drives Prepare/Allocate) and below the cmd
+// tier, and both serving commands are mapped so LEA0002 cannot fire on them.
+func TestServingStackRanks(t *testing.T) {
+	serveRank, ok := LayerRank("internal/serve")
+	if !ok {
+		t.Fatal("internal/serve missing from the layer map")
+	}
+	coreRank, ok := LayerRank("internal/core")
+	if !ok {
+		t.Fatal("internal/core missing from the layer map")
+	}
+	if serveRank <= coreRank {
+		t.Errorf("internal/serve rank %d must be above internal/core rank %d", serveRank, coreRank)
+	}
+	for _, cmd := range []string{"cmd/leaserved", "cmd/leaload"} {
+		r, ok := LayerRank(cmd)
+		if !ok {
+			t.Errorf("%s missing from the layer map", cmd)
+			continue
+		}
+		if r <= serveRank {
+			t.Errorf("%s rank %d must be above internal/serve rank %d", cmd, r, serveRank)
+		}
+	}
+}

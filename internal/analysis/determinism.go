@@ -6,12 +6,14 @@ import (
 )
 
 // timeAllowed lists the internal packages permitted to read the wall clock:
-// the solver stats plumbing times its own stages there. Everything else in
-// internal/ must stay clock-free — the warm-start equality and byte-identical
-// parallelism guarantees depend on replayable behaviour.
+// the solver stats plumbing times its own stages there, and the serving
+// layer measures request latency. Everything else in internal/ must stay
+// clock-free — the warm-start equality and byte-identical parallelism
+// guarantees depend on replayable behaviour.
 var timeAllowed = map[string]bool{
-	"internal/flow": true,
-	"internal/core": true,
+	"internal/flow":  true,
+	"internal/core":  true,
+	"internal/serve": true,
 }
 
 // randConstructors are the math/rand package-level names that do NOT touch

@@ -14,8 +14,10 @@ import (
 // reach internal/ir or internal/sched, and nothing below internal/core may
 // depend on it.
 //
-// New internal packages must be added here; an unmapped package is itself a
-// finding (LEA0002), so the map cannot silently rot.
+// New internal and cmd packages must be added here; an unmapped package is
+// itself a finding (LEA0002), so the map cannot silently rot. The cmd tier
+// (rank 100) sits above every library rank: commands may import any internal
+// package but nothing may import a command.
 var layerRank = map[string]int{
 	"internal/analysis": 0,
 	"internal/graph":    0,
@@ -36,17 +38,25 @@ var layerRank = map[string]int{
 	"internal/viz":      7,
 	"internal/sweep":    7,
 	"internal/simulate": 7,
+	"internal/serve":    7,
 	"internal/memmap":   8,
 	"internal/exact":    8,
 	"internal/emit":     8,
 	"internal/actmem":   9,
 	"internal/pipeline": 9,
 	"internal/report":   10,
+	"cmd/leabench":      100,
+	"cmd/leaflow":       100,
+	"cmd/leagen":        100,
+	"cmd/lealint":       100,
+	"cmd/leaload":       100,
+	"cmd/leaserved":     100,
+	"cmd/leasweep":      100,
 }
 
-// layeringPass enforces the layer ranks (codes LEA0001, LEA0002). Only
-// internal packages are constrained: the root package, cmd/ and examples/ sit
-// above the whole DAG and may import anything.
+// layeringPass enforces the layer ranks (codes LEA0001, LEA0002) over
+// internal/ and cmd/ packages. The root package and examples/ sit above the
+// whole DAG and may import anything.
 type layeringPass struct{}
 
 // Name implements Pass.
@@ -59,7 +69,7 @@ func (layeringPass) Doc() string {
 
 // Run implements Pass.
 func (layeringPass) Run(p *Package) []Finding {
-	if !p.Internal() {
+	if !p.Internal() && !strings.HasPrefix(p.Rel, "cmd/") {
 		return nil
 	}
 	var out []Finding

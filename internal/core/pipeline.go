@@ -15,27 +15,29 @@ import (
 // RunStats reports what one allocation run did, stage by stage. The §5
 // pipeline is Split → Pin → Build → Solve → Decode; each stage's wall time
 // is recorded, plus the sizes that drive them and the solver's own work
-// counters.
+// counters. The JSON tags are the one canonical machine-readable schema,
+// shared by leaflow -json, leabench -json, leaload -json and the leaserved
+// /statsz endpoint; durations serialise as nanoseconds.
 type RunStats struct {
 	// Engine is the min-cost-flow engine that solved the network.
-	Engine string
+	Engine string `json:"engine"`
 	// Per-stage wall times.
-	SplitTime  time.Duration
-	PinTime    time.Duration
-	BuildTime  time.Duration
-	SolveTime  time.Duration
-	DecodeTime time.Duration
+	SplitTime  time.Duration `json:"split_ns"`
+	PinTime    time.Duration `json:"pin_ns"`
+	BuildTime  time.Duration `json:"build_ns"`
+	SolveTime  time.Duration `json:"solve_ns"`
+	DecodeTime time.Duration `json:"decode_ns"`
 	// TotalTime is the end-to-end allocation time (≥ the stage sum).
-	TotalTime time.Duration
+	TotalTime time.Duration `json:"total_ns"`
 	// Variables and Segments size the lifetime model after splitting.
-	Variables int
-	Segments  int
+	Variables int `json:"variables"`
+	Segments  int `json:"segments"`
 	// Nodes and Arcs size the constructed flow network.
-	Nodes int
-	Arcs  int
+	Nodes int `json:"nodes"`
+	Arcs  int `json:"arcs"`
 	// Solver holds the engine's work counters (augmentations, Dijkstra
 	// iterations, relabels, ...).
-	Solver flow.SolveStats
+	Solver flow.SolveStats `json:"solver"`
 }
 
 // String renders the stats as one line per stage.

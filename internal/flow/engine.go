@@ -67,32 +67,35 @@ func EngineByName(name string) (Engine, error) {
 }
 
 // SolveStats summarises the work one solve performed; which counters are
-// populated depends on the engine.
+// populated depends on the engine. The JSON tags are the one canonical
+// machine-readable schema, shared by leaflow -json, leabench -json, leaload
+// -json and the leaserved /statsz endpoint; durations serialise as
+// nanoseconds.
 type SolveStats struct {
 	// Engine is the name of the engine that ran.
-	Engine string
+	Engine string `json:"engine"`
 	// Augmentations counts shortest-path augmentations (SSP) or cancelled
 	// cycles (cycle cancelling).
-	Augmentations int
+	Augmentations int `json:"augmentations"`
 	// Phases counts Dijkstra rounds (SSP), Bellman–Ford cycle searches
 	// (cycle cancelling) or ε-scaling phases (cost scaling).
-	Phases int
+	Phases int `json:"phases"`
 	// DijkstraIters counts heap pops across all Dijkstra rounds (SSP).
-	DijkstraIters int
+	DijkstraIters int `json:"dijkstra_iters"`
 	// Relabels and Pushes count push-relabel work (cost scaling).
-	Relabels int
-	Pushes   int
+	Relabels int `json:"relabels"`
+	Pushes   int `json:"pushes"`
 	// WarmStart reports that the solve reused a previously prepared residual
 	// topology (SolveWithCosts hit); PotentialsReused additionally reports
 	// that the carried-over node potentials passed the reduced-cost validity
 	// check, skipping potential initialisation entirely. Incremental reports
 	// the strongest reuse: the previous optimal flow stayed in the residual
 	// and only the value delta was augmented.
-	WarmStart        bool
-	PotentialsReused bool
-	Incremental      bool
+	WarmStart        bool `json:"warm_start"`
+	PotentialsReused bool `json:"potentials_reused"`
+	Incremental      bool `json:"incremental"`
 	// Duration is the wall time of the solve, residual construction included.
-	Duration time.Duration
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // String renders the populated counters compactly.

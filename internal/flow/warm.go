@@ -64,6 +64,13 @@ func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, st *Solv
 	incremental := false
 	if sc.preparedFor(nw) {
 		st.WarmStart = true
+		// Unchanged supplies re-solved under unchanged costs keep the
+		// retained optimal flow outright — the delta-zero case of the
+		// incremental sensitivity argument below, and the hot case of a
+		// serving workload repeating identical requests. The engine then
+		// ships nothing and the solution is re-extracted from the residual.
+		incremental = sc.solved && e == SSP &&
+			len(sc.r.to) == sc.prep.arcs && costsEqual(sc.lastCosts, costs)
 	} else if ok, grew := sc.patchSupplies(nw); ok {
 		st.WarmStart = true
 		// An optimal flow for a smaller value plus shortest-path

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheEntry is one cached program shape: a core.Prepared (split lifetimes,
+// pins and built network template with its own solver scratch) plus the
+// per-entry lock serialising solves on that scratch. Workers that share a
+// shape queue on mu and each inherit the previous solve's residual — the PR 2
+// warm path — while distinct shapes proceed in parallel.
+type cacheEntry struct {
+	key string
+	mu  sync.Mutex
+	// pre is built under mu by the first worker to claim the entry; later
+	// lockers find it non-nil (a warm hit).
+	pre *core.Prepared
+}
+
+// templateCache is a fixed-capacity LRU of prepared program shapes keyed by
+// the canonical shape hash. The map/list is guarded by mu; the entries'
+// solver state is guarded per-entry, so the cache lock is never held across
+// a solve.
+type templateCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // value: *cacheEntry
+	order    *list.List               // front = most recently used
+	// evicted counts shapes dropped by the LRU policy, fed straight into
+	// the engine's cache_evictions_total counter.
+	evicted *Counter
+}
+
+// newTemplateCache returns an LRU holding up to capacity shapes (minimum 1),
+// reporting evictions on evicted.
+func newTemplateCache(capacity int, evicted *Counter) *templateCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &templateCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+		evicted:  evicted,
+	}
+}
+
+// acquire returns the entry for key, creating (and possibly evicting) as
+// needed. The caller must lock entry.mu before using entry.pre and build it
+// when nil; hit/miss is judged there (pre != nil after locking), which stays
+// accurate when a waiter races the shape's first builder.
+func (c *templateCache) acquire(key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry)
+	}
+	for c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		be := back.Value.(*cacheEntry)
+		delete(c.entries, be.key)
+		c.order.Remove(back)
+		c.evicted.Inc()
+	}
+	e := &cacheEntry{key: key}
+	c.entries[key] = c.order.PushFront(e)
+	return e
+}
+
+// len returns the number of cached shapes.
+func (c *templateCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+	// Kind is a stable machine-readable category: "bad_request",
+	// "overloaded", "closed", "timeout" or "internal".
+	Kind string `json:"kind"`
+}
+
+// statusOf maps an engine error to its HTTP status and error kind.
+func statusOf(err error) (int, string) {
+	var reqErr *RequestError
+	switch {
+	case errors.As(err, &reqErr):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, "closed"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "timeout"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// NewMux routes the serving API onto e:
+//
+//	POST /v1/allocate  — TAC program + options in, per-block results out
+//	GET  /healthz      — liveness probe
+//	GET  /statsz       — JSON Snapshot
+//	GET  /metrics      — text metric exposition
+func NewMux(e *Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/allocate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "bad_request", "POST only")
+			return
+		}
+		// The JSON envelope around the program adds little; 4x the program
+		// bound is a generous body cap.
+		body := http.MaxBytesReader(w, r.Body, int64(4*e.cfg.MaxProgramBytes))
+		req, err := DecodeRequest(body, e.cfg.MaxProgramBytes)
+		if err != nil {
+			status, kind := statusOf(err)
+			writeError(w, status, kind, err.Error())
+			return
+		}
+		resp, err := e.Allocate(r.Context(), req)
+		if err != nil {
+			status, kind := statusOf(err)
+			writeError(w, status, kind, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = e.metrics.WriteText(w)
+	})
+	return mux
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Kind: kind})
+}

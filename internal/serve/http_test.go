@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPStatusMapping pins the typed-error → HTTP status contract the CI
+// smoke and external clients rely on, overload (429) included: with the one
+// worker parked and the one queue slot taken, the next POST must be 429.
+func TestHTTPStatusMapping(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	e.testHookPreSolve = blockingHook(entered, release)
+	srv := httptest.NewServer(NewMux(e))
+	defer srv.Close()
+
+	body := `{"program":"task t\nblock b\nin a b\nc = a + b\nout c\nend\n","options":{"registers":3}}`
+	post := func() (int, string) {
+		resp, err := http.Post(srv.URL+"/v1/allocate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		var eb struct {
+			Kind string `json:"kind"`
+		}
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return resp.StatusCode, eb.Kind
+	}
+
+	results := make(chan int, 2)
+	go func() { s, _ := post(); results <- s }()
+	<-entered // worker parked inside request 1
+	go func() { s, _ := post(); results <- s }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(e.queue) == 0 { // wait for request 2 to take the queue slot
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if status, kind := post(); status != http.StatusTooManyRequests || kind != "overloaded" {
+		t.Fatalf("full queue: status %d kind %q, want 429 overloaded", status, kind)
+	}
+
+	close(release)
+	<-entered // worker picks up the queued request 2
+	for i := 0; i < 2; i++ {
+		if s := <-results; s != http.StatusOK {
+			t.Fatalf("parked request finished with status %d", s)
+		}
+	}
+
+	// The workers are idle again; drop the hook (the queue channel orders
+	// this write before any worker's next read) and confirm normal service.
+	e.testHookPreSolve = nil
+	if status, kind := post(); status != http.StatusOK || kind != "" {
+		t.Fatalf("idle engine: status %d kind %q, want 200", status, kind)
+	}
+
+	// Bad request and method mapping on the live mux.
+	resp, err := http.Post(srv.URL+"/v1/allocate", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+}

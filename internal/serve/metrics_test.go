@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1ms..100ms uniform: the quantiles must land in order and inside range.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	if s.MinNS != int64(time.Millisecond) || s.MaxNS != int64(100*time.Millisecond) {
+		t.Errorf("min/max %d/%d, want 1ms/100ms in ns", s.MinNS, s.MaxNS)
+	}
+	if !(s.MinNS <= s.P50NS && s.P50NS <= s.P95NS && s.P95NS <= s.P99NS && s.P99NS <= s.MaxNS) {
+		t.Errorf("quantiles out of order: min %d p50 %d p95 %d p99 %d max %d",
+			s.MinNS, s.P50NS, s.P95NS, s.P99NS, s.MaxNS)
+	}
+	// Log-bucketed estimate: p50 of a 1..100ms uniform must land well below
+	// p99's bucket (within a factor of two of the true 50ms).
+	if s.P50NS > int64(100*time.Millisecond) || s.P50NS < int64(25*time.Millisecond) {
+		t.Errorf("p50 estimate %s implausible for uniform 1..100ms", time.Duration(s.P50NS))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := (&Histogram{}).Snapshot()
+	if s.Count != 0 || s.P50NS != 0 || s.MaxNS != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	m := NewRegistry()
+	m.Counter("zzz_total").Add(3)
+	m.Counter("aaa_total").Inc()
+	m.Gauge("depth").Set(7)
+	m.Histogram("lat").Observe(2 * time.Millisecond)
+	var sb strings.Builder
+	m.WriteText(&sb)
+	text := sb.String()
+
+	for _, want := range []string{"aaa_total 1", "zzz_total 3", "depth 7", "lat_count 1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Index(text, "aaa_total") > strings.Index(text, "zzz_total") {
+		t.Error("exposition not sorted by metric name")
+	}
+	if m.Counter("aaa_total") != m.Counter("aaa_total") {
+		t.Error("Counter not idempotent per name")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Counter("c").Inc()
+				m.Gauge("g").Add(1)
+				m.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter %d, want 8000", got)
+	}
+	if got := m.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count %d, want 8000", got)
+	}
+}
+
+func TestHistogramMergeExact(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 50; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+		all.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+		all.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if got, want := a.Snapshot(), all.Snapshot(); got != want {
+		t.Errorf("merged snapshot %+v differs from direct observation %+v", got, want)
+	}
+	var empty Histogram
+	before := a.Snapshot()
+	a.Merge(&empty)
+	if a.Snapshot() != before {
+		t.Error("merging an empty histogram changed the target")
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// figureTACs are small fixed TAC programs in the spirit of the paper's
+// running figures: straight-line kernels a few control steps long whose
+// lifetime structure exercises chaining, write-backs and external outputs.
+// They give the serving load driver (cmd/leaload) a stable "figures"
+// workload class whose shapes repeat exactly, the warm-cache best case.
+var figureTACs = map[string]string{
+	"fig1-chain": `task fig1
+block chain
+in a b
+c = a + b
+d = a * c
+e = c + d
+f = d - e
+out e f
+end
+`,
+	"fig3-pair": `task fig3
+block pair
+in x y
+u = x * y
+v = x + u
+w = u - y
+z = v + w
+out z
+end
+`,
+	"fig4-diamond": `task fig4
+block diamond
+in p q r
+s = p + q
+t = q * r
+u = s + t
+v = s - t
+x = u * v
+out x
+end
+`,
+}
+
+// ProgramClasses names the serving workload classes in deterministic order.
+func ProgramClasses() []string { return []string{"random", "hlsbench", "figures"} }
+
+// Programs builds the serving workload corpus: named TAC programs grouped
+// into the three classes the load driver mixes.
+//
+//   - "random":   randomShapes distinct RandomProgram instances (deterministic
+//     in rng), each n instructions long;
+//   - "hlsbench": the S31 high-level-synthesis suite (EWF, AR filter, FDCT8)
+//     wrapped into single-block programs;
+//   - "figures":  the fixed figure-style kernels above.
+//
+// Every program validates before being returned.
+func Programs(rng *rand.Rand, randomShapes, n int) (map[string][]*ir.Program, error) {
+	if randomShapes < 1 {
+		randomShapes = 1
+	}
+	if n < 1 {
+		n = 12
+	}
+	out := make(map[string][]*ir.Program, 3)
+	for i := 0; i < randomShapes; i++ {
+		p, err := RandomProgram(rng, n)
+		if err != nil {
+			return nil, fmt.Errorf("workload: random shape %d: %w", i, err)
+		}
+		// Distinct task names keep the shapes distinguishable in reports.
+		p.Tasks[0].Name = fmt.Sprintf("random%02d", i)
+		out["random"] = append(out["random"], p)
+	}
+	for _, name := range []string{"ewf", "arf", "fdct8"} {
+		mk := HLSBenchmarks()[name]
+		if mk == nil {
+			return nil, fmt.Errorf("workload: HLS benchmark %q missing", name)
+		}
+		b, err := mk()
+		if err != nil {
+			return nil, fmt.Errorf("workload: HLS benchmark %q: %w", name, err)
+		}
+		out["hlsbench"] = append(out["hlsbench"],
+			&ir.Program{Tasks: []*ir.Task{{Name: name, Blocks: []*ir.Block{b}}}})
+	}
+	for _, name := range []string{"fig1-chain", "fig3-pair", "fig4-diamond"} {
+		p, err := ir.ParseString(figureTACs[name])
+		if err != nil {
+			return nil, fmt.Errorf("workload: figure program %q: %w", name, err)
+		}
+		out["figures"] = append(out["figures"], p)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Serving-mode smoke: build leaserved + leaload, run a short mixed-workload
+# load against a loopback daemon, and require zero failed requests, warm
+# template-cache traffic (hits and incremental solves), a 429 under
+# deliberate overload, and a clean SIGTERM drain. CI runs this after the
+# unit tests; it is also handy locally: scripts/serve_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+
+go build -o "$bin/leaserved" ./cmd/leaserved
+go build -o "$bin/leaload" ./cmd/leaload
+
+addr=127.0.0.1:8311
+"$bin/leaserved" -addr "$addr" -workers 4 -queue 64 >"$bin/serve.log" 2>&1 &
+srv=$!
+for i in $(seq 1 50); do
+  curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$addr/healthz" >/dev/null
+
+# Mixed closed-loop load; -strict fails on any failed request and
+# -require-warm fails unless the server reports cache hits AND incremental
+# solves, so the warm template path is proven, not assumed.
+"$bin/leaload" -url "http://$addr" -workers 4 -duration 2s \
+  -mix random=1,hlsbench=1,figures=1 -seed 1 -strict -require-warm \
+  -json | tee "$bin/load.json"
+
+# Overload: a one-worker, one-slot daemon with its worker and queue pinned by
+# slow big-program requests must answer the next request with HTTP 429.
+prog='task big\nblock b\nin v0 v1\n'
+for i in $(seq 2 120); do
+  prog+="v$i = v$((i-1)) + v$((i-2))\n"
+done
+prog+="v121 = v120 * v119\nout v121\nend\n"
+printf '{"program":"%s","options":{"registers":4,"engine":"cyclecancel"}}' "$prog" >"$bin/big.json"
+
+addr2=127.0.0.1:8312
+"$bin/leaserved" -addr "$addr2" -workers 1 -queue 1 >"$bin/serve2.log" 2>&1 &
+srv2=$!
+for i in $(seq 1 50); do
+  curl -fsS "http://$addr2/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+saw429=0
+for attempt in $(seq 1 5); do
+  : >"$bin/codes"
+  pids=()
+  for i in $(seq 1 24); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST \
+      --data-binary "@$bin/big.json" "http://$addr2/v1/allocate" >>"$bin/codes" &
+    pids+=("$!")
+  done
+  wait "${pids[@]}" || true
+  if grep -q '^429$' "$bin/codes"; then
+    saw429=1
+    break
+  fi
+done
+if [ "$saw429" -ne 1 ]; then
+  echo "smoke: no HTTP 429 observed under overload" >&2
+  exit 1
+fi
+echo "smoke: overload produced HTTP 429"
+kill -TERM "$srv2"
+wait "$srv2"
+
+# Graceful drain: SIGTERM must exit 0 and log a clean shutdown.
+kill -TERM "$srv"
+wait "$srv"
+grep -q 'shutdown clean' "$bin/serve.log" || {
+  echo "smoke: missing clean-shutdown log line" >&2
+  cat "$bin/serve.log" >&2
+  exit 1
+}
+echo "smoke: clean drain confirmed"

@@ -3,14 +3,21 @@
 // flight against POST /v1/allocate, drawing programs from a weighted mix of
 // the internal/workload classes (random / hlsbench / figures), and the run
 // reports throughput, error counts and log-bucketed latency percentiles,
-// plus the server's own /statsz cache and solver-reuse counters.
+// plus the servers' own /statsz cache and solver-reuse counters.
+//
+// -url accepts a comma-separated endpoint list; with several endpoints each
+// request is routed by the same consistent hash of its program-shape key the
+// server-side shard router uses (engine.RouteKey + shard ring), so a
+// multi-daemon deployment sees the same cache affinity a single sharded
+// daemon would. Requests, errors and /statsz snapshots are reported per
+// endpoint, not only in aggregate.
 //
 // Repeating a small corpus of program shapes is the point: it drives the
-// server's warm template cache, so a healthy run shows a high cache hit
+// servers' warm template caches, so a healthy run shows a high cache hit
 // ratio and a nonzero incremental solve count. -json emits the machine-
 // readable report for bench tracking; -strict fails the process on any
-// failed request; -require-warm additionally fails it when the server saw no
-// warm-cache traffic.
+// failed request; -require-warm additionally fails it when the servers saw
+// no warm-cache traffic.
 package main
 
 import (
@@ -29,7 +36,8 @@ import (
 	"time"
 
 	"repro/internal/ir"
-	"repro/internal/serve"
+	"repro/internal/serve/engine"
+	"repro/internal/serve/shard"
 	"repro/internal/workload"
 )
 
@@ -42,7 +50,7 @@ func main() {
 
 // loadConfig is the parsed flag set.
 type loadConfig struct {
-	url         string
+	urls        []string
 	workers     int
 	duration    time.Duration
 	mix         string
@@ -61,7 +69,8 @@ type loadConfig struct {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("leaload", flag.ContinueOnError)
 	cfg := loadConfig{}
-	fs.StringVar(&cfg.url, "url", "http://127.0.0.1:8311", "leaserved base URL")
+	var urls string
+	fs.StringVar(&urls, "url", "http://127.0.0.1:8311", "leaserved base URL, or a comma-separated list routed by program shape")
 	fs.IntVar(&cfg.workers, "workers", 4, "concurrent closed-loop workers")
 	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "run length")
 	fs.StringVar(&cfg.mix, "mix", "random=1,hlsbench=1,figures=1", "workload class weights, class=weight comma-separated")
@@ -73,12 +82,21 @@ func run(args []string, w io.Writer) error {
 	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request client timeout")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit a machine-readable JSON report")
 	fs.BoolVar(&cfg.strict, "strict", false, "exit nonzero if any request failed")
-	fs.BoolVar(&cfg.requireWarm, "require-warm", false, "exit nonzero unless the server reports warm-cache hits and incremental solves")
+	fs.BoolVar(&cfg.requireWarm, "require-warm", false, "exit nonzero unless the servers report warm-cache hits and incremental solves")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if cfg.workers < 1 {
 		return fmt.Errorf("need at least one worker, got %d", cfg.workers)
+	}
+	for _, u := range strings.Split(urls, ",") {
+		u = strings.TrimSpace(u)
+		if u != "" {
+			cfg.urls = append(cfg.urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(cfg.urls) == 0 {
+		return fmt.Errorf("need at least one -url endpoint")
 	}
 
 	picks, err := buildCorpus(&cfg)
@@ -89,11 +107,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if snap, err := fetchStats(&cfg); err != nil {
-		fmt.Fprintf(w, "leaload: /statsz unavailable: %v\n", err)
-	} else {
-		report.Server = snap
-	}
+	fetchAllStats(&cfg, report, w)
 	if err := report.write(w, cfg.jsonOut); err != nil {
 		return err
 	}
@@ -112,16 +126,19 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// namedProgram is one corpus entry: a rendered TAC request body component.
+// namedProgram is one corpus entry: a rendered TAC request body component
+// plus the endpoint its shape key routes to.
 type namedProgram struct {
-	class string
-	name  string
-	text  string
+	class    string
+	name     string
+	text     string
+	endpoint int
 }
 
 // buildCorpus renders the weighted workload corpus as TAC texts and returns
 // the weighted pick list (each entry repeated by its class weight, so a
-// uniform index pick realises the mix).
+// uniform index pick realises the mix). Each program is pinned to its
+// endpoint by the same consistent hash the sharded server uses.
 func buildCorpus(cfg *loadConfig) ([]namedProgram, error) {
 	weights, err := parseMix(cfg.mix)
 	if err != nil {
@@ -132,6 +149,7 @@ func buildCorpus(cfg *loadConfig) ([]namedProgram, error) {
 	if err != nil {
 		return nil, err
 	}
+	ring := shard.NewRing(len(cfg.urls), 0)
 	var picks []namedProgram
 	for _, class := range workload.ProgramClasses() {
 		weight := weights[class]
@@ -144,6 +162,7 @@ func buildCorpus(cfg *loadConfig) ([]namedProgram, error) {
 				return nil, fmt.Errorf("render %s program: %w", class, err)
 			}
 			np := namedProgram{class: class, name: p.Tasks[0].Name, text: buf.String()}
+			np.endpoint = ring.Lookup(engine.RouteKey(allocRequest(cfg, np.text)))
 			for k := 0; k < weight; k++ {
 				picks = append(picks, np)
 			}
@@ -153,6 +172,14 @@ func buildCorpus(cfg *loadConfig) ([]namedProgram, error) {
 		return nil, fmt.Errorf("mix %q selects no programs", cfg.mix)
 	}
 	return picks, nil
+}
+
+// allocRequest builds the request body the driver sends for one program.
+func allocRequest(cfg *loadConfig, program string) *engine.Request {
+	return &engine.Request{
+		Program: program,
+		Options: engine.RequestOptions{Registers: cfg.registers, MemDivisor: cfg.memdiv},
+	}
 }
 
 // parseMix parses "class=weight,..." into integer weights.
@@ -192,6 +219,13 @@ type allocResponse struct {
 	} `json:"blocks"`
 }
 
+// endpointTally is one worker's per-endpoint aggregate.
+type endpointTally struct {
+	requests  int64
+	errors    int64
+	errByCode map[string]int64
+}
+
 // workerTally is one worker's local aggregate, merged after the run.
 type workerTally struct {
 	requests  int64
@@ -199,8 +233,8 @@ type workerTally struct {
 	hits      int64
 	incr      int64
 	byClass   map[string]int64
-	errByCode map[string]int64
-	latency   *serve.Histogram
+	endpoints []endpointTally
+	latency   *engine.Histogram
 }
 
 // drive runs the closed loop until the deadline and merges the tallies.
@@ -218,8 +252,11 @@ func drive(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
 	for i := 0; i < cfg.workers; i++ {
 		t := &workerTally{
 			byClass:   map[string]int64{},
-			errByCode: map[string]int64{},
-			latency:   &serve.Histogram{},
+			endpoints: make([]endpointTally, len(cfg.urls)),
+			latency:   &engine.Histogram{},
+		}
+		for e := range t.endpoints {
+			t.endpoints[e].errByCode = map[string]int64{}
 		}
 		tallies[i] = t
 		rng := rand.New(rand.NewSource(cfg.seed + int64(i) + 1))
@@ -228,14 +265,17 @@ func drive(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				p := picks[rng.Intn(len(picks))]
+				ep := &t.endpoints[p.endpoint]
 				t.requests++
+				ep.requests++
 				t.byClass[p.class]++
 				start := time.Now()
-				resp, err := postAllocate(client, cfg, p.text)
+				resp, err := postAllocate(client, cfg, cfg.urls[p.endpoint], p.text)
 				t.latency.Observe(time.Since(start))
 				if err != nil {
 					t.errors++
-					t.errByCode[errCode(err)]++
+					ep.errors++
+					ep.errByCode[errCode(err)]++
 					continue
 				}
 				for _, b := range resp.Blocks {
@@ -252,13 +292,16 @@ func drive(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
 	wg.Wait()
 
 	report := &loadReport{
-		Workers:  cfg.workers,
-		Duration: cfg.duration.Seconds(),
-		Mix:      cfg.mix,
-		ByClass:  map[string]int64{},
-		ByError:  map[string]int64{},
+		Workers:   cfg.workers,
+		Duration:  cfg.duration.Seconds(),
+		Mix:       cfg.mix,
+		ByClass:   map[string]int64{},
+		Endpoints: make([]endpointReport, len(cfg.urls)),
 	}
-	merged := &serve.Histogram{}
+	for e, url := range cfg.urls {
+		report.Endpoints[e] = endpointReport{URL: url, ByError: map[string]int64{}}
+	}
+	merged := &engine.Histogram{}
 	for _, t := range tallies {
 		report.Requests += t.requests
 		report.Errors += t.errors
@@ -267,8 +310,13 @@ func drive(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
 		for c, n := range t.byClass {
 			report.ByClass[c] += n
 		}
-		for c, n := range t.errByCode {
-			report.ByError[c] += n
+		for e := range t.endpoints {
+			er := &report.Endpoints[e]
+			er.Requests += t.endpoints[e].requests
+			er.Errors += t.endpoints[e].errors
+			for c, n := range t.endpoints[e].errByCode {
+				er.ByError[c] += n
+			}
 		}
 		merged.Merge(t.latency)
 	}
@@ -280,18 +328,12 @@ func drive(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
 }
 
 // postAllocate issues one allocation request.
-func postAllocate(client *http.Client, cfg *loadConfig, program string) (*allocResponse, error) {
-	body, err := json.Marshal(map[string]any{
-		"program": program,
-		"options": map[string]any{
-			"registers":   cfg.registers,
-			"mem_divisor": cfg.memdiv,
-		},
-	})
+func postAllocate(client *http.Client, cfg *loadConfig, url, program string) (*allocResponse, error) {
+	body, err := json.Marshal(allocRequest(cfg, program))
 	if err != nil {
 		return nil, err
 	}
-	resp, err := client.Post(cfg.url+"/v1/allocate", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(url+"/v1/allocate", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
@@ -325,10 +367,45 @@ func errCode(err error) string {
 	}
 }
 
-// fetchStats pulls the server's /statsz snapshot.
-func fetchStats(cfg *loadConfig) (*serve.Snapshot, error) {
+// fetchAllStats pulls every endpoint's /statsz snapshot into the report:
+// per-endpoint under Endpoints, plus the counter sums as the aggregate
+// Server view the warm gate reads. Unreachable statsz endpoints are noted
+// and skipped.
+func fetchAllStats(cfg *loadConfig, report *loadReport, w io.Writer) {
 	client := &http.Client{Timeout: cfg.timeout}
-	resp, err := client.Get(cfg.url + "/statsz")
+	var agg *engine.Snapshot
+	for e, url := range cfg.urls {
+		snap, err := fetchStats(client, url)
+		if err != nil {
+			fmt.Fprintf(w, "leaload: %s/statsz unavailable: %v\n", url, err)
+			continue
+		}
+		report.Endpoints[e].Server = snap
+		if agg == nil {
+			agg = &engine.Snapshot{}
+		}
+		agg.Requests += snap.Requests
+		agg.Errors += snap.Errors
+		agg.CacheHits += snap.CacheHits
+		agg.CacheMisses += snap.CacheMisses
+		agg.CacheEvictions += snap.CacheEvictions
+		agg.SolvesCold += snap.SolvesCold
+		agg.SolvesWarm += snap.SolvesWarm
+		agg.SolvesIncremental += snap.SolvesIncremental
+		agg.BatchSolves += snap.BatchSolves
+		agg.BatchUnits += snap.BatchUnits
+		agg.BatchFallbacks += snap.BatchFallbacks
+		if e == 0 || len(cfg.urls) == 1 {
+			agg.RequestLatency = snap.RequestLatency
+			agg.SolveLatency = snap.SolveLatency
+		}
+	}
+	report.Server = agg
+}
+
+// fetchStats pulls one endpoint's /statsz snapshot.
+func fetchStats(client *http.Client, url string) (*engine.Snapshot, error) {
+	resp, err := client.Get(url + "/statsz")
 	if err != nil {
 		return nil, err
 	}
@@ -336,27 +413,39 @@ func fetchStats(cfg *loadConfig) (*serve.Snapshot, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("http %d", resp.StatusCode)
 	}
-	var snap serve.Snapshot
+	var snap engine.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return nil, err
 	}
 	return &snap, nil
 }
 
-// loadReport is the run summary; -json emits it verbatim.
+// endpointReport is one endpoint's share of the run: its traffic, its error
+// counts by code, and its own /statsz snapshot.
+type endpointReport struct {
+	URL      string           `json:"url"`
+	Requests int64            `json:"requests"`
+	Errors   int64            `json:"errors"`
+	ByError  map[string]int64 `json:"by_error,omitempty"`
+	Server   *engine.Snapshot `json:"server,omitempty"`
+}
+
+// loadReport is the run summary; -json emits it verbatim. Server aggregates
+// the per-endpoint snapshots (counter sums); Endpoints carries the
+// per-endpoint traffic and error breakdown.
 type loadReport struct {
-	Workers           int                     `json:"workers"`
-	Duration          float64                 `json:"duration_s"`
-	Mix               string                  `json:"mix"`
-	Requests          int64                   `json:"requests"`
-	Errors            int64                   `json:"errors"`
-	ThroughputRPS     float64                 `json:"throughput_rps"`
-	BlocksCacheHit    int64                   `json:"blocks_cache_hit"`
-	BlocksIncremental int64                   `json:"blocks_incremental"`
-	ByClass           map[string]int64        `json:"by_class"`
-	ByError           map[string]int64        `json:"by_error,omitempty"`
-	Latency           serve.HistogramSnapshot `json:"latency"`
-	Server            *serve.Snapshot         `json:"server,omitempty"`
+	Workers           int                      `json:"workers"`
+	Duration          float64                  `json:"duration_s"`
+	Mix               string                   `json:"mix"`
+	Requests          int64                    `json:"requests"`
+	Errors            int64                    `json:"errors"`
+	ThroughputRPS     float64                  `json:"throughput_rps"`
+	BlocksCacheHit    int64                    `json:"blocks_cache_hit"`
+	BlocksIncremental int64                    `json:"blocks_incremental"`
+	ByClass           map[string]int64         `json:"by_class"`
+	Endpoints         []endpointReport         `json:"endpoints"`
+	Latency           engine.HistogramSnapshot `json:"latency"`
+	Server            *engine.Snapshot         `json:"server,omitempty"`
 }
 
 // write renders the report as text or JSON.
@@ -380,8 +469,16 @@ func (r *loadReport) write(w io.Writer, jsonOut bool) error {
 	for _, c := range classes {
 		fmt.Fprintf(w, "  class %-9s %d requests\n", c+":", r.ByClass[c])
 	}
-	for code, n := range r.ByError {
-		fmt.Fprintf(w, "  error %-9s %d\n", code+":", n)
+	for _, ep := range r.Endpoints {
+		fmt.Fprintf(w, "  endpoint %s: %d requests, %d failed\n", ep.URL, ep.Requests, ep.Errors)
+		var codes []string
+		for c := range ep.ByError {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "    error %-9s %d\n", c+":", ep.ByError[c])
+		}
 	}
 	fmt.Fprintf(w, "warm path:       %d cache-hit blocks, %d incremental solves (client view)\n",
 		r.BlocksCacheHit, r.BlocksIncremental)
@@ -394,6 +491,10 @@ func (r *loadReport) write(w io.Writer, jsonOut bool) error {
 		}
 		fmt.Fprintf(w, "server:          cache %d/%d hits (%.0f%%), %d evictions; solves cold %d / warm %d / incremental %d\n",
 			s.CacheHits, total, 100*ratio, s.CacheEvictions, s.SolvesCold, s.SolvesWarm, s.SolvesIncremental)
+		if s.BatchSolves > 0 {
+			fmt.Fprintf(w, "server batching: %d coalesced solves covering %d units, %d fallbacks\n",
+				s.BatchSolves, s.BatchUnits, s.BatchFallbacks)
+		}
 		fmt.Fprintf(w, "server latency:  p50 %s  p99 %s (requests), p50 %s (solve)\n",
 			time.Duration(s.RequestLatency.P50NS), time.Duration(s.RequestLatency.P99NS),
 			time.Duration(s.SolveLatency.P50NS))

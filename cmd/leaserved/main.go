@@ -1,8 +1,12 @@
 // Command leaserved is the allocation-as-a-service daemon: a stdlib
-// net/http front end over the internal/serve engine, turning the paper's
-// batch allocator into a long-running service whose warm template cache
-// amortises network construction across requests with repeated program
-// shapes.
+// net/http front end (internal/serve/transport) over a consistent-hash shard
+// router (internal/serve/shard) of allocation engines (internal/serve/engine),
+// turning the paper's batch allocator into a long-running service whose warm
+// template caches amortise network construction across requests with
+// repeated program shapes. With -shards above 1, requests are routed by
+// their program-shape key so each shard's cache stays warm for its share of
+// the corpus; with -batch above 1, requests that queue up behind a solve are
+// coalesced into one super-network and solved in a single warm batch pass.
 //
 // Endpoints:
 //
@@ -10,8 +14,9 @@
 //	                     per-block allocations + energy + stage stats out
 //	GET  /healthz      — liveness probe
 //	GET  /statsz       — JSON counters, cache hit/miss/evict, latency
-//	                     percentiles
-//	GET  /metrics      — flat text metric exposition
+//	                     percentiles (per shard + fleet aggregate)
+//	GET  /metrics      — flat text metric exposition (shard-labelled when
+//	                     sharded)
 //
 // SIGINT/SIGTERM triggers a graceful drain: in-flight and queued requests
 // finish, new ones are refused, then the process exits 0.
@@ -30,7 +35,9 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/serve"
+	"repro/internal/serve/engine"
+	"repro/internal/serve/shard"
+	"repro/internal/serve/transport"
 )
 
 func main() {
@@ -47,36 +54,45 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 	fs := flag.NewFlagSet("leaserved", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8311", "listen address")
-		workers  = fs.Int("workers", 4, "solver worker pool size")
-		queue    = fs.Int("queue", 64, "admission queue depth (full queue => HTTP 429)")
-		cache    = fs.Int("cache", 128, "template cache capacity (program shapes)")
+		shards   = fs.Int("shards", 1, "engine shard count (requests are routed by program shape)")
+		workers  = fs.Int("workers", 4, "solver worker pool size per shard")
+		queue    = fs.Int("queue", 64, "admission queue depth per shard (full queue => HTTP 429)")
+		cache    = fs.Int("cache", 128, "template cache capacity per shard (program shapes)")
+		batch    = fs.Int("batch", 1, "max queued requests coalesced into one batched solve (1 = off)")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
-		maxBytes = fs.Int("max-program-bytes", serve.DefaultMaxProgramBytes, "largest accepted TAC program")
+		maxBytes = fs.Int("max-program-bytes", engine.DefaultMaxProgramBytes, "largest accepted TAC program")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *shards < 1 {
+		return fmt.Errorf("need at least one shard, got %d", *shards)
+	}
 
-	engine := serve.New(serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cache,
-		RequestTimeout:  *timeout,
-		MaxProgramBytes: *maxBytes,
+	router := shard.New(shard.Config{
+		Shards: *shards,
+		Engine: engine.Config{
+			Workers:         *workers,
+			QueueDepth:      *queue,
+			CacheEntries:    *cache,
+			BatchMax:        *batch,
+			RequestTimeout:  *timeout,
+			MaxProgramBytes: *maxBytes,
+		},
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: serve.NewMux(engine)}
+	srv := &http.Server{Handler: transport.NewMux(router)}
 
 	sigCtx, cancelSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancelSig()
 
-	fmt.Fprintf(w, "leaserved: listening on %s (%d workers, queue %d, cache %d)\n",
-		ln.Addr(), *workers, *queue, *cache)
+	fmt.Fprintf(w, "leaserved: listening on %s (%d shards, %d workers, queue %d, cache %d, batch %d)\n",
+		ln.Addr(), *shards, *workers, *queue, *cache, *batch)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -97,7 +113,7 @@ func run(args []string, w io.Writer, ready chan<- string, stop <-chan struct{}) 
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	if err := engine.Close(ctx); err != nil {
+	if err := router.Close(ctx); err != nil {
 		return fmt.Errorf("engine drain: %w", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {

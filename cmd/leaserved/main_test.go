@@ -10,7 +10,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/serve"
+	"repro/internal/serve/engine"
+	"repro/internal/serve/shard"
 )
 
 const testTAC = "task t\nblock b\nin a b\nc = a + b\nd = a * c\nout d\nend\n"
@@ -69,7 +70,7 @@ func TestDaemonServesAndDrainsCleanly(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("allocate: status %d body %s", status, data)
 	}
-	var first serve.Response
+	var first engine.Response
 	if err := json.Unmarshal(data, &first); err != nil || len(first.Blocks) != 1 {
 		t.Fatalf("allocate response %s: err %v", data, err)
 	}
@@ -80,7 +81,7 @@ func TestDaemonServesAndDrainsCleanly(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("repeat allocate: status %d body %s", status, data)
 	}
-	var second serve.Response
+	var second engine.Response
 	if err := json.Unmarshal(data, &second); err != nil {
 		t.Fatalf("repeat decode: %v", err)
 	}
@@ -112,7 +113,7 @@ func TestDaemonServesAndDrainsCleanly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snap serve.Snapshot
+	var snap engine.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatalf("statsz decode: %v", err)
 	}
@@ -146,8 +147,68 @@ func TestDaemonServesAndDrainsCleanly(t *testing.T) {
 	}
 }
 
+// TestDaemonShardedBatched runs a 2-shard batching daemon: requests for two
+// distinct programs spread deterministically, /statsz carries the per-shard
+// snapshots, and /metrics labels every series with its shard.
+func TestDaemonShardedBatched(t *testing.T) {
+	base, _, shutdown := startDaemon(t, "-shards", "2", "-workers", "1", "-batch", "4", "-queue", "16")
+
+	programs := []string{
+		testTAC,
+		"task u\nblock c\nin x y\nz = x + y\nw = z * x\nv = w + z\nout v\nend\n",
+	}
+	for round := 0; round < 3; round++ {
+		for _, p := range programs {
+			body, _ := json.Marshal(map[string]any{"program": p, "options": map[string]any{"registers": 3}})
+			status, data := postJSON(t, base+"/v1/allocate", string(body))
+			if status != http.StatusOK {
+				t.Fatalf("allocate: status %d body %s", status, data)
+			}
+		}
+	}
+
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap shard.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(snap.Shards) != 2 {
+		t.Fatalf("statsz shards %d, want 2", len(snap.Shards))
+	}
+	if snap.Requests != 6 || snap.Shards[0].Requests+snap.Shards[1].Requests != 6 {
+		t.Errorf("aggregate requests %d (shards %d+%d), want 6",
+			snap.Requests, snap.Shards[0].Requests, snap.Shards[1].Requests)
+	}
+	if snap.CacheHits < 4 {
+		t.Errorf("aggregate cache hits %d, want >= 4 (two repeats per program)", snap.CacheHits)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{`requests_total{shard="0"}`, `requests_total{shard="1"}`} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("sharded metrics exposition missing %q", want)
+		}
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
 func TestDaemonRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}, io.Discard, nil, nil); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-shards", "0"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("zero shards accepted")
 	}
 }

@@ -104,19 +104,39 @@ func TestLayerRank(t *testing.T) {
 }
 
 // TestServingStackRanks pins the serving subsystem's place in the layer DAG:
-// the engine sits above core (it drives Prepare/Allocate) and below the cmd
-// tier, and both serving commands are mapped so LEA0002 cannot fire on them.
+// the pure engine sits above core (it drives Prepare/Allocate) and strictly
+// below shard and transport; shard and transport share a rank, so the lint
+// forbids the transport importing the shard router and vice versa — both may
+// only compose downward through the engine. The serving commands sit above
+// all three, and the retired monolithic internal/serve must stay unmapped.
 func TestServingStackRanks(t *testing.T) {
-	serveRank, ok := LayerRank("internal/serve")
+	engineRank, ok := LayerRank("internal/serve/engine")
 	if !ok {
-		t.Fatal("internal/serve missing from the layer map")
+		t.Fatal("internal/serve/engine missing from the layer map")
 	}
 	coreRank, ok := LayerRank("internal/core")
 	if !ok {
 		t.Fatal("internal/core missing from the layer map")
 	}
-	if serveRank <= coreRank {
-		t.Errorf("internal/serve rank %d must be above internal/core rank %d", serveRank, coreRank)
+	if engineRank <= coreRank {
+		t.Errorf("internal/serve/engine rank %d must be above internal/core rank %d", engineRank, coreRank)
+	}
+	shardRank, ok := LayerRank("internal/serve/shard")
+	if !ok {
+		t.Fatal("internal/serve/shard missing from the layer map")
+	}
+	transportRank, ok := LayerRank("internal/serve/transport")
+	if !ok {
+		t.Fatal("internal/serve/transport missing from the layer map")
+	}
+	if shardRank <= engineRank || transportRank <= engineRank {
+		t.Errorf("shard (%d) and transport (%d) must rank above engine (%d)", shardRank, transportRank, engineRank)
+	}
+	if shardRank != transportRank {
+		t.Errorf("shard rank %d and transport rank %d must be equal so neither can import the other", shardRank, transportRank)
+	}
+	if _, ok := LayerRank("internal/serve"); ok {
+		t.Error("retired monolithic internal/serve still mapped")
 	}
 	for _, cmd := range []string{"cmd/leaserved", "cmd/leaload"} {
 		r, ok := LayerRank(cmd)
@@ -124,8 +144,8 @@ func TestServingStackRanks(t *testing.T) {
 			t.Errorf("%s missing from the layer map", cmd)
 			continue
 		}
-		if r <= serveRank {
-			t.Errorf("%s rank %d must be above internal/serve rank %d", cmd, r, serveRank)
+		if r <= shardRank || r <= transportRank {
+			t.Errorf("%s rank %d must be above the serving stack (shard %d, transport %d)", cmd, r, shardRank, transportRank)
 		}
 	}
 }

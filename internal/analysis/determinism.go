@@ -11,9 +11,9 @@ import (
 // clock-free — the warm-start equality and byte-identical parallelism
 // guarantees depend on replayable behaviour.
 var timeAllowed = map[string]bool{
-	"internal/flow":  true,
-	"internal/core":  true,
-	"internal/serve": true,
+	"internal/flow":         true,
+	"internal/core":         true,
+	"internal/serve/engine": true,
 }
 
 // randConstructors are the math/rand package-level names that do NOT touch

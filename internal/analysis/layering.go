@@ -38,20 +38,25 @@ var layerRank = map[string]int{
 	"internal/viz":      7,
 	"internal/sweep":    7,
 	"internal/simulate": 7,
-	"internal/serve":    7,
-	"internal/memmap":   8,
-	"internal/exact":    8,
-	"internal/emit":     8,
-	"internal/actmem":   9,
-	"internal/pipeline": 9,
-	"internal/report":   10,
-	"cmd/leabench":      100,
-	"cmd/leaflow":       100,
-	"cmd/leagen":        100,
-	"cmd/lealint":       100,
-	"cmd/leaload":       100,
-	"cmd/leaserved":     100,
-	"cmd/leasweep":      100,
+	// The serving stack: the pure request engine sits below the shard router
+	// and the HTTP transport; shard and transport share a rank, so neither
+	// can import the other — both compose only downward through the engine.
+	"internal/serve/engine":    7,
+	"internal/serve/shard":     8,
+	"internal/serve/transport": 8,
+	"internal/memmap":          8,
+	"internal/exact":           8,
+	"internal/emit":            8,
+	"internal/actmem":          9,
+	"internal/pipeline":        9,
+	"internal/report":          10,
+	"cmd/leabench":             100,
+	"cmd/leaflow":              100,
+	"cmd/leagen":               100,
+	"cmd/lealint":              100,
+	"cmd/leaload":              100,
+	"cmd/leaserved":            100,
+	"cmd/leasweep":             100,
 }
 
 // layeringPass enforces the layer ranks (codes LEA0001, LEA0002) over

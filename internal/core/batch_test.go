@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+	"repro/internal/workload"
+)
+
+// TestBatchDecodeMatchesColdAllocate is the end-to-end batching invariant at
+// the allocation level: several prepared problems merged into one
+// super-network (netbuild.NewBatch), solved in a single
+// flow.SolveBatchWithCosts pass and decoded per item with DecodeSolution,
+// must produce flows byte-identical to the solo warm-path solve
+// (Prepared.Allocate — the component isomorphism) and decoded results
+// identical to cold per-problem Allocate (the warm-vs-cold contract level:
+// degenerate optima may route transfer flow differently, residences and
+// energies may not differ).
+func TestBatchDecodeMatchesColdAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	co := staticCO()
+	opts := core.Options{Style: netbuild.DensityRegions, Cost: co}
+
+	sets := []*lifetime.Set{workload.Figure1(), workload.Figure3()}
+	for i := 0; i < 3; i++ {
+		sets = append(sets, workload.MustRandom(rng, workload.RandomParams{
+			Vars: 6 + 3*i, Steps: 8, MaxReads: 3, ExternalFrac: 0.3, InputFrac: 0.2,
+		}))
+	}
+
+	pres := make([]*core.Prepared, len(sets))
+	solos := make([]*core.Prepared, len(sets))
+	items := make([]netbuild.BatchItem, len(sets))
+	regs := make([]int, len(sets))
+	costs := make([][]int64, len(sets))
+	baselines := make([]float64, len(sets))
+	for i, set := range sets {
+		pre, err := core.Prepare(set, opts)
+		if err != nil {
+			t.Fatalf("set %d: prepare: %v", i, err)
+		}
+		pres[i] = pre
+		if solos[i], err = core.Prepare(set, opts); err != nil {
+			t.Fatalf("set %d: solo prepare: %v", i, err)
+		}
+		regs[i] = 2 + i%3
+		items[i] = netbuild.BatchItem{Tpl: pre.Template(), Registers: regs[i]}
+		costs[i], baselines[i], err = pre.Template().CostVector(co)
+		if err != nil {
+			t.Fatalf("set %d: cost vector: %v", i, err)
+		}
+	}
+
+	batch, err := netbuild.NewBatch(items)
+	if err != nil {
+		t.Fatalf("new batch: %v", err)
+	}
+	merged := make([]int64, 0, batch.Net.M())
+	for i := range items {
+		merged = append(merged, costs[i]...)
+	}
+	if len(merged) != batch.Net.M() {
+		t.Fatalf("merged cost vector has %d entries for %d arcs", len(merged), batch.Net.M())
+	}
+
+	// Two rounds on the same scratch: cold batch prepare, then warm reuse.
+	sc := flow.NewScratch()
+	for round := 0; round < 2; round++ {
+		sol, sst, err := batch.Net.SolveBatchWithCosts(merged, sc, batch.Comps)
+		if err != nil {
+			t.Fatalf("round %d: batch solve: %v", round, err)
+		}
+		if sst.BatchUnits != len(items) {
+			t.Fatalf("round %d: BatchUnits = %d, want %d", round, sst.BatchUnits, len(items))
+		}
+		if round > 0 && !sst.WarmStart {
+			t.Fatalf("round %d: batch re-solve did not warm-start", round)
+		}
+		for i := range items {
+			sub := batch.Sub(i, sol, costs[i])
+			got, err := pres[i].DecodeSolution(regs[i], co, baselines[i], sub, sst)
+			if err != nil {
+				t.Fatalf("round %d set %d: decode: %v", round, i, err)
+			}
+
+			solo, err := solos[i].Allocate(regs[i], co)
+			if err != nil {
+				t.Fatalf("round %d set %d: solo warm allocate: %v", round, i, err)
+			}
+			if !reflect.DeepEqual(sub.FlowByArc, solo.Solution.FlowByArc) {
+				t.Fatalf("round %d set %d: batch flows differ from solo warm solve", round, i)
+			}
+			coldOpts := opts
+			coldOpts.Registers = regs[i]
+			cold, err := core.Allocate(sets[i], coldOpts)
+			if err != nil {
+				t.Fatalf("round %d set %d: cold allocate: %v", round, i, err)
+			}
+			if sub.Cost != cold.Solution.Cost {
+				t.Fatalf("round %d set %d: batch objective %d, cold %d", round, i, sub.Cost, cold.Solution.Cost)
+			}
+			if math.Abs(got.TotalEnergy-cold.TotalEnergy) > 1e-9 {
+				t.Fatalf("round %d set %d: batch energy %g, cold %g", round, i, got.TotalEnergy, cold.TotalEnergy)
+			}
+			if !reflect.DeepEqual(got.InRegister, cold.InRegister) || !reflect.DeepEqual(got.RegOf, cold.RegOf) {
+				t.Fatalf("round %d set %d: decoded residences differ from cold", round, i)
+			}
+			if got.RegistersUsed != cold.RegistersUsed || got.MemoryLocations != cold.MemoryLocations {
+				t.Fatalf("round %d set %d: decoded usage differs from cold", round, i)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("round %d set %d: batch result invalid: %v", round, i, err)
+			}
+		}
+	}
+}

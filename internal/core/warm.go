@@ -155,3 +155,47 @@ func (pre *Prepared) allocate(registers int, co netbuild.CostOptions, costs []in
 	}
 	return res, nil
 }
+
+// DecodeSolution decodes a flow solution that was computed outside this
+// Prepared — the batch-serving path, where many prepared problems are merged
+// into one super-network (netbuild.NewBatch), solved in a single
+// flow.SolveBatchWithCosts pass and sliced back per item (Batch.Sub). The
+// solution must be the item's slice of such a batch solve (or any solve of
+// this template's network at this register count under co); by the batching
+// invariant it is then identical to what Allocate would have produced, and so
+// is the decoded Result. sst is recorded as the run's solver stats.
+//
+// Unlike Allocate, DecodeSolution only reads the Prepared (template, options,
+// base stats) — it touches neither the scratch nor the cost buffer — so it is
+// safe to call concurrently with Allocate on the same Prepared.
+func (pre *Prepared) DecodeSolution(registers int, co netbuild.CostOptions, baseline float64, sol *flow.Solution, sst *flow.SolveStats) (*Result, error) {
+	if registers < 0 {
+		return nil, fmt.Errorf("core: negative register count %d", registers)
+	}
+	start := time.Now()
+	stats := pre.baseStats
+	if sst != nil {
+		stats.Solver = *sst
+		stats.SolveTime = sst.Duration
+	}
+
+	opts := pre.opts
+	opts.Registers = registers
+	opts.Cost = co
+	view := pre.tpl.BuildFor(co, baseline)
+	if err := debugSolve(opts, view, sol, registers); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	res, err := decode(view, sol, opts)
+	stats.DecodeTime = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	stats.TotalTime = time.Since(start)
+	res.Stats = stats
+	if c := statsCollector(); c != nil {
+		c(stats)
+	}
+	return res, nil
+}

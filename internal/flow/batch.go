@@ -1,0 +1,206 @@
+package flow
+
+import (
+	"fmt"
+	"time"
+)
+
+// BatchComponent delimits one disjoint subproblem inside a merged batch
+// network. The component owns the contiguous node range [Lo, Hi) and the
+// contiguous arc range [ArcLo, ArcHi) in ArcID order. The last two nodes of
+// the range, Hi-2 and Hi-1, are reserved: they must carry no arcs and zero
+// supply, and the batch solve uses them as the component's private super
+// source and super sink. Reserving them inside the component's range — in
+// exactly the position a plain solve's appended super nodes would occupy
+// under the node-offset mapping — is what makes the per-component solve
+// byte-identical to the component's solo solve.
+type BatchComponent struct {
+	// Lo, Hi delimit the node range [Lo, Hi); nodes Hi-2 and Hi-1 are the
+	// reserved super source/sink slots.
+	Lo, Hi int
+	// ArcLo, ArcHi delimit the arc range [ArcLo, ArcHi).
+	ArcLo, ArcHi int
+}
+
+// SolveBatchWithCosts solves a merged network of disjoint subproblems in one
+// pass: a single residual preparation (lower-bound reduction, per-component
+// super source/sink arcs, CSR index, capacity snapshot) shared by every
+// component, then a range-restricted successive-shortest-path solve per
+// component. Re-solving the same network layout on the same scratch reuses
+// the prepared residual (SolveStats.WarmStart) and, when still valid, the
+// node potentials — the amortisation that makes coalescing queued serving
+// requests into one solve pay off.
+//
+// Each component must occupy contiguous node and arc ranges, the components
+// together must partition the network exactly, every arc must stay inside
+// its component's non-reserved nodes, and supplies must balance per
+// component. Because the components are disjoint and each solve is
+// restricted to its component's range, the flows (and therefore the decoded
+// allocations) are identical to solving each subproblem alone — the batching
+// invariant documented in DESIGN S38 and enforced by the equality tests.
+//
+// The engine is always SSP (the only engine maintaining the potential
+// invariant range-restriction relies on). A nil scratch allocates fresh
+// storage; ErrInfeasible failures name the offending component.
+func (nw *Network) SolveBatchWithCosts(costs []int64, sc *Scratch, comps []BatchComponent) (*Solution, *SolveStats, error) {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	st := &SolveStats{Engine: SSP.Name(), BatchUnits: len(comps)}
+	start := time.Now()
+	sol, err := nw.solveBatch(costs, sc, comps, st)
+	st.Duration = time.Since(start)
+	return sol, st, err
+}
+
+func (nw *Network) solveBatch(costs []int64, sc *Scratch, comps []BatchComponent, st *SolveStats) (*Solution, error) {
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("flow: batch solve needs at least one component")
+	}
+	if len(costs) != len(nw.arcs) {
+		return nil, fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.arcs))
+	}
+	if sc.batchPreparedFor(nw, comps) {
+		st.WarmStart = true
+	} else if err := sc.prepareBatch(nw, comps); err != nil {
+		return nil, err
+	}
+	sc.solved = false
+
+	r := sc.restoreResidual()
+	// Install the cost vector on the forward/reverse arc pairs; super
+	// source/sink arcs keep their constant zero cost.
+	for i, c := range costs {
+		r.cost[2*i] = c
+		r.cost[2*i+1] = -c
+	}
+	// One validity check covers every component: potentials are per-node and
+	// the components are disjoint, so a globally valid vector is valid for
+	// each range-restricted solve.
+	warm := st.WarmStart && sc.validPotentials()
+	for ci := range sc.prep.batch {
+		bp := &sc.prep.batch[ci]
+		sc.warmPi = warm
+		shipped, err := sspRange(sc, comps[ci].Lo, comps[ci].Hi, bp.s, bp.t, bp.required, st)
+		sc.warmPi = false
+		if err != nil {
+			return nil, err
+		}
+		if shipped < bp.required {
+			return nil, fmt.Errorf("flow: batch component %d: %w", ci, ErrInfeasible)
+		}
+	}
+
+	sol := &Solution{FlowByArc: make([]int64, len(nw.arcs))}
+	for i, a := range nw.arcs {
+		f := a.lower + r.flowOn(2*i)
+		sol.FlowByArc[i] = f
+		sol.Cost += f * costs[i]
+	}
+	sol.Augmentations = st.Augmentations
+	return sol, nil
+}
+
+// batchPreparedFor reports whether the scratch holds a batch-prepared
+// residual matching the network's current shape, supplies and component
+// layout.
+func (sc *Scratch) batchPreparedFor(nw *Network, comps []BatchComponent) bool {
+	p := &sc.prep
+	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.arcs) || len(p.comps) != len(comps) {
+		return false
+	}
+	for i, c := range comps {
+		if p.comps[i] != c {
+			return false
+		}
+	}
+	for v, b := range nw.supply {
+		if p.supply[v] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// prepareBatch is prepare for a merged batch network: one lower-bound
+// reduction over all arcs, then per-component super source/sink arcs on the
+// component's reserved nodes. Super arcs are appended component by component
+// in node order, after every network arc — the same relative order a plain
+// prepare of the component alone would produce, so each node's CSR adjacency
+// (and with it the solve's heap evolution) matches the solo solve exactly.
+func (sc *Scratch) prepareBatch(nw *Network, comps []BatchComponent) error {
+	node, arcIdx := 0, 0
+	for ci, c := range comps {
+		if c.Lo != node || c.Hi-c.Lo < 3 || c.ArcLo != arcIdx || c.ArcHi < c.ArcLo {
+			return fmt.Errorf("flow: batch component %d has ranges nodes [%d,%d) arcs [%d,%d); want contiguous from node %d, arc %d with >=3 nodes",
+				ci, c.Lo, c.Hi, c.ArcLo, c.ArcHi, node, arcIdx)
+		}
+		node, arcIdx = c.Hi, c.ArcHi
+	}
+	if node != nw.n || arcIdx != len(nw.arcs) {
+		return fmt.Errorf("flow: batch components cover %d nodes and %d arcs of a network with %d and %d", node, arcIdx, nw.n, len(nw.arcs))
+	}
+	for ci, c := range comps {
+		var total int64
+		for v := c.Lo; v < c.Hi; v++ {
+			total += nw.supply[v]
+		}
+		if total != 0 {
+			return fmt.Errorf("flow: batch component %d supplies sum to %d, want 0", ci, total)
+		}
+		if nw.supply[c.Hi-2] != 0 || nw.supply[c.Hi-1] != 0 {
+			return fmt.Errorf("flow: batch component %d has supply on its reserved super nodes", ci)
+		}
+		for a := c.ArcLo; a < c.ArcHi; a++ {
+			arc := &nw.arcs[a]
+			if arc.from < c.Lo || arc.from >= c.Hi-2 || arc.to < c.Lo || arc.to >= c.Hi-2 {
+				return fmt.Errorf("flow: batch component %d arc %d (%d->%d) leaves the component's non-reserved nodes [%d,%d)",
+					ci, a, arc.from, arc.to, c.Lo, c.Hi-2)
+			}
+		}
+	}
+
+	sc.b = grow64(sc.b, nw.n)
+	b := sc.b
+	copy(b, nw.supply)
+	r := sc.resetResidual(nw.n, len(nw.arcs)+nw.n)
+	for _, a := range nw.arcs {
+		if a.lower > 0 {
+			b[a.from] -= a.lower
+			b[a.to] += a.lower
+		}
+		r.addPair(a.from, a.to, a.cap-a.lower, 0)
+	}
+	p := &sc.prep
+	p.superArc = grow32(p.superArc, nw.n)
+	p.batch = p.batch[:0]
+	for _, c := range comps {
+		s, t := c.Hi-2, c.Hi-1
+		var required int64
+		for v := c.Lo; v < c.Hi-2; v++ {
+			switch {
+			case b[v] > 0:
+				p.superArc[v] = int32(r.addPair(s, v, b[v], 0))
+				required += b[v]
+			case b[v] < 0:
+				p.superArc[v] = int32(r.addPair(v, t, -b[v], 0))
+			default:
+				p.superArc[v] = -1
+			}
+		}
+		p.superArc[s], p.superArc[t] = -1, -1
+		p.batch = append(p.batch, batchPrep{s: s, t: t, required: required})
+	}
+	r.ensureCSR()
+	p.net = nw
+	p.n = nw.n
+	p.m = len(nw.arcs)
+	p.arcs = len(r.to)
+	p.s, p.t, p.required = -1, -1, 0 // per-component in p.batch instead
+	p.initCap = append(p.initCap[:0], r.capR...)
+	p.supply = append(p.supply[:0], nw.supply...)
+	p.excess = append(p.excess[:0], b[:nw.n]...)
+	p.comps = append(p.comps[:0], comps...)
+	p.valid = true // after resetResidual, which clears it
+	return nil
+}

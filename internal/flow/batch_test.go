@@ -1,0 +1,302 @@
+package flow
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// batchSub is one independent subproblem destined for a merged batch network:
+// a supply-balanced network plus its per-arc cost vector (arc costs are zero
+// at AddArc time, the SolveWithCosts regime the serving stack uses).
+type batchSub struct {
+	nw    *Network
+	costs []int64
+}
+
+// randomBatchSub builds one random DAG subproblem with supplies set and a
+// separate cost vector, feasible by construction (bypass arc).
+func randomBatchSub(rng *rand.Rand) batchSub {
+	n := 3 + rng.Intn(7)
+	nw := NewNetwork(n + 2)
+	s, t := n, n+1
+	var costs []int64
+	arc := func(from, to int, lower, capacity int64) {
+		nw.MustArc(from, to, lower, capacity, 0)
+		costs = append(costs, int64(rng.Intn(11)-5))
+	}
+	for u := 0; u < n; u++ {
+		arc(s, u, 0, int64(1+rng.Intn(3)))
+		arc(u, t, 0, int64(1+rng.Intn(3)))
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				arc(u, v, 0, int64(1+rng.Intn(4)))
+			}
+		}
+	}
+	nw.MustArc(s, t, 0, Unbounded, 0)
+	costs = append(costs, 0)
+	value := int64(1 + rng.Intn(5))
+	nw.AddSupply(s, value)
+	nw.AddSupply(t, -value)
+	return batchSub{nw: nw, costs: costs}
+}
+
+// mergeSubs builds the merged batch network: each sub's nodes plus two
+// reserved super slots, arcs and supplies replayed at the node offset.
+func mergeSubs(subs []batchSub) (*Network, []BatchComponent, []int64) {
+	total, arcs := 0, 0
+	for _, sub := range subs {
+		total += sub.nw.N() + 2
+		arcs += sub.nw.M()
+	}
+	nw := NewNetworkSized(total, arcs)
+	comps := make([]BatchComponent, 0, len(subs))
+	var costs []int64
+	base, arcBase := 0, 0
+	for _, sub := range subs {
+		for a := 0; a < sub.nw.M(); a++ {
+			from, to, lower, capacity, _ := sub.nw.Arc(ArcID(a))
+			nw.MustArc(base+from, base+to, lower, capacity, 0)
+		}
+		for v := 0; v < sub.nw.N(); v++ {
+			if b := sub.nw.Supply(v); b != 0 {
+				nw.AddSupply(base+v, b)
+			}
+		}
+		comps = append(comps, BatchComponent{
+			Lo: base, Hi: base + sub.nw.N() + 2,
+			ArcLo: arcBase, ArcHi: arcBase + sub.nw.M(),
+		})
+		costs = append(costs, sub.costs...)
+		base += sub.nw.N() + 2
+		arcBase += sub.nw.M()
+	}
+	return nw, comps, costs
+}
+
+// TestBatchMatchesSoloSolves is the batching invariant: a batch solve over a
+// merged network of disjoint subproblems returns, per component, exactly the
+// flow vector a fresh solo solve of that subproblem returns — byte-identical,
+// not just cost-equal. A warm batch re-solve with new costs must match fresh
+// solo solves under the new costs too.
+func TestBatchMatchesSoloSolves(t *testing.T) {
+	sc := NewScratch()
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		subs := make([]batchSub, 1+rng.Intn(4))
+		for i := range subs {
+			subs[i] = randomBatchSub(rng)
+		}
+		nw, comps, costs := mergeSubs(subs)
+
+		for round := 0; round < 3; round++ {
+			sol, st, err := nw.SolveBatchWithCosts(costs, sc, comps)
+			if err != nil {
+				t.Fatalf("seed %d round %d: batch solve: %v", seed, round, err)
+			}
+			if st.BatchUnits != len(subs) {
+				t.Fatalf("seed %d: BatchUnits = %d, want %d", seed, st.BatchUnits, len(subs))
+			}
+			if round > 0 && !st.WarmStart {
+				t.Fatalf("seed %d round %d: re-solve did not warm-start", seed, round)
+			}
+			var wantCost int64
+			for i, sub := range subs {
+				solo, _, err := sub.nw.SolveWithCosts(SSP, sub.costs, NewScratch())
+				if err != nil {
+					t.Fatalf("seed %d sub %d: solo solve: %v", seed, i, err)
+				}
+				got := sol.FlowByArc[comps[i].ArcLo:comps[i].ArcHi]
+				for a, f := range solo.FlowByArc {
+					if got[a] != f {
+						t.Fatalf("seed %d round %d sub %d arc %d: batch flow %d, solo flow %d",
+							seed, round, i, a, got[a], f)
+					}
+				}
+				wantCost += solo.Cost
+			}
+			if sol.Cost != wantCost {
+				t.Fatalf("seed %d round %d: batch cost %d, solo sum %d", seed, round, sol.Cost, wantCost)
+			}
+			// Next round re-solves under perturbed costs to exercise the warm
+			// path (and, on unchanged potentials, their reuse).
+			for i := range costs {
+				if rng.Intn(4) == 0 {
+					costs[i] += int64(rng.Intn(3) - 1)
+				}
+			}
+			at := 0
+			for i := range subs {
+				n := len(subs[i].costs)
+				copy(subs[i].costs, costs[at:at+n])
+				at += n
+			}
+		}
+	}
+}
+
+// TestBatchSingleComponentMatchesPlain pins the degenerate one-component
+// batch to the plain warm solve: same flows, same cost.
+func TestBatchSingleComponentMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sub := randomBatchSub(rng)
+	nw, comps, costs := mergeSubs([]batchSub{sub})
+	sol, st, err := nw.SolveBatchWithCosts(costs, NewScratch(), comps)
+	if err != nil {
+		t.Fatalf("batch solve: %v", err)
+	}
+	if st.BatchUnits != 1 {
+		t.Fatalf("BatchUnits = %d, want 1", st.BatchUnits)
+	}
+	solo, _, err := sub.nw.SolveWithCosts(SSP, sub.costs, nil)
+	if err != nil {
+		t.Fatalf("solo solve: %v", err)
+	}
+	for a, f := range solo.FlowByArc {
+		if sol.FlowByArc[a] != f {
+			t.Fatalf("arc %d: batch flow %d, solo flow %d", a, sol.FlowByArc[a], f)
+		}
+	}
+	if sol.Cost != solo.Cost {
+		t.Fatalf("batch cost %d, solo cost %d", sol.Cost, solo.Cost)
+	}
+}
+
+// TestBatchInfeasibleComponentNamed checks that an unroutable component fails
+// with ErrInfeasible naming the component's index.
+func TestBatchInfeasibleComponentNamed(t *testing.T) {
+	// Component 0: trivially feasible. Component 1: demands 5 units through a
+	// capacity-1 arc.
+	nw := NewNetwork(8)
+	nw.MustArc(0, 1, 0, 5, 0)
+	nw.AddSupply(0, 2)
+	nw.AddSupply(1, -2)
+	nw.MustArc(4, 5, 0, 1, 0)
+	nw.AddSupply(4, 5)
+	nw.AddSupply(5, -5)
+	comps := []BatchComponent{
+		{Lo: 0, Hi: 4, ArcLo: 0, ArcHi: 1},
+		{Lo: 4, Hi: 8, ArcLo: 1, ArcHi: 2},
+	}
+	_, _, err := nw.SolveBatchWithCosts([]int64{0, 0}, nil, comps)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if !strings.Contains(err.Error(), "component 1") {
+		t.Fatalf("err = %q, want the failing component named", err)
+	}
+}
+
+// TestBatchLayoutValidation exercises prepareBatch's layout checks: gaps,
+// short components, arcs escaping a component, supply on reserved nodes and
+// unbalanced components are all rejected before any solving.
+func TestBatchLayoutValidation(t *testing.T) {
+	build := func() *Network {
+		nw := NewNetwork(8)
+		nw.MustArc(0, 1, 0, 3, 0)
+		nw.AddSupply(0, 1)
+		nw.AddSupply(1, -1)
+		return nw
+	}
+	escaping := build()
+	escaping.MustArc(0, 2, 0, 1, 0) // endpoint on component 0's reserved node
+	costs := []int64{0}
+	cases := []struct {
+		name  string
+		nw    *Network
+		comps []BatchComponent
+		want  string
+	}{
+		{"gap", build(), []BatchComponent{{Lo: 0, Hi: 4, ArcLo: 0, ArcHi: 1}, {Lo: 5, Hi: 8, ArcLo: 1, ArcHi: 1}}, "contiguous"},
+		{"short", build(), []BatchComponent{{Lo: 0, Hi: 2, ArcLo: 0, ArcHi: 1}, {Lo: 2, Hi: 8, ArcLo: 1, ArcHi: 1}}, ">=3 nodes"},
+		{"uncovered", build(), []BatchComponent{{Lo: 0, Hi: 4, ArcLo: 0, ArcHi: 1}}, "cover"},
+	}
+	for _, tc := range cases {
+		_, _, err := tc.nw.SolveBatchWithCosts(costs, nil, tc.comps)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	_, _, err := escaping.SolveBatchWithCosts([]int64{0, 0}, nil, []BatchComponent{{Lo: 0, Hi: 4, ArcLo: 0, ArcHi: 2}, {Lo: 4, Hi: 8, ArcLo: 2, ArcHi: 2}})
+	if err == nil || !strings.Contains(err.Error(), "non-reserved") {
+		t.Fatalf("escape: err = %v, want arc-escape rejection", err)
+	}
+
+	reserved := build()
+	reserved.AddSupply(2, 1)
+	reserved.AddSupply(3, -1)
+	_, _, err = reserved.SolveBatchWithCosts(costs, nil, []BatchComponent{{Lo: 0, Hi: 4, ArcLo: 0, ArcHi: 1}, {Lo: 4, Hi: 8, ArcLo: 1, ArcHi: 1}})
+	if err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("reserved-supply: err = %v, want reserved-node rejection", err)
+	}
+
+	unbalanced := build()
+	unbalanced.AddSupply(1, 1) // component 0 now sums to +1
+	unbalanced.AddSupply(5, -1)
+	_, _, err = unbalanced.SolveBatchWithCosts(costs, nil, []BatchComponent{{Lo: 0, Hi: 4, ArcLo: 0, ArcHi: 1}, {Lo: 4, Hi: 8, ArcLo: 1, ArcHi: 1}})
+	if err == nil || !strings.Contains(err.Error(), "sum to") {
+		t.Fatalf("unbalanced: err = %v, want per-component balance rejection", err)
+	}
+}
+
+// TestBatchAndPlainPreparesDoNotCrossMatch drives one scratch alternately
+// through batch and plain solves of the same network: a batch-shaped prepare
+// must never satisfy a plain solve's warm check (and vice versa), each switch
+// re-prepares, and results stay correct throughout.
+func TestBatchAndPlainPreparesDoNotCrossMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sub := randomBatchSub(rng)
+	nw, comps, costs := mergeSubs([]batchSub{sub})
+
+	sc := NewScratch()
+	batchSol, _, err := nw.SolveBatchWithCosts(costs, sc, comps)
+	if err != nil {
+		t.Fatalf("batch solve: %v", err)
+	}
+	// A plain solve of the merged network on the same scratch must not reuse
+	// the batch-shaped topology. (The merged network is solvable as a plain
+	// problem too: supplies balance globally.)
+	plainSol, plainSt, err := nw.SolveWithCosts(SSP, costs, sc)
+	if err != nil {
+		t.Fatalf("plain solve after batch: %v", err)
+	}
+	if plainSt.WarmStart {
+		t.Fatal("plain solve warm-started from a batch-shaped prepare")
+	}
+	fresh, _, err := nw.SolveWithCosts(SSP, costs, NewScratch())
+	if err != nil {
+		t.Fatalf("fresh plain solve: %v", err)
+	}
+	if plainSol.Cost != fresh.Cost {
+		t.Fatalf("plain-after-batch cost %d, fresh cost %d", plainSol.Cost, fresh.Cost)
+	}
+	// And back: the batch solve must not reuse the plain prepare.
+	again, st, err := nw.SolveBatchWithCosts(costs, sc, comps)
+	if err != nil {
+		t.Fatalf("batch solve after plain: %v", err)
+	}
+	if st.WarmStart {
+		t.Fatal("batch solve warm-started from a plain prepare")
+	}
+	for a, f := range batchSol.FlowByArc {
+		if again.FlowByArc[a] != f {
+			t.Fatalf("arc %d: re-batched flow %d, first batch flow %d", a, again.FlowByArc[a], f)
+		}
+	}
+}
+
+// TestBatchCostVectorLength pins the arity check.
+func TestBatchCostVectorLength(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.MustArc(0, 1, 0, 1, 0)
+	comps := []BatchComponent{{Lo: 0, Hi: 4, ArcLo: 0, ArcHi: 1}}
+	if _, _, err := nw.SolveBatchWithCosts([]int64{0, 0}, nil, comps); err == nil {
+		t.Fatal("mismatched cost vector accepted")
+	}
+	if _, _, err := nw.SolveBatchWithCosts([]int64{0}, nil, nil); err == nil {
+		t.Fatal("empty component list accepted")
+	}
+}

@@ -94,6 +94,9 @@ type SolveStats struct {
 	WarmStart        bool `json:"warm_start"`
 	PotentialsReused bool `json:"potentials_reused"`
 	Incremental      bool `json:"incremental"`
+	// BatchUnits counts the disjoint subproblems coalesced into this solve
+	// (SolveBatchWithCosts); zero for plain single-problem solves.
+	BatchUnits int `json:"batch_units,omitempty"`
 	// Duration is the wall time of the solve, residual construction included.
 	Duration time.Duration `json:"duration_ns"`
 }
@@ -116,6 +119,9 @@ func (st SolveStats) String() string {
 	}
 	if st.Incremental {
 		b.WriteString(" incremental=true")
+	}
+	if st.BatchUnits > 0 {
+		fmt.Fprintf(&b, " batch-units=%d", st.BatchUnits)
 	}
 	fmt.Fprintf(&b, " time=%s", st.Duration)
 	return b.String()
@@ -163,6 +169,18 @@ type prepared struct {
 	supply   []int64 // supply snapshot at prepare time
 	excess   []int64 // per-node imbalance after the lower-bound reduction
 	superArc []int32 // forward super arc per node (-1 when excess was zero)
+	// Batch-prepare state (prepareBatch): the component layout and one
+	// (super source, super sink, required) triple per component. Non-empty
+	// batch marks the topology as batch-shaped, which preparedFor and
+	// patchSupplies treat as a mismatch for plain solves.
+	comps []BatchComponent
+	batch []batchPrep
+}
+
+// batchPrep is one component's private super source/sink and required flow.
+type batchPrep struct {
+	s, t     int
+	required int64
 }
 
 // NewScratch returns an empty scratch space.

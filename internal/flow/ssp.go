@@ -84,6 +84,17 @@ func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, 
 // ssp runs successive shortest paths from s to t until `required` units are
 // shipped or t becomes unreachable. Returns the amount shipped.
 func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
+	return sspRange(sc, 0, sc.r.n, s, t, required, st)
+}
+
+// sspRange is ssp restricted to the nodes [lo, hi): distances, potentials and
+// potential updates touch only that range, and the search never leaves it
+// because every arc incident to a node in the range stays inside it (the
+// batch-solve precondition; a plain solve passes the whole node range). With
+// lo=0, hi=n the loop is exactly the unrestricted algorithm, so a component
+// solved in a batch network takes the same augmenting paths — in the same
+// order — as its solo solve would.
+func sspRange(sc *Scratch, lo, hi, s, t int, required int64, st *SolveStats) (int64, error) {
 	r := &sc.r
 	r.ensureCSR()
 	var pi []int64
@@ -94,7 +105,7 @@ func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 		st.PotentialsReused = true
 	} else {
 		var err error
-		pi, err = initPotentials(r, s, sc)
+		pi, err = initPotentials(r, lo, hi, s, sc)
 		if err != nil {
 			return 0, err
 		}
@@ -105,7 +116,7 @@ func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 	var shipped int64
 	for shipped < required {
 		st.Phases++
-		if !dijkstra(r, s, pi, dist, prevArc, sc, st) {
+		if !dijkstra(r, lo, hi, s, pi, dist, prevArc, sc, st) {
 			break // t unreachable under current residual
 		}
 		if dist[t] >= infCost {
@@ -113,7 +124,7 @@ func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 		}
 		// Update potentials; nodes unreachable this round keep a potential
 		// large enough that reduced costs stay non-negative.
-		for v := 0; v < r.n; v++ {
+		for v := lo; v < hi; v++ {
 			if dist[v] < infCost {
 				pi[v] += dist[v]
 			} else {
@@ -143,46 +154,50 @@ func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 }
 
 // initPotentials computes initial node potentials (shortest distances from s
-// over arcs with residual capacity, tolerating negative costs) into the
-// scratch's potential buffer. The initial residual of a DAG-shaped network is
-// acyclic, so a single relaxation pass in topological order suffices —
-// O(V+E). Bellman-Ford remains as the fallback for non-DAG inputs.
-func initPotentials(r *residual, s int, sc *Scratch) ([]int64, error) {
+// over arcs with residual capacity, tolerating negative costs) for the nodes
+// [lo, hi) into the scratch's potential buffer. The initial residual of a
+// DAG-shaped network is acyclic, so a single relaxation pass in topological
+// order suffices — O(V+E). Bellman-Ford remains as the fallback for non-DAG
+// inputs. A plain solve passes the full node range; a batch solve initialises
+// one component's range at a time, leaving the rest of the buffer alone.
+func initPotentials(r *residual, lo, hi, s int, sc *Scratch) ([]int64, error) {
 	sc.pi = grow64(sc.pi, r.n)
 	dist := sc.pi
-	for v := range dist {
+	for v := lo; v < hi; v++ {
 		dist[v] = infCost
 	}
 	dist[s] = 0
-	if dagRelax(r, sc, dist) {
+	if dagRelax(r, lo, hi, sc, dist) {
 		return dist, nil
 	}
 	// Cycle among capacitated arcs: re-run the general algorithm (it resets
 	// dist itself).
-	return bellmanFord(r, s, dist)
+	return bellmanFord(r, lo, hi, s, dist)
 }
 
 // dagRelax attempts one topological-order relaxation pass over the arcs with
-// residual capacity (Kahn's algorithm). It reports success, having filled
-// dist, only when that subgraph is acyclic; on failure dist is garbage and
-// the caller must fall back to Bellman-Ford.
-func dagRelax(r *residual, sc *Scratch, dist []int64) bool {
-	n := r.n
-	sc.indeg = grow32(sc.indeg, n)
+// residual capacity and tail in [lo, hi) (Kahn's algorithm). It reports
+// success, having filled dist, only when that subgraph is acyclic; on failure
+// dist is garbage and the caller must fall back to Bellman-Ford.
+func dagRelax(r *residual, lo, hi int, sc *Scratch, dist []int64) bool {
+	sc.indeg = grow32(sc.indeg, r.n)
 	indeg := sc.indeg
-	for i := range indeg {
-		indeg[i] = 0
+	for v := lo; v < hi; v++ {
+		indeg[v] = 0
 	}
-	for a := 0; a < len(r.to); a++ {
-		if r.capR[a] > 0 {
-			indeg[r.to[a]]++
+	for u := lo; u < hi; u++ {
+		for k := r.start[u]; k < r.start[u+1]; k++ {
+			a := r.adj[k]
+			if r.capR[a] > 0 {
+				indeg[r.to[a]]++
+			}
 		}
 	}
-	if cap(sc.order) < n {
-		sc.order = make([]int32, 0, n)
+	if cap(sc.order) < r.n {
+		sc.order = make([]int32, 0, r.n)
 	}
 	q := sc.order[:0]
-	for v := 0; v < n; v++ {
+	for v := lo; v < hi; v++ {
 		if indeg[v] == 0 {
 			q = append(q, int32(v))
 		}
@@ -210,7 +225,7 @@ func dagRelax(r *residual, sc *Scratch, dist []int64) bool {
 		}
 	}
 	sc.order = q[:0]
-	return processed == n
+	return processed == hi-lo
 }
 
 // repairPotentials restores the non-negative reduced-cost invariant on a
@@ -247,43 +262,50 @@ func repairPotentials(r *residual, pi []int64) bool {
 }
 
 // bellmanFord computes shortest distances from s over arcs with residual
-// capacity, tolerating negative costs, into dist. A negative cycle in the
-// initial residual means the network prices a free lunch (a cost-reducing
-// cycle within capacity bounds); it is reported as ErrNegativeCycle rather
-// than a panic so malformed inputs surface as ordinary errors.
-func bellmanFord(r *residual, s int, dist []int64) ([]int64, error) {
-	for v := range dist {
+// capacity and tail in [lo, hi), tolerating negative costs, into dist. A
+// negative cycle in the initial residual means the network prices a free
+// lunch (a cost-reducing cycle within capacity bounds); it is reported as
+// ErrNegativeCycle rather than a panic so malformed inputs surface as
+// ordinary errors. Restricting relaxation to the range keeps a batch solve
+// from walking the residual cycles that other, already-solved components
+// legitimately hold.
+func bellmanFord(r *residual, lo, hi, s int, dist []int64) ([]int64, error) {
+	for v := lo; v < hi; v++ {
 		dist[v] = infCost
 	}
 	dist[s] = 0
 	for round := 0; ; round++ {
 		changed := false
-		for a := 0; a < len(r.to); a++ {
-			if r.capR[a] <= 0 {
+		for u := lo; u < hi; u++ {
+			du := dist[u]
+			if du >= infCost {
 				continue
 			}
-			u := r.tail[a]
-			if dist[u] >= infCost {
-				continue
-			}
-			if d := dist[u] + r.cost[a]; d < dist[r.to[a]] {
-				dist[r.to[a]] = d
-				changed = true
+			for k := r.start[u]; k < r.start[u+1]; k++ {
+				a := r.adj[k]
+				if r.capR[a] <= 0 {
+					continue
+				}
+				if d := du + r.cost[a]; d < dist[r.to[a]] {
+					dist[r.to[a]] = d
+					changed = true
+				}
 			}
 		}
 		if !changed {
 			return dist, nil
 		}
-		if round > r.n {
+		if round > hi-lo {
 			return nil, ErrNegativeCycle
 		}
 	}
 }
 
-// dijkstra computes reduced-cost shortest paths from s, filling dist and
-// prevArc. Reports whether any node was reached (always true: s itself).
-func dijkstra(r *residual, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats) bool {
-	for v := range dist {
+// dijkstra computes reduced-cost shortest paths from s over the nodes
+// [lo, hi), filling dist and prevArc for that range. Reports whether any node
+// was reached (always true: s itself).
+func dijkstra(r *residual, lo, hi, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats) bool {
+	for v := lo; v < hi; v++ {
 		dist[v] = infCost
 		prevArc[v] = -1
 	}

@@ -148,7 +148,7 @@ func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, st *Solv
 // matching the network's current shape and supplies.
 func (sc *Scratch) preparedFor(nw *Network) bool {
 	p := &sc.prep
-	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.arcs) {
+	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.arcs) || len(p.batch) > 0 {
 		return false
 	}
 	for v, b := range nw.supply {
@@ -206,6 +206,8 @@ func (sc *Scratch) prepare(nw *Network) error {
 	p.initCap = append(p.initCap[:0], r.capR...)
 	p.supply = append(p.supply[:0], nw.supply...)
 	p.excess = append(p.excess[:0], b[:nw.n]...)
+	p.comps = p.comps[:0]
+	p.batch = p.batch[:0]
 	p.valid = true // after resetResidual, which clears it
 	return nil
 }
@@ -224,7 +226,7 @@ func (sc *Scratch) prepare(nw *Network) error {
 // non-incremental path overwrites them in restoreResidual anyway.
 func (sc *Scratch) patchSupplies(nw *Network) (ok, grew bool) {
 	p := &sc.prep
-	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.arcs) {
+	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.arcs) || len(p.batch) > 0 {
 		return false, false
 	}
 	// Verify first: a failed patch must leave the snapshot consistent.

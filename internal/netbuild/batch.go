@@ -1,0 +1,91 @@
+package netbuild
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+)
+
+// BatchItem is one prepared allocation problem to coalesce into a batch: a
+// built template and the register count to ship through its source/sink.
+type BatchItem struct {
+	// Tpl is the built network template.
+	Tpl *Template
+	// Registers is the flow value for this item, as in Prepared.Allocate.
+	Registers int
+}
+
+// Batch is a merged super-network of disjoint per-item subproblems, laid out
+// for flow.SolveBatchWithCosts: item i owns Comps[i]'s node and arc ranges,
+// with the component's trailing two nodes reserved for the solver's private
+// super source/sink. Arc order within an item matches the item's template
+// exactly, so per-item cost vectors copy straight into the merged vector at
+// Comps[i].ArcLo and the solved flows slice back out with Sub.
+type Batch struct {
+	// Net is the merged network (all arc costs zero; batch solves price arcs
+	// through the cost vector, as SolveWithCosts does).
+	Net *flow.Network
+	// Comps is item i's node/arc layout inside Net.
+	Comps []flow.BatchComponent
+}
+
+// NewBatch merges the items into one batch network. Each item's nodes are
+// replayed at a running offset followed by two reserved super-node slots —
+// the positions a solo solve's appended super source/sink would occupy — so
+// the batch solve of each component is exactly the item's solo solve.
+func NewBatch(items []BatchItem) (*Batch, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("netbuild: batch needs at least one item")
+	}
+	nodes, arcs := 0, 0
+	for i, it := range items {
+		if it.Tpl == nil {
+			return nil, fmt.Errorf("netbuild: batch item %d has no template", i)
+		}
+		if it.Registers < 0 {
+			return nil, fmt.Errorf("netbuild: batch item %d has negative register count %d", i, it.Registers)
+		}
+		nodes += it.Tpl.Build.Net.N() + 2
+		arcs += it.Tpl.Build.Net.M()
+	}
+	net := flow.NewNetworkSized(nodes, arcs)
+	comps := make([]flow.BatchComponent, 0, len(items))
+	base, arcBase := 0, 0
+	for _, it := range items {
+		sub := it.Tpl.Build.Net
+		for a := 0; a < sub.M(); a++ {
+			from, to, lower, capacity, _ := sub.Arc(flow.ArcID(a))
+			net.MustArc(base+from, base+to, lower, capacity, 0)
+		}
+		for v := 0; v < sub.N(); v++ {
+			if b := sub.Supply(v); b != 0 {
+				net.AddSupply(base+v, b)
+			}
+		}
+		// The solo path ships Registers units S→T on top of any recorded
+		// supplies (MinCostFlowValueWithCosts); bake the same imbalance in.
+		net.AddSupply(base+it.Tpl.Build.S, int64(it.Registers))
+		net.AddSupply(base+it.Tpl.Build.T, -int64(it.Registers))
+		comps = append(comps, flow.BatchComponent{
+			Lo: base, Hi: base + sub.N() + 2,
+			ArcLo: arcBase, ArcHi: arcBase + sub.M(),
+		})
+		base += sub.N() + 2
+		arcBase += sub.M()
+	}
+	return &Batch{Net: net, Comps: comps}, nil
+}
+
+// Sub extracts item i's solution from a batch solution: the item's flow
+// slice (aliasing sol.FlowByArc) priced under the item's own cost vector.
+// The result is exactly what the item's solo solve returns, the batching
+// invariant SolveBatchWithCosts guarantees.
+func (b *Batch) Sub(i int, sol *flow.Solution, costs []int64) *flow.Solution {
+	c := b.Comps[i]
+	flows := sol.FlowByArc[c.ArcLo:c.ArcHi:c.ArcHi]
+	out := &flow.Solution{FlowByArc: flows, Augmentations: sol.Augmentations}
+	for a, f := range flows {
+		out.Cost += f * costs[a]
+	}
+	return out
+}

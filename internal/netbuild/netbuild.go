@@ -187,18 +187,18 @@ func BuildNetwork(set *lifetime.Set, grouped [][]lifetime.Segment, style GraphSt
 	// DESIGN.md).
 	b.ConstantEnergy = BaselineEnergy(co, grouped)
 
-	// Same-variable chain arcs (eq. 9).
-	flatIndex := make(map[string][]int, len(grouped))
-	for i, s := range segs {
-		flatIndex[s.Var] = append(flatIndex[s.Var], i)
-	}
-	for _, idxs := range flatIndex {
-		for k := 0; k+1 < len(idxs); k++ {
-			u, v := idxs[k], idxs[k+1]
-			e := b.chainCost(&segs[u])
-			if err := b.addTransfer(KindEq9, u, v, e); err != nil {
-				return nil, err
-			}
+	// Same-variable chain arcs (eq. 9). A variable's segments are contiguous
+	// in flat order, so consecutive same-variable segments are exactly the
+	// chain pairs; iterating the flat list keeps arc order deterministic
+	// across builds (identical requests must yield identical networks for
+	// the serving stack's byte-identity guarantees).
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i].Var != segs[i+1].Var {
+			continue
+		}
+		e := b.chainCost(&segs[i])
+		if err := b.addTransfer(KindEq9, i, i+1, e); err != nil {
+			return nil, err
 		}
 	}
 

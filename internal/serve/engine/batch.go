@@ -1,0 +1,431 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/lifetime"
+	"repro/internal/netbuild"
+)
+
+// batchUnit is one deduplicated subproblem of a coalesced batch: a prepared
+// template solved for one (registers, cost model) pair. Requests and blocks
+// repeating the same unit share its single solve and decoded result.
+type batchUnit struct {
+	key       string
+	entry     *cacheEntry
+	pre       *core.Prepared
+	registers int
+	co        netbuild.CostOptions
+	// solo marks units whose requested flow engine cannot join a merged
+	// batch solve (only SSP maintains the range-restriction invariant).
+	solo bool
+	// blocks counts staged blocks sharing this unit.
+	blocks int
+	// Solve outcome, filled by solveUnits.
+	res *core.Result
+	err error
+}
+
+// stagedBlock is one block of a staged request, pointing at the unit that
+// will solve it.
+type stagedBlock struct {
+	task string
+	name string
+	hit  bool
+	unit *batchUnit
+}
+
+// stagedJob is a request after validation, parsing, scheduling and template
+// resolution — everything but the solve.
+type stagedJob struct {
+	req    *Request
+	blocks []stagedBlock
+}
+
+// runBatch executes a coalesced batch of jobs with panic containment and the
+// same per-request metrics accounting as runJob.
+func (e *Engine) runBatch(jobs []*job) {
+	e.inflight.Add(int64(len(jobs)))
+	start := time.Now()
+	results := e.processBatch(jobs)
+	dur := time.Since(start)
+	e.inflight.Add(-int64(len(jobs)))
+	for i, j := range jobs {
+		e.latency.Observe(dur)
+		e.requests.Inc()
+		if results[i].err != nil {
+			e.errors.Inc()
+		}
+		j.done <- results[i]
+	}
+}
+
+// processBatch stages every job, deduplicates their block subproblems into
+// units, solves the units — merged into one super-network when more than one
+// SSP unit is present — and assembles per-job responses. A panic outside the
+// per-job staging fails the not-yet-answered jobs with an *InternalError,
+// keeping the worker alive.
+func (e *Engine) processBatch(jobs []*job) (results []jobResult) {
+	results = make([]jobResult, len(jobs))
+	filled := make([]bool, len(jobs))
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Inc()
+			for i := range results {
+				if !filled[i] {
+					results[i] = jobResult{err: &InternalError{Panic: fmt.Sprint(r)}}
+				}
+			}
+		}
+	}()
+
+	staged := make([]*stagedJob, len(jobs))
+	for i, j := range jobs {
+		sj, err := e.stageJob(j)
+		if err != nil {
+			results[i] = jobResult{err: err}
+			filled[i] = true
+			continue
+		}
+		staged[i] = sj
+	}
+
+	// Deduplicate units across the surviving jobs: the first staged unit of
+	// a key solves for every later reference.
+	units := make(map[string]*batchUnit)
+	for _, sj := range staged {
+		if sj == nil {
+			continue
+		}
+		for bi := range sj.blocks {
+			b := &sj.blocks[bi]
+			if u, ok := units[b.unit.key]; ok {
+				u.blocks += b.unit.blocks
+				b.unit = u
+			} else {
+				units[b.unit.key] = b.unit
+			}
+		}
+	}
+	e.solveUnits(units)
+
+	for i := range jobs {
+		if filled[i] {
+			continue
+		}
+		sj := staged[i]
+		resp := &Response{}
+		var jobErr error
+		for _, b := range sj.blocks {
+			u := b.unit
+			if u.err != nil {
+				jobErr = badRequest("options.registers", fmt.Sprintf("block %q does not allocate", b.name), u.err)
+				break
+			}
+			resp.Blocks = append(resp.Blocks, BlockResult{
+				Task:            b.task,
+				Block:           b.name,
+				Registers:       u.registers,
+				RegistersUsed:   u.res.RegistersUsed,
+				MemoryLocations: u.res.MemoryLocations,
+				Energy:          u.res.TotalEnergy,
+				BaselineEnergy:  u.res.BaselineEnergy,
+				Assignments:     assignments(u.res),
+				CacheHit:        b.hit,
+				Stats:           u.res.Stats,
+			})
+			resp.TotalEnergy += u.res.TotalEnergy
+		}
+		if jobErr != nil {
+			results[i] = jobResult{err: jobErr}
+		} else {
+			results[i] = jobResult{resp: resp}
+		}
+		filled[i] = true
+	}
+	return results
+}
+
+// stageJob runs one request through everything but the solve: validation,
+// parsing, scheduling, template-cache resolution and unit construction. The
+// units it returns are job-local; processBatch deduplicates across jobs.
+func (e *Engine) stageJob(j *job) (sj *stagedJob, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Inc()
+			sj, err = nil, &InternalError{Panic: fmt.Sprint(r)}
+		}
+	}()
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := j.req
+	if err := validateRequest(req, e.cfg.MaxProgramBytes); err != nil {
+		return nil, err
+	}
+	prog, err := parseProgram(req)
+	if err != nil {
+		return nil, err
+	}
+	opts, co := coreOptions(req.Options)
+	eng, err := flow.EngineByName(req.Options.Engine)
+	if err != nil {
+		return nil, badRequest("options.engine", "unknown engine", err)
+	}
+	solo := eng != flow.SSP
+
+	sj = &stagedJob{req: req}
+	local := make(map[string]*batchUnit)
+	for _, task := range prog.Tasks {
+		for _, block := range task.Blocks {
+			sc, err := schedule(block, req.Options)
+			if err != nil {
+				return nil, badRequest("program", fmt.Sprintf("block %q does not schedule", block.Name), err)
+			}
+			set, err := lifetime.FromSchedule(sc)
+			if err != nil {
+				return nil, badRequest("program", fmt.Sprintf("block %q has no valid lifetimes", block.Name), err)
+			}
+
+			key := cacheKey(set, req.Options)
+			entry := e.cache.acquire(key)
+			entry.mu.Lock()
+			hit := entry.pre != nil
+			if hit {
+				e.cacheHits.Inc()
+			} else {
+				e.cacheMisses.Inc()
+				pre, err := core.Prepare(set, opts)
+				if err != nil {
+					entry.mu.Unlock()
+					return nil, badRequest("program", fmt.Sprintf("block %q does not prepare", block.Name), err)
+				}
+				entry.pre = pre
+			}
+			pre := entry.pre
+			entry.mu.Unlock()
+
+			ukey := fmt.Sprintf("%s|r=%d|cost=%s", key, req.Options.Registers, req.Options.Cost)
+			u := local[ukey]
+			if u == nil {
+				u = &batchUnit{
+					key:       ukey,
+					entry:     entry,
+					pre:       pre,
+					registers: req.Options.Registers,
+					co:        co,
+					solo:      solo,
+				}
+				local[ukey] = u
+			}
+			u.blocks++
+			sj.blocks = append(sj.blocks, stagedBlock{task: task.Name, name: block.Name, hit: hit, unit: u})
+		}
+	}
+	if e.testHookPreSolve != nil {
+		e.testHookPreSolve(req)
+	}
+	return sj, nil
+}
+
+// solveUnits solves every staged unit: solo-engine units and a lone SSP unit
+// on the per-template warm path, two or more SSP units as one merged batch
+// solve. A solo solve of a unit shared by several blocks still counts as a
+// coalesced batch — one solve answered many queued blocks.
+func (e *Engine) solveUnits(units map[string]*batchUnit) {
+	keys := make([]string, 0, len(units))
+	for k := range units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var merged []*batchUnit
+	for _, k := range keys {
+		u := units[k]
+		if u.solo {
+			e.solveSolo(u)
+			continue
+		}
+		merged = append(merged, u)
+	}
+	switch len(merged) {
+	case 0:
+	case 1:
+		u := merged[0]
+		e.solveSolo(u)
+		if u.err == nil && u.blocks > 1 {
+			e.batchSolves.Inc()
+			e.batchUnitsTot.Add(1)
+		}
+	default:
+		e.solveMerged(merged)
+	}
+}
+
+// solveSolo solves one unit on the template's own warm path, serialised on
+// the cache entry like the non-batched worker path.
+func (e *Engine) solveSolo(u *batchUnit) {
+	u.entry.mu.Lock()
+	u.res, u.err = u.pre.Allocate(u.registers, u.co)
+	u.entry.mu.Unlock()
+	if u.err == nil {
+		e.recordRunStats(u.res.Stats)
+	}
+}
+
+// solveMerged coalesces the units into one super-network of disjoint
+// subproblems (netbuild.NewBatch), solved in a single warm batch pass.
+// Super-network layouts repeat whenever the same unit combination queues up
+// again, so prepared batches live in their own LRU and re-solve warm. Any
+// batch-level failure falls back to per-unit solo solves — identical results,
+// identical error behaviour, just without the amortisation.
+func (e *Engine) solveMerged(units []*batchUnit) {
+	be := e.batches.acquire(batchLayoutKey(units))
+	be.mu.Lock()
+	err := e.solveMergedLocked(be, units)
+	be.mu.Unlock()
+	if err != nil {
+		e.batchFallbacks.Inc()
+		for _, u := range units {
+			u.res, u.err = nil, nil
+			e.solveSolo(u)
+		}
+		return
+	}
+	e.batchSolves.Inc()
+	e.batchUnitsTot.Add(int64(len(units)))
+	for _, u := range units {
+		e.recordRunStats(u.res.Stats)
+	}
+}
+
+// solveMergedLocked builds (or reuses) the batch super-network, prices every
+// unit's cost vector into the merged vector, solves once and decodes each
+// unit's slice. Decoding reads the units' Prepared templates only, so it is
+// safe against concurrent solo solves on the same templates.
+func (e *Engine) solveMergedLocked(be *batchEntry, units []*batchUnit) error {
+	if be.batch == nil {
+		items := make([]netbuild.BatchItem, len(units))
+		for i, u := range units {
+			items[i] = netbuild.BatchItem{Tpl: u.pre.Template(), Registers: u.registers}
+		}
+		b, err := netbuild.NewBatch(items)
+		if err != nil {
+			return err
+		}
+		be.batch = b
+		be.scratch = flow.NewScratch()
+	}
+	m := be.batch.Net.M()
+	if cap(be.costs) < m {
+		be.costs = make([]int64, m)
+	}
+	be.costs = be.costs[:m]
+	be.baselines = be.baselines[:0]
+	for i, u := range units {
+		var baseline float64
+		var err error
+		be.tmp, baseline, err = u.pre.Template().CostVectorInto(be.tmp, u.co)
+		if err != nil {
+			return err
+		}
+		c := be.batch.Comps[i]
+		copy(be.costs[c.ArcLo:c.ArcHi], be.tmp)
+		be.baselines = append(be.baselines, baseline)
+	}
+	sol, sst, err := be.batch.Net.SolveBatchWithCosts(be.costs, be.scratch, be.batch.Comps)
+	if err != nil {
+		return err
+	}
+	for i, u := range units {
+		c := be.batch.Comps[i]
+		sub := be.batch.Sub(i, sol, be.costs[c.ArcLo:c.ArcHi])
+		res, err := u.pre.DecodeSolution(u.registers, u.co, be.baselines[i], sub, sst)
+		if err != nil {
+			return err
+		}
+		u.res = res
+	}
+	return nil
+}
+
+// batchLayoutKey canonically hashes the unit combination: the units are
+// already sorted by key, and each key pins its template shape, register
+// count and cost model — everything that determines the merged layout.
+func batchLayoutKey(units []*batchUnit) string {
+	h := sha256.New()
+	for _, u := range units {
+		io.WriteString(h, u.key)
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// batchEntry is one cached super-network layout: the merged batch, its
+// solver scratch (holding the prepared residual for warm re-solves) and the
+// pricing buffers, all guarded by mu.
+type batchEntry struct {
+	key       string
+	mu        sync.Mutex
+	batch     *netbuild.Batch
+	scratch   *flow.Scratch
+	costs     []int64
+	tmp       []int64
+	baselines []float64
+}
+
+// batchCache is a fixed-capacity LRU of prepared batch layouts, the
+// super-network analogue of templateCache.
+type batchCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // value: *batchEntry
+	order    *list.List               // front = most recently used
+	evicted  *Counter
+}
+
+// newBatchCache returns an LRU holding up to capacity layouts (minimum 1),
+// reporting evictions on evicted.
+func newBatchCache(capacity int, evicted *Counter) *batchCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &batchCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+		evicted:  evicted,
+	}
+}
+
+// acquire returns the entry for key, creating (and possibly evicting) as
+// needed. The caller locks entry.mu before touching the batch state.
+func (c *batchCache) acquire(key string) *batchEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*batchEntry)
+	}
+	for c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		be := back.Value.(*batchEntry)
+		delete(c.entries, be.key)
+		c.order.Remove(back)
+		c.evicted.Inc()
+	}
+	e := &batchEntry{key: key}
+	c.entries[key] = c.order.PushFront(e)
+	return e
+}

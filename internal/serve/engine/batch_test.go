@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// waitQueueLen polls until the engine's queue holds n jobs.
+func waitQueueLen(t *testing.T, e *Engine, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(e.queue) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d jobs (at %d)", n, len(e.queue))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWorkerCoalescesQueuedRequests is the deterministic batching proof: the
+// single worker is parked inside request 1 while five more requests — three
+// distinct (program, registers) units, with repeats — pile into the queue.
+// On release the worker must drain them as ONE coalesced batch (a merged
+// multi-unit super-network solve), and every response must equal the
+// sequential cold reference.
+func TestWorkerCoalescesQueuedRequests(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 16, BatchMax: 8})
+	defer e.Close(context.Background())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	e.testHookPreSolve = blockingHook(entered, release)
+	ctx := context.Background()
+
+	type reply struct {
+		req  *Request
+		resp *Response
+		err  error
+	}
+	replies := make(chan reply, 6)
+	alloc := func(prog string, regs int) {
+		req := &Request{Program: prog, Options: RequestOptions{Registers: regs}}
+		resp, err := e.Allocate(ctx, req)
+		replies <- reply{req: req, resp: resp, err: err}
+	}
+
+	go alloc(testPrograms[0], 3)
+	<-entered // the worker is parked inside request 1
+
+	// Five requests over three distinct units: program 1 at r=3 (twice, the
+	// dedup case), program 1 at r=4, and program 2 at r=3 (twice).
+	queued := [][2]any{
+		{testPrograms[1], 3},
+		{testPrograms[1], 3},
+		{testPrograms[1], 4},
+		{testPrograms[2], 3},
+		{testPrograms[2], 3},
+	}
+	for _, q := range queued {
+		go alloc(q[0].(string), q[1].(int))
+	}
+	waitQueueLen(t, e, len(queued))
+
+	// Drop the hook before releasing: the close(release) → wake-up edge
+	// orders this write for the worker, so batch staging won't re-park.
+	e.testHookPreSolve = nil
+	close(release)
+
+	for i := 0; i < 6; i++ {
+		r := <-replies
+		if r.err != nil {
+			t.Fatalf("request failed: %v", r.err)
+		}
+		want := coldBlocks(t, r.req)
+		got := stripVolatileBlocks(r.resp.Blocks)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("batched response differs from cold reference:\n got %+v\nwant %+v", got, want)
+		}
+	}
+
+	snap := e.Snapshot()
+	if snap.BatchSolves < 1 {
+		t.Fatalf("batch_solves %d, want >= 1", snap.BatchSolves)
+	}
+	if snap.BatchUnits <= snap.BatchSolves {
+		t.Errorf("batch_units %d not above batch_solves %d: no multi-unit batch", snap.BatchUnits, snap.BatchSolves)
+	}
+	if snap.BatchFallbacks != 0 {
+		t.Errorf("batch_fallbacks %d, want 0", snap.BatchFallbacks)
+	}
+	if snap.Requests != 6 || snap.Errors != 0 {
+		t.Errorf("requests %d errors %d, want 6 and 0", snap.Requests, snap.Errors)
+	}
+}
+
+// TestBatchMixedValidAndInvalid checks per-job error isolation inside one
+// coalesced batch: an invalid request queued among valid ones fails alone
+// with its typed error while the others succeed.
+func TestBatchMixedValidAndInvalid(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 16, BatchMax: 8})
+	defer e.Close(context.Background())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	e.testHookPreSolve = blockingHook(entered, release)
+	ctx := context.Background()
+
+	type reply struct {
+		name string
+		err  error
+	}
+	replies := make(chan reply, 4)
+	go func() {
+		_, err := e.Allocate(ctx, &Request{Program: testPrograms[0], Options: RequestOptions{Registers: 3}})
+		replies <- reply{"first", err}
+	}()
+	<-entered
+
+	go func() {
+		_, err := e.Allocate(ctx, &Request{Program: testPrograms[1], Options: RequestOptions{Registers: 3}})
+		replies <- reply{"valid", err}
+	}()
+	go func() {
+		_, err := e.Allocate(ctx, &Request{Program: "task t\nblock b\nnot a program\n", Options: RequestOptions{Registers: 3}})
+		replies <- reply{"invalid", err}
+	}()
+	go func() {
+		_, err := e.Allocate(ctx, &Request{Program: testPrograms[2], Options: RequestOptions{Registers: 4}})
+		replies <- reply{"valid2", err}
+	}()
+	waitQueueLen(t, e, 3)
+	e.testHookPreSolve = nil
+	close(release)
+
+	for i := 0; i < 4; i++ {
+		r := <-replies
+		if r.name == "invalid" {
+			var reqErr *RequestError
+			if !errors.As(r.err, &reqErr) {
+				t.Errorf("invalid request: err %v, want *RequestError", r.err)
+			}
+			continue
+		}
+		if r.err != nil {
+			t.Errorf("%s request failed: %v", r.name, r.err)
+		}
+	}
+	if snap := e.Snapshot(); snap.Errors != 1 {
+		t.Errorf("errors %d, want exactly the invalid request", snap.Errors)
+	}
+}
+
+// stripVolatileBlocks zeroes the per-block cache and stats metadata for
+// comparison against the cold reference.
+func stripVolatileBlocks(blocks []BlockResult) []BlockResult {
+	out := make([]BlockResult, len(blocks))
+	for i, b := range blocks {
+		b.CacheHit = false
+		b.Stats = core.RunStats{}
+		out[i] = b
+	}
+	return out
+}

@@ -1,9 +1,10 @@
-package serve
+package engine
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -249,26 +250,57 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// WriteTextLabels renders the registry like WriteText with a fixed label set
+// appended to every metric name, `name{shard="0"} value` style; label keys
+// are sorted. A sharded deployment writes each engine's registry with its
+// shard index so one /metrics page keeps the per-shard series apart.
+func (r *Registry) WriteTextLabels(w io.Writer, labels map[string]string) error {
+	if len(labels) == 0 {
+		return r.WriteText(w)
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return r.writeText(w, b.String())
+}
+
 // WriteText renders every metric in a flat, sorted, line-oriented text
 // exposition: "name value" for counters and gauges, and per-histogram
 // "name_count", "name_sum_ns" and "name_p50_ns"/"_p95_ns"/"_p99_ns" lines.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.writeText(w, "")
+}
+
+// writeText renders the metrics with suffix (a rendered label set or empty)
+// between each metric name and its value.
+func (r *Registry) writeText(w io.Writer, suffix string) error {
 	r.mu.Lock()
 	lines := make([]string, 0, len(r.counters)+len(r.gauges)+5*len(r.histograms))
 	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+		lines = append(lines, fmt.Sprintf("%s%s %d", name, suffix, c.Value()))
 	}
 	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+		lines = append(lines, fmt.Sprintf("%s%s %d", name, suffix, g.Value()))
 	}
 	for name, h := range r.histograms {
 		s := h.Snapshot()
 		lines = append(lines,
-			fmt.Sprintf("%s_count %d", name, s.Count),
-			fmt.Sprintf("%s_sum_ns %d", name, s.SumNS),
-			fmt.Sprintf("%s_p50_ns %d", name, s.P50NS),
-			fmt.Sprintf("%s_p95_ns %d", name, s.P95NS),
-			fmt.Sprintf("%s_p99_ns %d", name, s.P99NS),
+			fmt.Sprintf("%s_count%s %d", name, suffix, s.Count),
+			fmt.Sprintf("%s_sum_ns%s %d", name, suffix, s.SumNS),
+			fmt.Sprintf("%s_p50_ns%s %d", name, suffix, s.P50NS),
+			fmt.Sprintf("%s_p95_ns%s %d", name, suffix, s.P95NS),
+			fmt.Sprintf("%s_p99_ns%s %d", name, suffix, s.P99NS),
 		)
 	}
 	r.mu.Unlock()

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"crypto/sha256"
@@ -251,6 +251,32 @@ func cacheKey(set *lifetime.Set, o RequestOptions) string {
 			io.WriteString(h, strconv.Itoa(r))
 		}
 	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RouteKey canonically hashes the request fields that determine which
+// prepared templates serve it: the program text and every shape-relevant
+// option (divisor, split policy, style, engine, scheduler and its resource
+// bounds). Register count and cost model are deliberately excluded — a
+// register or cost sweep over one program then lands on a single shard and
+// keeps re-solving that shard's warm templates. Shard routers and load
+// drivers share this key so client-side routing agrees with server-side
+// affinity. The key is computed on the raw request, so the validation
+// defaults are applied locally first.
+func RouteKey(req *Request) string {
+	o := req.Options
+	div := o.MemDivisor
+	if div == 0 {
+		div = 1
+	}
+	alus, mults := o.ALUs, o.Multipliers
+	if alus == 0 && mults == 0 && o.Scheduler != "asap" && o.Scheduler != "fds" {
+		alus, mults = 2, 1
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "rk1|div=%d|splitfull=%t|style=%s|engine=%s|sched=%s|alus=%d|mults=%d|",
+		div, o.SplitFull, o.Style, strings.ToLower(o.Engine), o.Scheduler, alus, mults)
+	io.WriteString(h, req.Program)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

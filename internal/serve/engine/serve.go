@@ -1,15 +1,23 @@
-// Package serve is the allocation-as-a-service request engine: a bounded
+// Package engine is the allocation-as-a-service request engine: a bounded
 // admission queue feeding a worker pool of solver contexts, fronted by an
 // LRU template cache so repeated program shapes re-solve on the warm
 // incremental path (core.Prepared + flow SolveWithCosts) instead of running
 // the cold pipeline, with an in-process metrics registry (counters, gauges,
-// log-bucketed latency histograms) and graceful drain. cmd/leaserved wraps
-// it in an HTTP daemon; cmd/leaload drives it under closed-loop load.
-package serve
+// log-bucketed latency histograms) and graceful drain. Requests that queue
+// up behind a solve can be coalesced into one super-network of disjoint
+// subproblems and solved in a single warm batch pass (Config.BatchMax).
+//
+// The package is transport-free by design: it speaks Request/Response and
+// typed errors, never HTTP. internal/serve/transport maps those to an HTTP
+// API, internal/serve/shard spreads requests across several engines, and
+// cmd/leaserved assembles the three into a daemon; cmd/leaload drives it
+// under closed-loop load.
+package engine
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -34,6 +42,24 @@ type Config struct {
 	// MaxProgramBytes bounds the TAC text accepted per request (default
 	// DefaultMaxProgramBytes).
 	MaxProgramBytes int
+	// BatchMax bounds how many queued requests one worker may coalesce into
+	// a single batched solve (default 1: batching off). Values above 1 make
+	// a worker drain up to BatchMax-1 additional waiting requests and solve
+	// all their block subproblems as one merged super-network
+	// (flow.SolveBatchWithCosts); results are identical to solving each
+	// request alone.
+	BatchMax int
+	// BatchCacheEntries caps the LRU of prepared batch super-networks
+	// (default 32 layouts).
+	BatchCacheEntries int
+	// PreSolve, when non-nil, runs on the worker goroutine after a request
+	// has been staged (validated, parsed, scheduled) and before its blocks
+	// are solved. It exists so tests above this package can park a worker
+	// and build queue pressure deterministically — natural coalescing
+	// depends on scheduler timing and never happens on a single-CPU
+	// machine, where channel handoff runs the worker after every enqueue.
+	// Production configs leave it nil.
+	PreSolve func(*Request)
 }
 
 // withDefaults fills the zero fields.
@@ -52,6 +78,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxProgramBytes <= 0 {
 		c.MaxProgramBytes = DefaultMaxProgramBytes
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 1
+	}
+	if c.BatchCacheEntries <= 0 {
+		c.BatchCacheEntries = 32
 	}
 	return c
 }
@@ -113,6 +145,7 @@ type Engine struct {
 	closed  bool
 
 	cache   *templateCache
+	batches *batchCache
 	metrics *Registry
 
 	// Hot counters, also registered in metrics by name.
@@ -127,8 +160,14 @@ type Engine struct {
 	solveCold   *Counter
 	solveWarm   *Counter
 	solveIncr   *Counter
-	inflight    *Gauge
-	queueDepth  *Gauge
+	// Batch coalescing: solves serving more than one queued block at once,
+	// the subproblems they carried, and batches that fell back to per-unit
+	// solo solves after a batch-level error.
+	batchSolves    *Counter
+	batchUnitsTot  *Counter
+	batchFallbacks *Counter
+	inflight       *Gauge
+	queueDepth     *Gauge
 
 	latency     *Histogram
 	solveLat    *Histogram
@@ -148,6 +187,7 @@ func New(cfg Config) *Engine {
 		cfg:         cfg,
 		queue:       make(chan *job, cfg.QueueDepth),
 		cache:       newTemplateCache(cfg.CacheEntries, m.Counter("cache_evictions_total")),
+		batches:     newBatchCache(cfg.BatchCacheEntries, m.Counter("batch_cache_evictions_total")),
 		metrics:     m,
 		requests:    m.Counter("requests_total"),
 		errors:      m.Counter("errors_total"),
@@ -160,10 +200,15 @@ func New(cfg Config) *Engine {
 		solveCold:   m.Counter("solves_cold_total"),
 		solveWarm:   m.Counter("solves_warm_total"),
 		solveIncr:   m.Counter("solves_incremental_total"),
-		inflight:    m.Gauge("requests_inflight"),
-		queueDepth:  m.Gauge("queue_depth"),
-		latency:     m.Histogram("request_latency"),
-		solveLat:    m.Histogram("solve_latency"),
+
+		batchSolves:    m.Counter("batch_solves_total"),
+		batchUnitsTot:  m.Counter("batch_units_total"),
+		batchFallbacks: m.Counter("batch_fallbacks_total"),
+
+		inflight:   m.Gauge("requests_inflight"),
+		queueDepth: m.Gauge("queue_depth"),
+		latency:    m.Histogram("request_latency"),
+		solveLat:   m.Histogram("solve_latency"),
 		stageTotals: map[string]*Counter{
 			"split":  m.Counter("stage_split_ns_total"),
 			"pin":    m.Counter("stage_pin_ns_total"),
@@ -172,6 +217,7 @@ func New(cfg Config) *Engine {
 			"decode": m.Counter("stage_decode_ns_total"),
 		},
 	}
+	e.testHookPreSolve = cfg.PreSolve
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -181,6 +227,16 @@ func New(cfg Config) *Engine {
 
 // Metrics exposes the engine's registry (for /metrics and tests).
 func (e *Engine) Metrics() *Registry { return e.metrics }
+
+// MaxProgramBytes reports the configured per-request program-text bound, so
+// transports can size body limits without reaching into the config.
+func (e *Engine) MaxProgramBytes() int { return e.cfg.MaxProgramBytes }
+
+// StatsJSON returns the engine's Snapshot as the /statsz document.
+func (e *Engine) StatsJSON() any { return e.Snapshot() }
+
+// WriteMetrics renders the engine's metrics in the text exposition format.
+func (e *Engine) WriteMetrics(w io.Writer) error { return e.metrics.WriteText(w) }
 
 // Allocate runs one request through the admission queue and worker pool. It
 // returns ErrOverloaded when the queue is full, ErrClosed after Close,
@@ -244,12 +300,37 @@ func (e *Engine) Close(ctx context.Context) error {
 	}
 }
 
-// worker drains the queue until Close.
+// worker drains the queue until Close. With BatchMax > 1 it additionally
+// drains whatever requests queued up behind the first one — without waiting —
+// and runs them as one coalesced batch: queueing delay is converted into
+// solver amortisation exactly when the queue is non-empty.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.queue {
+		batch := []*job{j}
+		for len(batch) < e.cfg.BatchMax {
+			j2, ok := e.tryDequeue()
+			if !ok {
+				break
+			}
+			batch = append(batch, j2)
+		}
 		e.queueDepth.Set(int64(len(e.queue)))
-		e.runJob(j)
+		if len(batch) == 1 {
+			e.runJob(j)
+		} else {
+			e.runBatch(batch)
+		}
+	}
+}
+
+// tryDequeue takes one queued job without blocking.
+func (e *Engine) tryDequeue() (*job, bool) {
+	select {
+	case j, ok := <-e.queue:
+		return j, ok
+	default:
+		return nil, false
 	}
 }
 
@@ -420,6 +501,12 @@ type Snapshot struct {
 	SolvesCold        int64 `json:"solves_cold"`
 	SolvesWarm        int64 `json:"solves_warm"`
 	SolvesIncremental int64 `json:"solves_incremental"`
+	// Batch coalescing: solves that served more than one queued block at
+	// once, the subproblem units those solves carried, and batches that fell
+	// back to per-unit solo solves.
+	BatchSolves    int64 `json:"batch_solves"`
+	BatchUnits     int64 `json:"batch_units"`
+	BatchFallbacks int64 `json:"batch_fallbacks"`
 	// Per-stage cumulative pipeline time.
 	StageSplitNS  int64 `json:"stage_split_ns"`
 	StagePinNS    int64 `json:"stage_pin_ns"`
@@ -429,6 +516,14 @@ type Snapshot struct {
 	// End-to-end and solve-only latency distributions.
 	RequestLatency HistogramSnapshot `json:"request_latency"`
 	SolveLatency   HistogramSnapshot `json:"solve_latency"`
+}
+
+// MergeLatencyInto folds the engine's request and solve latency histograms
+// into the given accumulators (exact bucket-wise merge), so a shard router
+// can publish fleet-wide quantiles rather than averaging per-shard ones.
+func (e *Engine) MergeLatencyInto(request, solve *Histogram) {
+	request.Merge(e.latency)
+	solve.Merge(e.solveLat)
 }
 
 // Snapshot captures the engine's aggregate state.
@@ -448,6 +543,9 @@ func (e *Engine) Snapshot() Snapshot {
 		SolvesCold:        e.solveCold.Value(),
 		SolvesWarm:        e.solveWarm.Value(),
 		SolvesIncremental: e.solveIncr.Value(),
+		BatchSolves:       e.batchSolves.Value(),
+		BatchUnits:        e.batchUnitsTot.Value(),
+		BatchFallbacks:    e.batchFallbacks.Value(),
 		StageSplitNS:      e.stageTotals["split"].Value(),
 		StagePinNS:        e.stageTotals["pin"].Value(),
 		StageBuildNS:      e.stageTotals["build"].Value(),

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per shard on the hash ring;
+// 64 points per shard keeps the load split within a few percent of even for
+// small fleets without making lookups noticeably slower.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring over n shards: each shard owns `replicas`
+// pseudo-random points on a 64-bit circle, and a key maps to the shard owning
+// the first point at or after the key's hash. Both the serving router and
+// the load driver build the same ring, so client-side endpoint choice agrees
+// with server-side shard affinity. Immutable after NewRing; safe for
+// concurrent Lookup.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over n shards (minimum 1) with the given number of
+// virtual replicas per shard (0 selects DefaultReplicas).
+func NewRing(n, replicas int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{points: make([]ringPoint, 0, n*replicas), n: n}
+	for s := 0; s < n; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("s%dr%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards reports the shard count the ring was built over.
+func (r *Ring) Shards() int { return r.n }
+
+// Lookup maps a key to its owning shard index.
+func (r *Ring) Lookup(key string) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hash64 places a string on the 64-bit circle via SHA-256. Short
+// sequential labels like the virtual-node names hash to badly clustered
+// points under cheap multiplicative hashes (FNV-style), which skews the arc
+// ownership; a cryptographic hash keeps the ring split within a few percent
+// of even.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,11 +1,34 @@
-package serve
+// Package transport maps the serving engine onto HTTP: request decoding,
+// typed-error-to-status translation and the four-route API mux. It holds
+// every HTTP type the serving stack uses — internal/serve/engine stays
+// transport-free — and speaks to the engine only through the Service
+// interface, so a single engine and a shard router plug in identically.
+package transport
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+
+	"repro/internal/serve/engine"
 )
+
+// Service is the allocation backend a mux fronts: a single *engine.Engine or
+// a *shard.Router. Allocate must return the engine package's typed errors so
+// statusOf can map them.
+type Service interface {
+	// Allocate runs one decoded request to completion.
+	Allocate(ctx context.Context, req *engine.Request) (*engine.Response, error)
+	// MaxProgramBytes reports the per-request program-text bound, used to cap
+	// HTTP body reads.
+	MaxProgramBytes() int
+	// StatsJSON returns the /statsz document.
+	StatsJSON() any
+	// WriteMetrics renders the /metrics text exposition.
+	WriteMetrics(w io.Writer) error
+}
 
 // errorBody is the JSON error envelope every non-2xx response carries.
 type errorBody struct {
@@ -17,13 +40,13 @@ type errorBody struct {
 
 // statusOf maps an engine error to its HTTP status and error kind.
 func statusOf(err error) (int, string) {
-	var reqErr *RequestError
+	var reqErr *engine.RequestError
 	switch {
 	case errors.As(err, &reqErr):
 		return http.StatusBadRequest, "bad_request"
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, engine.ErrOverloaded):
 		return http.StatusTooManyRequests, "overloaded"
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, engine.ErrClosed):
 		return http.StatusServiceUnavailable, "closed"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout, "timeout"
@@ -32,13 +55,13 @@ func statusOf(err error) (int, string) {
 	}
 }
 
-// NewMux routes the serving API onto e:
+// NewMux routes the serving API onto svc:
 //
 //	POST /v1/allocate  — TAC program + options in, per-block results out
 //	GET  /healthz      — liveness probe
-//	GET  /statsz       — JSON Snapshot
+//	GET  /statsz       — JSON stats snapshot
 //	GET  /metrics      — text metric exposition
-func NewMux(e *Engine) *http.ServeMux {
+func NewMux(svc Service) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/allocate", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -47,14 +70,14 @@ func NewMux(e *Engine) *http.ServeMux {
 		}
 		// The JSON envelope around the program adds little; 4x the program
 		// bound is a generous body cap.
-		body := http.MaxBytesReader(w, r.Body, int64(4*e.cfg.MaxProgramBytes))
-		req, err := DecodeRequest(body, e.cfg.MaxProgramBytes)
+		body := http.MaxBytesReader(w, r.Body, int64(4*svc.MaxProgramBytes()))
+		req, err := engine.DecodeRequest(body, svc.MaxProgramBytes())
 		if err != nil {
 			status, kind := statusOf(err)
 			writeError(w, status, kind, err.Error())
 			return
 		}
-		resp, err := e.Allocate(r.Context(), req)
+		resp, err := svc.Allocate(r.Context(), req)
 		if err != nil {
 			status, kind := statusOf(err)
 			writeError(w, status, kind, err.Error())
@@ -68,12 +91,12 @@ func NewMux(e *Engine) *http.ServeMux {
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Snapshot())
+		writeJSON(w, http.StatusOK, svc.StatsJSON())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		_ = e.metrics.WriteText(w)
+		_ = svc.WriteMetrics(w)
 	})
 	return mux
 }

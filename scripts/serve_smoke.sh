@@ -2,13 +2,17 @@
 # Serving-mode smoke: build leaserved + leaload, run a short mixed-workload
 # load against a loopback daemon, and require zero failed requests, warm
 # template-cache traffic (hits and incremental solves), a 429 under
-# deliberate overload, and a clean SIGTERM drain. CI runs this after the
-# unit tests; it is also handy locally: scripts/serve_smoke.sh
+# deliberate overload, a 4-shard batched configuration that demonstrably
+# coalesces cross-request solves without losing the warm-cache ratio, and a
+# clean SIGTERM drain. CI runs this after the unit tests; it is also handy
+# locally: scripts/serve_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 bin="$(mktemp -d)"
-trap 'rm -rf "$bin"' EXIT
+# Kill any daemon still running on exit: a gate failing mid-script must not
+# leak servers that hold the ports and poison the next run.
+trap 'kill ${srv:-} ${srv2:-} ${srv3:-} 2>/dev/null; rm -rf "$bin"' EXIT
 
 go build -o "$bin/leaserved" ./cmd/leaserved
 go build -o "$bin/leaload" ./cmd/leaload
@@ -68,6 +72,80 @@ fi
 echo "smoke: overload produced HTTP 429"
 kill -TERM "$srv2"
 wait "$srv2"
+
+# Sharded + batched serving: a 4-shard fleet with one worker per shard and
+# cross-request coalescing on. The gates: zero failed requests (-strict),
+# warm traffic on every shard (-require-warm over the merged stats), at
+# least one coalesced multi-request solve with zero fallbacks, per-shard
+# metric labels, and a warm-hit ratio no worse than the single-shard run
+# (affinity routing must keep each program's templates hot on its owning
+# shard; 2% covers the extra per-shard cold misses). Coalescing depends on
+# concurrent arrivals, so the load is retried a few times before failing.
+addr3=127.0.0.1:8313
+"$bin/leaserved" -addr "$addr3" -shards 4 -batch 8 -workers 1 -queue 256 \
+  >"$bin/serve3.log" 2>&1 &
+srv3=$!
+for i in $(seq 1 50); do
+  curl -fsS "http://$addr3/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$addr3/healthz" >/dev/null
+
+coalesced=0
+for attempt in $(seq 1 3); do
+  "$bin/leaload" -url "http://$addr3" -workers 32 -duration 2s \
+    -mix random=1,hlsbench=1,figures=1 -instrs 40 -shapes 6 -seed 1 \
+    -strict -require-warm -json >"$bin/load4.json"
+  solves=$(python3 -c "import json; print(json.load(open('$bin/load4.json'))['server']['batch_solves'])")
+  if [ "$solves" -ge 1 ]; then
+    coalesced=1
+    break
+  fi
+done
+if [ "$coalesced" -ne 1 ]; then
+  echo "smoke: 4-shard batched run never coalesced a solve" >&2
+  exit 1
+fi
+
+curl -fsS "http://$addr3/metrics" >"$bin/metrics4.txt"
+grep -q 'requests_total{shard="3"}' "$bin/metrics4.txt" || {
+  echo "smoke: /metrics missing per-shard labels" >&2
+  exit 1
+}
+curl -fsS "http://$addr3/statsz" >"$bin/stats4.json"
+
+python3 - "$bin/load.json" "$bin/load4.json" "$bin/stats4.json" <<'PY'
+import json, sys
+
+one = json.load(open(sys.argv[1]))
+four = json.load(open(sys.argv[2]))
+s1, s4 = one["server"], four["server"]
+statsz = json.load(open(sys.argv[3]))
+
+def warm_ratio(s):
+    total = s["cache_hits"] + s["cache_misses"]
+    return s["cache_hits"] / total if total else 0.0
+
+r1, r4 = warm_ratio(s1), warm_ratio(s4)
+if s4["batch_fallbacks"] != 0:
+    sys.exit(f"smoke: {s4['batch_fallbacks']} batch fallbacks in the sharded run")
+if len(statsz.get("shards", [])) != 4:
+    sys.exit(f"smoke: expected 4 shard stat blocks in /statsz, got {len(statsz.get('shards', []))}")
+if r4 + 0.02 < r1:
+    sys.exit(f"smoke: sharded warm-hit ratio {r4:.4f} fell below single-shard {r1:.4f}")
+print(f"smoke: 4-shard batched run ok — {s4['batch_solves']} coalesced solves "
+      f"covering {s4['batch_units']} units, warm ratio {r4:.4f} vs single-shard {r1:.4f}")
+print(f"smoke: throughput single-shard {one['throughput_rps']:.0f} req/s, "
+      f"4-shard batched {four['throughput_rps']:.0f} req/s")
+PY
+
+kill -TERM "$srv3"
+wait "$srv3"
+grep -q 'shutdown clean' "$bin/serve3.log" || {
+  echo "smoke: sharded daemon missing clean-shutdown log line" >&2
+  cat "$bin/serve3.log" >&2
+  exit 1
+}
 
 # Graceful drain: SIGTERM must exit 0 and log a clean shutdown.
 kill -TERM "$srv"

@@ -1,9 +1,25 @@
-// Command leaload is a closed-loop load driver for the leaserved allocation
-// service, in the YCSB/yabf mold: N workers each keep exactly one request in
-// flight against POST /v1/allocate, drawing programs from a weighted mix of
-// the internal/workload classes (random / hlsbench / figures), and the run
-// reports throughput, error counts and log-bucketed latency percentiles,
-// plus the servers' own /statsz cache and solver-reuse counters.
+// Command leaload is a load driver for the leaserved allocation service, in
+// the YCSB/yabf mold, with two loop disciplines:
+//
+//   - closed loop (-loop closed, the default): N workers each keep exactly
+//     one request in flight — the classic benchmark loop, whose latency
+//     numbers suffer coordinated omission under server stalls;
+//   - open loop (-loop open): requests arrive on a seeded schedule at a
+//     target offered rate (-rate, -arrival exp|const) regardless of how the
+//     server is doing, and every latency sample is measured from the
+//     operation's *intended* start time, so a stalled server shows up as the
+//     full backlog of late samples instead of one slow one. Warmup traffic
+//     (-warmup) is measured separately from steady state, and a late cutoff
+//     (-cutoff) turns a hopelessly backlogged run into counted — never
+//     silent — omitted samples.
+//
+// Program popularity is shaped by -dist: uniform, zipfian[:theta=…] or
+// hotspot[:frac=…,weight=…] over the rendered corpus, so the servers' warm
+// template caches see realistic skew instead of a uniform mix. -sweep
+// "r1,r2,…" steps the offered rate through a trajectory, reports each
+// stage's steady-state p99 and locates the knee — the highest offered rate
+// that still meets -knee-p99 with zero omissions; -bench-out writes the
+// machine-readable trajectory (the BENCH_load.json record CI tracks).
 //
 // -url accepts a comma-separated endpoint list; with several endpoints each
 // request is routed by the same consistent hash of its program-shape key the
@@ -26,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -39,6 +56,7 @@ import (
 	"repro/internal/serve/engine"
 	"repro/internal/serve/shard"
 	"repro/internal/workload"
+	"repro/internal/workload/generator"
 )
 
 func main() {
@@ -63,6 +81,16 @@ type loadConfig struct {
 	jsonOut     bool
 	strict      bool
 	requireWarm bool
+
+	loop     string
+	rate     float64
+	arrival  string
+	warmup   time.Duration
+	dist     string
+	cutoff   time.Duration
+	sweep    string
+	kneeP99  time.Duration
+	benchOut string
 }
 
 // run drives the load and writes the report.
@@ -71,8 +99,8 @@ func run(args []string, w io.Writer) error {
 	cfg := loadConfig{}
 	var urls string
 	fs.StringVar(&urls, "url", "http://127.0.0.1:8311", "leaserved base URL, or a comma-separated list routed by program shape")
-	fs.IntVar(&cfg.workers, "workers", 4, "concurrent closed-loop workers")
-	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "run length")
+	fs.IntVar(&cfg.workers, "workers", 4, "concurrent workers (closed loop) or senders (open loop)")
+	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "run length (open loop: steady-state phase length)")
 	fs.StringVar(&cfg.mix, "mix", "random=1,hlsbench=1,figures=1", "workload class weights, class=weight comma-separated")
 	fs.IntVar(&cfg.shapes, "shapes", 4, "distinct random program shapes")
 	fs.IntVar(&cfg.instrs, "instrs", 12, "instructions per random program")
@@ -81,13 +109,28 @@ func run(args []string, w io.Writer) error {
 	fs.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
 	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request client timeout")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit a machine-readable JSON report")
-	fs.BoolVar(&cfg.strict, "strict", false, "exit nonzero if any request failed")
+	fs.BoolVar(&cfg.strict, "strict", false, "exit nonzero if any request failed or was omitted")
 	fs.BoolVar(&cfg.requireWarm, "require-warm", false, "exit nonzero unless the servers report warm-cache hits and incremental solves")
+	fs.StringVar(&cfg.loop, "loop", "closed", "loop discipline: closed (one request in flight per worker) or open (scheduled arrivals at -rate)")
+	fs.Float64Var(&cfg.rate, "rate", 1000, "open loop: target offered rate, requests/second")
+	fs.StringVar(&cfg.arrival, "arrival", "exp", "open loop: interarrival process, exp (Poisson) or const")
+	fs.DurationVar(&cfg.warmup, "warmup", 0, "open loop: warmup phase excluded from steady-state stats")
+	fs.StringVar(&cfg.dist, "dist", "uniform", "program popularity: uniform, zipfian[:theta=0.99] or hotspot[:frac=0.2,weight=0.8]")
+	fs.DurationVar(&cfg.cutoff, "cutoff", 0, "open loop: abandon (and count omitted) ops claimed this long past the schedule end; 0 = never")
+	fs.StringVar(&cfg.sweep, "sweep", "", "open loop: comma-separated offered rates to step through, reporting the p99 knee")
+	fs.DurationVar(&cfg.kneeP99, "knee-p99", 50*time.Millisecond, "sweep: steady-state p99 budget a stage must meet to count as under the knee")
+	fs.StringVar(&cfg.benchOut, "bench-out", "", "write the machine-readable run/trajectory record (BENCH_load.json) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if cfg.workers < 1 {
 		return fmt.Errorf("need at least one worker, got %d", cfg.workers)
+	}
+	if cfg.loop != "closed" && cfg.loop != "open" {
+		return fmt.Errorf("bad -loop %q (closed, open)", cfg.loop)
+	}
+	if cfg.sweep != "" {
+		cfg.loop = "open" // a sweep is a sequence of open-loop stages
 	}
 	for _, u := range strings.Split(urls, ",") {
 		u = strings.TrimSpace(u)
@@ -103,7 +146,21 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	report, err := drive(&cfg, picks)
+	// Validate the popularity spec up front in every mode, so a typo fails
+	// fast instead of mid-run.
+	if _, err := generator.ParseDist(cfg.dist, len(picks), cfg.seed); err != nil {
+		return err
+	}
+
+	var report *loadReport
+	switch {
+	case cfg.sweep != "":
+		report, err = runSweep(&cfg, picks)
+	case cfg.loop == "open":
+		report, err = driveOpen(&cfg, picks, cfg.rate)
+	default:
+		report, err = drive(&cfg, picks)
+	}
 	if err != nil {
 		return err
 	}
@@ -111,8 +168,18 @@ func run(args []string, w io.Writer) error {
 	if err := report.write(w, cfg.jsonOut); err != nil {
 		return err
 	}
-	if cfg.strict && report.Errors > 0 {
-		return fmt.Errorf("strict: %d of %d requests failed", report.Errors, report.Requests)
+	if cfg.benchOut != "" {
+		if err := writeBenchRecord(cfg.benchOut, report); err != nil {
+			return fmt.Errorf("bench-out: %w", err)
+		}
+	}
+	if cfg.strict {
+		if report.Errors > 0 {
+			return fmt.Errorf("strict: %d of %d requests failed", report.Errors, report.Requests)
+		}
+		if report.Omitted > 0 {
+			return fmt.Errorf("strict: %d scheduled requests omitted past the cutoff", report.Omitted)
+		}
 	}
 	if cfg.requireWarm {
 		if report.Server == nil {
@@ -136,9 +203,11 @@ type namedProgram struct {
 }
 
 // buildCorpus renders the weighted workload corpus as TAC texts and returns
-// the weighted pick list (each entry repeated by its class weight, so a
-// uniform index pick realises the mix). Each program is pinned to its
-// endpoint by the same consistent hash the sharded server uses.
+// the weighted pick list (each entry repeated by its class weight). The
+// popularity distribution (-dist) draws ranks over this list, so class
+// weights shape the rank space and zipfian/hotspot skew concentrates on the
+// earliest entries. Each program is pinned to its endpoint by the same
+// consistent hash the sharded server uses.
 func buildCorpus(cfg *loadConfig) ([]namedProgram, error) {
 	weights, err := parseMix(cfg.mix)
 	if err != nil {
@@ -207,6 +276,26 @@ func parseMix(mix string) (map[string]int, error) {
 	return out, nil
 }
 
+// parseSweep parses the comma-separated offered-rate trajectory.
+func parseSweep(spec string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			return nil, fmt.Errorf("bad sweep rate %q (positive req/s, comma-separated)", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("sweep %q selects no rates", spec)
+	}
+	return rates, nil
+}
+
 // allocResponse is the subset of the server reply the driver inspects.
 type allocResponse struct {
 	Blocks []struct {
@@ -237,93 +326,211 @@ type workerTally struct {
 	latency   *engine.Histogram
 }
 
-// drive runs the closed loop until the deadline and merges the tallies.
-func drive(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
-	client := &http.Client{
+// newWorkerTally sizes a tally for the endpoint list.
+func newWorkerTally(endpoints int) *workerTally {
+	t := &workerTally{
+		byClass:   map[string]int64{},
+		endpoints: make([]endpointTally, endpoints),
+		latency:   &engine.Histogram{},
+	}
+	for e := range t.endpoints {
+		t.endpoints[e].errByCode = map[string]int64{}
+	}
+	return t
+}
+
+// record tallies one completed request.
+func (t *workerTally) record(p *namedProgram, resp *allocResponse, err error) {
+	ep := &t.endpoints[p.endpoint]
+	t.requests++
+	ep.requests++
+	t.byClass[p.class]++
+	if err != nil {
+		t.errors++
+		ep.errors++
+		ep.errByCode[errCode(err)]++
+		return
+	}
+	for _, b := range resp.Blocks {
+		if b.CacheHit {
+			t.hits++
+		}
+		if b.Stats.Solver.Incremental {
+			t.incr++
+		}
+	}
+}
+
+// newHTTPClient builds the shared load client.
+func newHTTPClient(cfg *loadConfig) *http.Client {
+	return &http.Client{
 		Timeout: cfg.timeout,
 		Transport: &http.Transport{
 			MaxIdleConns:        cfg.workers * 2,
 			MaxIdleConnsPerHost: cfg.workers * 2,
 		},
 	}
+}
+
+// drive runs the closed loop until the deadline and merges the tallies.
+// Each worker draws programs from its own seeded copy of the popularity
+// distribution, so the mix is skew-shaped but the run stays replayable.
+func drive(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
+	client := newHTTPClient(cfg)
+	dists := make([]generator.KeyDist, cfg.workers)
+	for i := range dists {
+		d, err := generator.ParseDist(cfg.dist, len(picks), cfg.seed+int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		dists[i] = d
+	}
 	deadline := time.Now().Add(cfg.duration)
 	tallies := make([]*workerTally, cfg.workers)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.workers; i++ {
-		t := &workerTally{
-			byClass:   map[string]int64{},
-			endpoints: make([]endpointTally, len(cfg.urls)),
-			latency:   &engine.Histogram{},
-		}
-		for e := range t.endpoints {
-			t.endpoints[e].errByCode = map[string]int64{}
-		}
+		t := newWorkerTally(len(cfg.urls))
 		tallies[i] = t
-		rng := rand.New(rand.NewSource(cfg.seed + int64(i) + 1))
+		dist := dists[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				p := picks[rng.Intn(len(picks))]
-				ep := &t.endpoints[p.endpoint]
-				t.requests++
-				ep.requests++
-				t.byClass[p.class]++
+				p := &picks[dist.Next()]
 				start := time.Now()
 				resp, err := postAllocate(client, cfg, cfg.urls[p.endpoint], p.text)
 				t.latency.Observe(time.Since(start))
-				if err != nil {
-					t.errors++
-					ep.errors++
-					ep.errByCode[errCode(err)]++
-					continue
-				}
-				for _, b := range resp.Blocks {
-					if b.CacheHit {
-						t.hits++
-					}
-					if b.Stats.Solver.Incremental {
-						t.incr++
-					}
-				}
+				t.record(p, resp, err)
 			}
 		}()
 	}
 	wg.Wait()
 
-	report := &loadReport{
-		Workers:   cfg.workers,
-		Duration:  cfg.duration.Seconds(),
-		Mix:       cfg.mix,
-		ByClass:   map[string]int64{},
-		Endpoints: make([]endpointReport, len(cfg.urls)),
-	}
-	for e, url := range cfg.urls {
-		report.Endpoints[e] = endpointReport{URL: url, ByError: map[string]int64{}}
-	}
+	report := newLoadReport(cfg)
 	merged := &engine.Histogram{}
 	for _, t := range tallies {
-		report.Requests += t.requests
-		report.Errors += t.errors
-		report.BlocksCacheHit += t.hits
-		report.BlocksIncremental += t.incr
-		for c, n := range t.byClass {
-			report.ByClass[c] += n
-		}
-		for e := range t.endpoints {
-			er := &report.Endpoints[e]
-			er.Requests += t.endpoints[e].requests
-			er.Errors += t.endpoints[e].errors
-			for c, n := range t.endpoints[e].errByCode {
-				er.ByError[c] += n
-			}
-		}
+		report.fold(t)
 		merged.Merge(t.latency)
 	}
 	report.Latency = merged.Snapshot()
 	if report.Duration > 0 {
 		report.ThroughputRPS = float64(report.Requests-report.Errors) / report.Duration
 	}
+	return report, nil
+}
+
+// driveOpen runs one open-loop stage at the given offered rate: a seeded
+// arrival schedule, coordinated-omission-safe latency accounting and
+// warmup/steady separation, all via internal/workload/generator.
+func driveOpen(cfg *loadConfig, picks []namedProgram, rate float64) (*loadReport, error) {
+	client := newHTTPClient(cfg)
+	arr, err := generator.ParseArrival(cfg.arrival, rate, cfg.seed+1)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := generator.ParseDist(cfg.dist, len(picks), cfg.seed+2)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := generator.NewScheduler(generator.ScheduleConfig{
+		Arrival:  arr,
+		Keys:     keys,
+		Warmup:   cfg.warmup,
+		Duration: cfg.duration,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The senders share one tally; the runner's histograms carry the latency
+	// story, so the tally only needs counters and maps behind a mutex.
+	var mu sync.Mutex
+	tally := newWorkerTally(len(cfg.urls))
+	open, err := generator.RunOpenLoop(generator.RunConfig{
+		Scheduler: sched,
+		Senders:   cfg.workers,
+		Cutoff:    cfg.cutoff,
+		Send: func(op generator.Op) error {
+			p := &picks[op.Key]
+			resp, err := postAllocate(client, cfg, cfg.urls[p.endpoint], p.text)
+			mu.Lock()
+			tally.record(p, resp, err)
+			mu.Unlock()
+			return err
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := newLoadReport(cfg)
+	report.OfferedRPS = open.OfferedRPS
+	report.Open = open
+	report.Omitted = open.Omitted
+	report.fold(tally)
+	// The headline latency of an open-loop run is the steady-state
+	// intended-start histogram: coordinated-omission-safe by construction.
+	report.Latency = open.Steady.Latency
+	report.ThroughputRPS = open.AchievedRPS
+	report.Duration = open.ElapsedS
+	return report, nil
+}
+
+// runSweep steps the offered rate through the -sweep trajectory, one
+// open-loop stage per rate, and locates the knee: the highest offered rate
+// whose steady-state p99 meets the -knee-p99 budget with zero omissions and
+// zero errors.
+func runSweep(cfg *loadConfig, picks []namedProgram) (*loadReport, error) {
+	rates, err := parseSweep(cfg.sweep)
+	if err != nil {
+		return nil, err
+	}
+	report := newLoadReport(cfg)
+	report.Duration = 0 // accumulated per stage below
+	var last *loadReport
+	for _, rate := range rates {
+		stage, err := driveOpen(cfg, picks, rate)
+		if err != nil {
+			return nil, fmt.Errorf("sweep stage %.0f req/s: %w", rate, err)
+		}
+		s := sweepStage{
+			OfferedRPS:  stage.OfferedRPS,
+			AchievedRPS: stage.ThroughputRPS,
+			Requests:    stage.Requests,
+			Errors:      stage.Errors,
+			Omitted:     stage.Omitted,
+			P50NS:       stage.Open.Steady.Latency.P50NS,
+			P99NS:       stage.Open.Steady.Latency.P99NS,
+			MaxLagNS:    stage.Open.MaxLagNS,
+		}
+		report.Sweep = append(report.Sweep, s)
+		if s.Errors == 0 && s.Omitted == 0 && s.P99NS <= cfg.kneeP99.Nanoseconds() && s.OfferedRPS > report.KneeRPS {
+			report.KneeRPS = s.OfferedRPS
+		}
+		report.Requests += stage.Requests
+		report.Errors += stage.Errors
+		report.Omitted += stage.Omitted
+		report.BlocksCacheHit += stage.BlocksCacheHit
+		report.BlocksIncremental += stage.BlocksIncremental
+		for c, n := range stage.ByClass {
+			report.ByClass[c] += n
+		}
+		for e := range stage.Endpoints {
+			report.Endpoints[e].Requests += stage.Endpoints[e].Requests
+			report.Endpoints[e].Errors += stage.Endpoints[e].Errors
+			for c, n := range stage.Endpoints[e].ByError {
+				report.Endpoints[e].ByError[c] += n
+			}
+		}
+		report.Duration += stage.Duration
+		last = stage
+	}
+	// The headline numbers follow the final stage — the deepest point of the
+	// trajectory; the per-stage story lives in Sweep.
+	report.Latency = last.Latency
+	report.ThroughputRPS = last.ThroughputRPS
+	report.OfferedRPS = last.OfferedRPS
+	report.Open = last.Open
 	return report, nil
 }
 
@@ -430,22 +637,105 @@ type endpointReport struct {
 	Server   *engine.Snapshot `json:"server,omitempty"`
 }
 
+// sweepStage is one offered-rate step of a -sweep trajectory.
+type sweepStage struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Omitted     int64   `json:"omitted"`
+	P50NS       int64   `json:"p50_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	MaxLagNS    int64   `json:"max_lag_ns"`
+}
+
 // loadReport is the run summary; -json emits it verbatim. Server aggregates
 // the per-endpoint snapshots (counter sums); Endpoints carries the
-// per-endpoint traffic and error breakdown.
+// per-endpoint traffic and error breakdown. Open-loop runs add the
+// coordinated-omission-safe per-phase breakdown under Open, and sweeps add
+// the per-rate trajectory under Sweep.
 type loadReport struct {
 	Workers           int                      `json:"workers"`
 	Duration          float64                  `json:"duration_s"`
 	Mix               string                   `json:"mix"`
+	Loop              string                   `json:"loop"`
+	Dist              string                   `json:"dist"`
+	Arrival           string                   `json:"arrival,omitempty"`
+	OfferedRPS        float64                  `json:"offered_rps,omitempty"`
 	Requests          int64                    `json:"requests"`
 	Errors            int64                    `json:"errors"`
+	Omitted           int64                    `json:"omitted"`
 	ThroughputRPS     float64                  `json:"throughput_rps"`
 	BlocksCacheHit    int64                    `json:"blocks_cache_hit"`
 	BlocksIncremental int64                    `json:"blocks_incremental"`
 	ByClass           map[string]int64         `json:"by_class"`
 	Endpoints         []endpointReport         `json:"endpoints"`
 	Latency           engine.HistogramSnapshot `json:"latency"`
+	Open              *generator.RunReport     `json:"open,omitempty"`
+	Sweep             []sweepStage             `json:"sweep,omitempty"`
+	KneeRPS           float64                  `json:"knee_rps,omitempty"`
 	Server            *engine.Snapshot         `json:"server,omitempty"`
+}
+
+// newLoadReport builds the report skeleton for cfg.
+func newLoadReport(cfg *loadConfig) *loadReport {
+	r := &loadReport{
+		Workers:   cfg.workers,
+		Duration:  cfg.duration.Seconds(),
+		Mix:       cfg.mix,
+		Loop:      cfg.loop,
+		Dist:      cfg.dist,
+		ByClass:   map[string]int64{},
+		Endpoints: make([]endpointReport, len(cfg.urls)),
+	}
+	if cfg.loop == "open" {
+		r.Arrival = cfg.arrival
+	}
+	for e, url := range cfg.urls {
+		r.Endpoints[e] = endpointReport{URL: url, ByError: map[string]int64{}}
+	}
+	return r
+}
+
+// fold merges one tally's counters into the report.
+func (r *loadReport) fold(t *workerTally) {
+	r.Requests += t.requests
+	r.Errors += t.errors
+	r.BlocksCacheHit += t.hits
+	r.BlocksIncremental += t.incr
+	for c, n := range t.byClass {
+		r.ByClass[c] += n
+	}
+	for e := range t.endpoints {
+		er := &r.Endpoints[e]
+		er.Requests += t.endpoints[e].requests
+		er.Errors += t.endpoints[e].errors
+		for c, n := range t.endpoints[e].errByCode {
+			er.ByError[c] += n
+		}
+	}
+}
+
+// benchRecord is the BENCH_load.json document: the load report plus a schema
+// tag so trend tooling can tell trajectory records from other BENCH files.
+type benchRecord struct {
+	Schema string      `json:"schema"`
+	Report *loadReport `json:"report"`
+}
+
+// writeBenchRecord writes the machine-readable run record to path.
+func writeBenchRecord(path string, report *loadReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchRecord{Schema: "leaload/v1", Report: report}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // write renders the report as text or JSON.
@@ -455,12 +745,41 @@ func (r *loadReport) write(w io.Writer, jsonOut bool) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(r)
 	}
-	fmt.Fprintf(w, "leaload: %d workers for %.1fs against mix %s\n", r.Workers, r.Duration, r.Mix)
-	fmt.Fprintf(w, "requests:        %d (%d failed)\n", r.Requests, r.Errors)
-	fmt.Fprintf(w, "throughput:      %.1f req/s\n", r.ThroughputRPS)
-	fmt.Fprintf(w, "latency:         p50 %s  p95 %s  p99 %s  max %s\n",
-		time.Duration(r.Latency.P50NS), time.Duration(r.Latency.P95NS),
-		time.Duration(r.Latency.P99NS), time.Duration(r.Latency.MaxNS))
+	fmt.Fprintf(w, "leaload: %d workers, %s loop, dist %s for %.1fs against mix %s\n",
+		r.Workers, r.Loop, r.Dist, r.Duration, r.Mix)
+	if r.Loop == "open" && r.Open != nil {
+		fmt.Fprintf(w, "offered:         %.1f req/s (%s arrivals), achieved %.1f req/s\n",
+			r.OfferedRPS, r.Arrival, r.ThroughputRPS)
+		fmt.Fprintf(w, "schedule:        %d ops, %d sent, %d omitted, max lag %s\n",
+			r.Open.Scheduled, r.Open.Sent, r.Open.Omitted, time.Duration(r.Open.MaxLagNS))
+		fmt.Fprintf(w, "warmup:          %d ops, p99 %s (intended-start)\n",
+			r.Open.Warmup.Ops, time.Duration(r.Open.Warmup.Latency.P99NS))
+		fmt.Fprintf(w, "steady latency:  p50 %s  p95 %s  p99 %s  max %s (intended-start)\n",
+			time.Duration(r.Open.Steady.Latency.P50NS), time.Duration(r.Open.Steady.Latency.P95NS),
+			time.Duration(r.Open.Steady.Latency.P99NS), time.Duration(r.Open.Steady.Latency.MaxNS))
+		fmt.Fprintf(w, "steady service:  p50 %s  p99 %s (send-to-reply, the closed-loop view)\n",
+			time.Duration(r.Open.Steady.Service.P50NS), time.Duration(r.Open.Steady.Service.P99NS))
+	} else {
+		fmt.Fprintf(w, "requests:        %d (%d failed)\n", r.Requests, r.Errors)
+		fmt.Fprintf(w, "throughput:      %.1f req/s\n", r.ThroughputRPS)
+		fmt.Fprintf(w, "latency:         p50 %s  p95 %s  p99 %s  max %s\n",
+			time.Duration(r.Latency.P50NS), time.Duration(r.Latency.P95NS),
+			time.Duration(r.Latency.P99NS), time.Duration(r.Latency.MaxNS))
+	}
+	if r.Loop == "open" {
+		fmt.Fprintf(w, "requests:        %d (%d failed, %d omitted)\n", r.Requests, r.Errors, r.Omitted)
+	}
+	for _, s := range r.Sweep {
+		fmt.Fprintf(w, "  sweep %7.0f req/s: achieved %7.0f, p50 %s, p99 %s, %d errors, %d omitted\n",
+			s.OfferedRPS, s.AchievedRPS, time.Duration(s.P50NS), time.Duration(s.P99NS), s.Errors, s.Omitted)
+	}
+	if len(r.Sweep) > 0 {
+		if r.KneeRPS > 0 {
+			fmt.Fprintf(w, "knee:            %.0f req/s (highest offered rate meeting the p99 budget)\n", r.KneeRPS)
+		} else {
+			fmt.Fprintf(w, "knee:            none — every stage missed the p99 budget\n")
+		}
+	}
 	var classes []string
 	for c := range r.ByClass {
 		classes = append(classes, c)

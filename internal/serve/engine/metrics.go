@@ -94,7 +94,16 @@ func (h *Histogram) Observe(d time.Duration) {
 // Merge folds src's observations into h exactly: the log buckets are
 // additive, so merged quantile estimates are as good as if every observation
 // had landed in h directly. src is left unchanged.
+//
+// Edge cases are part of the contract (leaload's per-phase merging leans on
+// them): merging an empty src is a no-op, merging into an empty h copies
+// src exactly (including min/max, so a single-bucket src round-trips its
+// quantiles unchanged), and merging h into itself is a no-op rather than a
+// silent double-count.
 func (h *Histogram) Merge(src *Histogram) {
+	if src == h {
+		return
+	}
 	src.mu.Lock()
 	buckets, count, sum, mn, mx := src.buckets, src.count, src.sum, src.min, src.max
 	src.mu.Unlock()

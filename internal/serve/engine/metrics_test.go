@@ -105,3 +105,95 @@ func TestHistogramMergeExact(t *testing.T) {
 		t.Error("merging an empty histogram changed the target")
 	}
 }
+
+// TestHistogramMergeEdgeCases tables the Merge contract edges that leaload's
+// per-phase merging depends on: empty→empty, empty into populated, populated
+// into empty (exact copy, min/max included), single-bucket histograms
+// (including the all-zero-observation bucket 0), disjoint ranges, and
+// self-merge as a no-op.
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	obs := func(ds ...time.Duration) *Histogram {
+		h := &Histogram{}
+		for _, d := range ds {
+			h.Observe(d)
+		}
+		return h
+	}
+	cases := []struct {
+		name     string
+		dst, src *Histogram
+	}{
+		{"empty into empty", obs(), obs()},
+		{"empty into populated", obs(time.Millisecond, 2*time.Millisecond), obs()},
+		{"populated into empty", obs(), obs(3*time.Millisecond, 5*time.Millisecond)},
+		{"single zero-bucket into empty", obs(), obs(0)},
+		{"single bucket both sides", obs(time.Microsecond), obs(time.Microsecond)},
+		{"zero bucket into populated", obs(time.Second), obs(0, 0, 0)},
+		{"disjoint ranges", obs(time.Nanosecond, 2*time.Nanosecond), obs(time.Hour)},
+	}
+	for _, c := range cases {
+		// The expected result is a histogram that saw every observation
+		// directly: rebuild it from the two snapshots' totals.
+		want := &Histogram{}
+		replay := func(h *Histogram) {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			want.mu.Lock()
+			defer want.mu.Unlock()
+			for i, n := range h.buckets {
+				want.buckets[i] += n
+			}
+			if h.count > 0 {
+				if want.count == 0 || h.min < want.min {
+					want.min = h.min
+				}
+				if h.max > want.max {
+					want.max = h.max
+				}
+				want.count += h.count
+				want.sum += h.sum
+			}
+		}
+		replay(c.dst)
+		replay(c.src)
+
+		srcBefore := c.src.Snapshot()
+		c.dst.Merge(c.src)
+		if got := c.dst.Snapshot(); got != want.Snapshot() {
+			t.Errorf("%s: merged %+v, want %+v", c.name, got, want.Snapshot())
+		}
+		if c.src.Snapshot() != srcBefore {
+			t.Errorf("%s: Merge mutated src", c.name)
+		}
+	}
+}
+
+func TestHistogramMergeSelfIsNoop(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	before := h.Snapshot()
+	h.Merge(h)
+	if got := h.Snapshot(); got != before {
+		t.Errorf("self-merge changed the histogram: %+v -> %+v", before, got)
+	}
+}
+
+func TestHistogramSingleBucketQuantiles(t *testing.T) {
+	// All observations in one bucket: every quantile must collapse to the
+	// clamped observed range, not the bucket's theoretical midpoint.
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(0)
+	}
+	s := h.Snapshot()
+	if s.P50NS != 0 || s.P99NS != 0 || s.MinNS != 0 || s.MaxNS != 0 {
+		t.Errorf("all-zero histogram snapshot %+v, want all-zero quantiles", s)
+	}
+	h2 := &Histogram{}
+	h2.Observe(1500) // single sample in bucket [1024, 2048)
+	s2 := h2.Snapshot()
+	if s2.P50NS != 1500 || s2.P99NS != 1500 {
+		t.Errorf("single-sample quantiles p50=%d p99=%d, want both clamped to 1500", s2.P50NS, s2.P99NS)
+	}
+}

@@ -1,0 +1,91 @@
+package generator
+
+import (
+	"math"
+	"time"
+)
+
+// Arrival generates interarrival gaps: the time between one operation's
+// intended start and the next. Implementations are deterministic in their
+// seed and allocation-free per draw; they are not safe for concurrent use
+// (the Scheduler draws under its own lock).
+type Arrival interface {
+	// Next returns the gap before the next arrival. Always non-negative.
+	Next() time.Duration
+	// Rate returns the configured mean arrival rate in operations/second.
+	Rate() float64
+}
+
+// Exponential draws exponentially distributed gaps, making the arrival
+// process Poisson with the configured rate — the standard model for
+// aggregate open-system traffic, whose bursts are exactly what a constant
+// spacing hides.
+type Exponential struct {
+	rng  *RNG
+	rate float64
+	mean float64 // mean gap in nanoseconds
+}
+
+// NewExponential returns a Poisson arrival source with the given mean rate
+// in operations/second. The rate must be positive, finite and at most
+// MaxRate.
+func NewExponential(rate float64, seed int64) (*Exponential, error) {
+	if err := checkRate(rate); err != nil {
+		return nil, err
+	}
+	return &Exponential{rng: NewRNG(seed), rate: rate, mean: 1e9 / rate}, nil
+}
+
+// Next implements Arrival.
+func (e *Exponential) Next() time.Duration {
+	// Inverse CDF: -ln(1-U)/λ. Log1p keeps precision for small U, and U < 1
+	// keeps the draw finite.
+	return durationFromNS(-math.Log1p(-e.rng.Float64()) * e.mean)
+}
+
+// Rate implements Arrival.
+func (e *Exponential) Rate() float64 { return e.rate }
+
+// Constant emits a fixed gap of 1/rate — a metronome. Useful for pinning
+// deterministic schedules in tests and for isolating queueing effects from
+// arrival burstiness.
+type Constant struct {
+	rate float64
+	gap  time.Duration
+}
+
+// NewConstant returns a constant-gap arrival source with the given rate in
+// operations/second, subject to the same bounds as NewExponential.
+func NewConstant(rate float64) (*Constant, error) {
+	if err := checkRate(rate); err != nil {
+		return nil, err
+	}
+	return &Constant{rate: rate, gap: durationFromNS(1e9 / rate)}, nil
+}
+
+// Next implements Arrival.
+func (c *Constant) Next() time.Duration { return c.gap }
+
+// Rate implements Arrival.
+func (c *Constant) Rate() float64 { return c.rate }
+
+// durationFromNS converts a float64 nanosecond count to a Duration, clamping
+// to [0, MaxInt64] — rates near the low bound would otherwise overflow the
+// conversion (a Go float→int conversion out of range is not defined).
+func durationFromNS(ns float64) time.Duration {
+	if !(ns > 0) { // also catches NaN
+		return 0
+	}
+	if ns >= math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ns)
+}
+
+// checkRate validates an offered rate in operations/second.
+func checkRate(rate float64) error {
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate <= 0 || rate > MaxRate {
+		return errConfig("arrival rate %v outside (0, %g] ops/s", rate, float64(MaxRate))
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package generator
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Default distribution parameters used when a spec names a distribution but
+// omits the parameter.
+const (
+	// DefaultTheta is the zipfian skew used by "zipfian" with no theta
+	// (YCSB's default).
+	DefaultTheta = 0.99
+	// DefaultHotFrac is the hot-set fraction used by "hotspot" with no frac.
+	DefaultHotFrac = 0.2
+	// DefaultHotWeight is the hot-traffic share used by "hotspot" with no
+	// weight.
+	DefaultHotWeight = 0.8
+)
+
+// ParseDist builds a key distribution over [0, n) from a textual spec:
+//
+//	uniform
+//	zipfian                  (theta = DefaultTheta)
+//	zipfian:theta=0.9
+//	hotspot                  (frac = DefaultHotFrac, weight = DefaultHotWeight)
+//	hotspot:frac=0.1,weight=0.9
+//
+// Unknown names, unknown parameters, malformed numbers and out-of-range
+// values are all errors; nothing panics, whatever the input.
+func ParseDist(spec string, n int, seed int64) (KeyDist, error) {
+	name, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Each arm assigns through the interface only on success: returning a
+	// concrete nil pointer here would hand callers a non-nil KeyDist that
+	// panics on first use.
+	switch name {
+	case "uniform":
+		if err := rejectParams("uniform", params); err != nil {
+			return nil, err
+		}
+		d, err := NewUniform(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	case "zipfian":
+		theta := DefaultTheta
+		if err := takeParams("zipfian", params, map[string]*float64{"theta": &theta}); err != nil {
+			return nil, err
+		}
+		d, err := NewZipfian(n, theta, seed)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	case "hotspot":
+		frac, weight := DefaultHotFrac, DefaultHotWeight
+		if err := takeParams("hotspot", params, map[string]*float64{"frac": &frac, "weight": &weight}); err != nil {
+			return nil, err
+		}
+		d, err := NewHotspot(n, frac, weight, seed)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	default:
+		return nil, errConfig("unknown distribution %q (uniform, zipfian, hotspot)", name)
+	}
+}
+
+// ParseArrival builds an interarrival source at the given rate from a
+// textual spec: "exp" (Poisson arrivals) or "const" (fixed spacing).
+func ParseArrival(spec string, rate float64, seed int64) (Arrival, error) {
+	name, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := rejectParams(name, params); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "exp", "exponential":
+		a, err := NewExponential(rate, seed)
+		if err != nil {
+			return nil, err
+		}
+		return a, nil
+	case "const", "constant":
+		a, err := NewConstant(rate)
+		if err != nil {
+			return nil, err
+		}
+		return a, nil
+	default:
+		return nil, errConfig("unknown arrival process %q (exp, const)", name)
+	}
+}
+
+// splitSpec splits "name:k=v,k=v" into the name and its parameter map.
+func splitSpec(spec string) (string, map[string]string, error) {
+	spec = strings.TrimSpace(spec)
+	name, rest, hasParams := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil, errConfig("empty spec %q", spec)
+	}
+	params := map[string]string{}
+	if !hasParams {
+		return name, params, nil
+	}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return "", nil, errConfig("malformed parameter %q in spec %q", part, spec)
+		}
+		if _, dup := params[k]; dup {
+			return "", nil, errConfig("duplicate parameter %q in spec %q", k, spec)
+		}
+		params[k] = v
+	}
+	return name, params, nil
+}
+
+// takeParams parses the float parameters named in dst out of params,
+// rejecting unknown names and malformed numbers.
+func takeParams(name string, params map[string]string, dst map[string]*float64) error {
+	for k, v := range params {
+		p, ok := dst[k]
+		if !ok {
+			return errConfig("%s: unknown parameter %q", name, k)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return errConfig("%s: parameter %s=%q is not a number", name, k, v)
+		}
+		*p = f
+	}
+	return nil
+}
+
+// rejectParams errors when a parameterless spec carries parameters.
+func rejectParams(name string, params map[string]string) error {
+	if len(params) > 0 {
+		return errConfig("%s takes no parameters", name)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package generator
+
+import (
+	"math"
+	"sort"
+)
+
+// KeyDist draws keys from a finite key space [0, Keys()) under a fixed
+// popularity distribution. Implementations are deterministic in their seed
+// and allocation-free per draw, but not safe for concurrent use — each
+// sender threads its own instance, or draws happen under the scheduler's
+// lock so the key stream stays deterministic.
+type KeyDist interface {
+	// Next draws the next key.
+	Next() int
+	// Prob returns the analytic probability of key k, the reference the
+	// statistical goodness-of-fit tests check empirical frequencies against.
+	Prob(k int) float64
+	// Keys returns the key-space size.
+	Keys() int
+}
+
+// Uniform draws every key with equal probability.
+type Uniform struct {
+	rng *RNG
+	n   int
+}
+
+// NewUniform returns a uniform distribution over [0, n).
+func NewUniform(n int, seed int64) (*Uniform, error) {
+	if n < 1 || n > MaxKeys {
+		return nil, errConfig("uniform: key space %d outside [1, %d]", n, MaxKeys)
+	}
+	return &Uniform{rng: NewRNG(seed), n: n}, nil
+}
+
+// Next implements KeyDist.
+func (u *Uniform) Next() int { return u.rng.Intn(u.n) }
+
+// Prob implements KeyDist.
+func (u *Uniform) Prob(k int) float64 {
+	if k < 0 || k >= u.n {
+		return 0
+	}
+	return 1 / float64(u.n)
+}
+
+// Keys implements KeyDist.
+func (u *Uniform) Keys() int { return u.n }
+
+// Zipfian draws keys with the zipfian popularity law P(k) ∝ 1/(k+1)^theta:
+// rank 0 is the hottest key and the tail decays polynomially. Sampling is
+// exact inverse-CDF (binary search over the materialised CDF), not the
+// YCSB rejection approximation, so empirical frequencies match Prob to
+// sampling error and the chi-square test in this package has an honest null
+// hypothesis. Construction is O(n); each draw is O(log n) and allocation
+// free.
+type Zipfian struct {
+	rng   *RNG
+	cdf   []float64
+	theta float64
+	zetan float64
+}
+
+// NewZipfian returns a zipfian distribution over [0, n) with skew parameter
+// theta in [0, 1) (0 degenerates to uniform; YCSB's default is 0.99). theta
+// values at or above 1 are rejected — the classic zipfian constant is
+// defined for theta < 1, and heavier skew is what Hotspot is for.
+func NewZipfian(n int, theta float64, seed int64) (*Zipfian, error) {
+	if n < 1 || n > MaxKeys {
+		return nil, errConfig("zipfian: key space %d outside [1, %d]", n, MaxKeys)
+	}
+	if math.IsNaN(theta) || theta < 0 || theta >= 1 {
+		return nil, errConfig("zipfian: theta %v outside [0, 1)", theta)
+	}
+	z := &Zipfian{rng: NewRNG(seed), theta: theta, cdf: make([]float64, n)}
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -theta)
+		z.cdf[k] = sum
+	}
+	z.zetan = sum
+	for k := range z.cdf {
+		z.cdf[k] /= sum
+	}
+	z.cdf[n-1] = 1 // guard against rounding leaving the last CDF entry below 1
+	return z, nil
+}
+
+// Next implements KeyDist.
+func (z *Zipfian) Next() int {
+	return sort.SearchFloat64s(z.cdf, z.rng.Float64())
+}
+
+// Prob implements KeyDist.
+func (z *Zipfian) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	return math.Pow(float64(k+1), -z.theta) / z.zetan
+}
+
+// Keys implements KeyDist.
+func (z *Zipfian) Keys() int { return len(z.cdf) }
+
+// Hotspot splits the key space into a hot set (the first hotCount keys) that
+// receives a fixed fraction of the traffic and a cold remainder; draws are
+// uniform within each set. It models the two-tier popularity of cached
+// workloads more bluntly than zipfian and can express arbitrarily heavy skew.
+type Hotspot struct {
+	rng       *RNG
+	n         int
+	hotCount  int
+	hotWeight float64
+}
+
+// NewHotspot returns a hotspot distribution over [0, n): the hottest
+// ceil(hotFrac·n) keys (clamped to [1, n-1] so both sets are non-empty)
+// jointly receive hotWeight of the traffic. hotFrac must lie in (0, 1) and
+// hotWeight in [0, 1]; n must be at least 2 so a cold set exists.
+func NewHotspot(n int, hotFrac, hotWeight float64, seed int64) (*Hotspot, error) {
+	if n < 2 || n > MaxKeys {
+		return nil, errConfig("hotspot: key space %d outside [2, %d]", n, MaxKeys)
+	}
+	if math.IsNaN(hotFrac) || hotFrac <= 0 || hotFrac >= 1 {
+		return nil, errConfig("hotspot: hot fraction %v outside (0, 1)", hotFrac)
+	}
+	if math.IsNaN(hotWeight) || hotWeight < 0 || hotWeight > 1 {
+		return nil, errConfig("hotspot: hot weight %v outside [0, 1]", hotWeight)
+	}
+	hotCount := int(math.Ceil(hotFrac * float64(n)))
+	if hotCount < 1 {
+		hotCount = 1
+	}
+	if hotCount > n-1 {
+		hotCount = n - 1
+	}
+	return &Hotspot{rng: NewRNG(seed), n: n, hotCount: hotCount, hotWeight: hotWeight}, nil
+}
+
+// Next implements KeyDist.
+func (h *Hotspot) Next() int {
+	if h.rng.Float64() < h.hotWeight {
+		return h.rng.Intn(h.hotCount)
+	}
+	return h.hotCount + h.rng.Intn(h.n-h.hotCount)
+}
+
+// Prob implements KeyDist.
+func (h *Hotspot) Prob(k int) float64 {
+	switch {
+	case k < 0 || k >= h.n:
+		return 0
+	case k < h.hotCount:
+		return h.hotWeight / float64(h.hotCount)
+	default:
+		return (1 - h.hotWeight) / float64(h.n-h.hotCount)
+	}
+}
+
+// Keys implements KeyDist.
+func (h *Hotspot) Keys() int { return h.n }
+
+// HotKeys returns the size of the hot set, for reporting.
+func (h *Hotspot) HotKeys() int { return h.hotCount }

@@ -1,0 +1,320 @@
+package generator
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// chiSquare draws `draws` keys from d and returns the chi-square
+// goodness-of-fit statistic against the distribution's own analytic
+// frequencies (d.Prob).
+func chiSquare(t *testing.T, d KeyDist, draws int) float64 {
+	t.Helper()
+	counts := make([]int64, d.Keys())
+	for i := 0; i < draws; i++ {
+		k := d.Next()
+		if k < 0 || k >= d.Keys() {
+			t.Fatalf("draw %d out of key space [0, %d)", k, d.Keys())
+		}
+		counts[k]++
+	}
+	stat := 0.0
+	total := 0.0
+	for k, obs := range counts {
+		exp := d.Prob(k) * float64(draws)
+		total += d.Prob(k)
+		if exp < 5 {
+			t.Fatalf("expected count %.2f for key %d too small for chi-square; raise draws", exp, k)
+		}
+		diff := float64(obs) - exp
+		stat += diff * diff / exp
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("analytic probabilities sum to %v, want 1", total)
+	}
+	return stat
+}
+
+// Chi-square 99.9th-percentile critical values for the degrees of freedom
+// the tests below use. A fixed seed makes each statistic deterministic, so a
+// pass is stable; the 0.999 quantile keeps the bound statistically honest
+// rather than tuned to the observed value.
+var chiCrit999 = map[int]float64{
+	39: 72.055,
+	49: 85.351,
+	63: 103.442,
+}
+
+func TestZipfianChiSquareGoodnessOfFit(t *testing.T) {
+	z, err := NewZipfian(50, 0.99, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat := chiSquare(t, z, 200000)
+	if crit := chiCrit999[49]; stat > crit {
+		t.Errorf("zipfian chi-square %.2f above the 99.9%% critical value %.2f (df=49)", stat, crit)
+	}
+}
+
+func TestZipfianThetaZeroMatchesUniform(t *testing.T) {
+	z, err := NewZipfian(64, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 64; k++ {
+		if math.Abs(z.Prob(k)-1.0/64) > 1e-12 {
+			t.Fatalf("theta=0 Prob(%d) = %v, want uniform 1/64", k, z.Prob(k))
+		}
+	}
+	stat := chiSquare(t, z, 200000)
+	if crit := chiCrit999[63]; stat > crit {
+		t.Errorf("theta=0 chi-square %.2f above the 99.9%% critical value %.2f (df=63)", stat, crit)
+	}
+}
+
+func TestZipfianSkewOrdersFrequencies(t *testing.T) {
+	z, err := NewZipfian(20, 0.99, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 20)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= 4*counts[19] {
+		t.Errorf("rank 0 drew %d vs rank 19's %d; zipfian skew missing", counts[0], counts[19])
+	}
+	if z.Prob(0) <= z.Prob(1) || z.Prob(1) <= z.Prob(10) {
+		t.Error("analytic zipfian probabilities not decreasing in rank")
+	}
+}
+
+func TestHotspotChiSquareGoodnessOfFit(t *testing.T) {
+	h, err := NewHotspot(40, 0.25, 0.9, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HotKeys() != 10 {
+		t.Fatalf("hot set %d keys, want 10", h.HotKeys())
+	}
+	stat := chiSquare(t, h, 200000)
+	if crit := chiCrit999[39]; stat > crit {
+		t.Errorf("hotspot chi-square %.2f above the 99.9%% critical value %.2f (df=39)", stat, crit)
+	}
+}
+
+func TestUniformChiSquareGoodnessOfFit(t *testing.T) {
+	u, err := NewUniform(64, 31337)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat := chiSquare(t, u, 200000)
+	if crit := chiCrit999[63]; stat > crit {
+		t.Errorf("uniform chi-square %.2f above the 99.9%% critical value %.2f (df=63)", stat, crit)
+	}
+}
+
+// TestExponentialKSBound checks the exponential interarrival stream against
+// its analytic CDF with a Kolmogorov–Smirnov-style bound: the empirical CDF
+// may deviate from 1-exp(-λx) by at most c/sqrt(m), c at the 1% significance
+// level. The seed is fixed, so the statistic — and the pass — is
+// deterministic.
+func TestExponentialKSBound(t *testing.T) {
+	const (
+		rate  = 1000.0 // ops/s → mean gap 1ms
+		draws = 20000
+	)
+	e, err := NewExponential(rate, 20240607)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]float64, draws)
+	mean := 0.0
+	for i := range samples {
+		d := e.Next()
+		if d < 0 {
+			t.Fatalf("negative interarrival %s", d)
+		}
+		samples[i] = d.Seconds()
+		mean += samples[i]
+	}
+	mean /= draws
+	if mean < 0.9/rate || mean > 1.1/rate {
+		t.Errorf("mean gap %.6fs, want within 10%% of %.6fs", mean, 1/rate)
+	}
+	sortFloats(samples)
+	sup := 0.0
+	for i, x := range samples {
+		f := 1 - math.Exp(-rate*x)
+		lo := float64(i) / draws
+		hi := float64(i+1) / draws
+		if d := math.Abs(f - lo); d > sup {
+			sup = d
+		}
+		if d := math.Abs(f - hi); d > sup {
+			sup = d
+		}
+	}
+	if bound := 1.63 / math.Sqrt(draws); sup > bound {
+		t.Errorf("KS statistic %.5f above the 1%% bound %.5f", sup, bound)
+	}
+}
+
+// sortFloats sorts ascending.
+func sortFloats(x []float64) { sort.Float64s(x) }
+
+// TestEqualSeedsByteIdenticalStreams pins determinism: the same seed must
+// reproduce the exact draw sequence for every generator, and distinct seeds
+// must diverge.
+func TestEqualSeedsByteIdenticalStreams(t *testing.T) {
+	mk := map[string]func(seed int64) func() int64{
+		"rng": func(seed int64) func() int64 {
+			r := NewRNG(seed)
+			return func() int64 { return int64(r.Uint64()) }
+		},
+		"uniform": func(seed int64) func() int64 {
+			d, err := NewUniform(1000, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() int64 { return int64(d.Next()) }
+		},
+		"zipfian": func(seed int64) func() int64 {
+			d, err := NewZipfian(1000, 0.99, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() int64 { return int64(d.Next()) }
+		},
+		"hotspot": func(seed int64) func() int64 {
+			d, err := NewHotspot(1000, 0.1, 0.9, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() int64 { return int64(d.Next()) }
+		},
+		"exp": func(seed int64) func() int64 {
+			a, err := NewExponential(500, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() int64 { return int64(a.Next()) }
+		},
+	}
+	const draws = 2000
+	for name, make := range mk {
+		a, b, c := make(41), make(41), make(42)
+		identical, diverged := true, false
+		for i := 0; i < draws; i++ {
+			va, vb, vc := a(), b(), c()
+			if va != vb {
+				identical = false
+			}
+			if va != vc {
+				diverged = true
+			}
+		}
+		if !identical {
+			t.Errorf("%s: equal seeds produced different streams", name)
+		}
+		if !diverged {
+			t.Errorf("%s: distinct seeds produced identical %d-draw streams", name, draws)
+		}
+	}
+}
+
+func TestSequenceCountsEveryValueOnce(t *testing.T) {
+	s := NewSequence(5)
+	for want := int64(5); want < 105; want++ {
+		if got := s.Next(); got != want {
+			t.Fatalf("sequence returned %d, want %d", got, want)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"uniform n=0", errOf(NewUniform(0, 1))},
+		{"uniform n too big", errOf(NewUniform(MaxKeys+1, 1))},
+		{"zipfian n=0", errOf(NewZipfian(0, 0.5, 1))},
+		{"zipfian theta=1", errOf(NewZipfian(10, 1, 1))},
+		{"zipfian theta<0", errOf(NewZipfian(10, -0.1, 1))},
+		{"zipfian theta NaN", errOf(NewZipfian(10, math.NaN(), 1))},
+		{"hotspot n=1", errOf(NewHotspot(1, 0.5, 0.5, 1))},
+		{"hotspot frac=0", errOf(NewHotspot(10, 0, 0.5, 1))},
+		{"hotspot frac=1", errOf(NewHotspot(10, 1, 0.5, 1))},
+		{"hotspot weight=-1", errOf(NewHotspot(10, 0.5, -1, 1))},
+		{"hotspot weight>1", errOf(NewHotspot(10, 0.5, 1.5, 1))},
+		{"exp rate=0", errOf(NewExponential(0, 1))},
+		{"exp rate<0", errOf(NewExponential(-5, 1))},
+		{"exp rate inf", errOf(NewExponential(math.Inf(1), 1))},
+		{"exp rate above cap", errOf(NewExponential(MaxRate*2, 1))},
+		{"const rate NaN", errOf(NewConstant(math.NaN()))},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+		}
+	}
+}
+
+// errOf discards the value and keeps the error, for the validation table.
+func errOf[T any](_ T, err error) error { return err }
+
+func TestParseDistSpecs(t *testing.T) {
+	good := map[string]string{
+		"uniform":                      "*generator.Uniform",
+		"zipfian":                      "*generator.Zipfian",
+		" zipfian:theta=0.5 ":          "*generator.Zipfian",
+		"hotspot":                      "*generator.Hotspot",
+		"hotspot:frac=0.1,weight=0.95": "*generator.Hotspot",
+	}
+	for spec := range good {
+		d, err := ParseDist(spec, 100, 1)
+		if err != nil {
+			t.Errorf("spec %q rejected: %v", spec, err)
+			continue
+		}
+		if d.Keys() != 100 {
+			t.Errorf("spec %q key space %d, want 100", spec, d.Keys())
+		}
+	}
+	bad := []string{
+		"", "  ", "zipf", "zipfian:theta=", "zipfian:theta=abc", "zipfian:tehta=0.5",
+		"zipfian:theta=1.0", "zipfian:theta=0.5,theta=0.6", "uniform:x=1",
+		"hotspot:frac=2", "hotspot:weight=nope", "hotspot:frac", ":theta=1",
+	}
+	for _, spec := range bad {
+		if _, err := ParseDist(spec, 100, 1); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		}
+	}
+	if _, err := ParseDist("uniform", 0, 1); err == nil {
+		t.Error("zero key space accepted")
+	}
+}
+
+func TestParseArrivalSpecs(t *testing.T) {
+	for _, spec := range []string{"exp", "exponential", "const", "constant"} {
+		a, err := ParseArrival(spec, 100, 1)
+		if err != nil {
+			t.Errorf("spec %q rejected: %v", spec, err)
+			continue
+		}
+		if a.Rate() != 100 {
+			t.Errorf("spec %q rate %v, want 100", spec, a.Rate())
+		}
+	}
+	for _, spec := range []string{"", "poisson", "exp:rate=1"} {
+		if _, err := ParseArrival(spec, 100, 1); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		}
+	}
+	if _, err := ParseArrival("exp", 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package generator
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzGeneratorConfig throws arbitrary distribution/arrival specs and
+// numeric parameters at the parsing, validation and scheduling layers. The
+// invariant is simple: bad configurations error cleanly, good ones produce
+// well-formed draws — nothing panics, loops forever or hands out malformed
+// schedules, whatever the input.
+func FuzzGeneratorConfig(f *testing.F) {
+	f.Add("uniform", "exp", 10, 100.0, int64(1), int64(50), int64(50))
+	f.Add("zipfian:theta=0.99", "const", 100, 1000.0, int64(2), int64(0), int64(100))
+	f.Add("zipfian:theta=1.5", "exp", 100, 1000.0, int64(3), int64(10), int64(10))
+	f.Add("hotspot:frac=0.1,weight=0.9", "exponential", 1000, 0.0, int64(4), int64(-5), int64(20))
+	f.Add("hotspot:frac=1,weight=2", "constant", 2, 1e12, int64(5), int64(1), int64(-1))
+	f.Add("zipfian:theta=NaN", "poisson", MaxKeys+1, -3.0, int64(6), int64(0), int64(0))
+	f.Add("", ":", 0, 1e-300, int64(7), int64(1<<40), int64(1<<40))
+	f.Add("uniform:frac=0.5", "exp:burst=2", -5, 42.0, int64(8), int64(3), int64(3))
+
+	f.Fuzz(func(t *testing.T, distSpec, arrSpec string, n int, rate float64, seed, warmupMs, durationMs int64) {
+		keys, err := ParseDist(distSpec, n, seed)
+		if err == nil {
+			if keys.Keys() != n {
+				t.Fatalf("accepted key space %d but Keys() = %d", n, keys.Keys())
+			}
+			for i := 0; i < 16; i++ {
+				if k := keys.Next(); k < 0 || k >= n {
+					t.Fatalf("draw %d outside [0, %d)", k, n)
+				}
+			}
+			if p := keys.Prob(-1); p != 0 {
+				t.Fatalf("Prob(-1) = %v, want 0", p)
+			}
+			if p := keys.Prob(n); p != 0 {
+				t.Fatalf("Prob(n) = %v, want 0", p)
+			}
+		}
+		arr, err := ParseArrival(arrSpec, rate, seed)
+		if err == nil {
+			for i := 0; i < 16; i++ {
+				if d := arr.Next(); d < 0 {
+					t.Fatalf("negative interarrival %s", d)
+				}
+			}
+		}
+		if keys == nil || arr == nil {
+			return
+		}
+		// Clamp the fuzzed phase lengths into ±1h so the scheduler's own
+		// validation is what decides, not Duration overflow in the test.
+		clamp := func(ms int64) time.Duration {
+			if ms > 3_600_000 {
+				ms = 3_600_000
+			}
+			if ms < -3_600_000 {
+				ms = -3_600_000
+			}
+			return time.Duration(ms) * time.Millisecond
+		}
+		s, err := NewScheduler(ScheduleConfig{
+			Arrival:  arr,
+			Keys:     keys,
+			Warmup:   clamp(warmupMs),
+			Duration: clamp(durationMs),
+		})
+		if err != nil {
+			return
+		}
+		last := time.Duration(-1)
+		for i := 0; i < 1000; i++ {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			if op.Seq != int64(i) {
+				t.Fatalf("op %d carries seq %d", i, op.Seq)
+			}
+			if op.Intended < last || op.Intended >= s.Horizon() {
+				t.Fatalf("op %d intended %s (last %s, horizon %s)", i, op.Intended, last, s.Horizon())
+			}
+			if op.Key < 0 || op.Key >= keys.Keys() {
+				t.Fatalf("op %d key %d outside [0, %d)", i, op.Key, keys.Keys())
+			}
+			last = op.Intended
+		}
+	})
+}

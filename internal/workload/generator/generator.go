@@ -1,0 +1,115 @@
+// Package generator supplies the open-loop load-generation substrate for
+// cmd/leaload: seeded, allocation-free draw-by-draw distribution generators
+// over a finite key space (uniform, zipfian, hotspot — the YCSB/yabf family,
+// here with exact inverse-CDF sampling so statistical tests can check the
+// analytic frequencies), interarrival-time generators (exponential for
+// Poisson arrivals, constant for a metronome), a sequence counter, and an
+// open-loop arrival scheduler with coordinated-omission-safe latency
+// accounting.
+//
+// The coordinated-omission point is the reason the package exists: a
+// closed-loop driver that measures latency from the moment a worker sends a
+// request silently drops every sample the worker *would* have sent while it
+// was stuck waiting — a server stall shows up as one slow sample instead of
+// thousands. The Scheduler therefore fixes every operation's intended start
+// time up front from the interarrival stream, independent of how far behind
+// the senders are, and RunOpenLoop measures each sample from that intended
+// start. A stall then surfaces as the full backlog of late samples, which is
+// what an open system's users actually experience.
+//
+// Every generator is deterministic in its seed: equal seeds yield
+// byte-identical draw streams, distinct seeds yield distinct streams, and
+// the scheduler's (sequence, key, intended-time) schedule is identical no
+// matter how many senders drain it. Per-draw operation is allocation-free.
+package generator
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Limits on generator parameters. Configurations beyond them are rejected by
+// the constructors rather than silently accepted: a zipfian CDF over an
+// unbounded key space would eat memory, and a rate above MaxRate asks for
+// sub-10ns interarrivals no sender can honour.
+const (
+	// MaxKeys bounds every key-space size (the zipfian CDF is materialised).
+	MaxKeys = 1 << 21
+	// MaxRate bounds offered arrival rates, in operations per second.
+	MaxRate = 1e8
+)
+
+// rngGamma is the splitmix64 increment (the golden-ratio constant).
+const rngGamma = 0x9E3779B97F4A7C15
+
+// RNG is a splitmix64 pseudo-random generator: tiny, allocation-free and
+// deterministic in its seed, so generator streams replay byte-identically
+// across runs and Go versions (unlike math/rand's unspecified algorithms).
+// Not safe for concurrent use; give each consumer its own instance.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Equal seeds produce identical
+// streams; distinct seeds produce distinct streams (splitmix64 is a
+// bijection over the state space).
+func NewRNG(seed int64) *RNG {
+	return &RNG{state: uint64(seed)}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += rngGamma
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// slice-index semantics; every constructor in this package validates its
+// key-space size before drawing.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("generator: Intn on non-positive n") //lealint:ignore LEA0201 index-style precondition, validated by every constructor
+	}
+	// Rejection sampling removes the modulo bias.
+	max := uint64(n)
+	limit := ^uint64(0) - ^uint64(0)%max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Sequence is an atomic sequence counter: Next hands out 0, 1, 2, … exactly
+// once each, safe for concurrent use. It is the key distribution of choice
+// when every operation must touch a fresh key.
+type Sequence struct {
+	n atomic.Int64
+}
+
+// NewSequence returns a counter whose first Next is start.
+func NewSequence(start int64) *Sequence {
+	s := &Sequence{}
+	s.n.Store(start)
+	return s
+}
+
+// Next returns the next sequence value.
+func (s *Sequence) Next() int64 {
+	return s.n.Add(1) - 1
+}
+
+// errConfig builds the uniform configuration-error form every constructor
+// and parser in the package returns.
+func errConfig(format string, args ...any) error {
+	return fmt.Errorf("generator: %s", fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,182 @@
+package generator
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve/engine"
+)
+
+// RunConfig drives one open-loop run.
+type RunConfig struct {
+	// Scheduler supplies the (seq, key, intended) schedule (required,
+	// fresh — a partially drained scheduler skews the report).
+	Scheduler *Scheduler
+	// Senders is how many goroutines issue operations (required, >= 1).
+	// Senders bound in-flight concurrency, not the offered rate: when all
+	// senders are blocked the schedule keeps aging and the backlog's
+	// lateness lands in the latency histogram, exactly as an open system's
+	// users would see it.
+	Senders int
+	// Send issues one operation; a non-nil error counts the op failed. The
+	// sample is recorded either way — failures take time too. Must be safe
+	// for concurrent use.
+	Send func(op Op) error
+	// Cutoff, when positive, bounds how long the run may drag past the
+	// schedule horizon: an op claimed more than Cutoff after the horizon is
+	// counted omitted instead of sent. Omissions are never silent — they
+	// are reported, and a healthy run has zero. Zero means no cutoff: every
+	// scheduled op is sent no matter how late.
+	Cutoff time.Duration
+}
+
+// PhaseReport summarises one phase (warmup or steady) of an open-loop run.
+type PhaseReport struct {
+	// Ops counts samples recorded in the phase, Errors the failed subset.
+	Ops    int64 `json:"ops"`
+	Errors int64 `json:"errors"`
+	// Latency is measured from each op's *intended* start — the
+	// coordinated-omission-safe number a user of an open system experiences,
+	// queueing-behind-a-stall included.
+	Latency engine.HistogramSnapshot `json:"latency"`
+	// Service is measured from the actual send instant — the closed-loop
+	// style number, reported alongside so the gap between the two (the
+	// coordinated-omission error) is visible in every report.
+	Service engine.HistogramSnapshot `json:"service"`
+}
+
+// RunReport is the outcome of one open-loop run.
+type RunReport struct {
+	// Scheduled = Sent + Omitted, always.
+	Scheduled int64 `json:"scheduled"`
+	Sent      int64 `json:"sent"`
+	Errors    int64 `json:"errors"`
+	// Omitted counts scheduled ops abandoned past the cutoff. Zero on any
+	// healthy run.
+	Omitted int64 `json:"omitted"`
+	// MaxLagNS is the worst send lateness behind the schedule — how far the
+	// senders fell behind, independent of server latency.
+	MaxLagNS int64 `json:"max_lag_ns"`
+	// ElapsedS is the run's wall-clock length.
+	ElapsedS float64 `json:"elapsed_s"`
+	// OfferedRPS is the schedule's realised offered rate (scheduled ops
+	// over the horizon); AchievedRPS is successful steady-state sends over
+	// the steady wall time.
+	OfferedRPS  float64     `json:"offered_rps"`
+	AchievedRPS float64     `json:"achieved_rps"`
+	Warmup      PhaseReport `json:"warmup"`
+	Steady      PhaseReport `json:"steady"`
+}
+
+// phaseNames are the per-phase histogram name stems in the run's registry.
+var phaseNames = [2]string{"warmup", "steady"}
+
+// RunOpenLoop drives the schedule to completion with cfg.Senders concurrent
+// senders and returns the coordinated-omission-safe report. Per-sender
+// histograms are merged per phase through the serve/engine metrics registry,
+// so the quantiles are exactly those of a single global histogram.
+func RunOpenLoop(cfg RunConfig) (*RunReport, error) {
+	if cfg.Scheduler == nil {
+		return nil, errConfig("run: nil scheduler")
+	}
+	if cfg.Senders < 1 {
+		return nil, errConfig("run: need at least one sender, got %d", cfg.Senders)
+	}
+	if cfg.Send == nil {
+		return nil, errConfig("run: nil send function")
+	}
+
+	reg := engine.NewRegistry()
+	var (
+		sent, omitted, maxLag atomic.Int64
+		phaseOps, phaseErrs   [2]atomic.Int64
+		start                 = time.Now()
+		horizon               = cfg.Scheduler.Horizon()
+		abandonAfter          time.Time
+		wg                    sync.WaitGroup
+	)
+	if cfg.Cutoff > 0 {
+		abandonAfter = start.Add(horizon + cfg.Cutoff)
+	}
+	for i := 0; i < cfg.Senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Sender-local histograms keep the hot loop contention-free;
+			// they are merged into the shared registry at sender exit.
+			var lat, svc [2]engine.Histogram
+			for {
+				op, ok := cfg.Scheduler.Next()
+				if !ok {
+					break
+				}
+				if cfg.Cutoff > 0 && time.Now().After(abandonAfter) {
+					omitted.Add(1)
+					continue // keep draining so Scheduled stays exact
+				}
+				target := start.Add(op.Intended)
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+				sendStart := time.Now()
+				if lag := sendStart.Sub(target).Nanoseconds(); lag > 0 {
+					for {
+						cur := maxLag.Load()
+						if lag <= cur || maxLag.CompareAndSwap(cur, lag) {
+							break
+						}
+					}
+				}
+				err := cfg.Send(op)
+				end := time.Now()
+				phase := 1
+				if op.Warmup {
+					phase = 0
+				}
+				lat[phase].Observe(end.Sub(target))
+				svc[phase].Observe(end.Sub(sendStart))
+				sent.Add(1)
+				phaseOps[phase].Add(1)
+				if err != nil {
+					phaseErrs[phase].Add(1)
+				}
+			}
+			for p, name := range phaseNames {
+				reg.Histogram(name + "_latency").Merge(&lat[p])
+				reg.Histogram(name + "_service").Merge(&svc[p])
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &RunReport{
+		Scheduled: cfg.Scheduler.Claimed(),
+		Sent:      sent.Load(),
+		Errors:    phaseErrs[0].Load() + phaseErrs[1].Load(),
+		Omitted:   omitted.Load(),
+		MaxLagNS:  maxLag.Load(),
+		ElapsedS:  elapsed.Seconds(),
+	}
+	rep.Warmup = PhaseReport{
+		Ops:     phaseOps[0].Load(),
+		Errors:  phaseErrs[0].Load(),
+		Latency: reg.Histogram("warmup_latency").Snapshot(),
+		Service: reg.Histogram("warmup_service").Snapshot(),
+	}
+	rep.Steady = PhaseReport{
+		Ops:     phaseOps[1].Load(),
+		Errors:  phaseErrs[1].Load(),
+		Latency: reg.Histogram("steady_latency").Snapshot(),
+		Service: reg.Histogram("steady_service").Snapshot(),
+	}
+	if horizon > 0 {
+		rep.OfferedRPS = float64(rep.Scheduled) / horizon.Seconds()
+	}
+	warmupLen := horizon - cfg.Scheduler.cfg.Duration
+	if steadyWall := elapsed - warmupLen; steadyWall > 0 {
+		rep.AchievedRPS = float64(rep.Steady.Ops-rep.Steady.Errors) / steadyWall.Seconds()
+	}
+	return rep, nil
+}

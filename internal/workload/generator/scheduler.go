@@ -1,0 +1,118 @@
+package generator
+
+import (
+	"sync"
+	"time"
+)
+
+// maxScheduledOps bounds one schedule's operation count: rate × horizon
+// beyond this is almost certainly a mistyped flag, and refusing up front
+// beats grinding through a hundred-million-op schedule.
+const maxScheduledOps = 10_000_000
+
+// Op is one scheduled operation: its claim order, the key the distribution
+// assigned it, and the instant — as an offset from the run start — at which
+// an ideal open-loop client would have sent it. The runner measures latency
+// from Intended, never from the actual send, which is what makes the
+// accounting coordinated-omission safe.
+type Op struct {
+	// Seq numbers the operation within the schedule, from 0.
+	Seq int64
+	// Key is the key-distribution draw for this operation.
+	Key int
+	// Intended is the operation's target start offset from the run start.
+	Intended time.Duration
+	// Warmup marks operations in the warmup phase, excluded from
+	// steady-state statistics.
+	Warmup bool
+}
+
+// ScheduleConfig describes one open-loop schedule.
+type ScheduleConfig struct {
+	// Arrival supplies the interarrival gaps (required).
+	Arrival Arrival
+	// Keys supplies each operation's key (required).
+	Keys KeyDist
+	// Warmup is the initial phase excluded from steady-state statistics
+	// (may be zero).
+	Warmup time.Duration
+	// Duration is the steady-state phase length (required, positive).
+	Duration time.Duration
+}
+
+// Scheduler lazily materialises the arrival schedule and hands ops to any
+// number of concurrent senders. The (Seq, Key, Intended) stream is a pure
+// function of the generators' seeds: both draws happen under the scheduler's
+// lock in claim order, so the schedule is identical no matter how many
+// senders drain it or how their claims interleave — the property the
+// multi-sender race test pins.
+type Scheduler struct {
+	mu      sync.Mutex
+	cfg     ScheduleConfig
+	horizon time.Duration
+	next    time.Duration
+	seq     int64
+	done    bool
+}
+
+// NewScheduler validates cfg and returns a scheduler whose first op lands
+// one interarrival gap after the run start and whose last lands strictly
+// before Warmup+Duration.
+func NewScheduler(cfg ScheduleConfig) (*Scheduler, error) {
+	if cfg.Arrival == nil {
+		return nil, errConfig("scheduler: nil arrival source")
+	}
+	if cfg.Keys == nil {
+		return nil, errConfig("scheduler: nil key distribution")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errConfig("scheduler: non-positive duration %s", cfg.Duration)
+	}
+	if cfg.Warmup < 0 {
+		return nil, errConfig("scheduler: negative warmup %s", cfg.Warmup)
+	}
+	horizon := cfg.Warmup + cfg.Duration
+	if expect := cfg.Arrival.Rate() * horizon.Seconds(); expect > maxScheduledOps {
+		return nil, errConfig("scheduler: %s at %.0f ops/s schedules ~%.0f ops, above the %d cap",
+			horizon, cfg.Arrival.Rate(), expect, maxScheduledOps)
+	}
+	s := &Scheduler{cfg: cfg, horizon: horizon}
+	s.next = cfg.Arrival.Next()
+	return s, nil
+}
+
+// Next claims the next scheduled op; ok is false once the schedule is
+// exhausted. Safe for concurrent use; each op is handed out exactly once.
+func (s *Scheduler) Next() (op Op, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done || s.next >= s.horizon {
+		s.done = true
+		return Op{}, false
+	}
+	op = Op{
+		Seq:      s.seq,
+		Key:      s.cfg.Keys.Next(),
+		Intended: s.next,
+		Warmup:   s.next < s.cfg.Warmup,
+	}
+	s.seq++
+	gap := s.cfg.Arrival.Next()
+	if next := s.next + gap; next >= s.next {
+		s.next = next
+	} else {
+		s.done = true // cumulative offset would overflow; schedule is over anyway
+	}
+	return op, true
+}
+
+// Horizon returns the schedule's total span (warmup + steady).
+func (s *Scheduler) Horizon() time.Duration { return s.horizon }
+
+// Claimed returns how many ops have been handed out so far; once Next has
+// returned ok=false it is the schedule's total op count.
+func (s *Scheduler) Claimed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

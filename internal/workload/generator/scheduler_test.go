@@ -1,0 +1,325 @@
+package generator
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/serve/engine"
+	"repro/internal/serve/transport"
+	"repro/internal/workload"
+)
+
+// testScheduler builds a fresh scheduler from one seed pair so tests can
+// replay the identical schedule.
+func testScheduler(t *testing.T, rate float64, warmup, duration time.Duration, seed int64) *Scheduler {
+	t.Helper()
+	arr, err := NewExponential(rate, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := NewZipfian(16, 0.99, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(ScheduleConfig{Arrival: arr, Keys: keys, Warmup: warmup, Duration: duration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	arr, _ := NewConstant(100)
+	keys, _ := NewUniform(4, 1)
+	for name, cfg := range map[string]ScheduleConfig{
+		"nil arrival":  {Keys: keys, Duration: time.Second},
+		"nil keys":     {Arrival: arr, Duration: time.Second},
+		"zero dur":     {Arrival: arr, Keys: keys},
+		"neg warmup":   {Arrival: arr, Keys: keys, Duration: time.Second, Warmup: -time.Second},
+		"too many ops": {Arrival: mustArr(t, MaxRate), Keys: keys, Duration: time.Hour},
+	} {
+		if _, err := NewScheduler(cfg); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}
+
+func mustArr(t *testing.T, rate float64) Arrival {
+	t.Helper()
+	a, err := NewConstant(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestScheduleDeterministicAcrossSenders pins the core scheduler property:
+// the (seq, key, intended, warmup) schedule drained by 8 racing goroutines
+// is exactly the schedule drained single-threaded — claims interleave, the
+// schedule does not. Run under -race in CI.
+func TestScheduleDeterministicAcrossSenders(t *testing.T) {
+	const seed = 777
+	ref := testScheduler(t, 5000, 100*time.Millisecond, 400*time.Millisecond, seed)
+	var want []Op
+	for {
+		op, ok := ref.Next()
+		if !ok {
+			break
+		}
+		want = append(want, op)
+	}
+	if len(want) < 1000 {
+		t.Fatalf("reference schedule only %d ops; raise the rate", len(want))
+	}
+	if int64(len(want)) != ref.Claimed() {
+		t.Fatalf("Claimed %d != drained %d", ref.Claimed(), len(want))
+	}
+
+	concurrent := testScheduler(t, 5000, 100*time.Millisecond, 400*time.Millisecond, seed)
+	var (
+		mu   sync.Mutex
+		got  = map[int64]Op{}
+		wg   sync.WaitGroup
+		dups int
+	)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				op, ok := concurrent.Next()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if _, seen := got[op.Seq]; seen {
+					dups++
+				}
+				got[op.Seq] = op
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if dups != 0 {
+		t.Fatalf("%d duplicate sequence numbers handed out", dups)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("concurrent drain yielded %d ops, single-threaded %d", len(got), len(want))
+	}
+	for _, w := range want {
+		g, ok := got[w.Seq]
+		if !ok {
+			t.Fatalf("seq %d never claimed concurrently", w.Seq)
+		}
+		if g != w {
+			t.Fatalf("seq %d: concurrent %+v != reference %+v", w.Seq, g, w)
+		}
+	}
+	// Warmup flags must partition exactly at the warmup boundary.
+	for _, w := range want {
+		if w.Warmup != (w.Intended < 100*time.Millisecond) {
+			t.Fatalf("seq %d: warmup flag %v at offset %s", w.Seq, w.Warmup, w.Intended)
+		}
+	}
+}
+
+func TestSchedulerIntendedTimesMonotone(t *testing.T) {
+	s := testScheduler(t, 2000, 0, 200*time.Millisecond, 3)
+	last := time.Duration(-1)
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		if op.Intended < last {
+			t.Fatalf("intended time went backwards: %s after %s", op.Intended, last)
+		}
+		if op.Intended >= s.Horizon() {
+			t.Fatalf("op scheduled at %s beyond horizon %s", op.Intended, s.Horizon())
+		}
+		last = op.Intended
+	}
+}
+
+// TestRunOpenLoopCoordinatedOmission is the coordinated-omission regression:
+// the transport stalls completely for a fixed window, and the open-loop
+// latency (measured from each op's intended start) must surface the stall at
+// p99, while the service-time measurement — what a closed-loop driver would
+// report — under-reports it by an order of magnitude. If someone "fixes" the
+// runner to measure from the actual send, this test fails.
+func TestRunOpenLoopCoordinatedOmission(t *testing.T) {
+	const (
+		stallStart = 100 * time.Millisecond
+		stallEnd   = 300 * time.Millisecond // 200ms total stall
+	)
+	s := testScheduler(t, 2000, 0, 400*time.Millisecond, 11)
+	t0 := time.Now()
+	send := func(Op) error {
+		if el := time.Since(t0); el >= stallStart && el < stallEnd {
+			time.Sleep(stallEnd - el) // the whole service is frozen
+		}
+		return nil
+	}
+	rep, err := RunOpenLoop(RunConfig{Scheduler: s, Senders: 4, Send: send})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Omitted != 0 || rep.Sent != rep.Scheduled {
+		t.Fatalf("sent %d omitted %d of %d scheduled, want all sent", rep.Sent, rep.Omitted, rep.Scheduled)
+	}
+	stall := (stallEnd - stallStart).Nanoseconds()
+	if got := rep.Steady.Latency.P99NS; got < stall/2 {
+		t.Errorf("open-loop p99 %s under-reports the %s stall (want >= half)",
+			time.Duration(got), time.Duration(stall))
+	}
+	if got := rep.Steady.Service.P99NS; got > stall/4 {
+		t.Errorf("service-time p99 %s unexpectedly high; the closed-loop view should hide the stall (< %s)",
+			time.Duration(got), time.Duration(stall/4))
+	}
+	if rep.MaxLagNS < stall/2 {
+		t.Errorf("max send lag %s, want >= %s: the backlog must show up as lag",
+			time.Duration(rep.MaxLagNS), time.Duration(stall/2))
+	}
+}
+
+// TestRunOpenLoopAgainstService drives the open-loop runner with several
+// senders against a real in-process transport.Service (an engine.Engine) and
+// checks the deterministic schedule is fully accounted for: sent count,
+// per-phase histogram totals, zero omitted samples, zero errors. Run under
+// -race in CI.
+func TestRunOpenLoopAgainstService(t *testing.T) {
+	var svc transport.Service = engine.New(engine.Config{Workers: 4, QueueDepth: 256})
+
+	// Three fixed figure-class programs keyed by the zipfian draw.
+	classes, err := workload.Programs(rand.New(rand.NewSource(1)), 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var programs []string
+	for _, p := range classes["figures"] {
+		var buf bytes.Buffer
+		if err := ir.Format(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		programs = append(programs, buf.String())
+	}
+	if len(programs) == 0 {
+		t.Fatal("no figure programs")
+	}
+
+	const seed = 4242
+	// Replay the schedule single-threaded to learn the expected totals.
+	ref := testScheduler(t, 1500, 50*time.Millisecond, 250*time.Millisecond, seed)
+	var wantTotal, wantWarm int64
+	for {
+		op, ok := ref.Next()
+		if !ok {
+			break
+		}
+		wantTotal++
+		if op.Warmup {
+			wantWarm++
+		}
+	}
+
+	s := testScheduler(t, 1500, 50*time.Millisecond, 250*time.Millisecond, seed)
+	rep, err := RunOpenLoop(RunConfig{
+		Scheduler: s,
+		Senders:   6,
+		Send: func(op Op) error {
+			req := &engine.Request{
+				Program: programs[op.Key%len(programs)],
+				Options: engine.RequestOptions{Registers: 4},
+			}
+			_, err := svc.Allocate(context.Background(), req)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduled != wantTotal || rep.Sent != wantTotal {
+		t.Errorf("scheduled %d sent %d, want the deterministic %d", rep.Scheduled, rep.Sent, wantTotal)
+	}
+	if rep.Omitted != 0 {
+		t.Errorf("%d omitted samples, want 0", rep.Omitted)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors, want 0", rep.Errors)
+	}
+	if rep.Warmup.Ops != wantWarm || rep.Steady.Ops != wantTotal-wantWarm {
+		t.Errorf("phase split %d/%d, want %d/%d", rep.Warmup.Ops, rep.Steady.Ops, wantWarm, wantTotal-wantWarm)
+	}
+	if rep.Warmup.Latency.Count != rep.Warmup.Ops || rep.Steady.Latency.Count != rep.Steady.Ops {
+		t.Errorf("histogram totals %d/%d disagree with op counts %d/%d",
+			rep.Warmup.Latency.Count, rep.Steady.Latency.Count, rep.Warmup.Ops, rep.Steady.Ops)
+	}
+	if rep.Warmup.Service.Count != rep.Warmup.Ops || rep.Steady.Service.Count != rep.Steady.Ops {
+		t.Errorf("service histogram totals %d/%d disagree with op counts %d/%d",
+			rep.Warmup.Service.Count, rep.Steady.Service.Count, rep.Warmup.Ops, rep.Steady.Ops)
+	}
+	if err := engineClose(svc); err != nil {
+		t.Errorf("engine close: %v", err)
+	}
+}
+
+// engineClose drains the engine behind the Service view.
+func engineClose(svc transport.Service) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return svc.(*engine.Engine).Close(ctx)
+}
+
+// TestRunOpenLoopCutoffCountsOmissions checks the late-cutoff path: a send
+// far slower than the schedule with a tiny cutoff must abandon the tail of
+// the schedule as omitted — and account every scheduled op as either sent or
+// omitted, never silently dropped.
+func TestRunOpenLoopCutoffCountsOmissions(t *testing.T) {
+	arr, err := NewConstant(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := NewUniform(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(ScheduleConfig{Arrival: arr, Keys: keys, Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunOpenLoop(RunConfig{
+		Scheduler: s,
+		Senders:   1,
+		Cutoff:    20 * time.Millisecond,
+		Send:      func(Op) error { time.Sleep(5 * time.Millisecond); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Omitted == 0 {
+		t.Error("overloaded run reported zero omitted samples")
+	}
+	if rep.Sent+rep.Omitted != rep.Scheduled {
+		t.Errorf("sent %d + omitted %d != scheduled %d", rep.Sent, rep.Omitted, rep.Scheduled)
+	}
+}
+
+func TestRunOpenLoopValidation(t *testing.T) {
+	s := testScheduler(t, 100, 0, 50*time.Millisecond, 1)
+	send := func(Op) error { return nil }
+	if _, err := RunOpenLoop(RunConfig{Senders: 1, Send: send}); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := RunOpenLoop(RunConfig{Scheduler: s, Senders: 0, Send: send}); err == nil {
+		t.Error("zero senders accepted")
+	}
+	if _, err := RunOpenLoop(RunConfig{Scheduler: s, Senders: 1}); err == nil {
+		t.Error("nil send accepted")
+	}
+}

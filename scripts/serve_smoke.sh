@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 bin="$(mktemp -d)"
 # Kill any daemon still running on exit: a gate failing mid-script must not
 # leak servers that hold the ports and poison the next run.
-trap 'kill ${srv:-} ${srv2:-} ${srv3:-} 2>/dev/null; rm -rf "$bin"' EXIT
+trap 'kill ${srv:-} ${srv2:-} ${srv3:-} ${srv4:-} ${srv5:-} 2>/dev/null; rm -rf "$bin"' EXIT
 
 go build -o "$bin/leaserved" ./cmd/leaserved
 go build -o "$bin/leaload" ./cmd/leaload
@@ -146,6 +146,77 @@ grep -q 'shutdown clean' "$bin/serve3.log" || {
   cat "$bin/serve3.log" >&2
   exit 1
 }
+
+# Open-loop stage: two fresh daemons with a template cache (8 entries) far
+# smaller than the corpus (48 random shapes), each driven at a fixed offered
+# rate on a seeded arrival schedule — one with a uniform popularity mix, one
+# zipfian. The gates: zero failed requests and zero omitted samples even
+# with a cutoff armed (-strict covers both — coordinated omission is
+# counted, never silent), a sane steady-state intended-start p99, and the
+# zipfian run's warm-cache hit ratio clearly above uniform's (skew must
+# translate into cache affinity). The zipfian run's record is kept as the
+# BENCH_load.json trajectory artifact.
+addr4=127.0.0.1:8314
+addr5=127.0.0.1:8315
+"$bin/leaserved" -addr "$addr4" -workers 4 -queue 256 -cache 8 >"$bin/serve4.log" 2>&1 &
+srv4=$!
+"$bin/leaserved" -addr "$addr5" -workers 4 -queue 256 -cache 8 >"$bin/serve5.log" 2>&1 &
+srv5=$!
+for a in "$addr4" "$addr5"; do
+  for i in $(seq 1 50); do
+    curl -fsS "http://$a/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -fsS "http://$a/healthz" >/dev/null
+done
+
+"$bin/leaload" -url "http://$addr4" -workers 8 -loop open -rate 350 \
+  -arrival exp -duration 2s -warmup 500ms -cutoff 2s \
+  -mix random=1 -shapes 48 -instrs 10 -seed 8 -dist uniform \
+  -strict -json >"$bin/load_uniform.json"
+"$bin/leaload" -url "http://$addr5" -workers 8 -loop open -rate 350 \
+  -arrival exp -duration 2s -warmup 500ms -cutoff 2s \
+  -mix random=1 -shapes 48 -instrs 10 -seed 8 -dist zipfian:theta=0.99 \
+  -strict -json -bench-out "$bin/BENCH_load.json" >"$bin/load_zipf.json"
+
+python3 - "$bin/load_uniform.json" "$bin/load_zipf.json" <<'PY'
+import json, sys
+
+uni = json.load(open(sys.argv[1]))
+zipf = json.load(open(sys.argv[2]))
+
+for name, rep in (("uniform", uni), ("zipfian", zipf)):
+    op = rep["open"]
+    if op["omitted"] != 0:
+        sys.exit(f"smoke: {name} open-loop run omitted {op['omitted']} samples")
+    if op["scheduled"] != op["sent"]:
+        sys.exit(f"smoke: {name} scheduled {op['scheduled']} != sent {op['sent']}")
+    p99 = op["steady"]["latency"]["p99_ns"]
+    if p99 <= 0 or p99 > 250e6:
+        sys.exit(f"smoke: {name} steady intended-start p99 {p99/1e6:.1f}ms out of range")
+
+def warm_ratio(rep):
+    s = rep["server"]
+    total = s["cache_hits"] + s["cache_misses"]
+    return s["cache_hits"] / total if total else 0.0
+
+ru, rz = warm_ratio(uni), warm_ratio(zipf)
+if rz < ru + 0.05:
+    sys.exit(f"smoke: zipfian warm-hit ratio {rz:.4f} not clearly above uniform {ru:.4f}")
+zo = zipf["open"]
+print(f"smoke: open-loop ok — offered {zipf['offered_rps']:.0f} req/s, "
+      f"achieved {zipf['throughput_rps']:.0f} req/s, steady p99 "
+      f"{zo['steady']['latency']['p99_ns']/1e6:.1f}ms intended-start "
+      f"({zo['steady']['service']['p99_ns']/1e6:.1f}ms send-to-reply), "
+      f"warm ratio zipfian {rz:.4f} vs uniform {ru:.4f}")
+PY
+
+if [ -n "${BENCH_LOAD_OUT:-}" ]; then
+  cp "$bin/BENCH_load.json" "$BENCH_LOAD_OUT"
+fi
+
+kill -TERM "$srv4"; wait "$srv4"
+kill -TERM "$srv5"; wait "$srv5"
 
 # Graceful drain: SIGTERM must exit 0 and log a clean shutdown.
 kill -TERM "$srv"

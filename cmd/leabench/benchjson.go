@@ -40,6 +40,25 @@ type benchSnapshot struct {
 // runBenchJSON measures the sweep and solver benchmarks via
 // testing.Benchmark and writes the snapshot as JSON to path.
 func runBenchJSON(w io.Writer, path string) error {
+	snap, err := measureSnapshot(w)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}
+
+// measureSnapshot runs the full benchmark suite once and returns the
+// snapshot; per-benchmark lines are printed to w as they finish.
+func measureSnapshot(w io.Writer) (*benchSnapshot, error) {
 	set := workload.Figure1()
 	grid := sweep.Options{
 		Registers: []int{0, 1, 2, 3, 4, 5, 6},
@@ -61,12 +80,12 @@ func runBenchJSON(w io.Writer, path string) error {
 
 	grouped, err := set.Split(lifetime.FullSpeed, lifetime.SplitMinimal)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	build, err := netbuild.BuildNetwork(set, grouped, netbuild.DensityRegions,
 		netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	value := int64(2)
 	costs := make([]int64, build.Net.M())
@@ -76,9 +95,11 @@ func runBenchJSON(w io.Writer, path string) error {
 	}
 	solverBench := func(engine flow.Engine, warm bool) func(b *testing.B) {
 		return func(b *testing.B) {
-			sc := flow.NewScratch()
+			sc := flow.NewScratchSized(build.Net.N(), build.Net.M())
+			var sol flow.Solution
+			var st flow.SolveStats
 			if warm {
-				if _, _, err := build.Net.MinCostFlowValueWithCosts(engine, costs, sc, build.S, build.T, value); err != nil {
+				if err := build.Net.MinCostFlowValueWithCostsInto(engine, costs, sc, build.S, build.T, value, &sol, &st); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -88,11 +109,52 @@ func runBenchJSON(w io.Writer, path string) error {
 				if !warm {
 					sc = flow.NewScratch()
 				}
-				if _, _, err := build.Net.MinCostFlowValueWithCosts(engine, costs, sc, build.S, build.T, value); err != nil {
+				if err := build.Net.MinCostFlowValueWithCostsInto(engine, costs, sc, build.S, build.T, value, &sol, &st); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
+	}
+	// Re-cost benchmarks alternate two cost vectors so every warm re-solve
+	// runs real Dijkstra rounds (unchanged costs hit the delta-zero path and
+	// never enter the queue) — the heap/bucket rows differ only in the
+	// scratch's forced queue mode.
+	costs2 := make([]int64, len(costs))
+	for i, c := range costs {
+		costs2[i] = 2 * c
+	}
+	recostBench := func(mode flow.QueueMode) func(b *testing.B) {
+		return func(b *testing.B) {
+			sc := flow.NewScratchSized(build.Net.N(), build.Net.M())
+			sc.SetQueueMode(mode)
+			var sol flow.Solution
+			var st flow.SolveStats
+			for _, c := range [][]int64{costs, costs2} {
+				if err := build.Net.MinCostFlowValueWithCostsInto(flow.SSP, c, sc, build.S, build.T, value, &sol, &st); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := costs
+				if i%2 == 1 {
+					c = costs2
+				}
+				if err := build.Net.MinCostFlowValueWithCostsInto(flow.SSP, c, sc, build.S, build.T, value, &sol, &st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	parGrid := grid
+	parGrid.Workers = 4
+	runner, err := sweep.NewRunner(set, grid)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runner.Run(); err != nil { // prepare + first warm pass
+		return nil, err
 	}
 
 	benches := []struct {
@@ -101,8 +163,26 @@ func runBenchJSON(w io.Writer, path string) error {
 	}{
 		{"sweep_cold", sweepBench(true)},
 		{"sweep_warm", sweepBench(false)},
+		{"sweep_warm_par", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(set, parGrid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sweep_rerun", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"solver_ssp_cold", solverBench(flow.SSP, false)},
 		{"solver_ssp_warm", solverBench(flow.SSP, true)},
+		{"solver_recost_heap", recostBench(flow.QueueHeap)},
+		{"solver_recost_bucket", recostBench(flow.QueueBucket)},
 		{"solver_cyclecancel", solverBench(flow.CycleCancelling, false)},
 	}
 	snap := benchSnapshot{Speedups: map[string]float64{}, RunStats: map[string]core.RunStats{}}
@@ -113,13 +193,13 @@ func runBenchJSON(w io.Writer, path string) error {
 		Style: netbuild.DensityRegions,
 		Cost:  netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	co := netbuild.CostOptions{Style: energy.Static, Model: energy.OnChip256x16()}
 	for _, label := range []string{"alloc_cold", "alloc_warm"} {
 		res, err := pre.Allocate(int(value), co)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		snap.RunStats[label] = res.Stats
 	}
@@ -140,7 +220,10 @@ func runBenchJSON(w io.Writer, path string) error {
 	}
 	for _, pair := range [][2]string{
 		{"sweep_cold", "sweep_warm"},
+		{"sweep_warm", "sweep_warm_par"},
+		{"sweep_warm", "sweep_rerun"},
 		{"solver_ssp_cold", "solver_ssp_warm"},
+		{"solver_recost_heap", "solver_recost_bucket"},
 	} {
 		cold, warm := byName[pair[0]], byName[pair[1]]
 		if warm.NsPerOp > 0 {
@@ -148,14 +231,5 @@ func runBenchJSON(w io.Writer, path string) error {
 		}
 	}
 
-	data, err := json.MarshalIndent(&snap, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s\n", path)
-	return nil
+	return &snap, nil
 }

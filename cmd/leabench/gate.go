@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// gateOptions configures runBenchGate: the committed baseline snapshot to
+// compare against, how many fresh measurement runs to take the median over,
+// and the ns/op tolerance band.
+type gateOptions struct {
+	Baseline  string  // path to the committed BENCH_sweep.json
+	Runs      int     // fresh measurement runs (median taken per benchmark)
+	Tolerance float64 // fail when median ns/op > baseline ns/op × Tolerance
+}
+
+// runBenchGate is the CI perf gate. It re-measures the benchmark suite
+// opts.Runs times, reduces each benchmark to its median ns/op and minimum
+// allocs/op (the minimum filters one-off runtime noise; genuinely allocating
+// code allocates on every run), and fails when
+//
+//   - a baseline row is missing from the fresh measurement,
+//   - a zero-alloc baseline row now allocates (strict: machine-independent),
+//   - a row's allocs/op exceeds the baseline (alloc regressions are
+//     deterministic, so no tolerance band), or
+//   - a row's median ns/op exceeds baseline × Tolerance (generous band:
+//     CI machines differ from the one that recorded the baseline).
+//
+// Rows measured but absent from the baseline are reported as NEW and pass.
+func runBenchGate(w io.Writer, opts gateOptions) error {
+	data, err := os.ReadFile(opts.Baseline)
+	if err != nil {
+		return err
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", opts.Baseline, err)
+	}
+	if opts.Runs < 1 {
+		opts.Runs = 1
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 4.0
+	}
+	samples := map[string][]benchResult{}
+	for r := 0; r < opts.Runs; r++ {
+		fmt.Fprintf(w, "gate run %d/%d\n", r+1, opts.Runs)
+		snap, err := measureSnapshot(io.Discard)
+		if err != nil {
+			return err
+		}
+		for _, b := range snap.Benchmarks {
+			samples[b.Name] = append(samples[b.Name], b)
+		}
+	}
+
+	failures := 0
+	fmt.Fprintf(w, "%-22s %14s %14s %10s %10s  %s\n",
+		"benchmark", "base ns/op", "median ns/op", "base alloc", "allocs", "verdict")
+	for _, bb := range base.Benchmarks {
+		s := samples[bb.Name]
+		if len(s) == 0 {
+			failures++
+			fmt.Fprintf(w, "%-22s %14.0f %14s %10d %10s  FAIL: row missing from measurement\n",
+				bb.Name, bb.NsPerOp, "-", bb.AllocsPerOp, "-")
+			continue
+		}
+		med := medianNs(s)
+		allocs := minAllocs(s)
+		verdict := "ok"
+		switch {
+		case bb.AllocsPerOp == 0 && allocs > 0:
+			failures++
+			verdict = fmt.Sprintf("FAIL: must stay zero-alloc, got %d allocs/op", allocs)
+		case allocs > bb.AllocsPerOp:
+			failures++
+			verdict = fmt.Sprintf("FAIL: allocs regressed %d -> %d", bb.AllocsPerOp, allocs)
+		case med > bb.NsPerOp*opts.Tolerance:
+			failures++
+			verdict = fmt.Sprintf("FAIL: median %.0f ns/op > %.1fx baseline %.0f",
+				med, opts.Tolerance, bb.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-22s %14.0f %14.0f %10d %10d  %s\n",
+			bb.Name, bb.NsPerOp, med, bb.AllocsPerOp, allocs, verdict)
+	}
+	known := map[string]bool{}
+	for _, bb := range base.Benchmarks {
+		known[bb.Name] = true
+	}
+	var extra []string
+	for name := range samples {
+		if !known[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "%-22s %14s %14.0f %10s %10d  NEW (not in baseline)\n",
+			name, "-", medianNs(samples[name]), "-", minAllocs(samples[name]))
+	}
+	if failures > 0 {
+		return fmt.Errorf("bench gate: %d row(s) failed against %s", failures, opts.Baseline)
+	}
+	fmt.Fprintf(w, "bench gate: all %d rows within tolerance (%d runs, %.1fx band)\n",
+		len(base.Benchmarks), opts.Runs, opts.Tolerance)
+	return nil
+}
+
+// medianNs returns the median ns/op of the samples (mean of the middle two
+// for an even count).
+func medianNs(s []benchResult) float64 {
+	ns := make([]float64, len(s))
+	for i, b := range s {
+		ns[i] = b.NsPerOp
+	}
+	sort.Float64s(ns)
+	n := len(ns)
+	if n%2 == 1 {
+		return ns[n/2]
+	}
+	return (ns[n/2-1] + ns[n/2]) / 2
+}
+
+// minAllocs returns the smallest allocs/op observed across the samples.
+func minAllocs(s []benchResult) int64 {
+	min := s[0].AllocsPerOp
+	for _, b := range s[1:] {
+		if b.AllocsPerOp < min {
+			min = b.AllocsPerOp
+		}
+	}
+	return min
+}

@@ -99,8 +99,20 @@ func main() {
 		stats     = flag.Bool("stats", false, "print an aggregate of every allocation's stage timings and solver work")
 		parallel  = flag.Int("parallel", 1, "run up to this many experiments concurrently (output order is unchanged)")
 		benchJSON = flag.String("json", "", "measure the sweep/solver benchmarks and write a perf snapshot to this path (e.g. BENCH_sweep.json)")
+		gate      = flag.Bool("gate", false, "re-measure the benchmarks and fail on regressions against -gate-baseline")
+		gateBase  = flag.String("gate-baseline", "BENCH_sweep.json", "committed perf snapshot the gate compares against")
+		gateRuns  = flag.Int("gate-runs", 3, "measurement runs the gate takes the per-benchmark median over")
+		gateTol   = flag.Float64("gate-tol", 4.0, "gate ns/op tolerance band (median must stay under baseline × this)")
 	)
 	flag.Parse()
+	if *gate {
+		err := runBenchGate(os.Stdout, gateOptions{Baseline: *gateBase, Runs: *gateRuns, Tolerance: *gateTol})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	exps := experiments(*registers)
 	if *list {
 		for _, e := range exps {

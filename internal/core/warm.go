@@ -22,8 +22,10 @@ type Prepared struct {
 	engine    flow.Engine
 	scratch   *flow.Scratch
 	tpl       *netbuild.Template
-	baseStats RunStats // split/pin/build timings and sizes, copied into every run
-	costs     []int64  // reusable cost-vector buffer
+	baseStats RunStats        // split/pin/build timings and sizes, copied into every run
+	costs     []int64         // reusable cost-vector buffer
+	sol       flow.Solution   // reusable solve output; aliased by Result.Solution
+	sst       flow.SolveStats // reusable solver stats, copied into Result.Stats
 }
 
 // Prepare validates the options and runs the cost-independent pipeline
@@ -99,6 +101,12 @@ func (pre *Prepared) CostView(co netbuild.CostOptions) (*CostView, error) {
 // solver's residual and, when still valid, its node potentials
 // (Result.Stats.Solver reports WarmStart / PotentialsReused). The returned
 // Result's SplitTime/PinTime/BuildTime repeat the one-off preparation cost.
+//
+// The Result's Solution field aliases the Prepared's reusable solve buffer:
+// it is valid until the next Allocate/AllocateView on this Prepared. Callers
+// that keep solutions across solves must copy FlowByArc; everything else in
+// the Result (binding, counts, energies) is freshly decoded and safe to
+// retain.
 func (pre *Prepared) Allocate(registers int, co netbuild.CostOptions) (*Result, error) {
 	var baseline float64
 	var err error
@@ -123,11 +131,10 @@ func (pre *Prepared) allocate(registers int, co netbuild.CostOptions, costs []in
 
 	b := pre.tpl.Build
 	t0 := time.Now()
-	sol, sst, err := b.Net.MinCostFlowValueWithCosts(pre.engine, costs, pre.scratch, b.S, b.T, int64(registers))
+	sol := &pre.sol
+	err := b.Net.MinCostFlowValueWithCostsInto(pre.engine, costs, pre.scratch, b.S, b.T, int64(registers), sol, &pre.sst)
 	stats.SolveTime = time.Since(t0)
-	if sst != nil {
-		stats.Solver = *sst
-	}
+	stats.Solver = pre.sst
 	if err != nil {
 		if errors.Is(err, flow.ErrInfeasible) {
 			return nil, fmt.Errorf("core: %d registers cannot satisfy the forced register residences (raise R or relax memory restrictions): %w", registers, err)

@@ -41,64 +41,80 @@ type BatchComponent struct {
 //
 // The engine is always SSP (the only engine maintaining the potential
 // invariant range-restriction relies on). A nil scratch allocates fresh
-// storage; ErrInfeasible failures name the offending component.
+// storage; ErrInfeasible failures name the offending component. Hot callers
+// should prefer SolveBatchWithCostsInto, the zero-allocation warm variant.
 func (nw *Network) SolveBatchWithCosts(costs []int64, sc *Scratch, comps []BatchComponent) (*Solution, *SolveStats, error) {
+	sol, st := &Solution{}, &SolveStats{}
+	if err := nw.SolveBatchWithCostsInto(costs, sc, comps, sol, st); err != nil {
+		return nil, st, err
+	}
+	return sol, st, nil
+}
+
+// SolveBatchWithCostsInto is SolveBatchWithCosts writing the solution and
+// stats into caller-owned storage; on the warm path (prepared batch layout
+// hit) the whole batch solve performs zero heap allocations.
+func (nw *Network) SolveBatchWithCostsInto(costs []int64, sc *Scratch, comps []BatchComponent, sol *Solution, st *SolveStats) error {
 	if sc == nil {
 		sc = NewScratch()
 	}
-	st := &SolveStats{Engine: SSP.Name(), BatchUnits: len(comps)}
+	resetStats(st, SSP.Name())
+	st.BatchUnits = len(comps)
 	start := time.Now()
-	sol, err := nw.solveBatch(costs, sc, comps, st)
+	err := nw.solveBatch(costs, sc, comps, sol, st)
 	st.Duration = time.Since(start)
-	return sol, st, err
+	return err
 }
 
-func (nw *Network) solveBatch(costs []int64, sc *Scratch, comps []BatchComponent, st *SolveStats) (*Solution, error) {
+func (nw *Network) solveBatch(costs []int64, sc *Scratch, comps []BatchComponent, sol *Solution, st *SolveStats) error {
 	if len(comps) == 0 {
-		return nil, fmt.Errorf("flow: batch solve needs at least one component")
+		return fmt.Errorf("flow: batch solve needs at least one component")
 	}
-	if len(costs) != len(nw.arcs) {
-		return nil, fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.arcs))
+	if len(costs) != len(nw.from) {
+		return fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.from))
 	}
 	if sc.batchPreparedFor(nw, comps) {
 		st.WarmStart = true
 	} else if err := sc.prepareBatch(nw, comps); err != nil {
-		return nil, err
+		return err
 	}
 	sc.solved = false
 
 	r := sc.restoreResidual()
-	// Install the cost vector on the forward/reverse arc pairs; super
-	// source/sink arcs keep their constant zero cost.
-	for i, c := range costs {
-		r.cost[2*i] = c
-		r.cost[2*i+1] = -c
-	}
+	sc.installCosts(costs)
 	// One validity check covers every component: potentials are per-node and
 	// the components are disjoint, so a globally valid vector is valid for
-	// each range-restricted solve.
+	// each range-restricted solve. Likewise one key quantum covers all
+	// components — each component's distances are sums over the shared cost
+	// vector (and shared carried potentials).
 	warm := st.WarmStart && sc.validPotentials()
+	unit := gcdSlice(costs)
+	if warm {
+		unit = gcd64(unit, sc.keyUnit)
+	}
+	sc.keyUnit = unit
 	for ci := range sc.prep.batch {
 		bp := &sc.prep.batch[ci]
 		sc.warmPi = warm
 		shipped, err := sspRange(sc, comps[ci].Lo, comps[ci].Hi, bp.s, bp.t, bp.required, st)
 		sc.warmPi = false
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if shipped < bp.required {
-			return nil, fmt.Errorf("flow: batch component %d: %w", ci, ErrInfeasible)
+			return fmt.Errorf("flow: batch component %d: %w", ci, ErrInfeasible)
 		}
 	}
 
-	sol := &Solution{FlowByArc: make([]int64, len(nw.arcs))}
-	for i, a := range nw.arcs {
-		f := a.lower + r.flowOn(2*i)
+	sol.FlowByArc = grow64(sol.FlowByArc, len(nw.from))
+	sol.Cost = 0
+	for i := range nw.from {
+		f := nw.lower[i] + r.flowOn(2*i)
 		sol.FlowByArc[i] = f
 		sol.Cost += f * costs[i]
 	}
 	sol.Augmentations = st.Augmentations
-	return sol, nil
+	return nil
 }
 
 // batchPreparedFor reports whether the scratch holds a batch-prepared
@@ -106,7 +122,7 @@ func (nw *Network) solveBatch(costs []int64, sc *Scratch, comps []BatchComponent
 // layout.
 func (sc *Scratch) batchPreparedFor(nw *Network, comps []BatchComponent) bool {
 	p := &sc.prep
-	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.arcs) || len(p.comps) != len(comps) {
+	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.from) || len(p.comps) != len(comps) {
 		return false
 	}
 	for i, c := range comps {
@@ -127,7 +143,7 @@ func (sc *Scratch) batchPreparedFor(nw *Network, comps []BatchComponent) bool {
 // component's reserved nodes. Super arcs are appended component by component
 // in node order, after every network arc — the same relative order a plain
 // prepare of the component alone would produce, so each node's CSR adjacency
-// (and with it the solve's heap evolution) matches the solo solve exactly.
+// (and with it the solve's queue evolution) matches the solo solve exactly.
 func (sc *Scratch) prepareBatch(nw *Network, comps []BatchComponent) error {
 	node, arcIdx := 0, 0
 	for ci, c := range comps {
@@ -137,8 +153,8 @@ func (sc *Scratch) prepareBatch(nw *Network, comps []BatchComponent) error {
 		}
 		node, arcIdx = c.Hi, c.ArcHi
 	}
-	if node != nw.n || arcIdx != len(nw.arcs) {
-		return fmt.Errorf("flow: batch components cover %d nodes and %d arcs of a network with %d and %d", node, arcIdx, nw.n, len(nw.arcs))
+	if node != nw.n || arcIdx != len(nw.from) {
+		return fmt.Errorf("flow: batch components cover %d nodes and %d arcs of a network with %d and %d", node, arcIdx, nw.n, len(nw.from))
 	}
 	for ci, c := range comps {
 		var total int64
@@ -152,10 +168,10 @@ func (sc *Scratch) prepareBatch(nw *Network, comps []BatchComponent) error {
 			return fmt.Errorf("flow: batch component %d has supply on its reserved super nodes", ci)
 		}
 		for a := c.ArcLo; a < c.ArcHi; a++ {
-			arc := &nw.arcs[a]
-			if arc.from < c.Lo || arc.from >= c.Hi-2 || arc.to < c.Lo || arc.to >= c.Hi-2 {
+			from, to := int(nw.from[a]), int(nw.to[a])
+			if from < c.Lo || from >= c.Hi-2 || to < c.Lo || to >= c.Hi-2 {
 				return fmt.Errorf("flow: batch component %d arc %d (%d->%d) leaves the component's non-reserved nodes [%d,%d)",
-					ci, a, arc.from, arc.to, c.Lo, c.Hi-2)
+					ci, a, from, to, c.Lo, c.Hi-2)
 			}
 		}
 	}
@@ -163,13 +179,13 @@ func (sc *Scratch) prepareBatch(nw *Network, comps []BatchComponent) error {
 	sc.b = grow64(sc.b, nw.n)
 	b := sc.b
 	copy(b, nw.supply)
-	r := sc.resetResidual(nw.n, len(nw.arcs)+nw.n)
-	for _, a := range nw.arcs {
-		if a.lower > 0 {
-			b[a.from] -= a.lower
-			b[a.to] += a.lower
+	r := sc.resetResidual(nw.n, len(nw.from)+nw.n)
+	for i := range nw.from {
+		if nw.lower[i] > 0 {
+			b[nw.from[i]] -= nw.lower[i]
+			b[nw.to[i]] += nw.lower[i]
 		}
-		r.addPair(a.from, a.to, a.cap-a.lower, 0)
+		r.addPair(int(nw.from[i]), int(nw.to[i]), nw.capU[i]-nw.lower[i], 0)
 	}
 	p := &sc.prep
 	p.superArc = grow32(p.superArc, nw.n)
@@ -194,7 +210,7 @@ func (sc *Scratch) prepareBatch(nw *Network, comps []BatchComponent) error {
 	r.ensureCSR()
 	p.net = nw
 	p.n = nw.n
-	p.m = len(nw.arcs)
+	p.m = len(nw.from)
 	p.arcs = len(r.to)
 	p.s, p.t, p.required = -1, -1, 0 // per-component in p.batch instead
 	p.initCap = append(p.initCap[:0], r.capR...)

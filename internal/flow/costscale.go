@@ -21,15 +21,16 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 		return 0, nil
 	}
 	// Return arc: cheaper than any simple path's total cost, so every unit
-	// of s->t flow pays for itself.
-	var costSum int64 = 1
-	for i := 0; i < len(r.cost); i += 2 {
-		c := r.cost[i]
+	// of s->t flow pays for itself. Storage holds each cost twice (forward
+	// and negated reverse), so the absolute sum halves.
+	var absSum int64
+	for _, c := range r.cost {
 		if c < 0 {
 			c = -c
 		}
-		costSum += c
+		absSum += c
 	}
+	costSum := 1 + absSum/2
 	back := r.addPair(t, s, required, -costSum)
 	r.ensureCSR()
 
@@ -54,7 +55,7 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 	}
 	push := func(a int32, u int, amt int64) {
 		r.capR[a] -= amt
-		r.capR[a^1] += amt
+		r.capR[r.rev[a]] += amt
 		excess[u] -= amt
 		excess[r.to[a]] += amt
 		st.Pushes++
@@ -64,8 +65,7 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 		st.Phases++
 		// Saturate every negative-reduced-cost arc.
 		for u := 0; u < r.n; u++ {
-			for k := r.start[u]; k < r.start[u+1]; k++ {
-				a := r.adj[k]
+			for a := r.start[u]; a < r.start[u+1]; a++ {
 				if r.capR[a] > 0 && rc(a, u) < 0 {
 					push(a, u, r.capR[a])
 				}
@@ -86,8 +86,7 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 			inQueue[u] = false
 			for excess[u] > 0 {
 				pushed := false
-				for k := r.start[u]; k < r.start[u+1]; k++ {
-					a := r.adj[k]
+				for a := r.start[u]; a < r.start[u+1]; a++ {
 					if r.capR[a] <= 0 || rc(a, u) >= 0 {
 						continue
 					}
@@ -111,8 +110,7 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 					// admissible.
 					st.Relabels++
 					newPrice := int64(-1) << 62
-					for k := r.start[u]; k < r.start[u+1]; k++ {
-						a := r.adj[k]
+					for a := r.start[u]; a < r.start[u+1]; a++ {
 						if r.capR[a] <= 0 {
 							continue
 						}
@@ -134,7 +132,7 @@ func costScale(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, er
 	shipped := r.flowOn(back)
 	// Neutralise the return arc so the caller's flow extraction sees pure
 	// s->t flow.
-	r.capR[back] = 0
-	r.capR[back^1] = 0
+	r.capR[r.pos[back]] = 0
+	r.capR[r.pos[back^1]] = 0
 	return shipped, nil
 }

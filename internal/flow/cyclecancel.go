@@ -25,7 +25,7 @@ func cycleCancel(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, 
 		}
 		for _, a := range cyc {
 			r.capR[a] -= bottleneck
-			r.capR[a^1] += bottleneck
+			r.capR[r.rev[a]] += bottleneck
 		}
 		st.Augmentations++
 	}
@@ -66,13 +66,13 @@ func findNegativeCycle(r *residual, sc *Scratch) []int32 {
 	// Walk back n steps to land on the cycle, then collect it.
 	v := witness
 	for i := 0; i < r.n; i++ {
-		v = r.to[prevArc[v]^1]
+		v = r.tail[prevArc[v]]
 	}
 	var cyc []int32
 	for u := v; ; {
 		a := prevArc[u]
 		cyc = append(cyc, a)
-		u = r.to[a^1]
+		u = r.tail[a]
 		if u == v {
 			break
 		}

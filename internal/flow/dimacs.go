@@ -19,14 +19,14 @@ func (nw *Network) WriteDIMACS(w io.Writer, comment string) error {
 			fmt.Fprintf(bw, "c %s\n", line)
 		}
 	}
-	fmt.Fprintf(bw, "p min %d %d\n", nw.n, len(nw.arcs))
+	fmt.Fprintf(bw, "p min %d %d\n", nw.n, len(nw.from))
 	for v, b := range nw.supply {
 		if b != 0 {
 			fmt.Fprintf(bw, "n %d %d\n", v+1, b)
 		}
 	}
-	for _, a := range nw.arcs {
-		fmt.Fprintf(bw, "a %d %d %d %d %d\n", a.from+1, a.to+1, a.lower, a.cap, a.cost)
+	for i := range nw.from {
+		fmt.Fprintf(bw, "a %d %d %d %d %d\n", nw.from[i]+1, nw.to[i]+1, nw.lower[i], nw.capU[i], nw.cost[i])
 	}
 	return bw.Flush()
 }

@@ -7,20 +7,20 @@ func (nw *Network) MaxFlow(s, t int) (int64, []int64, error) {
 	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
 		return 0, nil, ErrInfeasible
 	}
-	r := newResidual(nw.n, len(nw.arcs))
-	for _, a := range nw.arcs {
-		r.addPair(a.from, a.to, a.cap, 0)
+	r := newResidual(nw.n, len(nw.from))
+	for i := range nw.from {
+		r.addPair(int(nw.from[i]), int(nw.to[i]), nw.capU[i], 0)
 	}
 	value := dinic(r, s, t, Unbounded)
-	flows := make([]int64, len(nw.arcs))
-	for i := range nw.arcs {
+	flows := make([]int64, len(nw.from))
+	for i := range nw.from {
 		flows[i] = r.flowOn(2 * i)
 	}
 	return value, flows, nil
 }
 
 // dinic pushes up to `limit` units from s to t in the residual, returning the
-// amount pushed. iter holds each node's cursor into the CSR adjacency slice.
+// amount pushed. iter holds each node's cursor into its CSR storage run.
 func dinic(r *residual, s, t int, limit int64) int64 {
 	r.ensureCSR()
 	level := make([]int32, r.n)
@@ -36,8 +36,7 @@ func dinic(r *residual, s, t int, limit int64) int64 {
 		queue = append(queue[:0], int32(s))
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
-			for k := r.start[u]; k < r.start[u+1]; k++ {
-				a := r.adj[k]
+			for a := r.start[u]; a < r.start[u+1]; a++ {
 				v := r.to[a]
 				if r.capR[a] > 0 && level[v] < 0 {
 					level[v] = level[u] + 1
@@ -65,7 +64,7 @@ func dinicDFS(r *residual, level, iter []int32, u, t int, f int64) int64 {
 		return f
 	}
 	for ; iter[u] < r.start[u+1]; iter[u]++ {
-		a := r.adj[iter[u]]
+		a := iter[u]
 		v := int(r.to[a])
 		if r.capR[a] <= 0 || level[v] != level[u]+1 {
 			continue
@@ -76,7 +75,7 @@ func dinicDFS(r *residual, level, iter []int32, u, t int, f int64) int64 {
 		}
 		if d := dinicDFS(r, level, iter, v, t, avail); d > 0 {
 			r.capR[a] -= d
-			r.capR[a^1] += d
+			r.capR[r.rev[a]] += d
 			return d
 		}
 	}

@@ -80,8 +80,11 @@ type SolveStats struct {
 	// Phases counts Dijkstra rounds (SSP), Bellman–Ford cycle searches
 	// (cycle cancelling) or ε-scaling phases (cost scaling).
 	Phases int `json:"phases"`
-	// DijkstraIters counts heap pops across all Dijkstra rounds (SSP).
+	// DijkstraIters counts queue pops across all Dijkstra rounds (SSP).
 	DijkstraIters int `json:"dijkstra_iters"`
+	// BucketPhases counts the Dijkstra rounds that ran on the Dial bucket
+	// queue instead of the binary heap (SSP; see Scratch.SetQueueMode).
+	BucketPhases int `json:"bucket_phases,omitempty"`
 	// Relabels and Pushes count push-relabel work (cost scaling).
 	Relabels int `json:"relabels"`
 	Pushes   int `json:"pushes"`
@@ -114,6 +117,9 @@ func (st SolveStats) String() string {
 	if st.Relabels > 0 || st.Pushes > 0 {
 		fmt.Fprintf(&b, " pushes=%d relabels=%d", st.Pushes, st.Relabels)
 	}
+	if st.BucketPhases > 0 {
+		fmt.Fprintf(&b, " bucket-phases=%d", st.BucketPhases)
+	}
 	if st.WarmStart {
 		fmt.Fprintf(&b, " warm=true potentials-reused=%t", st.PotentialsReused)
 	}
@@ -140,6 +146,13 @@ type Scratch struct {
 	dist    []int64
 	prevArc []int32
 	heap    payHeap
+	dial    dialQueue
+	// queueMode selects the Dijkstra priority queue (heap, Dial buckets or
+	// per-round automatic selection); keyUnit is the gcd every distance key
+	// of the current solve is a multiple of (derived from the cost vector
+	// and any carried-over potentials), the Dial bucket quantum.
+	queueMode QueueMode
+	keyUnit   int64
 	// Topological-order potential initialisation buffers (dagRelax).
 	indeg []int32
 	order []int32
@@ -154,6 +167,27 @@ type Scratch struct {
 	shipped   int64
 	lastCosts []int64
 }
+
+// QueueMode selects the priority queue the SSP Dijkstra rounds use. The
+// heap and bucket paths are byte-identical (same flows, same stats modulo
+// SolveStats.BucketPhases); the mode only trades constant factors.
+type QueueMode uint8
+
+// Queue modes accepted by Scratch.SetQueueMode.
+const (
+	// QueueAuto (the default) picks per round: the Dial bucket queue when
+	// the reduced-cost bound keeps the bucket count small, else the heap.
+	QueueAuto QueueMode = iota
+	// QueueHeap forces the binary heap.
+	QueueHeap
+	// QueueBucket prefers the Dial bucket queue, falling back to the heap
+	// only past the hard bucket-count safety valve.
+	QueueBucket
+)
+
+// SetQueueMode selects the Dijkstra queue for subsequent solves on this
+// scratch. Results are identical across modes.
+func (sc *Scratch) SetQueueMode(m QueueMode) { sc.queueMode = m }
 
 // prepared snapshots the residual topology built for one network's supply
 // configuration, so SolveWithCosts can re-solve with new costs without
@@ -186,6 +220,53 @@ type batchPrep struct {
 // NewScratch returns an empty scratch space.
 func NewScratch() *Scratch { return &Scratch{} }
 
+// NewScratchSized returns a scratch pre-sized for networks of up to nodes
+// nodes and arcs arcs (plus the solver's super source/sink and per-node super
+// arcs). All node- and arc-indexed buffers are carved out of two contiguous
+// arenas up front, so the first solve — not just re-solves — runs without
+// growing any buffer, and the hot arrays sit adjacent in memory.
+func NewScratchSized(nodes, arcs int) *Scratch {
+	if nodes < 0 || arcs < 0 {
+		panic("flow: negative scratch size")
+	}
+	n := nodes + 2          // super source/sink
+	m := 2 * (arcs + nodes) // paired residual arcs incl. super arcs
+	a64 := make([]int64, 0, 3*n+3*m)
+	a32 := make([]int32, 0, 5*n+1+6*m)
+	carve64 := func(ln int) []int64 {
+		s := a64[len(a64) : len(a64)+ln : len(a64)+ln]
+		a64 = a64[:len(a64)+ln]
+		return s[:0]
+	}
+	carve32 := func(ln int) []int32 {
+		s := a32[len(a32) : len(a32)+ln : len(a32)+ln]
+		a32 = a32[:len(a32)+ln]
+		return s[:0]
+	}
+	sc := &Scratch{}
+	sc.r = residual{
+		tail:   carve32(m),
+		to:     carve32(m),
+		capR:   carve64(m),
+		cost:   carve64(m),
+		rev:    carve32(m),
+		pos:    carve32(m),
+		perm:   carve32(m),
+		tmp32:  carve32(m),
+		tmp64:  carve64(m),
+		start:  carve32(n + 1),
+		cursor: carve32(n),
+		dirty:  true,
+	}
+	sc.b = carve64(n)
+	sc.pi = carve64(n)
+	sc.dist = carve64(n)
+	sc.prevArc = carve32(n)
+	sc.indeg = carve32(n)
+	sc.order = carve32(n)
+	return sc
+}
+
 // resetResidual prepares the scratch's residual for a network of n nodes and
 // about arcHint forward arcs, reusing previous capacity. Any prepared
 // warm-start topology is invalidated: the residual storage is about to be
@@ -196,17 +277,22 @@ func (sc *Scratch) resetResidual(n, arcHint int) *residual {
 	r := &sc.r
 	r.n = n
 	r.dirty = true
+	r.permuted = false
 	want := 2 * arcHint
 	if cap(r.to) < want {
 		r.tail = make([]int32, 0, want)
 		r.to = make([]int32, 0, want)
 		r.capR = make([]int64, 0, want)
 		r.cost = make([]int64, 0, want)
+		r.pos = make([]int32, 0, want)
+		r.rev = make([]int32, 0, want)
 	} else {
 		r.tail = r.tail[:0]
 		r.to = r.to[:0]
 		r.capR = r.capR[:0]
 		r.cost = r.cost[:0]
+		r.pos = r.pos[:0]
+		r.rev = r.rev[:0]
 	}
 	return r
 }

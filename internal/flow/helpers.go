@@ -44,17 +44,17 @@ func (nw *Network) MinCostFlowValueWith(e Engine, sc *Scratch, s, t int, value i
 // network's supplies; it returns a descriptive error on the first violation.
 // Used by tests and as a post-solve assertion in debug paths.
 func (nw *Network) CheckFeasible(sol *Solution) error {
-	if len(sol.FlowByArc) != len(nw.arcs) {
-		return fmt.Errorf("flow: solution has %d arcs, network has %d", len(sol.FlowByArc), len(nw.arcs))
+	if len(sol.FlowByArc) != len(nw.from) {
+		return fmt.Errorf("flow: solution has %d arcs, network has %d", len(sol.FlowByArc), len(nw.from))
 	}
 	net := make([]int64, nw.n)
-	for i, a := range nw.arcs {
+	for i := range nw.from {
 		f := sol.FlowByArc[i]
-		if f < a.lower || f > a.cap {
-			return fmt.Errorf("flow: arc %d (%d->%d) flow %d outside [%d,%d]", i, a.from, a.to, f, a.lower, a.cap)
+		if f < nw.lower[i] || f > nw.capU[i] {
+			return fmt.Errorf("flow: arc %d (%d->%d) flow %d outside [%d,%d]", i, nw.from[i], nw.to[i], f, nw.lower[i], nw.capU[i])
 		}
-		net[a.from] += f
-		net[a.to] -= f
+		net[nw.from[i]] += f
+		net[nw.to[i]] -= f
 	}
 	for v := 0; v < nw.n; v++ {
 		if net[v] != nw.supply[v] {
@@ -62,8 +62,8 @@ func (nw *Network) CheckFeasible(sol *Solution) error {
 		}
 	}
 	var cost int64
-	for i, a := range nw.arcs {
-		cost += sol.FlowByArc[i] * a.cost
+	for i := range nw.from {
+		cost += sol.FlowByArc[i] * nw.cost[i]
 	}
 	if cost != sol.Cost {
 		return fmt.Errorf("flow: recomputed cost %d != reported %d", cost, sol.Cost)
@@ -85,13 +85,13 @@ func (nw *Network) FeasibleFlow() (*Solution, error) {
 	}
 	b := make([]int64, nw.n)
 	copy(b, nw.supply)
-	r := newResidual(nw.n, len(nw.arcs)+nw.n)
-	for _, a := range nw.arcs {
-		if a.lower > 0 {
-			b[a.from] -= a.lower
-			b[a.to] += a.lower
+	r := newResidual(nw.n, len(nw.from)+nw.n)
+	for i := range nw.from {
+		if nw.lower[i] > 0 {
+			b[nw.from[i]] -= nw.lower[i]
+			b[nw.to[i]] += nw.lower[i]
 		}
-		r.addPair(a.from, a.to, a.cap-a.lower, 0)
+		r.addPair(int(nw.from[i]), int(nw.to[i]), nw.capU[i]-nw.lower[i], 0)
 	}
 	s := r.addNode()
 	t := r.addNode()
@@ -108,11 +108,11 @@ func (nw *Network) FeasibleFlow() (*Solution, error) {
 	if dinic(r, s, t, required) < required {
 		return nil, ErrInfeasible
 	}
-	sol := &Solution{FlowByArc: make([]int64, len(nw.arcs))}
-	for i, a := range nw.arcs {
-		f := a.lower + r.flowOn(2*i)
+	sol := &Solution{FlowByArc: make([]int64, len(nw.from))}
+	for i := range nw.from {
+		f := nw.lower[i] + r.flowOn(2*i)
 		sol.FlowByArc[i] = f
-		sol.Cost += f * a.cost
+		sol.Cost += f * nw.cost[i]
 	}
 	return sol, nil
 }

@@ -23,19 +23,18 @@ import (
 // ArcID identifies an arc added to a Network.
 type ArcID int
 
-// arc is a user-level arc (not yet in residual form).
-type arc struct {
-	from, to   int
-	lower, cap int64
-	cost       int64
-}
-
-// Network is a directed flow network under construction. The zero value is
-// not usable; create one with NewNetwork.
+// Network is a directed flow network under construction. Arc fields are kept
+// in parallel (structure-of-arrays) slices so that bulk operations — cost
+// vector installs, batch emission (AppendNetwork), residual construction —
+// stream contiguous memory per field. The zero value is not usable; create
+// one with NewNetwork.
 type Network struct {
-	n      int
-	arcs   []arc
-	supply []int64
+	n int
+	// Parallel per-arc storage, indexed by ArcID.
+	from, to    []int32
+	lower, capU []int64
+	cost        []int64
+	supply      []int64
 }
 
 // Unbounded is a convenience capacity treated as "effectively infinite".
@@ -62,24 +61,28 @@ func NewNetwork(n int) *Network {
 
 // NewNetworkSized returns an empty network with n nodes and capacity for
 // exactly arcs arcs, so construction code that precomputes its arc count
-// never regrows the arc slice.
+// never regrows the arc slices.
 func NewNetworkSized(n, arcs int) *Network {
 	nw := NewNetwork(n)
 	if arcs > 0 {
-		nw.arcs = make([]arc, 0, arcs)
+		nw.from = make([]int32, 0, arcs)
+		nw.to = make([]int32, 0, arcs)
+		nw.lower = make([]int64, 0, arcs)
+		nw.capU = make([]int64, 0, arcs)
+		nw.cost = make([]int64, 0, arcs)
 	}
 	return nw
 }
 
 // ArcCapacity reports the current capacity of the arc storage; exposed so
 // tests can assert that presized construction never regrew it.
-func (nw *Network) ArcCapacity() int { return cap(nw.arcs) }
+func (nw *Network) ArcCapacity() int { return cap(nw.from) }
 
 // N reports the number of nodes.
 func (nw *Network) N() int { return nw.n }
 
 // M reports the number of arcs.
-func (nw *Network) M() int { return len(nw.arcs) }
+func (nw *Network) M() int { return len(nw.from) }
 
 // AddNode appends a node and returns its ID.
 func (nw *Network) AddNode() int {
@@ -100,8 +103,12 @@ func (nw *Network) AddArc(from, to int, lower, capacity, cost int64) (ArcID, err
 	if capacity < lower {
 		return -1, fmt.Errorf("flow: arc %d->%d has capacity %d below lower bound %d", from, to, capacity, lower)
 	}
-	nw.arcs = append(nw.arcs, arc{from, to, lower, capacity, cost})
-	return ArcID(len(nw.arcs) - 1), nil
+	nw.from = append(nw.from, int32(from))
+	nw.to = append(nw.to, int32(to))
+	nw.lower = append(nw.lower, lower)
+	nw.capU = append(nw.capU, capacity)
+	nw.cost = append(nw.cost, cost)
+	return ArcID(len(nw.from) - 1), nil
 }
 
 // MustArc is AddArc that panics on error; for use with statically valid
@@ -112,6 +119,41 @@ func (nw *Network) MustArc(from, to int, lower, capacity, cost int64) ArcID {
 		panic(err)
 	}
 	return id
+}
+
+// AppendNetwork replays every arc and non-zero supply of src into nw with
+// node IDs shifted by nodeOffset, overriding arc costs to zero when zeroCosts
+// is set (the batch-emission convention: batch solves price arcs through an
+// explicit cost vector). It is the bulk SoA path behind netbuild's batch
+// super-network construction — five slice copies plus an offset fixup instead
+// of a per-arc AddArc loop. The appended arcs keep src's ArcID order,
+// starting at the returned base ArcID.
+func (nw *Network) AppendNetwork(src *Network, nodeOffset int, zeroCosts bool) (ArcID, error) {
+	if nodeOffset < 0 || nodeOffset+src.n > nw.n {
+		return -1, fmt.Errorf("flow: node offset %d puts %d nodes outside [0,%d)", nodeOffset, src.n, nw.n)
+	}
+	base := ArcID(len(nw.from))
+	nw.from = append(nw.from, src.from...)
+	nw.to = append(nw.to, src.to...)
+	for i := int(base); i < len(nw.from); i++ {
+		nw.from[i] += int32(nodeOffset)
+		nw.to[i] += int32(nodeOffset)
+	}
+	nw.lower = append(nw.lower, src.lower...)
+	nw.capU = append(nw.capU, src.capU...)
+	if zeroCosts {
+		for range src.cost {
+			nw.cost = append(nw.cost, 0)
+		}
+	} else {
+		nw.cost = append(nw.cost, src.cost...)
+	}
+	for v, b := range src.supply {
+		if b != 0 {
+			nw.supply[nodeOffset+v] += b
+		}
+	}
+	return base, nil
 }
 
 // SetSupply sets node v's imbalance: positive for supply, negative for
@@ -145,8 +187,7 @@ func (nw *Network) Supply(v int) int64 {
 
 // Arc returns the endpoints, bounds and cost of arc id.
 func (nw *Network) Arc(id ArcID) (from, to int, lower, capacity, cost int64) {
-	a := nw.arcs[id]
-	return a.from, a.to, a.lower, a.cap, a.cost
+	return int(nw.from[id]), int(nw.to[id]), nw.lower[id], nw.capU[id], nw.cost[id]
 }
 
 // Solution holds the result of a min-cost flow solve.
@@ -165,34 +206,49 @@ type Solution struct {
 func (s *Solution) Flow(id ArcID) int64 { return s.FlowByArc[id] }
 
 // residual is the paired-arc residual representation shared by the solvers.
-// Arc 2i is the forward copy of user arc i (after lower-bound reduction when
-// applicable) and arc 2i+1 its reverse. Extra arcs (super source/sink) follow.
+// Raw arc index 2i is the forward copy of user arc i (after lower-bound
+// reduction when applicable) and 2i+1 its reverse; extra arcs (super
+// source/sink) follow.
 //
-// Adjacency is stored in CSR (compressed sparse row) form: adj holds the arc
-// indices grouped by tail node, and start[v]..start[v+1] delimits node v's
-// slice of it, so the Dijkstra/relaxation inner loops walk contiguous memory
-// instead of chasing a linked list. ensureCSR (re)builds the index after any
-// structural change; capacity and cost mutations never invalidate it.
+// Storage is structure-of-arrays and, after ensureCSR, physically permuted
+// into CSR order: arcs grouped by tail node (start[v]..start[v+1] delimits
+// node v's contiguous run), stable in raw-index order within a node. The
+// solver inner loops therefore stream tail/to/capR/cost contiguously with no
+// adjacency indirection at all. pos maps raw arc indices to storage
+// positions (for cost installs, flow extraction and super-arc patching) and
+// rev links each storage position to its paired reverse arc's position —
+// the SoA replacement for the former idx^1 trick.
 type residual struct {
 	n    int
-	tail []int32 // tail[a] = tail node of arc a
+	tail []int32 // tail[p] = tail node of the arc stored at p
 	to   []int32
 	capR []int64 // remaining capacity
 	cost []int64
-	// CSR adjacency index, valid while dirty is false.
-	start []int32 // len n+1; start[v] = first position of node v in adj
-	adj   []int32 // arc indices sorted by tail, stable in insertion order
-	pos   []int32 // scatter cursors, scratch for ensureCSR
-	dirty bool
+	rev  []int32 // rev[p] = storage position of p's paired reverse arc
+	pos  []int32 // pos[i] = storage position of raw arc index i
+	// CSR index, valid while dirty is false.
+	start []int32 // len n+1; start[v] = first storage position of node v
+	// ensureCSR / raw-order restore scratch.
+	cursor []int32
+	perm   []int32
+	tmp32  []int32
+	tmp64  []int64
+	dirty  bool
+	// permuted marks that storage order differs (or may differ) from raw
+	// order; truncate must gather back to raw order before shedding arcs.
+	permuted bool
 }
 
 func newResidual(n, arcHint int) *residual {
+	w := 2 * arcHint
 	return &residual{
 		n:     n,
-		tail:  make([]int32, 0, 2*arcHint),
-		to:    make([]int32, 0, 2*arcHint),
-		capR:  make([]int64, 0, 2*arcHint),
-		cost:  make([]int64, 0, 2*arcHint),
+		tail:  make([]int32, 0, w),
+		to:    make([]int32, 0, w),
+		capR:  make([]int64, 0, w),
+		cost:  make([]int64, 0, w),
+		rev:   make([]int32, 0, w),
+		pos:   make([]int32, 0, w),
 		dirty: true,
 	}
 }
@@ -205,33 +261,82 @@ func (r *residual) addNode() int {
 }
 
 // addPair appends a forward arc u->v (cap c, cost w) and its zero-capacity
-// reverse, returning the forward arc's index.
+// reverse, returning the forward arc's raw index. New arcs land at the end of
+// storage, so pos and rev stay valid even before the next ensureCSR.
 func (r *residual) addPair(u, v int, c, w int64) int {
 	idx := len(r.to)
 	r.tail = append(r.tail, int32(u), int32(v))
 	r.to = append(r.to, int32(v), int32(u))
 	r.capR = append(r.capR, c, 0)
 	r.cost = append(r.cost, w, -w)
+	r.pos = append(r.pos, int32(idx), int32(idx+1))
+	r.rev = append(r.rev, int32(idx+1), int32(idx))
 	r.dirty = true
 	return idx
 }
 
 // truncate drops arcs appended after the first m, marking the CSR index
 // stale when anything was removed (the warm-start reset uses this to shed a
-// cost-scaling return arc left over from a previous solve).
+// cost-scaling return arc left over from a previous solve). Storage is
+// gathered back to raw order first so the surviving prefix is exactly raw
+// arcs [0, m).
 func (r *residual) truncate(m int) {
 	if len(r.to) == m {
 		return
+	}
+	if r.permuted {
+		r.restoreRawOrder()
 	}
 	r.tail = r.tail[:m]
 	r.to = r.to[:m]
 	r.capR = r.capR[:m]
 	r.cost = r.cost[:m]
+	r.pos = r.pos[:m]
+	r.rev = r.rev[:m]
 	r.dirty = true
 }
 
-// ensureCSR rebuilds the CSR adjacency index if arcs or nodes changed since
-// the last build. Counting sort by tail, stable in arc-index order: O(V+E).
+// restoreRawOrder gathers storage back into raw arc-index order (the inverse
+// of the CSR permutation), after which pos is the identity and rev the plain
+// pair linkage. Cold-path only: warm re-solves never leave CSR order.
+func (r *residual) restoreRawOrder() {
+	m := len(r.to)
+	r.tmp32 = grow32(r.tmp32, m)
+	r.tmp64 = grow64(r.tmp64, m)
+	gather32 := func(dst []int32) {
+		for i := 0; i < m; i++ {
+			r.tmp32[i] = dst[r.pos[i]]
+		}
+		copy(dst, r.tmp32)
+	}
+	gather64 := func(dst []int64) {
+		for i := 0; i < m; i++ {
+			r.tmp64[i] = dst[r.pos[i]]
+		}
+		copy(dst, r.tmp64)
+	}
+	gather32(r.tail)
+	gather32(r.to)
+	gather64(r.capR)
+	gather64(r.cost)
+	for i := 0; i < m; i++ {
+		r.pos[i] = int32(i)
+	}
+	for i := 0; i+1 < m; i += 2 {
+		r.rev[i] = int32(i + 1)
+		r.rev[i+1] = int32(i)
+	}
+	r.permuted = false
+	r.dirty = true
+}
+
+// ensureCSR (re)builds the CSR layout if arcs or nodes changed since the last
+// build: a stable counting sort by tail node physically permutes the SoA
+// storage into CSR order and remaps pos/rev accordingly — O(V+E). Stability
+// is in raw arc-index order (appended arcs sit at the end of storage and
+// earlier permutations preserve within-node raw order), so each node's arc
+// iteration order is identical to the pre-SoA adjacency-list layout and
+// solver behaviour is bit-for-bit unchanged.
 func (r *residual) ensureCSR() {
 	if !r.dirty && len(r.start) == r.n+1 {
 		return
@@ -251,27 +356,54 @@ func (r *residual) ensureCSR() {
 	for v := 0; v < r.n; v++ {
 		r.start[v+1] += r.start[v]
 	}
-	if cap(r.adj) < m {
-		r.adj = make([]int32, m)
-	} else {
-		r.adj = r.adj[:m]
+	r.perm = grow32(r.perm, m)
+	r.cursor = grow32(r.cursor, r.n)
+	copy(r.cursor, r.start[:r.n])
+	identity := true
+	for p := 0; p < m; p++ {
+		u := r.tail[p]
+		np := r.cursor[u]
+		r.cursor[u] = np + 1
+		r.perm[p] = np
+		if int(np) != p {
+			identity = false
+		}
 	}
-	if cap(r.pos) < r.n {
-		r.pos = make([]int32, r.n)
-	} else {
-		r.pos = r.pos[:r.n]
-	}
-	copy(r.pos, r.start[:r.n])
-	for a, u := range r.tail {
-		r.adj[r.pos[u]] = int32(a)
-		r.pos[u]++
+	if !identity {
+		r.tmp32 = grow32(r.tmp32, m)
+		r.tmp64 = grow64(r.tmp64, m)
+		scatter32 := func(dst []int32) {
+			for p := 0; p < m; p++ {
+				r.tmp32[r.perm[p]] = dst[p]
+			}
+			copy(dst, r.tmp32)
+		}
+		scatter64 := func(dst []int64) {
+			for p := 0; p < m; p++ {
+				r.tmp64[r.perm[p]] = dst[p]
+			}
+			copy(dst, r.tmp64)
+		}
+		scatter32(r.tail)
+		scatter32(r.to)
+		scatter64(r.capR)
+		scatter64(r.cost)
+		for i := range r.pos {
+			r.pos[i] = r.perm[r.pos[i]]
+		}
+		for i := 0; i+1 < len(r.pos); i += 2 {
+			p, q := r.pos[i], r.pos[i+1]
+			r.rev[p] = q
+			r.rev[q] = p
+		}
+		r.permuted = true
 	}
 	r.dirty = false
 }
 
-// flowOn reports the flow pushed through forward arc idx (== capacity of its
-// reverse arc).
-func (r *residual) flowOn(idx int) int64 { return r.capR[idx^1] }
+// flowOn reports the flow pushed through forward raw arc idx (== capacity of
+// its reverse arc).
+func (r *residual) flowOn(idx int) int64 { return r.capR[r.pos[idx^1]] }
 
 // Stats summarises a network's shape for diagnostics and benchmarks.
 type Stats struct {
@@ -283,12 +415,12 @@ type Stats struct {
 
 // Stats computes the network's shape summary.
 func (nw *Network) Stats() Stats {
-	st := Stats{Nodes: nw.n, Arcs: len(nw.arcs)}
-	for _, a := range nw.arcs {
-		if a.lower > 0 {
+	st := Stats{Nodes: nw.n, Arcs: len(nw.from)}
+	for i := range nw.from {
+		if nw.lower[i] > 0 {
 			st.LowerBounded++
 		}
-		if a.cost < 0 {
+		if nw.cost[i] < 0 {
 			st.NegativeCosts++
 		}
 	}

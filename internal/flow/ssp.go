@@ -40,13 +40,13 @@ func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, 
 	sc.b = grow64(sc.b, nw.n)
 	b := sc.b
 	copy(b, nw.supply)
-	r := sc.resetResidual(nw.n, len(nw.arcs)+nw.n)
-	for _, a := range nw.arcs {
-		if a.lower > 0 {
-			b[a.from] -= a.lower
-			b[a.to] += a.lower
+	r := sc.resetResidual(nw.n, len(nw.from)+nw.n)
+	for i := range nw.from {
+		if nw.lower[i] > 0 {
+			b[nw.from[i]] -= nw.lower[i]
+			b[nw.to[i]] += nw.lower[i]
 		}
-		r.addPair(a.from, a.to, a.cap-a.lower, a.cost)
+		r.addPair(int(nw.from[i]), int(nw.to[i]), nw.capU[i]-nw.lower[i], nw.cost[i])
 	}
 
 	// Super source/sink absorb the imbalances.
@@ -62,6 +62,7 @@ func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, 
 			r.addPair(v, t, -b[v], 0)
 		}
 	}
+	sc.keyUnit = gcdSlice(r.cost)
 
 	pushed, err := e.run(sc, s, t, required, st)
 	if err != nil {
@@ -71,11 +72,11 @@ func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, 
 		return nil, ErrInfeasible
 	}
 
-	sol := &Solution{FlowByArc: make([]int64, len(nw.arcs))}
-	for i, a := range nw.arcs {
-		f := a.lower + r.flowOn(2*i)
+	sol := &Solution{FlowByArc: make([]int64, len(nw.from))}
+	for i := range nw.from {
+		f := nw.lower[i] + r.flowOn(2*i)
 		sol.FlowByArc[i] = f
-		sol.Cost += f * a.cost
+		sol.Cost += f * nw.cost[i]
 	}
 	sol.Augmentations = st.Augmentations
 	return sol, nil
@@ -139,13 +140,13 @@ func sspRange(sc *Scratch, lo, hi, s, t int, required int64, st *SolveStats) (in
 			if r.capR[a] < bottleneck {
 				bottleneck = r.capR[a]
 			}
-			v = int(r.to[a^1])
+			v = int(r.tail[a])
 		}
 		for v := t; v != s; {
 			a := prevArc[v]
 			r.capR[a] -= bottleneck
-			r.capR[a^1] += bottleneck
-			v = int(r.to[a^1])
+			r.capR[r.rev[a]] += bottleneck
+			v = int(r.tail[a])
 		}
 		shipped += bottleneck
 		st.Augmentations++
@@ -186,8 +187,7 @@ func dagRelax(r *residual, lo, hi int, sc *Scratch, dist []int64) bool {
 		indeg[v] = 0
 	}
 	for u := lo; u < hi; u++ {
-		for k := r.start[u]; k < r.start[u+1]; k++ {
-			a := r.adj[k]
+		for a := int(r.start[u]); a < int(r.start[u+1]); a++ {
 			if r.capR[a] > 0 {
 				indeg[r.to[a]]++
 			}
@@ -207,8 +207,7 @@ func dagRelax(r *residual, lo, hi int, sc *Scratch, dist []int64) bool {
 		u := int(q[qi])
 		processed++
 		du := dist[u]
-		for k := r.start[u]; k < r.start[u+1]; k++ {
-			a := r.adj[k]
+		for a := int(r.start[u]); a < int(r.start[u+1]); a++ {
 			if r.capR[a] <= 0 {
 				continue
 			}
@@ -281,8 +280,7 @@ func bellmanFord(r *residual, lo, hi, s int, dist []int64) ([]int64, error) {
 			if du >= infCost {
 				continue
 			}
-			for k := r.start[u]; k < r.start[u+1]; k++ {
-				a := r.adj[k]
+			for a := int(r.start[u]); a < int(r.start[u+1]); a++ {
 				if r.capR[a] <= 0 {
 					continue
 				}
@@ -301,18 +299,98 @@ func bellmanFord(r *residual, lo, hi, s int, dist []int64) ([]int64, error) {
 	}
 }
 
+// Dial bucket-queue sizing. dialAutoBuckets bounds the bucket count the
+// automatic queue selection accepts (≈32 KiB of bucket heads, L1/L2
+// resident); dialMaxBuckets is the hard safety valve even under a forced
+// QueueBucket — beyond it the round falls back to the heap rather than grow
+// unbounded bucket arrays.
+const (
+	dialAutoBuckets = int64(4096)
+	dialMaxBuckets  = int64(1) << 20
+)
+
 // dijkstra computes reduced-cost shortest paths from s over the nodes
 // [lo, hi), filling dist and prevArc for that range. Reports whether any node
-// was reached (always true: s itself).
+// was reached (always true: s itself). Per round it selects between the
+// binary heap and a Dial bucket queue: when the largest reduced cost in the
+// range bounds every tentative distance below a small bucket count, the
+// bucket queue pops in O(1) with no sift traffic. Both queues order entries
+// by (distance, push sequence), so the pop sequence — and therefore every
+// relaxation, counter and resulting flow — is byte-identical either way.
 func dijkstra(r *residual, lo, hi, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats) bool {
 	for v := lo; v < hi; v++ {
 		dist[v] = infCost
 		prevArc[v] = -1
 	}
 	dist[s] = 0
+	if unit, buckets := dialBuckets(r, lo, hi, pi, sc); buckets >= 0 {
+		st.BucketPhases++
+		dijkstraDial(r, s, pi, dist, prevArc, sc, st, unit, buckets)
+	} else {
+		dijkstraHeap(r, s, pi, dist, prevArc, sc, st)
+	}
+	return true
+}
+
+// dialBuckets decides this round's queue. It returns buckets >= 0 (and the
+// key quantum) to run the Dial queue with that many buckets, or -1 to use the
+// heap. The bound is exact: every key is a multiple of the scratch's key
+// quantum (costs and carried potentials share it, see Scratch.keyUnit), and
+// every pushed key is a settled distance (a simple path of at most hi-lo-1
+// reduced costs, each at most the scanned maximum) plus one more arc. The
+// O(E) scan only runs when bucket mode is possible; a forced QueueHeap skips
+// it entirely.
+func dialBuckets(r *residual, lo, hi int, pi []int64, sc *Scratch) (unit, buckets int64) {
+	if sc.queueMode == QueueHeap {
+		return 1, -1
+	}
+	unit = sc.keyUnit
+	if unit <= 0 {
+		unit = 1
+	}
+	var maxRC int64
+	for u := lo; u < hi; u++ {
+		pu := pi[u]
+		if pu >= infCost {
+			continue
+		}
+		for a := int(r.start[u]); a < int(r.start[u+1]); a++ {
+			if r.capR[a] <= 0 {
+				continue
+			}
+			v := r.to[a]
+			if pi[v] >= infCost {
+				continue
+			}
+			if rc := r.cost[a] + pu - pi[v]; rc > maxRC {
+				maxRC = rc
+			}
+		}
+	}
+	limit := dialAutoBuckets
+	if sc.queueMode == QueueBucket {
+		limit = dialMaxBuckets
+	}
+	mq := maxRC / unit
+	if mq > limit {
+		return unit, -1
+	}
+	buckets = int64(hi-lo)*mq + 1
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > limit {
+		return unit, -1
+	}
+	return unit, buckets
+}
+
+// dijkstraHeap is the binary-heap Dijkstra round.
+func dijkstraHeap(r *residual, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats) {
 	h := &sc.heap
 	h.a = h.a[:0]
-	h.push(heapItem{0, int32(s)})
+	seq := int32(0)
+	h.push(heapItem{0, 0, int32(s)})
 	for h.len() > 0 {
 		it := h.pop()
 		st.DijkstraIters++
@@ -320,8 +398,7 @@ func dijkstra(r *residual, lo, hi, s int, pi, dist []int64, prevArc []int32, sc 
 		if it.dist > dist[u] {
 			continue // stale entry
 		}
-		for k := r.start[u]; k < r.start[u+1]; k++ {
-			a := r.adj[k]
+		for a := int(r.start[u]); a < int(r.start[u+1]); a++ {
 			if r.capR[a] <= 0 {
 				continue
 			}
@@ -334,20 +411,64 @@ func dijkstra(r *residual, lo, hi, s int, pi, dist []int64, prevArc []int32, sc 
 			rc := it.dist + r.cost[a] + pi[u] - pi[v]
 			if rc < dist[v] {
 				dist[v] = rc
-				prevArc[v] = a
-				h.push(heapItem{rc, int32(v)})
+				prevArc[v] = int32(a)
+				seq++
+				h.push(heapItem{rc, seq, int32(v)})
 			}
 		}
 	}
-	return true
 }
 
+// dijkstraDial is the Dial bucket-queue Dijkstra round: buckets indexed by
+// distance/unit, FIFO within a bucket. Settled keys never decrease, so the
+// current-bucket cursor only moves forward; the queue drains completely every
+// round, which resets all touched buckets to empty as a side effect (the
+// arrays never need clearing between rounds or solves).
+func dijkstraDial(r *residual, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats, unit, buckets int64) {
+	q := &sc.dial
+	q.reset(buckets)
+	q.push(0, 0, int32(s))
+	for q.size > 0 {
+		du, u32 := q.pop()
+		st.DijkstraIters++
+		u := int(u32)
+		if du > dist[u] {
+			continue // stale entry
+		}
+		for a := int(r.start[u]); a < int(r.start[u+1]); a++ {
+			if r.capR[a] <= 0 {
+				continue
+			}
+			v := int(r.to[a])
+			if pi[v] >= infCost {
+				continue
+			}
+			rc := du + r.cost[a] + pi[u] - pi[v]
+			if rc < dist[v] {
+				dist[v] = rc
+				prevArc[v] = int32(a)
+				q.push(rc/unit, rc, int32(v))
+			}
+		}
+	}
+}
+
+// heapItem is one queue entry: tentative distance, push sequence number and
+// node. The sequence number makes the ordering a strict total order, which
+// pins heap pops to exactly the Dial queue's FIFO-within-bucket order.
 type heapItem struct {
 	dist int64
+	seq  int32
 	node int32
 }
 
-// payHeap is a binary min-heap of (dist, node) with lazy deletion.
+// less orders entries by (dist, -seq) — newest first among equal distances —
+// the shared total order of both queues.
+func (x heapItem) less(y heapItem) bool {
+	return x.dist < y.dist || (x.dist == y.dist && x.seq > y.seq)
+}
+
+// payHeap is a binary min-heap of (dist, seq, node) with lazy deletion.
 type payHeap struct{ a []heapItem }
 
 func (h *payHeap) len() int { return len(h.a) }
@@ -357,7 +478,7 @@ func (h *payHeap) push(x heapItem) {
 	i := len(h.a) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.a[p].dist <= h.a[i].dist {
+		if !h.a[i].less(h.a[p]) {
 			break
 		}
 		h.a[p], h.a[i] = h.a[i], h.a[p]
@@ -374,10 +495,10 @@ func (h *payHeap) pop() heapItem {
 	for {
 		l, rr := 2*i+1, 2*i+2
 		small := i
-		if l < len(h.a) && h.a[l].dist < h.a[small].dist {
+		if l < len(h.a) && h.a[l].less(h.a[small]) {
 			small = l
 		}
-		if rr < len(h.a) && h.a[rr].dist < h.a[small].dist {
+		if rr < len(h.a) && h.a[rr].less(h.a[small]) {
 			small = rr
 		}
 		if small == i {
@@ -387,4 +508,95 @@ func (h *payHeap) pop() heapItem {
 		i = small
 	}
 	return top
+}
+
+// dialQueue is a Dial bucket queue: head/tailq hold per-bucket intrusive FIFO
+// lists over an entry arena (key/node/next). All storage is grow-only scratch;
+// a fully drained round leaves every bucket empty, so reset only has to
+// rewind the arena and (on first growth) initialise new buckets to empty.
+type dialQueue struct {
+	head  []int32 // first arena entry per bucket, -1 when empty
+	tailq []int32 // last arena entry per bucket, -1 when empty
+	key   []int64 // entry arena: tentative distance
+	node  []int32 // entry arena: node
+	next  []int32 // entry arena: next entry in the same bucket, -1 at the tail
+	cur   int64   // current bucket cursor (keys are monotone non-decreasing)
+	size  int     // live entries
+}
+
+// reset prepares the queue for a round needing the given bucket count.
+func (q *dialQueue) reset(buckets int64) {
+	if int64(len(q.head)) < buckets {
+		old := len(q.head)
+		if int64(cap(q.head)) < buckets {
+			old = 0 // grow32 reallocates without copying; re-init everything
+		}
+		q.head = grow32(q.head, int(buckets))
+		q.tailq = grow32(q.tailq, int(buckets))
+		for i := old; i < int(buckets); i++ {
+			q.head[i] = -1
+			q.tailq[i] = -1
+		}
+	}
+	q.key = q.key[:0]
+	q.node = q.node[:0]
+	q.next = q.next[:0]
+	q.cur = 0
+	q.size = 0
+}
+
+// push prepends an entry with the given key to bucket idx's LIFO head —
+// matching the heap's newest-first order among equal distances.
+func (q *dialQueue) push(idx int64, key int64, node int32) {
+	e := int32(len(q.key))
+	q.key = append(q.key, key)
+	q.node = append(q.node, node)
+	q.next = append(q.next, q.head[idx])
+	if q.tailq[idx] < 0 {
+		q.tailq[idx] = e
+	}
+	q.head[idx] = e
+	q.size++
+}
+
+// pop removes and returns the oldest entry of the lowest non-empty bucket.
+func (q *dialQueue) pop() (int64, int32) {
+	for q.head[q.cur] < 0 {
+		q.cur++
+	}
+	e := q.head[q.cur]
+	n := q.next[e]
+	q.head[q.cur] = n
+	if n < 0 {
+		q.tailq[q.cur] = -1
+	}
+	q.size--
+	return q.key[e], q.node[e]
+}
+
+// gcd64 returns the non-negative greatest common divisor of a and b.
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// gcdSlice returns the gcd of all entries (0 when all are zero): the key
+// quantum of any distance derived from these values.
+func gcdSlice(xs []int64) int64 {
+	var g int64
+	for _, x := range xs {
+		g = gcd64(g, x)
+		if g == 1 {
+			return 1
+		}
+	}
+	return g
 }

@@ -20,19 +20,39 @@ import (
 // Any cold solve on the same scratch invalidates the prepared topology; the
 // next SolveWithCosts transparently re-prepares. A nil engine selects SSP,
 // a nil scratch allocates fresh storage (legal but pointless — warm starts
-// need a retained scratch).
+// need a retained scratch). Callers on the hot path should prefer
+// SolveWithCostsInto, which reuses caller-owned result storage and performs
+// zero allocations on warm re-solves.
 func (nw *Network) SolveWithCosts(e Engine, costs []int64, sc *Scratch) (*Solution, *SolveStats, error) {
+	sol, st := &Solution{}, &SolveStats{}
+	if err := nw.SolveWithCostsInto(e, costs, sc, sol, st); err != nil {
+		return nil, st, err
+	}
+	return sol, st, nil
+}
+
+// SolveWithCostsInto is SolveWithCosts writing the solution and stats into
+// caller-owned storage instead of allocating them: sol's flow slice is
+// reused (grown only when too small) and st is overwritten wholesale. On the
+// warm path — prepared topology hit, any engine queue — the entire solve
+// performs zero heap allocations.
+func (nw *Network) SolveWithCostsInto(e Engine, costs []int64, sc *Scratch, sol *Solution, st *SolveStats) error {
 	if e == nil {
 		e = SSP
 	}
 	if sc == nil {
 		sc = NewScratch()
 	}
-	st := &SolveStats{Engine: e.Name()}
+	resetStats(st, e.Name())
 	start := time.Now()
-	sol, err := nw.solveWithCosts(e, costs, sc, st)
+	err := nw.solveWithCosts(e, costs, sc, sol, st)
 	st.Duration = time.Since(start)
-	return sol, st, err
+	return err
+}
+
+// resetStats rewinds st to a fresh solve record for the named engine.
+func resetStats(st *SolveStats, engine string) {
+	*st = SolveStats{Engine: engine}
 }
 
 // MinCostFlowValueWithCosts is SolveWithCosts for a flow of exactly value
@@ -42,11 +62,21 @@ func (nw *Network) SolveWithCosts(e Engine, costs []int64, sc *Scratch) (*Soluti
 // capacities in the prepared snapshot (patchSupplies) and still counts as a
 // warm start — only a sign flip in a node's imbalance forces a re-prepare.
 func (nw *Network) MinCostFlowValueWithCosts(e Engine, costs []int64, sc *Scratch, s, t int, value int64) (*Solution, *SolveStats, error) {
+	sol, st := &Solution{}, &SolveStats{}
+	if err := nw.MinCostFlowValueWithCostsInto(e, costs, sc, s, t, value, sol, st); err != nil {
+		return nil, st, err
+	}
+	return sol, st, nil
+}
+
+// MinCostFlowValueWithCostsInto is MinCostFlowValueWithCosts writing into
+// caller-owned sol and st, the zero-allocation warm path for value solves.
+func (nw *Network) MinCostFlowValueWithCostsInto(e Engine, costs []int64, sc *Scratch, s, t int, value int64, sol *Solution, st *SolveStats) error {
 	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
-		return nil, nil, fmt.Errorf("flow: endpoint out of range")
+		return fmt.Errorf("flow: endpoint out of range")
 	}
 	if value < 0 {
-		return nil, nil, fmt.Errorf("flow: negative flow value %d", value)
+		return fmt.Errorf("flow: negative flow value %d", value)
 	}
 	nw.supply[s] += value
 	nw.supply[t] -= value
@@ -54,12 +84,12 @@ func (nw *Network) MinCostFlowValueWithCosts(e Engine, costs []int64, sc *Scratc
 		nw.supply[s] -= value
 		nw.supply[t] += value
 	}()
-	return nw.SolveWithCosts(e, costs, sc)
+	return nw.SolveWithCostsInto(e, costs, sc, sol, st)
 }
 
-func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, st *SolveStats) (*Solution, error) {
-	if len(costs) != len(nw.arcs) {
-		return nil, fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.arcs))
+func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, sol *Solution, st *SolveStats) error {
+	if len(costs) != len(nw.from) {
+		return fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.from))
 	}
 	incremental := false
 	if sc.preparedFor(nw) {
@@ -82,7 +112,7 @@ func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, st *Solv
 		incremental = grew && sc.solved && e == SSP &&
 			len(sc.r.to) == sc.prep.arcs && costsEqual(sc.lastCosts, costs)
 	} else if err := sc.prepare(nw); err != nil {
-		return nil, err
+		return err
 	}
 	sc.solved = false
 
@@ -97,32 +127,39 @@ func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, st *Solv
 			base = sc.shipped
 			sc.warmPi = true
 			st.Incremental = true
+			// Repair relaxes potentials by sums of unchanged costs, so the
+			// previous solve's key quantum still divides everything.
+			sc.keyUnit = gcd64(sc.keyUnit, gcdSlice(costs))
 		} else {
 			incremental = false
 		}
 	}
 	if !incremental {
 		r = sc.restoreResidual()
-		// Install the cost vector on the forward/reverse arc pairs; the
-		// extra super source/sink arcs keep their constant zero cost.
-		for i, c := range costs {
-			r.cost[2*i] = c
-			r.cost[2*i+1] = -c
-		}
+		sc.installCosts(costs)
 		// Carry over node potentials when they remain valid: every arc with
 		// residual capacity must have non-negative reduced cost, the
 		// invariant the SSP engine maintains. O(E) to check, and any
 		// potential vector that passes is a correct starting point
 		// regardless of provenance.
 		sc.warmPi = st.WarmStart && sc.validPotentials()
+		// Distance keys this solve are sums of reduced costs: multiples of
+		// the cost vector's gcd, intersected with the carried potentials'
+		// quantum when those are reused (fresh potentials re-derive from the
+		// costs alone).
+		unit := gcdSlice(costs)
+		if sc.warmPi {
+			unit = gcd64(unit, sc.keyUnit)
+		}
+		sc.keyUnit = unit
 	}
 	pushed, err := e.run(sc, sc.prep.s, sc.prep.t, sc.prep.required-base, st)
 	sc.warmPi = false
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if base+pushed < sc.prep.required {
-		return nil, ErrInfeasible
+		return ErrInfeasible
 	}
 	// The residual now holds an optimal flow for these costs and supplies:
 	// the starting point for a future incremental re-solve. Engines other
@@ -134,21 +171,33 @@ func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, st *Solv
 		sc.lastCosts = append(sc.lastCosts[:0], costs...)
 	}
 
-	sol := &Solution{FlowByArc: make([]int64, len(nw.arcs))}
-	for i, a := range nw.arcs {
-		f := a.lower + r.flowOn(2*i)
+	sol.FlowByArc = grow64(sol.FlowByArc, len(nw.from))
+	sol.Cost = 0
+	for i := range nw.from {
+		f := nw.lower[i] + r.flowOn(2*i)
 		sol.FlowByArc[i] = f
 		sol.Cost += f * costs[i]
 	}
 	sol.Augmentations = st.Augmentations
-	return sol, nil
+	return nil
+}
+
+// installCosts writes the per-arc cost vector onto the forward/reverse
+// residual pairs through the raw-to-storage position map; the extra super
+// source/sink arcs keep their constant zero cost.
+func (sc *Scratch) installCosts(costs []int64) {
+	r := &sc.r
+	for i, c := range costs {
+		r.cost[r.pos[2*i]] = c
+		r.cost[r.pos[2*i+1]] = -c
+	}
 }
 
 // preparedFor reports whether the scratch holds a prepared residual topology
 // matching the network's current shape and supplies.
 func (sc *Scratch) preparedFor(nw *Network) bool {
 	p := &sc.prep
-	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.arcs) || len(p.batch) > 0 {
+	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.from) || len(p.batch) > 0 {
 		return false
 	}
 	for v, b := range nw.supply {
@@ -173,13 +222,13 @@ func (sc *Scratch) prepare(nw *Network) error {
 	sc.b = grow64(sc.b, nw.n)
 	b := sc.b
 	copy(b, nw.supply)
-	r := sc.resetResidual(nw.n, len(nw.arcs)+nw.n)
-	for _, a := range nw.arcs {
-		if a.lower > 0 {
-			b[a.from] -= a.lower
-			b[a.to] += a.lower
+	r := sc.resetResidual(nw.n, len(nw.from)+nw.n)
+	for i := range nw.from {
+		if nw.lower[i] > 0 {
+			b[nw.from[i]] -= nw.lower[i]
+			b[nw.to[i]] += nw.lower[i]
 		}
-		r.addPair(a.from, a.to, a.cap-a.lower, 0)
+		r.addPair(int(nw.from[i]), int(nw.to[i]), nw.capU[i]-nw.lower[i], 0)
 	}
 	s := r.addNode()
 	t := r.addNode()
@@ -200,7 +249,7 @@ func (sc *Scratch) prepare(nw *Network) error {
 	r.ensureCSR()
 	p.net = nw
 	p.n = nw.n
-	p.m = len(nw.arcs)
+	p.m = len(nw.from)
 	p.arcs = len(r.to)
 	p.s, p.t, p.required = s, t, required
 	p.initCap = append(p.initCap[:0], r.capR...)
@@ -226,7 +275,7 @@ func (sc *Scratch) prepare(nw *Network) error {
 // non-incremental path overwrites them in restoreResidual anyway.
 func (sc *Scratch) patchSupplies(nw *Network) (ok, grew bool) {
 	p := &sc.prep
-	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.arcs) || len(p.batch) > 0 {
+	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.from) || len(p.batch) > 0 {
 		return false, false
 	}
 	// Verify first: a failed patch must leave the snapshot consistent.
@@ -247,6 +296,7 @@ func (sc *Scratch) patchSupplies(nw *Network) (ok, grew bool) {
 		return false, false // supplies no longer balance; let prepare report it
 	}
 	grew = true
+	r := &sc.r
 	for v, bNew := range nw.supply {
 		d := bNew - p.supply[v]
 		if d == 0 {
@@ -254,7 +304,7 @@ func (sc *Scratch) patchSupplies(nw *Network) (ok, grew bool) {
 		}
 		old := p.excess[v]
 		next := old + d
-		a := p.superArc[v]
+		a := int(p.superArc[v])
 		var oldCap, newCap int64
 		if old > 0 {
 			oldCap, newCap = old, next
@@ -265,9 +315,12 @@ func (sc *Scratch) patchSupplies(nw *Network) (ok, grew bool) {
 		if newCap < oldCap {
 			grew = false
 		}
-		p.initCap[a] = newCap
-		p.initCap[a^1] = 0
-		sc.r.capR[a] += newCap - oldCap
+		// initCap is a storage-ordered snapshot (taken after prepare's
+		// ensureCSR), so the raw super-arc index maps through pos.
+		fwd, bwd := r.pos[a], r.pos[a^1]
+		p.initCap[fwd] = newCap
+		p.initCap[bwd] = 0
+		r.capR[fwd] += newCap - oldCap
 		p.supply[v] = bNew
 		p.excess[v] = next
 	}
@@ -287,15 +340,16 @@ func costsEqual(a, b []int64) bool {
 	return true
 }
 
-// restoreResidual resets the prepared residual to its zero-flow state:
-// capacities back to the snapshot, any arcs a previous engine appended
-// (cost scaling's return arc) dropped.
+// restoreResidual resets the prepared residual to its zero-flow state: any
+// arcs a previous engine appended (cost scaling's return arc) dropped, the
+// CSR permutation re-established, capacities copied back from the snapshot
+// (which prepare took in storage order, after its own ensureCSR).
 func (sc *Scratch) restoreResidual() *residual {
 	r := &sc.r
 	r.truncate(sc.prep.arcs)
+	r.ensureCSR()
 	r.capR = r.capR[:len(sc.prep.initCap)]
 	copy(r.capR, sc.prep.initCap)
-	r.ensureCSR()
 	return r
 }
 

@@ -53,14 +53,10 @@ func NewBatch(items []BatchItem) (*Batch, error) {
 	base, arcBase := 0, 0
 	for _, it := range items {
 		sub := it.Tpl.Build.Net
-		for a := 0; a < sub.M(); a++ {
-			from, to, lower, capacity, _ := sub.Arc(flow.ArcID(a))
-			net.MustArc(base+from, base+to, lower, capacity, 0)
-		}
-		for v := 0; v < sub.N(); v++ {
-			if b := sub.Supply(v); b != 0 {
-				net.AddSupply(base+v, b)
-			}
+		// Bulk-append the template's arcs (costs zeroed; the batch cost
+		// vector prices them per solve) and merge its recorded supplies.
+		if _, err := net.AppendNetwork(sub, base, true); err != nil {
+			return nil, err
 		}
 		// The solo path ships Registers units S→T on top of any recorded
 		// supplies (MinCostFlowValueWithCosts); bake the same imbalance in.

@@ -51,12 +51,50 @@ type stagedJob struct {
 	blocks []stagedBlock
 }
 
+// batchStage is one worker's reusable staging storage for coalesced
+// batches: the per-job result/bookkeeping slices and the unit-deduplication
+// containers, grown once and reused for every batch the worker runs.
+type batchStage struct {
+	results []jobResult
+	filled  []bool
+	staged  []*stagedJob
+	units   map[string]*batchUnit
+	keys    []string
+	merged  []*batchUnit
+}
+
+// newBatchStage returns an empty staging buffer.
+func newBatchStage() *batchStage {
+	return &batchStage{units: make(map[string]*batchUnit)}
+}
+
+// begin rewinds the stage for a batch of n jobs.
+func (bs *batchStage) begin(n int) {
+	if cap(bs.results) < n {
+		bs.results = make([]jobResult, n)
+		bs.filled = make([]bool, n)
+		bs.staged = make([]*stagedJob, n)
+	}
+	bs.results = bs.results[:n]
+	bs.filled = bs.filled[:n]
+	bs.staged = bs.staged[:n]
+	for i := 0; i < n; i++ {
+		bs.results[i] = jobResult{}
+		bs.filled[i] = false
+		bs.staged[i] = nil
+	}
+	clear(bs.units)
+	bs.keys = bs.keys[:0]
+	bs.merged = bs.merged[:0]
+}
+
 // runBatch executes a coalesced batch of jobs with panic containment and the
-// same per-request metrics accounting as runJob.
-func (e *Engine) runBatch(jobs []*job) {
+// same per-request metrics accounting as runJob. bs is the worker's reusable
+// staging storage.
+func (e *Engine) runBatch(jobs []*job, bs *batchStage) {
 	e.inflight.Add(int64(len(jobs)))
 	start := time.Now()
-	results := e.processBatch(jobs)
+	results := e.processBatch(jobs, bs)
 	dur := time.Since(start)
 	e.inflight.Add(-int64(len(jobs)))
 	for i, j := range jobs {
@@ -74,9 +112,10 @@ func (e *Engine) runBatch(jobs []*job) {
 // SSP unit is present — and assembles per-job responses. A panic outside the
 // per-job staging fails the not-yet-answered jobs with an *InternalError,
 // keeping the worker alive.
-func (e *Engine) processBatch(jobs []*job) (results []jobResult) {
-	results = make([]jobResult, len(jobs))
-	filled := make([]bool, len(jobs))
+func (e *Engine) processBatch(jobs []*job, bs *batchStage) (results []jobResult) {
+	bs.begin(len(jobs))
+	results = bs.results
+	filled := bs.filled
 	defer func() {
 		if r := recover(); r != nil {
 			e.panics.Inc()
@@ -88,7 +127,7 @@ func (e *Engine) processBatch(jobs []*job) (results []jobResult) {
 		}
 	}()
 
-	staged := make([]*stagedJob, len(jobs))
+	staged := bs.staged
 	for i, j := range jobs {
 		sj, err := e.stageJob(j)
 		if err != nil {
@@ -101,7 +140,7 @@ func (e *Engine) processBatch(jobs []*job) (results []jobResult) {
 
 	// Deduplicate units across the surviving jobs: the first staged unit of
 	// a key solves for every later reference.
-	units := make(map[string]*batchUnit)
+	units := bs.units
 	for _, sj := range staged {
 		if sj == nil {
 			continue
@@ -116,7 +155,7 @@ func (e *Engine) processBatch(jobs []*job) (results []jobResult) {
 			}
 		}
 	}
-	e.solveUnits(units)
+	e.solveUnits(units, bs)
 
 	for i := range jobs {
 		if filled[i] {
@@ -241,13 +280,14 @@ func (e *Engine) stageJob(j *job) (sj *stagedJob, err error) {
 // on the per-template warm path, two or more SSP units as one merged batch
 // solve. A solo solve of a unit shared by several blocks still counts as a
 // coalesced batch — one solve answered many queued blocks.
-func (e *Engine) solveUnits(units map[string]*batchUnit) {
-	keys := make([]string, 0, len(units))
+func (e *Engine) solveUnits(units map[string]*batchUnit, bs *batchStage) {
+	keys := bs.keys[:0]
 	for k := range units {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var merged []*batchUnit
+	bs.keys = keys
+	merged := bs.merged[:0]
 	for _, k := range keys {
 		u := units[k]
 		if u.solo {
@@ -256,6 +296,7 @@ func (e *Engine) solveUnits(units map[string]*batchUnit) {
 		}
 		merged = append(merged, u)
 	}
+	bs.merged = merged
 	switch len(merged) {
 	case 0:
 	case 1:
@@ -289,9 +330,13 @@ func (e *Engine) solveSolo(u *batchUnit) {
 // identical error behaviour, just without the amortisation.
 func (e *Engine) solveMerged(units []*batchUnit) {
 	be := e.batches.acquire(batchLayoutKey(units))
-	be.mu.Lock()
-	err := e.solveMergedLocked(be, units)
-	be.mu.Unlock()
+	err := func() error {
+		// Deferred unlock: a panic out of the solve is recovered further up
+		// (processBatch), and must not leave the layout entry locked.
+		be.mu.Lock()
+		defer be.mu.Unlock()
+		return e.solveMergedLocked(be, units)
+	}()
 	if err != nil {
 		e.batchFallbacks.Inc()
 		for _, u := range units {
@@ -322,7 +367,9 @@ func (e *Engine) solveMergedLocked(be *batchEntry, units []*batchUnit) error {
 			return err
 		}
 		be.batch = b
-		be.scratch = flow.NewScratch()
+		// Arena-backed scratch pre-sized for the super-network: warm batch
+		// re-solves on this entry never allocate.
+		be.scratch = flow.NewScratchSized(b.Net.N(), b.Net.M())
 	}
 	m := be.batch.Net.M()
 	if cap(be.costs) < m {
@@ -341,14 +388,13 @@ func (e *Engine) solveMergedLocked(be *batchEntry, units []*batchUnit) error {
 		copy(be.costs[c.ArcLo:c.ArcHi], be.tmp)
 		be.baselines = append(be.baselines, baseline)
 	}
-	sol, sst, err := be.batch.Net.SolveBatchWithCosts(be.costs, be.scratch, be.batch.Comps)
-	if err != nil {
+	if err := be.batch.Net.SolveBatchWithCostsInto(be.costs, be.scratch, be.batch.Comps, &be.sol, &be.sst); err != nil {
 		return err
 	}
 	for i, u := range units {
 		c := be.batch.Comps[i]
-		sub := be.batch.Sub(i, sol, be.costs[c.ArcLo:c.ArcHi])
-		res, err := u.pre.DecodeSolution(u.registers, u.co, be.baselines[i], sub, sst)
+		sub := be.batch.Sub(i, &be.sol, be.costs[c.ArcLo:c.ArcHi])
+		res, err := u.pre.DecodeSolution(u.registers, u.co, be.baselines[i], sub, &be.sst)
 		if err != nil {
 			return err
 		}
@@ -370,8 +416,8 @@ func batchLayoutKey(units []*batchUnit) string {
 }
 
 // batchEntry is one cached super-network layout: the merged batch, its
-// solver scratch (holding the prepared residual for warm re-solves) and the
-// pricing buffers, all guarded by mu.
+// solver scratch (holding the prepared residual for warm re-solves), the
+// pricing buffers and the reusable solve output, all guarded by mu.
 type batchEntry struct {
 	key       string
 	mu        sync.Mutex
@@ -380,6 +426,8 @@ type batchEntry struct {
 	costs     []int64
 	tmp       []int64
 	baselines []float64
+	sol       flow.Solution   // reusable batch solve output
+	sst       flow.SolveStats // reusable batch solver stats
 }
 
 // batchCache is a fixed-capacity LRU of prepared batch layouts, the

@@ -306,8 +306,12 @@ func (e *Engine) Close(ctx context.Context) error {
 // solver amortisation exactly when the queue is non-empty.
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	// Per-worker staging storage, reused across every batch this worker
+	// coalesces: no per-batch slice/map churn on the serving hot path.
+	bs := newBatchStage()
+	batch := make([]*job, 0, e.cfg.BatchMax)
 	for j := range e.queue {
-		batch := []*job{j}
+		batch = append(batch[:0], j)
 		for len(batch) < e.cfg.BatchMax {
 			j2, ok := e.tryDequeue()
 			if !ok {
@@ -319,7 +323,7 @@ func (e *Engine) worker() {
 		if len(batch) == 1 {
 			e.runJob(j)
 		} else {
-			e.runBatch(batch)
+			e.runBatch(batch, bs)
 		}
 	}
 }

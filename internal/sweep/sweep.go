@@ -11,7 +11,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -71,118 +70,14 @@ type Options struct {
 // every (register, model) cell within it re-solves through the solver's
 // warm-start path, swapping cost vectors instead of rebuilding — the
 // incremental design-space exploration the flow formulation makes cheap.
+// Callers re-evaluating the same grid repeatedly should hold a Runner
+// instead, which keeps the per-column state across sweeps.
 func Run(set *lifetime.Set, opt Options) (*Grid, error) {
-	if len(opt.Registers) == 0 || len(opt.Divisors) == 0 {
-		return nil, fmt.Errorf("sweep: empty grid axes")
+	rn, err := NewRunner(set, opt)
+	if err != nil {
+		return nil, err
 	}
-	for _, regs := range opt.Registers {
-		if regs < 0 {
-			return nil, fmt.Errorf("sweep: invalid register count %d", regs)
-		}
-	}
-	for _, div := range opt.Divisors {
-		if div < 1 {
-			return nil, fmt.Errorf("sweep: invalid divisor %d", div)
-		}
-	}
-	base := opt.Model
-	if base.MemRead == 0 && base.MemWrite == 0 {
-		base = energy.OnChip256x16()
-	}
-	nd := len(opt.Divisors)
-	// Points are indexed cell-major as before: row = register count,
-	// column = divisor.
-	g := &Grid{Points: make([]Point, len(opt.Registers)*nd)}
-
-	// solveColumn fills one divisor column across all register counts.
-	// Columns are independent, so workers parallelise over them; cells
-	// within a column share a Prepared problem and solve warm, one cost
-	// model at a time so consecutive solves keep compatible potentials.
-	solveColumn := func(di int) {
-		div := opt.Divisors[di]
-		v := energy.VoltageForDivisor(div)
-		model := base.WithMemVoltage(v)
-		staticCo := netbuild.CostOptions{Style: energy.Static, Model: model}
-		for ri, regs := range opt.Registers {
-			g.Points[ri*nd+di] = Point{Registers: regs, Divisor: div, Voltage: v}
-		}
-		if opt.ColdStart {
-			for ri := range opt.Registers {
-				solveCellCold(set, opt, &g.Points[ri*nd+di], model)
-			}
-			return
-		}
-		pre, err := core.Prepare(set, core.Options{
-			Memory: lifetime.MemoryAccess{Period: div, Offset: div},
-			Split:  opt.Split,
-			Style:  netbuild.DensityRegions,
-			Cost:   staticCo,
-		})
-		if err != nil {
-			return // unsplittable column: every cell stays infeasible
-		}
-		staticView, err := pre.CostView(staticCo)
-		if err != nil {
-			return
-		}
-		for ri, regs := range opt.Registers {
-			pt := &g.Points[ri*nd+di]
-			rs, err := pre.AllocateView(regs, staticView)
-			if err != nil {
-				continue // infeasible cell
-			}
-			pt.Feasible = true
-			pt.StaticEnergy = rs.TotalEnergy
-			pt.MemAccesses = rs.Counts.Mem()
-			pt.RegAccesses = rs.Counts.Reg()
-			pt.Locations = rs.MemoryLocations
-			pt.RegistersUsed = rs.RegistersUsed
-		}
-		if opt.H != nil {
-			activityCo := netbuild.CostOptions{Style: energy.Activity, Model: model, H: opt.H}
-			activityView, err := pre.CostView(activityCo)
-			if err != nil {
-				return
-			}
-			for ri := range opt.Registers {
-				pt := &g.Points[ri*nd+di]
-				if !pt.Feasible {
-					continue
-				}
-				if ra, err := pre.AllocateView(pt.Registers, activityView); err == nil {
-					pt.ActivityEnergy = ra.TotalEnergy
-				}
-			}
-		}
-	}
-
-	workers := opt.Workers
-	if workers <= 1 {
-		for di := range opt.Divisors {
-			solveColumn(di)
-		}
-		return g, nil
-	}
-	if workers > nd {
-		workers = nd
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for di := range next {
-				solveColumn(di)
-			}
-		}()
-	}
-	for di := range opt.Divisors {
-		next <- di
-	}
-	close(next)
-	wg.Wait()
-	return g, nil
+	return rn.Run()
 }
 
 // solveCellCold is the original per-cell path: full Split → Build → Solve

@@ -245,3 +245,42 @@ func TestRunWarmMatchesCold(t *testing.T) {
 		}
 	}
 }
+
+// TestRunnerRepeatedSweeps: a Runner re-evaluating the same grid must
+// reproduce feasibility and both energy optima on every cell, sequentially
+// and under a worker pool. Access counts may differ between equally-optimal
+// solutions the warm re-solves land on, so only optimum-defined fields are
+// pinned.
+func TestRunnerRepeatedSweeps(t *testing.T) {
+	set := workload.Figure1()
+	for _, workers := range []int{1, 4} {
+		rn, err := NewRunner(set, Options{
+			Registers: []int{0, 1, 2, 3, 4},
+			Divisors:  []int{1, 2, 4, 8},
+			H:         energy.ConstHamming(0.5),
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := rn.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rerun := 0; rerun < 3; rerun++ {
+			g, err := rn.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range g.Points {
+				a, b := first.Points[i], g.Points[i]
+				if a.Registers != b.Registers || a.Divisor != b.Divisor || a.Feasible != b.Feasible {
+					t.Fatalf("workers=%d rerun %d cell %d: %+v vs %+v", workers, rerun, i, a, b)
+				}
+				if math.Abs(a.StaticEnergy-b.StaticEnergy) > 1e-9 || math.Abs(a.ActivityEnergy-b.ActivityEnergy) > 1e-9 {
+					t.Fatalf("workers=%d rerun %d cell %d energies: %+v vs %+v", workers, rerun, i, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI perf gate: re-measure the leabench suite and fail on regressions
+# against the committed BENCH_sweep.json.
+#
+# The gate takes the per-benchmark median over BENCH_GATE_RUNS fresh runs.
+# ns/op rows get a generous tolerance band (BENCH_GATE_TOL × baseline) since
+# CI machines differ from the one that recorded the snapshot; allocs/op is
+# gated strictly — zero-alloc rows must stay zero-alloc and no row may
+# allocate more than its baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${BENCH_GATE_RUNS:-3}"
+tol="${BENCH_GATE_TOL:-4.0}"
+
+exec go run ./cmd/leabench -gate \
+  -gate-baseline BENCH_sweep.json \
+  -gate-runs "$runs" \
+  -gate-tol "$tol"

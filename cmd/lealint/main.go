@@ -7,16 +7,26 @@
 //
 //	go run ./cmd/lealint ./...          # lint the whole module (CI invocation)
 //	go run ./cmd/lealint internal/flow  # lint one package
-//	go run ./cmd/lealint -list          # describe the registered passes
+//	go run ./cmd/lealint -passes locks,goroutines ./...
+//	go run ./cmd/lealint -list          # describe the passes and their codes
+//	go run ./cmd/lealint -escape        # compile-time noalloc gate (runs go build)
+//	go run ./cmd/lealint -zonecheck     # noalloc zone map vs AllocsPerRun tests
+//
+// -json renders findings as a JSON array instead of text; -github
+// additionally emits GitHub Actions ::error annotations so findings surface
+// inline on pull requests.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/escape"
 )
 
 func main() {
@@ -27,28 +37,117 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lealint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	list := fs.Bool("list", false, "list the registered passes and exit")
+	list := fs.Bool("list", false, "list the registered passes with their finding codes and exit")
 	dir := fs.String("C", ".", "directory to resolve patterns from (module root is found above it)")
+	passNames := fs.String("passes", "", "comma-separated pass selection (default: every registered pass)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	github := fs.Bool("github", false, "emit GitHub Actions ::error annotations alongside the findings")
+	escapeGate := fs.Bool("escape", false, "run the compile-time noalloc escape gate instead of the AST passes")
+	zonecheck := fs.Bool("zonecheck", false, "verify the noalloc zone map matches the AllocsPerRun test list, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		for _, p := range analysis.Passes() {
 			fmt.Fprintf(stdout, "%-12s %s\n", p.Name(), p.Doc())
+			for _, c := range p.Codes() {
+				fmt.Fprintf(stdout, "    %s  %s\n", c.ID, c.Summary)
+			}
 		}
 		return 0
 	}
-	findings, err := analysis.Run(*dir, fs.Args())
+	if *zonecheck {
+		if err := escape.CrossCheck(*dir); err != nil {
+			fmt.Fprintf(stderr, "lealint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "lealint: noalloc zone map and AllocsPerRun test list agree")
+		return 0
+	}
+
+	var findings []analysis.Finding
+	var err error
+	if *escapeGate {
+		findings, err = escape.Gate(*dir)
+	} else {
+		var passes []analysis.Pass
+		passes, err = analysis.SelectPasses(splitNames(*passNames))
+		if err == nil {
+			findings, err = analysis.RunPasses(*dir, fs.Args(), passes)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "lealint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f.String())
+	if emitErr := emit(stdout, findings, *jsonOut, *github); emitErr != nil {
+		fmt.Fprintf(stderr, "lealint: %v\n", emitErr)
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "lealint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// splitNames parses the -passes value into non-empty names.
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// jsonFinding is the -json wire shape of one finding.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+// emit renders the findings: plain file:line:col lines by default, a JSON
+// array with -json, plus GitHub Actions ::error workflow annotations with
+// -github (rendered on top of either format — the annotations go to the same
+// stream, which is how Actions picks them up from step logs).
+func emit(w io.Writer, findings []analysis.Finding, asJSON, github bool) error {
+	if asJSON {
+		rows := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			rows = append(rows, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Code: f.Code, Msg: f.Msg,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			if _, err := fmt.Fprintln(w, f.String()); err != nil {
+				return err
+			}
+		}
+	}
+	if github {
+		for _, f := range findings {
+			// The annotation message must stay single-line; commas and colons
+			// in properties would break the workflow-command grammar.
+			if _, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=%s::%s\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Code, f.Msg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -22,13 +23,79 @@ func TestRunViolationCorpus(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d on seeded violations, want 1\nstderr:\n%s", code, errb.String())
 	}
-	for _, want := range []string{"LEA0002", "LEA0101", "LEA0102", "LEA0201", "LEA0301", "LEA0302"} {
+	for _, want := range []string{
+		"LEA0002", "LEA0010", "LEA0011", "LEA0012",
+		"LEA0101", "LEA0102", "LEA0201", "LEA0301", "LEA0302",
+		"LEA0401", "LEA0402", "LEA0403", "LEA0404", "LEA0410", "LEA0411",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %s:\n%s", want, out.String())
 		}
 	}
 	if !strings.Contains(errb.String(), "finding(s)") {
 		t.Errorf("stderr missing summary: %q", errb.String())
+	}
+}
+
+// TestRunPassSelection: -passes restricts the run to the named passes, so
+// only their code families surface on the corpus (directive-hygiene findings
+// are unconditional — they belong to no pass).
+func TestRunPassSelection(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "-passes", "locks,goroutines", "internal/analysis/testdata/violations"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"LEA0401", "LEA0402", "LEA0403", "LEA0404", "LEA0410", "LEA0411"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("selected passes missing %s:\n%s", want, out.String())
+		}
+	}
+	// Match the rendered ": CODE:" form — message text may mention other
+	// codes (the LEA0012 diagnostic names the code it rejects).
+	for _, absent := range []string{": LEA0101:", ": LEA0201:", ": LEA0301:"} {
+		if strings.Contains(out.String(), absent) {
+			t.Errorf("unselected pass code %s leaked into output:\n%s", absent, out.String())
+		}
+	}
+}
+
+// TestRunUnknownPass: a bad -passes name is a usage error (exit 2) and the
+// message lists the valid passes.
+func TestRunUnknownPass(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "-passes", "nosuchpass", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d on unknown pass, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "locks") {
+		t.Errorf("error does not list valid passes: %q", errb.String())
+	}
+}
+
+// TestRunJSON: -json renders a machine-readable array with file/line/col and
+// code fields; -github adds ::error workflow annotations on top.
+func TestRunJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "-json", "-github", "internal/analysis/testdata/violations"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	text := out.String()
+	jsonPart := text[:strings.Index(text, "::error")]
+	var rows []jsonFinding
+	if err := json.Unmarshal([]byte(jsonPart), &rows); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, jsonPart)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty JSON findings on the seeded corpus")
+	}
+	for _, r := range rows {
+		if r.File == "" || r.Line == 0 || r.Code == "" || r.Msg == "" {
+			t.Errorf("incomplete JSON finding: %+v", r)
+		}
+	}
+	if !strings.Contains(text, "::error file=") {
+		t.Error("-github did not emit workflow annotations")
 	}
 }
 

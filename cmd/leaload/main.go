@@ -446,6 +446,11 @@ func driveOpen(cfg *loadConfig, picks []namedProgram, rate float64) (*loadReport
 	// story, so the tally only needs counters and maps behind a mutex.
 	var mu sync.Mutex
 	tally := newWorkerTally(len(cfg.urls))
+	record := func(p *namedProgram, resp *allocResponse, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		tally.record(p, resp, err)
+	}
 	open, err := generator.RunOpenLoop(generator.RunConfig{
 		Scheduler: sched,
 		Senders:   cfg.workers,
@@ -453,9 +458,7 @@ func driveOpen(cfg *loadConfig, picks []namedProgram, rate float64) (*loadReport
 		Send: func(op generator.Op) error {
 			p := &picks[op.Key]
 			resp, err := postAllocate(client, cfg, cfg.urls[p.endpoint], p.text)
-			mu.Lock()
-			tally.record(p, resp, err)
-			mu.Unlock()
+			record(p, resp, err)
 			return err
 		},
 	})

@@ -2,21 +2,35 @@
 // repository: pluggable syntactic passes over go/ast parse trees that enforce
 // the repo's architectural and hygiene invariants. It is level 1 of the
 // two-level static-analysis layer (level 2 is internal/check, which validates
-// runtime artifacts rather than source text).
+// runtime artifacts rather than source text; the compile-time escape gate in
+// internal/analysis/escape sits beside both, driven by real compiler output).
 //
-// The passes and their finding codes:
+// The registered passes and their finding codes:
 //
 //	LEA0001/LEA0002  layering    — internal packages import strictly downward
 //	LEA0101/LEA0102  determinism — no global math/rand, no stray wall clock
 //	LEA0201          panics      — exported entry points return errors
 //	LEA0301/LEA0302  docs        — exported API and packages carry doc comments
+//	LEA0401–LEA0404  locks       — defer-unlock pairing, no blocking channel
+//	                               ops or nested acquisitions under a lock
+//	LEA0410/LEA0411  goroutines  — every spawn tied to a WaitGroup, done
+//	                               channel or send; no spawns under a lock
 //
-// A finding can be silenced at a specific site with a comment of the form
+// The suppression scanner itself emits LEA0010–LEA0012 for broken directives,
+// and internal/analysis/escape emits LEA0501–LEA0503 for noalloc-zone
+// violations; see KnownCodes for the full table.
+//
+// A finding can be silenced at a specific site with a directive of the form
 //
 //	//lealint:ignore LEA0201 reason for the exception
+//	//lealint:ignore LEA0101(seed is pinned) LEA0102(bench clock) ...
+//	//lealint:ignore LEA0101 LEA0102 shared reason for both
 //
-// on the offending line or the line directly above it. Test files are never
-// linted: determinism and panic discipline are production-code properties.
+// on the offending line or the line directly above it. Every named code must
+// exist (a typo'd code is itself a finding, LEA0010) and every suppression
+// must carry a reason, either per-code in parentheses or shared trailing text
+// (LEA0012). Test files are never linted: determinism and panic discipline
+// are production-code properties.
 package analysis
 
 import (
@@ -62,34 +76,41 @@ func (p *Package) Internal() bool {
 	return p.Rel == "internal" || strings.HasPrefix(p.Rel, "internal/")
 }
 
-// Pass is one lint rule set run over a package.
+// Pass is one lint rule set run over a package. Passes are registered with
+// MustRegister; each owns a disjoint set of finding codes.
 type Pass interface {
-	// Name is the pass's short selection name.
+	// Name is the pass's short selection name (lealint -passes).
 	Name() string
 	// Doc is a one-line description shown by lealint -list.
 	Doc() string
+	// Codes lists every finding code the pass can emit.
+	Codes() []Code
 	// Run reports the pass's findings for one package.
 	Run(p *Package) []Finding
 }
 
-// Passes returns the default pass set, in reporting order.
-func Passes() []Pass {
-	return []Pass{layeringPass{}, determinismPass{}, panicPass{}, docPass{}}
+// Run loads the packages matched by patterns (relative to the module rooted
+// at dir) and applies every registered pass, returning the surviving findings
+// sorted by position. Suppressed findings (lealint:ignore directives) are
+// filtered out; broken directives surface as LEA001x findings of their own.
+func Run(dir string, patterns []string) ([]Finding, error) {
+	return RunPasses(dir, patterns, Passes())
 }
 
-// Run loads the packages matched by patterns (relative to the module rooted
-// at dir) and applies every default pass, returning the surviving findings
-// sorted by position. Suppressed findings (lealint:ignore comments) are
-// filtered out.
-func Run(dir string, patterns []string) ([]Finding, error) {
+// RunPasses is Run restricted to an explicit pass selection (see
+// SelectPasses). Directive scanning and validation always happen, regardless
+// of the selection — a broken suppression is a finding even when the pass it
+// targets is not running.
+func RunPasses(dir string, patterns []string, passes []Pass) ([]Finding, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	var out []Finding
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		for _, pass := range Passes() {
+		sup, directiveFindings := collectDirectives(pkg)
+		out = append(out, directiveFindings...)
+		for _, pass := range passes {
 			for _, f := range pass.Run(pkg) {
 				if !sup.matches(f) {
 					out = append(out, f)
@@ -97,8 +118,16 @@ func Run(dir string, patterns []string) ([]Finding, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortFindings(out)
+	return out, nil
+}
+
+// SortFindings orders findings by file, line, column, then code — the
+// reporting order shared by every finding producer (passes and the escape
+// gate alike).
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -110,61 +139,6 @@ func Run(dir string, patterns []string) ([]Finding, error) {
 		}
 		return a.Code < b.Code
 	})
-	return out, nil
-}
-
-// suppressions indexes lealint:ignore comments by file, line and code.
-type suppressions map[string]map[int]map[string]bool
-
-// matches reports whether the finding is silenced by an ignore comment on its
-// line or the line directly above.
-func (s suppressions) matches(f Finding) bool {
-	lines := s[f.Pos.Filename]
-	if lines == nil {
-		return false
-	}
-	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		if lines[line][f.Code] {
-			return true
-		}
-	}
-	return false
-}
-
-// collectSuppressions scans every comment of the package for
-// "lealint:ignore CODE..." directives.
-func collectSuppressions(pkg *Package) suppressions {
-	sup := make(suppressions)
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lealint:ignore") {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				byLine := sup[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					sup[pos.Filename] = byLine
-				}
-				codes := byLine[pos.Line]
-				if codes == nil {
-					codes = make(map[string]bool)
-					byLine[pos.Line] = codes
-				}
-				for _, tok := range strings.Fields(strings.TrimPrefix(text, "lealint:ignore")) {
-					if strings.HasPrefix(tok, "LEA") {
-						codes[tok] = true
-					} else {
-						break // remainder is the human reason
-					}
-				}
-			}
-		}
-	}
-	return sup
 }
 
 // exportedFuncName reports whether a top-level function name is part of the

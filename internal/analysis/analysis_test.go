@@ -171,3 +171,83 @@ func TestServingStackRanks(t *testing.T) {
 		t.Errorf("cmd/leaload rank %d must be above internal/workload/generator rank %d", loadRank, genRank)
 	}
 }
+
+// TestParseIgnoreDirective pins the suppression grammar: a code list with
+// optional per-code parenthesised reasons, terminated by the first non-code
+// token, which becomes the shared trailing reason.
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		codes  []suppressedCode
+		shared string
+	}{
+		{" LEA0102 corpus reason", []suppressedCode{{code: "LEA0102"}}, "corpus reason"},
+		{" LEA0101(a) LEA0102(b)", []suppressedCode{{code: "LEA0101", reason: "a"}, {code: "LEA0102", reason: "b"}}, ""},
+		{" LEA0101(a) LEA0102 shared tail", []suppressedCode{{code: "LEA0101", reason: "a"}, {code: "LEA0102"}}, "shared tail"},
+		{" LEA0201", []suppressedCode{{code: "LEA0201"}}, ""},
+		{"", nil, ""},
+		{" just words, no codes", nil, "just words, no codes"},
+		{" LEA01 truncated", nil, "LEA01 truncated"},
+		{" LEA0101x not a boundary", nil, "LEA0101x not a boundary"},
+		{" LEA0101(unterminated reason", []suppressedCode{{code: "LEA0101", reason: "unterminated reason"}}, ""},
+	}
+	for _, c := range cases {
+		codes, shared := parseIgnoreDirective(c.in)
+		if shared != c.shared || len(codes) != len(c.codes) {
+			t.Errorf("parseIgnoreDirective(%q) = (%v, %q), want (%v, %q)", c.in, codes, shared, c.codes, c.shared)
+			continue
+		}
+		for i := range codes {
+			if codes[i] != c.codes[i] {
+				t.Errorf("parseIgnoreDirective(%q) code %d = %+v, want %+v", c.in, i, codes[i], c.codes[i])
+			}
+		}
+	}
+}
+
+// TestSelectPasses: the empty selection is every registered pass, a named
+// subset resolves in registry order, and unknown names error with the valid
+// list so the CLI message stays actionable.
+func TestSelectPasses(t *testing.T) {
+	all, err := SelectPasses(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Passes()) {
+		t.Errorf("empty selection returned %d passes, want all %d", len(all), len(Passes()))
+	}
+	subset, err := SelectPasses([]string{"locks", "goroutines"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 || subset[0].Name() != "locks" || subset[1].Name() != "goroutines" {
+		t.Errorf("subset selection wrong: %v", subset)
+	}
+	if _, err := SelectPasses([]string{"nosuchpass"}); err == nil {
+		t.Error("unknown pass name did not error")
+	} else if !strings.Contains(err.Error(), "locks") {
+		t.Errorf("error does not list the valid passes: %v", err)
+	}
+}
+
+// TestKnownCodes: the registry's code table must cover every family the
+// passes and the directive validator emit, including the directive and
+// escape codes that have no AST pass behind them.
+func TestKnownCodes(t *testing.T) {
+	known := KnownCodes()
+	for _, id := range []string{
+		"LEA0001", "LEA0002", "LEA0010", "LEA0011", "LEA0012",
+		"LEA0101", "LEA0102", "LEA0201", "LEA0301", "LEA0302",
+		"LEA0401", "LEA0402", "LEA0403", "LEA0404", "LEA0410", "LEA0411",
+		"LEA0501", "LEA0502", "LEA0503",
+	} {
+		if _, ok := known[id]; !ok {
+			t.Errorf("KnownCodes missing %s", id)
+		}
+	}
+	for _, id := range []string{"LEA0010", "LEA0011", "LEA0012", "LEA0501", "LEA0502", "LEA0503"} {
+		if _, no := nonIgnorable[id]; !no {
+			t.Errorf("%s should be non-ignorable", id)
+		}
+	}
+}

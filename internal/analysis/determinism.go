@@ -43,6 +43,14 @@ func (determinismPass) Doc() string {
 	return "no unseeded global math/rand; wall clock only in the stats allowlist"
 }
 
+// Codes implements Pass.
+func (determinismPass) Codes() []Code {
+	return []Code{
+		{ID: "LEA0101", Summary: "unseeded global math/rand source in production code"},
+		{ID: "LEA0102", Summary: "wall-clock read outside the stats allowlist"},
+	}
+}
+
 // Run implements Pass.
 func (determinismPass) Run(p *Package) []Finding {
 	var out []Finding

@@ -19,6 +19,14 @@ func (docPass) Doc() string {
 	return "exported identifiers and library packages carry doc comments"
 }
 
+// Codes implements Pass.
+func (docPass) Codes() []Code {
+	return []Code{
+		{ID: "LEA0301", Summary: "exported identifier has no doc comment"},
+		{ID: "LEA0302", Summary: "library package has no package doc comment"},
+	}
+}
+
 // Run implements Pass.
 func (docPass) Run(p *Package) []Finding {
 	if p.Name == "main" {

@@ -1,0 +1,131 @@
+package escape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// CrossCheck verifies that the zone map's Root functions and the runtime
+// zero-alloc assertions name the same API: for every zone package, the set
+// of `…Into` functions exercised inside testing.AllocsPerRun closures in the
+// package's tests must equal the set of Root-marked zone functions. Either
+// direction of drift — a Root function with no 0 allocs/op assertion, or an
+// AllocsPerRun-asserted warm entry point the zone map doesn't gate — is an
+// error naming both sets.
+//
+// dir may be the module root or any directory below it. The check parses
+// test files directly (analysis.Load deliberately never loads tests).
+func CrossCheck(dir string) error {
+	root, _, err := analysis.ModuleInfo(dir)
+	if err != nil {
+		return err
+	}
+	for _, z := range Zones() {
+		roots := make(map[string]bool)
+		for _, f := range z.Funcs {
+			if f.Root {
+				roots[baseName(f.Name)] = true
+			}
+		}
+		asserted, err := allocsPerRunCallees(filepath.Join(root, filepath.FromSlash(z.Pkg)))
+		if err != nil {
+			return fmt.Errorf("escape: crosscheck %s: %w", z.Pkg, err)
+		}
+		if len(roots) == 0 && len(asserted) == 0 {
+			continue
+		}
+		var missing, unzoned []string
+		for name := range roots {
+			if !asserted[name] {
+				missing = append(missing, name)
+			}
+		}
+		for name := range asserted {
+			if !roots[name] {
+				unzoned = append(unzoned, name)
+			}
+		}
+		sort.Strings(missing)
+		sort.Strings(unzoned)
+		if len(missing) > 0 {
+			return fmt.Errorf("escape: crosscheck %s: zone roots %s have no testing.AllocsPerRun assertion; add a zero-alloc test or unroot them in zones.go",
+				z.Pkg, strings.Join(missing, ", "))
+		}
+		if len(unzoned) > 0 {
+			return fmt.Errorf("escape: crosscheck %s: AllocsPerRun asserts %s but the zone map does not root them; add them to zones.go",
+				z.Pkg, strings.Join(unzoned, ", "))
+		}
+	}
+	return nil
+}
+
+// baseName strips the "Type." qualifier from a zone-map function name.
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// allocsPerRunCallees parses a package directory's test files and returns
+// the warm-API function names (the `…Into` naming convention) called inside
+// testing.AllocsPerRun closures.
+func allocsPerRunCallees(dir string) (map[string]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AllocsPerRun" {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit, func(m ast.Node) bool {
+				inner, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := inner.Fun.(type) {
+				case *ast.SelectorExpr:
+					if strings.HasSuffix(fun.Sel.Name, "Into") {
+						out[fun.Sel.Name] = true
+					}
+				case *ast.Ident:
+					if strings.HasSuffix(fun.Name, "Into") {
+						out[fun.Name] = true
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out, nil
+}

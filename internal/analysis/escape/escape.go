@@ -1,0 +1,272 @@
+// Package escape is the compile-time noalloc gate: it drives the real Go
+// compiler's escape analysis (`go build -gcflags='<pkg>=-m=2'`) over the
+// checked-in noalloc zone map (Zones) and fails when an allocation or heap
+// escape lands inside a zone function without a //lea:allocs marker.
+//
+// It turns PR 7's runtime-only zero-alloc guarantee (testing.AllocsPerRun
+// assertions) into a static CI gate: a new fmt.Sprintf or escaping closure on
+// the warm path is a positioned lint finding at build time, not a perf-gate
+// drift discovered later.
+//
+// Annotation grammar:
+//
+//	//lea:noalloc
+//	    on a zone function's doc comment — declares membership, and must
+//	    agree with the zone map in both directions (LEA0503 otherwise).
+//	//lea:allocs <reason>
+//	    on an allocation's line or the line above — declares a deliberate
+//	    cold-path allocation inside a zone (error formatting, first-use
+//	    growth). A marker no compiler diagnostic matches is stale (LEA0502),
+//	    so markers cannot rot when the code below them changes.
+//
+// Unmarked allocations inside a zone are LEA0501. Escape findings are never
+// suppressible with lealint:ignore — the marker IS the suppression, kept
+// honest by staleness checking.
+package escape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// BuildFunc compiles one package (named by import path and module-relative
+// directory) with escape diagnostics enabled and returns the raw compiler
+// output. Tests substitute pinned fixture output here.
+type BuildFunc func(root, importPath, rel string) ([]byte, error)
+
+// Gate runs the noalloc gate over every zone, shelling out to the real
+// compiler, and returns the LEA05xx findings (empty when the repo is clean).
+// dir may be the module root or any directory below it.
+func Gate(dir string) ([]analysis.Finding, error) {
+	return GateWith(dir, compilerBuild)
+}
+
+// GateWith is Gate with an explicit compiler front-end (see BuildFunc).
+func GateWith(dir string, build BuildFunc) ([]analysis.Finding, error) {
+	root, module, err := analysis.ModuleInfo(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []analysis.Finding
+	for _, z := range Zones() {
+		pkgs, err := analysis.Load(root, []string{z.Pkg})
+		if err != nil {
+			return nil, fmt.Errorf("escape: zone %s: %w", z.Pkg, err)
+		}
+		if len(pkgs) != 1 {
+			return nil, fmt.Errorf("escape: zone %s matched %d packages, want 1", z.Pkg, len(pkgs))
+		}
+		pkg := pkgs[0]
+		spans, driftFindings := zoneSpans(pkg, z)
+		out = append(out, driftFindings...)
+		markers, markerFindings := collectMarkers(pkg)
+		out = append(out, markerFindings...)
+		raw, err := build(root, module+"/"+z.Pkg, z.Pkg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, matchDiagnostics(ParseDiagnostics(raw), spans, markers)...)
+	}
+	analysis.SortFindings(out)
+	return out, nil
+}
+
+// compilerBuild invokes the real toolchain. The per-package -gcflags pattern
+// scopes -m=2 to the zone package itself, so dependency compilation stays
+// quiet; the build cache replays diagnostics for unchanged packages.
+func compilerBuild(root, importPath, rel string) ([]byte, error) {
+	cmd := exec.Command("go", "build", "-gcflags", importPath+"=-m=2", "./"+rel)
+	cmd.Dir = root
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("escape: go build %s failed: %v\n%s", rel, err, raw)
+	}
+	return raw, nil
+}
+
+// zoneSpan is the source extent of one zone function.
+type zoneSpan struct {
+	name       string
+	file       string
+	start, end int // line range, inclusive
+}
+
+// zoneSpans resolves the zone's functions to source spans and cross-checks
+// the //lea:noalloc annotations against the zone map, reporting LEA0503 for
+// drift in either direction (a mapped function that is missing or
+// unannotated, or an annotated function the map does not list).
+func zoneSpans(pkg *analysis.Package, z Zone) ([]zoneSpan, []analysis.Finding) {
+	wanted := make(map[string]bool, len(z.Funcs))
+	for _, f := range z.Funcs {
+		wanted[f.Name] = true
+	}
+	var spans []zoneSpan
+	var out []analysis.Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := funcName(fd)
+			annotated := hasNoallocAnnotation(fd)
+			pos := pkg.Fset.Position(fd.Name.Pos())
+			switch {
+			case wanted[name] && !annotated:
+				out = append(out, analysis.Finding{Pos: pos, Code: "LEA0503",
+					Msg: fmt.Sprintf("%s is in the noalloc zone map but has no //lea:noalloc annotation", name)})
+			case !wanted[name] && annotated:
+				out = append(out, analysis.Finding{Pos: pos, Code: "LEA0503",
+					Msg: fmt.Sprintf("%s is annotated //lea:noalloc but missing from the zone map (internal/analysis/escape/zones.go)", name)})
+			}
+			if wanted[name] {
+				delete(wanted, name)
+				spans = append(spans, zoneSpan{
+					name:  name,
+					file:  pos.Filename,
+					start: pkg.Fset.Position(fd.Pos()).Line,
+					end:   pkg.Fset.Position(fd.End()).Line,
+				})
+			}
+		}
+	}
+	for name := range wanted {
+		out = append(out, analysis.Finding{
+			Pos:  pkg.Fset.Position(pkg.Files[0].Name.Pos()),
+			Code: "LEA0503",
+			Msg:  fmt.Sprintf("zone map lists %s.%s but no such function exists; update internal/analysis/escape/zones.go", z.Pkg, name),
+		})
+	}
+	return spans, out
+}
+
+// funcName renders a FuncDecl as its zone-map name: "name" for package-level
+// functions, "Type.name" for methods (pointer receivers stripped).
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// hasNoallocAnnotation reports whether the function's doc comment contains a
+// //lea:noalloc directive line.
+func hasNoallocAnnotation(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "lea:noalloc" {
+			return true
+		}
+	}
+	return false
+}
+
+// marker is one //lea:allocs declaration.
+type marker struct {
+	pos    token.Position
+	reason string
+	used   bool
+}
+
+// collectMarkers gathers every //lea:allocs marker of the package, keyed by
+// file and line. A marker without a reason is itself a finding (LEA0502):
+// the reason is the documentation that justifies the cold allocation.
+func collectMarkers(pkg *analysis.Package) (map[string]map[int]*marker, []analysis.Finding) {
+	markers := make(map[string]map[int]*marker)
+	var out []analysis.Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lea:allocs")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				reason := strings.TrimSpace(rest)
+				if reason == "" {
+					out = append(out, analysis.Finding{Pos: pos, Code: "LEA0502",
+						Msg: "//lea:allocs marker has no reason; state why this cold-path allocation is acceptable"})
+					continue
+				}
+				byLine := markers[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]*marker)
+					markers[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = &marker{pos: pos, reason: reason}
+			}
+		}
+	}
+	return markers, out
+}
+
+// matchDiagnostics pairs compiler diagnostics with zone spans and markers:
+// an in-zone diagnostic with no marker on its line (or the line above) is
+// LEA0501; a marker no diagnostic consumed is stale, LEA0502. Diagnostics
+// outside every zone span are ignored — cold code may allocate freely.
+func matchDiagnostics(diags []Diagnostic, spans []zoneSpan, markers map[string]map[int]*marker) []analysis.Finding {
+	var out []analysis.Finding
+	for _, d := range diags {
+		span, ok := spanContaining(spans, d.File, d.Line)
+		if !ok {
+			continue
+		}
+		if m := markerFor(markers, d.File, d.Line); m != nil {
+			m.used = true
+			continue
+		}
+		out = append(out, analysis.Finding{
+			Pos:  token.Position{Filename: d.File, Line: d.Line, Column: d.Col},
+			Code: "LEA0501",
+			Msg: fmt.Sprintf("%s inside noalloc zone %s; eliminate the allocation or declare it cold with a //lea:allocs <reason> marker",
+				d.Msg, span.name),
+		})
+	}
+	for _, byLine := range markers {
+		for _, m := range byLine {
+			if !m.used {
+				out = append(out, analysis.Finding{Pos: m.pos, Code: "LEA0502",
+					Msg: "stale //lea:allocs marker: no compiler allocation diagnostic matches this line or the line below"})
+			}
+		}
+	}
+	return out
+}
+
+// spanContaining finds the zone span covering a position, if any.
+func spanContaining(spans []zoneSpan, file string, line int) (zoneSpan, bool) {
+	for _, s := range spans {
+		if s.file == file && line >= s.start && line <= s.end {
+			return s, true
+		}
+	}
+	return zoneSpan{}, false
+}
+
+// markerFor looks up a marker on the diagnostic's own line (trailing
+// comment) or the line directly above it.
+func markerFor(markers map[string]map[int]*marker, file string, line int) *marker {
+	byLine := markers[file]
+	if byLine == nil {
+		return nil
+	}
+	if m := byLine[line]; m != nil {
+		return m
+	}
+	return byLine[line-1]
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// goroutinePass enforces goroutine-lifecycle hygiene in internal/ and cmd/
+// packages: every `go` statement must be visibly tied to a completion
+// mechanism, so no spawn is fire-and-forget.
+//
+//   - LEA0410: an untied spawn. A goroutine counts as tied when its function
+//     literal body signals completion — a WaitGroup Done, a close(), or a
+//     channel send — or, for a named call (`go e.worker()`), when the
+//     statement immediately before the spawn is a WaitGroup Add (the
+//     `wg.Add(1); go e.worker()` idiom, with `defer wg.Done()` inside).
+//   - LEA0411: a spawn while a lock is held. The new goroutine races the
+//     critical section that created it; move the spawn after the unlock.
+//
+// Like the locks pass this is syntactic and per-function; it encodes the
+// repo's observed spawn idioms, not a general escape analysis. A tied-looking
+// spawn that drops its Done on an error path is the -race detector's job;
+// this pass guarantees reviewers see an explicit lifecycle at every site.
+type goroutinePass struct{}
+
+// Name implements Pass.
+func (goroutinePass) Name() string { return "goroutines" }
+
+// Doc implements Pass.
+func (goroutinePass) Doc() string {
+	return "every go statement tied to a WaitGroup, done-channel or send; no spawns under locks"
+}
+
+// Codes implements Pass.
+func (goroutinePass) Codes() []Code {
+	return []Code{
+		{ID: "LEA0410", Summary: "fire-and-forget goroutine with no visible completion tie"},
+		{ID: "LEA0411", Summary: "goroutine spawned while a lock is held"},
+	}
+}
+
+// Run implements Pass.
+func (goroutinePass) Run(p *Package) []Finding {
+	if !p.Internal() && !strings.HasPrefix(p.Rel, "cmd/") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, sc := range lockScopes(file) {
+			out = append(out, scanSpawns(p, sc)...)
+		}
+	}
+	return out
+}
+
+// scanSpawns walks one function body tracking held locks (same block-scoped
+// model as the locks pass) and checks every go statement it owns.
+func scanSpawns(p *Package, sc lockScope) []Finding {
+	var out []Finding
+
+	var walkList func(list []ast.Stmt, held int) int
+	var walkStmt func(st ast.Stmt, prev ast.Stmt, held int) int
+	walkStmt = func(st ast.Stmt, prev ast.Stmt, held int) int {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, isCall := s.X.(*ast.CallExpr); isCall {
+				if _, m, ok := lockCall(call); ok {
+					switch {
+					case lockMethods[m]:
+						return held + 1
+					case unlockMethods[m]:
+						if held > 0 {
+							return held - 1
+						}
+					}
+				}
+			}
+		case *ast.GoStmt:
+			if held > 0 {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(s.Go),
+					Code: "LEA0411",
+					Msg:  fmt.Sprintf("%s spawns a goroutine while holding a lock; move the spawn after the critical section", sc.name),
+				})
+			}
+			if !spawnTied(s, prev) {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(s.Go),
+					Code: "LEA0410",
+					Msg:  fmt.Sprintf("fire-and-forget goroutine in %s; tie it to a WaitGroup (Add before, defer Done inside), a done-channel close, or a result send", sc.name),
+				})
+			}
+		case *ast.BlockStmt:
+			walkList(s.List, held)
+		case *ast.IfStmt:
+			walkList(s.Body.List, held)
+			if s.Else != nil {
+				walkStmt(s.Else, nil, held)
+			}
+		case *ast.ForStmt:
+			walkList(s.Body.List, held)
+		case *ast.RangeStmt:
+			walkList(s.Body.List, held)
+		case *ast.SwitchStmt:
+			for _, cc := range s.Body.List {
+				if clause, okc := cc.(*ast.CaseClause); okc {
+					walkList(clause.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				if clause, okc := cc.(*ast.CaseClause); okc {
+					walkList(clause.Body, held)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if clause, okc := cc.(*ast.CommClause); okc {
+					walkList(clause.Body, held)
+				}
+			}
+		case *ast.LabeledStmt:
+			return walkStmt(s.Stmt, prev, held)
+		}
+		return held
+	}
+	walkList = func(list []ast.Stmt, held int) int {
+		var prev ast.Stmt
+		for _, st := range list {
+			held = walkStmt(st, prev, held)
+			prev = st
+		}
+		return held
+	}
+
+	walkList(sc.body.List, 0)
+	return out
+}
+
+// spawnTied reports whether a go statement is visibly tied to a completion
+// mechanism (see the pass doc for the accepted idioms).
+func spawnTied(s *ast.GoStmt, prev ast.Stmt) bool {
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		return bodySignalsCompletion(lit.Body)
+	}
+	// Named call: accept the `wg.Add(1); go e.worker()` idiom — the Done lives
+	// inside the named function, out of this scope's sight, so the adjacent
+	// Add is the visible half of the contract.
+	return isWaitGroupAdd(prev)
+}
+
+// bodySignalsCompletion reports whether a spawned literal's body contains a
+// completion signal: a WaitGroup Done (deferred or not), a close(), or a
+// channel send. Nested function literals count — a goroutine that delegates
+// its signalling to a helper closure is still tied.
+func bodySignalsCompletion(body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			tied = true
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					tied = true
+				}
+			case *ast.Ident:
+				if fun.Name == "close" && fun.Obj == nil {
+					tied = true
+				}
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// isWaitGroupAdd reports whether a statement is a WaitGroup-style
+// `recv.Add(...)` call.
+func isWaitGroupAdd(st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Add" && renderChain(sel.X) != ""
+}

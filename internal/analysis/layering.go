@@ -22,22 +22,25 @@ var layerRank = map[string]int{
 	"internal/analysis": 0,
 	"internal/graph":    0,
 	"internal/energy":   0,
-	"internal/flow":     1,
-	"internal/ir":       1,
-	"internal/trace":    1,
-	"internal/sched":    2,
-	"internal/opt":      2,
-	"internal/regen":    2,
-	"internal/lifetime": 3,
-	"internal/netbuild": 4,
-	"internal/workload": 4,
-	"internal/check":    5,
-	"internal/core":     6,
-	"internal/baseline": 7,
-	"internal/moa":      7,
-	"internal/viz":      7,
-	"internal/sweep":    7,
-	"internal/simulate": 7,
+	// The escape gate drives the real compiler and reports through the
+	// analysis Finding type, so it sits one rank above the pure-AST linter.
+	"internal/analysis/escape": 1,
+	"internal/flow":            1,
+	"internal/ir":              1,
+	"internal/trace":           1,
+	"internal/sched":           2,
+	"internal/opt":             2,
+	"internal/regen":           2,
+	"internal/lifetime":        3,
+	"internal/netbuild":        4,
+	"internal/workload":        4,
+	"internal/check":           5,
+	"internal/core":            6,
+	"internal/baseline":        7,
+	"internal/moa":             7,
+	"internal/viz":             7,
+	"internal/sweep":           7,
+	"internal/simulate":        7,
 	// The serving stack: the pure request engine sits below the shard router
 	// and the HTTP transport; shard and transport share a rank, so neither
 	// can import the other — both compose only downward through the engine.
@@ -75,6 +78,14 @@ func (layeringPass) Name() string { return "layering" }
 // Doc implements Pass.
 func (layeringPass) Doc() string {
 	return "internal packages import strictly downward through the layer ranks"
+}
+
+// Codes implements Pass.
+func (layeringPass) Codes() []Code {
+	return []Code{
+		{ID: "LEA0001", Summary: "internal import goes upward or sideways through the layer ranks"},
+		{ID: "LEA0002", Summary: "internal or cmd package missing from the layer map"},
+	}
 }
 
 // Run implements Pass.

@@ -89,6 +89,12 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// ModuleInfo resolves the enclosing module for dir: the root directory
+// holding go.mod and the module path declared there.
+func ModuleInfo(dir string) (root, module string, err error) {
+	return moduleRoot(dir)
+}
+
 // moduleRoot walks upward from dir to the enclosing go.mod and returns the
 // root directory and module path.
 func moduleRoot(dir string) (root, module string, err error) {

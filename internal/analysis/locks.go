@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// locksPass enforces the repo's mutex discipline in internal/ and cmd/
+// packages (the exact bug class PR 7 fixed by hand in solveMerged):
+//
+//   - LEA0401: an Unlock/RUnlock in statement position instead of a defer —
+//     an early return or panic between Lock and Unlock leaks the lock.
+//     Extract the critical section into a helper with `defer`.
+//   - LEA0402: a Lock/RLock with no release at all in the same function —
+//     the function returns holding the lock.
+//   - LEA0403: a blocking channel operation (send, receive, select without
+//     default) while a lock is held. Non-blocking selects (with a default
+//     clause) are fine: that is exactly how the engine's admission queue
+//     rejects under load without stalling other lockers.
+//   - LEA0404: acquiring a second lock while one is already held — lock
+//     ordering is a global property no local reader can check, so nested
+//     acquisitions are confined to dedicated helpers that make the order
+//     auditable (take a snapshot under one lock, then merge under the other).
+//
+// The pass is syntactic and per-function: each function body (and each
+// function literal, independently) is one scope. With the defer discipline
+// the pass itself enforces, a lock is held from its acquisition statement to
+// the end of the enclosing block, which is the region the pass models. It
+// deliberately does not track locks handed across function boundaries;
+// the repo's style keeps critical sections within one function.
+type locksPass struct{}
+
+// Name implements Pass.
+func (locksPass) Name() string { return "locks" }
+
+// Doc implements Pass.
+func (locksPass) Doc() string {
+	return "unlocks in defer position; no blocking channel ops or nested locks while held"
+}
+
+// Codes implements Pass.
+func (locksPass) Codes() []Code {
+	return []Code{
+		{ID: "LEA0401", Summary: "manual Unlock/RUnlock; releases must be deferred"},
+		{ID: "LEA0402", Summary: "lock acquired but never released in the same function"},
+		{ID: "LEA0403", Summary: "blocking channel operation while a lock is held"},
+		{ID: "LEA0404", Summary: "nested lock acquisition while another lock is held"},
+	}
+}
+
+// Run implements Pass.
+func (locksPass) Run(p *Package) []Finding {
+	if !p.Internal() && !strings.HasPrefix(p.Rel, "cmd/") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, sc := range lockScopes(file) {
+			out = append(out, scanLockScope(p, sc)...)
+		}
+	}
+	return out
+}
+
+// lockScope is one function body analysed independently: a top-level function
+// or a function literal (goroutine bodies, closures).
+type lockScope struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// lockScopes collects every function body in the file. Function literals are
+// separate scopes — a lock taken by a closure lives and dies with that
+// closure's control flow, not its parent's.
+func lockScopes(file *ast.File) []lockScope {
+	var out []lockScope
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				out = append(out, lockScope{name: x.Name.Name, body: x.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, lockScope{name: "function literal", body: x.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// lockMethods classifies the mutex method names the pass recognises.
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+
+// unlockMethods maps each acquisition method to its release.
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// lockCall decodes a call of the form recv.Lock() / recv.RUnlock() etc.,
+// returning the rendered receiver chain ("e.mu", "entry.mu") and the method
+// name. ok is false for anything that is not a mutex-shaped call.
+func lockCall(call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	m := sel.Sel.Name
+	if !lockMethods[m] && !unlockMethods[m] {
+		return "", "", false
+	}
+	r := renderChain(sel.X)
+	if r == "" {
+		return "", "", false
+	}
+	return r, m, true
+}
+
+// renderChain renders an ident/selector chain ("e.cache.mu"); other
+// expression shapes yield "".
+func renderChain(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := renderChain(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// scanLockScope walks one function body in source order, tracking which
+// receivers are held, and emits the LEA040x findings. The held set is
+// block-scoped: an acquisition inside a nested block (an if body, say) is
+// considered released when the block ends, which matches the defer-in-helper
+// discipline the pass enforces.
+func scanLockScope(p *Package, sc lockScope) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, code, msg string) {
+		out = append(out, Finding{Pos: p.Fset.Position(pos), Code: code, Msg: msg})
+	}
+
+	// First pass: which receivers have any release (defer or manual) in this
+	// scope? Acquisitions of receivers with no release at all are LEA0402.
+	released := map[string]bool{}
+	walkOwnNodes(sc.body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if recv, m, ok := lockCall(x.Call); ok && unlockMethods[m] {
+				released[recv] = true
+			}
+		case *ast.ExprStmt:
+			if call, isCall := x.X.(*ast.CallExpr); isCall {
+				if recv, m, ok := lockCall(call); ok && unlockMethods[m] {
+					released[recv] = true
+				}
+			}
+		}
+	})
+
+	var walkList func(list []ast.Stmt, held []string) []string
+	heldNames := func(held []string) string { return strings.Join(held, ", ") }
+
+	// walkStmt advances the held set across one statement, recursing into its
+	// blocks. Nested blocks get a copy of the set: their acquisitions expire
+	// with the block.
+	var walkStmt func(st ast.Stmt, held []string) []string
+	walkStmt = func(st ast.Stmt, held []string) []string {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, isCall := s.X.(*ast.CallExpr); isCall {
+				if recv, m, ok := lockCall(call); ok {
+					switch {
+					case lockMethods[m]:
+						if len(held) > 0 {
+							report(s.Pos(), "LEA0404",
+								fmt.Sprintf("%s acquires %s.%s while already holding %s; confine nested locking to a dedicated snapshot/merge helper",
+									sc.name, recv, m, heldNames(held)))
+						}
+						if !released[recv] {
+							report(s.Pos(), "LEA0402",
+								fmt.Sprintf("%s acquires %s.%s but never releases it in this function", sc.name, recv, m))
+						}
+						return append(append([]string(nil), held...), recv)
+					case unlockMethods[m]:
+						report(s.Pos(), "LEA0401",
+							fmt.Sprintf("%s releases %s with a plain %s call; move the critical section into a helper with `defer %s.%s()`",
+								sc.name, recv, m, recv, m))
+						return removeHeld(held, recv)
+					}
+				}
+			}
+			reportBlockingRecv(p, sc, s, held, report)
+		case *ast.DeferStmt:
+			// A deferred unlock pairs with its acquisition; nothing to track —
+			// the receiver stays held until the scope ends.
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				report(s.Arrow, "LEA0403",
+					fmt.Sprintf("%s sends on a channel while holding %s; a blocked receiver would stall every other locker",
+						sc.name, heldNames(held)))
+			}
+		case *ast.SelectStmt:
+			if hasDefaultClause(s) {
+				// Non-blocking: the comm clauses themselves are fine, but the
+				// chosen case's body still runs under the lock.
+				for _, cc := range s.Body.List {
+					if clause, okc := cc.(*ast.CommClause); okc {
+						walkList(clause.Body, held)
+					}
+				}
+				return held
+			}
+			if len(held) > 0 {
+				report(s.Select, "LEA0403",
+					fmt.Sprintf("%s blocks in a select (no default) while holding %s", sc.name, heldNames(held)))
+				return held
+			}
+			for _, cc := range s.Body.List {
+				if clause, okc := cc.(*ast.CommClause); okc {
+					walkList(clause.Body, held)
+				}
+			}
+		case *ast.BlockStmt:
+			walkList(s.List, held)
+		case *ast.IfStmt:
+			walkList(s.Body.List, held)
+			if s.Else != nil {
+				walkStmt(s.Else, held)
+			}
+		case *ast.ForStmt:
+			walkList(s.Body.List, held)
+		case *ast.RangeStmt:
+			// Ranging over a channel blocks per iteration.
+			if len(held) > 0 && isChanRangeExpr(s) {
+				report(s.For, "LEA0403",
+					fmt.Sprintf("%s ranges over a channel while holding %s", sc.name, heldNames(held)))
+			}
+			walkList(s.Body.List, held)
+		case *ast.SwitchStmt:
+			for _, cc := range s.Body.List {
+				if clause, okc := cc.(*ast.CaseClause); okc {
+					walkList(clause.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				if clause, okc := cc.(*ast.CaseClause); okc {
+					walkList(clause.Body, held)
+				}
+			}
+		case *ast.LabeledStmt:
+			return walkStmt(s.Stmt, held)
+		case *ast.GoStmt:
+			// The goroutines pass owns spawn hygiene (LEA0410/LEA0411).
+		default:
+			reportBlockingRecv(p, sc, st, held, report)
+		}
+		return held
+	}
+
+	walkList = func(list []ast.Stmt, held []string) []string {
+		held = append([]string(nil), held...)
+		for _, st := range list {
+			held = walkStmt(st, held)
+		}
+		return held
+	}
+
+	walkList(sc.body.List, nil)
+	return out
+}
+
+// removeHeld returns held without recv (first occurrence).
+func removeHeld(held []string, recv string) []string {
+	for i, h := range held {
+		if h == recv {
+			return append(append([]string(nil), held[:i]...), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// hasDefaultClause reports whether a select has a default clause (making it
+// non-blocking).
+func hasDefaultClause(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if clause, ok := cc.(*ast.CommClause); ok && clause.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isChanRangeExpr is a syntactic guess at "range over a channel": a bare
+// range with no key/value is the common channel-drain shape; everything else
+// (slices, maps) ranges with an index and never blocks.
+func isChanRangeExpr(s *ast.RangeStmt) bool {
+	return s.Key == nil && s.Value == nil
+}
+
+// reportBlockingRecv scans one leaf statement's expressions for channel
+// receives (<-ch), which block like sends. Function literals inside the
+// statement are separate scopes and are skipped.
+func reportBlockingRecv(p *Package, sc lockScope, st ast.Stmt, held []string, report func(token.Pos, string, string)) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				report(x.OpPos, "LEA0403",
+					fmt.Sprintf("%s receives from a channel while holding %s", sc.name, strings.Join(held, ", ")))
+			}
+		}
+		return true
+	})
+}
+
+// walkOwnNodes visits every node of body that belongs to this scope,
+// skipping nested function literals.
+func walkOwnNodes(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

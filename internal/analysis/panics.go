@@ -23,6 +23,13 @@ func (panicPass) Doc() string {
 	return "exported entry points return errors; panics only in New*/Must* preconditions"
 }
 
+// Codes implements Pass.
+func (panicPass) Codes() []Code {
+	return []Code{
+		{ID: "LEA0201", Summary: "exported entry point panics instead of returning an error"},
+	}
+}
+
 // Run implements Pass.
 func (panicPass) Run(p *Package) []Finding {
 	if p.Name == "main" {

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Code is one stable LEA#### finding identifier a pass can emit, with a
+// one-line summary for lealint -list and the README code table.
+type Code struct {
+	// ID is the LEA#### identifier.
+	ID string
+	// Summary describes the rule the code enforces.
+	Summary string
+}
+
+// directiveCodes are the findings the suppression scanner itself emits when
+// an ignore directive is broken. They belong to no pass (the scanner always
+// runs) and are never themselves suppressible — a directive cannot vouch for
+// another directive.
+var directiveCodes = []Code{
+	{ID: "LEA0010", Summary: "lealint:ignore names an unknown (or non-ignorable) finding code"},
+	{ID: "LEA0011", Summary: "lealint:ignore carries no finding codes; it suppresses nothing"},
+	{ID: "LEA0012", Summary: "lealint:ignore suppression has no reason, neither per-code nor shared"},
+}
+
+// escapeCodes mirrors the LEA05xx family emitted by internal/analysis/escape
+// (the compile-time noalloc gate). They are listed here so the suppression
+// scanner can tell a typo from a deliberate-but-unsupported suppression:
+// escape findings are never silenced with lealint:ignore — cold allocation
+// sites inside a noalloc zone are declared with a //lea:allocs marker instead.
+var escapeCodes = []Code{
+	{ID: "LEA0501", Summary: "allocation or heap escape inside a noalloc zone without a //lea:allocs marker"},
+	{ID: "LEA0502", Summary: "stale //lea:allocs marker: no compiler diagnostic matches it (or it lacks a reason)"},
+	{ID: "LEA0503", Summary: "noalloc zone map and //lea:noalloc annotations disagree"},
+}
+
+// registry holds the registered pass set in reporting order.
+var registry []Pass
+
+// MustRegister adds a pass to the registry, panicking on a duplicate pass
+// name or finding code — a registration bug that must fail loudly at init
+// time, not lint time.
+func MustRegister(p Pass) {
+	known := KnownCodes()
+	for _, existing := range registry {
+		if existing.Name() == p.Name() {
+			panic(fmt.Sprintf("analysis: duplicate pass name %q", p.Name()))
+		}
+	}
+	for _, c := range p.Codes() {
+		if _, dup := known[c.ID]; dup {
+			panic(fmt.Sprintf("analysis: pass %q re-registers finding code %s", p.Name(), c.ID))
+		}
+	}
+	registry = append(registry, p)
+}
+
+func init() {
+	MustRegister(layeringPass{})
+	MustRegister(determinismPass{})
+	MustRegister(panicPass{})
+	MustRegister(docPass{})
+	MustRegister(locksPass{})
+	MustRegister(goroutinePass{})
+}
+
+// Passes returns the registered pass set, in reporting order.
+func Passes() []Pass {
+	out := make([]Pass, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// SelectPasses resolves a list of pass names (as printed by lealint -list)
+// to passes, preserving registry order. An empty list selects every pass;
+// an unknown name is an error listing the valid names.
+func SelectPasses(names []string) ([]Pass, error) {
+	if len(names) == 0 {
+		return Passes(), nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n != "" {
+			want[n] = true
+		}
+	}
+	var out []Pass
+	for _, p := range registry {
+		if want[p.Name()] {
+			out = append(out, p)
+			delete(want, p.Name())
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		valid := make([]string, 0, len(registry))
+		for _, p := range registry {
+			valid = append(valid, p.Name())
+		}
+		return nil, fmt.Errorf("analysis: unknown pass(es) %s; valid: %s",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	return out, nil
+}
+
+// KnownCodes maps every finding code the toolchain can emit — registered
+// passes, the directive scanner and the escape gate — to its description.
+func KnownCodes() map[string]Code {
+	out := make(map[string]Code)
+	for _, p := range registry {
+		for _, c := range p.Codes() {
+			out[c.ID] = c
+		}
+	}
+	for _, c := range directiveCodes {
+		out[c.ID] = c
+	}
+	for _, c := range escapeCodes {
+		out[c.ID] = c
+	}
+	return out
+}
+
+// nonIgnorable lists known codes that lealint:ignore cannot silence, mapped
+// to the mechanism that replaces site suppression for them.
+var nonIgnorable = map[string]string{
+	"LEA0010": "fix the directive instead",
+	"LEA0011": "fix the directive instead",
+	"LEA0012": "fix the directive instead",
+	"LEA0501": "declare the cold allocation with a //lea:allocs marker",
+	"LEA0502": "remove or repair the stale //lea:allocs marker",
+	"LEA0503": "align the zone map and //lea:noalloc annotations",
+}

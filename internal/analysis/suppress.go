@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// suppressions indexes lealint:ignore directives by file, line and code.
+type suppressions map[string]map[int]map[string]bool
+
+// matches reports whether the finding is silenced by an ignore directive on
+// its line or the line directly above.
+func (s suppressions) matches(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if lines[line][f.Code] {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressedCode is one code named by a directive, with its per-code reason
+// (empty when the directive relies on a shared trailing reason).
+type suppressedCode struct {
+	code   string
+	reason string
+}
+
+// collectDirectives scans every comment of the package for
+// "lealint:ignore ..." directives, validating each one. It returns the
+// suppression index plus findings for broken directives: unknown or
+// non-ignorable codes (LEA0010), directives naming no code at all (LEA0011),
+// and suppressions with no reason (LEA0012). Directive findings are never
+// themselves suppressible.
+func collectDirectives(pkg *Package) (suppressions, []Finding) {
+	known := KnownCodes()
+	sup := make(suppressions)
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lealint:ignore")
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. "lealint:ignored" — not this directive
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				codes, shared := parseIgnoreDirective(rest)
+				if len(codes) == 0 {
+					out = append(out, Finding{Pos: pos, Code: "LEA0011",
+						Msg: "lealint:ignore names no finding codes; nothing is suppressed"})
+					continue
+				}
+				for _, sc := range codes {
+					if _, exists := known[sc.code]; !exists {
+						out = append(out, Finding{Pos: pos, Code: "LEA0010",
+							Msg: fmt.Sprintf("lealint:ignore names unknown code %s; it suppresses nothing (run lealint -list for the code table)", sc.code)})
+						continue
+					}
+					if how, no := nonIgnorable[sc.code]; no {
+						out = append(out, Finding{Pos: pos, Code: "LEA0010",
+							Msg: fmt.Sprintf("%s cannot be suppressed with lealint:ignore; %s", sc.code, how)})
+						continue
+					}
+					if sc.reason == "" && shared == "" {
+						out = append(out, Finding{Pos: pos, Code: "LEA0012",
+							Msg: fmt.Sprintf("suppression of %s has no reason; add one in parentheses or as trailing text", sc.code)})
+						continue
+					}
+					byLine := sup[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						sup[pos.Filename] = byLine
+					}
+					set := byLine[pos.Line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[pos.Line] = set
+					}
+					set[sc.code] = true
+				}
+			}
+		}
+	}
+	return sup, out
+}
+
+// parseIgnoreDirective parses the text after "lealint:ignore": a sequence of
+// LEA#### codes, each optionally followed by a parenthesised per-code reason,
+// then optional shared trailing reason text. The first token that is not a
+// code ends the code list.
+func parseIgnoreDirective(rest string) (codes []suppressedCode, shared string) {
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if !looksLikeCode(rest) {
+			return codes, rest
+		}
+		code := rest[:7]
+		rest = rest[7:]
+		reason := ""
+		if strings.HasPrefix(rest, "(") {
+			end := strings.IndexByte(rest, ')')
+			if end < 0 {
+				// Unterminated reason: treat the remainder as the reason.
+				reason = strings.TrimSpace(rest[1:])
+				rest = ""
+			} else {
+				reason = strings.TrimSpace(rest[1:end])
+				rest = rest[end+1:]
+			}
+		}
+		codes = append(codes, suppressedCode{code: code, reason: reason})
+		rest = strings.TrimSpace(rest)
+	}
+	return codes, ""
+}
+
+// looksLikeCode reports whether s starts with a LEA#### token ending at a
+// word boundary (space, "(" or end of text).
+func looksLikeCode(s string) bool {
+	if len(s) < 7 || s[:3] != "LEA" {
+		return false
+	}
+	for i := 3; i < 7; i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) == 7 || s[7] == ' ' || s[7] == '\t' || s[7] == '('
+}

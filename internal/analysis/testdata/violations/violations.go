@@ -9,6 +9,7 @@ package violations
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	_ "repro/internal/unmapped"
@@ -39,3 +40,93 @@ func Explode() {
 }
 
 func Undocumented() int { return Limit }
+
+// BadUnlock releases its mutex manually at both exits (LEA0401, twice). The
+// manual releases keep LEA0402 quiet: the lock IS released, just not safely —
+// a panic between Lock and Unlock would leak it.
+func BadUnlock(mu *sync.Mutex, xs []int) int {
+	mu.Lock()
+	if len(xs) == 0 {
+		mu.Unlock()
+		return 0
+	}
+	mu.Unlock()
+	return xs[0]
+}
+
+// LeakLock acquires a lock with no release anywhere in the function
+// (LEA0402); every caller after the first deadlocks.
+func LeakLock(mu *sync.Mutex) {
+	mu.Lock()
+}
+
+// SendLocked performs a blocking channel send while holding its mutex
+// (LEA0403); a slow receiver would stall every other locker.
+func SendLocked(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1
+}
+
+// NestLocks acquires a second mutex while the first is held (LEA0404); lock
+// ordering is a global property no local reader can verify, so the nesting
+// itself is the finding.
+func NestLocks(a, b *sync.Mutex) {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock()
+	defer b.Unlock()
+}
+
+// FireAndForget spawns a goroutine with no visible completion tie (LEA0410).
+func FireAndForget(xs []int) {
+	go func() {
+		_ = len(xs)
+	}()
+}
+
+// SpawnLocked spawns while holding its mutex (LEA0411); the goroutine itself
+// is WaitGroup-tied, so only the lock finding fires.
+func SpawnLocked(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// IgnoreUnknown carries a directive naming a code that does not exist
+// (LEA0010); the directive suppresses nothing.
+func IgnoreUnknown() int {
+	//lealint:ignore LEA9999 no such code exists
+	return Limit
+}
+
+// IgnoreEscape tries to suppress an escape-gate code, which is never
+// ignorable (LEA0010): a //lea:allocs marker is the only valve there.
+func IgnoreEscape() int {
+	//lealint:ignore LEA0501 markers are the only valve
+	return Limit
+}
+
+// IgnoreBare carries a directive that names no codes at all (LEA0011).
+func IgnoreBare() int {
+	//lealint:ignore
+	return Limit
+}
+
+// IgnoreNoReason suppresses a real code but gives no reason (LEA0012), so
+// the suppression is rejected and the panic below still surfaces (LEA0201).
+func IgnoreNoReason() {
+	//lealint:ignore LEA0201
+	panic("still reported")
+}
+
+// Jitter reads both the global rand source and the wall clock on one line;
+// the multi-code directive with per-code reasons suppresses both, so neither
+// LEA0101 nor LEA0102 from this line appears in the golden output.
+func Jitter() int64 {
+	//lealint:ignore LEA0101(corpus demonstrates multi-code) LEA0102(corpus demonstrates multi-code)
+	return time.Now().UnixNano() + int64(rand.Intn(16))
+}

@@ -54,6 +54,8 @@ func (nw *Network) SolveBatchWithCosts(costs []int64, sc *Scratch, comps []Batch
 // SolveBatchWithCostsInto is SolveBatchWithCosts writing the solution and
 // stats into caller-owned storage; on the warm path (prepared batch layout
 // hit) the whole batch solve performs zero heap allocations.
+//
+//lea:noalloc
 func (nw *Network) SolveBatchWithCostsInto(costs []int64, sc *Scratch, comps []BatchComponent, sol *Solution, st *SolveStats) error {
 	if sc == nil {
 		sc = NewScratch()
@@ -66,12 +68,13 @@ func (nw *Network) SolveBatchWithCostsInto(costs []int64, sc *Scratch, comps []B
 	return err
 }
 
+//lea:noalloc
 func (nw *Network) solveBatch(costs []int64, sc *Scratch, comps []BatchComponent, sol *Solution, st *SolveStats) error {
 	if len(comps) == 0 {
 		return fmt.Errorf("flow: batch solve needs at least one component")
 	}
 	if len(costs) != len(nw.from) {
-		return fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.from))
+		return fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.from)) //lea:allocs error path: size-mismatch formatting only
 	}
 	if sc.batchPreparedFor(nw, comps) {
 		st.WarmStart = true
@@ -102,11 +105,11 @@ func (nw *Network) solveBatch(costs []int64, sc *Scratch, comps []BatchComponent
 			return err
 		}
 		if shipped < bp.required {
-			return fmt.Errorf("flow: batch component %d: %w", ci, ErrInfeasible)
+			return fmt.Errorf("flow: batch component %d: %w", ci, ErrInfeasible) //lea:allocs error path: infeasible-component formatting only
 		}
 	}
 
-	sol.FlowByArc = grow64(sol.FlowByArc, len(nw.from))
+	sol.FlowByArc = grow64(sol.FlowByArc, len(nw.from)) //lea:allocs solution slice growth on first solve of a larger batch
 	sol.Cost = 0
 	for i := range nw.from {
 		f := nw.lower[i] + r.flowOn(2*i)
@@ -120,6 +123,8 @@ func (nw *Network) solveBatch(costs []int64, sc *Scratch, comps []BatchComponent
 // batchPreparedFor reports whether the scratch holds a batch-prepared
 // residual matching the network's current shape, supplies and component
 // layout.
+//
+//lea:noalloc
 func (sc *Scratch) batchPreparedFor(nw *Network, comps []BatchComponent) bool {
 	p := &sc.prep
 	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.from) || len(p.comps) != len(comps) {

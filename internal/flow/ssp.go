@@ -84,6 +84,8 @@ func (nw *Network) solveWith(e Engine, sc *Scratch, st *SolveStats) (*Solution, 
 
 // ssp runs successive shortest paths from s to t until `required` units are
 // shipped or t becomes unreachable. Returns the amount shipped.
+//
+//lea:noalloc
 func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 	return sspRange(sc, 0, sc.r.n, s, t, required, st)
 }
@@ -95,6 +97,8 @@ func ssp(sc *Scratch, s, t int, required int64, st *SolveStats) (int64, error) {
 // lo=0, hi=n the loop is exactly the unrestricted algorithm, so a component
 // solved in a batch network takes the same augmenting paths — in the same
 // order — as its solo solve would.
+//
+//lea:noalloc
 func sspRange(sc *Scratch, lo, hi, s, t int, required int64, st *SolveStats) (int64, error) {
 	r := &sc.r
 	r.ensureCSR()
@@ -111,8 +115,8 @@ func sspRange(sc *Scratch, lo, hi, s, t int, required int64, st *SolveStats) (in
 			return 0, err
 		}
 	}
-	sc.dist = grow64(sc.dist, r.n)
-	sc.prevArc = grow32(sc.prevArc, r.n)
+	sc.dist = grow64(sc.dist, r.n)       //lea:allocs scratch growth on first solve of a larger network
+	sc.prevArc = grow32(sc.prevArc, r.n) //lea:allocs scratch growth on first solve of a larger network
 	dist, prevArc := sc.dist, sc.prevArc
 	var shipped int64
 	for shipped < required {
@@ -161,8 +165,10 @@ func sspRange(sc *Scratch, lo, hi, s, t int, required int64, st *SolveStats) (in
 // order suffices — O(V+E). Bellman-Ford remains as the fallback for non-DAG
 // inputs. A plain solve passes the full node range; a batch solve initialises
 // one component's range at a time, leaving the rest of the buffer alone.
+//
+//lea:noalloc
 func initPotentials(r *residual, lo, hi, s int, sc *Scratch) ([]int64, error) {
-	sc.pi = grow64(sc.pi, r.n)
+	sc.pi = grow64(sc.pi, r.n) //lea:allocs potential growth on first solve of a larger network
 	dist := sc.pi
 	for v := lo; v < hi; v++ {
 		dist[v] = infCost
@@ -180,8 +186,10 @@ func initPotentials(r *residual, lo, hi, s int, sc *Scratch) ([]int64, error) {
 // residual capacity and tail in [lo, hi) (Kahn's algorithm). It reports
 // success, having filled dist, only when that subgraph is acyclic; on failure
 // dist is garbage and the caller must fall back to Bellman-Ford.
+//
+//lea:noalloc
 func dagRelax(r *residual, lo, hi int, sc *Scratch, dist []int64) bool {
-	sc.indeg = grow32(sc.indeg, r.n)
+	sc.indeg = grow32(sc.indeg, r.n) //lea:allocs indegree growth on first solve of a larger network
 	indeg := sc.indeg
 	for v := lo; v < hi; v++ {
 		indeg[v] = 0
@@ -194,7 +202,7 @@ func dagRelax(r *residual, lo, hi int, sc *Scratch, dist []int64) bool {
 		}
 	}
 	if cap(sc.order) < r.n {
-		sc.order = make([]int32, 0, r.n)
+		sc.order = make([]int32, 0, r.n) //lea:allocs topo-order growth on first solve of a larger network
 	}
 	q := sc.order[:0]
 	for v := lo; v < hi; v++ {
@@ -237,6 +245,8 @@ func dagRelax(r *residual, lo, hi int, sc *Scratch, dist []int64) bool {
 // conversely a negative cycle never reaches a fixpoint, so the pass cap
 // doubles as the soundness guard and the caller must fall back to a full
 // re-solve when it trips.
+//
+//lea:noalloc
 func repairPotentials(r *residual, pi []int64) bool {
 	for pass := 0; pass <= r.n; pass++ {
 		changed := false
@@ -268,6 +278,8 @@ func repairPotentials(r *residual, pi []int64) bool {
 // ordinary errors. Restricting relaxation to the range keeps a batch solve
 // from walking the residual cycles that other, already-solved components
 // legitimately hold.
+//
+//lea:noalloc
 func bellmanFord(r *residual, lo, hi, s int, dist []int64) ([]int64, error) {
 	for v := lo; v < hi; v++ {
 		dist[v] = infCost
@@ -317,6 +329,8 @@ const (
 // bucket queue pops in O(1) with no sift traffic. Both queues order entries
 // by (distance, push sequence), so the pop sequence — and therefore every
 // relaxation, counter and resulting flow — is byte-identical either way.
+//
+//lea:noalloc
 func dijkstra(r *residual, lo, hi, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats) bool {
 	for v := lo; v < hi; v++ {
 		dist[v] = infCost
@@ -340,6 +354,8 @@ func dijkstra(r *residual, lo, hi, s int, pi, dist []int64, prevArc []int32, sc 
 // reduced costs, each at most the scanned maximum) plus one more arc. The
 // O(E) scan only runs when bucket mode is possible; a forced QueueHeap skips
 // it entirely.
+//
+//lea:noalloc
 func dialBuckets(r *residual, lo, hi int, pi []int64, sc *Scratch) (unit, buckets int64) {
 	if sc.queueMode == QueueHeap {
 		return 1, -1
@@ -386,6 +402,8 @@ func dialBuckets(r *residual, lo, hi int, pi []int64, sc *Scratch) (unit, bucket
 }
 
 // dijkstraHeap is the binary-heap Dijkstra round.
+//
+//lea:noalloc
 func dijkstraHeap(r *residual, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats) {
 	h := &sc.heap
 	h.a = h.a[:0]
@@ -424,6 +442,8 @@ func dijkstraHeap(r *residual, s int, pi, dist []int64, prevArc []int32, sc *Scr
 // current-bucket cursor only moves forward; the queue drains completely every
 // round, which resets all touched buckets to empty as a side effect (the
 // arrays never need clearing between rounds or solves).
+//
+//lea:noalloc
 func dijkstraDial(r *residual, s int, pi, dist []int64, prevArc []int32, sc *Scratch, st *SolveStats, unit, buckets int64) {
 	q := &sc.dial
 	q.reset(buckets)
@@ -473,6 +493,7 @@ type payHeap struct{ a []heapItem }
 
 func (h *payHeap) len() int { return len(h.a) }
 
+//lea:noalloc
 func (h *payHeap) push(x heapItem) {
 	h.a = append(h.a, x)
 	i := len(h.a) - 1
@@ -486,6 +507,7 @@ func (h *payHeap) push(x heapItem) {
 	}
 }
 
+//lea:noalloc
 func (h *payHeap) pop() heapItem {
 	top := h.a[0]
 	last := len(h.a) - 1
@@ -525,14 +547,16 @@ type dialQueue struct {
 }
 
 // reset prepares the queue for a round needing the given bucket count.
+//
+//lea:noalloc
 func (q *dialQueue) reset(buckets int64) {
 	if int64(len(q.head)) < buckets {
 		old := len(q.head)
 		if int64(cap(q.head)) < buckets {
 			old = 0 // grow32 reallocates without copying; re-init everything
 		}
-		q.head = grow32(q.head, int(buckets))
-		q.tailq = grow32(q.tailq, int(buckets))
+		q.head = grow32(q.head, int(buckets))   //lea:allocs bucket growth when the reduced-cost bound rises
+		q.tailq = grow32(q.tailq, int(buckets)) //lea:allocs bucket growth when the reduced-cost bound rises
 		for i := old; i < int(buckets); i++ {
 			q.head[i] = -1
 			q.tailq[i] = -1
@@ -547,6 +571,8 @@ func (q *dialQueue) reset(buckets int64) {
 
 // push prepends an entry with the given key to bucket idx's LIFO head —
 // matching the heap's newest-first order among equal distances.
+//
+//lea:noalloc
 func (q *dialQueue) push(idx int64, key int64, node int32) {
 	e := int32(len(q.key))
 	q.key = append(q.key, key)
@@ -560,6 +586,8 @@ func (q *dialQueue) push(idx int64, key int64, node int32) {
 }
 
 // pop removes and returns the oldest entry of the lowest non-empty bucket.
+//
+//lea:noalloc
 func (q *dialQueue) pop() (int64, int32) {
 	for q.head[q.cur] < 0 {
 		q.cur++
@@ -575,6 +603,8 @@ func (q *dialQueue) pop() (int64, int32) {
 }
 
 // gcd64 returns the non-negative greatest common divisor of a and b.
+//
+//lea:noalloc
 func gcd64(a, b int64) int64 {
 	if a < 0 {
 		a = -a
@@ -590,6 +620,8 @@ func gcd64(a, b int64) int64 {
 
 // gcdSlice returns the gcd of all entries (0 when all are zero): the key
 // quantum of any distance derived from these values.
+//
+//lea:noalloc
 func gcdSlice(xs []int64) int64 {
 	var g int64
 	for _, x := range xs {

@@ -36,12 +36,14 @@ func (nw *Network) SolveWithCosts(e Engine, costs []int64, sc *Scratch) (*Soluti
 // reused (grown only when too small) and st is overwritten wholesale. On the
 // warm path — prepared topology hit, any engine queue — the entire solve
 // performs zero heap allocations.
+//
+//lea:noalloc
 func (nw *Network) SolveWithCostsInto(e Engine, costs []int64, sc *Scratch, sol *Solution, st *SolveStats) error {
 	if e == nil {
 		e = SSP
 	}
 	if sc == nil {
-		sc = NewScratch()
+		sc = NewScratch() //lea:allocs nil-scratch fallback; warm callers pass a reused Scratch
 	}
 	resetStats(st, e.Name())
 	start := time.Now()
@@ -71,12 +73,14 @@ func (nw *Network) MinCostFlowValueWithCosts(e Engine, costs []int64, sc *Scratc
 
 // MinCostFlowValueWithCostsInto is MinCostFlowValueWithCosts writing into
 // caller-owned sol and st, the zero-allocation warm path for value solves.
+//
+//lea:noalloc
 func (nw *Network) MinCostFlowValueWithCostsInto(e Engine, costs []int64, sc *Scratch, s, t int, value int64, sol *Solution, st *SolveStats) error {
 	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
 		return fmt.Errorf("flow: endpoint out of range")
 	}
 	if value < 0 {
-		return fmt.Errorf("flow: negative flow value %d", value)
+		return fmt.Errorf("flow: negative flow value %d", value) //lea:allocs error path: negative-value formatting only
 	}
 	nw.supply[s] += value
 	nw.supply[t] -= value
@@ -87,9 +91,10 @@ func (nw *Network) MinCostFlowValueWithCostsInto(e Engine, costs []int64, sc *Sc
 	return nw.SolveWithCostsInto(e, costs, sc, sol, st)
 }
 
+//lea:noalloc
 func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, sol *Solution, st *SolveStats) error {
 	if len(costs) != len(nw.from) {
-		return fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.from))
+		return fmt.Errorf("flow: cost vector has %d entries for %d arcs", len(costs), len(nw.from)) //lea:allocs error path: size-mismatch formatting only
 	}
 	incremental := false
 	if sc.preparedFor(nw) {
@@ -171,7 +176,7 @@ func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, sol *Sol
 		sc.lastCosts = append(sc.lastCosts[:0], costs...)
 	}
 
-	sol.FlowByArc = grow64(sol.FlowByArc, len(nw.from))
+	sol.FlowByArc = grow64(sol.FlowByArc, len(nw.from)) //lea:allocs solution slice growth on first solve of a larger network
 	sol.Cost = 0
 	for i := range nw.from {
 		f := nw.lower[i] + r.flowOn(2*i)
@@ -185,6 +190,8 @@ func (nw *Network) solveWithCosts(e Engine, costs []int64, sc *Scratch, sol *Sol
 // installCosts writes the per-arc cost vector onto the forward/reverse
 // residual pairs through the raw-to-storage position map; the extra super
 // source/sink arcs keep their constant zero cost.
+//
+//lea:noalloc
 func (sc *Scratch) installCosts(costs []int64) {
 	r := &sc.r
 	for i, c := range costs {
@@ -195,6 +202,8 @@ func (sc *Scratch) installCosts(costs []int64) {
 
 // preparedFor reports whether the scratch holds a prepared residual topology
 // matching the network's current shape and supplies.
+//
+//lea:noalloc
 func (sc *Scratch) preparedFor(nw *Network) bool {
 	p := &sc.prep
 	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.from) || len(p.batch) > 0 {
@@ -273,6 +282,8 @@ func (sc *Scratch) prepare(nw *Network) error {
 // for the incremental re-solve. Live residual capacities are bumped
 // alongside the snapshot so the incremental path can keep its flow; the
 // non-incremental path overwrites them in restoreResidual anyway.
+//
+//lea:noalloc
 func (sc *Scratch) patchSupplies(nw *Network) (ok, grew bool) {
 	p := &sc.prep
 	if !p.valid || p.net != nw || p.n != nw.n || p.m != len(nw.from) || len(p.batch) > 0 {
@@ -328,6 +339,8 @@ func (sc *Scratch) patchSupplies(nw *Network) (ok, grew bool) {
 }
 
 // costsEqual reports element-wise equality of two cost vectors.
+//
+//lea:noalloc
 func costsEqual(a, b []int64) bool {
 	if len(a) != len(b) {
 		return false
@@ -344,6 +357,8 @@ func costsEqual(a, b []int64) bool {
 // arcs a previous engine appended (cost scaling's return arc) dropped, the
 // CSR permutation re-established, capacities copied back from the snapshot
 // (which prepare took in storage order, after its own ensureCSR).
+//
+//lea:noalloc
 func (sc *Scratch) restoreResidual() *residual {
 	r := &sc.r
 	r.truncate(sc.prep.arcs)
@@ -356,6 +371,8 @@ func (sc *Scratch) restoreResidual() *residual {
 // validPotentials reports whether the scratch's potential vector keeps the
 // reduced cost of every capacitated residual arc non-negative — the
 // precondition for reusing it as the SSP starting potentials.
+//
+//lea:noalloc
 func (sc *Scratch) validPotentials() bool {
 	r := &sc.r
 	if len(sc.pi) < r.n {

@@ -69,11 +69,13 @@ func newBatchStage() *batchStage {
 }
 
 // begin rewinds the stage for a batch of n jobs.
+//
+//lea:noalloc
 func (bs *batchStage) begin(n int) {
 	if cap(bs.results) < n {
-		bs.results = make([]jobResult, n)
-		bs.filled = make([]bool, n)
-		bs.staged = make([]*stagedJob, n)
+		bs.results = make([]jobResult, n) //lea:allocs staging growth when a larger batch arrives
+		bs.filled = make([]bool, n)       //lea:allocs staging growth when a larger batch arrives
+		bs.staged = make([]*stagedJob, n) //lea:allocs staging growth when a larger batch arrives
 	}
 	bs.results = bs.results[:n]
 	bs.filled = bs.filled[:n]
@@ -91,6 +93,8 @@ func (bs *batchStage) begin(n int) {
 // runBatch executes a coalesced batch of jobs with panic containment and the
 // same per-request metrics accounting as runJob. bs is the worker's reusable
 // staging storage.
+//
+//lea:noalloc
 func (e *Engine) runBatch(jobs []*job, bs *batchStage) {
 	e.inflight.Add(int64(len(jobs)))
 	start := time.Now()
@@ -237,21 +241,10 @@ func (e *Engine) stageJob(j *job) (sj *stagedJob, err error) {
 
 			key := cacheKey(set, req.Options)
 			entry := e.cache.acquire(key)
-			entry.mu.Lock()
-			hit := entry.pre != nil
-			if hit {
-				e.cacheHits.Inc()
-			} else {
-				e.cacheMisses.Inc()
-				pre, err := core.Prepare(set, opts)
-				if err != nil {
-					entry.mu.Unlock()
-					return nil, badRequest("program", fmt.Sprintf("block %q does not prepare", block.Name), err)
-				}
-				entry.pre = pre
+			pre, hit, err := e.resolveTemplate(entry, set, opts)
+			if err != nil {
+				return nil, badRequest("program", fmt.Sprintf("block %q does not prepare", block.Name), err)
 			}
-			pre := entry.pre
-			entry.mu.Unlock()
 
 			ukey := fmt.Sprintf("%s|r=%d|cost=%s", key, req.Options.Registers, req.Options.Cost)
 			u := local[ukey]
@@ -276,10 +269,31 @@ func (e *Engine) stageJob(j *job) (sj *stagedJob, err error) {
 	return sj, nil
 }
 
+// resolveTemplate returns the entry's prepared template under the entry
+// lock, preparing it on first use (a cache miss); hit reports whether the
+// template was already resident.
+func (e *Engine) resolveTemplate(entry *cacheEntry, set *lifetime.Set, opts core.Options) (pre *core.Prepared, hit bool, err error) {
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if entry.pre != nil {
+		e.cacheHits.Inc()
+		return entry.pre, true, nil
+	}
+	e.cacheMisses.Inc()
+	pre, err = core.Prepare(set, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	entry.pre = pre
+	return pre, false, nil
+}
+
 // solveUnits solves every staged unit: solo-engine units and a lone SSP unit
 // on the per-template warm path, two or more SSP units as one merged batch
 // solve. A solo solve of a unit shared by several blocks still counts as a
 // coalesced batch — one solve answered many queued blocks.
+//
+//lea:noalloc
 func (e *Engine) solveUnits(units map[string]*batchUnit, bs *batchStage) {
 	keys := bs.keys[:0]
 	for k := range units {
@@ -313,13 +327,23 @@ func (e *Engine) solveUnits(units map[string]*batchUnit, bs *batchStage) {
 
 // solveSolo solves one unit on the template's own warm path, serialised on
 // the cache entry like the non-batched worker path.
+//
+//lea:noalloc
 func (e *Engine) solveSolo(u *batchUnit) {
-	u.entry.mu.Lock()
-	u.res, u.err = u.pre.Allocate(u.registers, u.co)
-	u.entry.mu.Unlock()
+	u.solve()
 	if u.err == nil {
 		e.recordRunStats(u.res.Stats)
 	}
+}
+
+// solve runs the unit's allocation while holding its cache-entry lock; the
+// per-entry mutex is what serialises warm re-solves on a shared template.
+//
+//lea:noalloc
+func (u *batchUnit) solve() {
+	u.entry.mu.Lock()
+	defer u.entry.mu.Unlock()
+	u.res, u.err = u.pre.Allocate(u.registers, u.co)
 }
 
 // solveMerged coalesces the units into one super-network of disjoint

@@ -79,6 +79,7 @@ func (h *Histogram) Observe(d time.Duration) {
 		ns = 0
 	}
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.buckets[bucketOf(ns)]++
 	h.count++
 	h.sum += ns
@@ -88,7 +89,6 @@ func (h *Histogram) Observe(d time.Duration) {
 	if ns > h.max {
 		h.max = ns
 	}
-	h.mu.Unlock()
 }
 
 // Merge folds src's observations into h exactly: the log buckets are
@@ -104,13 +104,15 @@ func (h *Histogram) Merge(src *Histogram) {
 	if src == h {
 		return
 	}
-	src.mu.Lock()
-	buckets, count, sum, mn, mx := src.buckets, src.count, src.sum, src.min, src.max
-	src.mu.Unlock()
+	// Two-phase locking keeps the merge deadlock-free without a lock order:
+	// snapshot src under its own lock only, then fold under h's lock only —
+	// the two locks are never held together.
+	buckets, count, sum, mn, mx := src.capture()
 	if count == 0 {
 		return
 	}
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	for i, n := range buckets {
 		h.buckets[i] += n
 	}
@@ -122,7 +124,13 @@ func (h *Histogram) Merge(src *Histogram) {
 	}
 	h.count += count
 	h.sum += sum
-	h.mu.Unlock()
+}
+
+// capture snapshots the histogram's state under its lock.
+func (h *Histogram) capture() (buckets [histBuckets]int64, count, sum, mn, mx int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets, h.count, h.sum, h.min, h.max
 }
 
 // Count returns the number of observations.
@@ -292,9 +300,25 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 // writeText renders the metrics with suffix (a rendered label set or empty)
-// between each metric name and its value.
+// between each metric name and its value. Rendering happens outside the
+// registry lock — renderLines holds it only while walking the maps — so a
+// slow writer never blocks metric updates.
 func (r *Registry) writeText(w io.Writer, suffix string) error {
+	lines := r.renderLines(suffix)
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderLines formats every metric as an unsorted exposition line, under the
+// registry lock.
+func (r *Registry) renderLines(suffix string) []string {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	lines := make([]string, 0, len(r.counters)+len(r.gauges)+5*len(r.histograms))
 	for name, c := range r.counters {
 		lines = append(lines, fmt.Sprintf("%s%s %d", name, suffix, c.Value()))
@@ -312,12 +336,5 @@ func (r *Registry) writeText(w io.Writer, suffix string) error {
 			fmt.Sprintf("%s_p99_ns%s %d", name, suffix, s.P99NS),
 		)
 	}
-	r.mu.Unlock()
-	sort.Strings(lines)
-	for _, l := range lines {
-		if _, err := fmt.Fprintln(w, l); err != nil {
-			return err
-		}
-	}
-	return nil
+	return lines
 }

@@ -251,18 +251,8 @@ func (e *Engine) Allocate(ctx context.Context, req *Request) (*Response, error) 
 	}
 	j := &job{ctx: ctx, req: req, done: make(chan jobResult, 1)}
 
-	e.closeMu.RLock()
-	if e.closed {
-		e.closeMu.RUnlock()
-		return nil, ErrClosed
-	}
-	select {
-	case e.queue <- j:
-		e.closeMu.RUnlock()
-	default:
-		e.closeMu.RUnlock()
-		e.overloads.Inc()
-		return nil, ErrOverloaded
+	if err := e.enqueue(j); err != nil {
+		return nil, err
 	}
 	e.queueDepth.Set(int64(len(e.queue)))
 
@@ -280,12 +270,7 @@ func (e *Engine) Allocate(ctx context.Context, req *Request) (*Response, error) 
 // remaining workers are abandoned (they stop after their current job since
 // the queue is closed) and the context error returned. Close is idempotent.
 func (e *Engine) Close(ctx context.Context) error {
-	e.closeMu.Lock()
-	if !e.closed {
-		e.closed = true
-		close(e.queue)
-	}
-	e.closeMu.Unlock()
+	e.markClosed()
 
 	done := make(chan struct{})
 	go func() {
@@ -300,16 +285,47 @@ func (e *Engine) Close(ctx context.Context) error {
 	}
 }
 
+// enqueue admits one job under the close lock. The send is non-blocking —
+// a full queue rejects immediately instead of stalling other lockers — and
+// the held RLock pins the closed flag so the send cannot race markClosed's
+// close(e.queue).
+func (e *Engine) enqueue(j *job) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.queue <- j:
+		return nil
+	default:
+		e.overloads.Inc()
+		return ErrOverloaded
+	}
+}
+
+// markClosed flips the engine closed and closes the queue exactly once.
+func (e *Engine) markClosed() {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+}
+
 // worker drains the queue until Close. With BatchMax > 1 it additionally
 // drains whatever requests queued up behind the first one — without waiting —
 // and runs them as one coalesced batch: queueing delay is converted into
 // solver amortisation exactly when the queue is non-empty.
+//
+//lea:noalloc
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	// Per-worker staging storage, reused across every batch this worker
 	// coalesces: no per-batch slice/map churn on the serving hot path.
-	bs := newBatchStage()
-	batch := make([]*job, 0, e.cfg.BatchMax)
+	bs := newBatchStage()                    //lea:allocs per-worker staging allocated once at startup
+	batch := make([]*job, 0, e.cfg.BatchMax) //lea:allocs per-worker staging allocated once at startup
 	for j := range e.queue {
 		batch = append(batch[:0], j)
 		for len(batch) < e.cfg.BatchMax {
@@ -329,6 +345,8 @@ func (e *Engine) worker() {
 }
 
 // tryDequeue takes one queued job without blocking.
+//
+//lea:noalloc
 func (e *Engine) tryDequeue() (*job, bool) {
 	select {
 	case j, ok := <-e.queue:

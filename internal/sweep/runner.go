@@ -112,6 +112,8 @@ func (rn *Runner) Run() (*Grid, error) {
 // cells, so workers parallelise over them; cells within a column share the
 // prepared problem and solve warm, one cost model at a time so consecutive
 // solves keep compatible potentials.
+//
+//lea:noalloc
 func (rn *Runner) solveColumn(di int, g *Grid) {
 	nd := len(rn.opt.Divisors)
 	col := &rn.cols[di]

@@ -13,6 +13,12 @@ cd "$(dirname "$0")/.."
 runs="${BENCH_GATE_RUNS:-3}"
 tol="${BENCH_GATE_TOL:-4.0}"
 
+# The noalloc zone map (internal/analysis/escape/zones.go) and the
+# AllocsPerRun zero-alloc tests must name the same warm API before the
+# runtime numbers mean anything: a root without an assertion (or vice versa)
+# is gate drift, caught here rather than after a silent regression.
+go run ./cmd/lealint -zonecheck
+
 exec go run ./cmd/leabench -gate \
   -gate-baseline BENCH_sweep.json \
   -gate-runs "$runs" \

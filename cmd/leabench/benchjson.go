@@ -12,6 +12,8 @@ import (
 	"repro/internal/flow"
 	"repro/internal/lifetime"
 	"repro/internal/netbuild"
+	"repro/internal/perfobs"
+	"repro/internal/perfobs/store"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -32,18 +34,29 @@ type benchResult struct {
 // JSON schema (shared with leaflow -json, leaload -json and leaserved
 // /statsz).
 type benchSnapshot struct {
+	// Provenance stamps (additive: snapshots written before these fields
+	// existed still parse, the gate just reports their provenance as unknown).
+	Commit    string        `json:"commit,omitempty"`
+	Dirty     bool          `json:"dirty,omitempty"`
+	GoVersion string        `json:"go_version,omitempty"`
+	Host      *perfobs.Host `json:"host_fingerprint,omitempty"`
+
 	Benchmarks []benchResult            `json:"benchmarks"`
 	Speedups   map[string]float64       `json:"speedups"`
 	RunStats   map[string]core.RunStats `json:"run_stats"`
 }
 
 // runBenchJSON measures the sweep and solver benchmarks via
-// testing.Benchmark and writes the snapshot as JSON to path.
-func runBenchJSON(w io.Writer, path string) error {
+// testing.Benchmark and writes the snapshot as JSON to path, stamped with
+// commit/host provenance. A non-empty trajectoryDir additionally appends the
+// measurement to the perf-trajectory store as a kind "bench" record.
+func runBenchJSON(w io.Writer, path, trajectoryDir string) error {
 	snap, err := measureSnapshot(w)
 	if err != nil {
 		return err
 	}
+	meta := perfobs.CollectMeta()
+	snap.stamp(meta)
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -53,7 +66,46 @@ func runBenchJSON(w io.Writer, path string) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", path)
+	if trajectoryDir != "" {
+		rec := benchRecordFrom(snap.Benchmarks, meta)
+		if err := appendTrajectory(w, trajectoryDir, rec); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// stamp copies the provenance block onto the snapshot.
+func (s *benchSnapshot) stamp(meta perfobs.Meta) {
+	s.Commit = meta.Commit
+	s.Dirty = meta.Dirty
+	s.GoVersion = meta.GoVersion
+	host := meta.Host
+	s.Host = &host
+}
+
+// appendTrajectory writes rec into the JSONL trend store under dir and notes
+// the append on w.
+func appendTrajectory(w io.Writer, dir string, rec *perfobs.Record) error {
+	if err := store.Open(dir).Append(rec); err != nil {
+		return fmt.Errorf("trajectory append: %w", err)
+	}
+	fmt.Fprintf(w, "trajectory: appended %s record %s under %s\n", rec.Kind, rec.RunID, dir)
+	return nil
+}
+
+// benchRecordFrom turns measured benchmark rows into a kind "bench"
+// trajectory record, one row per benchmark with the ns/allocs/bytes triple.
+func benchRecordFrom(benchmarks []benchResult, meta perfobs.Meta) *perfobs.Record {
+	rec := perfobs.NewRecord("bench", "leabench", meta)
+	for _, b := range benchmarks {
+		rec.AddRow(b.Name, map[string]float64{
+			"ns_per_op":     b.NsPerOp,
+			"allocs_per_op": float64(b.AllocsPerOp),
+			"bytes_per_op":  float64(b.BytesPerOp),
+		})
+	}
+	return rec
 }
 
 // measureSnapshot runs the full benchmark suite once and returns the

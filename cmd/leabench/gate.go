@@ -6,6 +6,9 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/perfobs"
+	"repro/internal/perfobs/stats"
 )
 
 // gateOptions configures runBenchGate: the committed baseline snapshot to
@@ -15,6 +18,11 @@ type gateOptions struct {
 	Baseline  string  // path to the committed BENCH_sweep.json
 	Runs      int     // fresh measurement runs (median taken per benchmark)
 	Tolerance float64 // fail when median ns/op > baseline ns/op × Tolerance
+	// TrajectoryDir, when non-empty, appends the gate's median measurements
+	// to the perf-trajectory store as a kind "bench" record — the gate is the
+	// one place CI already pays for repeated measurement, so the trajectory
+	// rides along for free.
+	TrajectoryDir string
 }
 
 // runBenchGate is the CI perf gate. It re-measures the benchmark suite
@@ -30,6 +38,8 @@ type gateOptions struct {
 //     CI machines differ from the one that recorded the baseline).
 //
 // Rows measured but absent from the baseline are reported as NEW and pass.
+// The ns/op verdict shares its band arithmetic with leaperf -regress via
+// perfobs/stats, so the two gates can never drift apart.
 func runBenchGate(w io.Writer, opts gateOptions) error {
 	data, err := os.ReadFile(opts.Baseline)
 	if err != nil {
@@ -45,6 +55,7 @@ func runBenchGate(w io.Writer, opts gateOptions) error {
 	if opts.Tolerance <= 0 {
 		opts.Tolerance = 4.0
 	}
+	band := stats.Band{Tolerance: opts.Tolerance}
 	samples := map[string][]benchResult{}
 	for r := 0; r < opts.Runs; r++ {
 		fmt.Fprintf(w, "gate run %d/%d\n", r+1, opts.Runs)
@@ -78,7 +89,7 @@ func runBenchGate(w io.Writer, opts gateOptions) error {
 		case allocs > bb.AllocsPerOp:
 			failures++
 			verdict = fmt.Sprintf("FAIL: allocs regressed %d -> %d", bb.AllocsPerOp, allocs)
-		case med > bb.NsPerOp*opts.Tolerance:
+		case band.Compare(bb.NsPerOp, med, stats.LowerIsBetter) == stats.Regressed:
 			failures++
 			verdict = fmt.Sprintf("FAIL: median %.0f ns/op > %.1fx baseline %.0f",
 				med, opts.Tolerance, bb.NsPerOp)
@@ -101,6 +112,12 @@ func runBenchGate(w io.Writer, opts gateOptions) error {
 		fmt.Fprintf(w, "%-22s %14s %14.0f %10s %10d  NEW (not in baseline)\n",
 			name, "-", medianNs(samples[name]), "-", minAllocs(samples[name]))
 	}
+	if opts.TrajectoryDir != "" {
+		rec := benchRecordFrom(medianResults(samples), perfobs.CollectMeta())
+		if err := appendTrajectory(w, opts.TrajectoryDir, rec); err != nil {
+			return err
+		}
+	}
 	if failures > 0 {
 		return fmt.Errorf("bench gate: %d row(s) failed against %s", failures, opts.Baseline)
 	}
@@ -109,19 +126,41 @@ func runBenchGate(w io.Writer, opts gateOptions) error {
 	return nil
 }
 
-// medianNs returns the median ns/op of the samples (mean of the middle two
-// for an even count).
+// medianResults reduces per-benchmark samples to one row each — median ns/op,
+// minimum allocs/bytes (the same reductions the gate verdicts use) — sorted
+// by name for stable record contents.
+func medianResults(samples map[string][]benchResult) []benchResult {
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]benchResult, 0, len(names))
+	for _, name := range names {
+		s := samples[name]
+		bytes := s[0].BytesPerOp
+		for _, b := range s[1:] {
+			if b.BytesPerOp < bytes {
+				bytes = b.BytesPerOp
+			}
+		}
+		out = append(out, benchResult{
+			Name:        name,
+			NsPerOp:     medianNs(s),
+			AllocsPerOp: minAllocs(s),
+			BytesPerOp:  bytes,
+		})
+	}
+	return out
+}
+
+// medianNs returns the median ns/op of the samples.
 func medianNs(s []benchResult) float64 {
 	ns := make([]float64, len(s))
 	for i, b := range s {
 		ns[i] = b.NsPerOp
 	}
-	sort.Float64s(ns)
-	n := len(ns)
-	if n%2 == 1 {
-		return ns[n/2]
-	}
-	return (ns[n/2-1] + ns[n/2]) / 2
+	return stats.Median(ns)
 }
 
 // minAllocs returns the smallest allocs/op observed across the samples.

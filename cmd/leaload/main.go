@@ -53,6 +53,8 @@ import (
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/perfobs"
+	"repro/internal/perfobs/store"
 	"repro/internal/serve/engine"
 	"repro/internal/serve/shard"
 	"repro/internal/workload"
@@ -82,15 +84,16 @@ type loadConfig struct {
 	strict      bool
 	requireWarm bool
 
-	loop     string
-	rate     float64
-	arrival  string
-	warmup   time.Duration
-	dist     string
-	cutoff   time.Duration
-	sweep    string
-	kneeP99  time.Duration
-	benchOut string
+	loop       string
+	rate       float64
+	arrival    string
+	warmup     time.Duration
+	dist       string
+	cutoff     time.Duration
+	sweep      string
+	kneeP99    time.Duration
+	benchOut   string
+	trajectory string
 }
 
 // run drives the load and writes the report.
@@ -120,6 +123,7 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&cfg.sweep, "sweep", "", "open loop: comma-separated offered rates to step through, reporting the p99 knee")
 	fs.DurationVar(&cfg.kneeP99, "knee-p99", 50*time.Millisecond, "sweep: steady-state p99 budget a stage must meet to count as under the knee")
 	fs.StringVar(&cfg.benchOut, "bench-out", "", "write the machine-readable run/trajectory record (BENCH_load.json) to this path")
+	fs.StringVar(&cfg.trajectory, "trajectory", "", "append the run to the perf-trajectory store under this directory (e.g. trajectory/)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -165,6 +169,8 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	fetchAllStats(&cfg, report, w)
+	meta := perfobs.CollectMeta()
+	report.stamp(meta)
 	if err := report.write(w, cfg.jsonOut); err != nil {
 		return err
 	}
@@ -172,6 +178,16 @@ func run(args []string, w io.Writer) error {
 		if err := writeBenchRecord(cfg.benchOut, report); err != nil {
 			return fmt.Errorf("bench-out: %w", err)
 		}
+	}
+	if cfg.trajectory != "" {
+		rec := loadRecord(&cfg, report, meta)
+		if err := store.Open(cfg.trajectory).Append(rec); err != nil {
+			return fmt.Errorf("trajectory: %w", err)
+		}
+		// The note goes to stderr so a -json report piped to a file stays a
+		// single clean JSON document.
+		fmt.Fprintf(os.Stderr, "leaload: trajectory: appended %s record %s under %s\n",
+			rec.Kind, rec.RunID, cfg.trajectory)
 	}
 	if cfg.strict {
 		if report.Errors > 0 {
@@ -658,6 +674,13 @@ type sweepStage struct {
 // coordinated-omission-safe per-phase breakdown under Open, and sweeps add
 // the per-rate trajectory under Sweep.
 type loadReport struct {
+	// Provenance stamps (additive: reports written before these fields
+	// existed still parse everywhere they are read back).
+	Commit    string        `json:"commit,omitempty"`
+	Dirty     bool          `json:"dirty,omitempty"`
+	GoVersion string        `json:"go_version,omitempty"`
+	Host      *perfobs.Host `json:"host_fingerprint,omitempty"`
+
 	Workers           int                      `json:"workers"`
 	Duration          float64                  `json:"duration_s"`
 	Mix               string                   `json:"mix"`
@@ -717,6 +740,78 @@ func (r *loadReport) fold(t *workerTally) {
 			er.ByError[c] += n
 		}
 	}
+}
+
+// stamp copies the provenance block onto the report.
+func (r *loadReport) stamp(meta perfobs.Meta) {
+	r.Commit = meta.Commit
+	r.Dirty = meta.Dirty
+	r.GoVersion = meta.GoVersion
+	host := meta.Host
+	r.Host = &host
+}
+
+// warmHitRatio derives the server-side cache hit ratio, or -1 when no server
+// stats were reachable (so trend tooling can tell "no data" from "0% warm").
+func (r *loadReport) warmHitRatio() float64 {
+	if r.Server == nil {
+		return -1
+	}
+	total := r.Server.CacheHits + r.Server.CacheMisses
+	if total == 0 {
+		return -1
+	}
+	return float64(r.Server.CacheHits) / float64(total)
+}
+
+// trajectoryLabel names the scenario so the trend store only compares
+// like-for-like runs: loop discipline, popularity distribution and (open
+// loop) the offered rate.
+func trajectoryLabel(cfg *loadConfig) string {
+	switch {
+	case cfg.sweep != "":
+		return fmt.Sprintf("sweep/%s", cfg.dist)
+	case cfg.loop == "open":
+		return fmt.Sprintf("open/%s/rate=%g", cfg.dist, cfg.rate)
+	default:
+		return fmt.Sprintf("closed/%s/workers=%d", cfg.dist, cfg.workers)
+	}
+}
+
+// loadRecord turns the run report into a kind "load" trajectory record: a
+// summary row with the headline numbers, plus one row per sweep stage.
+func loadRecord(cfg *loadConfig, r *loadReport, meta perfobs.Meta) *perfobs.Record {
+	rec := perfobs.NewRecord("load", trajectoryLabel(cfg), meta)
+	summary := map[string]float64{
+		"throughput_rps": r.ThroughputRPS,
+		"p50_ns":         float64(r.Latency.P50NS),
+		"p95_ns":         float64(r.Latency.P95NS),
+		"p99_ns":         float64(r.Latency.P99NS),
+		"requests":       float64(r.Requests),
+		"errors":         float64(r.Errors),
+		"omitted":        float64(r.Omitted),
+	}
+	if ratio := r.warmHitRatio(); ratio >= 0 {
+		summary["warm_hit_ratio"] = ratio
+	}
+	if r.OfferedRPS > 0 {
+		summary["offered_rps"] = r.OfferedRPS
+	}
+	if r.KneeRPS > 0 {
+		summary["knee_rps"] = r.KneeRPS
+	}
+	rec.AddRow("summary", summary)
+	for _, s := range r.Sweep {
+		rec.AddRow(fmt.Sprintf("sweep_%.0frps", s.OfferedRPS), map[string]float64{
+			"offered_rps":  s.OfferedRPS,
+			"achieved_rps": s.AchievedRPS,
+			"p50_ns":       float64(s.P50NS),
+			"p99_ns":       float64(s.P99NS),
+			"errors":       float64(s.Errors),
+			"omitted":      float64(s.Omitted),
+		})
+	}
+	return rec
 }
 
 // benchRecord is the BENCH_load.json document: the load report plus a schema

@@ -1,0 +1,246 @@
+// Command leaperf is the perf-trajectory toolchain: it collects live samples
+// from a running leaserved, stores one JSONL record per run in the
+// append-only trend store (trajectory/ by default), renders per-metric trend
+// tables across commits, diffs two runs, and gates CI on regressions against
+// the recent same-host history.
+//
+// Usage:
+//
+//	leaperf -report                        # trend tables over trajectory/
+//	leaperf -report -kind load -last 10    # narrow by kind and depth
+//	leaperf -diff run1,run2                # metric-by-metric run comparison
+//	leaperf -regress                       # exit 1 if the newest runs regressed
+//	leaperf -regress -github               # same, with CI ::error annotations
+//	leaperf -collect -url http://127.0.0.1:8311 -duration 10s -label smoke
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/perfobs"
+	"repro/internal/perfobs/collector"
+	"repro/internal/perfobs/report"
+	"repro/internal/perfobs/stats"
+	"repro/internal/perfobs/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "leaperf:", err)
+		os.Exit(1)
+	}
+}
+
+// perfConfig is the parsed flag set.
+type perfConfig struct {
+	dir     string
+	doRep   bool
+	kinds   string
+	metrics string
+	last    int
+	diff    string
+
+	doRegress bool
+	tol       float64
+	baselineN int
+	anyHost   bool
+	github    bool
+
+	doCollect bool
+	url       string
+	interval  time.Duration
+	duration  time.Duration
+	label     string
+	kind      string
+}
+
+// run dispatches one leaperf invocation.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("leaperf", flag.ContinueOnError)
+	cfg := perfConfig{}
+	fs.StringVar(&cfg.dir, "dir", "trajectory", "trend store directory (one JSONL file per record kind)")
+	fs.BoolVar(&cfg.doRep, "report", false, "render per-metric trend tables across the stored runs")
+	fs.StringVar(&cfg.kinds, "kind", "", "comma-separated record kinds to include (default: all)")
+	fs.StringVar(&cfg.metrics, "metrics", "", "comma-separated metrics to table (default: the headline set)")
+	fs.IntVar(&cfg.last, "last", 0, "only the most recent N runs per scenario (0 = all)")
+	fs.StringVar(&cfg.diff, "diff", "", "compare two stored runs by ID: base,current")
+	fs.BoolVar(&cfg.doRegress, "regress", false, "gate: exit nonzero when the newest run of any scenario regressed against its recent same-host history")
+	fs.Float64Var(&cfg.tol, "tol", stats.DefaultTolerance, "regression tolerance band (flag when worse than baseline × this)")
+	fs.IntVar(&cfg.baselineN, "baseline-n", 5, "median-of-N baseline depth for -regress")
+	fs.BoolVar(&cfg.anyHost, "any-host", false, "compare across host fingerprints instead of same-host only")
+	fs.BoolVar(&cfg.github, "github", false, "emit GitHub Actions ::error/::notice annotations")
+	fs.BoolVar(&cfg.doCollect, "collect", false, "sample a running daemon's /metrics and append the result to the store")
+	fs.StringVar(&cfg.url, "url", "http://127.0.0.1:8311", "daemon base URL for -collect")
+	fs.DurationVar(&cfg.interval, "interval", time.Second, "scrape interval for -collect")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long -collect samples")
+	fs.StringVar(&cfg.label, "label", "", "scenario label stored with the collected record")
+	fs.StringVar(&cfg.kind, "collect-kind", "smoke", "record kind -collect appends under")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case cfg.doCollect:
+		return runCollect(&cfg, w)
+	case cfg.diff != "":
+		return runDiff(&cfg, w)
+	case cfg.doRegress:
+		return runRegress(&cfg, w)
+	case cfg.doRep:
+		return runReport(&cfg, w)
+	default:
+		return fmt.Errorf("pass -report, -diff base,current, -regress or -collect")
+	}
+}
+
+// loadStore reads the trend store, printing any per-line warnings (corrupt
+// lines are skipped, never fatal — the store is append-only across tool
+// versions).
+func loadStore(cfg *perfConfig, w io.Writer) ([]perfobs.Record, error) {
+	recs, warnings, err := store.Open(cfg.dir).Load()
+	if err != nil {
+		return nil, err
+	}
+	for _, warn := range warnings {
+		fmt.Fprintf(w, "leaperf: warning: %s\n", warn)
+	}
+	return recs, nil
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runReport renders the trend tables.
+func runReport(cfg *perfConfig, w io.Writer) error {
+	recs, err := loadStore(cfg, w)
+	if err != nil {
+		return err
+	}
+	return report.Trend(w, recs, report.TrendOptions{
+		Kinds:   splitList(cfg.kinds),
+		Metrics: splitList(cfg.metrics),
+		Last:    cfg.last,
+	})
+}
+
+// runDiff compares two stored runs by ID.
+func runDiff(cfg *perfConfig, w io.Writer) error {
+	ids := splitList(cfg.diff)
+	if len(ids) != 2 {
+		return fmt.Errorf("-diff wants two run IDs: base,current (got %q)", cfg.diff)
+	}
+	recs, err := loadStore(cfg, w)
+	if err != nil {
+		return err
+	}
+	var base, cur *perfobs.Record
+	for i := range recs {
+		switch recs[i].RunID {
+		case ids[0]:
+			base = &recs[i]
+		case ids[1]:
+			cur = &recs[i]
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("run %q not found under %s", ids[0], cfg.dir)
+	}
+	if cur == nil {
+		return fmt.Errorf("run %q not found under %s", ids[1], cfg.dir)
+	}
+	regressions, err := report.Diff(w, base, cur, report.DiffOptions{Band: stats.Band{Tolerance: cfg.tol}})
+	if err != nil {
+		return err
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed past the %.1fx band", regressions, cfg.tol)
+	}
+	return nil
+}
+
+// runRegress gates the newest run of every scenario against its recent
+// same-host history; notes (scenarios without a usable baseline) never fail
+// the gate, so a fresh host or an empty store stays green.
+func runRegress(cfg *perfConfig, w io.Writer) error {
+	recs, err := loadStore(cfg, w)
+	if err != nil {
+		return err
+	}
+	regs, notes := report.Regress(recs, report.RegressOptions{
+		Band:      stats.Band{Tolerance: cfg.tol},
+		BaselineN: cfg.baselineN,
+		AnyHost:   cfg.anyHost,
+	})
+	for _, note := range notes {
+		if cfg.github {
+			fmt.Fprintf(w, "::notice title=leaperf::%s\n", note)
+		} else {
+			fmt.Fprintf(w, "leaperf: note: %s\n", note)
+		}
+	}
+	for _, r := range regs {
+		if cfg.github {
+			fmt.Fprintf(w, "::error title=perf regression::%s\n", r)
+		} else {
+			fmt.Fprintf(w, "leaperf: REGRESSED: %s\n", r)
+		}
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("%d regression(s) against the stored history (band %.1fx, baseline median of ≤%d runs)",
+			len(regs), cfg.tol, cfg.baselineN)
+	}
+	fmt.Fprintf(w, "leaperf: no regressions across %d stored run(s) (band %.1fx)\n", len(recs), cfg.tol)
+	return nil
+}
+
+// runCollect samples the daemon for the configured duration, appends the
+// record to the store, and prints the summary — including the collector's own
+// overhead fraction, which the CI smoke asserts stays under 1%.
+func runCollect(cfg *perfConfig, w io.Writer) error {
+	c, err := collector.New(collector.Config{URL: cfg.url, Interval: cfg.interval})
+	if err != nil {
+		return err
+	}
+	res, err := c.Run(context.Background(), cfg.duration)
+	if err != nil {
+		return err
+	}
+	if len(res.Samples) == 0 {
+		return fmt.Errorf("no successful scrapes of %s in %s (%d errors)", cfg.url, cfg.duration, res.Errors)
+	}
+	rec := res.Record(cfg.kind, cfg.label, perfobs.CollectMeta())
+	if err := store.Open(cfg.dir).Append(rec); err != nil {
+		return err
+	}
+	s := res.Summarize()
+	fmt.Fprintf(w, "leaperf: %d samples over %.1fs from %s (%d scrape errors)\n",
+		s.Samples, float64(s.ElapsedNS)/1e9, cfg.url, s.Errors)
+	fmt.Fprintf(w, "throughput:      %.1f req/s, warm-hit ratio %.2f, %+.0f errors\n",
+		s.ThroughputRPS, s.WarmHitRatio, s.ErrorsDelta)
+	fmt.Fprintf(w, "process:         rss peak %.1f MiB, heap peak %.1f MiB, goroutines max %.0f\n",
+		s.RSSPeakBytes/(1<<20), s.HeapPeakBytes/(1<<20), s.GoroutinesMax)
+	fmt.Fprintf(w, "gc:              pause p99 %s, pause max %s\n",
+		time.Duration(s.GCPauseP99NS), time.Duration(s.GCPauseMaxNS))
+	fmt.Fprintf(w, "collector cost:  %.4f%% of elapsed (scrape total %s, max %s)\n",
+		100*s.OverheadFraction, time.Duration(s.ScrapeTotalNS), time.Duration(s.ScrapeMaxNS))
+	fmt.Fprintf(w, "overhead_fraction=%.6f\n", s.OverheadFraction)
+	fmt.Fprintf(w, "trajectory: appended %s record %s under %s\n", rec.Kind, rec.RunID, cfg.dir)
+	return nil
+}

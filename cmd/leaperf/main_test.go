@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/perfobs"
+	"repro/internal/perfobs/store"
+)
+
+var testHost = perfobs.Host{OS: "linux", Arch: "amd64", GOMAXPROCS: 4, NumCPU: 4, CPUModel: "testcpu"}
+
+// seedStore writes n load records with the given p99 values into a fresh
+// store directory and returns it.
+func seedStore(t *testing.T, p99s []float64) string {
+	t.Helper()
+	dir := t.TempDir()
+	st := store.Open(dir)
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i, p99 := range p99s {
+		rec := &perfobs.Record{
+			RunID: fmt.Sprintf("run%02d", i), Commit: "abc1234", GoVersion: "go1.22",
+			Host: testHost, StartedAt: base.Add(time.Duration(i) * time.Hour),
+			Kind: "load", Label: "open/uniform/rate=100",
+		}
+		rec.AddRow("summary", map[string]float64{"p99_ns": p99, "throughput_rps": 100})
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestReportRendersTrend(t *testing.T) {
+	dir := seedStore(t, []float64{1000, 1100, 900})
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir, "-report"}, &buf); err != nil {
+		t.Fatalf("report: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p99_ns") || !strings.Contains(out, "run02") {
+		t.Fatalf("trend output missing table content:\n%s", out)
+	}
+}
+
+func TestRegressExitsNonzeroOnInjectedSlowdown(t *testing.T) {
+	// Stable history then a 5× p99 jump: the gate must fail and name the run.
+	dir := seedStore(t, []float64{1000, 1050, 980, 1020, 5000})
+	var buf bytes.Buffer
+	err := run([]string{"-dir", dir, "-regress"}, &buf)
+	if err == nil {
+		t.Fatalf("gate passed an injected 5x slowdown:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "run04") || !strings.Contains(buf.String(), "p99_ns") {
+		t.Fatalf("regression output does not name the offender:\n%s", buf.String())
+	}
+}
+
+func TestRegressPassesInBandNoise(t *testing.T) {
+	dir := seedStore(t, []float64{1000, 1200, 900, 1100, 1050})
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir, "-regress"}, &buf); err != nil {
+		t.Fatalf("gate flagged in-band noise: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Fatalf("missing pass summary:\n%s", buf.String())
+	}
+}
+
+func TestRegressGithubAnnotations(t *testing.T) {
+	dir := seedStore(t, []float64{1000, 1000, 1000, 9000})
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir, "-regress", "-github"}, &buf); err == nil {
+		t.Fatal("gate passed")
+	}
+	if !strings.Contains(buf.String(), "::error title=perf regression::") {
+		t.Fatalf("missing ::error annotation:\n%s", buf.String())
+	}
+}
+
+func TestRegressEmptyStoreStaysGreen(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", t.TempDir(), "-regress"}, &buf); err != nil {
+		t.Fatalf("empty store must not fail the gate: %v", err)
+	}
+}
+
+func TestDiffByRunID(t *testing.T) {
+	dir := seedStore(t, []float64{1000, 1100})
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", dir, "-diff", "run00,run01"}, &buf); err != nil {
+		t.Fatalf("diff: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "p99_ns") {
+		t.Fatalf("diff output missing metrics:\n%s", buf.String())
+	}
+	if err := run([]string{"-dir", dir, "-diff", "run00,missing"}, &buf); err == nil {
+		t.Fatal("diff accepted an unknown run ID")
+	}
+}
+
+func TestCollectAppendsRecord(t *testing.T) {
+	var n int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n++
+		fmt.Fprintf(w, "requests_total %d\ncache_hits_total %d\ncache_misses_total %d\n", n*100, n*50, n*50)
+		fmt.Fprintf(w, "proc_rss_bytes 1048576\nproc_gc_pause_max_ns 1000\nproc_goroutines 5\n")
+	}))
+	defer srv.Close()
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-dir", dir, "-collect", "-url", srv.URL,
+		"-interval", "20ms", "-duration", "120ms", "-label", "unit"}, &buf)
+	if err != nil {
+		t.Fatalf("collect: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "overhead_fraction=") {
+		t.Fatalf("collect output missing overhead line:\n%s", buf.String())
+	}
+	recs, warnings, err := store.Open(dir).Load()
+	if err != nil || len(warnings) != 0 {
+		t.Fatalf("load back: %v %v", err, warnings)
+	}
+	if len(recs) != 1 || recs[0].Kind != "smoke" || recs[0].Label != "unit" {
+		t.Fatalf("stored record wrong: %+v", recs)
+	}
+	if recs[0].FindRow("summary") == nil || recs[0].FindRow("proc_rss_bytes") == nil {
+		t.Fatalf("record lacks summary or proc series rows: %+v", recs[0].Rows)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "*.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresAMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dir", t.TempDir()}, &buf); err == nil {
+		t.Fatal("bare invocation must ask for a mode")
+	}
+}

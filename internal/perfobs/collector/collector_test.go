@@ -1,0 +1,195 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/perfobs"
+)
+
+// testMeta is a fixed provenance block for deterministic records.
+func testMeta() perfobs.Meta {
+	return perfobs.Meta{
+		Commit:    "abc1234",
+		GoVersion: "go1.22",
+		Host:      perfobs.Host{OS: "linux", Arch: "amd64", GOMAXPROCS: 4, NumCPU: 4},
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	page := `requests_total 10
+requests_total{shard="1"} 5
+cache_hits_total 3
+
+# a comment
+latency_p99_ns{shard="0",zone="a"} 250
+proc_rss_bytes 1048576
+`
+	m, err := ParseMetrics(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["requests_total"] != 15 {
+		t.Errorf("labelled series not summed into base name: %v", m["requests_total"])
+	}
+	if m["cache_hits_total"] != 3 || m["latency_p99_ns"] != 250 || m["proc_rss_bytes"] != 1048576 {
+		t.Errorf("parsed map wrong: %v", m)
+	}
+}
+
+func TestParseMetricsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"novalue",
+		"name notanumber",
+		`name{unterminated 5`,
+		`{nameless="x"} 5`,
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// fakeDaemon serves an evolving /metrics page: requests_total advances by
+// step per scrape, proc gauges wiggle deterministically.
+func fakeDaemon(t *testing.T, step int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var scrapes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		n := scrapes.Add(1)
+		fmt.Fprintf(w, "requests_total %d\n", n*step)
+		fmt.Fprintf(w, "cache_hits_total %d\n", n*step*3/4)
+		fmt.Fprintf(w, "cache_misses_total %d\n", n*step/4)
+		fmt.Fprintf(w, "errors_total 0\n")
+		fmt.Fprintf(w, "proc_rss_bytes %d\n", 1_000_000+n*1000)
+		fmt.Fprintf(w, "proc_gc_pause_max_ns %d\n", 50_000+(n%3)*10_000)
+		fmt.Fprintf(w, "proc_goroutines %d\n", 10+n%2)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &scrapes
+}
+
+func TestCollectorRunAndSummarize(t *testing.T) {
+	srv, scrapes := fakeDaemon(t, 100)
+	c, err := New(Config{URL: srv.URL, Interval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 3 {
+		t.Fatalf("got %d samples over 10 intervals, want at least 3", len(res.Samples))
+	}
+	if int64(len(res.Samples)) != scrapes.Load() {
+		t.Fatalf("samples %d != scrapes served %d", len(res.Samples), scrapes.Load())
+	}
+	s := res.Summarize()
+	if s.Samples != len(res.Samples) || s.Errors != 0 {
+		t.Fatalf("summary counts wrong: %+v", s)
+	}
+	if s.ThroughputRPS <= 0 {
+		t.Fatalf("throughput not derived from requests_total delta: %+v", s)
+	}
+	// hits:misses advance 3:1 → warm ratio 0.75.
+	if s.WarmHitRatio < 0.7 || s.WarmHitRatio > 0.8 {
+		t.Fatalf("warm-hit ratio %v, want ≈0.75", s.WarmHitRatio)
+	}
+	if s.RSSPeakBytes <= 1_000_000 {
+		t.Fatalf("rss peak %v not tracked", s.RSSPeakBytes)
+	}
+	if s.GCPauseMaxNS < 50_000 {
+		t.Fatalf("gc pause max %v not tracked", s.GCPauseMaxNS)
+	}
+	if s.ScrapeTotalNS <= 0 || s.ScrapeMaxNS <= 0 || s.OverheadFraction <= 0 {
+		t.Fatalf("scrape overhead not accounted: %+v", s)
+	}
+	rss := s.Series["proc_rss_bytes"]
+	if rss.Count != s.Samples || rss.Last <= rss.First {
+		t.Fatalf("rss series envelope wrong: %+v", rss)
+	}
+}
+
+func TestCollectorRecordCarriesProcSeries(t *testing.T) {
+	srv, _ := fakeDaemon(t, 50)
+	c, err := New(Config{URL: srv.URL, Interval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Record("smoke", "unit", testMeta())
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sum := rec.FindRow("summary")
+	if sum == nil || sum.Metrics["throughput_rps"] <= 0 {
+		t.Fatalf("summary row missing or empty: %+v", rec.Rows)
+	}
+	for _, series := range []string{"proc_rss_bytes", "proc_gc_pause_max_ns"} {
+		row := rec.FindRow(series)
+		if row == nil {
+			t.Fatalf("record lacks %s series row; rows: %+v", series, rec.Rows)
+		}
+		if row.Metrics["count"] <= 0 || row.Metrics["max"] <= 0 {
+			t.Fatalf("%s envelope empty: %+v", series, row.Metrics)
+		}
+	}
+}
+
+func TestCollectorCountsScrapeErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c, err := New(Config{URL: srv.URL, Interval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || len(res.Samples) != 0 {
+		t.Fatalf("failing target: errors=%d samples=%d, want all errors", res.Errors, len(res.Samples))
+	}
+}
+
+func TestCollectorHonoursContext(t *testing.T) {
+	srv, _ := fakeDaemon(t, 10)
+	c, err := New(Config{URL: srv.URL, Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := c.Run(ctx, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled run did not stop early")
+	}
+}
+
+func TestNewRejectsEmptyURL(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty URL")
+	}
+}

@@ -1,0 +1,439 @@
+// Package report renders the stored perf trajectory: per-metric trend tables
+// across the recorded history, two-run diffs, and the banded regression
+// verdict `leaperf -regress` gates CI on. All comparisons go through
+// perfobs/stats — the same median-of-N-with-tolerance-band logic the
+// `leabench -gate` uses — so "confidently worse" means one thing repo-wide.
+//
+// Only metrics with a known improvement direction are ever gated; everything
+// else (GC pause maxima, scrape bookkeeping, series envelopes) appears in
+// trend tables as information but cannot fail a build, because gating on
+// unstable order statistics is how perf gates go flaky and get deleted.
+// Records are also only compared within a (kind, label, host-fingerprint)
+// group by default: a different machine's numbers are hardware, not a
+// regression.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/perfobs"
+	"repro/internal/perfobs/stats"
+)
+
+// gatedMetrics maps every metric name the regression gate may act on to its
+// improvement direction. A name absent here is informational: trended and
+// diffed, never gated. GC-pause maxima stay ungated deliberately — a max of
+// samples is not a stable statistic — while medians, throughputs and
+// footprints gate.
+var gatedMetrics = map[string]stats.Direction{
+	"throughput_rps": stats.HigherIsBetter,
+	"achieved_rps":   stats.HigherIsBetter,
+	"warm_hit_ratio": stats.HigherIsBetter,
+	"knee_rps":       stats.HigherIsBetter,
+	"ns_per_op":      stats.LowerIsBetter,
+	"allocs_per_op":  stats.LowerIsBetter,
+	"bytes_per_op":   stats.LowerIsBetter,
+	"p50_ns":         stats.LowerIsBetter,
+	"p95_ns":         stats.LowerIsBetter,
+	"p99_ns":         stats.LowerIsBetter,
+	"rss_peak_bytes": stats.LowerIsBetter,
+}
+
+// MetricDirection reports the improvement direction of a gated metric; ok is
+// false for informational metrics, which trend but never gate.
+func MetricDirection(name string) (dir stats.Direction, ok bool) {
+	dir, ok = gatedMetrics[name]
+	return dir, ok
+}
+
+// DefaultMetrics is the trend-table metric selection when the caller names
+// none: the headline serving and bench numbers, in display order. Metrics
+// absent from a record group are simply not rendered for it.
+var DefaultMetrics = []string{
+	"throughput_rps",
+	"p50_ns",
+	"p95_ns",
+	"p99_ns",
+	"warm_hit_ratio",
+	"rss_peak_bytes",
+	"gc_pause_max_ns",
+	"knee_rps",
+	"ns_per_op",
+	"allocs_per_op",
+}
+
+// group is one (kind, label) slice of the history, in stored order.
+type group struct {
+	kind, label string
+	recs        []perfobs.Record
+}
+
+// groupKey formats the group heading.
+func (g *group) key() string {
+	if g.label == "" {
+		return g.kind
+	}
+	return g.kind + " · " + g.label
+}
+
+// groupRecords splits the (already time-sorted) history into (kind, label)
+// groups, ordered by first appearance.
+func groupRecords(recs []perfobs.Record) []*group {
+	byKey := map[string]*group{}
+	var out []*group
+	for _, r := range recs {
+		k := r.Kind + "\x00" + r.Label
+		g, ok := byKey[k]
+		if !ok {
+			g = &group{kind: r.Kind, label: r.Label}
+			byKey[k] = g
+			out = append(out, g)
+		}
+		g.recs = append(g.recs, r)
+	}
+	return out
+}
+
+// TrendOptions selects what Trend renders.
+type TrendOptions struct {
+	// Kinds restricts rendering to these record kinds (empty: all).
+	Kinds []string
+	// Metrics is the metric selection, in display order (empty:
+	// DefaultMetrics).
+	Metrics []string
+	// Last caps how many trailing records each group renders (0: all).
+	Last int
+}
+
+// Trend renders one table per (kind, label, metric) present in the history:
+// rows are runs in time order, columns are the record rows carrying the
+// metric. The tables are byte-stable for a fixed history — the golden test
+// pins that — so diffs of saved reports are meaningful.
+func Trend(w io.Writer, recs []perfobs.Record, opt TrendOptions) error {
+	metrics := opt.Metrics
+	if len(metrics) == 0 {
+		metrics = DefaultMetrics
+	}
+	kindOK := func(k string) bool {
+		if len(opt.Kinds) == 0 {
+			return true
+		}
+		for _, want := range opt.Kinds {
+			if k == want {
+				return true
+			}
+		}
+		return false
+	}
+	rendered := 0
+	for _, g := range groupRecords(recs) {
+		if !kindOK(g.kind) {
+			continue
+		}
+		window := g.recs
+		if opt.Last > 0 && len(window) > opt.Last {
+			window = window[len(window)-opt.Last:]
+		}
+		for _, metric := range metrics {
+			cols := metricColumns(window, metric)
+			if len(cols) == 0 {
+				continue
+			}
+			rendered++
+			if err := renderTrendTable(w, g, window, metric, cols); err != nil {
+				return err
+			}
+		}
+	}
+	if rendered == 0 {
+		_, err := fmt.Fprintln(w, "no records match the selection")
+		return err
+	}
+	return nil
+}
+
+// metricColumns lists the row names carrying metric anywhere in the window,
+// sorted.
+func metricColumns(recs []perfobs.Record, metric string) []string {
+	seen := map[string]bool{}
+	for _, r := range recs {
+		for _, row := range r.Rows {
+			if _, ok := row.Metrics[metric]; ok {
+				seen[row.Name] = true
+			}
+		}
+	}
+	cols := make([]string, 0, len(seen))
+	for name := range seen {
+		cols = append(cols, name)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// renderTrendTable writes one metric's run×row table.
+func renderTrendTable(w io.Writer, g *group, recs []perfobs.Record, metric string, cols []string) error {
+	dirNote := "informational"
+	if dir, ok := MetricDirection(metric); ok {
+		dirNote = dir.String()
+	}
+	if _, err := fmt.Fprintf(w, "== %s · %s (%s) ==\n", g.key(), metric, dirNote); err != nil {
+		return err
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+		if widths[i] < 10 {
+			widths[i] = 10
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-20s %-9s", "started", "run", "commit")
+	for i, c := range cols {
+		fmt.Fprintf(&b, " %*s", widths[i], c)
+	}
+	if _, err := fmt.Fprintln(w, b.String()); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		b.Reset()
+		fmt.Fprintf(&b, "%-20s %-20s %-9s",
+			r.StartedAt.UTC().Format("2006-01-02T15:04:05Z"), clip(r.RunID, 20), commitTag(&r))
+		for i, c := range cols {
+			val := "-"
+			if row := r.FindRow(c); row != nil {
+				if v, ok := row.Metrics[metric]; ok {
+					val = formatMetric(v)
+				}
+			}
+			fmt.Fprintf(&b, " %*s", widths[i], val)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// commitTag renders a record's short commit, "*"-suffixed when dirty.
+func commitTag(r *perfobs.Record) string {
+	c := clip(r.Commit, 7)
+	if r.Dirty {
+		c += "*"
+	}
+	return c
+}
+
+// clip truncates s to at most n characters.
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// formatMetric renders a value compactly and stably: integral values without
+// a fraction, everything else with up to 6 significant digits.
+func formatMetric(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// DiffOptions configures Diff.
+type DiffOptions struct {
+	// Band is the tolerance band verdicts are judged under.
+	Band stats.Band
+}
+
+// Diff compares two records row-by-row and metric-by-metric, printing each
+// pair with its ratio and verdict; informational metrics print with an
+// "info" verdict. It returns how many gated metrics regressed. Rows present
+// in only one record are listed but carry no verdicts.
+func Diff(w io.Writer, base, cur *perfobs.Record, opt DiffOptions) (int, error) {
+	fmt.Fprintf(w, "diff %s (%s) -> %s (%s), band %.2fx\n",
+		base.RunID, commitTag(base), cur.RunID, commitTag(cur), opt.Band.Tolerance)
+	fmt.Fprintf(w, "%-24s %-18s %14s %14s %8s  %s\n",
+		"row", "metric", "base", "current", "ratio", "verdict")
+	regressions := 0
+	curRows := map[string]*perfobs.Row{}
+	for i := range cur.Rows {
+		curRows[cur.Rows[i].Name] = &cur.Rows[i]
+	}
+	baseSeen := map[string]bool{}
+	for i := range base.Rows {
+		brow := &base.Rows[i]
+		baseSeen[brow.Name] = true
+		crow, ok := curRows[brow.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %-18s %14s %14s %8s  only in base\n", brow.Name, "-", "-", "-", "-")
+			continue
+		}
+		for _, metric := range sortedMetricNames(brow.Metrics) {
+			bv := brow.Metrics[metric]
+			cv, ok := crow.Metrics[metric]
+			if !ok {
+				continue
+			}
+			ratio := "-"
+			if bv != 0 {
+				ratio = strconv.FormatFloat(cv/bv, 'f', 3, 64)
+			}
+			verdict := "info"
+			if dir, gated := MetricDirection(metric); gated {
+				v := opt.Band.Compare(bv, cv, dir)
+				verdict = v.String()
+				if v == stats.Regressed {
+					regressions++
+				}
+			}
+			fmt.Fprintf(w, "%-24s %-18s %14s %14s %8s  %s\n",
+				brow.Name, metric, formatMetric(bv), formatMetric(cv), ratio, verdict)
+		}
+	}
+	for _, row := range cur.Rows {
+		if !baseSeen[row.Name] {
+			fmt.Fprintf(w, "%-24s %-18s %14s %14s %8s  only in current\n", row.Name, "-", "-", "-", "-")
+		}
+	}
+	return regressions, nil
+}
+
+// sortedMetricNames returns the map's keys sorted.
+func sortedMetricNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegressOptions configures the regression gate.
+type RegressOptions struct {
+	// Band is the tolerance band (zero: stats.DefaultTolerance).
+	Band stats.Band
+	// BaselineN caps how many preceding records form the median baseline
+	// (default 5).
+	BaselineN int
+	// AnyHost compares across host fingerprints. Off by default: perf deltas
+	// between different machines are hardware, not regressions.
+	AnyHost bool
+}
+
+// Regression is one confidently-regressed metric: the newest record's value
+// against the median of its baselines.
+type Regression struct {
+	// Kind, Label, Row and Metric locate the regressed number.
+	Kind, Label, Row, Metric string
+	// Baseline is the median of the BaselineRuns preceding values; Current is
+	// the newest record's value.
+	Baseline, Current float64
+	// RunID names the regressing record.
+	RunID string
+	// BaselineRuns is how many records the baseline median covers.
+	BaselineRuns int
+}
+
+// String renders the regression for logs and annotations.
+func (r Regression) String() string {
+	where := r.Kind
+	if r.Label != "" {
+		where += "/" + r.Label
+	}
+	return fmt.Sprintf("%s %s.%s: %s vs median-of-%d baseline %s (run %s)",
+		where, r.Row, r.Metric, formatMetric(r.Current), r.BaselineRuns,
+		formatMetric(r.Baseline), r.RunID)
+}
+
+// Regress applies the gate over the history: within every (kind, label) group
+// — host-matched unless AnyHost — the newest record's gated metrics are
+// judged against the median of up to BaselineN preceding records. It returns
+// the confident regressions plus notes explaining groups that could not be
+// gated (no baseline on this host, single record, …); an empty regression
+// list with non-empty notes is a pass with caveats, which is exactly what a
+// fresh CI host sees.
+func Regress(recs []perfobs.Record, opt RegressOptions) ([]Regression, []string) {
+	if opt.BaselineN <= 0 {
+		opt.BaselineN = 5
+	}
+	var regs []Regression
+	var notes []string
+	for _, g := range groupRecords(recs) {
+		window := g.recs
+		cur := window[len(window)-1]
+		var baselines []perfobs.Record
+		for _, r := range window[:len(window)-1] {
+			if !opt.AnyHost && r.Host.Key() != cur.Host.Key() {
+				continue
+			}
+			baselines = append(baselines, r)
+		}
+		if len(baselines) == 0 {
+			if len(window) == 1 {
+				notes = append(notes, fmt.Sprintf("%s: single record, nothing to gate against", g.key()))
+			} else {
+				notes = append(notes, fmt.Sprintf("%s: no baseline from host %q (%d records from other hosts); not gated",
+					g.key(), cur.Host.Key(), len(window)-1))
+			}
+			continue
+		}
+		if len(baselines) > opt.BaselineN {
+			baselines = baselines[len(baselines)-opt.BaselineN:]
+		}
+		regs = append(regs, regressRecord(&cur, baselines, opt.Band, g)...)
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		a, b := regs[i], regs[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Metric < b.Metric
+	})
+	return regs, notes
+}
+
+// regressRecord judges one record against its baseline set.
+func regressRecord(cur *perfobs.Record, baselines []perfobs.Record, band stats.Band, g *group) []Regression {
+	var out []Regression
+	for _, row := range cur.Rows {
+		for _, metric := range sortedMetricNames(row.Metrics) {
+			dir, gated := MetricDirection(metric)
+			if !gated {
+				continue
+			}
+			var baseVals []float64
+			for _, b := range baselines {
+				if brow := b.FindRow(row.Name); brow != nil {
+					if v, ok := brow.Metrics[metric]; ok {
+						baseVals = append(baseVals, v)
+					}
+				}
+			}
+			if len(baseVals) == 0 {
+				continue
+			}
+			base := stats.Median(baseVals)
+			if band.Compare(base, row.Metrics[metric], dir) == stats.Regressed {
+				out = append(out, Regression{
+					Kind: g.kind, Label: g.label, Row: row.Name, Metric: metric,
+					Baseline: base, Current: row.Metrics[metric],
+					RunID: cur.RunID, BaselineRuns: len(baseVals),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/perfobs"
+	"repro/internal/perfobs/stats"
+	"repro/internal/perfobs/store"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/perfobs/report -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// loadHistory reads the fixed JSONL fixture.
+func loadHistory(t *testing.T) []perfobs.Record {
+	t.Helper()
+	// The fixture lives in one file; Store.Load wants a directory of *.jsonl,
+	// so parse it line-wise through the same ParseRecord path.
+	data, err := os.ReadFile(filepath.Join("testdata", "history.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []perfobs.Record
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, err := store.ParseRecord(line)
+		if err != nil {
+			t.Fatalf("fixture line unparsable: %v", err)
+		}
+		recs = append(recs, *rec)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("fixture has %d records, want 5", len(recs))
+	}
+	return recs
+}
+
+// checkGolden compares got against the named golden file (or rewrites it
+// under -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestTrendGolden(t *testing.T) {
+	recs := loadHistory(t)
+	var buf bytes.Buffer
+	if err := Trend(&buf, recs, TrendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trend.golden", buf.Bytes())
+}
+
+func TestDiffGolden(t *testing.T) {
+	recs := loadHistory(t)
+	// The two bench records, oldest as base.
+	var bench []perfobs.Record
+	for _, r := range recs {
+		if r.Kind == "bench" {
+			bench = append(bench, r)
+		}
+	}
+	if len(bench) != 2 {
+		t.Fatalf("fixture has %d bench records, want 2", len(bench))
+	}
+	var buf bytes.Buffer
+	regs, err := Diff(&buf, &bench[0], &bench[1], DiffOptions{Band: stats.Band{Tolerance: 2.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 0 {
+		t.Errorf("fixture diff flagged %d regressions, want 0", regs)
+	}
+	checkGolden(t, "diff.golden", buf.Bytes())
+}
+
+func TestTrendSelectsKindsAndMetrics(t *testing.T) {
+	recs := loadHistory(t)
+	var buf bytes.Buffer
+	if err := Trend(&buf, recs, TrendOptions{Kinds: []string{"bench"}, Metrics: []string{"ns_per_op"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("bench · leabench · ns_per_op")) {
+		t.Errorf("missing bench table:\n%s", out)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("load ·")) {
+		t.Errorf("kind filter leaked load tables:\n%s", out)
+	}
+}
+
+func TestTrendEmptySelection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Trend(&buf, nil, TrendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("no records")) {
+		t.Errorf("empty history should say so, got %q", buf.String())
+	}
+}
+
+// mkRec builds a load record with a single summary row.
+func mkRec(id string, at time.Time, host perfobs.Host, metrics map[string]float64) perfobs.Record {
+	r := perfobs.Record{
+		RunID: id, Commit: "c", GoVersion: "go1.22", Host: host,
+		StartedAt: at, Kind: "load", Label: "open",
+	}
+	r.AddRow("summary", metrics)
+	return r
+}
+
+var testHost = perfobs.Host{OS: "linux", Arch: "amd64", GOMAXPROCS: 4, NumCPU: 4, CPUModel: "testcpu"}
+
+func TestRegressFlagsInjectedSlowdown(t *testing.T) {
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	var recs []perfobs.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, mkRec(fmt.Sprintf("r%d", i), base.Add(time.Duration(i)*time.Hour), testHost,
+			map[string]float64{"p99_ns": 1000, "throughput_rps": 500}))
+	}
+	// 5× latency on the newest record must flag, and only p99_ns.
+	recs = append(recs, mkRec("r-slow", base.Add(10*time.Hour), testHost,
+		map[string]float64{"p99_ns": 5000, "throughput_rps": 500}))
+	regs, _ := Regress(recs, RegressOptions{})
+	if len(regs) != 1 || regs[0].Metric != "p99_ns" {
+		t.Fatalf("regressions = %+v, want exactly one p99_ns", regs)
+	}
+	if regs[0].Baseline != 1000 || regs[0].Current != 5000 {
+		t.Fatalf("regression values wrong: %+v", regs[0])
+	}
+}
+
+func TestRegressFlagsThroughputCollapse(t *testing.T) {
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	var recs []perfobs.Record
+	for i := 0; i < 3; i++ {
+		recs = append(recs, mkRec(fmt.Sprintf("r%d", i), base.Add(time.Duration(i)*time.Hour), testHost,
+			map[string]float64{"throughput_rps": 1000}))
+	}
+	recs = append(recs, mkRec("r-slow", base.Add(10*time.Hour), testHost,
+		map[string]float64{"throughput_rps": 200}))
+	regs, _ := Regress(recs, RegressOptions{})
+	if len(regs) != 1 || regs[0].Metric != "throughput_rps" {
+		t.Fatalf("regressions = %+v, want throughput_rps flagged", regs)
+	}
+}
+
+func TestRegressIgnoresOtherHosts(t *testing.T) {
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	otherHost := perfobs.Host{OS: "linux", Arch: "arm64", GOMAXPROCS: 8, NumCPU: 8, CPUModel: "other"}
+	recs := []perfobs.Record{
+		mkRec("r0", base, otherHost, map[string]float64{"p99_ns": 100}),
+		mkRec("r1", base.Add(time.Hour), testHost, map[string]float64{"p99_ns": 5000}),
+	}
+	regs, notes := Regress(recs, RegressOptions{})
+	if len(regs) != 0 {
+		t.Fatalf("cross-host comparison flagged: %+v", regs)
+	}
+	if len(notes) == 0 {
+		t.Fatal("skipped group produced no explanatory note")
+	}
+	// With AnyHost the same history gates (and flags the 50× jump).
+	regs, _ = Regress(recs, RegressOptions{AnyHost: true})
+	if len(regs) != 1 {
+		t.Fatalf("AnyHost comparison missed the regression: %+v", regs)
+	}
+}
+
+func TestRegressNoiseWithinBandNeverFlags(t *testing.T) {
+	// Property: histories whose values wobble within the band must never
+	// flag, across many seeds; scaling the newest record past the band must
+	// always flag. This pins the gate's two contractual behaviours.
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+		n := 4 + rng.Intn(5)
+		var recs []perfobs.Record
+		for i := 0; i < n; i++ {
+			// ±30% wobble: well inside the default 2× band even against the
+			// median of the others.
+			noise := func() float64 { return 1 + (rng.Float64()-0.5)*0.6 }
+			recs = append(recs, mkRec(fmt.Sprintf("s%dr%d", seed, i),
+				base.Add(time.Duration(i)*time.Hour), testHost,
+				map[string]float64{
+					"p99_ns":         3e6 * noise(),
+					"throughput_rps": 2000 * noise(),
+					"warm_hit_ratio": 0.5 * noise(),
+				}))
+		}
+		regs, _ := Regress(recs, RegressOptions{})
+		if len(regs) != 0 {
+			t.Fatalf("seed %d: in-band noise flagged: %+v", seed, regs)
+		}
+		// Now push the newest record's latency 5× past its own value: must
+		// flag regardless of where the noise left the baseline.
+		slow := recs[len(recs)-1]
+		slow.RunID += "-slow"
+		slow.StartedAt = slow.StartedAt.Add(time.Hour)
+		slow.Rows = nil
+		slow.AddRow("summary", map[string]float64{
+			"p99_ns": recs[len(recs)-1].FindRow("summary").Metrics["p99_ns"] * 5 * 1.3,
+		})
+		regs, _ = Regress(append(recs, slow), RegressOptions{})
+		found := false
+		for _, r := range regs {
+			if r.Metric == "p99_ns" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: injected 5× slowdown not flagged (regs %+v)", seed, regs)
+		}
+	}
+}
+
+func TestRegressSingleRecordIsNotedNotGated(t *testing.T) {
+	recs := []perfobs.Record{mkRec("only", time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC), testHost,
+		map[string]float64{"p99_ns": 100})}
+	regs, notes := Regress(recs, RegressOptions{})
+	if len(regs) != 0 || len(notes) != 1 {
+		t.Fatalf("single record: regs=%v notes=%v", regs, notes)
+	}
+}
+
+func TestMetricDirection(t *testing.T) {
+	if dir, ok := MetricDirection("p99_ns"); !ok || dir != stats.LowerIsBetter {
+		t.Error("p99_ns must gate lower-is-better")
+	}
+	if dir, ok := MetricDirection("throughput_rps"); !ok || dir != stats.HigherIsBetter {
+		t.Error("throughput_rps must gate higher-is-better")
+	}
+	for _, info := range []string{"gc_pause_max_ns", "scrape_total_ns", "samples", "first", "max"} {
+		if _, ok := MetricDirection(info); ok {
+			t.Errorf("%s must stay informational, not gated", info)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package stats holds the small statistics kit the perf gates share: medians
+// over repeated measurements and a multiplicative tolerance band that turns a
+// (baseline, current) pair into a three-way verdict. Both `leabench -gate`
+// and `leaperf -regress` judge regressions through exactly this code, so the
+// two gates cannot drift apart on what "confidently worse" means.
+//
+// The confidence model is deliberately simple and robust: a baseline is the
+// median of N independent measurements (the median discards one-off scheduler
+// or GC outliers without assuming a distribution), and a measurement only
+// counts as a regression when it lands outside a generous multiplicative band
+// around that median. Anything inside the band is noise by definition;
+// anything outside it in the good direction is an improvement worth noticing
+// but never a failure.
+package stats
+
+import "sort"
+
+// Direction says which way a metric improves: latencies and footprints go
+// down, throughputs and hit ratios go up.
+type Direction int
+
+// The two metric polarities.
+const (
+	// LowerIsBetter marks metrics like latency, ns/op, allocs and RSS.
+	LowerIsBetter Direction = iota
+	// HigherIsBetter marks metrics like throughput and warm-hit ratio.
+	HigherIsBetter
+)
+
+// String renders the direction for reports.
+func (d Direction) String() string {
+	if d == HigherIsBetter {
+		return "higher-is-better"
+	}
+	return "lower-is-better"
+}
+
+// Verdict classifies a measurement against a banded baseline.
+type Verdict int
+
+// The three verdicts Compare can reach.
+const (
+	// Within means the measurement is inside the tolerance band: noise.
+	Within Verdict = iota
+	// Improved means outside the band in the good direction.
+	Improved
+	// Regressed means outside the band in the bad direction — the only
+	// verdict a gate fails on.
+	Regressed
+)
+
+// String renders the verdict for reports.
+func (v Verdict) String() string {
+	switch v {
+	case Improved:
+		return "improved"
+	case Regressed:
+		return "REGRESSED"
+	default:
+		return "ok"
+	}
+}
+
+// Band is a multiplicative tolerance band around a baseline value: a
+// measurement must move by more than a factor of Tolerance (in either
+// direction) before it stops counting as noise. Tolerances at or below 1
+// select DefaultTolerance.
+type Band struct {
+	// Tolerance is the band half-width as a ratio, e.g. 2.0 = "within 2× of
+	// the baseline either way".
+	Tolerance float64
+}
+
+// DefaultTolerance is the band applied when none is configured: generous
+// enough that run-to-run noise on a shared machine stays inside it, tight
+// enough that a genuine 5× regression cannot hide. It must sit strictly
+// above 2: the serving stack's latency quantiles come from power-of-two
+// histogram buckets, so pure quantization jitter moves them in exact 2×
+// steps — a 2.0 band would flag a one-bucket wobble as a regression, while
+// 2.5 absorbs one bucket and still fails a genuine two-bucket (4×) move.
+const DefaultTolerance = 2.5
+
+// tol returns the effective tolerance.
+func (b Band) tol() float64 {
+	if b.Tolerance <= 1 {
+		return DefaultTolerance
+	}
+	return b.Tolerance
+}
+
+// Compare judges cur against base under the band, direction-aware. A
+// non-positive baseline cannot anchor a ratio, so it always yields Within —
+// gates that care about exact zeroes (the strict zero-alloc rule in
+// `leabench -gate`) special-case them before calling Compare.
+func (b Band) Compare(base, cur float64, dir Direction) Verdict {
+	if base <= 0 {
+		return Within
+	}
+	t := b.tol()
+	worse, better := cur > base*t, cur < base/t
+	if dir == HigherIsBetter {
+		worse, better = cur < base/t, cur > base*t
+	}
+	switch {
+	case worse:
+		return Regressed
+	case better:
+		return Improved
+	default:
+		return Within
+	}
+}
+
+// Median returns the median of xs (the mean of the middle two for an even
+// count), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,89 @@
+package stats
+
+import "testing"
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Errorf("Median reordered its input: %v", in)
+	}
+}
+
+func TestBandCompareLowerIsBetter(t *testing.T) {
+	b := Band{Tolerance: 2.0}
+	cases := []struct {
+		base, cur float64
+		want      Verdict
+	}{
+		{100, 100, Within},
+		{100, 199, Within},
+		{100, 201, Regressed},
+		{100, 51, Within},
+		{100, 49, Improved},
+		{0, 50, Within},  // no ratio from a zero baseline
+		{-1, 50, Within}, // or a negative one
+	}
+	for _, c := range cases {
+		if got := b.Compare(c.base, c.cur, LowerIsBetter); got != c.want {
+			t.Errorf("Compare(%v, %v, lower) = %v, want %v", c.base, c.cur, got, c.want)
+		}
+	}
+}
+
+func TestBandCompareHigherIsBetter(t *testing.T) {
+	b := Band{Tolerance: 2.0}
+	cases := []struct {
+		base, cur float64
+		want      Verdict
+	}{
+		{1000, 1000, Within},
+		{1000, 501, Within},
+		{1000, 499, Regressed},
+		{1000, 2001, Improved},
+	}
+	for _, c := range cases {
+		if got := b.Compare(c.base, c.cur, HigherIsBetter); got != c.want {
+			t.Errorf("Compare(%v, %v, higher) = %v, want %v", c.base, c.cur, got, c.want)
+		}
+	}
+}
+
+func TestBandDefaultTolerance(t *testing.T) {
+	// A zero/absurd tolerance falls back to the default rather than flagging
+	// every measurement.
+	for _, tl := range []float64{0, 0.5, 1.0, -3} {
+		b := Band{Tolerance: tl}
+		if got := b.Compare(100, 100*DefaultTolerance*0.99, LowerIsBetter); got != Within {
+			t.Errorf("tolerance %v: just-inside-default measurement = %v, want Within", tl, got)
+		}
+		if got := b.Compare(100, 100*DefaultTolerance*1.01, LowerIsBetter); got != Regressed {
+			t.Errorf("tolerance %v: outside-default measurement = %v, want Regressed", tl, got)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Within.String() != "ok" || Improved.String() != "improved" || Regressed.String() != "REGRESSED" {
+		t.Errorf("unexpected verdict strings: %v %v %v", Within, Improved, Regressed)
+	}
+	if LowerIsBetter.String() == HigherIsBetter.String() {
+		t.Error("directions render identically")
+	}
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseRecord hammers the record parser with arbitrary bytes: it must
+// never panic, and any line it accepts must survive a marshal/parse round
+// trip with its identity (run_id, kind, label) intact — the property the
+// trend store's merge-across-commits behaviour rests on.
+func FuzzParseRecord(f *testing.F) {
+	f.Add([]byte(`{"run_id":"r1","kind":"bench","rows":[{"name":"a","metrics":{"x":1}}]}`))
+	f.Add([]byte(`{"run_id":"r2","kind":"load","label":"open/zipf","started_at":"2026-08-01T12:00:00Z"}`))
+	f.Add([]byte(`{"kind":"bench"}`))
+	f.Add([]byte(`{broken`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("\x00\xff"))
+	f.Add([]byte(`{"run_id":"r","kind":"k","rows":[{"metrics":{"":-1e308}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := ParseRecord(data)
+		if err != nil {
+			return
+		}
+		if rec.Kind == "" || rec.RunID == "" {
+			t.Fatalf("parser accepted a record missing identity: %+v", rec)
+		}
+		out, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("accepted record does not re-marshal: %v", err)
+		}
+		again, err := ParseRecord(out)
+		if err != nil {
+			t.Fatalf("re-marshalled record does not re-parse: %v\n%s", err, out)
+		}
+		if again.RunID != rec.RunID || again.Kind != rec.Kind || again.Label != rec.Label {
+			t.Fatalf("identity changed across round trip: %+v vs %+v", rec, again)
+		}
+	})
+}

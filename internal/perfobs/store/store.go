@@ -1,0 +1,150 @@
+// Package store is the append-only trend store of the perf-observability
+// subsystem: one JSONL file per record kind under a trajectory directory
+// (trajectory/bench.jsonl, trajectory/load.jsonl, …), each line one
+// perfobs.Record. Appending never rewrites history — that is the whole
+// point: every CI run and local measurement extends the trajectory, and
+// records from different commits merge trivially because the files are
+// line-append-only (a git merge of two appended histories is a union).
+//
+// Loading is deliberately forgiving: a corrupt or half-merged line is
+// reported as a warning and skipped, never fatal, so one bad merge cannot
+// take down the whole trend history.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/perfobs"
+)
+
+// Store reads and appends records under one trajectory directory. The zero
+// value is unusable; create with Open.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir. The directory is created lazily on
+// first append, so opening a store never touches the filesystem.
+func Open(dir string) *Store { return &Store{dir: dir} }
+
+// Dir reports the trajectory directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileFor maps a record kind to its JSONL file.
+func (s *Store) fileFor(kind string) string {
+	return filepath.Join(s.dir, kind+".jsonl")
+}
+
+// Append validates r and appends it as one JSONL line to its kind's file,
+// creating the directory and file as needed. The write is a single
+// O_APPEND write of one line, so concurrent emitters (parallel CI steps)
+// interleave whole records rather than corrupting each other.
+func (s *Store) Append(r *perfobs.Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: marshal record %s: %w", r.RunID, err)
+	}
+	line = append(line, '\n')
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(s.fileFor(r.Kind), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return fmt.Errorf("store: append %s: %w", r.RunID, err)
+	}
+	return f.Close()
+}
+
+// Load reads every *.jsonl file under the trajectory directory and returns
+// the merged history sorted by start time (run ID breaking ties, so the
+// order is total and stable). Unparsable lines are skipped and reported as
+// warnings, one per line, with their file and line number. A missing
+// directory is an empty history, not an error.
+func (s *Store) Load() ([]perfobs.Record, []string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	var recs []perfobs.Record
+	var warnings []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		fileRecs, fileWarn, err := loadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, fileRecs...)
+		warnings = append(warnings, fileWarn...)
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if !recs[i].StartedAt.Equal(recs[j].StartedAt) {
+			return recs[i].StartedAt.Before(recs[j].StartedAt)
+		}
+		return recs[i].RunID < recs[j].RunID
+	})
+	return recs, warnings, nil
+}
+
+// loadFile parses one JSONL file into records plus per-line warnings.
+func loadFile(path string) ([]perfobs.Record, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var recs []perfobs.Record
+	var warnings []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			warnings = append(warnings, fmt.Sprintf("%s:%d: %v", path, lineNo, err))
+			continue
+		}
+		recs = append(recs, *rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	return recs, warnings, nil
+}
+
+// ParseRecord decodes and validates one JSONL line. Unknown fields are
+// ignored (schema growth must not break old readers) but a line that is not
+// a JSON object, or that lacks the required kind/run_id, is an error.
+func ParseRecord(line []byte) (*perfobs.Record, error) {
+	var rec perfobs.Record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("bad record: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/perfobs"
+)
+
+// testMeta is a fixed provenance block for deterministic records.
+func testMeta() perfobs.Meta {
+	return perfobs.Meta{
+		Commit:    "abc1234",
+		GoVersion: "go1.22",
+		Host:      perfobs.Host{OS: "linux", Arch: "amd64", GOMAXPROCS: 4, NumCPU: 4, CPUModel: "testcpu"},
+	}
+}
+
+// rec builds a minimal valid record at the given start offset.
+func rec(t *testing.T, kind, label string, offset time.Duration) *perfobs.Record {
+	t.Helper()
+	r := perfobs.NewRecord(kind, label, testMeta())
+	r.StartedAt = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC).Add(offset)
+	r.RunID = "run-" + kind + "-" + offset.String()
+	r.AddRow("summary", map[string]float64{"p99_ns": 1000, "throughput_rps": 500})
+	return r
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(filepath.Join(dir, "trajectory"))
+	if recs, warns, err := s.Load(); err != nil || len(recs) != 0 || len(warns) != 0 {
+		t.Fatalf("empty store load = %v, %v, %v; want empty", recs, warns, err)
+	}
+	r1 := rec(t, "load", "open", 0)
+	r2 := rec(t, "load", "open", time.Hour)
+	r3 := rec(t, "bench", "", 30*time.Minute)
+	// Append out of order; Load must sort by start time across files.
+	for _, r := range []*perfobs.Record{r2, r3, r1} {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, warns, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("unexpected warnings: %v", warns)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	gotOrder := []string{recs[0].RunID, recs[1].RunID, recs[2].RunID}
+	wantOrder := []string{r1.RunID, r3.RunID, r2.RunID}
+	for i := range wantOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("order %v, want %v", gotOrder, wantOrder)
+		}
+	}
+	if got := recs[0].FindRow("summary"); got == nil || got.Metrics["p99_ns"] != 1000 {
+		t.Fatalf("row lost in round trip: %+v", recs[0].Rows)
+	}
+	if recs[0].Host.CPUModel != "testcpu" || recs[0].Commit != "abc1234" {
+		t.Fatalf("provenance lost: %+v", recs[0])
+	}
+	// Two kinds → two files.
+	for _, kind := range []string{"load", "bench"} {
+		if _, err := os.Stat(s.fileFor(kind)); err != nil {
+			t.Fatalf("missing %s file: %v", kind, err)
+		}
+	}
+}
+
+func TestLoadSkipsCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(dir)
+	if err := s.Append(rec(t, "load", "open", 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a bad merge: garbage line between two good ones.
+	f, err := os.OpenFile(s.fileFor("load"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{broken json\n<<<<<<< HEAD\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := s.Append(rec(t, "load", "open", time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	recs, warns, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2 despite corruption", len(recs))
+	}
+	if len(warns) != 2 {
+		t.Fatalf("warnings %v, want 2 (one per corrupt line)", warns)
+	}
+	if !strings.Contains(warns[0], "load.jsonl:2") {
+		t.Fatalf("warning lacks file:line: %q", warns[0])
+	}
+}
+
+func TestAppendRejectsInvalid(t *testing.T) {
+	s := Open(t.TempDir())
+	bad := rec(t, "load", "", 0)
+	bad.Kind = "../escape"
+	if err := s.Append(bad); err == nil {
+		t.Fatal("append accepted a path-unsafe kind")
+	}
+	bad2 := rec(t, "load", "", 0)
+	bad2.RunID = ""
+	if err := s.Append(bad2); err == nil {
+		t.Fatal("append accepted an empty run_id")
+	}
+}
+
+func TestParseRecordRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "null", "42", `{"kind":""}`, `{"kind":"x"}`, "{"} {
+		if _, err := ParseRecord([]byte(bad)); err == nil {
+			t.Errorf("ParseRecord(%q) accepted invalid input", bad)
+		}
+	}
+	good := `{"run_id":"r1","kind":"bench","rows":[{"name":"a","metrics":{"x":1}}],"future_field":true}`
+	rec, err := ParseRecord([]byte(good))
+	if err != nil {
+		t.Fatalf("ParseRecord rejected forward-compatible record: %v", err)
+	}
+	if rec.Rows[0].Metrics["x"] != 1 {
+		t.Fatalf("metrics lost: %+v", rec)
+	}
+}

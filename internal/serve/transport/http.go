@@ -28,6 +28,9 @@ type Service interface {
 	StatsJSON() any
 	// WriteMetrics renders the /metrics text exposition.
 	WriteMetrics(w io.Writer) error
+	// MetricsJSON returns the same metrics as a JSON-marshallable value, the
+	// /metrics?format=json document body.
+	MetricsJSON() any
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.
@@ -94,9 +97,21 @@ func NewMux(svc Service) *http.ServeMux {
 		writeJSON(w, http.StatusOK, svc.StatsJSON())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Process-wide gauges (RSS, GC pauses, goroutines) are sampled here —
+		// once per page, at scrape time — rather than inside the per-shard
+		// registries, where a sharded deployment would repeat them per shard
+		// and a label-summing scraper would multiply them by the shard count.
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"metrics": svc.MetricsJSON(),
+				"proc":    engine.SampleProc().Metrics(),
+			})
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_ = svc.WriteMetrics(w)
+		_ = engine.WriteProcMetrics(w)
 	})
 	return mux
 }

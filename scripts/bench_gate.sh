@@ -12,6 +12,10 @@ cd "$(dirname "$0")/.."
 
 runs="${BENCH_GATE_RUNS:-3}"
 tol="${BENCH_GATE_TOL:-4.0}"
+# The gate already pays for repeated measurement, so its medians double as
+# the kind "bench" perf-trajectory record (read back by leaperf -report and
+# -regress). Set TRAJECTORY_DIR="" to skip the append.
+traj="${TRAJECTORY_DIR-trajectory}"
 
 # The noalloc zone map (internal/analysis/escape/zones.go) and the
 # AllocsPerRun zero-alloc tests must name the same warm API before the
@@ -22,4 +26,5 @@ go run ./cmd/lealint -zonecheck
 exec go run ./cmd/leabench -gate \
   -gate-baseline BENCH_sweep.json \
   -gate-runs "$runs" \
-  -gate-tol "$tol"
+  -gate-tol "$tol" \
+  -trajectory "$traj"
